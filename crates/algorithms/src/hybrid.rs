@@ -1,0 +1,192 @@
+//! Hybrid graph queries (§3.2): vertex-centric + 1-hop analysis combined
+//! through relational operators.
+//!
+//! The paper's examples, verbatim: "find all nodes which act as ties between
+//! otherwise disconnected nodes and have PageRank greater than a threshold,
+//! i.e. find sufficiently important nodes which act as bridges" and "compute
+//! the single source shortest path with the source node being the node with
+//! the maximum local clustering coefficient".
+
+use std::sync::Arc;
+
+use vertexica::{run_program, GraphSession, VertexicaConfig, VertexicaResult};
+use vertexica_common::graph::VertexId;
+
+use crate::sqlalgo::{local_clustering_sql, sssp_sql, store_scores, weak_ties_sql};
+use crate::vc::PageRank;
+
+/// Important bridges: nodes with at least `min_ties` weak ties *and*
+/// PageRank above `rank_threshold`. PageRank runs vertex-centrically, weak
+/// ties run in SQL, and the combination is a relational join over the
+/// materialized results — the paper's poster-child hybrid query.
+pub fn important_bridges(
+    session: &GraphSession,
+    pagerank_iterations: u64,
+    rank_threshold: f64,
+    min_ties: u64,
+) -> VertexicaResult<Vec<(VertexId, f64, u64)>> {
+    // Vertex-centric PageRank on the relational engine.
+    run_program(
+        session,
+        Arc::new(PageRank::new(pagerank_iterations, 0.85)),
+        &VertexicaConfig::default(),
+    )?;
+    let ranks: Vec<(VertexId, f64)> = session.vertex_values()?;
+    store_scores(session, "hybrid_pagerank", &ranks)?;
+
+    // 1-hop weak ties in SQL.
+    let ties = weak_ties_sql(session)?;
+    let tie_scores: Vec<(VertexId, f64)> =
+        ties.iter().map(|&(id, c)| (id, c as f64)).collect();
+    store_scores(session, "hybrid_ties", &tie_scores)?;
+
+    // Relational combination.
+    let rows = session.db().query(&format!(
+        "SELECT p.id, p.score, t.score FROM hybrid_pagerank p \
+         JOIN hybrid_ties t ON p.id = t.id \
+         WHERE p.score > {rank_threshold} AND t.score >= {min_ties} \
+         ORDER BY p.score DESC"
+    ))?;
+    for t in ["hybrid_pagerank", "hybrid_ties"] {
+        session.db().catalog().drop_table_if_exists(t);
+    }
+    Ok(rows
+        .into_iter()
+        .map(|r| {
+            (
+                r[0].as_int().unwrap_or(0) as VertexId,
+                r[1].as_float().unwrap_or(0.0),
+                r[2].as_float().unwrap_or(0.0) as u64,
+            )
+        })
+        .collect())
+}
+
+/// SSSP from the node with the maximum local clustering coefficient
+/// ("the distance from the most clustered node to every other node").
+/// Returns the chosen source and the distance vector.
+pub fn sssp_from_most_clustered(
+    session: &GraphSession,
+) -> VertexicaResult<(VertexId, Vec<(VertexId, f64)>)> {
+    let coeffs = local_clustering_sql(session)?;
+    let source = coeffs
+        .iter()
+        .max_by(|a, b| a.1.total_cmp(&b.1).then(b.0.cmp(&a.0)))
+        .map(|&(id, _)| id)
+        .unwrap_or(0);
+    let dist = sssp_sql(session, source)?;
+    Ok((source, dist))
+}
+
+/// Localized PageRank (§1): restrict the graph to edges satisfying a SQL
+/// predicate over the edge table (e.g. `etype = 'family'`), then run
+/// PageRank on the resulting subgraph session. The subgraph is materialized
+/// as `<name>` and returned for further analysis.
+pub fn localized_pagerank(
+    session: &GraphSession,
+    edge_predicate: &str,
+    subgraph_name: &str,
+    iterations: u64,
+) -> VertexicaResult<(GraphSession, Vec<(VertexId, f64)>)> {
+    let db = session.db();
+    // Build the subgraph: same vertices, filtered edges.
+    let sub = GraphSession::create(db.clone(), subgraph_name)?;
+    db.execute(&format!(
+        "INSERT INTO {sv} SELECT id, CAST(NULL AS VARBINARY), FALSE FROM {v}",
+        sv = sub.vertex_table(),
+        v = session.vertex_table()
+    ))?;
+    db.execute(&format!(
+        "INSERT INTO {se} SELECT src, dst, weight, created, etype FROM {e} \
+         WHERE {edge_predicate}",
+        se = sub.edge_table(),
+        e = session.edge_table()
+    ))?;
+
+    run_program(
+        &sub,
+        Arc::new(PageRank::new(iterations, 0.85)),
+        &VertexicaConfig::default(),
+    )?;
+    let ranks = sub.vertex_values()?;
+    Ok((sub, ranks))
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use vertexica_common::graph::{Edge, EdgeList};
+    use vertexica::sql::Database;
+
+    fn session_with(graph: &EdgeList) -> GraphSession {
+        let db = Arc::new(Database::new());
+        let g = GraphSession::create(db, "h").unwrap();
+        g.load_edges(graph).unwrap();
+        g
+    }
+
+    #[test]
+    fn important_bridges_finds_the_bridge() {
+        // Two clusters joined through vertex 2; 2 bridges many pairs and
+        // receives lots of rank.
+        let graph = EdgeList::from_pairs([
+            (0, 2),
+            (1, 2),
+            (2, 3),
+            (2, 4),
+            (3, 4),
+            (4, 3),
+            (0, 1),
+            (1, 0),
+        ]);
+        let session = session_with(&graph);
+        let bridges = important_bridges(&session, 10, 0.0, 1).unwrap();
+        assert!(
+            bridges.iter().any(|&(id, _, ties)| id == 2 && ties >= 4),
+            "{bridges:?}"
+        );
+        // Temp tables cleaned up.
+        assert!(!session.db().catalog().contains("hybrid_pagerank"));
+    }
+
+    #[test]
+    fn threshold_filters_bridges() {
+        let graph = EdgeList::from_pairs([(0, 1), (1, 2)]);
+        let session = session_with(&graph);
+        let none = important_bridges(&session, 5, 10.0, 1).unwrap();
+        assert!(none.is_empty());
+    }
+
+    #[test]
+    fn sssp_from_most_clustered_picks_triangle_member() {
+        // Triangle {0,1,2} + pendant path 3→4: clustered nodes are 0,1,2.
+        let graph = EdgeList::from_pairs([(0, 1), (1, 2), (2, 0), (3, 4)]);
+        let session = session_with(&graph);
+        let (source, dist) = sssp_from_most_clustered(&session).unwrap();
+        assert!(source <= 2, "source {source}");
+        assert_eq!(dist[source as usize].1, 0.0);
+    }
+
+    #[test]
+    fn localized_pagerank_respects_edge_filter() {
+        let db = Arc::new(Database::new());
+        let g = GraphSession::create(db, "h").unwrap();
+        g.load_edges_with_metadata(
+            &[
+                (Edge::new(0, 1), 0, Some("family".into())),
+                (Edge::new(1, 0), 0, Some("family".into())),
+                (Edge::new(1, 2), 0, Some("friend".into())),
+                (Edge::new(2, 1), 0, Some("friend".into())),
+            ],
+            3,
+        )
+        .unwrap();
+        let (sub, ranks) =
+            localized_pagerank(&g, "etype = 'family'", "h_family", 8).unwrap();
+        assert_eq!(sub.num_edges().unwrap(), 2);
+        // Vertex 2 is isolated in the family subgraph: minimal rank.
+        let r: Vec<f64> = ranks.iter().map(|&(_, v)| v).collect();
+        assert!(r[2] < r[0]);
+        assert!(r[2] < r[1]);
+    }
+}

@@ -1,0 +1,24 @@
+//! Graph algorithms for the Vertexica reproduction.
+//!
+//! Three families, mirroring the paper's toolbar (§4.1):
+//!
+//! * [`vc`] — **vertex-centric programs** (PageRank, single-source shortest
+//!   paths, connected components, collaborative filtering, random walk with
+//!   restart, label propagation). These implement
+//!   [`vertexica_common::VertexProgram`] and therefore run unchanged on the
+//!   relational Vertexica engine *and* on the Giraph-like BSP baseline.
+//! * [`sqlalgo`] — **hand-written SQL implementations** ("Vertexica (SQL)"
+//!   in Figure 2): PageRank, shortest paths, triangle counting, strong
+//!   overlap, weak ties, connected components, clustering coefficients —
+//!   executed against a [`vertexica::GraphSession`]'s tables.
+//! * [`reference`] — straight-line in-memory implementations used by the
+//!   test suite to validate both of the above (and the baselines).
+//!
+//! [`hybrid`] composes them into the paper's §3.2 hybrid analyses
+//! (important bridges, SSSP from the most clustered node, localized
+//! PageRank).
+
+pub mod hybrid;
+pub mod reference;
+pub mod sqlalgo;
+pub mod vc;

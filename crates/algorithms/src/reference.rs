@@ -1,0 +1,346 @@
+//! In-memory reference implementations used to validate every engine.
+
+use std::collections::BinaryHeap;
+
+use vertexica_common::graph::{Adjacency, EdgeList, VertexId};
+use vertexica_common::FxHashSet;
+
+/// PageRank with damping and dangling-mass redistribution; `iterations`
+/// synchronous updates from a uniform start.
+pub fn pagerank(graph: &EdgeList, iterations: usize, damping: f64) -> Vec<f64> {
+    let n = graph.num_vertices.max(1) as f64;
+    let adj = Adjacency::from_edge_list(graph);
+    let mut ranks = vec![1.0 / n; graph.num_vertices as usize];
+    let mut next = vec![0.0; graph.num_vertices as usize];
+    for _ in 0..iterations {
+        let mut dangling = 0.0;
+        next.iter_mut().for_each(|x| *x = 0.0);
+        for v in 0..graph.num_vertices {
+            let deg = adj.out_degree(v);
+            if deg == 0 {
+                dangling += ranks[v as usize];
+            } else {
+                let share = ranks[v as usize] / deg as f64;
+                for &d in adj.neighbors(v) {
+                    next[d as usize] += share;
+                }
+            }
+        }
+        for x in next.iter_mut() {
+            *x = (1.0 - damping) / n + damping * (*x + dangling / n);
+        }
+        std::mem::swap(&mut ranks, &mut next);
+    }
+    ranks
+}
+
+/// Dijkstra single-source shortest paths over edge weights (non-negative).
+pub fn sssp(graph: &EdgeList, source: VertexId) -> Vec<f64> {
+    let adj = Adjacency::from_edge_list(graph);
+    let mut dist = vec![f64::INFINITY; graph.num_vertices as usize];
+    if source >= graph.num_vertices {
+        return dist;
+    }
+    dist[source as usize] = 0.0;
+
+    #[derive(PartialEq)]
+    struct Item(f64, VertexId);
+    impl Eq for Item {}
+    impl Ord for Item {
+        fn cmp(&self, other: &Self) -> std::cmp::Ordering {
+            other.0.total_cmp(&self.0)
+        }
+    }
+    impl PartialOrd for Item {
+        fn partial_cmp(&self, other: &Self) -> Option<std::cmp::Ordering> {
+            Some(self.cmp(other))
+        }
+    }
+
+    let mut heap = BinaryHeap::new();
+    heap.push(Item(0.0, source));
+    while let Some(Item(d, v)) = heap.pop() {
+        if d > dist[v as usize] {
+            continue;
+        }
+        for (&t, &w) in adj.neighbors(v).iter().zip(adj.neighbor_weights(v)) {
+            let cand = d + w.max(0.0);
+            if cand < dist[t as usize] {
+                dist[t as usize] = cand;
+                heap.push(Item(cand, t));
+            }
+        }
+    }
+    dist
+}
+
+/// Weakly connected components via union–find; returns, per vertex, the
+/// *minimum* vertex id of its component (the label min-propagation
+/// converges to).
+pub fn weakly_connected_components(graph: &EdgeList) -> Vec<VertexId> {
+    let n = graph.num_vertices as usize;
+    let mut parent: Vec<usize> = (0..n).collect();
+    fn find(parent: &mut [usize], mut x: usize) -> usize {
+        while parent[x] != x {
+            parent[x] = parent[parent[x]];
+            x = parent[x];
+        }
+        x
+    }
+    for e in &graph.edges {
+        let (a, b) = (find(&mut parent, e.src as usize), find(&mut parent, e.dst as usize));
+        if a != b {
+            parent[a.max(b)] = a.min(b);
+        }
+    }
+    let mut label = vec![0 as VertexId; n];
+    let mut min_of_root: Vec<VertexId> = (0..n as u64).collect();
+    for v in 0..n {
+        let r = find(&mut parent, v);
+        if (v as u64) < min_of_root[r] {
+            min_of_root[r] = v as u64;
+        }
+    }
+    for v in 0..n {
+        let r = find(&mut parent, v);
+        label[v] = min_of_root[r];
+    }
+    label
+}
+
+/// Canonical undirected neighbour sets (self-loops and duplicates removed).
+fn undirected_neighbors(graph: &EdgeList) -> Vec<Vec<VertexId>> {
+    let n = graph.num_vertices as usize;
+    let mut sets: Vec<FxHashSet<VertexId>> = vec![FxHashSet::default(); n];
+    for e in &graph.edges {
+        if e.src != e.dst {
+            sets[e.src as usize].insert(e.dst);
+            sets[e.dst as usize].insert(e.src);
+        }
+    }
+    sets.into_iter()
+        .map(|s| {
+            let mut v: Vec<VertexId> = s.into_iter().collect();
+            v.sort_unstable();
+            v
+        })
+        .collect()
+}
+
+/// Total triangle count (undirected interpretation).
+pub fn triangle_count(graph: &EdgeList) -> u64 {
+    per_node_triangles(graph).iter().sum::<u64>() / 3
+}
+
+/// Triangles each node participates in (undirected interpretation).
+pub fn per_node_triangles(graph: &EdgeList) -> Vec<u64> {
+    let neigh = undirected_neighbors(graph);
+    let n = neigh.len();
+    let mut counts = vec![0u64; n];
+    for v in 0..n {
+        for &u in &neigh[v] {
+            if (u as usize) <= v {
+                continue;
+            }
+            // |N(v) ∩ N(u)| restricted to w > u keeps each triangle once.
+            let mut i = 0;
+            let mut j = 0;
+            let (a, b) = (&neigh[v], &neigh[u as usize]);
+            while i < a.len() && j < b.len() {
+                match a[i].cmp(&b[j]) {
+                    std::cmp::Ordering::Less => i += 1,
+                    std::cmp::Ordering::Greater => j += 1,
+                    std::cmp::Ordering::Equal => {
+                        if a[i] > u {
+                            counts[v] += 1;
+                            counts[u as usize] += 1;
+                            counts[a[i] as usize] += 1;
+                        }
+                        i += 1;
+                        j += 1;
+                    }
+                }
+            }
+        }
+    }
+    counts
+}
+
+/// Local clustering coefficient per node: `2·T(v) / (deg(v)·(deg(v)−1))`.
+pub fn local_clustering(graph: &EdgeList) -> Vec<f64> {
+    let neigh = undirected_neighbors(graph);
+    let tri = per_node_triangles(graph);
+    neigh
+        .iter()
+        .zip(&tri)
+        .map(|(nv, &t)| {
+            let d = nv.len() as f64;
+            if d < 2.0 {
+                0.0
+            } else {
+                2.0 * t as f64 / (d * (d - 1.0))
+            }
+        })
+        .collect()
+}
+
+/// Pairs of distinct nodes with at least `k` common out-neighbours
+/// ("strong overlap", directed interpretation matching the SQL query).
+pub fn strong_overlap(graph: &EdgeList, k: u64) -> Vec<(VertexId, VertexId, u64)> {
+    use vertexica_common::FxHashMap;
+    let mut by_dst: FxHashMap<VertexId, Vec<VertexId>> = FxHashMap::default();
+    let mut seen: FxHashSet<(VertexId, VertexId)> = FxHashSet::default();
+    for e in &graph.edges {
+        if seen.insert((e.src, e.dst)) {
+            by_dst.entry(e.dst).or_default().push(e.src);
+        }
+    }
+    let mut pair_counts: FxHashMap<(VertexId, VertexId), u64> = FxHashMap::default();
+    for srcs in by_dst.values() {
+        let mut s = srcs.clone();
+        s.sort_unstable();
+        for i in 0..s.len() {
+            for j in (i + 1)..s.len() {
+                *pair_counts.entry((s[i], s[j])).or_default() += 1;
+            }
+        }
+    }
+    let mut out: Vec<(VertexId, VertexId, u64)> = pair_counts
+        .into_iter()
+        .filter(|&(_, c)| c >= k)
+        .map(|((a, b), c)| (a, b, c))
+        .collect();
+    out.sort_unstable();
+    out
+}
+
+/// Weak ties per node: for centre `v`, counts pairs `(a, b)` with `a→v`,
+/// `v→b`, `a ≠ b`, where `a` and `b` are not adjacent (undirected check) —
+/// `v` bridges an otherwise-disconnected pair.
+pub fn weak_ties(graph: &EdgeList) -> Vec<u64> {
+    let n = graph.num_vertices as usize;
+    let mut und: Vec<FxHashSet<VertexId>> = vec![FxHashSet::default(); n];
+    let mut ins: Vec<Vec<VertexId>> = vec![Vec::new(); n];
+    let mut outs: Vec<Vec<VertexId>> = vec![Vec::new(); n];
+    let mut seen: FxHashSet<(VertexId, VertexId)> = FxHashSet::default();
+    for e in &graph.edges {
+        if e.src == e.dst || !seen.insert((e.src, e.dst)) {
+            continue;
+        }
+        und[e.src as usize].insert(e.dst);
+        und[e.dst as usize].insert(e.src);
+        outs[e.src as usize].push(e.dst);
+        ins[e.dst as usize].push(e.src);
+    }
+    let mut ties = vec![0u64; n];
+    for v in 0..n {
+        for &a in &ins[v] {
+            for &b in &outs[v] {
+                if a != b && a != v as u64 && b != v as u64 && !und[a as usize].contains(&b) {
+                    ties[v] += 1;
+                }
+            }
+        }
+    }
+    ties
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use vertexica_common::graph::Edge;
+
+    fn triangle_plus_tail() -> EdgeList {
+        // Triangle 0-1-2 (undirected) plus tail 2→3.
+        EdgeList::from_pairs([(0, 1), (1, 0), (1, 2), (2, 1), (0, 2), (2, 0), (2, 3)])
+    }
+
+    #[test]
+    fn pagerank_sums_to_one_and_ranks_hubs() {
+        // Star: everyone points at 0.
+        let g = EdgeList::from_pairs([(1, 0), (2, 0), (3, 0), (4, 0)]);
+        let pr = pagerank(&g, 20, 0.85);
+        assert!((pr.iter().sum::<f64>() - 1.0).abs() < 1e-9);
+        assert!(pr[0] > pr[1]);
+        assert!((pr[1] - pr[4]).abs() < 1e-12);
+    }
+
+    #[test]
+    fn pagerank_uniform_on_cycle() {
+        let g = EdgeList::from_pairs([(0, 1), (1, 2), (2, 0)]);
+        let pr = pagerank(&g, 50, 0.85);
+        for r in &pr {
+            assert!((r - 1.0 / 3.0).abs() < 1e-9);
+        }
+    }
+
+    #[test]
+    fn sssp_weighted() {
+        let g = EdgeList::new(
+            4,
+            vec![
+                Edge::weighted(0, 1, 1.0),
+                Edge::weighted(1, 2, 1.0),
+                Edge::weighted(0, 2, 5.0),
+                Edge::weighted(2, 3, 0.5),
+            ],
+        );
+        let d = sssp(&g, 0);
+        assert_eq!(d, vec![0.0, 1.0, 2.0, 2.5]);
+    }
+
+    #[test]
+    fn sssp_unreachable_is_infinite() {
+        let g = EdgeList::from_pairs([(0, 1), (2, 3)]);
+        let d = sssp(&g, 0);
+        assert!(d[2].is_infinite());
+    }
+
+    #[test]
+    fn wcc_labels_by_min_id() {
+        let g = EdgeList::from_pairs([(0, 1), (1, 2), (3, 4)]);
+        assert_eq!(weakly_connected_components(&g), vec![0, 0, 0, 3, 3]);
+    }
+
+    #[test]
+    fn wcc_ignores_direction() {
+        let g = EdgeList::from_pairs([(2, 0), (1, 2)]);
+        assert_eq!(weakly_connected_components(&g), vec![0, 0, 0]);
+    }
+
+    #[test]
+    fn triangles_counted_once() {
+        let g = triangle_plus_tail();
+        assert_eq!(triangle_count(&g), 1);
+        assert_eq!(per_node_triangles(&g), vec![1, 1, 1, 0]);
+    }
+
+    #[test]
+    fn clustering_coefficients() {
+        let g = triangle_plus_tail();
+        let c = local_clustering(&g);
+        assert!((c[0] - 1.0).abs() < 1e-9); // 0's neighbours {1,2} are linked
+        assert!((c[2] - 1.0 / 3.0).abs() < 1e-9); // {0,1,3}: one of three pairs
+        assert_eq!(c[3], 0.0); // degree 1
+    }
+
+    #[test]
+    fn strong_overlap_pairs() {
+        // 0 and 1 share out-neighbours {2, 3}; 4 shares only {2} with them.
+        let g = EdgeList::from_pairs([(0, 2), (0, 3), (1, 2), (1, 3), (4, 2)]);
+        let pairs = strong_overlap(&g, 2);
+        assert_eq!(pairs, vec![(0, 1, 2)]);
+        let loose = strong_overlap(&g, 1);
+        assert_eq!(loose.len(), 3); // (0,1), (0,4), (1,4)
+    }
+
+    #[test]
+    fn weak_ties_detects_bridges() {
+        // a=0 → v=1 → b=2 with no 0–2 edge: vertex 1 bridges one pair.
+        let g = EdgeList::from_pairs([(0, 1), (1, 2)]);
+        assert_eq!(weak_ties(&g), vec![0, 1, 0]);
+        // Close the triangle: no weak tie anymore.
+        let g = EdgeList::from_pairs([(0, 1), (1, 2), (0, 2)]);
+        assert_eq!(weak_ties(&g), vec![0, 0, 0]);
+    }
+}

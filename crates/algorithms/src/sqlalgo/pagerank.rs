@@ -1,0 +1,118 @@
+//! PageRank in pure SQL: join-aggregate per iteration, CTAS + swap.
+
+use vertexica::{GraphSession, VertexicaResult};
+use vertexica_common::graph::VertexId;
+
+/// PageRank with damping and dangling-mass redistribution, `iterations`
+/// updates. Semantics match [`crate::reference::pagerank`] exactly.
+pub fn pagerank_sql(
+    session: &GraphSession,
+    iterations: usize,
+    damping: f64,
+) -> VertexicaResult<Vec<(VertexId, f64)>> {
+    let db = session.db();
+    let v = session.vertex_table();
+    let e = session.edge_table();
+    let g = session.name();
+    let pr = format!("{g}__pr");
+    let pr_next = format!("{g}__pr_next");
+    let deg = format!("{g}__outdeg");
+    for t in [&pr, &pr_next, &deg] {
+        db.catalog().drop_table_if_exists(t);
+    }
+
+    let n = session.num_vertices()?.max(1);
+    // Out-degrees once.
+    db.execute(&format!(
+        "CREATE TABLE {deg} AS \
+         SELECT v.id AS id, COUNT(e.src) AS d FROM {v} v \
+         LEFT JOIN {e} e ON v.id = e.src GROUP BY v.id"
+    ))?;
+    // Uniform start. The rank table also carries each vertex's pre-divided
+    // out-share, so the per-iteration edge join touches a single table — the
+    // kind of hand-tuning the paper's "meticulously optimized SQL" refers to.
+    db.execute(&format!(
+        "CREATE TABLE {pr} AS \
+         SELECT o.id AS id, 1.0 / {n} AS rank, \
+                CASE WHEN o.d > 0 THEN 1.0 / ({n} * o.d) ELSE 0.0 END AS share, \
+                o.d AS d \
+         FROM {deg} o"
+    ))?;
+
+    for _ in 0..iterations {
+        db.execute(&format!(
+            "CREATE TABLE {pr_next} AS \
+             SELECT r.id AS id, r.rank AS rank, \
+                    CASE WHEN o.d > 0 THEN r.rank / o.d ELSE 0.0 END AS share, \
+                    o.d AS d \
+             FROM (SELECT v.id AS id, \
+                          (1.0 - {damping}) / {n} + \
+                          {damping} * (COALESCE(c.contrib, 0.0) + dang.mass / {n}) AS rank \
+                   FROM {v} v \
+                   LEFT JOIN (SELECT e.dst AS id, SUM(p.share) AS contrib \
+                              FROM {e} e JOIN {pr} p ON p.id = e.src \
+                              GROUP BY e.dst) c ON v.id = c.id \
+                   CROSS JOIN (SELECT COALESCE(SUM(p.rank), 0.0) AS mass \
+                               FROM {pr} p WHERE p.d = 0) dang) r \
+             JOIN {deg} o ON r.id = o.id"
+        ))?;
+        db.catalog().swap(&pr, &pr_next)?;
+        db.catalog().drop_table_if_exists(&pr_next);
+    }
+
+    let rows = db.query(&format!("SELECT id, rank FROM {pr} ORDER BY id"))?;
+    for t in [&pr, &deg] {
+        db.catalog().drop_table_if_exists(t);
+    }
+    Ok(rows
+        .into_iter()
+        .map(|r| {
+            (
+                r[0].as_int().unwrap_or(0) as VertexId,
+                r[1].as_float().unwrap_or(0.0),
+            )
+        })
+        .collect())
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::reference;
+    use crate::sqlalgo::testutil::session_with;
+    use vertexica_common::graph::EdgeList;
+
+    #[test]
+    fn matches_reference_with_dangling() {
+        let graph = EdgeList::from_pairs([(0, 1), (1, 2), (2, 0), (2, 3), (1, 3)]);
+        let session = session_with(&graph);
+        let sql_pr = pagerank_sql(&session, 12, 0.85).unwrap();
+        let expected = reference::pagerank(&graph, 12, 0.85);
+        assert_eq!(sql_pr.len(), expected.len());
+        for (id, rank) in sql_pr {
+            assert!(
+                (rank - expected[id as usize]).abs() < 1e-9,
+                "vertex {id}: {rank} vs {}",
+                expected[id as usize]
+            );
+        }
+    }
+
+    #[test]
+    fn ranks_sum_to_one() {
+        let graph = EdgeList::from_pairs([(0, 1), (1, 0), (2, 0)]);
+        let session = session_with(&graph);
+        let pr = pagerank_sql(&session, 10, 0.85).unwrap();
+        let total: f64 = pr.iter().map(|(_, r)| r).sum();
+        assert!((total - 1.0).abs() < 1e-9, "total {total}");
+    }
+
+    #[test]
+    fn temp_tables_cleaned_up() {
+        let graph = EdgeList::from_pairs([(0, 1)]);
+        let session = session_with(&graph);
+        pagerank_sql(&session, 2, 0.85).unwrap();
+        assert!(!session.db().catalog().contains("t__pr"));
+        assert!(!session.db().catalog().contains("t__outdeg"));
+    }
+}

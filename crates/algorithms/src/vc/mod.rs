@@ -1,0 +1,18 @@
+//! Vertex-centric programs (§3.1).
+//!
+//! Each type implements [`vertexica_common::VertexProgram`] and runs
+//! unchanged on the relational Vertexica engine
+//! ([`vertexica::run_program`]) and on the Giraph-like BSP baseline —
+//! which is exactly the comparison Figure 2 makes.
+
+mod collab;
+mod components;
+mod pagerank;
+mod sssp;
+mod walks;
+
+pub use collab::{rmse as cf_rmse, CfMessage, CollaborativeFiltering};
+pub use components::{ConnectedComponents, LabelPropagation};
+pub use pagerank::PageRank;
+pub use sssp::Sssp;
+pub use walks::RandomWalkWithRestart;

@@ -1,0 +1,103 @@
+//! Vertex-centric single-source shortest paths (Pregel's canonical example).
+
+use vertexica_common::graph::VertexId;
+use vertexica_common::pregel::{InitContext, VertexContext, VertexProgram};
+
+/// SSSP by distance relaxation: runs until no distance improves.
+#[derive(Debug, Clone)]
+pub struct Sssp {
+    pub source: VertexId,
+}
+
+impl Sssp {
+    pub fn new(source: VertexId) -> Self {
+        Sssp { source }
+    }
+}
+
+impl VertexProgram for Sssp {
+    type Value = f64;
+    type Message = f64;
+
+    fn initial_value(&self, id: VertexId, _init: &InitContext) -> f64 {
+        if id == self.source {
+            0.0
+        } else {
+            f64::INFINITY
+        }
+    }
+
+    fn compute(&self, ctx: &mut dyn VertexContext<f64, f64>, messages: &[f64]) {
+        let best = messages.iter().copied().fold(f64::INFINITY, f64::min);
+        let improved = best < *ctx.value();
+        if improved {
+            ctx.set_value(best);
+        }
+        // Propagate on the first superstep (source only — every other vertex
+        // is at ∞ and sending ∞+w is pointless) or whenever we improved.
+        let should_send =
+            (ctx.superstep() == 0 && ctx.value().is_finite()) || improved;
+        if should_send {
+            let d = *ctx.value();
+            let sends: Vec<(VertexId, f64)> =
+                ctx.out_edges().iter().map(|e| (e.dst, d + e.weight.max(0.0))).collect();
+            for (t, dist) in sends {
+                ctx.send_message(t, dist);
+            }
+        }
+        ctx.vote_to_halt();
+    }
+
+    fn combine(&self, a: &f64, b: &f64) -> Option<f64> {
+        Some(a.min(*b))
+    }
+
+    fn name(&self) -> &'static str {
+        "sssp"
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::reference;
+    use vertexica_common::graph::{Edge, EdgeList};
+    use vertexica_giraph::GiraphEngine;
+
+    #[test]
+    fn matches_dijkstra_reference() {
+        let g = EdgeList::new(
+            6,
+            vec![
+                Edge::weighted(0, 1, 2.0),
+                Edge::weighted(0, 2, 4.0),
+                Edge::weighted(1, 2, 1.0),
+                Edge::weighted(2, 3, 3.0),
+                Edge::weighted(1, 3, 7.0),
+                Edge::weighted(3, 4, 1.0),
+            ],
+        );
+        let (values, _) = GiraphEngine::default().run(&g, &Sssp::new(0));
+        let expected = reference::sssp(&g, 0);
+        assert_eq!(values, expected);
+        assert!(values[5].is_infinite()); // vertex 5 isolated
+    }
+
+    #[test]
+    fn converges_without_iteration_bound() {
+        // A long chain must propagate fully.
+        let g = EdgeList::from_pairs((0..50u64).map(|i| (i, i + 1)));
+        let (values, stats) = GiraphEngine::default().run(&g, &Sssp::new(0));
+        assert_eq!(values[50], 50.0);
+        assert!(stats.supersteps >= 50);
+    }
+
+    #[test]
+    fn source_distance_is_zero() {
+        let g = EdgeList::from_pairs([(0, 1), (1, 2)]);
+        let (values, _) = GiraphEngine::default().run(&g, &Sssp::new(1));
+        assert_eq!(values[1], 0.0);
+        assert_eq!(values[2], 1.0);
+        assert!(values[0].is_infinite());
+    }
+}

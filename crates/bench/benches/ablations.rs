@@ -1,0 +1,100 @@
+//! Criterion ablations of the §2.3 optimizations on a small fixed graph.
+//! (Wall-clock sweeps at dataset scale live in `bin/ablation`.)
+
+use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion};
+use std::sync::Arc;
+use std::time::Duration;
+use vertexica::{run_program, InputMode, VertexicaConfig};
+use vertexica_algorithms::vc::PageRank;
+use vertexica_bench::{figure2_dataset, fresh_session, HarnessConfig};
+
+fn micro_cfg() -> HarnessConfig {
+    HarnessConfig {
+        scale: 0.002,
+        dnf_budget: Duration::from_secs(120),
+        graphdb_commit_latency: Duration::ZERO,
+        seed: 42,
+    }
+}
+
+fn bench_input_assembly(c: &mut Criterion) {
+    let graph = figure2_dataset("twitter", &micro_cfg());
+    let mut group = c.benchmark_group("ablation_input_assembly");
+    group.sample_size(10);
+    for (label, mode) in
+        [("union", InputMode::TableUnion), ("join", InputMode::ThreeWayJoin)]
+    {
+        group.bench_function(BenchmarkId::new("pagerank5", label), |b| {
+            b.iter(|| {
+                let session = fresh_session(&graph);
+                let config = VertexicaConfig::default().with_input_mode(mode);
+                run_program(&session, Arc::new(PageRank::new(5, 0.85)), &config).unwrap()
+            })
+        });
+    }
+    group.finish();
+}
+
+fn bench_batching(c: &mut Criterion) {
+    let graph = figure2_dataset("twitter", &micro_cfg());
+    let mut group = c.benchmark_group("ablation_batching");
+    group.sample_size(10);
+    for partitions in [1usize, 8, 64, 512] {
+        group.bench_with_input(
+            BenchmarkId::new("pagerank5", partitions),
+            &partitions,
+            |b, &p| {
+                b.iter(|| {
+                    let session = fresh_session(&graph);
+                    let config = VertexicaConfig::default().with_partitions(p);
+                    run_program(&session, Arc::new(PageRank::new(5, 0.85)), &config)
+                        .unwrap()
+                })
+            },
+        );
+    }
+    group.finish();
+}
+
+fn bench_update_vs_replace(c: &mut Criterion) {
+    let graph = figure2_dataset("twitter", &micro_cfg());
+    let mut group = c.benchmark_group("ablation_update_vs_replace");
+    group.sample_size(10);
+    for (label, threshold) in
+        [("always_replace", 0.0f64), ("paper_0.2", 0.2), ("always_update", 1.01)]
+    {
+        group.bench_function(BenchmarkId::new("pagerank5", label), |b| {
+            b.iter(|| {
+                let session = fresh_session(&graph);
+                let config = VertexicaConfig::default().with_replace_threshold(threshold);
+                run_program(&session, Arc::new(PageRank::new(5, 0.85)), &config).unwrap()
+            })
+        });
+    }
+    group.finish();
+}
+
+fn bench_combiner(c: &mut Criterion) {
+    let graph = figure2_dataset("twitter", &micro_cfg());
+    let mut group = c.benchmark_group("ablation_combiner");
+    group.sample_size(10);
+    for (label, on) in [("combiner_on", true), ("combiner_off", false)] {
+        group.bench_function(BenchmarkId::new("pagerank5", label), |b| {
+            b.iter(|| {
+                let session = fresh_session(&graph);
+                let config = VertexicaConfig::default().with_combiner(on);
+                run_program(&session, Arc::new(PageRank::new(5, 0.85)), &config).unwrap()
+            })
+        });
+    }
+    group.finish();
+}
+
+criterion_group!(
+    benches,
+    bench_input_assembly,
+    bench_batching,
+    bench_update_vs_replace,
+    bench_combiner
+);
+criterion_main!(benches);

@@ -1,0 +1,59 @@
+//! Criterion version of Figure 2 at micro scale: each system × workload on a
+//! small fixed graph, so relative ordering is tracked by CI-friendly runs.
+//! (The full harness with the paper's dataset profiles is `bin/figure2`.)
+
+use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion};
+use std::time::Duration;
+use vertexica_bench::{
+    fresh_session, run_giraph, run_graphdb, run_vertexica_sql, run_vertexica_vertex,
+    HarnessConfig, Workload,
+};
+use vertexica_bench::figure2_dataset;
+use vertexica::VertexicaConfig;
+
+fn micro_cfg() -> HarnessConfig {
+    HarnessConfig {
+        scale: 0.002,
+        dnf_budget: Duration::from_secs(120),
+        graphdb_commit_latency: Duration::ZERO,
+        seed: 42,
+    }
+}
+
+fn bench_figure2_micro(c: &mut Criterion) {
+    let cfg = micro_cfg();
+    let graph = figure2_dataset("twitter", &cfg);
+    let mut group = c.benchmark_group("figure2_micro_twitter");
+    group.sample_size(10);
+
+    for workload in [Workload::PageRank, Workload::ShortestPaths] {
+        let wl = workload.label().replace(' ', "_");
+        group.bench_function(BenchmarkId::new("graphdb", &wl), |b| {
+            b.iter(|| std::hint::black_box(run_graphdb(&graph, workload, cfg.dnf_budget)))
+        });
+        group.bench_function(BenchmarkId::new("giraph", &wl), |b| {
+            // Raw engine (no overhead model) for microbenchmark stability.
+            b.iter(|| std::hint::black_box(run_giraph(&graph, workload, 0.0000001)))
+        });
+        group.bench_function(BenchmarkId::new("vertexica", &wl), |b| {
+            b.iter(|| {
+                let session = fresh_session(&graph);
+                std::hint::black_box(run_vertexica_vertex(
+                    &session,
+                    workload,
+                    &VertexicaConfig::default(),
+                ))
+            })
+        });
+        group.bench_function(BenchmarkId::new("vertexica_sql", &wl), |b| {
+            b.iter(|| {
+                let session = fresh_session(&graph);
+                std::hint::black_box(run_vertexica_sql(&session, workload))
+            })
+        });
+    }
+    group.finish();
+}
+
+criterion_group!(benches, bench_figure2_micro);
+criterion_main!(benches);

@@ -1,0 +1,128 @@
+//! Criterion micro-benchmarks for the SQL engine: the operators Vertexica's
+//! superstep machinery leans on (union-all assembly, hash join, aggregation).
+
+use criterion::{criterion_group, criterion_main, Criterion};
+use vertexica_sql::Database;
+
+fn db_with_graph(edges: usize) -> Database {
+    let db = Database::new();
+    db.execute("CREATE TABLE edge (src BIGINT NOT NULL, dst BIGINT NOT NULL, weight FLOAT) ORDER BY src")
+        .unwrap();
+    db.execute("CREATE TABLE vertex (id BIGINT NOT NULL, value FLOAT) ORDER BY id").unwrap();
+    // Bulk insert via multi-row VALUES in chunks.
+    let n_vertices = (edges / 8).max(16);
+    let mut chunk = Vec::new();
+    for i in 0..edges {
+        chunk.push(format!("({}, {}, 1.0)", i % n_vertices, (i * 7 + 1) % n_vertices));
+        if chunk.len() == 1024 {
+            db.execute(&format!("INSERT INTO edge VALUES {}", chunk.join(","))).unwrap();
+            chunk.clear();
+        }
+    }
+    if !chunk.is_empty() {
+        db.execute(&format!("INSERT INTO edge VALUES {}", chunk.join(","))).unwrap();
+    }
+    let mut chunk = Vec::new();
+    for v in 0..n_vertices {
+        chunk.push(format!("({v}, 0.5)"));
+        if chunk.len() == 1024 {
+            db.execute(&format!("INSERT INTO vertex VALUES {}", chunk.join(","))).unwrap();
+            chunk.clear();
+        }
+    }
+    if !chunk.is_empty() {
+        db.execute(&format!("INSERT INTO vertex VALUES {}", chunk.join(","))).unwrap();
+    }
+    db
+}
+
+fn bench_sql_operators(c: &mut Criterion) {
+    let db = db_with_graph(50_000);
+    let mut group = c.benchmark_group("sql_ops");
+    group.sample_size(15);
+
+    group.bench_function("filter_scan", |b| {
+        b.iter(|| {
+            std::hint::black_box(
+                db.query_int("SELECT COUNT(*) FROM edge WHERE src < 100").unwrap(),
+            )
+        })
+    });
+
+    group.bench_function("hash_join", |b| {
+        b.iter(|| {
+            std::hint::black_box(
+                db.query_int(
+                    "SELECT COUNT(*) FROM edge e JOIN vertex v ON e.src = v.id",
+                )
+                .unwrap(),
+            )
+        })
+    });
+
+    group.bench_function("group_by_aggregate", |b| {
+        b.iter(|| {
+            std::hint::black_box(
+                db.query("SELECT src, COUNT(*), SUM(weight) FROM edge GROUP BY src")
+                    .unwrap()
+                    .len(),
+            )
+        })
+    });
+
+    group.bench_function("union_all_assembly", |b| {
+        // The shape of Vertexica's table-union input assembly.
+        b.iter(|| {
+            std::hint::black_box(
+                db.query_int(
+                    "SELECT COUNT(*) FROM (\
+                     SELECT id AS vid FROM vertex \
+                     UNION ALL SELECT src FROM edge \
+                     UNION ALL SELECT dst FROM edge) u",
+                )
+                .unwrap(),
+            )
+        })
+    });
+
+    group.bench_function("order_by_limit", |b| {
+        b.iter(|| {
+            std::hint::black_box(
+                db.query("SELECT src, COUNT(*) AS d FROM edge GROUP BY src ORDER BY d DESC LIMIT 10")
+                    .unwrap()
+                    .len(),
+            )
+        })
+    });
+
+    group.finish();
+}
+
+fn bench_dml(c: &mut Criterion) {
+    let mut group = c.benchmark_group("sql_dml");
+    group.sample_size(10);
+    group.bench_function("ctas_swap_cycle", |b| {
+        let db = db_with_graph(20_000);
+        let mut i = 0u64;
+        b.iter(|| {
+            // The replace pattern: CTAS + swap + drop.
+            i += 1;
+            db.execute("CREATE TABLE vertex_new AS SELECT id, value + 1.0 AS value FROM vertex")
+                .unwrap();
+            db.catalog().swap("vertex", "vertex_new").unwrap();
+            db.catalog().drop_table_if_exists("vertex_new");
+        })
+    });
+    group.bench_function("update_in_place_1pct", |b| {
+        let db = db_with_graph(20_000);
+        b.iter(|| {
+            std::hint::black_box(
+                db.execute("UPDATE vertex SET value = value + 1.0 WHERE id < 25").unwrap(),
+            )
+        })
+    });
+    group.finish();
+}
+
+criterion_group!(benches, bench_sql_operators, bench_dml);
+criterion_main!(benches);

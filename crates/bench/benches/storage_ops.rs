@@ -1,0 +1,132 @@
+//! Criterion micro-benchmarks for the storage layer: scans over plain vs
+//! encoded segments, zone-map pruning, hash partitioning.
+
+use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion};
+use vertexica_storage::{
+    partition::hash_partition, Column, ColumnPredicate, PredicateOp, RecordBatch, Schema, Table,
+    TableOptions, Value,
+};
+use vertexica_storage::{DataType, Field};
+
+fn edge_schema() -> std::sync::Arc<Schema> {
+    Schema::new(vec![
+        Field::not_null("src", DataType::Int),
+        Field::not_null("dst", DataType::Int),
+        Field::new("etype", DataType::Str),
+    ])
+}
+
+fn build_table(rows: usize, compress: bool, sorted: bool) -> Table {
+    let opts = if sorted {
+        TableOptions::default().sorted_by(vec![0])
+    } else {
+        TableOptions::default()
+    };
+    let opts = if compress { opts.compressed() } else { opts };
+    let mut t = Table::new("edge", edge_schema(), opts.with_moveout_threshold(rows + 1));
+    let types = ["friend", "family", "classmate"];
+    for i in 0..rows {
+        t.insert_row(vec![
+            Value::Int((i / 8) as i64),
+            Value::Int((i % 997) as i64),
+            Value::Str(types[i % 3].to_string()),
+        ])
+        .unwrap();
+    }
+    t.moveout().unwrap();
+    t
+}
+
+fn bench_scans(c: &mut Criterion) {
+    let mut group = c.benchmark_group("storage_scan");
+    group.sample_size(20);
+    for (label, compress) in [("plain", false), ("encoded", true)] {
+        let table = build_table(100_000, compress, true);
+        group.bench_function(BenchmarkId::new("full_scan", label), |b| {
+            b.iter(|| {
+                let batches = table.scan(None, &[]).unwrap();
+                std::hint::black_box(RecordBatch::total_rows(&batches))
+            })
+        });
+    }
+    group.finish();
+}
+
+fn bench_zone_map_pruning(c: &mut Criterion) {
+    let mut group = c.benchmark_group("storage_pruning");
+    group.sample_size(20);
+    // Many segments, sorted on src: selective predicates should prune.
+    let mut t = Table::new(
+        "edge",
+        edge_schema(),
+        TableOptions::default().sorted_by(vec![0]).with_moveout_threshold(4096),
+    );
+    for i in 0..100_000usize {
+        t.insert_row(vec![
+            Value::Int(i as i64),
+            Value::Int((i % 997) as i64),
+            Value::Null,
+        ])
+        .unwrap();
+    }
+    t.moveout().unwrap();
+    let selective = vec![ColumnPredicate::new(0, PredicateOp::Gt, Value::Int(95_000))];
+    group.bench_function("selective_with_zone_maps", |b| {
+        b.iter(|| {
+            let batches = t.scan(None, &selective).unwrap();
+            std::hint::black_box(RecordBatch::total_rows(&batches))
+        })
+    });
+    group.bench_function("unselective", |b| {
+        let loose = vec![ColumnPredicate::new(0, PredicateOp::GtEq, Value::Int(0))];
+        b.iter(|| {
+            let batches = t.scan(None, &loose).unwrap();
+            std::hint::black_box(RecordBatch::total_rows(&batches))
+        })
+    });
+    group.finish();
+}
+
+fn bench_partitioning(c: &mut Criterion) {
+    let mut group = c.benchmark_group("storage_partition");
+    group.sample_size(20);
+    let table = build_table(100_000, false, false);
+    let batches = table.scan(None, &[]).unwrap();
+    for parts in [4usize, 16, 64] {
+        group.bench_with_input(BenchmarkId::new("hash_partition", parts), &parts, |b, &p| {
+            b.iter(|| {
+                let out = hash_partition(&batches, &[0], p).unwrap();
+                std::hint::black_box(out.len())
+            })
+        });
+    }
+    group.finish();
+}
+
+fn bench_column_ops(c: &mut Criterion) {
+    let mut group = c.benchmark_group("storage_column");
+    group.sample_size(20);
+    let values: Vec<Value> = (0..100_000).map(|i| Value::Int(i % 1000)).collect();
+    let col = Column::from_values(DataType::Int, &values).unwrap();
+    group.bench_function("hash_combine_100k", |b| {
+        b.iter(|| {
+            let mut h = vec![0u64; col.len()];
+            col.hash_combine(&mut h);
+            std::hint::black_box(h[0])
+        })
+    });
+    let indices: Vec<usize> = (0..50_000).map(|i| i * 2).collect();
+    group.bench_function("take_50k", |b| {
+        b.iter(|| std::hint::black_box(col.take(&indices).len()))
+    });
+    group.finish();
+}
+
+criterion_group!(
+    benches,
+    bench_scans,
+    bench_zone_map_pruning,
+    bench_partitioning,
+    bench_column_ops
+);
+criterion_main!(benches);

@@ -1,0 +1,103 @@
+//! Ablation benchmarks for the four §2.3 optimizations.
+//!
+//! ```text
+//! cargo run -p vertexica-bench --release --bin ablation -- \
+//!     [--exp union-vs-join|worker-scaling|batching|update-vs-replace|all]
+//! ```
+
+use std::sync::Arc;
+
+use vertexica::{run_program, InputMode, VertexicaConfig};
+use vertexica_algorithms::vc::{PageRank, Sssp};
+use vertexica_bench::{figure2_dataset, fresh_session, HarnessConfig};
+use vertexica_common::timer::Stopwatch;
+
+fn main() {
+    let args: Vec<String> = std::env::args().collect();
+    let exp = args
+        .iter()
+        .position(|a| a == "--exp")
+        .and_then(|i| args.get(i + 1))
+        .map(|s| s.as_str())
+        .unwrap_or("all")
+        .to_string();
+
+    let cfg = HarnessConfig::from_env();
+    // Ablations use the small (Twitter-profile) dataset so every variant —
+    // including the deliberately slow ones — completes.
+    let graph = figure2_dataset("twitter", &cfg);
+    println!(
+        "# Ablations on twitter profile at scale {}: {} nodes, {} edges\n",
+        cfg.scale,
+        graph.num_vertices,
+        graph.num_edges()
+    );
+
+    if exp == "union-vs-join" || exp == "all" {
+        println!("## §2.3 Table Unions: input assembly strategy (PageRank)");
+        for (label, mode) in [
+            ("table-union", InputMode::TableUnion),
+            ("3-way-join", InputMode::ThreeWayJoin),
+        ] {
+            let session = fresh_session(&graph);
+            let config = VertexicaConfig::default().with_input_mode(mode);
+            let sw = Stopwatch::start();
+            run_program(&session, Arc::new(PageRank::new(5, 0.85)), &config).unwrap();
+            println!("{label:<14} {:.3}s", sw.elapsed_secs());
+        }
+        println!();
+    }
+
+    if exp == "worker-scaling" || exp == "all" {
+        println!("## §2.3 Parallel Workers: worker count (PageRank)");
+        for workers in [1usize, 2, 4, 8] {
+            let session = fresh_session(&graph);
+            let config = VertexicaConfig::default().with_workers(workers);
+            let sw = Stopwatch::start();
+            run_program(&session, Arc::new(PageRank::new(5, 0.85)), &config).unwrap();
+            println!("workers={workers:<3} {:.3}s", sw.elapsed_secs());
+        }
+        println!();
+    }
+
+    if exp == "batching" || exp == "all" {
+        println!("## §2.3 Vertex Batching: partition count (PageRank)");
+        let cores = std::thread::available_parallelism().map(|n| n.get()).unwrap_or(4);
+        for partitions in [1, cores, cores * 4, cores * 16, cores * 64] {
+            let session = fresh_session(&graph);
+            let config = VertexicaConfig::default().with_partitions(partitions);
+            let sw = Stopwatch::start();
+            run_program(&session, Arc::new(PageRank::new(5, 0.85)), &config).unwrap();
+            println!("partitions={partitions:<6} {:.3}s", sw.elapsed_secs());
+        }
+        println!();
+    }
+
+    if exp == "update-vs-replace" || exp == "all" {
+        println!("## §2.3 Update vs Replace: threshold sweep");
+        println!("# PageRank touches every vertex each superstep (dense updates);");
+        println!("# SSSP touches a shrinking frontier (sparse updates).");
+        for (wl, dense) in [("pagerank", true), ("sssp", false)] {
+            for threshold in [0.0, 0.2, 0.5, 1.01] {
+                let session = fresh_session(&graph);
+                let config =
+                    VertexicaConfig::default().with_replace_threshold(threshold);
+                let sw = Stopwatch::start();
+                let stats = if dense {
+                    run_program(&session, Arc::new(PageRank::new(5, 0.85)), &config)
+                        .unwrap()
+                } else {
+                    run_program(&session, Arc::new(Sssp::new(0)), &config).unwrap()
+                };
+                let replaced =
+                    stats.per_superstep.iter().filter(|s| s.replaced).count();
+                println!(
+                    "{wl:<9} threshold={threshold:<5} {:.3}s  (replaced {}/{} supersteps)",
+                    sw.elapsed_secs(),
+                    replaced,
+                    stats.per_superstep.len()
+                );
+            }
+        }
+    }
+}

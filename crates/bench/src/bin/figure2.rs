@@ -1,0 +1,43 @@
+//! Reproduces the paper's Figure 2: PageRank and Shortest Paths across
+//! Graph Database / Giraph / Vertexica / Vertexica (SQL) on the three
+//! datasets.
+//!
+//! ```text
+//! cargo run -p vertexica-bench --release --bin figure2 -- [--panel a|b|both]
+//! VERTEXICA_SCALE=0.05 cargo run -p vertexica-bench --release --bin figure2
+//! ```
+
+use vertexica_bench::{figure2_panel, format_figure2, HarnessConfig, Workload};
+
+fn main() {
+    let args: Vec<String> = std::env::args().collect();
+    let panel = args
+        .iter()
+        .position(|a| a == "--panel")
+        .and_then(|i| args.get(i + 1))
+        .map(|s| s.as_str())
+        .unwrap_or("both")
+        .to_string();
+
+    let cfg = HarnessConfig::from_env();
+    println!(
+        "# Figure 2 reproduction — scale {} of paper dataset sizes, DNF budget {:?}",
+        cfg.scale, cfg.dnf_budget
+    );
+    println!(
+        "# paper (full scale): PageRank  Twitter 589.0/47.0/10.9/3.3  GPlus -/53.5/47.7/4.2  LiveJournal -/190.4/321.5/29.4"
+    );
+    println!(
+        "# paper (full scale): SSSP      Twitter 395.6/43.7/10.5/3.0  GPlus -/50.8/23.8/3.9  LiveJournal -/115.5/146.3/54.4"
+    );
+    println!();
+
+    if panel == "a" || panel == "both" {
+        let rows = figure2_panel(Workload::PageRank, &cfg);
+        println!("{}", format_figure2(Workload::PageRank, &rows));
+    }
+    if panel == "b" || panel == "both" {
+        let rows = figure2_panel(Workload::ShortestPaths, &cfg);
+        println!("{}", format_figure2(Workload::ShortestPaths, &rows));
+    }
+}

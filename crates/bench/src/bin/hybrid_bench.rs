@@ -1,0 +1,66 @@
+//! Times the §3.2 1-hop SQL algorithms and hybrid analyses.
+//!
+//! ```text
+//! cargo run -p vertexica-bench --release --bin hybrid_bench
+//! ```
+
+use vertexica_algorithms::{hybrid, sqlalgo};
+use vertexica_bench::{figure2_dataset, fresh_session, HarnessConfig};
+use vertexica_common::timer::Stopwatch;
+
+fn main() {
+    let cfg = HarnessConfig::from_env();
+    let graph = figure2_dataset("twitter", &cfg);
+    println!(
+        "# 1-hop + hybrid analyses on twitter profile at scale {}: {} nodes, {} edges\n",
+        cfg.scale,
+        graph.num_vertices,
+        graph.num_edges()
+    );
+    let session = fresh_session(&graph);
+
+    let sw = Stopwatch::start();
+    let triangles = sqlalgo::triangle_count_sql(&session).unwrap();
+    println!("triangle counting      {:.3}s  ({} triangles)", sw.elapsed_secs(), triangles);
+
+    let sw = Stopwatch::start();
+    let overlap = sqlalgo::strong_overlap_sql(&session, 3).unwrap();
+    println!(
+        "strong overlap (k=3)   {:.3}s  ({} pairs)",
+        sw.elapsed_secs(),
+        overlap.len()
+    );
+
+    let sw = Stopwatch::start();
+    let ties = sqlalgo::weak_ties_sql(&session).unwrap();
+    let bridges = ties.iter().filter(|&&(_, c)| c > 0).count();
+    println!(
+        "weak ties              {:.3}s  ({} bridging nodes)",
+        sw.elapsed_secs(),
+        bridges
+    );
+
+    let sw = Stopwatch::start();
+    let global = sqlalgo::global_clustering_sql(&session).unwrap();
+    println!(
+        "global clustering      {:.3}s  (coefficient {:.4})",
+        sw.elapsed_secs(),
+        global
+    );
+
+    let sw = Stopwatch::start();
+    let important = hybrid::important_bridges(&session, 5, 0.0, 1).unwrap();
+    println!(
+        "important bridges      {:.3}s  ({} nodes)",
+        sw.elapsed_secs(),
+        important.len()
+    );
+
+    let sw = Stopwatch::start();
+    let (source, _) = hybrid::sssp_from_most_clustered(&session).unwrap();
+    println!(
+        "sssp from most-clustered {:.3}s (source {})",
+        sw.elapsed_secs(),
+        source
+    );
+}

@@ -1,0 +1,286 @@
+//! Value codecs for vertex and message payloads.
+//!
+//! Vertexica stores vertex values and message values in relational
+//! `VARBINARY` columns; the Giraph baseline serializes messages between
+//! partitions (mirroring Hadoop `Writable`s). [`VertexData`] is the single
+//! encoding contract both use, so a `VertexProgram` runs unchanged on either
+//! engine.
+//!
+//! Encodings are little-endian and self-delimiting only where necessary
+//! (strings and vectors carry a length prefix).
+
+use bytes::{Buf, BufMut};
+
+/// A value that can round-trip through a byte buffer.
+pub trait VertexData: Sized {
+    /// Appends the encoding of `self` to `buf`.
+    fn encode(&self, buf: &mut Vec<u8>);
+    /// Decodes a value from the front of `buf`, advancing it.
+    /// Returns `None` on malformed input.
+    fn decode(buf: &mut &[u8]) -> Option<Self>;
+
+    /// Convenience: encode into a fresh buffer.
+    fn to_bytes(&self) -> Vec<u8> {
+        let mut buf = Vec::new();
+        self.encode(&mut buf);
+        buf
+    }
+
+    /// Convenience: decode from a complete buffer, requiring full consumption.
+    fn from_bytes(mut buf: &[u8]) -> Option<Self> {
+        let v = Self::decode(&mut buf)?;
+        if buf.is_empty() {
+            Some(v)
+        } else {
+            None
+        }
+    }
+}
+
+impl VertexData for f64 {
+    fn encode(&self, buf: &mut Vec<u8>) {
+        buf.put_f64_le(*self);
+    }
+
+    fn decode(buf: &mut &[u8]) -> Option<Self> {
+        if buf.len() < 8 {
+            return None;
+        }
+        Some(buf.get_f64_le())
+    }
+}
+
+impl VertexData for u64 {
+    fn encode(&self, buf: &mut Vec<u8>) {
+        buf.put_u64_le(*self);
+    }
+
+    fn decode(buf: &mut &[u8]) -> Option<Self> {
+        if buf.len() < 8 {
+            return None;
+        }
+        Some(buf.get_u64_le())
+    }
+}
+
+impl VertexData for i64 {
+    fn encode(&self, buf: &mut Vec<u8>) {
+        buf.put_i64_le(*self);
+    }
+
+    fn decode(buf: &mut &[u8]) -> Option<Self> {
+        if buf.len() < 8 {
+            return None;
+        }
+        Some(buf.get_i64_le())
+    }
+}
+
+impl VertexData for u32 {
+    fn encode(&self, buf: &mut Vec<u8>) {
+        buf.put_u32_le(*self);
+    }
+
+    fn decode(buf: &mut &[u8]) -> Option<Self> {
+        if buf.len() < 4 {
+            return None;
+        }
+        Some(buf.get_u32_le())
+    }
+}
+
+impl VertexData for bool {
+    fn encode(&self, buf: &mut Vec<u8>) {
+        buf.put_u8(*self as u8);
+    }
+
+    fn decode(buf: &mut &[u8]) -> Option<Self> {
+        if buf.is_empty() {
+            return None;
+        }
+        match buf.get_u8() {
+            0 => Some(false),
+            1 => Some(true),
+            _ => None,
+        }
+    }
+}
+
+impl VertexData for () {
+    fn encode(&self, _buf: &mut Vec<u8>) {}
+
+    fn decode(_buf: &mut &[u8]) -> Option<Self> {
+        Some(())
+    }
+}
+
+impl VertexData for String {
+    fn encode(&self, buf: &mut Vec<u8>) {
+        buf.put_u32_le(self.len() as u32);
+        buf.extend_from_slice(self.as_bytes());
+    }
+
+    fn decode(buf: &mut &[u8]) -> Option<Self> {
+        if buf.len() < 4 {
+            return None;
+        }
+        let len = buf.get_u32_le() as usize;
+        if buf.len() < len {
+            return None;
+        }
+        let s = String::from_utf8(buf[..len].to_vec()).ok()?;
+        buf.advance(len);
+        Some(s)
+    }
+}
+
+impl<T: VertexData> VertexData for Vec<T> {
+    fn encode(&self, buf: &mut Vec<u8>) {
+        buf.put_u32_le(self.len() as u32);
+        for item in self {
+            item.encode(buf);
+        }
+    }
+
+    fn decode(buf: &mut &[u8]) -> Option<Self> {
+        if buf.len() < 4 {
+            return None;
+        }
+        let len = buf.get_u32_le() as usize;
+        // Guard against absurd length prefixes on malformed input.
+        if len > buf.len().saturating_mul(8).saturating_add(1) {
+            return None;
+        }
+        let mut out = Vec::with_capacity(len.min(1 << 20));
+        for _ in 0..len {
+            out.push(T::decode(buf)?);
+        }
+        Some(out)
+    }
+}
+
+impl<A: VertexData, B: VertexData> VertexData for (A, B) {
+    fn encode(&self, buf: &mut Vec<u8>) {
+        self.0.encode(buf);
+        self.1.encode(buf);
+    }
+
+    fn decode(buf: &mut &[u8]) -> Option<Self> {
+        let a = A::decode(buf)?;
+        let b = B::decode(buf)?;
+        Some((a, b))
+    }
+}
+
+impl<A: VertexData, B: VertexData, C: VertexData> VertexData for (A, B, C) {
+    fn encode(&self, buf: &mut Vec<u8>) {
+        self.0.encode(buf);
+        self.1.encode(buf);
+        self.2.encode(buf);
+    }
+
+    fn decode(buf: &mut &[u8]) -> Option<Self> {
+        let a = A::decode(buf)?;
+        let b = B::decode(buf)?;
+        let c = C::decode(buf)?;
+        Some((a, b, c))
+    }
+}
+
+impl<T: VertexData> VertexData for Option<T> {
+    fn encode(&self, buf: &mut Vec<u8>) {
+        match self {
+            None => buf.put_u8(0),
+            Some(v) => {
+                buf.put_u8(1);
+                v.encode(buf);
+            }
+        }
+    }
+
+    fn decode(buf: &mut &[u8]) -> Option<Self> {
+        if buf.is_empty() {
+            return None;
+        }
+        match buf.get_u8() {
+            0 => Some(None),
+            1 => Some(Some(T::decode(buf)?)),
+            _ => None,
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn roundtrip<T: VertexData + PartialEq + std::fmt::Debug>(v: T) {
+        let bytes = v.to_bytes();
+        let back = T::from_bytes(&bytes).expect("decode");
+        assert_eq!(v, back);
+    }
+
+    #[test]
+    fn primitives_roundtrip() {
+        roundtrip(3.25f64);
+        roundtrip(f64::NEG_INFINITY);
+        roundtrip(u64::MAX);
+        roundtrip(-42i64);
+        roundtrip(7u32);
+        roundtrip(true);
+        roundtrip(false);
+        roundtrip(());
+    }
+
+    #[test]
+    fn strings_roundtrip() {
+        roundtrip(String::new());
+        roundtrip("hello vertexica".to_string());
+        roundtrip("ünïcode ✓".to_string());
+    }
+
+    #[test]
+    fn vectors_roundtrip() {
+        roundtrip(Vec::<f64>::new());
+        roundtrip(vec![1.0f64, 2.0, 3.0]);
+        roundtrip(vec![vec![1u64, 2], vec![], vec![3]]);
+    }
+
+    #[test]
+    fn tuples_roundtrip() {
+        roundtrip((1.5f64, 2u64));
+        roundtrip((1u64, "x".to_string(), vec![0.5f64]));
+    }
+
+    #[test]
+    fn options_roundtrip() {
+        roundtrip(Option::<f64>::None);
+        roundtrip(Some(9.75f64));
+    }
+
+    #[test]
+    fn from_bytes_rejects_trailing_garbage() {
+        let mut bytes = 1.0f64.to_bytes();
+        bytes.push(0xFF);
+        assert!(f64::from_bytes(&bytes).is_none());
+    }
+
+    #[test]
+    fn decode_rejects_truncation() {
+        let bytes = "hello".to_string().to_bytes();
+        assert!(String::from_bytes(&bytes[..bytes.len() - 1]).is_none());
+        assert!(f64::from_bytes(&[0u8; 4]).is_none());
+    }
+
+    #[test]
+    fn decode_rejects_bogus_length_prefix() {
+        // Length prefix claims u32::MAX elements but provides none.
+        let bytes = u32::MAX.to_le_bytes().to_vec();
+        assert!(Vec::<u64>::from_bytes(&bytes).is_none());
+    }
+
+    #[test]
+    fn bool_rejects_invalid_tag() {
+        assert!(bool::from_bytes(&[2]).is_none());
+    }
+}

@@ -1,0 +1,233 @@
+//! Graph model: vertex ids, weighted edges, edge lists, CSR adjacency.
+//!
+//! The paper stores graphs in relational tables; engines outside the relational
+//! core (the Giraph baseline, the graph-database baseline, the reference
+//! implementations) consume the same logical graph through [`EdgeList`] /
+//! [`Adjacency`], so every Figure-2 contender analyses an identical input.
+
+use crate::hash::FxHashSet;
+
+/// Vertex identifier. SNAP datasets and the paper's schema use 64-bit ids.
+pub type VertexId = u64;
+
+/// A directed, weighted edge.
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub struct Edge {
+    pub src: VertexId,
+    pub dst: VertexId,
+    pub weight: f64,
+}
+
+impl Edge {
+    pub fn new(src: VertexId, dst: VertexId) -> Self {
+        Edge { src, dst, weight: 1.0 }
+    }
+
+    pub fn weighted(src: VertexId, dst: VertexId, weight: f64) -> Self {
+        Edge { src, dst, weight }
+    }
+}
+
+/// A graph as a flat list of directed edges over vertices `0..num_vertices`.
+#[derive(Debug, Clone, Default)]
+pub struct EdgeList {
+    pub num_vertices: u64,
+    pub edges: Vec<Edge>,
+}
+
+impl EdgeList {
+    pub fn new(num_vertices: u64, edges: Vec<Edge>) -> Self {
+        EdgeList { num_vertices, edges }
+    }
+
+    /// Builds an edge list from `(src, dst)` pairs, inferring the vertex count
+    /// as `max id + 1`.
+    pub fn from_pairs(pairs: impl IntoIterator<Item = (VertexId, VertexId)>) -> Self {
+        let edges: Vec<Edge> = pairs
+            .into_iter()
+            .map(|(s, d)| Edge::new(s, d))
+            .collect();
+        let num_vertices = edges
+            .iter()
+            .map(|e| e.src.max(e.dst) + 1)
+            .max()
+            .unwrap_or(0);
+        EdgeList { num_vertices, edges }
+    }
+
+    pub fn num_edges(&self) -> u64 {
+        self.edges.len() as u64
+    }
+
+    /// Returns a copy with every edge mirrored (makes a directed graph
+    /// undirected). Self-loops are not duplicated.
+    pub fn undirected(&self) -> EdgeList {
+        let mut edges = Vec::with_capacity(self.edges.len() * 2);
+        for e in &self.edges {
+            edges.push(*e);
+            if e.src != e.dst {
+                edges.push(Edge::weighted(e.dst, e.src, e.weight));
+            }
+        }
+        EdgeList { num_vertices: self.num_vertices, edges }
+    }
+
+    /// Removes duplicate `(src, dst)` pairs, keeping the first occurrence.
+    pub fn dedup(&self) -> EdgeList {
+        let mut seen: FxHashSet<(VertexId, VertexId)> = FxHashSet::default();
+        let edges: Vec<Edge> = self
+            .edges
+            .iter()
+            .filter(|e| seen.insert((e.src, e.dst)))
+            .copied()
+            .collect();
+        EdgeList { num_vertices: self.num_vertices, edges }
+    }
+
+    /// Out-degree of every vertex.
+    pub fn out_degrees(&self) -> Vec<u64> {
+        let mut deg = vec![0u64; self.num_vertices as usize];
+        for e in &self.edges {
+            deg[e.src as usize] += 1;
+        }
+        deg
+    }
+
+    /// In-degree of every vertex.
+    pub fn in_degrees(&self) -> Vec<u64> {
+        let mut deg = vec![0u64; self.num_vertices as usize];
+        for e in &self.edges {
+            deg[e.dst as usize] += 1;
+        }
+        deg
+    }
+}
+
+/// Compressed sparse row adjacency: out-neighbours of vertex `v` are
+/// `targets[offsets[v]..offsets[v + 1]]`.
+#[derive(Debug, Clone)]
+pub struct Adjacency {
+    pub num_vertices: u64,
+    offsets: Vec<usize>,
+    targets: Vec<VertexId>,
+    weights: Vec<f64>,
+}
+
+impl Adjacency {
+    pub fn from_edge_list(g: &EdgeList) -> Self {
+        let n = g.num_vertices as usize;
+        let mut counts = vec![0usize; n + 1];
+        for e in &g.edges {
+            counts[e.src as usize + 1] += 1;
+        }
+        for i in 0..n {
+            counts[i + 1] += counts[i];
+        }
+        let offsets = counts.clone();
+        let mut cursor = counts;
+        let mut targets = vec![0 as VertexId; g.edges.len()];
+        let mut weights = vec![0f64; g.edges.len()];
+        for e in &g.edges {
+            let pos = cursor[e.src as usize];
+            targets[pos] = e.dst;
+            weights[pos] = e.weight;
+            cursor[e.src as usize] += 1;
+        }
+        Adjacency { num_vertices: g.num_vertices, offsets, targets, weights }
+    }
+
+    #[inline]
+    pub fn neighbors(&self, v: VertexId) -> &[VertexId] {
+        let v = v as usize;
+        &self.targets[self.offsets[v]..self.offsets[v + 1]]
+    }
+
+    #[inline]
+    pub fn neighbor_weights(&self, v: VertexId) -> &[f64] {
+        let v = v as usize;
+        &self.weights[self.offsets[v]..self.offsets[v + 1]]
+    }
+
+    #[inline]
+    pub fn out_degree(&self, v: VertexId) -> usize {
+        let v = v as usize;
+        self.offsets[v + 1] - self.offsets[v]
+    }
+
+    pub fn num_edges(&self) -> usize {
+        self.targets.len()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn diamond() -> EdgeList {
+        // 0 -> 1, 0 -> 2, 1 -> 3, 2 -> 3
+        EdgeList::from_pairs([(0, 1), (0, 2), (1, 3), (2, 3)])
+    }
+
+    #[test]
+    fn from_pairs_infers_vertex_count() {
+        let g = diamond();
+        assert_eq!(g.num_vertices, 4);
+        assert_eq!(g.num_edges(), 4);
+    }
+
+    #[test]
+    fn empty_edge_list() {
+        let g = EdgeList::from_pairs(std::iter::empty());
+        assert_eq!(g.num_vertices, 0);
+        assert_eq!(g.num_edges(), 0);
+    }
+
+    #[test]
+    fn degrees() {
+        let g = diamond();
+        assert_eq!(g.out_degrees(), vec![2, 1, 1, 0]);
+        assert_eq!(g.in_degrees(), vec![0, 1, 1, 2]);
+    }
+
+    #[test]
+    fn undirected_doubles_edges() {
+        let g = diamond().undirected();
+        assert_eq!(g.num_edges(), 8);
+        assert_eq!(g.out_degrees(), vec![2, 2, 2, 2]);
+    }
+
+    #[test]
+    fn undirected_keeps_single_self_loop() {
+        let g = EdgeList::from_pairs([(0, 0), (0, 1)]).undirected();
+        assert_eq!(g.num_edges(), 3);
+    }
+
+    #[test]
+    fn dedup_removes_duplicates() {
+        let g = EdgeList::from_pairs([(0, 1), (0, 1), (1, 2)]).dedup();
+        assert_eq!(g.num_edges(), 2);
+    }
+
+    #[test]
+    fn csr_adjacency_matches_edge_list() {
+        let g = diamond();
+        let adj = Adjacency::from_edge_list(&g);
+        assert_eq!(adj.neighbors(0), &[1, 2]);
+        assert_eq!(adj.neighbors(1), &[3]);
+        assert_eq!(adj.neighbors(2), &[3]);
+        assert_eq!(adj.neighbors(3), &[] as &[VertexId]);
+        assert_eq!(adj.out_degree(0), 2);
+        assert_eq!(adj.num_edges(), 4);
+    }
+
+    #[test]
+    fn csr_preserves_weights() {
+        let g = EdgeList::new(
+            2,
+            vec![Edge::weighted(0, 1, 2.5), Edge::weighted(1, 0, 0.5)],
+        );
+        let adj = Adjacency::from_edge_list(&g);
+        assert_eq!(adj.neighbor_weights(0), &[2.5]);
+        assert_eq!(adj.neighbor_weights(1), &[0.5]);
+    }
+}

@@ -1,0 +1,161 @@
+//! FxHash-style hashing and deterministic pseudo-random utilities.
+//!
+//! Integer-keyed hash maps (vertex ids, column dictionaries, join keys) are on
+//! the hot path of every engine in this workspace. SipHash's DoS resistance is
+//! irrelevant here, so we use the multiply-rotate hash popularized by rustc
+//! (`FxHasher`). Hand-rolled because `rustc-hash` is not on the sanctioned
+//! dependency list.
+
+use std::hash::{BuildHasherDefault, Hasher};
+
+/// A fast, non-cryptographic hasher (the rustc `FxHasher` algorithm).
+#[derive(Default, Clone)]
+pub struct FxHasher {
+    hash: u64,
+}
+
+const SEED: u64 = 0x51_7c_c1_b7_27_22_0a_95;
+
+impl FxHasher {
+    #[inline]
+    fn add_to_hash(&mut self, word: u64) {
+        self.hash = (self.hash.rotate_left(5) ^ word).wrapping_mul(SEED);
+    }
+}
+
+impl Hasher for FxHasher {
+    #[inline]
+    fn finish(&self) -> u64 {
+        self.hash
+    }
+
+    #[inline]
+    fn write(&mut self, bytes: &[u8]) {
+        let mut chunks = bytes.chunks_exact(8);
+        for chunk in &mut chunks {
+            let mut buf = [0u8; 8];
+            buf.copy_from_slice(chunk);
+            self.add_to_hash(u64::from_le_bytes(buf));
+        }
+        let rem = chunks.remainder();
+        if !rem.is_empty() {
+            let mut buf = [0u8; 8];
+            buf[..rem.len()].copy_from_slice(rem);
+            self.add_to_hash(u64::from_le_bytes(buf) | ((rem.len() as u64) << 56));
+        }
+    }
+
+    #[inline]
+    fn write_u8(&mut self, n: u8) {
+        self.add_to_hash(n as u64);
+    }
+
+    #[inline]
+    fn write_u32(&mut self, n: u32) {
+        self.add_to_hash(n as u64);
+    }
+
+    #[inline]
+    fn write_u64(&mut self, n: u64) {
+        self.add_to_hash(n);
+    }
+
+    #[inline]
+    fn write_usize(&mut self, n: usize) {
+        self.add_to_hash(n as u64);
+    }
+
+    #[inline]
+    fn write_i64(&mut self, n: i64) {
+        self.add_to_hash(n as u64);
+    }
+}
+
+/// `HashMap` keyed with [`FxHasher`].
+pub type FxHashMap<K, V> = std::collections::HashMap<K, V, BuildHasherDefault<FxHasher>>;
+/// `HashSet` keyed with [`FxHasher`].
+pub type FxHashSet<K> = std::collections::HashSet<K, BuildHasherDefault<FxHasher>>;
+
+/// One step of the splitmix64 generator; returns the next state and an output.
+///
+/// Used wherever deterministic, seedable pseudo-randomness is needed without a
+/// `rand` dependency (e.g. collaborative-filtering latent-vector init keyed by
+/// vertex id, hash partitioner mixing).
+#[inline]
+pub fn splitmix64(state: &mut u64) -> u64 {
+    *state = state.wrapping_add(0x9e37_79b9_7f4a_7c15);
+    let mut z = *state;
+    z = (z ^ (z >> 30)).wrapping_mul(0xbf58_476d_1ce4_e5b9);
+    z = (z ^ (z >> 27)).wrapping_mul(0x94d0_49bb_1331_11eb);
+    z ^ (z >> 31)
+}
+
+/// Mix a single 64-bit value into a well-distributed hash (stateless).
+#[inline]
+pub fn mix64(x: u64) -> u64 {
+    let mut s = x;
+    splitmix64(&mut s)
+}
+
+/// Deterministic f64 in `[0, 1)` derived from a seed (e.g. a vertex id).
+#[inline]
+pub fn unit_f64(seed: u64) -> f64 {
+    (mix64(seed) >> 11) as f64 / (1u64 << 53) as f64
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn fxhash_map_basic() {
+        let mut m: FxHashMap<u64, u64> = FxHashMap::default();
+        for i in 0..1000u64 {
+            m.insert(i, i * 2);
+        }
+        assert_eq!(m.len(), 1000);
+        assert_eq!(m[&500], 1000);
+    }
+
+    #[test]
+    fn fxhash_distinguishes_similar_keys() {
+        use std::hash::{BuildHasher, BuildHasherDefault};
+        let b: BuildHasherDefault<FxHasher> = BuildHasherDefault::default();
+        let h1 = b.hash_one(1u64);
+        let h2 = b.hash_one(2u64);
+        assert_ne!(h1, h2);
+    }
+
+    #[test]
+    fn fxhash_handles_unaligned_bytes() {
+        use std::hash::Hasher;
+        let mut h1 = FxHasher::default();
+        h1.write(b"hello");
+        let mut h2 = FxHasher::default();
+        h2.write(b"hellp");
+        assert_ne!(h1.finish(), h2.finish());
+    }
+
+    #[test]
+    fn splitmix_is_deterministic() {
+        let mut a = 42u64;
+        let mut b = 42u64;
+        assert_eq!(splitmix64(&mut a), splitmix64(&mut b));
+        assert_eq!(a, b);
+    }
+
+    #[test]
+    fn unit_f64_in_range() {
+        for seed in 0..10_000u64 {
+            let v = unit_f64(seed);
+            assert!((0.0..1.0).contains(&v), "seed {seed} gave {v}");
+        }
+    }
+
+    #[test]
+    fn unit_f64_roughly_uniform() {
+        let n = 100_000u64;
+        let mean: f64 = (0..n).map(unit_f64).sum::<f64>() / n as f64;
+        assert!((mean - 0.5).abs() < 0.01, "mean was {mean}");
+    }
+}

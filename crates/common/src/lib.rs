@@ -1,0 +1,27 @@
+//! Shared graph model and Pregel-style API for the Vertexica reproduction.
+//!
+//! This crate holds everything that must be visible to more than one engine:
+//!
+//! * the graph model ([`VertexId`], [`Edge`], [`EdgeList`], [`Adjacency`]),
+//! * the vertex-centric programming API ([`VertexProgram`], [`VertexContext`]),
+//!   which is shared by the relational Vertexica engine, the Giraph-like BSP
+//!   baseline and the reference implementations so that the *same* user program
+//!   can be executed and compared across engines — exactly the comparison the
+//!   paper's Figure 2 performs,
+//! * value codecs ([`VertexData`]) used to store vertex/message values in
+//!   relational `VARBINARY` columns and in serialized BSP message buffers,
+//! * small utilities: an FxHash-style fast hasher for integer-keyed maps and a
+//!   deterministic `splitmix64` generator.
+
+pub mod codec;
+pub mod graph;
+pub mod hash;
+pub mod pregel;
+pub mod timer;
+
+pub use codec::VertexData;
+pub use graph::{Adjacency, Edge, EdgeList, VertexId};
+pub use hash::{FxHashMap, FxHashSet};
+pub use pregel::{
+    AggKind, AggregatorSpec, InitContext, VertexContext, VertexProgram,
+};

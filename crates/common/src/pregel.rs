@@ -1,0 +1,235 @@
+//! The vertex-centric programming API ("think like a vertex").
+//!
+//! This mirrors the Pregel API that the paper exposes on top of SQL
+//! (§2.1–§2.2): programmers supply a *vertex compute function*; the engine is
+//! responsible for superstep scheduling, message delivery and halting. The
+//! worker exposes `getVertexValue()`, `getMessages()`, `getOutEdges()`,
+//! `modifyVertexValue()`, `sendMessage()` and `voteToHalt()` — here these are
+//! methods on [`VertexContext`].
+//!
+//! The same [`VertexProgram`] implementation runs on:
+//!
+//! * `vertexica` — the relational engine (coordinator stored-procedure plus
+//!   worker UDFs over vertex/edge/message tables),
+//! * `vertexica-giraph` — the in-memory BSP baseline,
+//! * `vertexica-algorithms::reference` — straight-line in-memory loops used to
+//!   validate both.
+
+use crate::codec::VertexData;
+use crate::graph::{Edge, VertexId};
+
+/// Semantics of a global aggregator (Pregel-style).
+///
+/// Aggregator values written in superstep `S` are visible to all vertices in
+/// superstep `S + 1`.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum AggKind {
+    Sum,
+    Min,
+    Max,
+}
+
+impl AggKind {
+    /// Identity element for the aggregation.
+    pub fn identity(self) -> f64 {
+        match self {
+            AggKind::Sum => 0.0,
+            AggKind::Min => f64::INFINITY,
+            AggKind::Max => f64::NEG_INFINITY,
+        }
+    }
+
+    /// Combines two partial aggregates.
+    pub fn combine(self, a: f64, b: f64) -> f64 {
+        match self {
+            AggKind::Sum => a + b,
+            AggKind::Min => a.min(b),
+            AggKind::Max => a.max(b),
+        }
+    }
+}
+
+/// Declaration of a global aggregator used by a program.
+#[derive(Debug, Clone)]
+pub struct AggregatorSpec {
+    pub name: &'static str,
+    pub kind: AggKind,
+}
+
+/// Read-only information available when a vertex value is initialized
+/// (superstep "-1", before the first compute call).
+#[derive(Debug, Clone, Copy)]
+pub struct InitContext {
+    pub num_vertices: u64,
+    pub out_degree: u64,
+}
+
+/// The per-vertex view of the engine during `compute`.
+///
+/// Object-safe so engines can hand programs a `&mut dyn VertexContext<V, M>`.
+pub trait VertexContext<V, M> {
+    /// Id of the vertex being computed.
+    fn vertex_id(&self) -> VertexId;
+    /// Current superstep, starting at 0.
+    fn superstep(&self) -> u64;
+    /// Total number of vertices in the graph.
+    fn num_vertices(&self) -> u64;
+    /// Current value of this vertex (paper: `getVertexValue()`).
+    fn value(&self) -> &V;
+    /// Replaces the value of this vertex (paper: `modifyVertexValue()`).
+    fn set_value(&mut self, value: V);
+    /// Outgoing edges of this vertex (paper: `getOutEdges()`).
+    fn out_edges(&self) -> &[Edge];
+    /// Sends `msg` to vertex `to`, delivered next superstep (paper:
+    /// `sendMessage()`).
+    fn send_message(&mut self, to: VertexId, msg: M);
+    /// Halts this vertex; it stays inactive until a message re-activates it
+    /// (paper: `voteToHalt()`).
+    fn vote_to_halt(&mut self);
+    /// Contributes `value` to the named global aggregator for this superstep.
+    fn aggregate(&mut self, name: &str, value: f64);
+    /// Reads the named aggregator value from the *previous* superstep.
+    fn read_aggregate(&self, name: &str) -> Option<f64>;
+}
+
+/// Convenience helpers layered over the object-safe core API.
+pub trait VertexContextExt<V, M: Clone>: VertexContext<V, M> {
+    /// Sends `msg` to every out-neighbour.
+    fn send_to_all_neighbors(&mut self, msg: M) {
+        let targets: Vec<VertexId> = self.out_edges().iter().map(|e| e.dst).collect();
+        for t in targets {
+            self.send_message(t, msg.clone());
+        }
+    }
+
+    /// Out-degree of this vertex.
+    fn out_degree(&self) -> usize {
+        self.out_edges().len()
+    }
+}
+
+impl<V, M: Clone, C: VertexContext<V, M> + ?Sized> VertexContextExt<V, M> for C {}
+
+/// A user-supplied vertex program (the paper's "vertex computation", §2.2).
+///
+/// The engine calls [`VertexProgram::compute`] once per superstep for every
+/// *active* vertex. A vertex is active in superstep 0, and in later supersteps
+/// iff it received a message or has not voted to halt. The computation
+/// terminates when every vertex has halted and no messages are in flight, or
+/// when [`VertexProgram::max_supersteps`] is reached.
+pub trait VertexProgram: Send + Sync {
+    /// Per-vertex state type, stored in the relational vertex table.
+    type Value: VertexData + Clone + Send + Sync;
+    /// Message type, stored in the relational message table.
+    type Message: VertexData + Clone + Send + Sync;
+
+    /// Produces the initial value of a vertex.
+    fn initial_value(&self, id: VertexId, init: &InitContext) -> Self::Value;
+
+    /// The vertex compute function.
+    fn compute(
+        &self,
+        ctx: &mut dyn VertexContext<Self::Value, Self::Message>,
+        messages: &[Self::Message],
+    );
+
+    /// Optional associative/commutative message combiner. When supplied,
+    /// engines may fold messages addressed to the same vertex eagerly,
+    /// shrinking the message table / message queues.
+    fn combine(&self, _a: &Self::Message, _b: &Self::Message) -> Option<Self::Message> {
+        None
+    }
+
+    /// Global aggregators this program uses.
+    fn aggregators(&self) -> Vec<AggregatorSpec> {
+        Vec::new()
+    }
+
+    /// Upper bound on supersteps (safety net; `u64::MAX` = run to fixpoint).
+    fn max_supersteps(&self) -> u64 {
+        u64::MAX
+    }
+
+    /// Human-readable name used by harnesses and logs.
+    fn name(&self) -> &'static str {
+        "vertex-program"
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn agg_kind_identities() {
+        assert_eq!(AggKind::Sum.identity(), 0.0);
+        assert_eq!(AggKind::Min.identity(), f64::INFINITY);
+        assert_eq!(AggKind::Max.identity(), f64::NEG_INFINITY);
+    }
+
+    #[test]
+    fn agg_kind_combines() {
+        assert_eq!(AggKind::Sum.combine(2.0, 3.0), 5.0);
+        assert_eq!(AggKind::Min.combine(2.0, 3.0), 2.0);
+        assert_eq!(AggKind::Max.combine(2.0, 3.0), 3.0);
+    }
+
+    #[test]
+    fn combining_with_identity_is_neutral() {
+        for kind in [AggKind::Sum, AggKind::Min, AggKind::Max] {
+            assert_eq!(kind.combine(kind.identity(), 7.5), 7.5);
+        }
+    }
+
+    /// A minimal in-test context to exercise the ext trait's default methods.
+    struct TestCtx {
+        edges: Vec<Edge>,
+        sent: Vec<(VertexId, f64)>,
+        halted: bool,
+        value: f64,
+    }
+
+    impl VertexContext<f64, f64> for TestCtx {
+        fn vertex_id(&self) -> VertexId {
+            0
+        }
+        fn superstep(&self) -> u64 {
+            0
+        }
+        fn num_vertices(&self) -> u64 {
+            3
+        }
+        fn value(&self) -> &f64 {
+            &self.value
+        }
+        fn set_value(&mut self, value: f64) {
+            self.value = value;
+        }
+        fn out_edges(&self) -> &[Edge] {
+            &self.edges
+        }
+        fn send_message(&mut self, to: VertexId, msg: f64) {
+            self.sent.push((to, msg));
+        }
+        fn vote_to_halt(&mut self) {
+            self.halted = true;
+        }
+        fn aggregate(&mut self, _name: &str, _value: f64) {}
+        fn read_aggregate(&self, _name: &str) -> Option<f64> {
+            None
+        }
+    }
+
+    #[test]
+    fn send_to_all_neighbors_fans_out() {
+        let mut ctx = TestCtx {
+            edges: vec![Edge::new(0, 1), Edge::new(0, 2)],
+            sent: vec![],
+            halted: false,
+            value: 0.0,
+        };
+        ctx.send_to_all_neighbors(1.5);
+        assert_eq!(ctx.sent, vec![(1, 1.5), (2, 1.5)]);
+        assert_eq!(ctx.out_degree(), 2);
+    }
+}

@@ -1,0 +1,71 @@
+//! Wall-clock timing helpers shared by the benchmark harness and engines.
+
+use std::time::{Duration, Instant};
+
+/// A simple stopwatch.
+#[derive(Debug, Clone)]
+pub struct Stopwatch {
+    start: Instant,
+}
+
+impl Stopwatch {
+    pub fn start() -> Self {
+        Stopwatch { start: Instant::now() }
+    }
+
+    pub fn elapsed(&self) -> Duration {
+        self.start.elapsed()
+    }
+
+    pub fn elapsed_secs(&self) -> f64 {
+        self.elapsed().as_secs_f64()
+    }
+
+    pub fn restart(&mut self) -> Duration {
+        let e = self.start.elapsed();
+        self.start = Instant::now();
+        e
+    }
+}
+
+impl Default for Stopwatch {
+    fn default() -> Self {
+        Self::start()
+    }
+}
+
+/// Times a closure, returning its result and the elapsed wall-clock time.
+pub fn timed<T>(f: impl FnOnce() -> T) -> (T, Duration) {
+    let sw = Stopwatch::start();
+    let out = f();
+    (out, sw.elapsed())
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn stopwatch_monotonic() {
+        let sw = Stopwatch::start();
+        let a = sw.elapsed();
+        let b = sw.elapsed();
+        assert!(b >= a);
+    }
+
+    #[test]
+    fn timed_returns_value() {
+        let (v, d) = timed(|| 41 + 1);
+        assert_eq!(v, 42);
+        assert!(d.as_nanos() > 0 || d.as_nanos() == 0); // non-negative by type
+    }
+
+    #[test]
+    fn restart_resets() {
+        let mut sw = Stopwatch::start();
+        std::thread::sleep(Duration::from_millis(1));
+        let first = sw.restart();
+        assert!(first >= Duration::from_millis(1));
+        assert!(sw.elapsed() < first + Duration::from_millis(50));
+    }
+}

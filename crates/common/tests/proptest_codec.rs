@@ -1,0 +1,110 @@
+//! Property-based tests for the shared codecs and graph model.
+
+use proptest::prelude::*;
+use vertexica_common::codec::VertexData;
+use vertexica_common::graph::{Adjacency, Edge, EdgeList};
+use vertexica_common::hash::{mix64, unit_f64};
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(64))]
+
+    #[test]
+    fn f64_roundtrip(v in any::<f64>()) {
+        let back = f64::from_bytes(&v.to_bytes()).unwrap();
+        // NaN-safe bit comparison.
+        prop_assert_eq!(v.to_bits(), back.to_bits());
+    }
+
+    #[test]
+    fn ints_roundtrip(a in any::<u64>(), b in any::<i64>(), c in any::<u32>()) {
+        prop_assert_eq!(u64::from_bytes(&a.to_bytes()), Some(a));
+        prop_assert_eq!(i64::from_bytes(&b.to_bytes()), Some(b));
+        prop_assert_eq!(u32::from_bytes(&c.to_bytes()), Some(c));
+    }
+
+    #[test]
+    fn strings_and_vectors_roundtrip(s in ".{0,40}", v in proptest::collection::vec(any::<f64>(), 0..32)) {
+        prop_assert_eq!(String::from_bytes(&s.clone().to_bytes()), Some(s));
+        let back = Vec::<f64>::from_bytes(&v.to_bytes()).unwrap();
+        prop_assert_eq!(v.len(), back.len());
+        for (x, y) in v.iter().zip(&back) {
+            prop_assert_eq!(x.to_bits(), y.to_bits());
+        }
+    }
+
+    #[test]
+    fn tuples_roundtrip(id in any::<u64>(), v in proptest::collection::vec(-1e9f64..1e9, 0..16)) {
+        let msg = (id, v);
+        prop_assert_eq!(<(u64, Vec<f64>)>::from_bytes(&msg.to_bytes()), Some(msg));
+    }
+
+    /// Decoding arbitrary garbage never panics (it may legitimately succeed
+    /// for fixed-width types).
+    #[test]
+    fn decode_never_panics(bytes in proptest::collection::vec(any::<u8>(), 0..64)) {
+        let _ = f64::from_bytes(&bytes);
+        let _ = String::from_bytes(&bytes);
+        let _ = Vec::<f64>::from_bytes(&bytes);
+        let _ = <(u64, Vec<f64>)>::from_bytes(&bytes);
+        let _ = bool::from_bytes(&bytes);
+        let _ = Option::<f64>::from_bytes(&bytes);
+    }
+
+    /// Truncating any valid encoding makes decoding fail (prefix-freeness
+    /// within a type), for variable-length payloads.
+    #[test]
+    fn truncation_detected(v in proptest::collection::vec(any::<u64>(), 1..16)) {
+        let bytes = v.to_bytes();
+        for cut in 1..bytes.len() {
+            prop_assert!(Vec::<u64>::from_bytes(&bytes[..cut]).is_none());
+        }
+    }
+
+    /// CSR adjacency preserves the edge multiset.
+    #[test]
+    fn adjacency_preserves_edges(
+        pairs in proptest::collection::vec((0u64..40, 0u64..40), 0..200)
+    ) {
+        let edges: Vec<Edge> = pairs.iter().map(|&(s, d)| Edge::new(s, d)).collect();
+        let graph = EdgeList::new(40, edges);
+        let adj = Adjacency::from_edge_list(&graph);
+        prop_assert_eq!(adj.num_edges(), graph.edges.len());
+        let mut from_adj: Vec<(u64, u64)> = (0..40)
+            .flat_map(|v| adj.neighbors(v).iter().map(move |&d| (v, d)))
+            .collect();
+        let mut from_list: Vec<(u64, u64)> =
+            graph.edges.iter().map(|e| (e.src, e.dst)).collect();
+        from_adj.sort_unstable();
+        from_list.sort_unstable();
+        prop_assert_eq!(from_adj, from_list);
+        // Degrees agree.
+        let degrees = graph.out_degrees();
+        for v in 0..40u64 {
+            prop_assert_eq!(adj.out_degree(v), degrees[v as usize] as usize);
+        }
+    }
+
+    /// `undirected()` doubles non-loop edges and preserves loops.
+    #[test]
+    fn undirected_edge_accounting(
+        pairs in proptest::collection::vec((0u64..20, 0u64..20), 0..100)
+    ) {
+        let graph = EdgeList::from_pairs(pairs.clone());
+        let loops = pairs.iter().filter(|(s, d)| s == d).count() as u64;
+        let und = graph.undirected();
+        prop_assert_eq!(und.num_edges(), 2 * graph.num_edges() - loops);
+    }
+
+    /// mix64 is injective-ish in practice: no collisions on small dense
+    /// ranges, and unit_f64 stays in [0,1).
+    #[test]
+    fn hash_quality(start in any::<u32>()) {
+        let mut seen = std::collections::HashSet::new();
+        for i in 0..256u64 {
+            let h = mix64(start as u64 + i);
+            prop_assert!(seen.insert(h), "collision at offset {i}");
+            let u = unit_f64(start as u64 + i);
+            prop_assert!((0.0..1.0).contains(&u));
+        }
+    }
+}

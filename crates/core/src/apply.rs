@@ -1,0 +1,405 @@
+//! Applying worker outputs — the paper's **Update vs. Replace** optimization
+//! (§2.3).
+//!
+//! Vertex-centric supersteps generate two kinds of writes: new vertex values
+//! and a fresh message set. Naively UPDATE-ing the vertex table and
+//! DELETE+INSERT-ing messages "can slow down the performance significantly".
+//! Vertexica instead *replaces* tables: build `vertex_new` by LEFT JOINing
+//! the old vertex table with the superstep's delta and swap it in. When few
+//! tuples changed (below a threshold), in-place updates win — so the policy
+//! is threshold-based.
+
+use vertexica_common::hash::FxHashMap;
+use vertexica_common::pregel::{AggKind, VertexProgram};
+use vertexica_common::VertexData;
+use vertexica_storage::{RecordBatch, TableOptions, Value};
+
+use crate::config::VertexicaConfig;
+use crate::error::{VertexicaError, VertexicaResult};
+use crate::session::{message_batch, message_schema, vertex_schema, GraphSession};
+use crate::worker::{OUT_AGGREGATE, OUT_MESSAGE, OUT_STATE};
+
+/// What a superstep did, as observed by the coordinator.
+#[derive(Debug, Clone, Default)]
+pub struct SuperstepOutcome {
+    /// Vertices whose value or halt state changed.
+    pub vertex_changes: usize,
+    /// Messages delivered into the next superstep.
+    pub messages: usize,
+    /// Whether the vertex table was replaced (vs updated in place).
+    pub replaced: bool,
+    /// Whether every vertex has voted to halt.
+    pub all_halted: bool,
+    /// Merged aggregator values for the next superstep.
+    pub aggregates: FxHashMap<String, f64>,
+}
+
+/// Parses worker output rows and applies them to the graph's tables.
+pub fn apply_outputs<P: VertexProgram>(
+    session: &GraphSession,
+    program: &P,
+    config: &VertexicaConfig,
+    outputs: Vec<RecordBatch>,
+    total_vertices: u64,
+) -> VertexicaResult<SuperstepOutcome> {
+    let mut updates: Vec<(i64, Vec<u8>, bool)> = Vec::new();
+    let mut messages: Vec<(u64, u64, Vec<u8>)> = Vec::new();
+    let mut agg: FxHashMap<String, (AggKind, f64)> = FxHashMap::default();
+    let agg_specs: FxHashMap<String, AggKind> = program
+        .aggregators()
+        .into_iter()
+        .map(|s| (s.name.to_string(), s.kind))
+        .collect();
+
+    for batch in &outputs {
+        for i in 0..batch.num_rows() {
+            let row = batch.row(i);
+            let kind = row[0].as_int().unwrap_or(-1);
+            match kind {
+                OUT_STATE => {
+                    let vid = row[1]
+                        .as_int()
+                        .ok_or_else(|| VertexicaError::Runtime("state row without vid".into()))?;
+                    let Value::Blob(bytes) = row[3].clone() else {
+                        return Err(VertexicaError::Runtime("state row without payload".into()));
+                    };
+                    let halted = row[4].as_bool().unwrap_or(false);
+                    updates.push((vid, bytes, halted));
+                }
+                OUT_MESSAGE => {
+                    let to = row[1].as_int().unwrap_or(0) as u64;
+                    let from = row[2].as_int().unwrap_or(0) as u64;
+                    let Value::Blob(bytes) = row[3].clone() else {
+                        return Err(VertexicaError::Runtime("message row without payload".into()));
+                    };
+                    messages.push((to, from, bytes));
+                }
+                OUT_AGGREGATE => {
+                    let Value::Str(name) = row[5].clone() else {
+                        return Err(VertexicaError::Runtime("aggregate row without name".into()));
+                    };
+                    let v = row[6].as_float().unwrap_or(0.0);
+                    let Some(kind) = agg_specs.get(&name).copied() else {
+                        return Err(VertexicaError::Runtime(format!(
+                            "unknown aggregator {name}"
+                        )));
+                    };
+                    let entry = agg.entry(name).or_insert((kind, kind.identity()));
+                    entry.1 = kind.combine(entry.1, v);
+                }
+                other => {
+                    return Err(VertexicaError::Runtime(format!("bad output kind {other}")));
+                }
+            }
+        }
+    }
+
+    // Cross-partition combine: workers pre-combined within partitions; fold
+    // partials addressed to the same recipient once more.
+    if config.use_combiner {
+        let mut folded: FxHashMap<u64, (u64, P::Message)> = FxHashMap::default();
+        let mut passthrough: Vec<(u64, u64, Vec<u8>)> = Vec::new();
+        for (to, from, bytes) in messages {
+            let Some(m) = P::Message::from_bytes(&bytes) else {
+                return Err(VertexicaError::Codec("cannot decode message for combine".into()));
+            };
+            match folded.remove(&to) {
+                None => {
+                    folded.insert(to, (from, m));
+                }
+                Some((sender, existing)) => match program.combine(&existing, &m) {
+                    Some(c) => {
+                        folded.insert(to, (sender, c));
+                    }
+                    None => {
+                        passthrough.push((to, sender, existing.to_bytes()));
+                        passthrough.push((to, from, m.to_bytes()));
+                    }
+                },
+            }
+        }
+        messages = passthrough;
+        for (to, (from, m)) in folded {
+            messages.push((to, from, m.to_bytes()));
+        }
+    }
+
+    // ---- messages: always replace (fresh table each superstep) ----
+    let num_messages = messages.len();
+    replace_messages(session, &messages)?;
+
+    // ---- vertices: update vs replace ----
+    let change_ratio = if total_vertices == 0 {
+        0.0
+    } else {
+        updates.len() as f64 / total_vertices as f64
+    };
+    let replaced = !updates.is_empty() && change_ratio >= config.replace_threshold;
+    let vertex_changes = updates.len();
+    if replaced {
+        replace_vertices(session, &updates)?;
+    } else if !updates.is_empty() {
+        update_vertices_in_place(session, &updates)?;
+    }
+
+    // ---- halting check ----
+    let remaining = session.db().query_int(&format!(
+        "SELECT COUNT(*) FROM {} WHERE halted = FALSE",
+        session.vertex_table()
+    ))?;
+
+    Ok(SuperstepOutcome {
+        vertex_changes,
+        messages: num_messages,
+        replaced,
+        all_halted: remaining == 0,
+        aggregates: agg.into_iter().map(|(k, (_, v))| (k, v)).collect(),
+    })
+}
+
+/// Swaps in a fresh message table containing exactly this superstep's
+/// messages.
+fn replace_messages(
+    session: &GraphSession,
+    messages: &[(u64, u64, Vec<u8>)],
+) -> VertexicaResult<()> {
+    let catalog = session.db().catalog();
+    let tmp = format!("{}_message_new", session.name());
+    catalog.drop_table_if_exists(&tmp);
+    catalog.create_table(&tmp, message_schema(), TableOptions::default().sorted_by(vec![0]))?;
+    if !messages.is_empty() {
+        let batch = message_batch(
+            &messages.iter().map(|(a, b, c)| (*a, *b, c.clone())).collect::<Vec<_>>(),
+        )?;
+        session.db().append_batches(&tmp, &[batch])?;
+    }
+    catalog.swap(&session.message_table(), &tmp)?;
+    catalog.drop_table_if_exists(&tmp);
+    Ok(())
+}
+
+/// The *replace* path: stage the delta in a table, LEFT JOIN it against the
+/// old vertex table with COALESCE, and swap the result in — executed as
+/// actual SQL, exactly the paper's mechanism.
+fn replace_vertices(
+    session: &GraphSession,
+    updates: &[(i64, Vec<u8>, bool)],
+) -> VertexicaResult<()> {
+    let catalog = session.db().catalog();
+    let delta = format!("{}_vertex_delta", session.name());
+    let fresh = format!("{}_vertex_new", session.name());
+    catalog.drop_table_if_exists(&delta);
+    catalog.drop_table_if_exists(&fresh);
+
+    catalog.create_table(&delta, vertex_schema(), TableOptions::default().sorted_by(vec![0]))?;
+    let rows: Vec<Vec<Value>> = updates
+        .iter()
+        .map(|(id, bytes, halted)| {
+            vec![Value::Int(*id), Value::Blob(bytes.clone()), Value::Bool(*halted)]
+        })
+        .collect();
+    let batch = RecordBatch::from_rows(vertex_schema(), &rows)?;
+    session.db().append_batches(&delta, &[batch])?;
+
+    session.db().execute(&format!(
+        "CREATE TABLE {fresh} AS \
+         SELECT v.id AS id, COALESCE(d.value, v.value) AS value, \
+                COALESCE(d.halted, v.halted) AS halted \
+         FROM {v} v LEFT JOIN {delta} d ON v.id = d.id",
+        v = session.vertex_table(),
+    ))?;
+    catalog.swap(&session.vertex_table(), &fresh)?;
+    catalog.drop_table_if_exists(&fresh);
+    catalog.drop_table_if_exists(&delta);
+    Ok(())
+}
+
+/// The *update* path: in-place DML against the existing vertex table.
+fn update_vertices_in_place(
+    session: &GraphSession,
+    updates: &[(i64, Vec<u8>, bool)],
+) -> VertexicaResult<()> {
+    let table = session.db().catalog().get(&session.vertex_table())?;
+    let by_id: FxHashMap<i64, (&Vec<u8>, bool)> =
+        updates.iter().map(|(id, b, h)| (*id, (b, *h))).collect();
+    let scans = {
+        let guard = table.read();
+        guard.scan_with_rowids(None, &[])?
+    };
+    let mut dml: Vec<(u64, Vec<Value>)> = Vec::with_capacity(updates.len());
+    for (batch, rowids) in scans {
+        let ids = batch.column(0);
+        for i in 0..batch.num_rows() {
+            let id = ids.value(i).as_int().unwrap_or(i64::MIN);
+            if let Some((bytes, halted)) = by_id.get(&id) {
+                dml.push((
+                    rowids[i],
+                    vec![Value::Int(id), Value::Blob((*bytes).clone()), Value::Bool(*halted)],
+                ));
+            }
+        }
+    }
+    table.write().update_rows(dml)?;
+    Ok(())
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::worker::worker_output_schema;
+    use std::sync::Arc;
+    use vertexica_common::graph::EdgeList;
+    use vertexica_common::pregel::{InitContext, VertexContext};
+    use vertexica_common::VertexId;
+    use vertexica_sql::Database;
+
+    struct Noop;
+    impl VertexProgram for Noop {
+        type Value = f64;
+        type Message = f64;
+        fn initial_value(&self, _id: VertexId, _init: &InitContext) -> f64 {
+            0.0
+        }
+        fn compute(&self, _ctx: &mut dyn VertexContext<f64, f64>, _messages: &[f64]) {}
+        fn combine(&self, a: &f64, b: &f64) -> Option<f64> {
+            Some(a + b)
+        }
+    }
+
+    fn setup() -> GraphSession {
+        let db = Arc::new(Database::new());
+        let g = GraphSession::create(db, "g").unwrap();
+        g.load_edges(&EdgeList::from_pairs([(0, 1), (1, 2), (2, 0), (2, 3)])).unwrap();
+        // Initialize values so the vertex table is fully formed.
+        let updates: Vec<(i64, Vec<u8>, bool)> =
+            (0..4).map(|i| (i as i64, (0.0f64).to_bytes(), false)).collect();
+        replace_vertices(&g, &updates).unwrap();
+        g
+    }
+
+    fn out_batch(rows: Vec<Vec<Value>>) -> RecordBatch {
+        RecordBatch::from_rows(worker_output_schema(), &rows).unwrap()
+    }
+
+    fn state_row(vid: i64, v: f64, halted: bool) -> Vec<Value> {
+        vec![
+            Value::Int(OUT_STATE),
+            Value::Int(vid),
+            Value::Null,
+            Value::Blob(v.to_bytes()),
+            Value::Bool(halted),
+            Value::Null,
+            Value::Null,
+        ]
+    }
+
+    fn msg_row(to: i64, from: i64, v: f64) -> Vec<Value> {
+        vec![
+            Value::Int(OUT_MESSAGE),
+            Value::Int(to),
+            Value::Int(from),
+            Value::Blob(v.to_bytes()),
+            Value::Null,
+            Value::Null,
+            Value::Null,
+        ]
+    }
+
+    #[test]
+    fn small_delta_updates_in_place() {
+        let g = setup();
+        let cfg = VertexicaConfig::default().with_replace_threshold(0.5).with_combiner(false);
+        let out = out_batch(vec![state_row(1, 7.5, false)]);
+        let outcome = apply_outputs(&g, &Noop, &cfg, vec![out], 4).unwrap();
+        assert!(!outcome.replaced);
+        assert_eq!(outcome.vertex_changes, 1);
+        let vals: Vec<(VertexId, f64)> = g.vertex_values().unwrap();
+        assert_eq!(vals[1], (1, 7.5));
+        assert_eq!(vals[0], (0, 0.0));
+    }
+
+    #[test]
+    fn large_delta_replaces_table() {
+        let g = setup();
+        let cfg = VertexicaConfig::default().with_replace_threshold(0.5).with_combiner(false);
+        let out = out_batch(vec![
+            state_row(0, 1.0, false),
+            state_row(1, 2.0, false),
+            state_row(2, 3.0, false),
+        ]);
+        let outcome = apply_outputs(&g, &Noop, &cfg, vec![out], 4).unwrap();
+        assert!(outcome.replaced);
+        let vals: Vec<(VertexId, f64)> = g.vertex_values().unwrap();
+        assert_eq!(vals.len(), 4);
+        assert_eq!(vals[2], (2, 3.0));
+        assert_eq!(vals[3], (3, 0.0)); // untouched row preserved by left join
+        assert_eq!(g.num_vertices().unwrap(), 4);
+    }
+
+    #[test]
+    fn messages_replace_the_message_table() {
+        let g = setup();
+        let cfg = VertexicaConfig::default().with_combiner(false);
+        // Pre-existing stale message must vanish.
+        let stale = message_batch(&[(0, 9, 1.0f64.to_bytes())]).unwrap();
+        g.db().append_batches(&g.message_table(), &[stale]).unwrap();
+
+        let out = out_batch(vec![msg_row(2, 0, 4.5), msg_row(3, 1, 5.5)]);
+        let outcome = apply_outputs(&g, &Noop, &cfg, vec![out], 4).unwrap();
+        assert_eq!(outcome.messages, 2);
+        let n = g
+            .db()
+            .query_int(&format!("SELECT COUNT(*) FROM {}", g.message_table()))
+            .unwrap();
+        assert_eq!(n, 2);
+        let stale_left = g
+            .db()
+            .query_int(&format!(
+                "SELECT COUNT(*) FROM {} WHERE sender = 9",
+                g.message_table()
+            ))
+            .unwrap();
+        assert_eq!(stale_left, 0);
+    }
+
+    #[test]
+    fn combiner_folds_across_partitions() {
+        let g = setup();
+        let cfg = VertexicaConfig::default().with_combiner(true);
+        // Two partitions each sent a partial to vertex 2.
+        let out1 = out_batch(vec![msg_row(2, 0, 1.0)]);
+        let out2 = out_batch(vec![msg_row(2, 1, 2.0)]);
+        let outcome = apply_outputs(&g, &Noop, &cfg, vec![out1, out2], 4).unwrap();
+        assert_eq!(outcome.messages, 1);
+        let rows = g
+            .db()
+            .query(&format!("SELECT value FROM {}", g.message_table()))
+            .unwrap();
+        assert_eq!(rows[0][0], Value::Blob(3.0f64.to_bytes()));
+    }
+
+    #[test]
+    fn all_halted_detection() {
+        let g = setup();
+        let cfg = VertexicaConfig::default().with_replace_threshold(0.0);
+        let out = out_batch(vec![
+            state_row(0, 0.0, true),
+            state_row(1, 0.0, true),
+            state_row(2, 0.0, true),
+            state_row(3, 0.0, true),
+        ]);
+        let outcome = apply_outputs(&g, &Noop, &cfg, vec![out], 4).unwrap();
+        assert!(outcome.all_halted);
+        assert!(outcome.replaced); // threshold 0 forces replace
+    }
+
+    #[test]
+    fn empty_outputs_are_fine() {
+        let g = setup();
+        let cfg = VertexicaConfig::default();
+        let outcome = apply_outputs(&g, &Noop, &cfg, vec![], 4).unwrap();
+        assert_eq!(outcome.vertex_changes, 0);
+        assert_eq!(outcome.messages, 0);
+        assert!(!outcome.replaced);
+    }
+}

@@ -1,0 +1,372 @@
+//! The coordinator: a stored procedure that drives supersteps.
+//!
+//! "The coordinator is the driver program that manages the supersteps … We
+//! implement the coordinator as a stored procedure; it runs as long as there
+//! is any message for the next superstep" (§2.2). Each superstep:
+//!
+//! 1. assemble worker input ([`crate::input`], union or join mode);
+//! 2. hash-partition it on vertex id (vertex batching);
+//! 3. run worker UDFs in parallel, one per partition, on a pool of
+//!    `num_workers` threads;
+//! 4. apply outputs via update-vs-replace ([`crate::apply`]);
+//! 5. synchronization barrier, aggregator exchange, halt check.
+
+use std::sync::Arc;
+
+use vertexica_common::hash::FxHashMap;
+use vertexica_common::pregel::{InitContext, VertexProgram};
+use vertexica_common::timer::Stopwatch;
+use vertexica_common::VertexData;
+use vertexica_sql::TransformUdf;
+use vertexica_storage::partition::hash_partition;
+use vertexica_storage::{ColumnBuilder, DataType, RecordBatch, Value};
+
+use crate::apply::apply_outputs;
+use crate::config::VertexicaConfig;
+use crate::error::{VertexicaError, VertexicaResult};
+use crate::input::assemble;
+use crate::session::{vertex_schema, GraphSession};
+use crate::worker::VertexWorker;
+
+/// Per-superstep observability.
+#[derive(Debug, Clone)]
+pub struct SuperstepStats {
+    pub superstep: u64,
+    pub messages: usize,
+    pub vertex_changes: usize,
+    pub replaced: bool,
+    pub assemble_secs: f64,
+    pub compute_secs: f64,
+    pub apply_secs: f64,
+}
+
+/// Whole-run observability.
+#[derive(Debug, Clone, Default)]
+pub struct RunStats {
+    pub supersteps: u64,
+    pub total_secs: f64,
+    pub total_messages: u64,
+    pub per_superstep: Vec<SuperstepStats>,
+    /// Final aggregator values.
+    pub aggregates: FxHashMap<String, f64>,
+}
+
+/// Initializes the vertex table with the program's initial values (and
+/// halted=false), and clears the message table.
+pub fn initialize_vertices<P: VertexProgram>(
+    session: &GraphSession,
+    program: &P,
+) -> VertexicaResult<u64> {
+    let degrees = session.out_degrees()?;
+    let n = degrees.len() as u64;
+    let mut ids = ColumnBuilder::with_capacity(DataType::Int, degrees.len());
+    let mut values = ColumnBuilder::with_capacity(DataType::Blob, degrees.len());
+    let mut halted = ColumnBuilder::with_capacity(DataType::Bool, degrees.len());
+    for (id, deg) in &degrees {
+        let init = InitContext { num_vertices: n, out_degree: *deg };
+        let v = program.initial_value(*id, &init);
+        ids.push_int(*id as i64);
+        values.push(Value::Blob(v.to_bytes())).map_err(VertexicaError::from)?;
+        halted.push(Value::Bool(false)).map_err(VertexicaError::from)?;
+    }
+    let batch = RecordBatch::new(
+        vertex_schema(),
+        vec![ids.finish(), values.finish(), halted.finish()],
+    )
+    .map_err(VertexicaError::from)?;
+
+    let vertex = session.db().catalog().get(&session.vertex_table())?;
+    {
+        let mut guard = vertex.write();
+        guard.truncate();
+        guard.append_batch(&batch)?;
+    }
+    let message = session.db().catalog().get(&session.message_table())?;
+    message.write().truncate();
+    Ok(n)
+}
+
+/// Runs a vertex program to completion on a graph session.
+pub fn run_program<P: VertexProgram + 'static>(
+    session: &GraphSession,
+    program: Arc<P>,
+    config: &VertexicaConfig,
+) -> VertexicaResult<RunStats> {
+    let total = Stopwatch::start();
+    session.db().set_worker_threads(config.num_workers);
+    let num_vertices = initialize_vertices(session, program.as_ref())?;
+    let stats = superstep_loop(session, program, config, num_vertices, 0, FxHashMap::default())?;
+    let mut stats = stats;
+    stats.total_secs = total.elapsed_secs();
+    Ok(stats)
+}
+
+/// Resumes a run from a checkpoint previously written by the coordinator
+/// (requires `config.checkpoint_dir`).
+pub fn resume_program<P: VertexProgram + 'static>(
+    session: &GraphSession,
+    program: Arc<P>,
+    config: &VertexicaConfig,
+) -> VertexicaResult<RunStats> {
+    let dir = config
+        .checkpoint_dir
+        .as_ref()
+        .ok_or_else(|| VertexicaError::Checkpoint("no checkpoint_dir configured".into()))?;
+    let total = Stopwatch::start();
+    session.db().set_worker_threads(config.num_workers);
+    let state = crate::checkpoint::restore(session, dir)?;
+    let num_vertices = session.num_vertices()?;
+    let mut stats = superstep_loop(
+        session,
+        program,
+        config,
+        num_vertices,
+        state.superstep + 1,
+        state.aggregates,
+    )?;
+    stats.total_secs = total.elapsed_secs();
+    Ok(stats)
+}
+
+fn superstep_loop<P: VertexProgram + 'static>(
+    session: &GraphSession,
+    program: Arc<P>,
+    config: &VertexicaConfig,
+    num_vertices: u64,
+    start_superstep: u64,
+    mut prev_aggregates: FxHashMap<String, f64>,
+) -> VertexicaResult<RunStats> {
+    let mut stats = RunStats::default();
+    let max_supersteps = config.max_supersteps.min(program.max_supersteps());
+    let mut superstep = start_superstep;
+
+    loop {
+        if superstep >= max_supersteps {
+            break;
+        }
+        // Termination: after superstep 0, stop when no messages are pending
+        // and every vertex has halted.
+        if superstep > start_superstep || start_superstep > 0 {
+            let pending = session.db().query_int(&format!(
+                "SELECT COUNT(*) FROM {}",
+                session.message_table()
+            ))?;
+            let active = session.db().query_int(&format!(
+                "SELECT COUNT(*) FROM {} WHERE halted = FALSE",
+                session.vertex_table()
+            ))?;
+            if pending == 0 && active == 0 {
+                break;
+            }
+        }
+
+        // 1. Assemble input.
+        let sw = Stopwatch::start();
+        let input = assemble(session, config.input_mode)?;
+        let assemble_secs = sw.elapsed_secs();
+
+        // 2. Vertex batching: hash-partition on vid.
+        let sw = Stopwatch::start();
+        let partitions = if config.num_partitions <= 1 {
+            vec![input]
+        } else {
+            hash_partition(&input, &[0], config.num_partitions)?
+        };
+
+        // 3. Parallel workers.
+        let worker: Arc<dyn TransformUdf> = Arc::new(VertexWorker {
+            program: program.clone(),
+            superstep,
+            num_vertices,
+            prev_aggregates: Arc::new(prev_aggregates.clone()),
+            use_combiner: config.use_combiner,
+        });
+        let outputs = session.db().run_transform_partitions(&worker, partitions)?;
+        let compute_secs = sw.elapsed_secs();
+
+        // 4. Apply (update-vs-replace) + barrier.
+        let sw = Stopwatch::start();
+        let outcome =
+            apply_outputs(session, program.as_ref(), config, outputs, num_vertices)?;
+        let apply_secs = sw.elapsed_secs();
+
+        prev_aggregates = outcome.aggregates.clone();
+        stats.per_superstep.push(SuperstepStats {
+            superstep,
+            messages: outcome.messages,
+            vertex_changes: outcome.vertex_changes,
+            replaced: outcome.replaced,
+            assemble_secs,
+            compute_secs,
+            apply_secs,
+        });
+        stats.total_messages += outcome.messages as u64;
+        stats.supersteps = superstep + 1 - start_superstep;
+        stats.aggregates = outcome.aggregates.clone();
+
+        // 5. Checkpoint if configured.
+        if let (Some(every), Some(dir)) = (config.checkpoint_every, &config.checkpoint_dir) {
+            if (superstep + 1) % every == 0 {
+                crate::checkpoint::save(session, dir, superstep, &prev_aggregates)?;
+            }
+        }
+
+        if outcome.messages == 0 && outcome.all_halted {
+            break;
+        }
+        superstep += 1;
+    }
+    Ok(stats)
+}
+
+/// Registers a vertex program as a named stored procedure so it can be
+/// invoked with `db.call_procedure(name, &[])` — the deployment shape the
+/// paper describes (coordinator = stored procedure inside the database).
+/// Returns the procedure name.
+pub fn register_as_procedure<P: VertexProgram + 'static>(
+    session: &GraphSession,
+    program: Arc<P>,
+    config: VertexicaConfig,
+) -> String {
+    let proc_name = format!("vertexica_{}_{}", session.name(), program.name());
+    let session = session.clone();
+    session.db().clone().register_procedure(
+        &proc_name,
+        Arc::new(move |_db, _args| {
+            let stats = run_program(&session, program.clone(), &config)
+                .map_err(|e| vertexica_sql::SqlError::Execution(e.to_string()))?;
+            Ok(Value::Int(stats.supersteps as i64))
+        }),
+    );
+    proc_name
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::config::InputMode;
+    use vertexica_common::graph::EdgeList;
+    use vertexica_common::pregel::{VertexContext, VertexContextExt};
+    use vertexica_common::VertexId;
+    use vertexica_sql::Database;
+
+    /// HashMax connected components: every vertex adopts the largest id seen.
+    struct MaxId;
+    impl VertexProgram for MaxId {
+        type Value = u64;
+        type Message = u64;
+
+        fn initial_value(&self, id: VertexId, _init: &InitContext) -> u64 {
+            id
+        }
+
+        fn compute(&self, ctx: &mut dyn VertexContext<u64, u64>, messages: &[u64]) {
+            let best = messages.iter().copied().fold(*ctx.value(), u64::max);
+            if best > *ctx.value() || ctx.superstep() == 0 {
+                ctx.set_value(best);
+                ctx.send_to_all_neighbors(best);
+            }
+            ctx.vote_to_halt();
+        }
+
+        fn combine(&self, a: &u64, b: &u64) -> Option<u64> {
+            Some((*a).max(*b))
+        }
+
+        fn name(&self) -> &'static str {
+            "maxid"
+        }
+    }
+
+    fn two_components() -> EdgeList {
+        // Component A: 0-1-2 (undirected), component B: 3-4.
+        EdgeList::from_pairs([(0, 1), (1, 0), (1, 2), (2, 1), (3, 4), (4, 3)])
+    }
+
+    fn run_maxid(config: VertexicaConfig) -> Vec<(VertexId, u64)> {
+        let db = Arc::new(Database::new());
+        let g = GraphSession::create(db, "g").unwrap();
+        g.load_edges(&two_components()).unwrap();
+        let stats = run_program(&g, Arc::new(MaxId), &config).unwrap();
+        assert!(stats.supersteps >= 2);
+        g.vertex_values().unwrap()
+    }
+
+    #[test]
+    fn converges_to_component_max() {
+        let vals = run_maxid(VertexicaConfig::default().with_partitions(4).with_workers(2));
+        assert_eq!(vals, vec![(0, 2), (1, 2), (2, 2), (3, 4), (4, 4)]);
+    }
+
+    #[test]
+    fn single_partition_single_worker_same_answer() {
+        let vals = run_maxid(VertexicaConfig::default().with_partitions(1).with_workers(1));
+        assert_eq!(vals, vec![(0, 2), (1, 2), (2, 2), (3, 4), (4, 4)]);
+    }
+
+    #[test]
+    fn join_input_mode_same_answer() {
+        let vals = run_maxid(
+            VertexicaConfig::default().with_input_mode(InputMode::ThreeWayJoin),
+        );
+        assert_eq!(vals, vec![(0, 2), (1, 2), (2, 2), (3, 4), (4, 4)]);
+    }
+
+    #[test]
+    fn no_combiner_same_answer() {
+        let vals = run_maxid(VertexicaConfig::default().with_combiner(false));
+        assert_eq!(vals, vec![(0, 2), (1, 2), (2, 2), (3, 4), (4, 4)]);
+    }
+
+    #[test]
+    fn forced_replace_and_forced_update_agree() {
+        let a = run_maxid(VertexicaConfig::default().with_replace_threshold(0.0));
+        let b = run_maxid(VertexicaConfig::default().with_replace_threshold(1.0));
+        assert_eq!(a, b);
+    }
+
+    #[test]
+    fn max_supersteps_caps_run() {
+        let db = Arc::new(Database::new());
+        let g = GraphSession::create(db, "g").unwrap();
+        g.load_edges(&two_components()).unwrap();
+        let stats = run_program(
+            &g,
+            Arc::new(MaxId),
+            &VertexicaConfig::default().with_max_supersteps(1),
+        )
+        .unwrap();
+        assert_eq!(stats.supersteps, 1);
+    }
+
+    #[test]
+    fn stats_track_messages_and_replacement() {
+        let db = Arc::new(Database::new());
+        let g = GraphSession::create(db, "g").unwrap();
+        g.load_edges(&two_components()).unwrap();
+        let stats = run_program(
+            &g,
+            Arc::new(MaxId),
+            &VertexicaConfig::default().with_replace_threshold(0.0),
+        )
+        .unwrap();
+        assert!(stats.total_messages > 0);
+        assert!(stats.per_superstep[0].replaced);
+        assert!(stats.per_superstep[0].messages > 0);
+        // Final superstep emits nothing.
+        assert_eq!(stats.per_superstep.last().unwrap().messages, 0);
+    }
+
+    #[test]
+    fn runs_as_stored_procedure() {
+        let db = Arc::new(Database::new());
+        let g = GraphSession::create(db.clone(), "g").unwrap();
+        g.load_edges(&two_components()).unwrap();
+        let name = register_as_procedure(&g, Arc::new(MaxId), VertexicaConfig::default());
+        let out = db.call_procedure(&name, &[]).unwrap();
+        let Value::Int(supersteps) = out else { panic!() };
+        assert!(supersteps >= 2);
+        let vals: Vec<(VertexId, u64)> = g.vertex_values().unwrap();
+        assert_eq!(vals[0], (0, 2));
+    }
+}

@@ -1,0 +1,207 @@
+//! Worker input assembly — the paper's **Table Unions** optimization (§2.3).
+//!
+//! To run a superstep the workers need, per vertex: its value and halt state,
+//! its outgoing edges, and its incoming messages. "Traditional database
+//! wisdom" would 3-way join the vertex, edge and message tables — and explode
+//! (a vertex with *E* edges and *M* messages yields *E × M* join rows).
+//! Vertexica instead renames the three tables to a **common schema** and
+//! `UNION ALL`s them; workers then tell the tuple kinds apart. Both
+//! strategies are implemented here (the join baseline feeds the ablation
+//! benchmark), and both are expressed as actual SQL against the engine.
+
+use std::sync::Arc;
+
+use vertexica_storage::{DataType, Field, RecordBatch, Schema, Value};
+
+use crate::config::InputMode;
+use crate::error::{VertexicaError, VertexicaResult};
+use crate::session::GraphSession;
+
+/// Tuple-kind discriminators in the common schema.
+pub const KIND_VERTEX: i64 = 0;
+pub const KIND_EDGE: i64 = 1;
+pub const KIND_MESSAGE: i64 = 2;
+
+/// The common schema the three tables are renamed to:
+/// `(vid, kind, other, weight, payload, halted)` where
+/// * vertex rows: `vid=id, payload=value, halted=halted`
+/// * edge rows: `vid=src, other=dst, weight=weight`
+/// * message rows: `vid=recipient, other=sender, payload=value`
+pub fn union_schema() -> Arc<Schema> {
+    Schema::new(vec![
+        Field::not_null("vid", DataType::Int),
+        Field::not_null("kind", DataType::Int),
+        Field::new("other", DataType::Int),
+        Field::new("weight", DataType::Float),
+        Field::new("payload", DataType::Blob),
+        Field::new("halted", DataType::Bool),
+    ])
+}
+
+/// Assembles worker input in the configured mode.
+pub fn assemble(session: &GraphSession, mode: InputMode) -> VertexicaResult<Vec<RecordBatch>> {
+    match mode {
+        InputMode::TableUnion => assemble_union(session),
+        InputMode::ThreeWayJoin => assemble_join(session),
+    }
+}
+
+/// The paper's strategy: rename to a common schema and UNION ALL.
+fn assemble_union(session: &GraphSession) -> VertexicaResult<Vec<RecordBatch>> {
+    let sql = format!(
+        "SELECT id AS vid, 0 AS kind, CAST(NULL AS BIGINT) AS other, \
+                CAST(NULL AS FLOAT) AS weight, value AS payload, halted \
+         FROM {v} \
+         UNION ALL \
+         SELECT src, 1, dst, weight, CAST(NULL AS VARBINARY), CAST(NULL AS BOOLEAN) FROM {e} \
+         UNION ALL \
+         SELECT recipient, 2, sender, CAST(NULL AS FLOAT), value, CAST(NULL AS BOOLEAN) \
+         FROM {m}",
+        v = session.vertex_table(),
+        e = session.edge_table(),
+        m = session.message_table(),
+    );
+    let batches = session.db().execute(&sql)?.into_batches()?;
+    // Re-stamp with the canonical schema (names already line up).
+    let schema = union_schema();
+    batches
+        .into_iter()
+        .map(|b| RecordBatch::new(schema.clone(), b.columns().to_vec()).map_err(Into::into))
+        .collect()
+}
+
+/// The naive baseline: a 3-way join producing the per-vertex cartesian
+/// product of edges × messages, then re-shaped (with deduplication) into the
+/// common schema so the same worker can consume it. The join cost *and* the
+/// dedup cost are the point of the ablation.
+///
+/// Limitation (inherent to the join formulation): duplicate edges and
+/// byte-identical duplicate messages to the same vertex collapse. The default
+/// union mode has no such restriction.
+fn assemble_join(session: &GraphSession) -> VertexicaResult<Vec<RecordBatch>> {
+    let sql = format!(
+        "SELECT v.id, v.value, v.halted, m.sender, m.value AS mvalue, e.dst, e.weight \
+         FROM {v} v \
+         LEFT JOIN {m} m ON m.recipient = v.id \
+         LEFT JOIN {e} e ON e.src = v.id",
+        v = session.vertex_table(),
+        e = session.edge_table(),
+        m = session.message_table(),
+    );
+    let batches = session.db().execute(&sql)?.into_batches()?;
+
+    // Re-shape into union-schema rows, deduplicating the cartesian blowup.
+    use vertexica_common::FxHashSet;
+    let mut seen_vertex: FxHashSet<i64> = FxHashSet::default();
+    let mut seen_edge: FxHashSet<(i64, i64, u64)> = FxHashSet::default();
+    let mut seen_msg: FxHashSet<(i64, i64, Vec<u8>)> = FxHashSet::default();
+
+    let mut rows: Vec<Vec<Value>> = Vec::new();
+    for batch in &batches {
+        for i in 0..batch.num_rows() {
+            let r = batch.row(i);
+            let vid = r[0].as_int().ok_or_else(|| {
+                VertexicaError::Runtime("join input: vertex id is null".into())
+            })?;
+            if seen_vertex.insert(vid) {
+                rows.push(vec![
+                    Value::Int(vid),
+                    Value::Int(KIND_VERTEX),
+                    Value::Null,
+                    Value::Null,
+                    r[1].clone(),
+                    r[2].clone(),
+                ]);
+            }
+            if let Some(sender) = r[3].as_int() {
+                let bytes = r[4].as_blob().map(|b| b.to_vec()).unwrap_or_default();
+                if seen_msg.insert((vid, sender, bytes.clone())) {
+                    rows.push(vec![
+                        Value::Int(vid),
+                        Value::Int(KIND_MESSAGE),
+                        Value::Int(sender),
+                        Value::Null,
+                        Value::Blob(bytes),
+                        Value::Null,
+                    ]);
+                }
+            }
+            if let Some(dst) = r[5].as_int() {
+                let w = r[6].as_float().unwrap_or(1.0);
+                if seen_edge.insert((vid, dst, w.to_bits())) {
+                    rows.push(vec![
+                        Value::Int(vid),
+                        Value::Int(KIND_EDGE),
+                        Value::Int(dst),
+                        Value::Float(w),
+                        Value::Null,
+                        Value::Null,
+                    ]);
+                }
+            }
+        }
+    }
+    Ok(vec![RecordBatch::from_rows(union_schema(), &rows)?])
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::session::message_batch;
+    use vertexica_common::graph::EdgeList;
+    use vertexica_common::VertexData;
+    use vertexica_sql::Database;
+
+    fn session_with_graph() -> GraphSession {
+        let db = Arc::new(Database::new());
+        let g = GraphSession::create(db, "g").unwrap();
+        g.load_edges(&EdgeList::from_pairs([(0, 1), (0, 2), (1, 2)])).unwrap();
+        g
+    }
+
+    fn count_kind(batches: &[RecordBatch], kind: i64) -> usize {
+        batches
+            .iter()
+            .flat_map(|b| (0..b.num_rows()).map(move |i| b.row(i)))
+            .filter(|r| r[1] == Value::Int(kind))
+            .count()
+    }
+
+    #[test]
+    fn union_contains_all_three_kinds() {
+        let g = session_with_graph();
+        // Two messages to vertex 2.
+        let msgs = message_batch(&[(2, 0, 1.0f64.to_bytes()), (2, 1, 2.0f64.to_bytes())]).unwrap();
+        g.db().append_batches(&g.message_table(), &[msgs]).unwrap();
+
+        let batches = assemble(&g, InputMode::TableUnion).unwrap();
+        assert_eq!(count_kind(&batches, KIND_VERTEX), 3);
+        assert_eq!(count_kind(&batches, KIND_EDGE), 3);
+        assert_eq!(count_kind(&batches, KIND_MESSAGE), 2);
+    }
+
+    #[test]
+    fn join_mode_reconstructs_same_multiset() {
+        let g = session_with_graph();
+        let msgs = message_batch(&[(0, 1, 1.5f64.to_bytes()), (0, 2, 2.5f64.to_bytes())]).unwrap();
+        g.db().append_batches(&g.message_table(), &[msgs]).unwrap();
+
+        let union = assemble(&g, InputMode::TableUnion).unwrap();
+        let join = assemble(&g, InputMode::ThreeWayJoin).unwrap();
+        for kind in [KIND_VERTEX, KIND_EDGE, KIND_MESSAGE] {
+            assert_eq!(
+                count_kind(&union, kind),
+                count_kind(&join, kind),
+                "kind {kind} mismatch"
+            );
+        }
+    }
+
+    #[test]
+    fn empty_message_table_still_assembles() {
+        let g = session_with_graph();
+        let batches = assemble(&g, InputMode::TableUnion).unwrap();
+        assert_eq!(count_kind(&batches, KIND_MESSAGE), 0);
+        assert_eq!(count_kind(&batches, KIND_VERTEX), 3);
+    }
+}

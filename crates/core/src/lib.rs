@@ -1,0 +1,40 @@
+//! **Vertexica** — vertex-centric graph analytics on a relational engine.
+//!
+//! Reproduction of *"Vertexica: Your Relational Friend for Graph Analytics!"*
+//! (Jindal et al., VLDB 2014). The system stores graphs in three relational
+//! tables (vertex, edge, message), exposes a Pregel-style API
+//! ([`vertexica_common::VertexProgram`]) and executes user compute functions
+//! *inside* an unmodified SQL engine:
+//!
+//! * the [`coordinator`] is a stored procedure driving supersteps;
+//! * the [`worker`] is a transform UDF (one instance per partition, run on a
+//!   pool sized to the core count);
+//! * [`input`] assembles worker input either as a **table union** (the
+//!   paper's key optimization) or as the naive **3-way join** baseline;
+//! * [`apply`] writes superstep results back using the **update-vs-replace**
+//!   policy (in-place updates below a change-ratio threshold, left-join +
+//!   table-swap replacement above it);
+//! * [`checkpoint`] persists superstep state, [`mutation`] provides graph
+//!   mutations and temporal snapshots, and [`pipeline`] composes relational
+//!   pre-/post-processing with graph algorithms into end-to-end dataflows.
+
+pub mod apply;
+pub mod checkpoint;
+pub mod config;
+pub mod coordinator;
+pub mod error;
+pub mod input;
+pub mod mutation;
+pub mod pipeline;
+pub mod session;
+pub mod worker;
+
+pub use config::{InputMode, VertexicaConfig};
+pub use coordinator::{run_program, RunStats, SuperstepStats};
+pub use error::{VertexicaError, VertexicaResult};
+pub use session::GraphSession;
+
+// Re-export the layers underneath so downstream users need one dependency.
+pub use vertexica_common as common;
+pub use vertexica_sql as sql;
+pub use vertexica_storage as storage;

@@ -1,0 +1,185 @@
+//! Graph mutations and temporal snapshots (§3.3, "Dynamic Graph Analyses").
+//!
+//! "Vertexica is naturally suited to handle updates" — mutations are plain
+//! DML against the vertex/edge tables, something "graph processing systems,
+//! such as Giraph, have no clear method of" doing. Temporal analysis runs an
+//! algorithm over [`snapshot_at`] materializations of the edge table at
+//! different timestamps (edges carry a `created` column) and compares results
+//! relationally — e.g. "which node-pairs' shortest paths decreased in the
+//! last year".
+
+use vertexica_common::graph::VertexId;
+
+use crate::error::VertexicaResult;
+use crate::session::GraphSession;
+
+/// Mutation operations on a live graph.
+impl GraphSession {
+    /// Adds a vertex (no-op value; halted=false).
+    pub fn add_vertex(&self, id: VertexId) -> VertexicaResult<()> {
+        self.db().execute(&format!(
+            "INSERT INTO {} (id, halted) VALUES ({id}, FALSE)",
+            self.vertex_table()
+        ))?;
+        Ok(())
+    }
+
+    /// Removes a vertex and every edge touching it.
+    pub fn remove_vertex(&self, id: VertexId) -> VertexicaResult<usize> {
+        self.db().execute(&format!(
+            "DELETE FROM {} WHERE src = {id} OR dst = {id}",
+            self.edge_table()
+        ))?;
+        let n = self
+            .db()
+            .execute(&format!("DELETE FROM {} WHERE id = {id}", self.vertex_table()))?
+            .affected();
+        Ok(n)
+    }
+
+    /// Adds an edge with metadata.
+    pub fn add_edge(
+        &self,
+        src: VertexId,
+        dst: VertexId,
+        weight: f64,
+        created: i64,
+        etype: Option<&str>,
+    ) -> VertexicaResult<()> {
+        let etype_sql = match etype {
+            Some(t) => format!("'{}'", t.replace('\'', "''")),
+            None => "NULL".to_string(),
+        };
+        self.db().execute(&format!(
+            "INSERT INTO {} VALUES ({src}, {dst}, {weight}, {created}, {etype_sql})",
+            self.edge_table()
+        ))?;
+        Ok(())
+    }
+
+    /// Removes all edges `src -> dst`; returns how many were removed.
+    pub fn remove_edge(&self, src: VertexId, dst: VertexId) -> VertexicaResult<usize> {
+        Ok(self
+            .db()
+            .execute(&format!(
+                "DELETE FROM {} WHERE src = {src} AND dst = {dst}",
+                self.edge_table()
+            ))?
+            .affected())
+    }
+
+    /// Reweights all edges `src -> dst`.
+    pub fn update_edge_weight(
+        &self,
+        src: VertexId,
+        dst: VertexId,
+        weight: f64,
+    ) -> VertexicaResult<usize> {
+        Ok(self
+            .db()
+            .execute(&format!(
+                "UPDATE {} SET weight = {weight} WHERE src = {src} AND dst = {dst}",
+                self.edge_table()
+            ))?
+            .affected())
+    }
+
+    /// Materializes the graph as it existed at time `ts`: a new graph session
+    /// `<snapshot_name>` whose edge table holds only edges with
+    /// `created <= ts`. Vertices are copied wholesale (values reset).
+    pub fn snapshot_at(&self, ts: i64, snapshot_name: &str) -> VertexicaResult<GraphSession> {
+        let snap = GraphSession::create(self.db().clone(), snapshot_name)?;
+        self.db().execute(&format!(
+            "INSERT INTO {sv} SELECT id, CAST(NULL AS VARBINARY), FALSE FROM {v}",
+            sv = snap.vertex_table(),
+            v = self.vertex_table()
+        ))?;
+        self.db().execute(&format!(
+            "INSERT INTO {se} SELECT src, dst, weight, created, etype FROM {e} \
+             WHERE created <= {ts}",
+            se = snap.edge_table(),
+            e = self.edge_table()
+        ))?;
+        Ok(snap)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use std::sync::Arc;
+    use vertexica_common::graph::{Edge, EdgeList};
+    use vertexica_sql::Database;
+
+    fn session() -> GraphSession {
+        let db = Arc::new(Database::new());
+        let g = GraphSession::create(db, "g").unwrap();
+        g.load_edges(&EdgeList::from_pairs([(0, 1), (1, 2)])).unwrap();
+        g
+    }
+
+    #[test]
+    fn add_and_remove_vertex_cascades() {
+        let g = session();
+        g.add_vertex(10).unwrap();
+        assert_eq!(g.num_vertices().unwrap(), 4);
+        g.add_edge(10, 0, 1.0, 0, None).unwrap();
+        g.add_edge(1, 10, 1.0, 0, None).unwrap();
+        assert_eq!(g.num_edges().unwrap(), 4);
+        g.remove_vertex(10).unwrap();
+        assert_eq!(g.num_vertices().unwrap(), 3);
+        assert_eq!(g.num_edges().unwrap(), 2);
+    }
+
+    #[test]
+    fn edge_mutations() {
+        let g = session();
+        g.add_edge(2, 0, 5.0, 42, Some("family")).unwrap();
+        assert_eq!(g.num_edges().unwrap(), 3);
+        assert_eq!(g.update_edge_weight(2, 0, 7.5).unwrap(), 1);
+        let w = g
+            .db()
+            .query_scalar(&format!(
+                "SELECT weight FROM {} WHERE src = 2 AND dst = 0",
+                g.edge_table()
+            ))
+            .unwrap();
+        assert_eq!(w, vertexica_storage::Value::Float(7.5));
+        assert_eq!(g.remove_edge(2, 0).unwrap(), 1);
+        assert_eq!(g.num_edges().unwrap(), 2);
+    }
+
+    #[test]
+    fn etype_quoting_is_safe() {
+        let g = session();
+        g.add_edge(0, 2, 1.0, 0, Some("it's")).unwrap();
+        let n = g
+            .db()
+            .query_int(&format!(
+                "SELECT COUNT(*) FROM {} WHERE etype = 'it''s'",
+                g.edge_table()
+            ))
+            .unwrap();
+        assert_eq!(n, 1);
+    }
+
+    #[test]
+    fn snapshot_filters_by_time() {
+        let db = Arc::new(Database::new());
+        let g = GraphSession::create(db, "g").unwrap();
+        g.load_edges_with_metadata(
+            &[
+                (Edge::new(0, 1), 100, None),
+                (Edge::new(1, 2), 200, None),
+                (Edge::new(2, 0), 300, None),
+            ],
+            3,
+        )
+        .unwrap();
+        let old = g.snapshot_at(150, "g_t150").unwrap();
+        assert_eq!(old.num_vertices().unwrap(), 3);
+        assert_eq!(old.num_edges().unwrap(), 1);
+        let newer = g.snapshot_at(250, "g_t250").unwrap();
+        assert_eq!(newer.num_edges().unwrap(), 2);
+    }
+}

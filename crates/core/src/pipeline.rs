@@ -1,0 +1,176 @@
+//! End-to-end graph processing pipelines (§3.4, §4.2.2).
+//!
+//! "Graph analytics on Vertexica is not just running a particular graph
+//! algorithm on the bare graph skeleton, rather it includes the end-to-end
+//! data processing" — selections/projections before the algorithm, aggregates
+//! and histograms after it, and compositions of multiple algorithms. A
+//! [`Pipeline`] is an ordered list of named stages (SQL statements or
+//! arbitrary closures over the session) with per-stage timing, mirroring the
+//! demo GUI's drag-and-drop Dataflow panel.
+
+use std::collections::HashMap;
+use std::time::Duration;
+
+use vertexica_common::timer::Stopwatch;
+use vertexica_storage::Value;
+
+use crate::error::VertexicaResult;
+use crate::session::GraphSession;
+
+/// Shared state flowing between stages.
+#[derive(Debug, Default)]
+pub struct PipelineContext {
+    /// Scalar results stages have published.
+    pub values: HashMap<String, Value>,
+    /// Row-set results stages have published.
+    pub rows: HashMap<String, Vec<Vec<Value>>>,
+}
+
+impl PipelineContext {
+    pub fn value(&self, key: &str) -> Option<&Value> {
+        self.values.get(key)
+    }
+
+    pub fn rows_of(&self, key: &str) -> Option<&Vec<Vec<Value>>> {
+        self.rows.get(key)
+    }
+}
+
+type StageFn = Box<dyn Fn(&GraphSession, &mut PipelineContext) -> VertexicaResult<()>>;
+
+struct Stage {
+    name: String,
+    run: StageFn,
+}
+
+/// A composable dataflow of relational and graph stages.
+#[derive(Default)]
+pub struct Pipeline {
+    stages: Vec<Stage>,
+}
+
+/// Timing report for a pipeline run.
+#[derive(Debug, Clone)]
+pub struct StageTiming {
+    pub name: String,
+    pub elapsed: Duration,
+}
+
+impl Pipeline {
+    pub fn new() -> Self {
+        Pipeline::default()
+    }
+
+    /// Adds a SQL stage; its result rows are published under the stage name.
+    pub fn add_sql(mut self, name: &str, sql: &str) -> Self {
+        let sql = sql.to_string();
+        let stage_name = name.to_string();
+        let key = stage_name.clone();
+        self.stages.push(Stage {
+            name: stage_name,
+            run: Box::new(move |session, ctx| {
+                let rows = session.db().query(&sql)?;
+                if rows.len() == 1 && rows[0].len() == 1 {
+                    ctx.values.insert(key.clone(), rows[0][0].clone());
+                }
+                ctx.rows.insert(key.clone(), rows);
+                Ok(())
+            }),
+        });
+        self
+    }
+
+    /// Adds an arbitrary stage (e.g. running a vertex program).
+    pub fn add_stage(
+        mut self,
+        name: &str,
+        f: impl Fn(&GraphSession, &mut PipelineContext) -> VertexicaResult<()> + 'static,
+    ) -> Self {
+        self.stages.push(Stage { name: name.to_string(), run: Box::new(f) });
+        self
+    }
+
+    pub fn len(&self) -> usize {
+        self.stages.len()
+    }
+
+    pub fn is_empty(&self) -> bool {
+        self.stages.is_empty()
+    }
+
+    /// Runs all stages in order; fails fast on the first error.
+    pub fn run(
+        &self,
+        session: &GraphSession,
+    ) -> VertexicaResult<(PipelineContext, Vec<StageTiming>)> {
+        let mut ctx = PipelineContext::default();
+        let mut timings = Vec::with_capacity(self.stages.len());
+        for stage in &self.stages {
+            let sw = Stopwatch::start();
+            (stage.run)(session, &mut ctx)?;
+            timings.push(StageTiming { name: stage.name.clone(), elapsed: sw.elapsed() });
+        }
+        Ok((ctx, timings))
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use std::sync::Arc;
+    use vertexica_common::graph::EdgeList;
+    use vertexica_sql::Database;
+
+    fn session() -> GraphSession {
+        let db = Arc::new(Database::new());
+        let g = GraphSession::create(db, "g").unwrap();
+        g.load_edges(&EdgeList::from_pairs([(0, 1), (0, 2), (1, 2), (2, 0)])).unwrap();
+        g
+    }
+
+    #[test]
+    fn sql_stages_publish_results() {
+        let g = session();
+        let p = Pipeline::new()
+            .add_sql("edge_count", "SELECT COUNT(*) FROM g_edge")
+            .add_sql("degrees", "SELECT src, COUNT(*) FROM g_edge GROUP BY src ORDER BY src");
+        let (ctx, timings) = p.run(&g).unwrap();
+        assert_eq!(ctx.value("edge_count"), Some(&Value::Int(4)));
+        assert_eq!(ctx.rows_of("degrees").unwrap().len(), 3);
+        assert_eq!(timings.len(), 2);
+        assert_eq!(timings[0].name, "edge_count");
+    }
+
+    #[test]
+    fn custom_stage_reads_previous_results() {
+        let g = session();
+        let p = Pipeline::new()
+            .add_sql("n", "SELECT COUNT(*) FROM g_vertex")
+            .add_stage("double", |_s, ctx| {
+                let n = ctx.value("n").and_then(|v| v.as_int()).unwrap_or(0);
+                ctx.values.insert("n2".into(), Value::Int(n * 2));
+                Ok(())
+            });
+        let (ctx, _) = p.run(&g).unwrap();
+        assert_eq!(ctx.value("n2"), Some(&Value::Int(6)));
+    }
+
+    #[test]
+    fn failing_stage_aborts() {
+        let g = session();
+        let p = Pipeline::new()
+            .add_sql("bad", "SELECT * FROM nonexistent")
+            .add_sql("never", "SELECT 1");
+        assert!(p.run(&g).is_err());
+    }
+
+    #[test]
+    fn empty_pipeline_is_noop() {
+        let g = session();
+        let p = Pipeline::new();
+        assert!(p.is_empty());
+        let (ctx, timings) = p.run(&g).unwrap();
+        assert!(ctx.values.is_empty());
+        assert!(timings.is_empty());
+    }
+}

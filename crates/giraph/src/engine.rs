@@ -1,0 +1,447 @@
+//! The BSP engine: partitions, worker threads, barriers, serialized messages.
+
+use std::sync::Arc;
+
+use vertexica_common::graph::{Adjacency, Edge, EdgeList, VertexId};
+use vertexica_common::hash::{mix64, FxHashMap};
+use vertexica_common::pregel::{AggKind, InitContext, VertexContext, VertexProgram};
+use vertexica_common::timer::Stopwatch;
+use vertexica_common::VertexData;
+
+use crate::overhead::OverheadModel;
+
+/// Run statistics.
+#[derive(Debug, Clone, Default)]
+pub struct GiraphRunStats {
+    pub supersteps: u64,
+    pub total_messages: u64,
+    pub elapsed_secs: f64,
+}
+
+/// The engine configuration.
+#[derive(Clone)]
+pub struct GiraphEngine {
+    pub num_workers: usize,
+    pub use_combiner: bool,
+    pub overhead: OverheadModel,
+}
+
+impl Default for GiraphEngine {
+    fn default() -> Self {
+        GiraphEngine {
+            num_workers: std::thread::available_parallelism().map(|n| n.get()).unwrap_or(4),
+            use_combiner: true,
+            overhead: OverheadModel::none(),
+        }
+    }
+}
+
+/// Per-vertex runtime state.
+struct VertexState<V> {
+    value: V,
+    halted: bool,
+}
+
+/// The context handed to compute calls.
+struct Ctx<'a, P: VertexProgram> {
+    id: VertexId,
+    superstep: u64,
+    num_vertices: u64,
+    value: P::Value,
+    edges: &'a [Edge],
+    sent: &'a mut Vec<(VertexId, Vec<u8>)>,
+    sent_count: &'a mut u64,
+    voted_halt: bool,
+    agg_out: &'a mut Vec<(String, f64)>,
+    prev_aggregates: &'a FxHashMap<String, f64>,
+}
+
+impl<'a, P: VertexProgram> VertexContext<P::Value, P::Message> for Ctx<'a, P> {
+    fn vertex_id(&self) -> VertexId {
+        self.id
+    }
+    fn superstep(&self) -> u64 {
+        self.superstep
+    }
+    fn num_vertices(&self) -> u64 {
+        self.num_vertices
+    }
+    fn value(&self) -> &P::Value {
+        &self.value
+    }
+    fn set_value(&mut self, value: P::Value) {
+        self.value = value;
+    }
+    fn out_edges(&self) -> &[Edge] {
+        self.edges
+    }
+    fn send_message(&mut self, to: VertexId, msg: P::Message) {
+        // Serialize immediately — Giraph messages cross Writable boundaries.
+        self.sent.push((to, msg.to_bytes()));
+        *self.sent_count += 1;
+    }
+    fn vote_to_halt(&mut self) {
+        self.voted_halt = true;
+    }
+    fn aggregate(&mut self, name: &str, value: f64) {
+        self.agg_out.push((name.to_string(), value));
+    }
+    fn read_aggregate(&self, name: &str) -> Option<f64> {
+        self.prev_aggregates.get(name).copied()
+    }
+}
+
+impl GiraphEngine {
+    pub fn with_workers(mut self, n: usize) -> Self {
+        self.num_workers = n.max(1);
+        self
+    }
+
+    pub fn with_overhead(mut self, o: OverheadModel) -> Self {
+        self.overhead = o;
+        self
+    }
+
+    pub fn with_combiner(mut self, on: bool) -> Self {
+        self.use_combiner = on;
+        self
+    }
+
+    /// Runs the program to convergence; returns final vertex values (indexed
+    /// by vertex id) and stats.
+    pub fn run<P: VertexProgram>(
+        &self,
+        graph: &EdgeList,
+        program: &P,
+    ) -> (Vec<P::Value>, GiraphRunStats) {
+        let sw = Stopwatch::start();
+        self.overhead.charge_startup();
+
+        let n = graph.num_vertices;
+        let adj = Arc::new(Adjacency::from_edge_list(graph));
+        // Pre-materialize each vertex's out-edge list once (Edge structs).
+        let edge_lists: Vec<Vec<Edge>> = (0..n)
+            .map(|v| {
+                adj.neighbors(v)
+                    .iter()
+                    .zip(adj.neighbor_weights(v))
+                    .map(|(&d, &w)| Edge::weighted(v, d, w))
+                    .collect()
+            })
+            .collect();
+
+        let workers = self.num_workers.max(1);
+        let part_of = |v: VertexId| (mix64(v) % workers as u64) as usize;
+
+        // Partition-local vertex states.
+        let mut states: Vec<FxHashMap<VertexId, VertexState<P::Value>>> =
+            (0..workers).map(|_| FxHashMap::default()).collect();
+        for v in 0..n {
+            let init = InitContext { num_vertices: n, out_degree: adj.out_degree(v) as u64 };
+            states[part_of(v)].insert(
+                v,
+                VertexState { value: program.initial_value(v, &init), halted: false },
+            );
+        }
+
+        // Double-buffered inboxes: messages for the *current* superstep.
+        let mut inboxes: Vec<FxHashMap<VertexId, Vec<Vec<u8>>>> =
+            (0..workers).map(|_| FxHashMap::default()).collect();
+
+        let mut prev_aggregates: FxHashMap<String, f64> = FxHashMap::default();
+        let agg_specs: FxHashMap<String, AggKind> = program
+            .aggregators()
+            .into_iter()
+            .map(|s| (s.name.to_string(), s.kind))
+            .collect();
+
+        let mut stats = GiraphRunStats::default();
+        let max_supersteps = program.max_supersteps();
+        let mut superstep: u64 = 0;
+
+        loop {
+            if superstep >= max_supersteps {
+                break;
+            }
+            let any_messages = inboxes.iter().any(|p| !p.is_empty());
+            let any_active =
+                states.iter().any(|p| p.values().any(|s| !s.halted));
+            if superstep > 0 && !any_messages && !any_active {
+                break;
+            }
+
+            // Compute phase: one thread per partition.
+            let current_inboxes = std::mem::take(&mut inboxes);
+            let results: Vec<PartitionResult> = crossbeam::thread::scope(|scope| {
+                let handles: Vec<_> = states
+                    .iter_mut()
+                    .zip(current_inboxes.into_iter())
+                    .map(|(part_states, mut inbox)| {
+                        let edge_lists = &edge_lists;
+                        let prev = &prev_aggregates;
+                        scope.spawn(move |_| {
+                            let mut out: Vec<(VertexId, Vec<u8>)> = Vec::new();
+                            let mut sent_count = 0u64;
+                            let mut agg_out: Vec<(String, f64)> = Vec::new();
+                            let mut ids: Vec<VertexId> =
+                                part_states.keys().copied().collect();
+                            ids.sort_unstable();
+                            for v in ids {
+                                let msgs_bytes = inbox.remove(&v).unwrap_or_default();
+                                let state = part_states.get_mut(&v).expect("state");
+                                let active = superstep == 0
+                                    || !state.halted
+                                    || !msgs_bytes.is_empty();
+                                if !active {
+                                    continue;
+                                }
+                                let msgs: Vec<P::Message> = msgs_bytes
+                                    .iter()
+                                    .filter_map(|b| P::Message::from_bytes(b))
+                                    .collect();
+                                let mut ctx: Ctx<'_, P> = Ctx {
+                                    id: v,
+                                    superstep,
+                                    num_vertices: n,
+                                    value: state.value.clone(),
+                                    edges: &edge_lists[v as usize],
+                                    sent: &mut out,
+                                    sent_count: &mut sent_count,
+                                    voted_halt: false,
+                                    agg_out: &mut agg_out,
+                                    prev_aggregates: prev,
+                                };
+                                program.compute(&mut ctx, &msgs);
+                                state.value = ctx.value;
+                                state.halted = ctx.voted_halt;
+                            }
+                            PartitionResult { out, sent_count, agg_out }
+                        })
+                    })
+                    .collect();
+                handles.into_iter().map(|h| h.join().expect("worker panicked")).collect()
+            })
+            .expect("scope");
+
+            // Message routing (the "network" phase).
+            let mut delivered: u64 = 0;
+            let mut new_inboxes: Vec<FxHashMap<VertexId, Vec<Vec<u8>>>> =
+                (0..workers).map(|_| FxHashMap::default()).collect();
+            let mut agg_now: FxHashMap<String, f64> = FxHashMap::default();
+            for r in results {
+                delivered += r.sent_count;
+                for (to, bytes) in r.out {
+                    if to >= n {
+                        continue; // dropped, like messages to missing vertices
+                    }
+                    new_inboxes[part_of(to)].entry(to).or_default().push(bytes);
+                }
+                for (name, v) in r.agg_out {
+                    let Some(kind) = agg_specs.get(&name) else { continue };
+                    let e = agg_now.entry(name).or_insert(kind.identity());
+                    *e = kind.combine(*e, v);
+                }
+            }
+
+            // Optional combiner pass (after routing, like Giraph's combiner
+            // on the receive side).
+            if self.use_combiner {
+                for inbox in &mut new_inboxes {
+                    for msgs in inbox.values_mut() {
+                        if msgs.len() < 2 {
+                            continue;
+                        }
+                        let decoded: Vec<P::Message> =
+                            msgs.iter().filter_map(|b| P::Message::from_bytes(b)).collect();
+                        if decoded.len() == msgs.len() {
+                            let mut it = decoded.into_iter();
+                            let mut acc = it.next().unwrap();
+                            let mut combined_all = true;
+                            for m in it {
+                                match program.combine(&acc, &m) {
+                                    Some(c) => acc = c,
+                                    None => {
+                                        combined_all = false;
+                                        break;
+                                    }
+                                }
+                            }
+                            if combined_all {
+                                *msgs = vec![acc.to_bytes()];
+                            }
+                        }
+                    }
+                }
+            }
+
+            inboxes = new_inboxes;
+            stats.total_messages += delivered;
+            self.overhead.charge_messages(delivered);
+            self.overhead.charge_superstep();
+            prev_aggregates = agg_now;
+            superstep += 1;
+        }
+
+        stats.supersteps = superstep;
+        stats.elapsed_secs = sw.elapsed_secs();
+
+        // Collect final values in id order.
+        let mut values: Vec<Option<P::Value>> = (0..n).map(|_| None).collect();
+        for part in states {
+            for (v, s) in part {
+                values[v as usize] = Some(s.value);
+            }
+        }
+        (values.into_iter().map(|v| v.expect("every vertex has state")).collect(), stats)
+    }
+}
+
+struct PartitionResult {
+    out: Vec<(VertexId, Vec<u8>)>,
+    sent_count: u64,
+    agg_out: Vec<(String, f64)>,
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use vertexica_common::pregel::{AggregatorSpec, VertexContextExt};
+
+    /// Same MaxId program as the Vertexica coordinator tests.
+    struct MaxId;
+    impl VertexProgram for MaxId {
+        type Value = u64;
+        type Message = u64;
+
+        fn initial_value(&self, id: VertexId, _init: &InitContext) -> u64 {
+            id
+        }
+
+        fn compute(&self, ctx: &mut dyn VertexContext<u64, u64>, messages: &[u64]) {
+            let best = messages.iter().copied().fold(*ctx.value(), u64::max);
+            if best > *ctx.value() || ctx.superstep() == 0 {
+                ctx.set_value(best);
+                ctx.send_to_all_neighbors(best);
+            }
+            ctx.vote_to_halt();
+        }
+
+        fn combine(&self, a: &u64, b: &u64) -> Option<u64> {
+            Some((*a).max(*b))
+        }
+    }
+
+    /// Counts active vertices per superstep through an aggregator.
+    struct CountActive;
+    impl VertexProgram for CountActive {
+        type Value = f64;
+        type Message = f64;
+
+        fn initial_value(&self, _id: VertexId, _init: &InitContext) -> f64 {
+            0.0
+        }
+
+        fn compute(&self, ctx: &mut dyn VertexContext<f64, f64>, _messages: &[f64]) {
+            ctx.aggregate("active", 1.0);
+            if ctx.superstep() == 0 {
+                ctx.send_to_all_neighbors(1.0);
+            } else {
+                // Record what the previous superstep measured.
+                let prev = ctx.read_aggregate("active").unwrap_or(-1.0);
+                ctx.set_value(prev);
+            }
+            ctx.vote_to_halt();
+        }
+
+        fn aggregators(&self) -> Vec<AggregatorSpec> {
+            vec![AggregatorSpec { name: "active", kind: AggKind::Sum }]
+        }
+
+        fn max_supersteps(&self) -> u64 {
+            2
+        }
+    }
+
+    fn two_components() -> EdgeList {
+        EdgeList::from_pairs([(0, 1), (1, 0), (1, 2), (2, 1), (3, 4), (4, 3)])
+    }
+
+    #[test]
+    fn maxid_converges() {
+        let (values, stats) = GiraphEngine::default().run(&two_components(), &MaxId);
+        assert_eq!(values, vec![2, 2, 2, 4, 4]);
+        assert!(stats.supersteps >= 2);
+        assert!(stats.total_messages > 0);
+    }
+
+    #[test]
+    fn single_worker_matches_parallel() {
+        let g = two_components();
+        let (v1, _) = GiraphEngine::default().with_workers(1).run(&g, &MaxId);
+        let (v8, _) = GiraphEngine::default().with_workers(8).run(&g, &MaxId);
+        assert_eq!(v1, v8);
+    }
+
+    #[test]
+    fn combiner_does_not_change_result() {
+        let g = two_components();
+        let (v1, s1) = GiraphEngine::default().with_combiner(true).run(&g, &MaxId);
+        let (v2, _) = GiraphEngine::default().with_combiner(false).run(&g, &MaxId);
+        assert_eq!(v1, v2);
+        assert!(s1.supersteps >= 2);
+    }
+
+    #[test]
+    fn aggregator_visible_next_superstep() {
+        // Star graph: all 5 vertices active at superstep 0.
+        let g = EdgeList::from_pairs([(0, 1), (0, 2), (0, 3), (0, 4)]);
+        let (values, _) = GiraphEngine::default().run(&g, &CountActive);
+        // Vertices active in superstep 1 (got messages: 1..4) read 5.0.
+        for v in 1..5 {
+            assert_eq!(values[v], 5.0, "vertex {v}");
+        }
+    }
+
+    #[test]
+    fn empty_graph() {
+        let g = EdgeList::new(0, vec![]);
+        let (values, stats) = GiraphEngine::default().run(&g, &MaxId);
+        assert!(values.is_empty());
+        assert!(stats.supersteps <= 1);
+    }
+
+    #[test]
+    fn overhead_model_slows_run() {
+        let g = two_components();
+        let fast = GiraphEngine::default();
+        let slow = GiraphEngine::default().with_overhead(OverheadModel {
+            startup: std::time::Duration::from_millis(30),
+            per_superstep: std::time::Duration::from_millis(5),
+            per_message_ns: 0,
+        });
+        let (_, s_fast) = fast.run(&g, &MaxId);
+        let (_, s_slow) = slow.run(&g, &MaxId);
+        assert!(s_slow.elapsed_secs > s_fast.elapsed_secs + 0.025);
+    }
+
+    #[test]
+    fn message_to_out_of_range_vertex_dropped() {
+        struct SendFar;
+        impl VertexProgram for SendFar {
+            type Value = u64;
+            type Message = u64;
+            fn initial_value(&self, id: VertexId, _i: &InitContext) -> u64 {
+                id
+            }
+            fn compute(&self, ctx: &mut dyn VertexContext<u64, u64>, _m: &[u64]) {
+                if ctx.superstep() == 0 {
+                    ctx.send_message(9999, 1);
+                }
+                ctx.vote_to_halt();
+            }
+        }
+        let g = EdgeList::from_pairs([(0, 1)]);
+        let (values, _) = GiraphEngine::default().run(&g, &SendFar);
+        assert_eq!(values.len(), 2);
+    }
+}

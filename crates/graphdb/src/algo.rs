@@ -1,0 +1,227 @@
+//! Traversal-style graph algorithms over the transactional API.
+//!
+//! Written the way an application developer uses a transactional graph
+//! database: per-node property reads/writes inside transactions, neighbour
+//! expansion via the record chains. Each algorithm takes a wall-clock budget
+//! and reports **DNF** when exceeded — reproducing Figure 2, where the graph
+//! database finishes only the smallest dataset.
+
+use std::collections::BinaryHeap;
+use std::time::{Duration, Instant};
+
+use vertexica_common::graph::VertexId;
+
+use crate::store::{GraphDb, NodeId};
+
+/// Outcome of a budgeted run.
+#[derive(Debug, Clone)]
+pub enum Outcome<T> {
+    Finished { result: T, elapsed: Duration },
+    /// Did not finish within the budget (paper: missing bars in Figure 2).
+    DidNotFinish { budget: Duration },
+}
+
+impl<T> Outcome<T> {
+    pub fn finished(&self) -> Option<&T> {
+        match self {
+            Outcome::Finished { result, .. } => Some(result),
+            Outcome::DidNotFinish { .. } => None,
+        }
+    }
+
+    pub fn elapsed_secs(&self) -> Option<f64> {
+        match self {
+            Outcome::Finished { elapsed, .. } => Some(elapsed.as_secs_f64()),
+            Outcome::DidNotFinish { .. } => None,
+        }
+    }
+}
+
+/// PageRank, transactional style: ranks live in node properties; every
+/// iteration reads each node's rank property (blob decode), pushes
+/// contributions along relationship chains, and commits the new ranks in
+/// per-node transactions.
+pub fn pagerank(
+    db: &GraphDb,
+    num_nodes: u64,
+    iterations: usize,
+    damping: f64,
+    budget: Duration,
+) -> std::io::Result<Outcome<Vec<f64>>> {
+    let start = Instant::now();
+    let n = num_nodes.max(1) as f64;
+
+    // Init ranks.
+    {
+        let mut txn = db.begin();
+        for v in 0..num_nodes {
+            txn.set_prop(v, "rank", 1.0 / n);
+        }
+        txn.commit()?;
+    }
+
+    for _ in 0..iterations {
+        // Accumulate contributions by traversing every node's chain.
+        let mut incoming = vec![0.0f64; num_nodes as usize];
+        let mut dangling = 0.0f64;
+        for v in 0..num_nodes {
+            if start.elapsed() > budget {
+                return Ok(Outcome::DidNotFinish { budget });
+            }
+            let rank = db.node_prop(v, "rank").unwrap_or(1.0 / n);
+            let neigh = db.out_neighbors(v);
+            if neigh.is_empty() {
+                dangling += rank;
+            } else {
+                let share = rank / neigh.len() as f64;
+                for (d, _) in neigh {
+                    incoming[d as usize] += share;
+                }
+            }
+        }
+        // Write-back, one transaction per node (the application pattern the
+        // paper's baseline measures).
+        for v in 0..num_nodes {
+            if start.elapsed() > budget {
+                return Ok(Outcome::DidNotFinish { budget });
+            }
+            let new_rank =
+                (1.0 - damping) / n + damping * (incoming[v as usize] + dangling / n);
+            let mut txn = db.begin();
+            txn.set_prop(v, "rank", new_rank);
+            txn.commit()?;
+        }
+    }
+
+    let result: Vec<f64> =
+        (0..num_nodes).map(|v| db.node_prop(v, "rank").unwrap_or(0.0)).collect();
+    Ok(Outcome::Finished { result, elapsed: start.elapsed() })
+}
+
+#[derive(PartialEq)]
+struct HeapItem {
+    dist: f64,
+    node: NodeId,
+}
+
+impl Eq for HeapItem {}
+
+impl Ord for HeapItem {
+    fn cmp(&self, other: &Self) -> std::cmp::Ordering {
+        // Min-heap on distance.
+        other.dist.total_cmp(&self.dist)
+    }
+}
+
+impl PartialOrd for HeapItem {
+    fn partial_cmp(&self, other: &Self) -> Option<std::cmp::Ordering> {
+        Some(self.cmp(other))
+    }
+}
+
+/// Single-source shortest paths via Dijkstra over the transactional API,
+/// storing distances as node properties.
+pub fn sssp(
+    db: &GraphDb,
+    num_nodes: u64,
+    source: VertexId,
+    budget: Duration,
+) -> std::io::Result<Outcome<Vec<f64>>> {
+    let start = Instant::now();
+    {
+        let mut txn = db.begin();
+        for v in 0..num_nodes {
+            txn.set_prop(v, "dist", if v == source { 0.0 } else { f64::INFINITY });
+        }
+        txn.commit()?;
+    }
+
+    let mut heap = BinaryHeap::new();
+    heap.push(HeapItem { dist: 0.0, node: source });
+    while let Some(HeapItem { dist, node }) = heap.pop() {
+        if start.elapsed() > budget {
+            return Ok(Outcome::DidNotFinish { budget });
+        }
+        let current = db.node_prop(node, "dist").unwrap_or(f64::INFINITY);
+        if dist > current {
+            continue; // stale heap entry
+        }
+        for (next, w) in db.out_neighbors(node) {
+            let cand = dist + w.max(0.0);
+            let existing = db.node_prop(next, "dist").unwrap_or(f64::INFINITY);
+            if cand < existing {
+                let mut txn = db.begin();
+                txn.set_prop(next, "dist", cand);
+                txn.commit()?;
+                heap.push(HeapItem { dist: cand, node: next });
+            }
+        }
+    }
+
+    let result: Vec<f64> = (0..num_nodes)
+        .map(|v| db.node_prop(v, "dist").unwrap_or(f64::INFINITY))
+        .collect();
+    Ok(Outcome::Finished { result, elapsed: start.elapsed() })
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use vertexica_common::graph::EdgeList;
+
+    fn small_db() -> (GraphDb, u64) {
+        let db = GraphDb::ephemeral();
+        // 0 → 1 → 2, 0 → 2 (heavier), 2 → 3
+        let g = EdgeList::new(
+            4,
+            vec![
+                vertexica_common::graph::Edge::weighted(0, 1, 1.0),
+                vertexica_common::graph::Edge::weighted(1, 2, 1.0),
+                vertexica_common::graph::Edge::weighted(0, 2, 5.0),
+                vertexica_common::graph::Edge::weighted(2, 3, 1.0),
+            ],
+        );
+        db.load_edges(&g).unwrap();
+        (db, 4)
+    }
+
+    #[test]
+    fn pagerank_sums_to_one() {
+        let (db, n) = small_db();
+        let out = pagerank(&db, n, 10, 0.85, Duration::from_secs(30)).unwrap();
+        let ranks = out.finished().expect("should finish").clone();
+        let total: f64 = ranks.iter().sum();
+        assert!((total - 1.0).abs() < 1e-6, "sum {total}");
+        assert!(ranks.iter().all(|&r| r > 0.0));
+    }
+
+    #[test]
+    fn sssp_finds_shortest_routes() {
+        let (db, n) = small_db();
+        let out = sssp(&db, n, 0, Duration::from_secs(30)).unwrap();
+        let dist = out.finished().expect("should finish").clone();
+        assert_eq!(dist[0], 0.0);
+        assert_eq!(dist[1], 1.0);
+        assert_eq!(dist[2], 2.0); // via 1, not the 5.0 edge
+        assert_eq!(dist[3], 3.0);
+    }
+
+    #[test]
+    fn budget_exhaustion_reports_dnf() {
+        let (db, n) = small_db();
+        let out = pagerank(&db, n, 1_000_000, 0.85, Duration::from_millis(5)).unwrap();
+        assert!(out.finished().is_none());
+        assert!(matches!(out, Outcome::DidNotFinish { .. }));
+    }
+
+    #[test]
+    fn unreachable_nodes_stay_infinite() {
+        let db = GraphDb::ephemeral();
+        db.load_edges(&EdgeList::from_pairs([(0, 1), (2, 3)])).unwrap();
+        let out = sssp(&db, 4, 0, Duration::from_secs(5)).unwrap();
+        let dist = out.finished().unwrap();
+        assert_eq!(dist[1], 1.0);
+        assert!(dist[2].is_infinite());
+        assert!(dist[3].is_infinite());
+    }
+}

@@ -1,0 +1,25 @@
+//! A Neo4j-like transactional property-graph store — the Figure-2 "Graph
+//! Database" baseline.
+//!
+//! The paper's graph database completes only the smallest dataset and is
+//! ~50× slower than Vertexica; on the larger graphs it does not finish. That
+//! profile comes from the architecture this crate reproduces:
+//!
+//! * **record stores with pointer chasing** ([`store`]): nodes hold the head
+//!   of a linked list of relationship records (as in Neo4j's store format),
+//!   so traversals walk chains instead of scanning arrays;
+//! * **per-entity property blobs** decoded on every access (Neo4j property
+//!   chains);
+//! * **transactions with a write-ahead log** ([`txn`], [`wal`]): every
+//!   mutation batch appends to a WAL before applying; recovery replays it;
+//! * **traversal-style algorithms** ([`algo`]): PageRank and Dijkstra
+//!   implemented the way one writes them against a transactional graph API,
+//!   with a time budget so the harness can report DNF exactly like Figure 2.
+
+pub mod algo;
+pub mod store;
+pub mod txn;
+pub mod wal;
+
+pub use store::{GraphDb, GraphDbConfig, NodeId, RelId};
+pub use txn::Txn;

@@ -1,0 +1,112 @@
+//! Transactions: buffered writes, WAL-then-apply commit, drop = rollback.
+
+use crate::store::{GraphDb, NodeId};
+use crate::wal::WalOp;
+
+/// A write transaction. Reads observe committed state; writes are buffered
+/// and applied atomically at [`Txn::commit`]. Dropping without committing
+/// discards everything (rollback).
+pub struct Txn<'db> {
+    db: &'db GraphDb,
+    ops: Vec<WalOp>,
+}
+
+impl<'db> Txn<'db> {
+    pub(crate) fn new(db: &'db GraphDb) -> Self {
+        Txn { db, ops: Vec::new() }
+    }
+
+    pub fn create_node(&mut self, id: NodeId) {
+        self.ops.push(WalOp::CreateNode { id });
+    }
+
+    pub fn create_rel(&mut self, src: NodeId, dst: NodeId, weight: f64) {
+        self.ops.push(WalOp::CreateRel { src, dst, weight });
+    }
+
+    pub fn set_prop(&mut self, node: NodeId, key: &str, value: f64) {
+        self.ops.push(WalOp::SetProp { node, key: key.to_string(), value });
+    }
+
+    pub fn delete_rel(&mut self, src: NodeId, dst: NodeId) {
+        self.ops.push(WalOp::DeleteRel { src, dst });
+    }
+
+    /// Number of buffered operations.
+    pub fn len(&self) -> usize {
+        self.ops.len()
+    }
+
+    pub fn is_empty(&self) -> bool {
+        self.ops.is_empty()
+    }
+
+    /// Durability point: append to the WAL, then apply to the stores under
+    /// the write lock. Charges the configured durable-commit latency
+    /// (busy-wait — sleep granularity is too coarse for sub-millisecond
+    /// latencies).
+    pub fn commit(self) -> std::io::Result<()> {
+        if self.ops.is_empty() {
+            return Ok(());
+        }
+        self.db.wal.lock().append_txn(&self.ops)?;
+        if !self.db.commit_latency.is_zero() {
+            let deadline = std::time::Instant::now() + self.db.commit_latency;
+            while std::time::Instant::now() < deadline {
+                std::hint::spin_loop();
+            }
+        }
+        let mut inner = self.db.inner.write();
+        for op in &self.ops {
+            inner.apply(op);
+        }
+        Ok(())
+    }
+
+    /// Explicit rollback (equivalent to dropping).
+    pub fn abort(self) {
+        drop(self);
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use vertexica_common::graph::EdgeList;
+
+    #[test]
+    fn uncommitted_writes_invisible() {
+        let db = GraphDb::ephemeral();
+        db.load_edges(&EdgeList::from_pairs([(0, 1)])).unwrap();
+        {
+            let mut t = db.begin();
+            t.set_prop(0, "rank", 1.0);
+            assert_eq!(t.len(), 1);
+            // Reads see committed state only.
+            assert_eq!(db.node_prop(0, "rank"), None);
+            t.abort();
+        }
+        assert_eq!(db.node_prop(0, "rank"), None);
+    }
+
+    #[test]
+    fn commit_applies_atomically() {
+        let db = GraphDb::ephemeral();
+        db.load_edges(&EdgeList::from_pairs([(0, 1)])).unwrap();
+        let mut t = db.begin();
+        t.create_node(5);
+        t.create_rel(5, 0, 2.0);
+        t.set_prop(5, "x", 3.0);
+        t.commit().unwrap();
+        assert_eq!(db.num_nodes(), 3);
+        assert_eq!(db.out_neighbors(5), vec![(0, 2.0)]);
+        assert_eq!(db.node_prop(5, "x"), Some(3.0));
+    }
+
+    #[test]
+    fn empty_commit_is_noop() {
+        let db = GraphDb::ephemeral();
+        db.begin().commit().unwrap();
+        assert_eq!(db.num_nodes(), 0);
+    }
+}

@@ -1,0 +1,237 @@
+//! The §4 metadata generator.
+//!
+//! "For each node, we added 24 uniformly distributed integer attributes with
+//! cardinality varying from 2 to 10⁹, 8 skewed (zipfian distribution) integer
+//! attributes with varying skewness, 18 floating point attributes with
+//! varying value ranges, and 10 string attributes with varying size and
+//! cardinality. For each edge, we added three additional attributes: the
+//! weight, the creation timestamp, and an edge type (friend, family, or
+//! classmate), chosen uniformly at random."
+
+use rand::rngs::StdRng;
+use rand::{Rng, SeedableRng};
+use vertexica_common::graph::EdgeList;
+
+/// Per-node metadata row.
+#[derive(Debug, Clone)]
+pub struct NodeMeta {
+    pub id: u64,
+    /// 24 uniform integers, cardinalities 2..=1e9 (varying per attribute).
+    pub uniform_ints: Vec<i64>,
+    /// 8 zipfian integers with exponents 0.5..=2.25.
+    pub zipf_ints: Vec<i64>,
+    /// 18 floats with value ranges 1, 10, 100, ….
+    pub floats: Vec<f64>,
+    /// 10 strings with varying length and cardinality.
+    pub strings: Vec<String>,
+}
+
+/// Per-edge metadata.
+#[derive(Debug, Clone)]
+pub struct EdgeMeta {
+    pub src: u64,
+    pub dst: u64,
+    pub weight: f64,
+    pub created: i64,
+    pub etype: &'static str,
+}
+
+/// The paper's three edge types.
+pub const EDGE_TYPES: [&str; 3] = ["friend", "family", "classmate"];
+
+/// Cardinality for the i-th uniform integer attribute: 2, ~8, ~32 … up to 1e9.
+pub fn uniform_cardinality(attr: usize) -> i64 {
+    // Geometric progression from 2 to 1e9 over 24 attributes.
+    let exp = attr as f64 / 23.0 * (1e9f64.ln() - 2f64.ln()) + 2f64.ln();
+    exp.exp().round() as i64
+}
+
+/// Zipf exponent for the i-th skewed attribute: 0.5, 0.75, … 2.25.
+pub fn zipf_exponent(attr: usize) -> f64 {
+    0.5 + attr as f64 * 0.25
+}
+
+/// Samples from a Zipf distribution over `1..=n` with exponent `s` via
+/// inverse-CDF on precomputed cumulative weights (n is capped at 10k, which
+/// is plenty of distinct values for skewed attributes).
+pub struct Zipf {
+    cumulative: Vec<f64>,
+}
+
+impl Zipf {
+    pub fn new(n: usize, s: f64) -> Zipf {
+        let n = n.clamp(1, 10_000);
+        let mut cumulative = Vec::with_capacity(n);
+        let mut total = 0.0;
+        for k in 1..=n {
+            total += 1.0 / (k as f64).powf(s);
+            cumulative.push(total);
+        }
+        Zipf { cumulative }
+    }
+
+    pub fn sample(&self, rng: &mut StdRng) -> i64 {
+        let total = *self.cumulative.last().unwrap();
+        let r = rng.gen::<f64>() * total;
+        match self.cumulative.binary_search_by(|c| c.partial_cmp(&r).unwrap()) {
+            Ok(i) | Err(i) => (i + 1) as i64,
+        }
+    }
+}
+
+/// Generates the full node-metadata table.
+pub fn node_metadata(num_vertices: u64, seed: u64) -> Vec<NodeMeta> {
+    let mut rng = StdRng::seed_from_u64(seed);
+    let zipfs: Vec<Zipf> = (0..8).map(|i| Zipf::new(1000, zipf_exponent(i))).collect();
+    let string_cardinalities: [usize; 10] = [2, 4, 8, 16, 32, 64, 128, 256, 512, 1024];
+    (0..num_vertices)
+        .map(|id| {
+            let uniform_ints =
+                (0..24).map(|a| rng.gen_range(0..uniform_cardinality(a))).collect();
+            let zipf_ints = zipfs.iter().map(|z| z.sample(&mut rng)).collect();
+            let floats = (0..18)
+                .map(|a| rng.gen::<f64>() * 10f64.powi((a % 6) as i32))
+                .collect();
+            let strings = (0..10)
+                .map(|a| {
+                    let card = string_cardinalities[a];
+                    let v = rng.gen_range(0..card);
+                    // Length grows with the attribute index.
+                    format!("attr{a}_{v:0width$}", width = 2 + a)
+                })
+                .collect();
+            NodeMeta { id, uniform_ints, zipf_ints, floats, strings }
+        })
+        .collect()
+}
+
+/// Generates edge metadata for an edge list: weight in `(0, 1]`, creation
+/// timestamps spread over `[t0, t1)`, and a uniformly random type.
+pub fn edge_metadata(graph: &EdgeList, t0: i64, t1: i64, seed: u64) -> Vec<EdgeMeta> {
+    let mut rng = StdRng::seed_from_u64(seed);
+    graph
+        .edges
+        .iter()
+        .map(|e| EdgeMeta {
+            src: e.src,
+            dst: e.dst,
+            weight: rng.gen::<f64>().max(f64::MIN_POSITIVE),
+            created: rng.gen_range(t0..t1.max(t0 + 1)),
+            etype: EDGE_TYPES[rng.gen_range(0..EDGE_TYPES.len())],
+        })
+        .collect()
+}
+
+/// Column names for the node metadata table, in order:
+/// `u0..u23, z0..z7, f0..f17, s0..s9`.
+pub fn node_meta_columns() -> Vec<String> {
+    let mut cols = Vec::with_capacity(60);
+    for i in 0..24 {
+        cols.push(format!("u{i}"));
+    }
+    for i in 0..8 {
+        cols.push(format!("z{i}"));
+    }
+    for i in 0..18 {
+        cols.push(format!("f{i}"));
+    }
+    for i in 0..10 {
+        cols.push(format!("s{i}"));
+    }
+    cols
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use vertexica_common::graph::EdgeList;
+
+    #[test]
+    fn schema_matches_paper() {
+        let metas = node_metadata(10, 1);
+        assert_eq!(metas.len(), 10);
+        for m in &metas {
+            assert_eq!(m.uniform_ints.len(), 24);
+            assert_eq!(m.zipf_ints.len(), 8);
+            assert_eq!(m.floats.len(), 18);
+            assert_eq!(m.strings.len(), 10);
+        }
+        assert_eq!(node_meta_columns().len(), 60);
+    }
+
+    #[test]
+    fn cardinalities_span_2_to_1e9() {
+        assert_eq!(uniform_cardinality(0), 2);
+        let last = uniform_cardinality(23);
+        assert!((last as f64 - 1e9).abs() / 1e9 < 0.01, "got {last}");
+        // Monotone increasing.
+        for a in 1..24 {
+            assert!(uniform_cardinality(a) >= uniform_cardinality(a - 1));
+        }
+    }
+
+    #[test]
+    fn uniform_values_respect_cardinality() {
+        let metas = node_metadata(500, 2);
+        for m in &metas {
+            assert!(m.uniform_ints[0] < 2);
+            assert!(m.uniform_ints[23] < uniform_cardinality(23));
+        }
+        // First attribute (cardinality 2) takes both values.
+        let distinct: std::collections::HashSet<i64> =
+            metas.iter().map(|m| m.uniform_ints[0]).collect();
+        assert_eq!(distinct.len(), 2);
+    }
+
+    #[test]
+    fn zipf_is_skewed() {
+        let z = Zipf::new(1000, 1.5);
+        let mut rng = StdRng::seed_from_u64(3);
+        let samples: Vec<i64> = (0..10_000).map(|_| z.sample(&mut rng)).collect();
+        let ones = samples.iter().filter(|&&v| v == 1).count();
+        let hundreds = samples.iter().filter(|&&v| v == 100).count();
+        assert!(ones > 100 * hundreds.max(1) / 10, "ones {ones} hundreds {hundreds}");
+        assert!(samples.iter().all(|&v| (1..=1000).contains(&v)));
+    }
+
+    #[test]
+    fn higher_exponent_more_skew() {
+        let mut rng = StdRng::seed_from_u64(4);
+        let mild = Zipf::new(1000, 0.5);
+        let harsh = Zipf::new(1000, 2.25);
+        let mean = |z: &Zipf, rng: &mut StdRng| {
+            (0..5000).map(|_| z.sample(rng) as f64).sum::<f64>() / 5000.0
+        };
+        assert!(mean(&mild, &mut rng) > mean(&harsh, &mut rng));
+    }
+
+    #[test]
+    fn edge_metadata_fields() {
+        let g = EdgeList::from_pairs([(0, 1), (1, 2), (2, 0)]);
+        let metas = edge_metadata(&g, 1000, 2000, 5);
+        assert_eq!(metas.len(), 3);
+        for m in &metas {
+            assert!(m.weight > 0.0 && m.weight <= 1.0);
+            assert!((1000..2000).contains(&m.created));
+            assert!(EDGE_TYPES.contains(&m.etype));
+        }
+    }
+
+    #[test]
+    fn edge_types_roughly_uniform() {
+        let g = EdgeList::from_pairs((0..3000u64).map(|i| (i % 50, (i + 1) % 50)));
+        let metas = edge_metadata(&g, 0, 10, 6);
+        for t in EDGE_TYPES {
+            let c = metas.iter().filter(|m| m.etype == t).count();
+            assert!(c > 800 && c < 1200, "type {t} count {c}");
+        }
+    }
+
+    #[test]
+    fn deterministic_metadata() {
+        let a = node_metadata(5, 9);
+        let b = node_metadata(5, 9);
+        assert_eq!(a[3].uniform_ints, b[3].uniform_ints);
+        assert_eq!(a[3].strings, b[3].strings);
+    }
+}

@@ -1,0 +1,200 @@
+//! Classical graph models for tests, examples and micro-benchmarks.
+
+use rand::rngs::StdRng;
+use rand::{Rng, SeedableRng};
+use vertexica_common::graph::{Edge, EdgeList};
+use vertexica_common::FxHashSet;
+
+/// Erdős–Rényi G(n, m): `m` distinct directed edges chosen uniformly.
+pub fn erdos_renyi(n: u64, m: u64, seed: u64) -> EdgeList {
+    assert!(n >= 2, "need at least two vertices");
+    let max_edges = n * (n - 1);
+    let m = m.min(max_edges);
+    let mut rng = StdRng::seed_from_u64(seed);
+    let mut seen: FxHashSet<(u64, u64)> = FxHashSet::default();
+    let mut edges = Vec::with_capacity(m as usize);
+    while (edges.len() as u64) < m {
+        let src = rng.gen_range(0..n);
+        let dst = rng.gen_range(0..n);
+        if src == dst || !seen.insert((src, dst)) {
+            continue;
+        }
+        edges.push(Edge::new(src, dst));
+    }
+    EdgeList::new(n, edges)
+}
+
+/// Barabási–Albert preferential attachment: each new vertex attaches to `k`
+/// existing vertices with probability proportional to degree. Produces an
+/// undirected-style edge list (both directions emitted).
+pub fn barabasi_albert(n: u64, k: u64, seed: u64) -> EdgeList {
+    assert!(k >= 1 && n > k, "need n > k >= 1");
+    let mut rng = StdRng::seed_from_u64(seed);
+    // Repeated-endpoints list: sampling uniformly from it is degree-biased.
+    let mut endpoints: Vec<u64> = Vec::new();
+    let mut edges: Vec<Edge> = Vec::new();
+    // Seed clique over the first k+1 vertices.
+    for i in 0..=k {
+        for j in 0..i {
+            edges.push(Edge::new(i, j));
+            edges.push(Edge::new(j, i));
+            endpoints.push(i);
+            endpoints.push(j);
+        }
+    }
+    for v in (k + 1)..n {
+        let mut targets: FxHashSet<u64> = FxHashSet::default();
+        while (targets.len() as u64) < k {
+            let t = endpoints[rng.gen_range(0..endpoints.len())];
+            if t != v {
+                targets.insert(t);
+            }
+        }
+        for t in targets {
+            edges.push(Edge::new(v, t));
+            edges.push(Edge::new(t, v));
+            endpoints.push(v);
+            endpoints.push(t);
+        }
+    }
+    EdgeList::new(n, edges)
+}
+
+/// A directed chain 0 → 1 → … → n-1.
+pub fn chain(n: u64) -> EdgeList {
+    let edges = (0..n.saturating_sub(1)).map(|i| Edge::new(i, i + 1)).collect();
+    EdgeList::new(n, edges)
+}
+
+/// A star: vertex 0 points to all others.
+pub fn star(n: u64) -> EdgeList {
+    let edges = (1..n).map(|i| Edge::new(0, i)).collect();
+    EdgeList::new(n, edges)
+}
+
+/// A complete directed graph (all ordered pairs).
+pub fn complete(n: u64) -> EdgeList {
+    let mut edges = Vec::with_capacity((n * n.saturating_sub(1)) as usize);
+    for i in 0..n {
+        for j in 0..n {
+            if i != j {
+                edges.push(Edge::new(i, j));
+            }
+        }
+    }
+    EdgeList::new(n, edges)
+}
+
+/// A 2-D grid with edges in both directions between 4-neighbours.
+pub fn grid(rows: u64, cols: u64) -> EdgeList {
+    let id = |r: u64, c: u64| r * cols + c;
+    let mut edges = Vec::new();
+    for r in 0..rows {
+        for c in 0..cols {
+            if c + 1 < cols {
+                edges.push(Edge::new(id(r, c), id(r, c + 1)));
+                edges.push(Edge::new(id(r, c + 1), id(r, c)));
+            }
+            if r + 1 < rows {
+                edges.push(Edge::new(id(r, c), id(r + 1, c)));
+                edges.push(Edge::new(id(r + 1, c), id(r, c)));
+            }
+        }
+    }
+    EdgeList::new(rows * cols, edges)
+}
+
+/// A bipartite "ratings" graph for collaborative filtering: `users` user
+/// vertices (ids `0..users`) and `items` item vertices (ids
+/// `users..users+items`). Each user rates ~`ratings_per_user` random items;
+/// edge weight is the rating in `1.0..=5.0`. Edges run both ways so
+/// user↔item message exchange works vertex-centrically.
+pub fn bipartite_ratings(
+    users: u64,
+    items: u64,
+    ratings_per_user: u64,
+    seed: u64,
+) -> EdgeList {
+    let mut rng = StdRng::seed_from_u64(seed);
+    let mut edges = Vec::new();
+    for u in 0..users {
+        let mut rated: FxHashSet<u64> = FxHashSet::default();
+        let k = ratings_per_user.min(items);
+        while (rated.len() as u64) < k {
+            let item = users + rng.gen_range(0..items);
+            if rated.insert(item) {
+                let rating = rng.gen_range(1..=5) as f64;
+                edges.push(Edge::weighted(u, item, rating));
+                edges.push(Edge::weighted(item, u, rating));
+            }
+        }
+    }
+    EdgeList::new(users + items, edges)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn erdos_renyi_counts() {
+        let g = erdos_renyi(50, 200, 7);
+        assert_eq!(g.num_vertices, 50);
+        assert_eq!(g.num_edges(), 200);
+        let mut seen = std::collections::HashSet::new();
+        for e in &g.edges {
+            assert_ne!(e.src, e.dst);
+            assert!(seen.insert((e.src, e.dst)));
+        }
+    }
+
+    #[test]
+    fn erdos_renyi_caps_at_max_edges() {
+        let g = erdos_renyi(3, 100, 7);
+        assert_eq!(g.num_edges(), 6);
+    }
+
+    #[test]
+    fn barabasi_albert_rich_get_richer() {
+        let g = barabasi_albert(500, 3, 11);
+        let deg = g.out_degrees();
+        let max = *deg.iter().max().unwrap();
+        let mean = deg.iter().sum::<u64>() as f64 / deg.len() as f64;
+        assert!(max as f64 > 3.0 * mean, "max {max} mean {mean}");
+    }
+
+    #[test]
+    fn chain_star_complete_shapes() {
+        assert_eq!(chain(5).num_edges(), 4);
+        assert_eq!(star(5).num_edges(), 4);
+        assert_eq!(complete(4).num_edges(), 12);
+        assert_eq!(chain(0).num_edges(), 0);
+        assert_eq!(chain(1).num_edges(), 0);
+    }
+
+    #[test]
+    fn grid_degree_bounds() {
+        let g = grid(3, 4);
+        assert_eq!(g.num_vertices, 12);
+        let deg = g.out_degrees();
+        assert!(deg.iter().all(|&d| (2..=4).contains(&d)));
+        // Corner has exactly 2 neighbours.
+        assert_eq!(deg[0], 2);
+    }
+
+    #[test]
+    fn bipartite_respects_sides() {
+        let users = 10;
+        let items = 5;
+        let g = bipartite_ratings(users, items, 3, 3);
+        assert_eq!(g.num_vertices, 15);
+        for e in &g.edges {
+            let src_user = e.src < users;
+            let dst_user = e.dst < users;
+            assert_ne!(src_user, dst_user, "edge within one side");
+            assert!((1.0..=5.0).contains(&e.weight));
+        }
+        // 10 users × 3 ratings × 2 directions.
+        assert_eq!(g.num_edges(), 60);
+    }
+}

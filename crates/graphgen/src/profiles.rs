@@ -1,0 +1,101 @@
+//! Named dataset profiles matching the paper's evaluation graphs.
+//!
+//! Figure 2 reports on Twitter (≈81K nodes, 1.7M edges), GPlus (≈107K nodes,
+//! 13.6M edges) and LiveJournal (4.8M nodes, 68M edges). At `scale = 1.0`
+//! these profiles generate R-MAT graphs with matching node/edge counts; the
+//! benchmark harness downscales them (`VERTEXICA_SCALE` env var) so the
+//! experiment matrix completes in CI time while preserving the small/medium/
+//! large ordering and density differences.
+
+use vertexica_common::graph::EdgeList;
+
+use crate::rmat::{rmat_graph, RmatConfig};
+
+/// A named dataset profile.
+#[derive(Debug, Clone)]
+pub struct DatasetProfile {
+    pub name: &'static str,
+    /// Node count at scale 1.0 (paper's figure-2 table).
+    pub nodes: u64,
+    /// Edge count at scale 1.0.
+    pub edges: u64,
+}
+
+/// The three Figure-2 datasets.
+pub const PROFILES: &[DatasetProfile] = &[
+    DatasetProfile { name: "twitter", nodes: 81_306, edges: 1_768_149 },
+    DatasetProfile { name: "gplus", nodes: 107_614, edges: 13_673_453 },
+    DatasetProfile { name: "livejournal", nodes: 4_847_571, edges: 68_993_773 },
+];
+
+/// Looks up a profile by name.
+pub fn profile(name: &str) -> Option<&'static DatasetProfile> {
+    PROFILES.iter().find(|p| p.name.eq_ignore_ascii_case(name))
+}
+
+impl DatasetProfile {
+    /// Generates the dataset at a linear scale factor in `(0, 1]`.
+    /// Node and edge counts shrink proportionally; the degree distribution
+    /// shape is preserved by R-MAT self-similarity.
+    pub fn generate(&self, scale: f64, seed: u64) -> EdgeList {
+        let scale = scale.clamp(1e-6, 1.0);
+        let nodes = ((self.nodes as f64 * scale).ceil() as u64).max(16);
+        let edges = ((self.edges as f64 * scale).ceil() as u64).max(nodes);
+        let log2_nodes = 64 - (nodes - 1).leading_zeros();
+        rmat_graph(&RmatConfig {
+            scale: log2_nodes,
+            num_edges: edges,
+            seed,
+            ..Default::default()
+        })
+    }
+}
+
+/// Convenience: generate a named dataset at a scale.
+pub fn dataset(name: &str, scale: f64, seed: u64) -> Option<EdgeList> {
+    profile(name).map(|p| p.generate(scale, seed))
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn profiles_cover_figure2() {
+        assert!(profile("twitter").is_some());
+        assert!(profile("GPLUS").is_some());
+        assert!(profile("livejournal").is_some());
+        assert!(profile("facebook").is_none());
+    }
+
+    #[test]
+    fn relative_sizes_preserved() {
+        let t = profile("twitter").unwrap();
+        let g = profile("gplus").unwrap();
+        let l = profile("livejournal").unwrap();
+        assert!(t.edges < g.edges && g.edges < l.edges);
+        assert!(t.nodes < g.nodes && g.nodes < l.nodes);
+        // GPlus is much denser than Twitter (the paper's crossover driver).
+        let t_density = t.edges as f64 / t.nodes as f64;
+        let g_density = g.edges as f64 / g.nodes as f64;
+        assert!(g_density > 3.0 * t_density);
+    }
+
+    #[test]
+    fn downscaled_generation() {
+        let g = dataset("twitter", 0.01, 1).unwrap();
+        // ~813 nodes rounded up to a power of two, ~17.7K edges.
+        assert!(g.num_vertices >= 813);
+        assert!(g.num_edges() > 10_000);
+        assert!(g.num_edges() < 20_000);
+    }
+
+    #[test]
+    fn scale_is_clamped() {
+        let p = DatasetProfile { name: "tiny", nodes: 100, edges: 500 };
+        let over = p.generate(50.0, 1);
+        let exact = p.generate(1.0, 1);
+        assert_eq!(over.num_vertices, exact.num_vertices);
+        assert_eq!(over.num_edges(), exact.num_edges());
+    }
+}

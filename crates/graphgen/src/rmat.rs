@@ -1,0 +1,175 @@
+//! R-MAT (recursive matrix) graph generator.
+//!
+//! R-MAT with the canonical `(a, b, c, d) = (0.57, 0.19, 0.19, 0.05)`
+//! partition probabilities produces the heavy-tailed in/out-degree
+//! distributions characteristic of social graphs — the workload property the
+//! paper's experiments depend on (message-volume skew, hub vertices).
+
+use rand::rngs::StdRng;
+use rand::{Rng, SeedableRng};
+use vertexica_common::graph::{Edge, EdgeList};
+
+/// R-MAT parameters.
+#[derive(Debug, Clone)]
+pub struct RmatConfig {
+    /// log2 of the vertex count.
+    pub scale: u32,
+    /// Edges to generate.
+    pub num_edges: u64,
+    /// Quadrant probabilities; must sum to ~1.
+    pub a: f64,
+    pub b: f64,
+    pub c: f64,
+    /// Noise added per recursion level to avoid exact self-similarity.
+    pub noise: f64,
+    /// Drop duplicate (src, dst) pairs.
+    pub dedup: bool,
+    /// Drop self-loops.
+    pub drop_self_loops: bool,
+    pub seed: u64,
+}
+
+impl Default for RmatConfig {
+    fn default() -> Self {
+        RmatConfig {
+            scale: 10,
+            num_edges: 8 * 1024,
+            a: 0.57,
+            b: 0.19,
+            c: 0.19,
+            noise: 0.05,
+            dedup: true,
+            drop_self_loops: true,
+            seed: 42,
+        }
+    }
+}
+
+impl RmatConfig {
+    pub fn num_vertices(&self) -> u64 {
+        1u64 << self.scale
+    }
+}
+
+/// Generates an R-MAT graph.
+pub fn rmat_graph(config: &RmatConfig) -> EdgeList {
+    let mut rng = StdRng::seed_from_u64(config.seed);
+    let n = config.num_vertices();
+    let mut edges = Vec::with_capacity(config.num_edges as usize);
+    let d = 1.0 - config.a - config.b - config.c;
+    assert!(d >= 0.0, "quadrant probabilities exceed 1");
+
+    let mut seen = if config.dedup {
+        Some(vertexica_common::FxHashSet::default())
+    } else {
+        None
+    };
+
+    let mut attempts: u64 = 0;
+    let max_attempts = config.num_edges.saturating_mul(20).max(1000);
+    while (edges.len() as u64) < config.num_edges && attempts < max_attempts {
+        attempts += 1;
+        let (mut x0, mut x1) = (0u64, n - 1);
+        let (mut y0, mut y1) = (0u64, n - 1);
+        for _ in 0..config.scale {
+            // Per-level jitter on the quadrant probabilities.
+            let jitter = |p: f64, rng: &mut StdRng| {
+                (p * (1.0 - config.noise + 2.0 * config.noise * rng.gen::<f64>())).max(0.0)
+            };
+            let (pa, pb, pc) = (jitter(config.a, &mut rng), jitter(config.b, &mut rng), jitter(config.c, &mut rng));
+            let pd = jitter(d, &mut rng);
+            let total = pa + pb + pc + pd;
+            let r = rng.gen::<f64>() * total;
+            let xm = (x0 + x1) / 2;
+            let ym = (y0 + y1) / 2;
+            if r < pa {
+                x1 = xm;
+                y1 = ym;
+            } else if r < pa + pb {
+                x1 = xm;
+                y0 = ym + 1;
+            } else if r < pa + pb + pc {
+                x0 = xm + 1;
+                y1 = ym;
+            } else {
+                x0 = xm + 1;
+                y0 = ym + 1;
+            }
+        }
+        let (src, dst) = (x0, y0);
+        if config.drop_self_loops && src == dst {
+            continue;
+        }
+        if let Some(seen) = &mut seen {
+            if !seen.insert((src, dst)) {
+                continue;
+            }
+        }
+        edges.push(Edge::new(src, dst));
+    }
+    EdgeList::new(n, edges)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::stats::degree_stats;
+
+    #[test]
+    fn generates_requested_edge_count() {
+        let g = rmat_graph(&RmatConfig { scale: 8, num_edges: 1000, ..Default::default() });
+        assert_eq!(g.num_vertices, 256);
+        // Dedup may fall slightly short on tiny graphs but not by much.
+        assert!(g.num_edges() >= 900, "got {}", g.num_edges());
+    }
+
+    #[test]
+    fn deterministic_for_same_seed() {
+        let cfg = RmatConfig { scale: 8, num_edges: 500, ..Default::default() };
+        let g1 = rmat_graph(&cfg);
+        let g2 = rmat_graph(&cfg);
+        assert_eq!(g1.edges.len(), g2.edges.len());
+        assert_eq!(g1.edges[10], g2.edges[10]);
+    }
+
+    #[test]
+    fn different_seeds_differ() {
+        let g1 = rmat_graph(&RmatConfig { seed: 1, ..Default::default() });
+        let g2 = rmat_graph(&RmatConfig { seed: 2, ..Default::default() });
+        assert_ne!(
+            g1.edges.iter().map(|e| (e.src, e.dst)).collect::<Vec<_>>(),
+            g2.edges.iter().map(|e| (e.src, e.dst)).collect::<Vec<_>>()
+        );
+    }
+
+    #[test]
+    fn no_self_loops_or_duplicates_by_default() {
+        let g = rmat_graph(&RmatConfig { scale: 8, num_edges: 2000, ..Default::default() });
+        let mut seen = std::collections::HashSet::new();
+        for e in &g.edges {
+            assert_ne!(e.src, e.dst);
+            assert!(seen.insert((e.src, e.dst)));
+        }
+    }
+
+    #[test]
+    fn degrees_are_heavy_tailed() {
+        let g = rmat_graph(&RmatConfig { scale: 12, num_edges: 40_000, ..Default::default() });
+        let s = degree_stats(&g);
+        // A power-lawish graph has max degree far above the mean.
+        assert!(
+            s.max_out_degree as f64 > 10.0 * s.mean_out_degree,
+            "max {} mean {}",
+            s.max_out_degree,
+            s.mean_out_degree
+        );
+    }
+
+    #[test]
+    fn all_ids_in_range() {
+        let g = rmat_graph(&RmatConfig { scale: 6, num_edges: 300, ..Default::default() });
+        for e in &g.edges {
+            assert!(e.src < g.num_vertices && e.dst < g.num_vertices);
+        }
+    }
+}

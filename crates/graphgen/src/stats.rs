@@ -1,0 +1,105 @@
+//! Degree statistics for generated graphs.
+
+use vertexica_common::graph::EdgeList;
+
+/// Summary degree statistics.
+#[derive(Debug, Clone)]
+pub struct DegreeStats {
+    pub num_vertices: u64,
+    pub num_edges: u64,
+    pub max_out_degree: u64,
+    pub mean_out_degree: f64,
+    /// Fraction of vertices with zero out-degree.
+    pub sink_fraction: f64,
+    /// Gini coefficient of the out-degree distribution (0 = uniform,
+    /// → 1 = concentrated on few hubs).
+    pub gini: f64,
+}
+
+/// Computes degree statistics.
+pub fn degree_stats(graph: &EdgeList) -> DegreeStats {
+    let mut degrees = graph.out_degrees();
+    let n = degrees.len().max(1);
+    let max = degrees.iter().copied().max().unwrap_or(0);
+    let total: u64 = degrees.iter().sum();
+    let mean = total as f64 / n as f64;
+    let sinks = degrees.iter().filter(|&&d| d == 0).count();
+
+    degrees.sort_unstable();
+    let gini = if total == 0 {
+        0.0
+    } else {
+        // Gini via the sorted-rank formula.
+        let sum_ranked: f64 = degrees
+            .iter()
+            .enumerate()
+            .map(|(i, &d)| (i as f64 + 1.0) * d as f64)
+            .sum();
+        (2.0 * sum_ranked) / (n as f64 * total as f64) - (n as f64 + 1.0) / n as f64
+    };
+
+    DegreeStats {
+        num_vertices: graph.num_vertices,
+        num_edges: graph.num_edges(),
+        max_out_degree: max,
+        mean_out_degree: mean,
+        sink_fraction: sinks as f64 / n as f64,
+        gini,
+    }
+}
+
+/// Histogram of out-degrees in power-of-two buckets: `buckets[i]` counts
+/// vertices with degree in `[2^i, 2^(i+1))`; bucket 0 counts degree 0..2.
+pub fn degree_histogram(graph: &EdgeList) -> Vec<u64> {
+    let degrees = graph.out_degrees();
+    let mut buckets = vec![0u64; 33];
+    for d in degrees {
+        let b = if d < 2 { 0 } else { 64 - (d.leading_zeros() as usize) - 1 };
+        buckets[b.min(32)] += 1;
+    }
+    while buckets.len() > 1 && *buckets.last().unwrap() == 0 {
+        buckets.pop();
+    }
+    buckets
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::models::{complete, star};
+
+    #[test]
+    fn uniform_graph_low_gini() {
+        let g = complete(20);
+        let s = degree_stats(&g);
+        assert_eq!(s.max_out_degree, 19);
+        assert!(s.gini.abs() < 1e-9);
+        assert_eq!(s.sink_fraction, 0.0);
+    }
+
+    #[test]
+    fn star_graph_high_gini() {
+        let g = star(100);
+        let s = degree_stats(&g);
+        assert_eq!(s.max_out_degree, 99);
+        assert!(s.gini > 0.9);
+        assert!((s.sink_fraction - 0.99).abs() < 1e-9);
+    }
+
+    #[test]
+    fn empty_graph_is_safe() {
+        let g = EdgeList::new(0, vec![]);
+        let s = degree_stats(&g);
+        assert_eq!(s.max_out_degree, 0);
+        assert_eq!(s.gini, 0.0);
+    }
+
+    #[test]
+    fn histogram_buckets() {
+        let g = star(100); // one vertex deg 99, 99 vertices deg 0
+        let h = degree_histogram(&g);
+        assert_eq!(h[0], 99);
+        assert_eq!(h[6], 1); // 99 ∈ [64, 128)
+        assert_eq!(h.iter().sum::<u64>(), 100);
+    }
+}

@@ -1,0 +1,725 @@
+//! The `Database` façade: catalog + SQL execution + UDx + stored procedures.
+
+use std::collections::HashMap;
+use std::sync::Arc;
+
+use parking_lot::RwLock;
+use vertexica_storage::{
+    partition::hash_partition, Catalog, ColumnPredicate, Field, RecordBatch, Row, Schema,
+    TableOptions, Value,
+};
+
+use crate::ast::{InsertSource, Statement};
+use crate::error::{SqlError, SqlResult};
+use crate::expr::PhysExpr;
+use crate::functions::{FunctionRegistry, ScalarFunction};
+use crate::optimizer::optimize;
+use crate::parser::{parse_script, parse_statement};
+use crate::physical::{execute, ExecContext};
+use crate::planner::Planner;
+use crate::udf::TransformUdf;
+
+/// Result of executing a statement.
+#[derive(Debug)]
+pub enum QueryResult {
+    /// A SELECT result.
+    Rows { schema: Arc<Schema>, batches: Vec<RecordBatch> },
+    /// Row count affected by DML.
+    Affected(usize),
+    /// DDL success.
+    Ok,
+}
+
+impl QueryResult {
+    /// Unwraps row results.
+    pub fn into_batches(self) -> SqlResult<Vec<RecordBatch>> {
+        match self {
+            QueryResult::Rows { batches, .. } => Ok(batches),
+            other => Err(SqlError::Execution(format!("expected rows, got {other:?}"))),
+        }
+    }
+
+    /// All result rows as value vectors.
+    pub fn rows(&self) -> Vec<Vec<Value>> {
+        match self {
+            QueryResult::Rows { batches, .. } => batches.iter().flat_map(|b| b.rows()).collect(),
+            _ => Vec::new(),
+        }
+    }
+
+    pub fn affected(&self) -> usize {
+        match self {
+            QueryResult::Affected(n) => *n,
+            _ => 0,
+        }
+    }
+}
+
+/// A stored procedure: Rust code running *inside* the database with full
+/// access to it — exactly how Vertexica's coordinator is deployed (§2.2).
+pub type Procedure = Arc<dyn Fn(&Database, &[Value]) -> SqlResult<Value> + Send + Sync>;
+
+/// An embedded relational database instance.
+pub struct Database {
+    catalog: Arc<Catalog>,
+    functions: RwLock<FunctionRegistry>,
+    transforms: RwLock<HashMap<String, Arc<dyn TransformUdf>>>,
+    procedures: RwLock<HashMap<String, Procedure>>,
+    /// Degree of parallelism for transform-UDF execution (default: cores).
+    worker_threads: RwLock<usize>,
+}
+
+impl Default for Database {
+    fn default() -> Self {
+        Self::new()
+    }
+}
+
+impl Database {
+    pub fn new() -> Self {
+        Database {
+            catalog: Arc::new(Catalog::new()),
+            functions: RwLock::new(FunctionRegistry::new()),
+            transforms: RwLock::new(HashMap::new()),
+            procedures: RwLock::new(HashMap::new()),
+            worker_threads: RwLock::new(
+                std::thread::available_parallelism().map(|n| n.get()).unwrap_or(4),
+            ),
+        }
+    }
+
+    pub fn catalog(&self) -> &Arc<Catalog> {
+        &self.catalog
+    }
+
+    /// Sets the number of parallel worker threads used by transform UDFs.
+    pub fn set_worker_threads(&self, n: usize) {
+        *self.worker_threads.write() = n.max(1);
+    }
+
+    pub fn worker_threads(&self) -> usize {
+        *self.worker_threads.read()
+    }
+
+    /// Registers a scalar SQL function.
+    pub fn register_scalar(&self, f: ScalarFunction) {
+        self.functions.write().register(f);
+    }
+
+    /// Registers a transform UDF (Vertica UDx equivalent).
+    pub fn register_transform(&self, udf: Arc<dyn TransformUdf>) {
+        self.transforms.write().insert(udf.name().to_ascii_lowercase(), udf);
+    }
+
+    /// Registers a stored procedure.
+    pub fn register_procedure(&self, name: &str, proc_: Procedure) {
+        self.procedures.write().insert(name.to_ascii_lowercase(), proc_);
+    }
+
+    /// Invokes a stored procedure by name.
+    pub fn call_procedure(&self, name: &str, args: &[Value]) -> SqlResult<Value> {
+        let proc_ = self
+            .procedures
+            .read()
+            .get(&name.to_ascii_lowercase())
+            .cloned()
+            .ok_or_else(|| SqlError::Execution(format!("no such procedure: {name}")))?;
+        proc_(self, args)
+    }
+
+    /// Parses, plans, optimizes and executes one SQL statement.
+    pub fn execute(&self, sql: &str) -> SqlResult<QueryResult> {
+        let stmt = parse_statement(sql)?;
+        self.execute_statement(stmt)
+    }
+
+    /// Executes a `;`-separated script, returning the last statement's result.
+    pub fn execute_script(&self, sql: &str) -> SqlResult<QueryResult> {
+        let stmts = parse_script(sql)?;
+        let mut last = QueryResult::Ok;
+        for stmt in stmts {
+            last = self.execute_statement(stmt)?;
+        }
+        Ok(last)
+    }
+
+    /// Convenience: run a query and collect all rows.
+    pub fn query(&self, sql: &str) -> SqlResult<Vec<Vec<Value>>> {
+        Ok(self.execute(sql)?.rows())
+    }
+
+    /// Convenience: run a query expected to return one scalar.
+    pub fn query_scalar(&self, sql: &str) -> SqlResult<Value> {
+        let rows = self.query(sql)?;
+        rows.first()
+            .and_then(|r| r.first())
+            .cloned()
+            .ok_or_else(|| SqlError::Execution("query returned no rows".into()))
+    }
+
+    /// Convenience: one scalar as i64.
+    pub fn query_int(&self, sql: &str) -> SqlResult<i64> {
+        match self.query_scalar(sql)? {
+            Value::Int(v) => Ok(v),
+            Value::Float(v) => Ok(v as i64),
+            other => Err(SqlError::Execution(format!("expected integer, got {other}"))),
+        }
+    }
+
+    fn execute_statement(&self, stmt: Statement) -> SqlResult<QueryResult> {
+        match stmt {
+            Statement::Query(q) => {
+                let functions = self.functions.read().clone();
+                let mut planner = Planner::new(&self.catalog, &functions);
+                let plan = planner.plan_query(&q)?;
+                let plan = optimize(plan)?;
+                let schema = plan.schema();
+                let ctx = ExecContext { catalog: &self.catalog };
+                let batches = execute(&plan, &ctx)?;
+                Ok(QueryResult::Rows { schema, batches })
+            }
+            Statement::CreateTable { name, columns, order_by, if_not_exists } => {
+                if if_not_exists && self.catalog.contains(&name) {
+                    return Ok(QueryResult::Ok);
+                }
+                let fields: Vec<Field> = columns
+                    .iter()
+                    .map(|c| Field { name: c.name.clone(), dtype: c.dtype, nullable: c.nullable })
+                    .collect();
+                let schema = Schema::new(fields);
+                let mut options = TableOptions::default();
+                for key in &order_by {
+                    let idx = schema.index_of(key).ok_or_else(|| {
+                        SqlError::Plan(format!("ORDER BY column {key} not in table"))
+                    })?;
+                    options.sort_key.push(idx);
+                }
+                self.catalog.create_table(&name, schema, options)?;
+                Ok(QueryResult::Ok)
+            }
+            Statement::CreateTableAs { name, query, if_not_exists } => {
+                if if_not_exists && self.catalog.contains(&name) {
+                    return Ok(QueryResult::Ok);
+                }
+                let functions = self.functions.read().clone();
+                let mut planner = Planner::new(&self.catalog, &functions);
+                let plan = planner.plan_query(&query)?;
+                let plan = optimize(plan)?;
+                let schema = plan.schema();
+                let ctx = ExecContext { catalog: &self.catalog };
+                let batches = execute(&plan, &ctx)?;
+                let table = self.catalog.create_table(&name, schema, TableOptions::default())?;
+                let mut guard = table.write();
+                let mut n = 0usize;
+                for b in &batches {
+                    n += b.num_rows();
+                    guard.append_batch(b)?;
+                }
+                Ok(QueryResult::Affected(n))
+            }
+            Statement::DropTable { name, if_exists } => {
+                if if_exists {
+                    self.catalog.drop_table_if_exists(&name);
+                } else {
+                    self.catalog.drop_table(&name)?;
+                }
+                Ok(QueryResult::Ok)
+            }
+            Statement::Insert { table, columns, source } => {
+                self.execute_insert(&table, &columns, source)
+            }
+            Statement::Update { table, assignments, filter } => {
+                self.execute_update(&table, &assignments, filter.as_ref())
+            }
+            Statement::Delete { table, filter } => self.execute_delete(&table, filter.as_ref()),
+        }
+    }
+
+    fn execute_insert(
+        &self,
+        table: &str,
+        columns: &[String],
+        source: InsertSource,
+    ) -> SqlResult<QueryResult> {
+        let table_ref = self.catalog.get(table)?;
+        let schema = table_ref.read().schema().clone();
+
+        // Map provided columns to table positions.
+        let positions: Vec<usize> = if columns.is_empty() {
+            (0..schema.len()).collect()
+        } else {
+            columns
+                .iter()
+                .map(|c| {
+                    schema
+                        .index_of(c)
+                        .ok_or_else(|| SqlError::Plan(format!("unknown column {c} in INSERT")))
+                })
+                .collect::<SqlResult<Vec<_>>>()?
+        };
+
+        let make_full_row = |partial: Vec<Value>| -> SqlResult<Row> {
+            if partial.len() != positions.len() {
+                return Err(SqlError::Plan(format!(
+                    "INSERT expects {} values, got {}",
+                    positions.len(),
+                    partial.len()
+                )));
+            }
+            let mut row: Row = vec![Value::Null; schema.len()];
+            for (v, &p) in partial.into_iter().zip(&positions) {
+                row[p] = v;
+            }
+            Ok(row)
+        };
+
+        match source {
+            InsertSource::Values(rows) => {
+                let functions = self.functions.read().clone();
+                let planner = Planner::new(&self.catalog, &functions);
+                let empty = crate::planner::Scope::default();
+                let mut full_rows = Vec::with_capacity(rows.len());
+                for row in rows {
+                    let mut vals = Vec::with_capacity(row.len());
+                    for e in &row {
+                        let phys = planner.plan_expr(e, &empty)?;
+                        vals.push(phys.eval_scalar()?);
+                    }
+                    full_rows.push(make_full_row(vals)?);
+                }
+                let n = table_ref.write().insert_rows(full_rows)?;
+                Ok(QueryResult::Affected(n))
+            }
+            InsertSource::Query(q) => {
+                let functions = self.functions.read().clone();
+                let mut planner = Planner::new(&self.catalog, &functions);
+                let plan = planner.plan_query(&q)?;
+                let plan = optimize(plan)?;
+                let ctx = ExecContext { catalog: &self.catalog };
+                let batches = execute(&plan, &ctx)?;
+                let mut n = 0usize;
+                let full_width =
+                    positions.len() == schema.len() && positions.iter().enumerate().all(|(i, &p)| i == p);
+                let mut guard = table_ref.write();
+                for b in &batches {
+                    if b.num_columns() != positions.len() {
+                        return Err(SqlError::Plan(format!(
+                            "INSERT SELECT arity mismatch: expected {}, got {}",
+                            positions.len(),
+                            b.num_columns()
+                        )));
+                    }
+                    n += b.num_rows();
+                    if full_width {
+                        guard.append_batch(b)?;
+                    } else {
+                        let rows: Vec<Row> = (0..b.num_rows())
+                            .map(|i| make_full_row(b.row(i)))
+                            .collect::<SqlResult<Vec<_>>>()?;
+                        guard.insert_rows(rows)?;
+                    }
+                }
+                Ok(QueryResult::Affected(n))
+            }
+        }
+    }
+
+    fn execute_update(
+        &self,
+        table: &str,
+        assignments: &[(String, crate::ast::Expr)],
+        filter: Option<&crate::ast::Expr>,
+    ) -> SqlResult<QueryResult> {
+        let table_ref = self.catalog.get(table)?;
+        let schema = table_ref.read().schema().clone();
+        let functions = self.functions.read().clone();
+        let planner = Planner::new(&self.catalog, &functions);
+
+        let planned: Vec<(usize, PhysExpr)> = assignments
+            .iter()
+            .map(|(col, e)| {
+                let idx = schema
+                    .index_of(col)
+                    .ok_or_else(|| SqlError::Plan(format!("unknown column {col} in UPDATE")))?;
+                let phys = planner.plan_expr_for_table(e, &schema, table)?;
+                Ok((idx, phys))
+            })
+            .collect::<SqlResult<Vec<_>>>()?;
+        let pred = filter
+            .map(|f| planner.plan_expr_for_table(f, &schema, table))
+            .transpose()?;
+
+        // Scan with rowids while holding a read lock, compute updates, then
+        // apply under a write lock.
+        let scans = {
+            let guard = table_ref.read();
+            guard.scan_with_rowids(None, &[])?
+        };
+        let mut updates: Vec<(u64, Row)> = Vec::new();
+        for (batch, rowids) in scans {
+            let mask = match &pred {
+                Some(p) => p.eval_predicate(&batch)?,
+                None => vec![true; batch.num_rows()],
+            };
+            if !mask.iter().any(|&m| m) {
+                continue;
+            }
+            // Evaluate assignment expressions vectorized over the batch.
+            let new_cols: Vec<(usize, vertexica_storage::Column)> = planned
+                .iter()
+                .map(|(idx, e)| Ok((*idx, e.eval(&batch)?)))
+                .collect::<SqlResult<Vec<_>>>()?;
+            for (i, (&keep, rowid)) in mask.iter().zip(&rowids).enumerate() {
+                if !keep {
+                    continue;
+                }
+                let mut row = batch.row(i);
+                for (idx, col) in &new_cols {
+                    row[*idx] = col.value(i);
+                }
+                updates.push((*rowid, row));
+            }
+        }
+        let n = table_ref.write().update_rows(updates)?;
+        Ok(QueryResult::Affected(n))
+    }
+
+    fn execute_delete(
+        &self,
+        table: &str,
+        filter: Option<&crate::ast::Expr>,
+    ) -> SqlResult<QueryResult> {
+        let table_ref = self.catalog.get(table)?;
+        let schema = table_ref.read().schema().clone();
+        let functions = self.functions.read().clone();
+        let planner = Planner::new(&self.catalog, &functions);
+        let pred = filter
+            .map(|f| planner.plan_expr_for_table(f, &schema, table))
+            .transpose()?;
+
+        let Some(pred) = pred else {
+            // Unqualified DELETE: truncate.
+            let mut guard = table_ref.write();
+            let n = guard.num_rows();
+            guard.truncate();
+            return Ok(QueryResult::Affected(n));
+        };
+
+        let scans = {
+            let guard = table_ref.read();
+            guard.scan_with_rowids(None, &[])?
+        };
+        let mut doomed: Vec<u64> = Vec::new();
+        for (batch, rowids) in scans {
+            let mask = pred.eval_predicate(&batch)?;
+            for (keep, rowid) in mask.iter().zip(&rowids) {
+                if *keep {
+                    doomed.push(*rowid);
+                }
+            }
+        }
+        let n = table_ref.write().delete_rowids(&doomed);
+        Ok(QueryResult::Affected(n))
+    }
+
+    /// Runs a registered transform UDF over input batches, hash-partitioned on
+    /// `partition_by` into `num_partitions`, with worker-thread parallelism —
+    /// the paper's worker invocation (§2.2–§2.3: parallel workers + vertex
+    /// batching).
+    ///
+    /// Output batches preserve partition order.
+    pub fn run_transform(
+        &self,
+        name: &str,
+        input: Vec<RecordBatch>,
+        partition_by: &[usize],
+        num_partitions: usize,
+    ) -> SqlResult<Vec<RecordBatch>> {
+        let udf = self
+            .transforms
+            .read()
+            .get(&name.to_ascii_lowercase())
+            .cloned()
+            .ok_or_else(|| SqlError::Udf(format!("no such transform: {name}")))?;
+
+        let partitions = if num_partitions <= 1 || partition_by.is_empty() {
+            vec![input]
+        } else {
+            hash_partition(&input, partition_by, num_partitions)?
+        };
+        self.run_transform_partitions(&udf, partitions)
+    }
+
+    /// Runs a transform over pre-partitioned input.
+    pub fn run_transform_partitions(
+        &self,
+        udf: &Arc<dyn TransformUdf>,
+        partitions: Vec<Vec<RecordBatch>>,
+    ) -> SqlResult<Vec<RecordBatch>> {
+        let threads = self.worker_threads().min(partitions.len().max(1));
+        if threads <= 1 {
+            let mut out = Vec::new();
+            for p in partitions {
+                if !p.is_empty() {
+                    out.extend(udf.execute(p)?);
+                }
+            }
+            return Ok(out);
+        }
+
+        // Distribute partitions round-robin over worker threads; each worker
+        // executes its partitions serially (vertex batching: serial within a
+        // partition, parallel across partitions).
+        let mut slots: Vec<Vec<(usize, Vec<RecordBatch>)>> = vec![Vec::new(); threads];
+        for (i, p) in partitions.into_iter().enumerate() {
+            if !p.is_empty() {
+                slots[i % threads].push((i, p));
+            }
+        }
+        let results: Vec<SqlResult<Vec<(usize, Vec<RecordBatch>)>>> =
+            crossbeam::thread::scope(|scope| {
+                let handles: Vec<_> = slots
+                    .into_iter()
+                    .map(|work| {
+                        let udf = udf.clone();
+                        scope.spawn(move |_| {
+                            let mut out = Vec::new();
+                            for (idx, p) in work {
+                                out.push((idx, udf.execute(p)?));
+                            }
+                            Ok(out)
+                        })
+                    })
+                    .collect();
+                handles.into_iter().map(|h| h.join().expect("worker panicked")).collect()
+            })
+            .expect("thread scope");
+
+        let mut indexed: Vec<(usize, Vec<RecordBatch>)> = Vec::new();
+        for r in results {
+            indexed.extend(r?);
+        }
+        indexed.sort_by_key(|(i, _)| *i);
+        Ok(indexed.into_iter().flat_map(|(_, b)| b).collect())
+    }
+
+    /// Direct storage-level scan helper (bypasses SQL) — used by the
+    /// coordinator's hot paths.
+    pub fn scan_table(
+        &self,
+        table: &str,
+        projection: Option<&[usize]>,
+        predicates: &[ColumnPredicate],
+    ) -> SqlResult<Vec<RecordBatch>> {
+        let t = self.catalog.get(table)?;
+        let guard = t.read();
+        Ok(guard.scan(projection, predicates)?)
+    }
+
+    /// Direct bulk append (bypasses SQL) — used for graph loading.
+    pub fn append_batches(&self, table: &str, batches: &[RecordBatch]) -> SqlResult<usize> {
+        let t = self.catalog.get(table)?;
+        let mut guard = t.write();
+        let mut n = 0;
+        for b in batches {
+            n += b.num_rows();
+            guard.append_batch(b)?;
+        }
+        Ok(n)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use vertexica_storage::DataType;
+
+    fn db_with_edges() -> Database {
+        let db = Database::new();
+        db.execute("CREATE TABLE edge (src BIGINT NOT NULL, dst BIGINT NOT NULL, weight FLOAT)")
+            .unwrap();
+        db.execute(
+            "INSERT INTO edge VALUES (0,1,1.0), (0,2,2.0), (1,2,3.0), (2,0,4.0), (2,3,5.0)",
+        )
+        .unwrap();
+        db
+    }
+
+    #[test]
+    fn end_to_end_select() {
+        let db = db_with_edges();
+        let rows = db.query("SELECT src, dst FROM edge WHERE weight > 2.5 ORDER BY weight").unwrap();
+        assert_eq!(rows.len(), 3);
+        assert_eq!(rows[0], vec![Value::Int(1), Value::Int(2)]);
+    }
+
+    #[test]
+    fn group_by_with_having_end_to_end() {
+        let db = db_with_edges();
+        let rows = db
+            .query(
+                "SELECT src, COUNT(*) AS cnt, SUM(weight) AS w FROM edge \
+                 GROUP BY src HAVING COUNT(*) >= 2 ORDER BY src",
+            )
+            .unwrap();
+        assert_eq!(rows.len(), 2);
+        assert_eq!(rows[0], vec![Value::Int(0), Value::Int(2), Value::Float(3.0)]);
+        assert_eq!(rows[1], vec![Value::Int(2), Value::Int(2), Value::Float(9.0)]);
+    }
+
+    #[test]
+    fn join_end_to_end() {
+        let db = db_with_edges();
+        let n = db
+            .query_int("SELECT COUNT(*) FROM edge e1 JOIN edge e2 ON e1.dst = e2.src")
+            .unwrap();
+        assert_eq!(n, 7);
+    }
+
+    #[test]
+    fn left_join_is_null_end_to_end() {
+        let db = db_with_edges();
+        // Dead-end edges: no outgoing edge from dst.
+        let rows = db
+            .query(
+                "SELECT e1.src, e1.dst FROM edge e1 LEFT JOIN edge e2 ON e1.dst = e2.src \
+                 WHERE e2.src IS NULL",
+            )
+            .unwrap();
+        assert_eq!(rows, vec![vec![Value::Int(2), Value::Int(3)]]);
+    }
+
+    #[test]
+    fn update_and_delete() {
+        let db = db_with_edges();
+        let r = db.execute("UPDATE edge SET weight = weight * 10 WHERE src = 0").unwrap();
+        assert_eq!(r.affected(), 2);
+        let w = db.query_scalar("SELECT SUM(weight) FROM edge WHERE src = 0").unwrap();
+        assert_eq!(w, Value::Float(30.0));
+
+        let r = db.execute("DELETE FROM edge WHERE src = 2").unwrap();
+        assert_eq!(r.affected(), 2);
+        assert_eq!(db.query_int("SELECT COUNT(*) FROM edge").unwrap(), 3);
+    }
+
+    #[test]
+    fn unqualified_delete_truncates() {
+        let db = db_with_edges();
+        let r = db.execute("DELETE FROM edge").unwrap();
+        assert_eq!(r.affected(), 5);
+        assert_eq!(db.query_int("SELECT COUNT(*) FROM edge").unwrap(), 0);
+    }
+
+    #[test]
+    fn ctas_and_insert_select() {
+        let db = db_with_edges();
+        db.execute("CREATE TABLE hot AS SELECT src, dst FROM edge WHERE weight >= 3.0").unwrap();
+        assert_eq!(db.query_int("SELECT COUNT(*) FROM hot").unwrap(), 3);
+        db.execute("INSERT INTO hot SELECT src, dst FROM edge WHERE weight < 3.0").unwrap();
+        assert_eq!(db.query_int("SELECT COUNT(*) FROM hot").unwrap(), 5);
+    }
+
+    #[test]
+    fn insert_with_column_list_fills_nulls() {
+        let db = db_with_edges();
+        db.execute("INSERT INTO edge (src, dst) VALUES (9, 9)").unwrap();
+        let rows = db.query("SELECT weight FROM edge WHERE src = 9").unwrap();
+        assert_eq!(rows[0][0], Value::Null);
+    }
+
+    #[test]
+    fn union_all_end_to_end() {
+        let db = db_with_edges();
+        let n = db
+            .query_int(
+                "SELECT COUNT(*) FROM (SELECT src FROM edge UNION ALL SELECT dst FROM edge) u",
+            )
+            .unwrap();
+        assert_eq!(n, 10);
+    }
+
+    #[test]
+    fn cte_end_to_end() {
+        let db = db_with_edges();
+        let rows = db
+            .query(
+                "WITH outdeg AS (SELECT src, COUNT(*) AS d FROM edge GROUP BY src) \
+                 SELECT src FROM outdeg WHERE d = 2 ORDER BY src",
+            )
+            .unwrap();
+        assert_eq!(rows, vec![vec![Value::Int(0)], vec![Value::Int(2)]]);
+    }
+
+    #[test]
+    fn scalar_udf_registration() {
+        let db = db_with_edges();
+        db.register_scalar(ScalarFunction {
+            name: "plus_one",
+            return_type: |_| Ok(DataType::Float),
+            eval: |args| Ok(Value::Float(args[0].as_float().unwrap_or(0.0) + 1.0)),
+        });
+        let v = db.query_scalar("SELECT plus_one(weight) FROM edge WHERE src = 1").unwrap();
+        assert_eq!(v, Value::Float(4.0));
+    }
+
+    #[test]
+    fn stored_procedure_roundtrip() {
+        let db = db_with_edges();
+        db.register_procedure(
+            "edge_count",
+            Arc::new(|db, _args| {
+                let n = db.query_int("SELECT COUNT(*) FROM edge")?;
+                Ok(Value::Int(n))
+            }),
+        );
+        assert_eq!(db.call_procedure("edge_count", &[]).unwrap(), Value::Int(5));
+        assert!(db.call_procedure("ghost", &[]).is_err());
+    }
+
+    #[test]
+    fn case_and_functions_end_to_end() {
+        let db = db_with_edges();
+        let rows = db
+            .query(
+                "SELECT dst, CASE WHEN weight >= 4.0 THEN 'heavy' ELSE 'light' END AS klass \
+                 FROM edge WHERE src = 2 ORDER BY dst",
+            )
+            .unwrap();
+        assert_eq!(rows[0][1], Value::Str("heavy".into()));
+        assert_eq!(rows[1][1], Value::Str("heavy".into()));
+        let v = db.query_scalar("SELECT SQRT(16.0)").unwrap();
+        assert_eq!(v, Value::Float(4.0));
+    }
+
+    #[test]
+    fn error_on_missing_table() {
+        let db = Database::new();
+        assert!(db.query("SELECT * FROM ghost").is_err());
+    }
+
+    #[test]
+    fn drop_table_semantics() {
+        let db = db_with_edges();
+        db.execute("DROP TABLE IF EXISTS ghost").unwrap();
+        assert!(db.execute("DROP TABLE ghost").is_err());
+        db.execute("DROP TABLE edge").unwrap();
+        assert!(db.query("SELECT * FROM edge").is_err());
+    }
+
+    #[test]
+    fn distinct_end_to_end() {
+        let db = db_with_edges();
+        let n = db.query("SELECT DISTINCT src FROM edge").unwrap();
+        assert_eq!(n.len(), 3);
+    }
+
+    #[test]
+    fn order_by_aggregate_in_select() {
+        let db = db_with_edges();
+        let rows = db
+            .query("SELECT src, COUNT(*) FROM edge GROUP BY src ORDER BY COUNT(*) DESC, src")
+            .unwrap();
+        assert_eq!(rows[0][0], Value::Int(0));
+        assert_eq!(rows[2][0], Value::Int(1));
+    }
+}

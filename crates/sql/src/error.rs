@@ -1,0 +1,70 @@
+//! Error type for the SQL layer.
+
+use std::fmt;
+
+use vertexica_storage::StorageError;
+
+/// Errors surfaced by parsing, planning or executing SQL.
+#[derive(Debug)]
+pub enum SqlError {
+    /// Lexing/parsing failure with a byte offset into the statement.
+    Parse { message: String, position: usize },
+    /// Name resolution / semantic analysis failure.
+    Plan(String),
+    /// Runtime execution failure.
+    Execution(String),
+    /// Failure bubbled up from the storage layer.
+    Storage(StorageError),
+    /// A user-defined function failed.
+    Udf(String),
+}
+
+impl fmt::Display for SqlError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            SqlError::Parse { message, position } => {
+                write!(f, "parse error at byte {position}: {message}")
+            }
+            SqlError::Plan(m) => write!(f, "planning error: {m}"),
+            SqlError::Execution(m) => write!(f, "execution error: {m}"),
+            SqlError::Storage(e) => write!(f, "storage error: {e}"),
+            SqlError::Udf(m) => write!(f, "udf error: {m}"),
+        }
+    }
+}
+
+impl std::error::Error for SqlError {
+    fn source(&self) -> Option<&(dyn std::error::Error + 'static)> {
+        match self {
+            SqlError::Storage(e) => Some(e),
+            _ => None,
+        }
+    }
+}
+
+impl From<StorageError> for SqlError {
+    fn from(e: StorageError) -> Self {
+        SqlError::Storage(e)
+    }
+}
+
+/// Result alias for SQL operations.
+pub type SqlResult<T> = Result<T, SqlError>;
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn display_includes_position() {
+        let e = SqlError::Parse { message: "unexpected token".into(), position: 17 };
+        assert!(e.to_string().contains("17"));
+    }
+
+    #[test]
+    fn storage_error_converts() {
+        let e: SqlError = StorageError::NoSuchTable("v".into()).into();
+        assert!(matches!(e, SqlError::Storage(_)));
+        assert!(e.to_string().contains("no such table"));
+    }
+}

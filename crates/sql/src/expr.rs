@@ -1,0 +1,834 @@
+//! Resolved (physical) scalar expressions and their vectorized evaluation.
+//!
+//! The planner lowers AST expressions ([`crate::ast::Expr`]) into
+//! [`PhysExpr`], with column references resolved to input-schema indices and
+//! function names bound to implementations. Evaluation is column-at-a-time:
+//! children evaluate to [`Column`]s, then the node combines them row-wise with
+//! SQL NULL semantics (three-valued logic for booleans).
+
+use std::sync::Arc;
+
+use vertexica_storage::{Column, ColumnBuilder, DataType, RecordBatch, Schema, Value};
+
+use crate::ast::{BinaryOp, UnaryOp};
+use crate::error::{SqlError, SqlResult};
+use crate::functions::ScalarFunction;
+
+/// A fully-resolved scalar expression.
+#[derive(Clone)]
+pub enum PhysExpr {
+    /// Input column by index.
+    Column(usize),
+    Literal(Value),
+    Binary { left: Box<PhysExpr>, op: BinaryOp, right: Box<PhysExpr> },
+    Unary { op: UnaryOp, expr: Box<PhysExpr> },
+    IsNull { expr: Box<PhysExpr>, negated: bool },
+    InList { expr: Box<PhysExpr>, list: Vec<PhysExpr>, negated: bool },
+    Like { expr: Box<PhysExpr>, pattern: Box<PhysExpr>, negated: bool },
+    Case { when_then: Vec<(PhysExpr, PhysExpr)>, else_expr: Option<Box<PhysExpr>> },
+    Cast { expr: Box<PhysExpr>, dtype: DataType },
+    ScalarFn { func: Arc<ScalarFunction>, args: Vec<PhysExpr> },
+}
+
+impl std::fmt::Debug for PhysExpr {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        match self {
+            PhysExpr::Column(i) => write!(f, "#{i}"),
+            PhysExpr::Literal(v) => write!(f, "{v}"),
+            PhysExpr::Binary { left, op, right } => write!(f, "({left:?} {op:?} {right:?})"),
+            PhysExpr::Unary { op, expr } => write!(f, "({op:?} {expr:?})"),
+            PhysExpr::IsNull { expr, negated } => {
+                write!(f, "({expr:?} IS {}NULL)", if *negated { "NOT " } else { "" })
+            }
+            PhysExpr::InList { expr, list, negated } => {
+                write!(f, "({expr:?} {}IN {list:?})", if *negated { "NOT " } else { "" })
+            }
+            PhysExpr::Like { expr, pattern, negated } => {
+                write!(f, "({expr:?} {}LIKE {pattern:?})", if *negated { "NOT " } else { "" })
+            }
+            PhysExpr::Case { when_then, else_expr } => {
+                write!(f, "CASE {when_then:?} ELSE {else_expr:?}")
+            }
+            PhysExpr::Cast { expr, dtype } => write!(f, "CAST({expr:?} AS {dtype})"),
+            PhysExpr::ScalarFn { func, args } => write!(f, "{}({args:?})", func.name),
+        }
+    }
+}
+
+impl PhysExpr {
+    pub fn col(i: usize) -> PhysExpr {
+        PhysExpr::Column(i)
+    }
+
+    pub fn lit(v: impl Into<Value>) -> PhysExpr {
+        PhysExpr::Literal(v.into())
+    }
+
+    /// Output type given the input schema.
+    pub fn data_type(&self, input: &Schema) -> SqlResult<DataType> {
+        Ok(match self {
+            PhysExpr::Column(i) => {
+                input
+                    .fields
+                    .get(*i)
+                    .ok_or_else(|| SqlError::Plan(format!("column index {i} out of range")))?
+                    .dtype
+            }
+            PhysExpr::Literal(v) => v.data_type().unwrap_or(DataType::Int),
+            PhysExpr::Binary { left, op, right } => {
+                if op.is_comparison() || matches!(op, BinaryOp::And | BinaryOp::Or) {
+                    DataType::Bool
+                } else {
+                    let lt = left.data_type(input)?;
+                    let rt = right.data_type(input)?;
+                    match op {
+                        // Int/Int division promotes to Float (documented
+                        // dialect choice — keeps PageRank-style arithmetic
+                        // exact without explicit casts).
+                        BinaryOp::Divide => DataType::Float,
+                        _ => {
+                            if lt == DataType::Float || rt == DataType::Float {
+                                DataType::Float
+                            } else if lt == DataType::Str && *op == BinaryOp::Plus {
+                                DataType::Str
+                            } else {
+                                DataType::Int
+                            }
+                        }
+                    }
+                }
+            }
+            PhysExpr::Unary { op, expr } => match op {
+                UnaryOp::Not => DataType::Bool,
+                UnaryOp::Neg => expr.data_type(input)?,
+            },
+            PhysExpr::IsNull { .. } | PhysExpr::InList { .. } | PhysExpr::Like { .. } => {
+                DataType::Bool
+            }
+            PhysExpr::Case { when_then, else_expr } => {
+                let mut t = None;
+                for (_, then) in when_then {
+                    let tt = then.data_type(input)?;
+                    t = Some(merge_types(t, tt));
+                }
+                if let Some(e) = else_expr {
+                    let tt = e.data_type(input)?;
+                    t = Some(merge_types(t, tt));
+                }
+                t.unwrap_or(DataType::Int)
+            }
+            PhysExpr::Cast { dtype, .. } => *dtype,
+            PhysExpr::ScalarFn { func, args } => {
+                let arg_types: SqlResult<Vec<DataType>> =
+                    args.iter().map(|a| a.data_type(input)).collect();
+                (func.return_type)(&arg_types?)?
+            }
+        })
+    }
+
+    /// Evaluates over a batch, producing one output column.
+    pub fn eval(&self, batch: &RecordBatch) -> SqlResult<Column> {
+        let n = batch.num_rows();
+        match self {
+            PhysExpr::Column(i) => {
+                if *i >= batch.num_columns() {
+                    return Err(SqlError::Execution(format!("column index {i} out of range")));
+                }
+                Ok(batch.column(*i).clone())
+            }
+            PhysExpr::Literal(v) => {
+                let dtype = v.data_type().unwrap_or(DataType::Int);
+                Column::repeat(dtype, v, n).map_err(Into::into)
+            }
+            PhysExpr::Binary { left, op, right } => {
+                let l = left.eval(batch)?;
+                let r = right.eval(batch)?;
+                eval_binary(&l, *op, &r, batch.schema())
+            }
+            PhysExpr::Unary { op, expr } => {
+                let c = expr.eval(batch)?;
+                let mut b = ColumnBuilder::with_capacity(
+                    match op {
+                        UnaryOp::Not => DataType::Bool,
+                        UnaryOp::Neg => c.dtype(),
+                    },
+                    n,
+                );
+                for i in 0..n {
+                    let v = c.value(i);
+                    let out = match (op, v) {
+                        (_, Value::Null) => Value::Null,
+                        (UnaryOp::Not, Value::Bool(x)) => Value::Bool(!x),
+                        (UnaryOp::Neg, Value::Int(x)) => Value::Int(-x),
+                        (UnaryOp::Neg, Value::Float(x)) => Value::Float(-x),
+                        (op, v) => {
+                            return Err(SqlError::Execution(format!(
+                                "cannot apply {op:?} to {v}"
+                            )))
+                        }
+                    };
+                    b.push(out)?;
+                }
+                Ok(b.finish())
+            }
+            PhysExpr::IsNull { expr, negated } => {
+                let c = expr.eval(batch)?;
+                let mut b = ColumnBuilder::with_capacity(DataType::Bool, n);
+                for i in 0..n {
+                    let isnull = c.is_null(i);
+                    b.push(Value::Bool(isnull != *negated))?;
+                }
+                Ok(b.finish())
+            }
+            PhysExpr::InList { expr, list, negated } => {
+                let c = expr.eval(batch)?;
+                let lists: SqlResult<Vec<Column>> = list.iter().map(|e| e.eval(batch)).collect();
+                let lists = lists?;
+                let mut b = ColumnBuilder::with_capacity(DataType::Bool, n);
+                for i in 0..n {
+                    let v = c.value(i);
+                    if v.is_null() {
+                        b.push_null();
+                        continue;
+                    }
+                    let mut found = false;
+                    let mut saw_null = false;
+                    for lc in &lists {
+                        let lv = lc.value(i);
+                        match v.sql_eq(&lv) {
+                            Some(true) => {
+                                found = true;
+                                break;
+                            }
+                            Some(false) => {}
+                            None => saw_null = true,
+                        }
+                    }
+                    if found {
+                        b.push(Value::Bool(!*negated))?;
+                    } else if saw_null {
+                        b.push_null();
+                    } else {
+                        b.push(Value::Bool(*negated))?;
+                    }
+                }
+                Ok(b.finish())
+            }
+            PhysExpr::Like { expr, pattern, negated } => {
+                let c = expr.eval(batch)?;
+                let p = pattern.eval(batch)?;
+                let mut b = ColumnBuilder::with_capacity(DataType::Bool, n);
+                for i in 0..n {
+                    if c.is_null(i) || p.is_null(i) {
+                        b.push_null();
+                        continue;
+                    }
+                    let (Value::Str(s), Value::Str(pat)) = (c.value(i), p.value(i)) else {
+                        return Err(SqlError::Execution("LIKE requires strings".into()));
+                    };
+                    let m = like_match(&s, &pat);
+                    b.push(Value::Bool(m != *negated))?;
+                }
+                Ok(b.finish())
+            }
+            PhysExpr::Case { when_then, else_expr } => {
+                let out_type = self.data_type(batch.schema())?;
+                let whens: SqlResult<Vec<Column>> =
+                    when_then.iter().map(|(w, _)| w.eval(batch)).collect();
+                let whens = whens?;
+                let thens: SqlResult<Vec<Column>> =
+                    when_then.iter().map(|(_, t)| t.eval(batch)).collect();
+                let thens = thens?;
+                let else_col = else_expr.as_ref().map(|e| e.eval(batch)).transpose()?;
+                let mut b = ColumnBuilder::with_capacity(out_type, n);
+                'rows: for i in 0..n {
+                    for (w, t) in whens.iter().zip(&thens) {
+                        if w.value(i) == Value::Bool(true) {
+                            b.push(t.value(i))?;
+                            continue 'rows;
+                        }
+                    }
+                    match &else_col {
+                        Some(e) => b.push(e.value(i))?,
+                        None => b.push_null(),
+                    }
+                }
+                Ok(b.finish())
+            }
+            PhysExpr::Cast { expr, dtype } => {
+                let c = expr.eval(batch)?;
+                let mut b = ColumnBuilder::with_capacity(*dtype, n);
+                for i in 0..n {
+                    let v = c.value(i);
+                    let out = cast_value(&v, *dtype)?;
+                    b.push(out)?;
+                }
+                Ok(b.finish())
+            }
+            PhysExpr::ScalarFn { func, args } => {
+                let arg_cols: SqlResult<Vec<Column>> =
+                    args.iter().map(|a| a.eval(batch)).collect();
+                let arg_cols = arg_cols?;
+                let arg_types: Vec<DataType> = arg_cols.iter().map(|c| c.dtype()).collect();
+                let out_type = (func.return_type)(&arg_types)?;
+                let mut b = ColumnBuilder::with_capacity(out_type, n);
+                let mut row: Vec<Value> = Vec::with_capacity(arg_cols.len());
+                for i in 0..n {
+                    row.clear();
+                    for c in &arg_cols {
+                        row.push(c.value(i));
+                    }
+                    b.push((func.eval)(&row)?)?;
+                }
+                Ok(b.finish())
+            }
+        }
+    }
+
+    /// Evaluates a constant expression (no column references) to a scalar.
+    /// Used for `VALUES` rows and constant folding.
+    pub fn eval_scalar(&self) -> SqlResult<Value> {
+        match self {
+            PhysExpr::Column(i) => {
+                Err(SqlError::Execution(format!("column #{i} in constant context")))
+            }
+            PhysExpr::Literal(v) => Ok(v.clone()),
+            PhysExpr::Binary { left, op, right } => {
+                binary_value_op(&left.eval_scalar()?, *op, &right.eval_scalar()?)
+            }
+            PhysExpr::Unary { op, expr } => {
+                let v = expr.eval_scalar()?;
+                Ok(match (op, v) {
+                    (_, Value::Null) => Value::Null,
+                    (UnaryOp::Not, Value::Bool(x)) => Value::Bool(!x),
+                    (UnaryOp::Neg, Value::Int(x)) => Value::Int(-x),
+                    (UnaryOp::Neg, Value::Float(x)) => Value::Float(-x),
+                    (op, v) => {
+                        return Err(SqlError::Execution(format!("cannot apply {op:?} to {v}")))
+                    }
+                })
+            }
+            PhysExpr::IsNull { expr, negated } => {
+                Ok(Value::Bool(expr.eval_scalar()?.is_null() != *negated))
+            }
+            PhysExpr::InList { expr, list, negated } => {
+                let v = expr.eval_scalar()?;
+                if v.is_null() {
+                    return Ok(Value::Null);
+                }
+                let mut saw_null = false;
+                for item in list {
+                    match v.sql_eq(&item.eval_scalar()?) {
+                        Some(true) => return Ok(Value::Bool(!*negated)),
+                        Some(false) => {}
+                        None => saw_null = true,
+                    }
+                }
+                Ok(if saw_null { Value::Null } else { Value::Bool(*negated) })
+            }
+            PhysExpr::Like { expr, pattern, negated } => {
+                let v = expr.eval_scalar()?;
+                let p = pattern.eval_scalar()?;
+                match (v, p) {
+                    (Value::Null, _) | (_, Value::Null) => Ok(Value::Null),
+                    (Value::Str(s), Value::Str(pat)) => {
+                        Ok(Value::Bool(like_match(&s, &pat) != *negated))
+                    }
+                    _ => Err(SqlError::Execution("LIKE requires strings".into())),
+                }
+            }
+            PhysExpr::Case { when_then, else_expr } => {
+                for (w, t) in when_then {
+                    if w.eval_scalar()? == Value::Bool(true) {
+                        return t.eval_scalar();
+                    }
+                }
+                match else_expr {
+                    Some(e) => e.eval_scalar(),
+                    None => Ok(Value::Null),
+                }
+            }
+            PhysExpr::Cast { expr, dtype } => cast_value(&expr.eval_scalar()?, *dtype),
+            PhysExpr::ScalarFn { func, args } => {
+                let vals: SqlResult<Vec<Value>> = args.iter().map(|a| a.eval_scalar()).collect();
+                (func.eval)(&vals?)
+            }
+        }
+    }
+
+    /// True if the expression references no input columns.
+    pub fn is_constant(&self) -> bool {
+        match self {
+            PhysExpr::Column(_) => false,
+            PhysExpr::Literal(_) => true,
+            PhysExpr::Binary { left, right, .. } => left.is_constant() && right.is_constant(),
+            PhysExpr::Unary { expr, .. } => expr.is_constant(),
+            PhysExpr::IsNull { expr, .. } => expr.is_constant(),
+            PhysExpr::InList { expr, list, .. } => {
+                expr.is_constant() && list.iter().all(|e| e.is_constant())
+            }
+            PhysExpr::Like { expr, pattern, .. } => expr.is_constant() && pattern.is_constant(),
+            PhysExpr::Case { when_then, else_expr } => {
+                when_then.iter().all(|(w, t)| w.is_constant() && t.is_constant())
+                    && else_expr.as_ref().map_or(true, |e| e.is_constant())
+            }
+            PhysExpr::Cast { expr, .. } => expr.is_constant(),
+            PhysExpr::ScalarFn { args, .. } => args.iter().all(|a| a.is_constant()),
+        }
+    }
+
+    /// Evaluates and requires a boolean column; returns per-row truthiness
+    /// with SQL semantics (NULL → false).
+    pub fn eval_predicate(&self, batch: &RecordBatch) -> SqlResult<Vec<bool>> {
+        let c = self.eval(batch)?;
+        if c.dtype() != DataType::Bool {
+            return Err(SqlError::Execution(format!(
+                "predicate must be boolean, got {}",
+                c.dtype()
+            )));
+        }
+        Ok((0..c.len()).map(|i| c.value(i) == Value::Bool(true)).collect())
+    }
+}
+
+fn merge_types(acc: Option<DataType>, t: DataType) -> DataType {
+    match acc {
+        None => t,
+        Some(a) if a == t => a,
+        Some(DataType::Int) if t == DataType::Float => DataType::Float,
+        Some(DataType::Float) if t == DataType::Int => DataType::Float,
+        Some(a) => a,
+    }
+}
+
+/// SQL CAST semantics (stricter than coercion: supports string parsing).
+pub fn cast_value(v: &Value, target: DataType) -> SqlResult<Value> {
+    if v.is_null() {
+        return Ok(Value::Null);
+    }
+    let out = match (v, target) {
+        (Value::Str(s), DataType::Int) => s
+            .trim()
+            .parse::<i64>()
+            .map(Value::Int)
+            .map_err(|_| SqlError::Execution(format!("cannot cast '{s}' to BIGINT")))?,
+        (Value::Str(s), DataType::Float) => s
+            .trim()
+            .parse::<f64>()
+            .map(Value::Float)
+            .map_err(|_| SqlError::Execution(format!("cannot cast '{s}' to FLOAT")))?,
+        (Value::Str(s), DataType::Bool) => match s.to_ascii_lowercase().as_str() {
+            "true" | "t" | "1" => Value::Bool(true),
+            "false" | "f" | "0" => Value::Bool(false),
+            _ => return Err(SqlError::Execution(format!("cannot cast '{s}' to BOOLEAN"))),
+        },
+        (v, DataType::Str) => Value::Str(v.to_string()),
+        (v, t) => v.coerce(t).map_err(|e| SqlError::Execution(e.to_string()))?,
+    };
+    Ok(out)
+}
+
+/// SQL LIKE pattern matching: `%` = any sequence, `_` = any one char.
+pub fn like_match(s: &str, pattern: &str) -> bool {
+    fn rec(s: &[char], p: &[char]) -> bool {
+        match p.first() {
+            None => s.is_empty(),
+            Some('%') => {
+                // Try all splits.
+                for i in 0..=s.len() {
+                    if rec(&s[i..], &p[1..]) {
+                        return true;
+                    }
+                }
+                false
+            }
+            Some('_') => !s.is_empty() && rec(&s[1..], &p[1..]),
+            Some(c) => !s.is_empty() && s[0] == *c && rec(&s[1..], &p[1..]),
+        }
+    }
+    let s: Vec<char> = s.chars().collect();
+    let p: Vec<char> = pattern.chars().collect();
+    rec(&s, &p)
+}
+
+fn eval_binary(l: &Column, op: BinaryOp, r: &Column, _schema: &Schema) -> SqlResult<Column> {
+    let n = l.len();
+    debug_assert_eq!(n, r.len());
+
+    // Typed fast path: Float arithmetic with no nulls.
+    if !op.is_comparison()
+        && !matches!(op, BinaryOp::And | BinaryOp::Or)
+        && l.validity().is_none()
+        && r.validity().is_none()
+    {
+        if let (Some(lf), Some(rf)) = (l.as_float(), r.as_float()) {
+            let mut b = ColumnBuilder::with_capacity(DataType::Float, n);
+            for i in 0..n {
+                let v = match op {
+                    BinaryOp::Plus => lf[i] + rf[i],
+                    BinaryOp::Minus => lf[i] - rf[i],
+                    BinaryOp::Multiply => lf[i] * rf[i],
+                    BinaryOp::Divide => {
+                        if rf[i] == 0.0 {
+                            b.push_null();
+                            continue;
+                        }
+                        lf[i] / rf[i]
+                    }
+                    BinaryOp::Modulo => {
+                        if rf[i] == 0.0 {
+                            b.push_null();
+                            continue;
+                        }
+                        lf[i] % rf[i]
+                    }
+                    _ => unreachable!(),
+                };
+                b.push_float(v);
+            }
+            return Ok(b.finish());
+        }
+    }
+
+    // Generic value-wise path.
+    let out_dtype = match op {
+        op if op.is_comparison() => DataType::Bool,
+        BinaryOp::And | BinaryOp::Or => DataType::Bool,
+        BinaryOp::Divide => DataType::Float,
+        _ => {
+            if l.dtype() == DataType::Float || r.dtype() == DataType::Float {
+                DataType::Float
+            } else if l.dtype() == DataType::Str {
+                DataType::Str
+            } else {
+                DataType::Int
+            }
+        }
+    };
+    let mut b = ColumnBuilder::with_capacity(out_dtype, n);
+    for i in 0..n {
+        let lv = l.value(i);
+        let rv = r.value(i);
+        let out = binary_value_op(&lv, op, &rv)?;
+        b.push(out)?;
+    }
+    Ok(b.finish())
+}
+
+/// Applies a binary operator to two scalars with SQL NULL semantics.
+pub fn binary_value_op(l: &Value, op: BinaryOp, r: &Value) -> SqlResult<Value> {
+    use BinaryOp::*;
+    // Three-valued logic for AND/OR must inspect nulls specially.
+    if matches!(op, And | Or) {
+        let lb = match l {
+            Value::Null => None,
+            Value::Bool(b) => Some(*b),
+            other => return Err(SqlError::Execution(format!("AND/OR on non-boolean {other}"))),
+        };
+        let rb = match r {
+            Value::Null => None,
+            Value::Bool(b) => Some(*b),
+            other => return Err(SqlError::Execution(format!("AND/OR on non-boolean {other}"))),
+        };
+        return Ok(match (op, lb, rb) {
+            (And, Some(false), _) | (And, _, Some(false)) => Value::Bool(false),
+            (And, Some(true), Some(true)) => Value::Bool(true),
+            (Or, Some(true), _) | (Or, _, Some(true)) => Value::Bool(true),
+            (Or, Some(false), Some(false)) => Value::Bool(false),
+            _ => Value::Null,
+        });
+    }
+
+    if l.is_null() || r.is_null() {
+        return Ok(Value::Null);
+    }
+
+    if op.is_comparison() {
+        let result = match (l, r) {
+            // Numeric comparison handles Int/Float mixing.
+            (Value::Int(_) | Value::Float(_), Value::Int(_) | Value::Float(_)) => {
+                let a = l.as_float().unwrap();
+                let b = r.as_float().unwrap();
+                compare_with(op, a.partial_cmp(&b))
+            }
+            (Value::Str(a), Value::Str(b)) => compare_with(op, a.partial_cmp(b)),
+            (Value::Bool(a), Value::Bool(b)) => compare_with(op, a.partial_cmp(b)),
+            (Value::Blob(a), Value::Blob(b)) => compare_with(op, a.partial_cmp(b)),
+            (a, b) => {
+                return Err(SqlError::Execution(format!("cannot compare {a} with {b}")));
+            }
+        };
+        return Ok(result);
+    }
+
+    // Arithmetic / concatenation.
+    let out = match (l, r, op) {
+        (Value::Str(a), Value::Str(b), Plus) => Value::Str(format!("{a}{b}")),
+        (Value::Int(a), Value::Int(b), Plus) => Value::Int(a.wrapping_add(*b)),
+        (Value::Int(a), Value::Int(b), Minus) => Value::Int(a.wrapping_sub(*b)),
+        (Value::Int(a), Value::Int(b), Multiply) => Value::Int(a.wrapping_mul(*b)),
+        (Value::Int(a), Value::Int(b), Modulo) => {
+            if *b == 0 {
+                Value::Null
+            } else {
+                Value::Int(a % b)
+            }
+        }
+        // Division always floats; division by zero yields NULL.
+        (a, b, Divide) => {
+            let (x, y) = promote(a, b)?;
+            if y == 0.0 {
+                Value::Null
+            } else {
+                Value::Float(x / y)
+            }
+        }
+        (a, b, Plus) => {
+            let (x, y) = promote(a, b)?;
+            Value::Float(x + y)
+        }
+        (a, b, Minus) => {
+            let (x, y) = promote(a, b)?;
+            Value::Float(x - y)
+        }
+        (a, b, Multiply) => {
+            let (x, y) = promote(a, b)?;
+            Value::Float(x * y)
+        }
+        (a, b, Modulo) => {
+            let (x, y) = promote(a, b)?;
+            if y == 0.0 {
+                Value::Null
+            } else {
+                Value::Float(x % y)
+            }
+        }
+        (a, b, op) => {
+            return Err(SqlError::Execution(format!("cannot apply {op:?} to {a}, {b}")));
+        }
+    };
+    Ok(out)
+}
+
+fn promote(a: &Value, b: &Value) -> SqlResult<(f64, f64)> {
+    match (a.as_float(), b.as_float()) {
+        (Some(x), Some(y)) => Ok((x, y)),
+        _ => Err(SqlError::Execution(format!("non-numeric arithmetic on {a}, {b}"))),
+    }
+}
+
+fn compare_with(op: BinaryOp, ord: Option<std::cmp::Ordering>) -> Value {
+    let Some(ord) = ord else {
+        return Value::Null; // NaN comparisons are unknown
+    };
+    let b = match op {
+        BinaryOp::Eq => ord.is_eq(),
+        BinaryOp::NotEq => !ord.is_eq(),
+        BinaryOp::Lt => ord.is_lt(),
+        BinaryOp::LtEq => ord.is_le(),
+        BinaryOp::Gt => ord.is_gt(),
+        BinaryOp::GtEq => ord.is_ge(),
+        _ => unreachable!(),
+    };
+    Value::Bool(b)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use vertexica_storage::Field;
+
+    fn batch() -> RecordBatch {
+        let schema = Schema::new(vec![
+            Field::new("a", DataType::Int),
+            Field::new("b", DataType::Float),
+            Field::new("s", DataType::Str),
+        ]);
+        RecordBatch::from_rows(
+            schema,
+            &[
+                vec![Value::Int(1), Value::Float(0.5), Value::Str("family".into())],
+                vec![Value::Int(2), Value::Float(1.5), Value::Str("friend".into())],
+                vec![Value::Null, Value::Float(2.5), Value::Null],
+            ],
+        )
+        .unwrap()
+    }
+
+    #[test]
+    fn column_and_literal() {
+        let b = batch();
+        let c = PhysExpr::col(0).eval(&b).unwrap();
+        assert_eq!(c.value(1), Value::Int(2));
+        let l = PhysExpr::lit(7i64).eval(&b).unwrap();
+        assert_eq!(l.len(), 3);
+        assert_eq!(l.value(2), Value::Int(7));
+    }
+
+    #[test]
+    fn arithmetic_with_nulls() {
+        let b = batch();
+        let e = PhysExpr::Binary {
+            left: Box::new(PhysExpr::col(0)),
+            op: BinaryOp::Plus,
+            right: Box::new(PhysExpr::lit(10i64)),
+        };
+        let c = e.eval(&b).unwrap();
+        assert_eq!(c.value(0), Value::Int(11));
+        assert_eq!(c.value(2), Value::Null);
+    }
+
+    #[test]
+    fn int_division_floats() {
+        let b = batch();
+        let e = PhysExpr::Binary {
+            left: Box::new(PhysExpr::lit(1i64)),
+            op: BinaryOp::Divide,
+            right: Box::new(PhysExpr::lit(4i64)),
+        };
+        let c = e.eval(&b).unwrap();
+        assert_eq!(c.value(0), Value::Float(0.25));
+    }
+
+    #[test]
+    fn division_by_zero_is_null() {
+        assert_eq!(
+            binary_value_op(&Value::Int(1), BinaryOp::Divide, &Value::Int(0)).unwrap(),
+            Value::Null
+        );
+        assert_eq!(
+            binary_value_op(&Value::Int(1), BinaryOp::Modulo, &Value::Int(0)).unwrap(),
+            Value::Null
+        );
+    }
+
+    #[test]
+    fn three_valued_logic() {
+        use BinaryOp::{And, Or};
+        let t = Value::Bool(true);
+        let f = Value::Bool(false);
+        let n = Value::Null;
+        assert_eq!(binary_value_op(&f, And, &n).unwrap(), Value::Bool(false));
+        assert_eq!(binary_value_op(&t, And, &n).unwrap(), Value::Null);
+        assert_eq!(binary_value_op(&t, Or, &n).unwrap(), Value::Bool(true));
+        assert_eq!(binary_value_op(&f, Or, &n).unwrap(), Value::Null);
+    }
+
+    #[test]
+    fn comparisons_mix_int_float() {
+        let b = batch();
+        let e = PhysExpr::Binary {
+            left: Box::new(PhysExpr::col(0)),
+            op: BinaryOp::Lt,
+            right: Box::new(PhysExpr::col(1)),
+        };
+        let c = e.eval(&b).unwrap();
+        assert_eq!(c.value(0), Value::Bool(false)); // 1 < 0.5
+        assert_eq!(c.value(1), Value::Bool(false)); // 2 < 1.5
+        assert_eq!(c.value(2), Value::Null);
+    }
+
+    #[test]
+    fn is_null_and_in_list() {
+        let b = batch();
+        let e = PhysExpr::IsNull { expr: Box::new(PhysExpr::col(0)), negated: false };
+        let c = e.eval(&b).unwrap();
+        assert_eq!(c.value(0), Value::Bool(false));
+        assert_eq!(c.value(2), Value::Bool(true));
+
+        let e = PhysExpr::InList {
+            expr: Box::new(PhysExpr::col(2)),
+            list: vec![PhysExpr::lit("family"), PhysExpr::lit("classmate")],
+            negated: false,
+        };
+        let c = e.eval(&b).unwrap();
+        assert_eq!(c.value(0), Value::Bool(true));
+        assert_eq!(c.value(1), Value::Bool(false));
+        assert_eq!(c.value(2), Value::Null);
+    }
+
+    #[test]
+    fn like_matching() {
+        assert!(like_match("family", "fam%"));
+        assert!(like_match("family", "%ily"));
+        assert!(like_match("family", "f_mily"));
+        assert!(!like_match("family", "fam"));
+        assert!(like_match("", "%"));
+        assert!(like_match("abc", "%%c"));
+        assert!(!like_match("abc", "_"));
+    }
+
+    #[test]
+    fn case_expression() {
+        let b = batch();
+        let e = PhysExpr::Case {
+            when_then: vec![(
+                PhysExpr::Binary {
+                    left: Box::new(PhysExpr::col(0)),
+                    op: BinaryOp::Eq,
+                    right: Box::new(PhysExpr::lit(1i64)),
+                },
+                PhysExpr::lit("one"),
+            )],
+            else_expr: Some(Box::new(PhysExpr::lit("other"))),
+        };
+        let c = e.eval(&b).unwrap();
+        assert_eq!(c.value(0), Value::Str("one".into()));
+        assert_eq!(c.value(1), Value::Str("other".into()));
+        assert_eq!(c.value(2), Value::Str("other".into())); // null comparison → else
+    }
+
+    #[test]
+    fn cast_string_numbers() {
+        assert_eq!(cast_value(&Value::Str(" 42 ".into()), DataType::Int).unwrap(), Value::Int(42));
+        assert_eq!(
+            cast_value(&Value::Str("2.5".into()), DataType::Float).unwrap(),
+            Value::Float(2.5)
+        );
+        assert_eq!(
+            cast_value(&Value::Int(3), DataType::Str).unwrap(),
+            Value::Str("3".into())
+        );
+        assert!(cast_value(&Value::Str("zzz".into()), DataType::Int).is_err());
+    }
+
+    #[test]
+    fn eval_predicate_null_is_false() {
+        let b = batch();
+        let e = PhysExpr::Binary {
+            left: Box::new(PhysExpr::col(0)),
+            op: BinaryOp::Gt,
+            right: Box::new(PhysExpr::lit(1i64)),
+        };
+        let mask = e.eval_predicate(&b).unwrap();
+        assert_eq!(mask, vec![false, true, false]);
+    }
+
+    #[test]
+    fn predicate_type_checked() {
+        let b = batch();
+        assert!(PhysExpr::col(0).eval_predicate(&b).is_err());
+    }
+
+    #[test]
+    fn float_fast_path_matches_generic() {
+        let schema = Schema::new(vec![
+            Field::new("x", DataType::Float),
+            Field::new("y", DataType::Float),
+        ]);
+        let rows: Vec<Vec<Value>> = (0..100)
+            .map(|i| vec![Value::Float(i as f64), Value::Float((i * 2) as f64 + 0.5)])
+            .collect();
+        let b = RecordBatch::from_rows(schema, &rows).unwrap();
+        let e = PhysExpr::Binary {
+            left: Box::new(PhysExpr::col(0)),
+            op: BinaryOp::Multiply,
+            right: Box::new(PhysExpr::col(1)),
+        };
+        let c = e.eval(&b).unwrap();
+        for i in 0..100 {
+            let expected = (i as f64) * ((i * 2) as f64 + 0.5);
+            assert_eq!(c.value(i), Value::Float(expected));
+        }
+    }
+}

@@ -1,0 +1,389 @@
+//! SQL tokenizer.
+
+use crate::error::{SqlError, SqlResult};
+
+/// A lexical token with its byte position.
+#[derive(Debug, Clone, PartialEq)]
+pub struct Token {
+    pub kind: TokenKind,
+    pub position: usize,
+}
+
+/// Token kinds.
+#[derive(Debug, Clone, PartialEq)]
+pub enum TokenKind {
+    /// Keyword or identifier (uppercased keywords are matched by the parser;
+    /// the original text is preserved).
+    Ident(String),
+    /// Double-quoted identifier (kept verbatim).
+    QuotedIdent(String),
+    /// Integer literal.
+    Int(i64),
+    /// Float literal.
+    Float(f64),
+    /// Single-quoted string literal (escapes resolved).
+    Str(String),
+    /// Punctuation / operators.
+    LParen,
+    RParen,
+    Comma,
+    Semicolon,
+    Star,
+    Plus,
+    Minus,
+    Slash,
+    Percent,
+    Eq,
+    NotEq,
+    Lt,
+    LtEq,
+    Gt,
+    GtEq,
+    Dot,
+    /// End of input.
+    Eof,
+}
+
+impl TokenKind {
+    /// For `Ident` tokens: true if the text equals the given keyword
+    /// (case-insensitive).
+    pub fn is_kw(&self, kw: &str) -> bool {
+        matches!(self, TokenKind::Ident(s) if s.eq_ignore_ascii_case(kw))
+    }
+}
+
+/// Tokenizes a SQL string.
+pub fn tokenize(input: &str) -> SqlResult<Vec<Token>> {
+    let bytes = input.as_bytes();
+    let mut tokens = Vec::new();
+    let mut i = 0usize;
+    while i < bytes.len() {
+        let c = bytes[i] as char;
+        let start = i;
+        match c {
+            ' ' | '\t' | '\n' | '\r' => {
+                i += 1;
+            }
+            '-' if i + 1 < bytes.len() && bytes[i + 1] == b'-' => {
+                // line comment
+                while i < bytes.len() && bytes[i] != b'\n' {
+                    i += 1;
+                }
+            }
+            '/' if i + 1 < bytes.len() && bytes[i + 1] == b'*' => {
+                // block comment
+                i += 2;
+                while i + 1 < bytes.len() && !(bytes[i] == b'*' && bytes[i + 1] == b'/') {
+                    i += 1;
+                }
+                if i + 1 >= bytes.len() {
+                    return Err(SqlError::Parse {
+                        message: "unterminated block comment".into(),
+                        position: start,
+                    });
+                }
+                i += 2;
+            }
+            '(' => {
+                tokens.push(Token { kind: TokenKind::LParen, position: start });
+                i += 1;
+            }
+            ')' => {
+                tokens.push(Token { kind: TokenKind::RParen, position: start });
+                i += 1;
+            }
+            ',' => {
+                tokens.push(Token { kind: TokenKind::Comma, position: start });
+                i += 1;
+            }
+            ';' => {
+                tokens.push(Token { kind: TokenKind::Semicolon, position: start });
+                i += 1;
+            }
+            '*' => {
+                tokens.push(Token { kind: TokenKind::Star, position: start });
+                i += 1;
+            }
+            '+' => {
+                tokens.push(Token { kind: TokenKind::Plus, position: start });
+                i += 1;
+            }
+            '-' => {
+                tokens.push(Token { kind: TokenKind::Minus, position: start });
+                i += 1;
+            }
+            '/' => {
+                tokens.push(Token { kind: TokenKind::Slash, position: start });
+                i += 1;
+            }
+            '%' => {
+                tokens.push(Token { kind: TokenKind::Percent, position: start });
+                i += 1;
+            }
+            '.' => {
+                tokens.push(Token { kind: TokenKind::Dot, position: start });
+                i += 1;
+            }
+            '=' => {
+                tokens.push(Token { kind: TokenKind::Eq, position: start });
+                i += 1;
+            }
+            '!' if i + 1 < bytes.len() && bytes[i + 1] == b'=' => {
+                tokens.push(Token { kind: TokenKind::NotEq, position: start });
+                i += 2;
+            }
+            '<' => {
+                if i + 1 < bytes.len() && bytes[i + 1] == b'=' {
+                    tokens.push(Token { kind: TokenKind::LtEq, position: start });
+                    i += 2;
+                } else if i + 1 < bytes.len() && bytes[i + 1] == b'>' {
+                    tokens.push(Token { kind: TokenKind::NotEq, position: start });
+                    i += 2;
+                } else {
+                    tokens.push(Token { kind: TokenKind::Lt, position: start });
+                    i += 1;
+                }
+            }
+            '>' => {
+                if i + 1 < bytes.len() && bytes[i + 1] == b'=' {
+                    tokens.push(Token { kind: TokenKind::GtEq, position: start });
+                    i += 2;
+                } else {
+                    tokens.push(Token { kind: TokenKind::Gt, position: start });
+                    i += 1;
+                }
+            }
+            '\'' => {
+                // String literal; '' escapes a quote.
+                let mut s = String::new();
+                i += 1;
+                loop {
+                    if i >= bytes.len() {
+                        return Err(SqlError::Parse {
+                            message: "unterminated string literal".into(),
+                            position: start,
+                        });
+                    }
+                    if bytes[i] == b'\'' {
+                        if i + 1 < bytes.len() && bytes[i + 1] == b'\'' {
+                            s.push('\'');
+                            i += 2;
+                        } else {
+                            i += 1;
+                            break;
+                        }
+                    } else {
+                        // Safe: iterate over UTF-8 via char_indices fallback.
+                        let ch_len = utf8_len(bytes[i]);
+                        s.push_str(&input[i..i + ch_len]);
+                        i += ch_len;
+                    }
+                }
+                tokens.push(Token { kind: TokenKind::Str(s), position: start });
+            }
+            '"' => {
+                let mut s = String::new();
+                i += 1;
+                loop {
+                    if i >= bytes.len() {
+                        return Err(SqlError::Parse {
+                            message: "unterminated quoted identifier".into(),
+                            position: start,
+                        });
+                    }
+                    if bytes[i] == b'"' {
+                        i += 1;
+                        break;
+                    }
+                    let ch_len = utf8_len(bytes[i]);
+                    s.push_str(&input[i..i + ch_len]);
+                    i += ch_len;
+                }
+                tokens.push(Token { kind: TokenKind::QuotedIdent(s), position: start });
+            }
+            '0'..='9' => {
+                let mut end = i;
+                let mut is_float = false;
+                while end < bytes.len() && bytes[end].is_ascii_digit() {
+                    end += 1;
+                }
+                if end < bytes.len()
+                    && bytes[end] == b'.'
+                    && end + 1 < bytes.len()
+                    && bytes[end + 1].is_ascii_digit()
+                {
+                    is_float = true;
+                    end += 1;
+                    while end < bytes.len() && bytes[end].is_ascii_digit() {
+                        end += 1;
+                    }
+                }
+                if end < bytes.len() && (bytes[end] == b'e' || bytes[end] == b'E') {
+                    let mut exp_end = end + 1;
+                    if exp_end < bytes.len() && (bytes[exp_end] == b'+' || bytes[exp_end] == b'-')
+                    {
+                        exp_end += 1;
+                    }
+                    if exp_end < bytes.len() && bytes[exp_end].is_ascii_digit() {
+                        is_float = true;
+                        end = exp_end;
+                        while end < bytes.len() && bytes[end].is_ascii_digit() {
+                            end += 1;
+                        }
+                    }
+                }
+                let text = &input[i..end];
+                let kind = if is_float {
+                    TokenKind::Float(text.parse().map_err(|_| SqlError::Parse {
+                        message: format!("bad float literal {text}"),
+                        position: start,
+                    })?)
+                } else {
+                    TokenKind::Int(text.parse().map_err(|_| SqlError::Parse {
+                        message: format!("bad integer literal {text}"),
+                        position: start,
+                    })?)
+                };
+                tokens.push(Token { kind, position: start });
+                i = end;
+            }
+            c if c.is_ascii_alphabetic() || c == '_' => {
+                let mut end = i;
+                while end < bytes.len()
+                    && ((bytes[end] as char).is_ascii_alphanumeric() || bytes[end] == b'_')
+                {
+                    end += 1;
+                }
+                tokens.push(Token {
+                    kind: TokenKind::Ident(input[i..end].to_string()),
+                    position: start,
+                });
+                i = end;
+            }
+            other => {
+                return Err(SqlError::Parse {
+                    message: format!("unexpected character {other:?}"),
+                    position: start,
+                });
+            }
+        }
+    }
+    tokens.push(Token { kind: TokenKind::Eof, position: input.len() });
+    Ok(tokens)
+}
+
+fn utf8_len(first_byte: u8) -> usize {
+    match first_byte {
+        0x00..=0x7F => 1,
+        0xC0..=0xDF => 2,
+        0xE0..=0xEF => 3,
+        _ => 4,
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn kinds(sql: &str) -> Vec<TokenKind> {
+        tokenize(sql).unwrap().into_iter().map(|t| t.kind).collect()
+    }
+
+    #[test]
+    fn tokenizes_select() {
+        let k = kinds("SELECT a, b FROM t WHERE a >= 1.5");
+        assert_eq!(k[0], TokenKind::Ident("SELECT".into()));
+        assert!(k.contains(&TokenKind::Comma));
+        assert!(k.contains(&TokenKind::GtEq));
+        assert!(k.contains(&TokenKind::Float(1.5)));
+        assert_eq!(*k.last().unwrap(), TokenKind::Eof);
+    }
+
+    #[test]
+    fn operators() {
+        let k = kinds("<> != <= >= < > = + - * / %");
+        assert_eq!(
+            &k[..k.len() - 1],
+            &[
+                TokenKind::NotEq,
+                TokenKind::NotEq,
+                TokenKind::LtEq,
+                TokenKind::GtEq,
+                TokenKind::Lt,
+                TokenKind::Gt,
+                TokenKind::Eq,
+                TokenKind::Plus,
+                TokenKind::Minus,
+                TokenKind::Star,
+                TokenKind::Slash,
+                TokenKind::Percent,
+            ]
+        );
+    }
+
+    #[test]
+    fn string_escapes() {
+        let k = kinds("'it''s'");
+        assert_eq!(k[0], TokenKind::Str("it's".into()));
+    }
+
+    #[test]
+    fn unicode_in_strings() {
+        let k = kinds("'héllo ✓'");
+        assert_eq!(k[0], TokenKind::Str("héllo ✓".into()));
+    }
+
+    #[test]
+    fn comments_skipped() {
+        let k = kinds("SELECT -- comment\n 1 /* block */ + 2");
+        assert_eq!(k.len(), 5); // SELECT, 1, +, 2, EOF
+    }
+
+    #[test]
+    fn numbers() {
+        let k = kinds("42 3.25 1e3 2.5e-2");
+        assert_eq!(k[0], TokenKind::Int(42));
+        assert_eq!(k[1], TokenKind::Float(3.25));
+        assert_eq!(k[2], TokenKind::Float(1000.0));
+        assert_eq!(k[3], TokenKind::Float(0.025));
+    }
+
+    #[test]
+    fn qualified_name() {
+        let k = kinds("t.col");
+        assert_eq!(
+            &k[..3],
+            &[
+                TokenKind::Ident("t".into()),
+                TokenKind::Dot,
+                TokenKind::Ident("col".into())
+            ]
+        );
+    }
+
+    #[test]
+    fn quoted_identifier() {
+        let k = kinds("\"Weird Name\"");
+        assert_eq!(k[0], TokenKind::QuotedIdent("Weird Name".into()));
+    }
+
+    #[test]
+    fn unterminated_string_errors() {
+        assert!(tokenize("'oops").is_err());
+        assert!(tokenize("/* oops").is_err());
+    }
+
+    #[test]
+    fn positions_tracked() {
+        let toks = tokenize("SELECT x").unwrap();
+        assert_eq!(toks[0].position, 0);
+        assert_eq!(toks[1].position, 7);
+    }
+
+    #[test]
+    fn is_kw_case_insensitive() {
+        let t = TokenKind::Ident("select".into());
+        assert!(t.is_kw("SELECT"));
+        assert!(!t.is_kw("FROM"));
+    }
+}

@@ -1,0 +1,707 @@
+//! Logical plan optimizer.
+//!
+//! Rule passes, applied bottom-up:
+//!
+//! 1. **Constant folding** — constant sub-expressions collapse to literals.
+//! 2. **Predicate pushdown into scans** — `col <op> literal` conjuncts of a
+//!    `Filter` directly above a `Scan` become [`ColumnPredicate`]s, enabling
+//!    zone-map pruning in the storage layer.
+//! 3. **Join predicate pushdown** — conjuncts of a `Filter` above an INNER
+//!    join that reference only one side sink into that side.
+//! 4. **Projection pushdown** — `Project`/`Aggregate` over (optionally
+//!    filtered) scans shrink the scan to the used columns (a column store's
+//!    bread and butter).
+
+use std::sync::Arc;
+
+use vertexica_storage::{ColumnPredicate, PredicateOp, Schema};
+
+use crate::ast::{BinaryOp, JoinKind, UnaryOp};
+use crate::error::SqlResult;
+use crate::expr::PhysExpr;
+use crate::logical::LogicalPlan;
+
+/// Runs all optimizer passes.
+pub fn optimize(plan: LogicalPlan) -> SqlResult<LogicalPlan> {
+    let plan = fold_constants_plan(plan)?;
+    let plan = push_predicates(plan)?;
+    let plan = push_projections(plan)?;
+    Ok(plan)
+}
+
+// ---- constant folding ----
+
+fn fold_constants_plan(plan: LogicalPlan) -> SqlResult<LogicalPlan> {
+    Ok(match plan {
+        LogicalPlan::Filter { input, predicate } => LogicalPlan::Filter {
+            input: Box::new(fold_constants_plan(*input)?),
+            predicate: fold_expr(predicate)?,
+        },
+        LogicalPlan::Project { input, exprs, schema } => LogicalPlan::Project {
+            input: Box::new(fold_constants_plan(*input)?),
+            exprs: exprs.into_iter().map(fold_expr).collect::<SqlResult<Vec<_>>>()?,
+            schema,
+        },
+        LogicalPlan::Join { left, right, kind, on, filter, schema } => LogicalPlan::Join {
+            left: Box::new(fold_constants_plan(*left)?),
+            right: Box::new(fold_constants_plan(*right)?),
+            kind,
+            on,
+            filter: filter.map(fold_expr).transpose()?,
+            schema,
+        },
+        LogicalPlan::Aggregate { input, group, aggs, schema } => LogicalPlan::Aggregate {
+            input: Box::new(fold_constants_plan(*input)?),
+            group: group.into_iter().map(fold_expr).collect::<SqlResult<Vec<_>>>()?,
+            aggs,
+            schema,
+        },
+        LogicalPlan::Sort { input, keys } => LogicalPlan::Sort {
+            input: Box::new(fold_constants_plan(*input)?),
+            keys: keys
+                .into_iter()
+                .map(|(e, asc)| Ok((fold_expr(e)?, asc)))
+                .collect::<SqlResult<Vec<_>>>()?,
+        },
+        LogicalPlan::Limit { input, n } => {
+            LogicalPlan::Limit { input: Box::new(fold_constants_plan(*input)?), n }
+        }
+        LogicalPlan::UnionAll { inputs, schema } => LogicalPlan::UnionAll {
+            inputs: inputs
+                .into_iter()
+                .map(fold_constants_plan)
+                .collect::<SqlResult<Vec<_>>>()?,
+            schema,
+        },
+        LogicalPlan::Distinct { input } => {
+            LogicalPlan::Distinct { input: Box::new(fold_constants_plan(*input)?) }
+        }
+        leaf @ (LogicalPlan::Scan { .. } | LogicalPlan::Values { .. }) => leaf,
+    })
+}
+
+/// Folds constant sub-expressions to literals.
+pub fn fold_expr(expr: PhysExpr) -> SqlResult<PhysExpr> {
+    // Fold children first.
+    let expr = match expr {
+        PhysExpr::Binary { left, op, right } => PhysExpr::Binary {
+            left: Box::new(fold_expr(*left)?),
+            op,
+            right: Box::new(fold_expr(*right)?),
+        },
+        PhysExpr::Unary { op, expr } => {
+            PhysExpr::Unary { op, expr: Box::new(fold_expr(*expr)?) }
+        }
+        PhysExpr::IsNull { expr, negated } => {
+            PhysExpr::IsNull { expr: Box::new(fold_expr(*expr)?), negated }
+        }
+        PhysExpr::InList { expr, list, negated } => PhysExpr::InList {
+            expr: Box::new(fold_expr(*expr)?),
+            list: list.into_iter().map(fold_expr).collect::<SqlResult<Vec<_>>>()?,
+            negated,
+        },
+        PhysExpr::Like { expr, pattern, negated } => PhysExpr::Like {
+            expr: Box::new(fold_expr(*expr)?),
+            pattern: Box::new(fold_expr(*pattern)?),
+            negated,
+        },
+        PhysExpr::Case { when_then, else_expr } => PhysExpr::Case {
+            when_then: when_then
+                .into_iter()
+                .map(|(w, t)| Ok((fold_expr(w)?, fold_expr(t)?)))
+                .collect::<SqlResult<Vec<_>>>()?,
+            else_expr: match else_expr {
+                Some(e) => Some(Box::new(fold_expr(*e)?)),
+                None => None,
+            },
+        },
+        PhysExpr::Cast { expr, dtype } => {
+            PhysExpr::Cast { expr: Box::new(fold_expr(*expr)?), dtype }
+        }
+        PhysExpr::ScalarFn { func, args } => PhysExpr::ScalarFn {
+            func,
+            args: args.into_iter().map(fold_expr).collect::<SqlResult<Vec<_>>>()?,
+        },
+        leaf => leaf,
+    };
+    if !matches!(expr, PhysExpr::Literal(_)) && expr.is_constant() {
+        // Evaluation errors at fold time (e.g. bad cast) are deferred to
+        // runtime rather than failing the whole plan.
+        if let Ok(v) = expr.eval_scalar() {
+            return Ok(PhysExpr::Literal(v));
+        }
+    }
+    Ok(expr)
+}
+
+// ---- predicate pushdown ----
+
+fn push_predicates(plan: LogicalPlan) -> SqlResult<LogicalPlan> {
+    Ok(match plan {
+        LogicalPlan::Filter { input, predicate } => {
+            let input = push_predicates(*input)?;
+            match input {
+                LogicalPlan::Scan { table, schema, projection, mut predicates } => {
+                    let mut conjuncts = Vec::new();
+                    split_conjuncts(predicate, &mut conjuncts);
+                    let mut residual: Vec<PhysExpr> = Vec::new();
+                    for c in conjuncts {
+                        // Scan predicates index the *full table schema*; they
+                        // are only extractable when the scan has no
+                        // projection (the planner emits projection-less
+                        // scans; projection pushdown runs afterwards).
+                        match (projection.is_none(), to_column_predicate(&c)) {
+                            (true, Some(p)) => predicates.push(p),
+                            _ => residual.push(c),
+                        }
+                    }
+                    let scan = LogicalPlan::Scan { table, schema, projection, predicates };
+                    match recombine(residual) {
+                        Some(pred) => {
+                            LogicalPlan::Filter { input: Box::new(scan), predicate: pred }
+                        }
+                        None => scan,
+                    }
+                }
+                LogicalPlan::Join {
+                    left,
+                    right,
+                    kind: JoinKind::Inner,
+                    on,
+                    filter,
+                    schema,
+                } => {
+                    let left_width = left.schema().len();
+                    let mut conjuncts = Vec::new();
+                    split_conjuncts(predicate, &mut conjuncts);
+                    let mut left_preds = Vec::new();
+                    let mut right_preds = Vec::new();
+                    let mut keep = Vec::new();
+                    for c in conjuncts {
+                        let mut cols = Vec::new();
+                        collect_columns(&c, &mut cols);
+                        if !cols.is_empty() && cols.iter().all(|&i| i < left_width) {
+                            left_preds.push(c);
+                        } else if !cols.is_empty() && cols.iter().all(|&i| i >= left_width) {
+                            right_preds.push(shift_columns(c, left_width as isize * -1));
+                        } else {
+                            keep.push(c);
+                        }
+                    }
+                    let left = match recombine(left_preds) {
+                        Some(p) => LogicalPlan::Filter { input: left, predicate: p },
+                        None => *left,
+                    };
+                    let right = match recombine(right_preds) {
+                        Some(p) => LogicalPlan::Filter { input: right, predicate: p },
+                        None => *right,
+                    };
+                    // Recurse so sunk filters can merge into scans.
+                    let join = LogicalPlan::Join {
+                        left: Box::new(push_predicates(left)?),
+                        right: Box::new(push_predicates(right)?),
+                        kind: JoinKind::Inner,
+                        on,
+                        filter,
+                        schema,
+                    };
+                    match recombine(keep) {
+                        Some(p) => LogicalPlan::Filter { input: Box::new(join), predicate: p },
+                        None => join,
+                    }
+                }
+                other => LogicalPlan::Filter { input: Box::new(other), predicate },
+            }
+        }
+        LogicalPlan::Project { input, exprs, schema } => LogicalPlan::Project {
+            input: Box::new(push_predicates(*input)?),
+            exprs,
+            schema,
+        },
+        LogicalPlan::Join { left, right, kind, on, filter, schema } => LogicalPlan::Join {
+            left: Box::new(push_predicates(*left)?),
+            right: Box::new(push_predicates(*right)?),
+            kind,
+            on,
+            filter,
+            schema,
+        },
+        LogicalPlan::Aggregate { input, group, aggs, schema } => LogicalPlan::Aggregate {
+            input: Box::new(push_predicates(*input)?),
+            group,
+            aggs,
+            schema,
+        },
+        LogicalPlan::Sort { input, keys } => {
+            LogicalPlan::Sort { input: Box::new(push_predicates(*input)?), keys }
+        }
+        LogicalPlan::Limit { input, n } => {
+            LogicalPlan::Limit { input: Box::new(push_predicates(*input)?), n }
+        }
+        LogicalPlan::UnionAll { inputs, schema } => LogicalPlan::UnionAll {
+            inputs: inputs.into_iter().map(push_predicates).collect::<SqlResult<Vec<_>>>()?,
+            schema,
+        },
+        LogicalPlan::Distinct { input } => {
+            LogicalPlan::Distinct { input: Box::new(push_predicates(*input)?) }
+        }
+        leaf => leaf,
+    })
+}
+
+fn split_conjuncts(expr: PhysExpr, out: &mut Vec<PhysExpr>) {
+    match expr {
+        PhysExpr::Binary { left, op: BinaryOp::And, right } => {
+            split_conjuncts(*left, out);
+            split_conjuncts(*right, out);
+        }
+        other => out.push(other),
+    }
+}
+
+fn recombine(conjuncts: Vec<PhysExpr>) -> Option<PhysExpr> {
+    conjuncts.into_iter().reduce(|a, b| PhysExpr::Binary {
+        left: Box::new(a),
+        op: BinaryOp::And,
+        right: Box::new(b),
+    })
+}
+
+/// Extracts `col <op> literal` (or flipped) as a storage-level predicate.
+fn to_column_predicate(expr: &PhysExpr) -> Option<ColumnPredicate> {
+    let PhysExpr::Binary { left, op, right } = expr else {
+        return None;
+    };
+    let op = *op;
+    let storage_op = |op: BinaryOp| -> Option<PredicateOp> {
+        Some(match op {
+            BinaryOp::Eq => PredicateOp::Eq,
+            BinaryOp::NotEq => PredicateOp::NotEq,
+            BinaryOp::Lt => PredicateOp::Lt,
+            BinaryOp::LtEq => PredicateOp::LtEq,
+            BinaryOp::Gt => PredicateOp::Gt,
+            BinaryOp::GtEq => PredicateOp::GtEq,
+            _ => return None,
+        })
+    };
+    let flip = |op: PredicateOp| match op {
+        PredicateOp::Lt => PredicateOp::Gt,
+        PredicateOp::LtEq => PredicateOp::GtEq,
+        PredicateOp::Gt => PredicateOp::Lt,
+        PredicateOp::GtEq => PredicateOp::LtEq,
+        other => other,
+    };
+    match (&**left, &**right) {
+        (PhysExpr::Column(i), PhysExpr::Literal(v)) if !v.is_null() => {
+            Some(ColumnPredicate::new(*i, storage_op(op)?, v.clone()))
+        }
+        (PhysExpr::Literal(v), PhysExpr::Column(i)) if !v.is_null() => {
+            Some(ColumnPredicate::new(*i, flip(storage_op(op)?), v.clone()))
+        }
+        _ => None,
+    }
+}
+
+/// Collects input-column indices referenced by an expression.
+pub fn collect_columns(expr: &PhysExpr, out: &mut Vec<usize>) {
+    match expr {
+        PhysExpr::Column(i) => out.push(*i),
+        PhysExpr::Literal(_) => {}
+        PhysExpr::Binary { left, right, .. } => {
+            collect_columns(left, out);
+            collect_columns(right, out);
+        }
+        PhysExpr::Unary { expr, .. } => collect_columns(expr, out),
+        PhysExpr::IsNull { expr, .. } => collect_columns(expr, out),
+        PhysExpr::InList { expr, list, .. } => {
+            collect_columns(expr, out);
+            for e in list {
+                collect_columns(e, out);
+            }
+        }
+        PhysExpr::Like { expr, pattern, .. } => {
+            collect_columns(expr, out);
+            collect_columns(pattern, out);
+        }
+        PhysExpr::Case { when_then, else_expr } => {
+            for (w, t) in when_then {
+                collect_columns(w, out);
+                collect_columns(t, out);
+            }
+            if let Some(e) = else_expr {
+                collect_columns(e, out);
+            }
+        }
+        PhysExpr::Cast { expr, .. } => collect_columns(expr, out),
+        PhysExpr::ScalarFn { args, .. } => {
+            for a in args {
+                collect_columns(a, out);
+            }
+        }
+    }
+}
+
+/// Shifts every column index by `delta` (used when sinking predicates below
+/// a join's right side).
+fn shift_columns(expr: PhysExpr, delta: isize) -> PhysExpr {
+    map_columns(expr, &|i| (i as isize + delta) as usize)
+}
+
+/// Rewrites column indices through `f`.
+pub fn map_columns(expr: PhysExpr, f: &impl Fn(usize) -> usize) -> PhysExpr {
+    match expr {
+        PhysExpr::Column(i) => PhysExpr::Column(f(i)),
+        PhysExpr::Literal(v) => PhysExpr::Literal(v),
+        PhysExpr::Binary { left, op, right } => PhysExpr::Binary {
+            left: Box::new(map_columns(*left, f)),
+            op,
+            right: Box::new(map_columns(*right, f)),
+        },
+        PhysExpr::Unary { op, expr } => {
+            PhysExpr::Unary { op, expr: Box::new(map_columns(*expr, f)) }
+        }
+        PhysExpr::IsNull { expr, negated } => {
+            PhysExpr::IsNull { expr: Box::new(map_columns(*expr, f)), negated }
+        }
+        PhysExpr::InList { expr, list, negated } => PhysExpr::InList {
+            expr: Box::new(map_columns(*expr, f)),
+            list: list.into_iter().map(|e| map_columns(e, f)).collect(),
+            negated,
+        },
+        PhysExpr::Like { expr, pattern, negated } => PhysExpr::Like {
+            expr: Box::new(map_columns(*expr, f)),
+            pattern: Box::new(map_columns(*pattern, f)),
+            negated,
+        },
+        PhysExpr::Case { when_then, else_expr } => PhysExpr::Case {
+            when_then: when_then
+                .into_iter()
+                .map(|(w, t)| (map_columns(w, f), map_columns(t, f)))
+                .collect(),
+            else_expr: else_expr.map(|e| Box::new(map_columns(*e, f))),
+        },
+        PhysExpr::Cast { expr, dtype } => {
+            PhysExpr::Cast { expr: Box::new(map_columns(*expr, f)), dtype }
+        }
+        PhysExpr::ScalarFn { func, args } => PhysExpr::ScalarFn {
+            func,
+            args: args.into_iter().map(|e| map_columns(e, f)).collect(),
+        },
+    }
+}
+
+// ---- projection pushdown ----
+
+fn push_projections(plan: LogicalPlan) -> SqlResult<LogicalPlan> {
+    Ok(match plan {
+        LogicalPlan::Project { input, exprs, schema } => {
+            match *input {
+                // Project(Scan) and Project(Filter(Scan)).
+                LogicalPlan::Scan {
+                    table,
+                    schema: tschema,
+                    projection: None,
+                    predicates,
+                } => {
+                    let mut used = Vec::new();
+                    for e in &exprs {
+                        collect_columns(e, &mut used);
+                    }
+                    let (scan, remap) = narrow_scan(table, tschema, predicates, used);
+                    let exprs = exprs.into_iter().map(|e| map_columns(e, &remap)).collect();
+                    LogicalPlan::Project { input: Box::new(scan), exprs, schema }
+                }
+                LogicalPlan::Filter { input: finput, predicate } => match *finput {
+                    LogicalPlan::Scan {
+                        table,
+                        schema: tschema,
+                        projection: None,
+                        predicates,
+                    } => {
+                        let mut used = Vec::new();
+                        for e in &exprs {
+                            collect_columns(e, &mut used);
+                        }
+                        collect_columns(&predicate, &mut used);
+                        let (scan, remap) = narrow_scan(table, tschema, predicates, used);
+                        let predicate = map_columns(predicate, &remap);
+                        let exprs =
+                            exprs.into_iter().map(|e| map_columns(e, &remap)).collect();
+                        LogicalPlan::Project {
+                            input: Box::new(LogicalPlan::Filter {
+                                input: Box::new(scan),
+                                predicate,
+                            }),
+                            exprs,
+                            schema,
+                        }
+                    }
+                    other => LogicalPlan::Project {
+                        input: Box::new(LogicalPlan::Filter {
+                            input: Box::new(push_projections(other)?),
+                            predicate,
+                        }),
+                        exprs,
+                        schema,
+                    },
+                },
+                other => LogicalPlan::Project {
+                    input: Box::new(push_projections(other)?),
+                    exprs,
+                    schema,
+                },
+            }
+        }
+        LogicalPlan::Filter { input, predicate } => {
+            LogicalPlan::Filter { input: Box::new(push_projections(*input)?), predicate }
+        }
+        LogicalPlan::Join { left, right, kind, on, filter, schema } => LogicalPlan::Join {
+            left: Box::new(push_projections(*left)?),
+            right: Box::new(push_projections(*right)?),
+            kind,
+            on,
+            filter,
+            schema,
+        },
+        LogicalPlan::Aggregate { input, group, aggs, schema } => LogicalPlan::Aggregate {
+            input: Box::new(push_projections(*input)?),
+            group,
+            aggs,
+            schema,
+        },
+        LogicalPlan::Sort { input, keys } => {
+            LogicalPlan::Sort { input: Box::new(push_projections(*input)?), keys }
+        }
+        LogicalPlan::Limit { input, n } => {
+            LogicalPlan::Limit { input: Box::new(push_projections(*input)?), n }
+        }
+        LogicalPlan::UnionAll { inputs, schema } => LogicalPlan::UnionAll {
+            inputs: inputs
+                .into_iter()
+                .map(push_projections)
+                .collect::<SqlResult<Vec<_>>>()?,
+            schema,
+        },
+        LogicalPlan::Distinct { input } => {
+            LogicalPlan::Distinct { input: Box::new(push_projections(*input)?) }
+        }
+        leaf => leaf,
+    })
+}
+
+/// Builds a narrowed scan over only `used` columns and a remapping closure
+/// from old indices to new.
+fn narrow_scan(
+    table: String,
+    tschema: Arc<Schema>,
+    predicates: Vec<ColumnPredicate>,
+    mut used: Vec<usize>,
+) -> (LogicalPlan, impl Fn(usize) -> usize) {
+    used.sort_unstable();
+    used.dedup();
+    // A constant-only projection uses no columns, but the scan must still
+    // report the table's row count — keep one column as a row-count carrier
+    // (a zero-column batch cannot represent N rows).
+    if used.is_empty() && !tschema.is_empty() {
+        used.push(0);
+    }
+    // If everything is used, keep the scan whole.
+    if used.len() == tschema.len() {
+        let scan = LogicalPlan::Scan { table, schema: tschema, projection: None, predicates };
+        return (scan, identity_or_map(None));
+    }
+    let mapping: std::collections::HashMap<usize, usize> =
+        used.iter().enumerate().map(|(new, &old)| (old, new)).collect();
+    let scan = LogicalPlan::Scan {
+        table,
+        schema: tschema,
+        projection: Some(used),
+        predicates,
+    };
+    (scan, identity_or_map(Some(mapping)))
+}
+
+fn identity_or_map(
+    mapping: Option<std::collections::HashMap<usize, usize>>,
+) -> impl Fn(usize) -> usize {
+    move |i| match &mapping {
+        None => i,
+        Some(m) => *m.get(&i).unwrap_or(&i),
+    }
+}
+
+/// Desugars `NOT(expr)` over comparisons during folding — exposed for tests.
+pub fn negate_comparison(op: BinaryOp) -> Option<BinaryOp> {
+    Some(match op {
+        BinaryOp::Eq => BinaryOp::NotEq,
+        BinaryOp::NotEq => BinaryOp::Eq,
+        BinaryOp::Lt => BinaryOp::GtEq,
+        BinaryOp::LtEq => BinaryOp::Gt,
+        BinaryOp::Gt => BinaryOp::LtEq,
+        BinaryOp::GtEq => BinaryOp::Lt,
+        _ => return None,
+    })
+}
+
+/// Helper for building NOT expressions in tests.
+pub fn not(e: PhysExpr) -> PhysExpr {
+    PhysExpr::Unary { op: UnaryOp::Not, expr: Box::new(e) }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use vertexica_storage::{DataType, Field, Value};
+
+    fn scan(ncols: usize) -> LogicalPlan {
+        let fields = (0..ncols).map(|i| Field::new(format!("c{i}"), DataType::Int)).collect();
+        LogicalPlan::Scan {
+            table: "t".into(),
+            schema: Schema::new(fields),
+            projection: None,
+            predicates: vec![],
+        }
+    }
+
+    fn cmp(col: usize, op: BinaryOp, v: i64) -> PhysExpr {
+        PhysExpr::Binary {
+            left: Box::new(PhysExpr::Column(col)),
+            op,
+            right: Box::new(PhysExpr::Literal(Value::Int(v))),
+        }
+    }
+
+    #[test]
+    fn constant_folding_collapses() {
+        let e = PhysExpr::Binary {
+            left: Box::new(PhysExpr::Literal(Value::Int(2))),
+            op: BinaryOp::Multiply,
+            right: Box::new(PhysExpr::Literal(Value::Int(21))),
+        };
+        let folded = fold_expr(e).unwrap();
+        assert!(matches!(folded, PhysExpr::Literal(Value::Int(42))));
+    }
+
+    #[test]
+    fn folding_keeps_column_refs() {
+        let e = cmp(0, BinaryOp::Gt, 5);
+        let folded = fold_expr(e).unwrap();
+        assert!(matches!(folded, PhysExpr::Binary { .. }));
+    }
+
+    #[test]
+    fn predicate_sinks_into_scan() {
+        let plan = LogicalPlan::Filter {
+            input: Box::new(scan(3)),
+            predicate: cmp(1, BinaryOp::Eq, 7),
+        };
+        let opt = optimize(plan).unwrap();
+        let LogicalPlan::Scan { predicates, .. } = opt else {
+            panic!("expected bare scan, got {}", opt.display_indent());
+        };
+        assert_eq!(predicates.len(), 1);
+        assert_eq!(predicates[0].column, 1);
+    }
+
+    #[test]
+    fn non_sinkable_conjunct_stays() {
+        // c0 = c1 cannot become a storage predicate.
+        let pred = PhysExpr::Binary {
+            left: Box::new(PhysExpr::Column(0)),
+            op: BinaryOp::Eq,
+            right: Box::new(PhysExpr::Column(1)),
+        };
+        let both = PhysExpr::Binary {
+            left: Box::new(pred),
+            op: BinaryOp::And,
+            right: Box::new(cmp(2, BinaryOp::Lt, 9)),
+        };
+        let plan = LogicalPlan::Filter { input: Box::new(scan(3)), predicate: both };
+        let opt = optimize(plan).unwrap();
+        let LogicalPlan::Filter { input, .. } = opt else { panic!() };
+        let LogicalPlan::Scan { predicates, .. } = *input else { panic!() };
+        assert_eq!(predicates.len(), 1);
+        assert_eq!(predicates[0].column, 2);
+    }
+
+    #[test]
+    fn flipped_literal_comparison_sinks() {
+        // 5 < c0  →  c0 > 5
+        let pred = PhysExpr::Binary {
+            left: Box::new(PhysExpr::Literal(Value::Int(5))),
+            op: BinaryOp::Lt,
+            right: Box::new(PhysExpr::Column(0)),
+        };
+        let plan = LogicalPlan::Filter { input: Box::new(scan(1)), predicate: pred };
+        let opt = optimize(plan).unwrap();
+        let LogicalPlan::Scan { predicates, .. } = opt else { panic!() };
+        assert_eq!(predicates[0].op, PredicateOp::Gt);
+    }
+
+    #[test]
+    fn projection_pushdown_narrows_scan() {
+        let plan = LogicalPlan::Project {
+            input: Box::new(scan(5)),
+            exprs: vec![PhysExpr::Column(4), PhysExpr::Column(2)],
+            schema: Schema::new(vec![
+                Field::new("a", DataType::Int),
+                Field::new("b", DataType::Int),
+            ]),
+        };
+        let opt = optimize(plan).unwrap();
+        let LogicalPlan::Project { input, exprs, .. } = opt else { panic!() };
+        let LogicalPlan::Scan { projection, .. } = *input else { panic!() };
+        assert_eq!(projection, Some(vec![2, 4]));
+        // Exprs remapped: old 4 → new 1, old 2 → new 0.
+        assert!(matches!(exprs[0], PhysExpr::Column(1)));
+        assert!(matches!(exprs[1], PhysExpr::Column(0)));
+    }
+
+    #[test]
+    fn filter_pushdown_through_inner_join() {
+        let join = LogicalPlan::Join {
+            left: Box::new(scan(2)),
+            right: Box::new(scan(2)),
+            kind: JoinKind::Inner,
+            on: vec![(0, 0)],
+            filter: None,
+            schema: Schema::new(
+                (0..4).map(|i| Field::new(format!("c{i}"), DataType::Int)).collect(),
+            ),
+        };
+        // c3 > 1 references only the right side (indices 2,3).
+        let plan = LogicalPlan::Filter {
+            input: Box::new(join),
+            predicate: cmp(3, BinaryOp::Gt, 1),
+        };
+        let opt = optimize(plan).unwrap();
+        let LogicalPlan::Join { right, .. } = opt else {
+            panic!("expected join at root");
+        };
+        let LogicalPlan::Scan { predicates, .. } = *right else {
+            panic!("expected scan with sunk predicate");
+        };
+        assert_eq!(predicates.len(), 1);
+        assert_eq!(predicates[0].column, 1); // shifted by left width
+    }
+
+    #[test]
+    fn left_join_filter_not_pushed() {
+        let join = LogicalPlan::Join {
+            left: Box::new(scan(1)),
+            right: Box::new(scan(1)),
+            kind: JoinKind::Left,
+            on: vec![(0, 0)],
+            filter: None,
+            schema: Schema::new(
+                (0..2).map(|i| Field::new(format!("c{i}"), DataType::Int)).collect(),
+            ),
+        };
+        let plan = LogicalPlan::Filter {
+            input: Box::new(join),
+            predicate: cmp(1, BinaryOp::Eq, 1),
+        };
+        let opt = optimize(plan).unwrap();
+        assert!(matches!(opt, LogicalPlan::Filter { .. }));
+    }
+}

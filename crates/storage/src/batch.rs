@@ -1,0 +1,237 @@
+//! Record batches — the unit of vectorized execution.
+
+use std::sync::Arc;
+
+use crate::bitmap::Bitmap;
+use crate::column::{Column, ColumnBuilder};
+use crate::error::{StorageError, StorageResult};
+use crate::value::{Schema, Value};
+
+/// A horizontal slice of a table: a schema plus equal-length columns.
+#[derive(Debug, Clone)]
+pub struct RecordBatch {
+    schema: Arc<Schema>,
+    columns: Vec<Column>,
+    num_rows: usize,
+}
+
+impl RecordBatch {
+    pub fn new(schema: Arc<Schema>, columns: Vec<Column>) -> StorageResult<Self> {
+        if schema.len() != columns.len() {
+            return Err(StorageError::ArityMismatch {
+                expected: schema.len(),
+                found: columns.len(),
+            });
+        }
+        let num_rows = columns.first().map_or(0, |c| c.len());
+        for (f, c) in schema.fields.iter().zip(&columns) {
+            if c.len() != num_rows {
+                return Err(StorageError::Internal(format!(
+                    "ragged batch: column {} has {} rows, expected {num_rows}",
+                    f.name,
+                    c.len()
+                )));
+            }
+            if c.dtype() != f.dtype {
+                return Err(StorageError::TypeMismatch {
+                    expected: f.dtype.to_string(),
+                    found: c.dtype().to_string(),
+                });
+            }
+        }
+        Ok(RecordBatch { schema, columns, num_rows })
+    }
+
+    /// An empty batch with the given schema.
+    pub fn empty(schema: Arc<Schema>) -> Self {
+        let columns = schema.fields.iter().map(|f| Column::empty(f.dtype)).collect();
+        RecordBatch { schema, columns, num_rows: 0 }
+    }
+
+    /// Builds a batch from rows of values (coercing to the schema types).
+    pub fn from_rows(schema: Arc<Schema>, rows: &[Vec<Value>]) -> StorageResult<Self> {
+        let mut builders: Vec<ColumnBuilder> = schema
+            .fields
+            .iter()
+            .map(|f| ColumnBuilder::with_capacity(f.dtype, rows.len()))
+            .collect();
+        for row in rows {
+            if row.len() != schema.len() {
+                return Err(StorageError::ArityMismatch {
+                    expected: schema.len(),
+                    found: row.len(),
+                });
+            }
+            for (b, v) in builders.iter_mut().zip(row) {
+                b.push(v.clone())?;
+            }
+        }
+        RecordBatch::new(schema, builders.into_iter().map(|b| b.finish()).collect())
+    }
+
+    pub fn schema(&self) -> &Arc<Schema> {
+        &self.schema
+    }
+
+    pub fn num_rows(&self) -> usize {
+        self.num_rows
+    }
+
+    pub fn num_columns(&self) -> usize {
+        self.columns.len()
+    }
+
+    pub fn column(&self, idx: usize) -> &Column {
+        &self.columns[idx]
+    }
+
+    pub fn columns(&self) -> &[Column] {
+        &self.columns
+    }
+
+    /// Column by (case-insensitive) name.
+    pub fn column_by_name(&self, name: &str) -> Option<&Column> {
+        self.schema.index_of(name).map(|i| &self.columns[i])
+    }
+
+    /// Extracts row `i` as a vector of values.
+    pub fn row(&self, i: usize) -> Vec<Value> {
+        self.columns.iter().map(|c| c.value(i)).collect()
+    }
+
+    /// Rows as value vectors (for tests and small results).
+    pub fn rows(&self) -> Vec<Vec<Value>> {
+        (0..self.num_rows).map(|i| self.row(i)).collect()
+    }
+
+    /// Keeps rows whose bit is set.
+    pub fn filter(&self, selection: &Bitmap) -> StorageResult<RecordBatch> {
+        let columns = self.columns.iter().map(|c| c.filter(selection)).collect();
+        RecordBatch::new(self.schema.clone(), columns)
+    }
+
+    /// Gathers rows by index.
+    pub fn take(&self, indices: &[usize]) -> StorageResult<RecordBatch> {
+        let columns = self.columns.iter().map(|c| c.take(indices)).collect();
+        RecordBatch::new(self.schema.clone(), columns)
+    }
+
+    /// Projects onto the given column indices.
+    pub fn project(&self, indices: &[usize]) -> StorageResult<RecordBatch> {
+        let schema = self.schema.project(indices);
+        let columns = indices.iter().map(|&i| self.columns[i].clone()).collect();
+        RecordBatch::new(schema, columns)
+    }
+
+    /// Vertically concatenates batches sharing a schema layout.
+    pub fn concat(schema: Arc<Schema>, batches: &[RecordBatch]) -> StorageResult<RecordBatch> {
+        if batches.is_empty() {
+            return Ok(RecordBatch::empty(schema));
+        }
+        let ncols = schema.len();
+        let mut columns = Vec::with_capacity(ncols);
+        for ci in 0..ncols {
+            let parts: Vec<Column> = batches.iter().map(|b| b.columns[ci].clone()).collect();
+            columns.push(Column::concat(&parts)?);
+        }
+        RecordBatch::new(schema, columns)
+    }
+
+    /// Total rows across batches.
+    pub fn total_rows(batches: &[RecordBatch]) -> usize {
+        batches.iter().map(|b| b.num_rows()).sum()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::value::{DataType, Field};
+
+    fn test_schema() -> Arc<Schema> {
+        Schema::new(vec![
+            Field::new("id", DataType::Int),
+            Field::new("name", DataType::Str),
+        ])
+    }
+
+    fn test_batch() -> RecordBatch {
+        RecordBatch::from_rows(
+            test_schema(),
+            &[
+                vec![Value::Int(1), Value::Str("a".into())],
+                vec![Value::Int(2), Value::Str("b".into())],
+                vec![Value::Int(3), Value::Null],
+            ],
+        )
+        .unwrap()
+    }
+
+    #[test]
+    fn from_rows_roundtrip() {
+        let b = test_batch();
+        assert_eq!(b.num_rows(), 3);
+        assert_eq!(b.num_columns(), 2);
+        assert_eq!(b.row(0), vec![Value::Int(1), Value::Str("a".into())]);
+        assert_eq!(b.row(2)[1], Value::Null);
+    }
+
+    #[test]
+    fn ragged_rows_rejected() {
+        let r = RecordBatch::from_rows(test_schema(), &[vec![Value::Int(1)]]);
+        assert!(r.is_err());
+    }
+
+    #[test]
+    fn mismatched_column_type_rejected() {
+        let schema = test_schema();
+        let cols = vec![
+            Column::from_values(DataType::Str, &[Value::Str("x".into())]).unwrap(),
+            Column::from_values(DataType::Str, &[Value::Str("y".into())]).unwrap(),
+        ];
+        assert!(RecordBatch::new(schema, cols).is_err());
+    }
+
+    #[test]
+    fn filter_and_take() {
+        let b = test_batch();
+        let sel = Bitmap::from_iter_bool([false, true, true]);
+        let f = b.filter(&sel).unwrap();
+        assert_eq!(f.num_rows(), 2);
+        assert_eq!(f.row(0)[0], Value::Int(2));
+
+        let t = b.take(&[2, 2]).unwrap();
+        assert_eq!(t.num_rows(), 2);
+        assert_eq!(t.row(1)[0], Value::Int(3));
+    }
+
+    #[test]
+    fn project_reorders() {
+        let b = test_batch();
+        let p = b.project(&[1, 0]).unwrap();
+        assert_eq!(p.schema().fields[0].name, "name");
+        assert_eq!(p.row(0), vec![Value::Str("a".into()), Value::Int(1)]);
+    }
+
+    #[test]
+    fn concat_batches() {
+        let b = test_batch();
+        let c = RecordBatch::concat(b.schema().clone(), &[b.clone(), b.clone()]).unwrap();
+        assert_eq!(c.num_rows(), 6);
+        assert_eq!(c.row(3), c.row(0));
+    }
+
+    #[test]
+    fn concat_empty_is_empty() {
+        let c = RecordBatch::concat(test_schema(), &[]).unwrap();
+        assert_eq!(c.num_rows(), 0);
+        assert_eq!(c.num_columns(), 2);
+    }
+
+    #[test]
+    fn column_by_name_case_insensitive() {
+        let b = test_batch();
+        assert!(b.column_by_name("ID").is_some());
+        assert!(b.column_by_name("nope").is_none());
+    }
+}

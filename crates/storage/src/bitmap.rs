@@ -1,0 +1,218 @@
+//! A packed bitset used for validity masks, delete vectors and selections.
+
+/// A fixed-length bitmap. Bit `i` is stored in word `i / 64`, bit `i % 64`.
+#[derive(Debug, Clone, PartialEq, Eq, Default)]
+pub struct Bitmap {
+    words: Vec<u64>,
+    len: usize,
+}
+
+impl Bitmap {
+    /// All-zeros bitmap of length `len`.
+    pub fn zeros(len: usize) -> Self {
+        Bitmap { words: vec![0; len.div_ceil(64)], len }
+    }
+
+    /// All-ones bitmap of length `len`.
+    pub fn ones(len: usize) -> Self {
+        let mut b = Bitmap { words: vec![u64::MAX; len.div_ceil(64)], len };
+        b.mask_tail();
+        b
+    }
+
+    /// Builds from an iterator of booleans.
+    pub fn from_iter_bool(iter: impl IntoIterator<Item = bool>) -> Self {
+        let mut b = Bitmap::zeros(0);
+        for v in iter {
+            b.push(v);
+        }
+        b
+    }
+
+    fn mask_tail(&mut self) {
+        let tail_bits = self.len % 64;
+        if tail_bits != 0 {
+            if let Some(last) = self.words.last_mut() {
+                *last &= (1u64 << tail_bits) - 1;
+            }
+        }
+    }
+
+    pub fn len(&self) -> usize {
+        self.len
+    }
+
+    pub fn is_empty(&self) -> bool {
+        self.len == 0
+    }
+
+    #[inline]
+    pub fn get(&self, i: usize) -> bool {
+        debug_assert!(i < self.len);
+        (self.words[i / 64] >> (i % 64)) & 1 == 1
+    }
+
+    #[inline]
+    pub fn set(&mut self, i: usize, v: bool) {
+        debug_assert!(i < self.len);
+        if v {
+            self.words[i / 64] |= 1 << (i % 64);
+        } else {
+            self.words[i / 64] &= !(1 << (i % 64));
+        }
+    }
+
+    /// Appends a bit.
+    pub fn push(&mut self, v: bool) {
+        if self.len % 64 == 0 {
+            self.words.push(0);
+        }
+        self.len += 1;
+        if v {
+            let i = self.len - 1;
+            self.words[i / 64] |= 1 << (i % 64);
+        }
+    }
+
+    /// Number of set bits.
+    pub fn count_ones(&self) -> usize {
+        self.words.iter().map(|w| w.count_ones() as usize).sum()
+    }
+
+    /// Number of unset bits.
+    pub fn count_zeros(&self) -> usize {
+        self.len - self.count_ones()
+    }
+
+    pub fn any(&self) -> bool {
+        self.words.iter().any(|&w| w != 0)
+    }
+
+    pub fn all(&self) -> bool {
+        self.count_ones() == self.len
+    }
+
+    /// Indices of set bits, ascending.
+    pub fn iter_ones(&self) -> impl Iterator<Item = usize> + '_ {
+        self.words.iter().enumerate().flat_map(|(wi, &w)| {
+            let mut w = w;
+            std::iter::from_fn(move || {
+                if w == 0 {
+                    return None;
+                }
+                let bit = w.trailing_zeros() as usize;
+                w &= w - 1;
+                Some(wi * 64 + bit)
+            })
+        })
+    }
+
+    /// Bitwise AND of equal-length bitmaps.
+    pub fn and(&self, other: &Bitmap) -> Bitmap {
+        assert_eq!(self.len, other.len, "bitmap length mismatch");
+        Bitmap {
+            words: self.words.iter().zip(&other.words).map(|(a, b)| a & b).collect(),
+            len: self.len,
+        }
+    }
+
+    /// Bitwise OR of equal-length bitmaps.
+    pub fn or(&self, other: &Bitmap) -> Bitmap {
+        assert_eq!(self.len, other.len, "bitmap length mismatch");
+        Bitmap {
+            words: self.words.iter().zip(&other.words).map(|(a, b)| a | b).collect(),
+            len: self.len,
+        }
+    }
+
+    /// Bitwise NOT.
+    pub fn not(&self) -> Bitmap {
+        let mut b = Bitmap {
+            words: self.words.iter().map(|w| !w).collect(),
+            len: self.len,
+        };
+        b.mask_tail();
+        b
+    }
+
+    /// `self AND NOT other`.
+    pub fn and_not(&self, other: &Bitmap) -> Bitmap {
+        assert_eq!(self.len, other.len, "bitmap length mismatch");
+        Bitmap {
+            words: self.words.iter().zip(&other.words).map(|(a, b)| a & !b).collect(),
+            len: self.len,
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn zeros_and_ones() {
+        let z = Bitmap::zeros(70);
+        assert_eq!(z.len(), 70);
+        assert_eq!(z.count_ones(), 0);
+        assert!(!z.any());
+
+        let o = Bitmap::ones(70);
+        assert_eq!(o.count_ones(), 70);
+        assert!(o.all());
+    }
+
+    #[test]
+    fn set_get_roundtrip() {
+        let mut b = Bitmap::zeros(130);
+        b.set(0, true);
+        b.set(64, true);
+        b.set(129, true);
+        assert!(b.get(0) && b.get(64) && b.get(129));
+        assert!(!b.get(1) && !b.get(63) && !b.get(128));
+        b.set(64, false);
+        assert!(!b.get(64));
+        assert_eq!(b.count_ones(), 2);
+    }
+
+    #[test]
+    fn push_extends() {
+        let mut b = Bitmap::zeros(0);
+        for i in 0..200 {
+            b.push(i % 3 == 0);
+        }
+        assert_eq!(b.len(), 200);
+        assert_eq!(b.count_ones(), (0..200).filter(|i| i % 3 == 0).count());
+    }
+
+    #[test]
+    fn iter_ones_matches_get() {
+        let b = Bitmap::from_iter_bool((0..150).map(|i| i % 7 == 0));
+        let ones: Vec<usize> = b.iter_ones().collect();
+        let expected: Vec<usize> = (0..150).filter(|i| i % 7 == 0).collect();
+        assert_eq!(ones, expected);
+    }
+
+    #[test]
+    fn boolean_algebra() {
+        let a = Bitmap::from_iter_bool([true, true, false, false]);
+        let b = Bitmap::from_iter_bool([true, false, true, false]);
+        assert_eq!(a.and(&b), Bitmap::from_iter_bool([true, false, false, false]));
+        assert_eq!(a.or(&b), Bitmap::from_iter_bool([true, true, true, false]));
+        assert_eq!(a.not(), Bitmap::from_iter_bool([false, false, true, true]));
+        assert_eq!(a.and_not(&b), Bitmap::from_iter_bool([false, true, false, false]));
+    }
+
+    #[test]
+    fn not_masks_tail_bits() {
+        // A NOT on a non-multiple-of-64 bitmap must not set phantom tail bits.
+        let b = Bitmap::zeros(65).not();
+        assert_eq!(b.count_ones(), 65);
+        assert!(b.all());
+    }
+
+    #[test]
+    fn count_zeros_complements() {
+        let b = Bitmap::from_iter_bool((0..100).map(|i| i % 2 == 0));
+        assert_eq!(b.count_ones() + b.count_zeros(), 100);
+    }
+}

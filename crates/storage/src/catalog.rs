@@ -1,0 +1,223 @@
+//! The named-table catalog.
+//!
+//! Thread-safe: the catalog map and each table are behind `parking_lot`
+//! RwLocks, so the coordinator can swap tables while workers are reading
+//! others. The atomic [`Catalog::swap`] is the primitive behind Vertexica's
+//! *replace* strategy (§2.3): build `vertex_new` via a left join, then swap it
+//! with `vertex` and drop the old one.
+
+use std::sync::Arc;
+
+use parking_lot::RwLock;
+use vertexica_common::FxHashMap;
+
+use crate::error::{StorageError, StorageResult};
+use crate::table::{Table, TableOptions};
+use crate::value::Schema;
+
+/// Shared handle to a table.
+pub type TableRef = Arc<RwLock<Table>>;
+
+/// A catalog of named tables.
+#[derive(Default)]
+pub struct Catalog {
+    tables: RwLock<FxHashMap<String, TableRef>>,
+}
+
+fn normalize(name: &str) -> String {
+    name.to_ascii_lowercase()
+}
+
+impl Catalog {
+    pub fn new() -> Self {
+        Catalog::default()
+    }
+
+    /// Creates a table; errors if the name is taken.
+    pub fn create_table(
+        &self,
+        name: &str,
+        schema: Arc<Schema>,
+        options: TableOptions,
+    ) -> StorageResult<TableRef> {
+        let key = normalize(name);
+        let mut tables = self.tables.write();
+        if tables.contains_key(&key) {
+            return Err(StorageError::DuplicateTable(name.to_string()));
+        }
+        let table = Arc::new(RwLock::new(Table::new(key.clone(), schema, options)));
+        tables.insert(key, table.clone());
+        Ok(table)
+    }
+
+    /// Registers an existing table object under its name.
+    pub fn register(&self, table: Table) -> StorageResult<TableRef> {
+        let key = normalize(table.name());
+        let mut tables = self.tables.write();
+        if tables.contains_key(&key) {
+            return Err(StorageError::DuplicateTable(key));
+        }
+        let table = Arc::new(RwLock::new(table));
+        tables.insert(key, table.clone());
+        Ok(table)
+    }
+
+    /// Looks up a table by name.
+    pub fn get(&self, name: &str) -> StorageResult<TableRef> {
+        self.tables
+            .read()
+            .get(&normalize(name))
+            .cloned()
+            .ok_or_else(|| StorageError::NoSuchTable(name.to_string()))
+    }
+
+    pub fn contains(&self, name: &str) -> bool {
+        self.tables.read().contains_key(&normalize(name))
+    }
+
+    /// Drops a table; errors if missing.
+    pub fn drop_table(&self, name: &str) -> StorageResult<()> {
+        self.tables
+            .write()
+            .remove(&normalize(name))
+            .map(|_| ())
+            .ok_or_else(|| StorageError::NoSuchTable(name.to_string()))
+    }
+
+    /// Drops a table if it exists; returns whether it did.
+    pub fn drop_table_if_exists(&self, name: &str) -> bool {
+        self.tables.write().remove(&normalize(name)).is_some()
+    }
+
+    /// Renames a table.
+    pub fn rename(&self, from: &str, to: &str) -> StorageResult<()> {
+        let from_key = normalize(from);
+        let to_key = normalize(to);
+        let mut tables = self.tables.write();
+        if tables.contains_key(&to_key) {
+            return Err(StorageError::DuplicateTable(to.to_string()));
+        }
+        let t = tables
+            .remove(&from_key)
+            .ok_or_else(|| StorageError::NoSuchTable(from.to_string()))?;
+        t.write().set_name(to_key.clone());
+        tables.insert(to_key, t);
+        Ok(())
+    }
+
+    /// Atomically exchanges the contents of two named tables (both keep their
+    /// names, their data/handles swap).
+    pub fn swap(&self, a: &str, b: &str) -> StorageResult<()> {
+        let a_key = normalize(a);
+        let b_key = normalize(b);
+        let mut tables = self.tables.write();
+        if !tables.contains_key(&a_key) {
+            return Err(StorageError::NoSuchTable(a.to_string()));
+        }
+        if !tables.contains_key(&b_key) {
+            return Err(StorageError::NoSuchTable(b.to_string()));
+        }
+        let ta = tables.remove(&a_key).unwrap();
+        let tb = tables.remove(&b_key).unwrap();
+        ta.write().set_name(b_key.clone());
+        tb.write().set_name(a_key.clone());
+        tables.insert(a_key, tb);
+        tables.insert(b_key, ta);
+        Ok(())
+    }
+
+    /// Sorted list of table names.
+    pub fn list(&self) -> Vec<String> {
+        let mut names: Vec<String> = self.tables.read().keys().cloned().collect();
+        names.sort();
+        names
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::value::{DataType, Field, Value};
+
+    fn schema() -> Arc<Schema> {
+        Schema::new(vec![Field::new("x", DataType::Int)])
+    }
+
+    #[test]
+    fn create_get_drop() {
+        let cat = Catalog::new();
+        cat.create_table("T1", schema(), TableOptions::default()).unwrap();
+        assert!(cat.contains("t1"));
+        assert!(cat.get("T1").is_ok());
+        cat.drop_table("t1").unwrap();
+        assert!(!cat.contains("t1"));
+        assert!(matches!(cat.get("t1"), Err(StorageError::NoSuchTable(_))));
+    }
+
+    #[test]
+    fn duplicate_create_rejected() {
+        let cat = Catalog::new();
+        cat.create_table("t", schema(), TableOptions::default()).unwrap();
+        assert!(matches!(
+            cat.create_table("T", schema(), TableOptions::default()),
+            Err(StorageError::DuplicateTable(_))
+        ));
+    }
+
+    #[test]
+    fn rename_moves_table() {
+        let cat = Catalog::new();
+        let t = cat.create_table("old", schema(), TableOptions::default()).unwrap();
+        t.write().insert_row(vec![Value::Int(1)]).unwrap();
+        cat.rename("old", "new").unwrap();
+        assert!(!cat.contains("old"));
+        let t2 = cat.get("new").unwrap();
+        assert_eq!(t2.read().num_rows(), 1);
+        assert_eq!(t2.read().name(), "new");
+    }
+
+    #[test]
+    fn rename_to_existing_rejected() {
+        let cat = Catalog::new();
+        cat.create_table("a", schema(), TableOptions::default()).unwrap();
+        cat.create_table("b", schema(), TableOptions::default()).unwrap();
+        assert!(cat.rename("a", "b").is_err());
+    }
+
+    #[test]
+    fn swap_exchanges_contents() {
+        let cat = Catalog::new();
+        let a = cat.create_table("a", schema(), TableOptions::default()).unwrap();
+        let b = cat.create_table("b", schema(), TableOptions::default()).unwrap();
+        a.write().insert_row(vec![Value::Int(1)]).unwrap();
+        b.write().insert_row(vec![Value::Int(2)]).unwrap();
+        b.write().insert_row(vec![Value::Int(3)]).unwrap();
+        cat.swap("a", "b").unwrap();
+        assert_eq!(cat.get("a").unwrap().read().num_rows(), 2);
+        assert_eq!(cat.get("b").unwrap().read().num_rows(), 1);
+        assert_eq!(cat.get("a").unwrap().read().name(), "a");
+    }
+
+    #[test]
+    fn swap_missing_table_rejected() {
+        let cat = Catalog::new();
+        cat.create_table("a", schema(), TableOptions::default()).unwrap();
+        assert!(cat.swap("a", "nope").is_err());
+    }
+
+    #[test]
+    fn list_is_sorted() {
+        let cat = Catalog::new();
+        cat.create_table("zeta", schema(), TableOptions::default()).unwrap();
+        cat.create_table("alpha", schema(), TableOptions::default()).unwrap();
+        assert_eq!(cat.list(), vec!["alpha".to_string(), "zeta".to_string()]);
+    }
+
+    #[test]
+    fn drop_if_exists() {
+        let cat = Catalog::new();
+        assert!(!cat.drop_table_if_exists("ghost"));
+        cat.create_table("t", schema(), TableOptions::default()).unwrap();
+        assert!(cat.drop_table_if_exists("t"));
+    }
+}

@@ -1,0 +1,480 @@
+//! Columnar vectors with validity bitmaps.
+//!
+//! A [`Column`] is immutable and cheaply cloneable (`Arc`-backed), so scans can
+//! hand out references to ROS segment data without copying, and operators can
+//! pass columns around freely. New columns are produced with
+//! [`ColumnBuilder`] or the transformation methods (`filter`, `take`,
+//! `concat`).
+
+use std::sync::Arc;
+
+use vertexica_common::hash::mix64;
+
+use crate::bitmap::Bitmap;
+use crate::error::{StorageError, StorageResult};
+use crate::value::{DataType, Value};
+
+/// The typed backing storage of a column.
+#[derive(Debug, Clone, PartialEq)]
+pub enum ColumnData {
+    Bool(Vec<bool>),
+    Int(Vec<i64>),
+    Float(Vec<f64>),
+    Str(Vec<String>),
+    Blob(Vec<Vec<u8>>),
+}
+
+impl ColumnData {
+    fn len(&self) -> usize {
+        match self {
+            ColumnData::Bool(v) => v.len(),
+            ColumnData::Int(v) => v.len(),
+            ColumnData::Float(v) => v.len(),
+            ColumnData::Str(v) => v.len(),
+            ColumnData::Blob(v) => v.len(),
+        }
+    }
+
+    fn dtype(&self) -> DataType {
+        match self {
+            ColumnData::Bool(_) => DataType::Bool,
+            ColumnData::Int(_) => DataType::Int,
+            ColumnData::Float(_) => DataType::Float,
+            ColumnData::Str(_) => DataType::Str,
+            ColumnData::Blob(_) => DataType::Blob,
+        }
+    }
+}
+
+/// An immutable, shareable column of values.
+#[derive(Debug, Clone)]
+pub struct Column {
+    data: Arc<ColumnData>,
+    /// `None` means every row is valid (non-null).
+    validity: Option<Arc<Bitmap>>,
+}
+
+impl Column {
+    pub fn new(data: ColumnData, validity: Option<Bitmap>) -> Self {
+        if let Some(v) = &validity {
+            assert_eq!(v.len(), data.len(), "validity length mismatch");
+        }
+        // Normalize an all-valid bitmap to None so fast paths trigger.
+        let validity = validity.filter(|v| !v.all()).map(Arc::new);
+        Column { data: Arc::new(data), validity }
+    }
+
+    /// An empty column of the given type.
+    pub fn empty(dtype: DataType) -> Self {
+        let data = match dtype {
+            DataType::Bool => ColumnData::Bool(vec![]),
+            DataType::Int => ColumnData::Int(vec![]),
+            DataType::Float => ColumnData::Float(vec![]),
+            DataType::Str => ColumnData::Str(vec![]),
+            DataType::Blob => ColumnData::Blob(vec![]),
+        };
+        Column { data: Arc::new(data), validity: None }
+    }
+
+    /// Builds a column of `dtype` from dynamic values, coercing as needed.
+    pub fn from_values(dtype: DataType, values: &[Value]) -> StorageResult<Self> {
+        let mut b = ColumnBuilder::new(dtype);
+        for v in values {
+            b.push(v.clone())?;
+        }
+        Ok(b.finish())
+    }
+
+    /// Column of `n` copies of one value.
+    pub fn repeat(dtype: DataType, value: &Value, n: usize) -> StorageResult<Self> {
+        let mut b = ColumnBuilder::with_capacity(dtype, n);
+        for _ in 0..n {
+            b.push(value.clone())?;
+        }
+        Ok(b.finish())
+    }
+
+    pub fn len(&self) -> usize {
+        self.data.len()
+    }
+
+    pub fn is_empty(&self) -> bool {
+        self.len() == 0
+    }
+
+    pub fn dtype(&self) -> DataType {
+        self.data.dtype()
+    }
+
+    #[inline]
+    pub fn is_null(&self, i: usize) -> bool {
+        match &self.validity {
+            None => false,
+            Some(v) => !v.get(i),
+        }
+    }
+
+    pub fn null_count(&self) -> usize {
+        match &self.validity {
+            None => 0,
+            Some(v) => v.count_zeros(),
+        }
+    }
+
+    /// The value at row `i` (clones strings/blobs).
+    pub fn value(&self, i: usize) -> Value {
+        if self.is_null(i) {
+            return Value::Null;
+        }
+        match &*self.data {
+            ColumnData::Bool(v) => Value::Bool(v[i]),
+            ColumnData::Int(v) => Value::Int(v[i]),
+            ColumnData::Float(v) => Value::Float(v[i]),
+            ColumnData::Str(v) => Value::Str(v[i].clone()),
+            ColumnData::Blob(v) => Value::Blob(v[i].clone()),
+        }
+    }
+
+    /// Iterator over all values.
+    pub fn iter(&self) -> impl Iterator<Item = Value> + '_ {
+        (0..self.len()).map(move |i| self.value(i))
+    }
+
+    /// Typed access: `&[i64]` if this is a non-null Int column's raw data.
+    /// Nulls (if any) must be checked separately via [`Column::is_null`].
+    pub fn as_int(&self) -> Option<&[i64]> {
+        match &*self.data {
+            ColumnData::Int(v) => Some(v),
+            _ => None,
+        }
+    }
+
+    pub fn as_float(&self) -> Option<&[f64]> {
+        match &*self.data {
+            ColumnData::Float(v) => Some(v),
+            _ => None,
+        }
+    }
+
+    pub fn as_bool(&self) -> Option<&[bool]> {
+        match &*self.data {
+            ColumnData::Bool(v) => Some(v),
+            _ => None,
+        }
+    }
+
+    pub fn as_str(&self) -> Option<&[String]> {
+        match &*self.data {
+            ColumnData::Str(v) => Some(v),
+            _ => None,
+        }
+    }
+
+    pub fn as_blob(&self) -> Option<&[Vec<u8>]> {
+        match &*self.data {
+            ColumnData::Blob(v) => Some(v),
+            _ => None,
+        }
+    }
+
+    pub fn validity(&self) -> Option<&Bitmap> {
+        self.validity.as_deref()
+    }
+
+    /// Keeps rows whose bit is set in `selection`.
+    pub fn filter(&self, selection: &Bitmap) -> Column {
+        assert_eq!(selection.len(), self.len(), "selection length mismatch");
+        let indices: Vec<usize> = selection.iter_ones().collect();
+        self.take(&indices)
+    }
+
+    /// Gathers rows by index (indices may repeat or reorder).
+    pub fn take(&self, indices: &[usize]) -> Column {
+        let data = match &*self.data {
+            ColumnData::Bool(v) => ColumnData::Bool(indices.iter().map(|&i| v[i]).collect()),
+            ColumnData::Int(v) => ColumnData::Int(indices.iter().map(|&i| v[i]).collect()),
+            ColumnData::Float(v) => ColumnData::Float(indices.iter().map(|&i| v[i]).collect()),
+            ColumnData::Str(v) => {
+                ColumnData::Str(indices.iter().map(|&i| v[i].clone()).collect())
+            }
+            ColumnData::Blob(v) => {
+                ColumnData::Blob(indices.iter().map(|&i| v[i].clone()).collect())
+            }
+        };
+        let validity = self.validity.as_ref().map(|valid| {
+            Bitmap::from_iter_bool(indices.iter().map(|&i| valid.get(i)))
+        });
+        Column::new(data, validity)
+    }
+
+    /// Concatenates columns of identical type.
+    pub fn concat(columns: &[Column]) -> StorageResult<Column> {
+        let Some(first) = columns.first() else {
+            return Err(StorageError::Internal("concat of zero columns".into()));
+        };
+        let dtype = first.dtype();
+        let total: usize = columns.iter().map(|c| c.len()).sum();
+        let mut b = ColumnBuilder::with_capacity(dtype, total);
+        for c in columns {
+            if c.dtype() != dtype {
+                return Err(StorageError::TypeMismatch {
+                    expected: dtype.to_string(),
+                    found: c.dtype().to_string(),
+                });
+            }
+            // Fast path: extend typed vectors directly.
+            b.extend_from(c);
+        }
+        Ok(b.finish())
+    }
+
+    /// Writes a per-row hash into `out` by combining with the existing
+    /// content (so multi-column keys hash by folding columns in sequence).
+    pub fn hash_combine(&self, out: &mut [u64]) {
+        assert_eq!(out.len(), self.len());
+        for (i, slot) in out.iter_mut().enumerate() {
+            let h = if self.is_null(i) {
+                0x9e3779b97f4a7c15
+            } else {
+                match &*self.data {
+                    ColumnData::Bool(v) => mix64(v[i] as u64),
+                    ColumnData::Int(v) => mix64(v[i] as u64),
+                    // Hash floats by bits; integral floats hash like ints so
+                    // Int/Float join keys behave when coerced upstream.
+                    ColumnData::Float(v) => mix64(v[i].to_bits()),
+                    ColumnData::Str(v) => hash_bytes(v[i].as_bytes()),
+                    ColumnData::Blob(v) => hash_bytes(&v[i]),
+                }
+            };
+            *slot = mix64(slot.rotate_left(23) ^ h);
+        }
+    }
+}
+
+fn hash_bytes(bytes: &[u8]) -> u64 {
+    let mut h = 0xcbf29ce484222325u64;
+    for chunk in bytes.chunks(8) {
+        let mut buf = [0u8; 8];
+        buf[..chunk.len()].copy_from_slice(chunk);
+        h = mix64(h ^ u64::from_le_bytes(buf));
+    }
+    h
+}
+
+/// Incremental builder for a [`Column`].
+pub struct ColumnBuilder {
+    dtype: DataType,
+    data: ColumnData,
+    validity: Bitmap,
+    has_null: bool,
+}
+
+impl ColumnBuilder {
+    pub fn new(dtype: DataType) -> Self {
+        Self::with_capacity(dtype, 0)
+    }
+
+    pub fn with_capacity(dtype: DataType, cap: usize) -> Self {
+        let data = match dtype {
+            DataType::Bool => ColumnData::Bool(Vec::with_capacity(cap)),
+            DataType::Int => ColumnData::Int(Vec::with_capacity(cap)),
+            DataType::Float => ColumnData::Float(Vec::with_capacity(cap)),
+            DataType::Str => ColumnData::Str(Vec::with_capacity(cap)),
+            DataType::Blob => ColumnData::Blob(Vec::with_capacity(cap)),
+        };
+        ColumnBuilder { dtype, data, validity: Bitmap::zeros(0), has_null: false }
+    }
+
+    pub fn len(&self) -> usize {
+        self.data.len()
+    }
+
+    pub fn is_empty(&self) -> bool {
+        self.len() == 0
+    }
+
+    /// Appends a value, coercing to the builder's type. `Null` appends a null.
+    pub fn push(&mut self, value: Value) -> StorageResult<()> {
+        if value.is_null() {
+            self.push_null();
+            return Ok(());
+        }
+        let value = value.coerce(self.dtype)?;
+        self.validity.push(true);
+        match (&mut self.data, value) {
+            (ColumnData::Bool(v), Value::Bool(x)) => v.push(x),
+            (ColumnData::Int(v), Value::Int(x)) => v.push(x),
+            (ColumnData::Float(v), Value::Float(x)) => v.push(x),
+            (ColumnData::Str(v), Value::Str(x)) => v.push(x),
+            (ColumnData::Blob(v), Value::Blob(x)) => v.push(x),
+            _ => unreachable!("coerce guarantees matching type"),
+        }
+        Ok(())
+    }
+
+    pub fn push_null(&mut self) {
+        self.has_null = true;
+        self.validity.push(false);
+        match &mut self.data {
+            ColumnData::Bool(v) => v.push(false),
+            ColumnData::Int(v) => v.push(0),
+            ColumnData::Float(v) => v.push(0.0),
+            ColumnData::Str(v) => v.push(String::new()),
+            ColumnData::Blob(v) => v.push(Vec::new()),
+        }
+    }
+
+    /// Typed fast-path appends.
+    pub fn push_int(&mut self, v: i64) {
+        debug_assert_eq!(self.dtype, DataType::Int);
+        if let ColumnData::Int(vec) = &mut self.data {
+            vec.push(v);
+            self.validity.push(true);
+        }
+    }
+
+    pub fn push_float(&mut self, v: f64) {
+        debug_assert_eq!(self.dtype, DataType::Float);
+        if let ColumnData::Float(vec) = &mut self.data {
+            vec.push(v);
+            self.validity.push(true);
+        }
+    }
+
+    /// Appends every row of `other` (must have the same type).
+    pub fn extend_from(&mut self, other: &Column) {
+        debug_assert_eq!(self.dtype, other.dtype());
+        for i in 0..other.len() {
+            if other.is_null(i) {
+                self.push_null();
+            } else {
+                // Infallible: types match.
+                let _ = self.push(other.value(i));
+            }
+        }
+    }
+
+    pub fn finish(self) -> Column {
+        let validity = if self.has_null { Some(self.validity) } else { None };
+        Column::new(self.data, validity)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn int_col(vals: &[i64]) -> Column {
+        Column::from_values(DataType::Int, &vals.iter().map(|&v| Value::Int(v)).collect::<Vec<_>>())
+            .unwrap()
+    }
+
+    #[test]
+    fn builder_roundtrip() {
+        let c = int_col(&[1, 2, 3]);
+        assert_eq!(c.len(), 3);
+        assert_eq!(c.dtype(), DataType::Int);
+        assert_eq!(c.value(1), Value::Int(2));
+        assert_eq!(c.null_count(), 0);
+    }
+
+    #[test]
+    fn builder_coerces_ints_to_float() {
+        let c = Column::from_values(DataType::Float, &[Value::Int(2), Value::Float(0.5)]).unwrap();
+        assert_eq!(c.value(0), Value::Float(2.0));
+        assert_eq!(c.value(1), Value::Float(0.5));
+    }
+
+    #[test]
+    fn builder_rejects_wrong_type() {
+        let mut b = ColumnBuilder::new(DataType::Int);
+        assert!(b.push(Value::Str("x".into())).is_err());
+    }
+
+    #[test]
+    fn nulls_tracked() {
+        let c = Column::from_values(DataType::Int, &[Value::Int(1), Value::Null, Value::Int(3)])
+            .unwrap();
+        assert!(!c.is_null(0));
+        assert!(c.is_null(1));
+        assert_eq!(c.value(1), Value::Null);
+        assert_eq!(c.null_count(), 1);
+    }
+
+    #[test]
+    fn all_valid_bitmap_normalized_away() {
+        let c = Column::new(ColumnData::Int(vec![1, 2]), Some(Bitmap::ones(2)));
+        assert!(c.validity().is_none());
+    }
+
+    #[test]
+    fn filter_by_selection() {
+        let c = int_col(&[10, 20, 30, 40]);
+        let sel = Bitmap::from_iter_bool([true, false, true, false]);
+        let f = c.filter(&sel);
+        assert_eq!(f.len(), 2);
+        assert_eq!(f.value(0), Value::Int(10));
+        assert_eq!(f.value(1), Value::Int(30));
+    }
+
+    #[test]
+    fn take_reorders_and_repeats() {
+        let c = int_col(&[10, 20, 30]);
+        let t = c.take(&[2, 0, 0]);
+        assert_eq!(t.iter().collect::<Vec<_>>(), vec![
+            Value::Int(30),
+            Value::Int(10),
+            Value::Int(10)
+        ]);
+    }
+
+    #[test]
+    fn take_preserves_nulls() {
+        let c = Column::from_values(DataType::Str, &[Value::Null, Value::Str("a".into())]).unwrap();
+        let t = c.take(&[1, 0]);
+        assert!(!t.is_null(0));
+        assert!(t.is_null(1));
+    }
+
+    #[test]
+    fn concat_columns() {
+        let a = int_col(&[1, 2]);
+        let b = int_col(&[3]);
+        let c = Column::concat(&[a, b]).unwrap();
+        assert_eq!(c.len(), 3);
+        assert_eq!(c.value(2), Value::Int(3));
+    }
+
+    #[test]
+    fn concat_rejects_mixed_types() {
+        let a = int_col(&[1]);
+        let b = Column::from_values(DataType::Str, &[Value::Str("x".into())]).unwrap();
+        assert!(Column::concat(&[a, b]).is_err());
+    }
+
+    #[test]
+    fn hash_combine_differs_per_value() {
+        let c = int_col(&[1, 2, 1]);
+        let mut h = vec![0u64; 3];
+        c.hash_combine(&mut h);
+        assert_eq!(h[0], h[2]);
+        assert_ne!(h[0], h[1]);
+    }
+
+    #[test]
+    fn hash_combine_folds_multiple_columns() {
+        let a = int_col(&[1, 1]);
+        let b = int_col(&[5, 6]);
+        let mut h = vec![0u64; 2];
+        a.hash_combine(&mut h);
+        b.hash_combine(&mut h);
+        assert_ne!(h[0], h[1]);
+    }
+
+    #[test]
+    fn clone_is_cheap_shares_data() {
+        let c = int_col(&[1, 2, 3]);
+        let d = c.clone();
+        assert!(std::ptr::eq(c.as_int().unwrap().as_ptr(), d.as_int().unwrap().as_ptr()));
+    }
+}

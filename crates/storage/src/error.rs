@@ -1,0 +1,87 @@
+//! Error type for the storage layer.
+
+use std::fmt;
+
+/// Errors surfaced by the storage engine.
+#[derive(Debug)]
+pub enum StorageError {
+    /// A value's type did not match the column/schema type.
+    TypeMismatch { expected: String, found: String },
+    /// A row's arity did not match the table schema.
+    ArityMismatch { expected: usize, found: usize },
+    /// Referenced table does not exist.
+    NoSuchTable(String),
+    /// Attempt to create a table whose name is taken.
+    DuplicateTable(String),
+    /// Referenced column does not exist.
+    NoSuchColumn(String),
+    /// A NOT NULL constraint would be violated.
+    NullViolation(String),
+    /// Persisted data failed validation.
+    Corrupt(String),
+    /// Underlying I/O failure.
+    Io(std::io::Error),
+    /// Anything else.
+    Internal(String),
+}
+
+impl fmt::Display for StorageError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            StorageError::TypeMismatch { expected, found } => {
+                write!(f, "type mismatch: expected {expected}, found {found}")
+            }
+            StorageError::ArityMismatch { expected, found } => {
+                write!(f, "row arity mismatch: expected {expected} columns, found {found}")
+            }
+            StorageError::NoSuchTable(name) => write!(f, "no such table: {name}"),
+            StorageError::DuplicateTable(name) => write!(f, "table already exists: {name}"),
+            StorageError::NoSuchColumn(name) => write!(f, "no such column: {name}"),
+            StorageError::NullViolation(col) => {
+                write!(f, "null value in non-nullable column: {col}")
+            }
+            StorageError::Corrupt(msg) => write!(f, "corrupt data: {msg}"),
+            StorageError::Io(e) => write!(f, "io error: {e}"),
+            StorageError::Internal(msg) => write!(f, "internal storage error: {msg}"),
+        }
+    }
+}
+
+impl std::error::Error for StorageError {
+    fn source(&self) -> Option<&(dyn std::error::Error + 'static)> {
+        match self {
+            StorageError::Io(e) => Some(e),
+            _ => None,
+        }
+    }
+}
+
+impl From<std::io::Error> for StorageError {
+    fn from(e: std::io::Error) -> Self {
+        StorageError::Io(e)
+    }
+}
+
+/// Result alias for storage operations.
+pub type StorageResult<T> = Result<T, StorageError>;
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn display_is_informative() {
+        let e = StorageError::TypeMismatch { expected: "Int".into(), found: "Str".into() };
+        assert!(e.to_string().contains("expected Int"));
+        let e = StorageError::NoSuchTable("vertex".into());
+        assert!(e.to_string().contains("vertex"));
+    }
+
+    #[test]
+    fn io_source_is_preserved() {
+        use std::error::Error;
+        let io = std::io::Error::new(std::io::ErrorKind::NotFound, "gone");
+        let e = StorageError::from(io);
+        assert!(e.source().is_some());
+    }
+}

@@ -1,0 +1,39 @@
+//! Columnar storage engine — the "Vertica" substrate of the Vertexica
+//! reproduction.
+//!
+//! The paper runs vertex-centric graph analytics on an *unmodified* industrial
+//! column store. This crate provides the physical layer of that substrate:
+//!
+//! * [`value`] / [`column`] / [`batch`] — typed values, columnar vectors with
+//!   validity bitmaps, and record batches (the unit of vectorized execution);
+//! * [`table`] — tables with a Vertica-style split between a row-oriented
+//!   **write-optimized store (WOS)** and sorted, encoded, zone-mapped
+//!   **read-optimized store (ROS)** segments, with delete vectors and
+//!   moveout/merge;
+//! * [`encoding`] — RLE and dictionary encodings for ROS segments and
+//!   persistence;
+//! * [`catalog`] — the named-table catalog with the atomic `swap` primitive
+//!   that Vertexica's *update-vs-replace* optimization (§2.3) relies on;
+//! * [`partition`] — hash partitioning of batches, used by *vertex batching*
+//!   (§2.3) to split the table union across worker UDFs;
+//! * [`persist`] — a compact binary on-disk format used for durability and
+//!   superstep checkpointing.
+
+pub mod batch;
+pub mod bitmap;
+pub mod catalog;
+pub mod column;
+pub mod encoding;
+pub mod error;
+pub mod partition;
+pub mod persist;
+pub mod table;
+pub mod value;
+
+pub use batch::RecordBatch;
+pub use bitmap::Bitmap;
+pub use catalog::Catalog;
+pub use column::{Column, ColumnBuilder};
+pub use error::{StorageError, StorageResult};
+pub use table::{ColumnPredicate, PredicateOp, Row, Table, TableOptions};
+pub use value::{DataType, Field, Schema, Value};

@@ -1,0 +1,778 @@
+//! Tables with a Vertica-style WOS/ROS split.
+//!
+//! Writes land in a row-oriented **write-optimized store** (WOS). When the WOS
+//! exceeds a threshold (or on explicit [`Table::moveout`]), rows are sorted by
+//! the table's sort key, columnized, encoded and appended to the
+//! **read-optimized store** (ROS) as an immutable [`Segment`] with per-column
+//! zone maps. Deletes are recorded in per-segment **delete vectors**; updates
+//! are delete + re-insert. This is the machinery Vertexica's update-vs-replace
+//! optimization (§2.3) trades off against whole-table replacement.
+
+use std::sync::Arc;
+
+use crate::batch::RecordBatch;
+use crate::bitmap::Bitmap;
+use crate::column::{Column, ColumnBuilder};
+use crate::encoding::EncodedColumn;
+use crate::error::{StorageError, StorageResult};
+use crate::value::{Schema, Value};
+
+/// A row of dynamic values (WOS representation).
+pub type Row = Vec<Value>;
+
+/// Tuning knobs for a table.
+#[derive(Debug, Clone)]
+pub struct TableOptions {
+    /// WOS rows that trigger an automatic moveout.
+    pub moveout_threshold: usize,
+    /// Whether ROS segments are compressed (auto-chosen RLE/dictionary).
+    pub compress: bool,
+    /// Column indices the ROS is sorted by (a Vertica "projection" order).
+    pub sort_key: Vec<usize>,
+}
+
+impl Default for TableOptions {
+    fn default() -> Self {
+        TableOptions { moveout_threshold: 64 * 1024, compress: false, sort_key: Vec::new() }
+    }
+}
+
+impl TableOptions {
+    pub fn sorted_by(mut self, cols: Vec<usize>) -> Self {
+        self.sort_key = cols;
+        self
+    }
+
+    pub fn compressed(mut self) -> Self {
+        self.compress = true;
+        self
+    }
+
+    pub fn with_moveout_threshold(mut self, t: usize) -> Self {
+        self.moveout_threshold = t.max(1);
+        self
+    }
+}
+
+/// Comparison operators supported by scan-level predicates.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum PredicateOp {
+    Eq,
+    NotEq,
+    Lt,
+    LtEq,
+    Gt,
+    GtEq,
+}
+
+/// A simple `column <op> literal` predicate, pushed down into scans for
+/// zone-map pruning and early filtering.
+#[derive(Debug, Clone)]
+pub struct ColumnPredicate {
+    pub column: usize,
+    pub op: PredicateOp,
+    pub value: Value,
+}
+
+impl ColumnPredicate {
+    pub fn new(column: usize, op: PredicateOp, value: Value) -> Self {
+        ColumnPredicate { column, op, value }
+    }
+
+    /// True if a row with value `v` satisfies the predicate (SQL semantics:
+    /// NULL never matches).
+    pub fn matches(&self, v: &Value) -> bool {
+        if v.is_null() || self.value.is_null() {
+            return false;
+        }
+        let ord = v.total_cmp(&self.value);
+        match self.op {
+            PredicateOp::Eq => ord.is_eq(),
+            PredicateOp::NotEq => !ord.is_eq(),
+            PredicateOp::Lt => ord.is_lt(),
+            PredicateOp::LtEq => ord.is_le(),
+            PredicateOp::Gt => ord.is_gt(),
+            PredicateOp::GtEq => ord.is_ge(),
+        }
+    }
+
+    /// Could any row in a segment with this zone map match?
+    fn maybe_in(&self, zm: &ZoneMap) -> bool {
+        if zm.min.is_null() && zm.max.is_null() {
+            // All-null column: no non-null value can match.
+            return false;
+        }
+        match self.op {
+            PredicateOp::Eq => {
+                self.value.total_cmp(&zm.min).is_ge() && self.value.total_cmp(&zm.max).is_le()
+            }
+            PredicateOp::NotEq => true,
+            PredicateOp::Lt => zm.min.total_cmp(&self.value).is_lt(),
+            PredicateOp::LtEq => zm.min.total_cmp(&self.value).is_le(),
+            PredicateOp::Gt => zm.max.total_cmp(&self.value).is_gt(),
+            PredicateOp::GtEq => zm.max.total_cmp(&self.value).is_ge(),
+        }
+    }
+}
+
+/// Per-column min/max statistics for a segment.
+#[derive(Debug, Clone)]
+pub struct ZoneMap {
+    pub min: Value,
+    pub max: Value,
+    pub null_count: usize,
+}
+
+impl ZoneMap {
+    fn from_column(col: &Column) -> ZoneMap {
+        let mut min = Value::Null;
+        let mut max = Value::Null;
+        let mut null_count = 0usize;
+        for i in 0..col.len() {
+            let v = col.value(i);
+            if v.is_null() {
+                null_count += 1;
+                continue;
+            }
+            if min.is_null() || v.total_cmp(&min).is_lt() {
+                min = v.clone();
+            }
+            if max.is_null() || v.total_cmp(&max).is_gt() {
+                max = v;
+            }
+        }
+        ZoneMap { min, max, null_count }
+    }
+}
+
+/// An immutable ROS segment: encoded columns plus zone maps.
+#[derive(Debug, Clone)]
+pub struct Segment {
+    num_rows: usize,
+    columns: Vec<EncodedColumn>,
+    zone_maps: Vec<ZoneMap>,
+}
+
+impl Segment {
+    fn from_columns(columns: Vec<Column>, compress: bool) -> Segment {
+        let num_rows = columns.first().map_or(0, |c| c.len());
+        let zone_maps = columns.iter().map(ZoneMap::from_column).collect();
+        let columns = columns
+            .into_iter()
+            .map(|c| if compress { EncodedColumn::encode_auto(&c) } else { EncodedColumn::Plain(c) })
+            .collect();
+        Segment { num_rows, columns, zone_maps }
+    }
+
+    pub fn num_rows(&self) -> usize {
+        self.num_rows
+    }
+
+    pub fn zone_map(&self, col: usize) -> &ZoneMap {
+        &self.zone_maps[col]
+    }
+
+    pub fn encoded_column(&self, col: usize) -> &EncodedColumn {
+        &self.columns[col]
+    }
+
+    fn decode_column(&self, col: usize) -> StorageResult<Column> {
+        self.columns[col].decode()
+    }
+}
+
+/// WOS segment id used in row ids.
+const WOS_SEGMENT: u32 = u32::MAX;
+
+/// Packs a (segment, row) pair into a rowid.
+#[inline]
+fn rowid(segment: u32, row: u32) -> u64 {
+    ((segment as u64) << 32) | row as u64
+}
+
+#[inline]
+fn unpack_rowid(id: u64) -> (u32, u32) {
+    ((id >> 32) as u32, id as u32)
+}
+
+/// A table: schema + WOS + ROS segments + delete vectors.
+#[derive(Debug)]
+pub struct Table {
+    name: String,
+    schema: Arc<Schema>,
+    options: TableOptions,
+    wos: Vec<Row>,
+    segments: Vec<Arc<Segment>>,
+    delete_vectors: Vec<Bitmap>,
+}
+
+impl Table {
+    pub fn new(name: impl Into<String>, schema: Arc<Schema>, options: TableOptions) -> Self {
+        Table {
+            name: name.into(),
+            schema,
+            options,
+            wos: Vec::new(),
+            segments: Vec::new(),
+            delete_vectors: Vec::new(),
+        }
+    }
+
+    pub fn name(&self) -> &str {
+        &self.name
+    }
+
+    pub(crate) fn set_name(&mut self, name: String) {
+        self.name = name;
+    }
+
+    pub fn schema(&self) -> &Arc<Schema> {
+        &self.schema
+    }
+
+    pub fn options(&self) -> &TableOptions {
+        &self.options
+    }
+
+    /// Live row count (excluding deleted rows).
+    pub fn num_rows(&self) -> usize {
+        let ros: usize = self
+            .segments
+            .iter()
+            .zip(&self.delete_vectors)
+            .map(|(s, d)| s.num_rows() - d.count_ones())
+            .sum();
+        ros + self.wos.len()
+    }
+
+    pub fn num_segments(&self) -> usize {
+        self.segments.len()
+    }
+
+    pub fn wos_rows(&self) -> usize {
+        self.wos.len()
+    }
+
+    /// Validates and coerces a row against the schema.
+    fn check_row(&self, row: Row) -> StorageResult<Row> {
+        if row.len() != self.schema.len() {
+            return Err(StorageError::ArityMismatch {
+                expected: self.schema.len(),
+                found: row.len(),
+            });
+        }
+        let mut out = Vec::with_capacity(row.len());
+        for (field, v) in self.schema.fields.iter().zip(row) {
+            if v.is_null() {
+                if !field.nullable {
+                    return Err(StorageError::NullViolation(field.name.clone()));
+                }
+                out.push(Value::Null);
+            } else {
+                out.push(v.coerce(field.dtype)?);
+            }
+        }
+        Ok(out)
+    }
+
+    /// Inserts one row into the WOS (auto-moveout past the threshold).
+    pub fn insert_row(&mut self, row: Row) -> StorageResult<()> {
+        let row = self.check_row(row)?;
+        self.wos.push(row);
+        if self.wos.len() >= self.options.moveout_threshold {
+            self.moveout()?;
+        }
+        Ok(())
+    }
+
+    /// Inserts many rows.
+    pub fn insert_rows(&mut self, rows: Vec<Row>) -> StorageResult<usize> {
+        let n = rows.len();
+        for row in rows {
+            self.insert_row(row)?;
+        }
+        Ok(n)
+    }
+
+    /// Bulk-appends a batch directly as a ROS segment (bypassing the WOS) —
+    /// the fast path for `CREATE TABLE AS SELECT` and superstep table swaps.
+    pub fn append_batch(&mut self, batch: &RecordBatch) -> StorageResult<()> {
+        if batch.num_columns() != self.schema.len() {
+            return Err(StorageError::ArityMismatch {
+                expected: self.schema.len(),
+                found: batch.num_columns(),
+            });
+        }
+        if batch.num_rows() == 0 {
+            return Ok(());
+        }
+        let mut columns = Vec::with_capacity(batch.num_columns());
+        for (field, col) in self.schema.fields.iter().zip(batch.columns()) {
+            if col.dtype() != field.dtype {
+                // Column-level coercion (e.g. Int batch into Float column).
+                let mut b = ColumnBuilder::with_capacity(field.dtype, col.len());
+                for i in 0..col.len() {
+                    b.push(col.value(i))?;
+                }
+                columns.push(b.finish());
+            } else {
+                columns.push(col.clone());
+            }
+        }
+        let seg = Segment::from_columns(columns, self.options.compress);
+        self.delete_vectors.push(Bitmap::zeros(seg.num_rows()));
+        self.segments.push(Arc::new(seg));
+        Ok(())
+    }
+
+    /// Flushes the WOS into a new sorted, encoded ROS segment.
+    pub fn moveout(&mut self) -> StorageResult<()> {
+        if self.wos.is_empty() {
+            return Ok(());
+        }
+        let mut rows = std::mem::take(&mut self.wos);
+        if !self.options.sort_key.is_empty() {
+            let key = self.options.sort_key.clone();
+            rows.sort_by(|a, b| {
+                for &k in &key {
+                    let ord = a[k].total_cmp(&b[k]);
+                    if !ord.is_eq() {
+                        return ord;
+                    }
+                }
+                std::cmp::Ordering::Equal
+            });
+        }
+        let mut builders: Vec<ColumnBuilder> = self
+            .schema
+            .fields
+            .iter()
+            .map(|f| ColumnBuilder::with_capacity(f.dtype, rows.len()))
+            .collect();
+        for row in &rows {
+            for (b, v) in builders.iter_mut().zip(row) {
+                b.push(v.clone())?;
+            }
+        }
+        let columns: Vec<Column> = builders.into_iter().map(|b| b.finish()).collect();
+        let seg = Segment::from_columns(columns, self.options.compress);
+        self.delete_vectors.push(Bitmap::zeros(seg.num_rows()));
+        self.segments.push(Arc::new(seg));
+        Ok(())
+    }
+
+    /// Merges all ROS segments (and the WOS) into a single segment, dropping
+    /// deleted rows — Vertica's "mergeout".
+    pub fn mergeout(&mut self) -> StorageResult<()> {
+        self.moveout()?;
+        if self.segments.len() <= 1 && self.delete_vectors.iter().all(|d| !d.any()) {
+            return Ok(());
+        }
+        let batches = self.scan(None, &[])?;
+        let merged = RecordBatch::concat(self.schema.clone(), &batches)?;
+        self.segments.clear();
+        self.delete_vectors.clear();
+        if merged.num_rows() > 0 {
+            self.append_batch(&merged)?;
+        }
+        Ok(())
+    }
+
+    /// Scans the table, returning one batch per live segment plus one for the
+    /// WOS. `projection` selects columns; `predicates` are used for zone-map
+    /// pruning *and* applied to rows.
+    pub fn scan(
+        &self,
+        projection: Option<&[usize]>,
+        predicates: &[ColumnPredicate],
+    ) -> StorageResult<Vec<RecordBatch>> {
+        Ok(self
+            .scan_with_rowids(projection, predicates)?
+            .into_iter()
+            .map(|(b, _)| b)
+            .collect())
+    }
+
+    /// Like [`Table::scan`] but also returns each row's stable rowid, for
+    /// DELETE/UPDATE execution.
+    pub fn scan_with_rowids(
+        &self,
+        projection: Option<&[usize]>,
+        predicates: &[ColumnPredicate],
+    ) -> StorageResult<Vec<(RecordBatch, Vec<u64>)>> {
+        let proj: Vec<usize> = match projection {
+            Some(p) => p.to_vec(),
+            None => (0..self.schema.len()).collect(),
+        };
+        let out_schema = self.schema.project(&proj);
+        let mut out = Vec::new();
+
+        for (si, (seg, dels)) in self.segments.iter().zip(&self.delete_vectors).enumerate() {
+            // Zone-map pruning.
+            if predicates.iter().any(|p| !p.maybe_in(seg.zone_map(p.column))) {
+                continue;
+            }
+            // Decode predicate columns first and compute surviving rows.
+            let mut keep: Vec<u32> = Vec::with_capacity(seg.num_rows());
+            let pred_cols: Vec<(usize, Column)> = {
+                let mut v = Vec::new();
+                for p in predicates {
+                    if !v.iter().any(|(c, _)| *c == p.column) {
+                        v.push((p.column, seg.decode_column(p.column)?));
+                    }
+                }
+                v
+            };
+            'rows: for r in 0..seg.num_rows() {
+                if dels.get(r) {
+                    continue;
+                }
+                for p in predicates {
+                    let col = &pred_cols.iter().find(|(c, _)| *c == p.column).unwrap().1;
+                    if !p.matches(&col.value(r)) {
+                        continue 'rows;
+                    }
+                }
+                keep.push(r as u32);
+            }
+            if keep.is_empty() {
+                continue;
+            }
+            let all = keep.len() == seg.num_rows();
+            let indices: Vec<usize> = keep.iter().map(|&r| r as usize).collect();
+            let mut cols = Vec::with_capacity(proj.len());
+            for &ci in &proj {
+                // Reuse predicate-decoded columns when possible.
+                let full = match pred_cols.iter().find(|(c, _)| *c == ci) {
+                    Some((_, c)) => c.clone(),
+                    None => seg.decode_column(ci)?,
+                };
+                cols.push(if all { full } else { full.take(&indices) });
+            }
+            let rowids: Vec<u64> = keep.iter().map(|&r| rowid(si as u32, r)).collect();
+            out.push((RecordBatch::new(out_schema.clone(), cols)?, rowids));
+        }
+
+        // WOS scan.
+        if !self.wos.is_empty() {
+            let mut builders: Vec<ColumnBuilder> = proj
+                .iter()
+                .map(|&ci| ColumnBuilder::new(self.schema.field(ci).dtype))
+                .collect();
+            let mut rowids = Vec::new();
+            'wos_rows: for (r, row) in self.wos.iter().enumerate() {
+                for p in predicates {
+                    if !p.matches(&row[p.column]) {
+                        continue 'wos_rows;
+                    }
+                }
+                for (b, &ci) in builders.iter_mut().zip(&proj) {
+                    b.push(row[ci].clone())?;
+                }
+                rowids.push(rowid(WOS_SEGMENT, r as u32));
+            }
+            if !rowids.is_empty() {
+                let cols: Vec<Column> = builders.into_iter().map(|b| b.finish()).collect();
+                out.push((RecordBatch::new(out_schema.clone(), cols)?, rowids));
+            }
+        }
+        Ok(out)
+    }
+
+    /// Deletes rows by rowid (as returned from [`Table::scan_with_rowids`]).
+    /// Returns the number of rows deleted.
+    pub fn delete_rowids(&mut self, rowids: &[u64]) -> usize {
+        let mut wos_dead: Vec<u32> = Vec::new();
+        let mut n = 0usize;
+        for &id in rowids {
+            let (seg, row) = unpack_rowid(id);
+            if seg == WOS_SEGMENT {
+                wos_dead.push(row);
+            } else if let Some(dv) = self.delete_vectors.get_mut(seg as usize) {
+                if (row as usize) < dv.len() && !dv.get(row as usize) {
+                    dv.set(row as usize, true);
+                    n += 1;
+                }
+            }
+        }
+        if !wos_dead.is_empty() {
+            wos_dead.sort_unstable();
+            wos_dead.dedup();
+            n += wos_dead.len();
+            let dead: std::collections::HashSet<u32> = wos_dead.into_iter().collect();
+            let mut idx = 0u32;
+            self.wos.retain(|_| {
+                let keep = !dead.contains(&idx);
+                idx += 1;
+                keep
+            });
+        }
+        n
+    }
+
+    /// Updates rows in place: for each `(rowid, new_row)`, deletes the old row
+    /// and inserts the new one. Returns the number of rows updated.
+    pub fn update_rows(&mut self, updates: Vec<(u64, Row)>) -> StorageResult<usize> {
+        let ids: Vec<u64> = updates.iter().map(|(id, _)| *id).collect();
+        let rows: Vec<Row> = updates.into_iter().map(|(_, r)| r).collect();
+        let n = self.delete_rowids(&ids);
+        self.insert_rows(rows)?;
+        Ok(n)
+    }
+
+    /// Removes all rows.
+    pub fn truncate(&mut self) {
+        self.wos.clear();
+        self.segments.clear();
+        self.delete_vectors.clear();
+    }
+
+    /// ROS segments (for stats, benches and persistence).
+    pub fn segments(&self) -> &[Arc<Segment>] {
+        &self.segments
+    }
+
+    /// Per-segment delete vectors.
+    pub fn delete_vectors(&self) -> &[Bitmap] {
+        &self.delete_vectors
+    }
+
+    /// Rows currently buffered in the WOS.
+    pub fn wos(&self) -> &[Row] {
+        &self.wos
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::value::{DataType, Field};
+
+    fn edge_schema() -> Arc<Schema> {
+        Schema::new(vec![
+            Field::not_null("src", DataType::Int),
+            Field::not_null("dst", DataType::Int),
+            Field::new("weight", DataType::Float),
+        ])
+    }
+
+    fn small_table() -> Table {
+        let mut t = Table::new("edge", edge_schema(), TableOptions::default());
+        for (s, d) in [(0i64, 1i64), (0, 2), (1, 2), (2, 0)] {
+            t.insert_row(vec![Value::Int(s), Value::Int(d), Value::Float(1.0)]).unwrap();
+        }
+        t
+    }
+
+    #[test]
+    fn insert_and_count() {
+        let t = small_table();
+        assert_eq!(t.num_rows(), 4);
+        assert_eq!(t.wos_rows(), 4);
+        assert_eq!(t.num_segments(), 0);
+    }
+
+    #[test]
+    fn moveout_flushes_wos() {
+        let mut t = small_table();
+        t.moveout().unwrap();
+        assert_eq!(t.wos_rows(), 0);
+        assert_eq!(t.num_segments(), 1);
+        assert_eq!(t.num_rows(), 4);
+    }
+
+    #[test]
+    fn auto_moveout_at_threshold() {
+        let mut t = Table::new(
+            "t",
+            edge_schema(),
+            TableOptions::default().with_moveout_threshold(2),
+        );
+        for i in 0..5i64 {
+            t.insert_row(vec![Value::Int(i), Value::Int(i + 1), Value::Null]).unwrap();
+        }
+        assert_eq!(t.num_segments(), 2);
+        assert_eq!(t.wos_rows(), 1);
+        assert_eq!(t.num_rows(), 5);
+    }
+
+    #[test]
+    fn moveout_sorts_by_sort_key() {
+        let mut t = Table::new(
+            "t",
+            edge_schema(),
+            TableOptions::default().sorted_by(vec![0]),
+        );
+        for s in [3i64, 1, 2, 0] {
+            t.insert_row(vec![Value::Int(s), Value::Int(0), Value::Null]).unwrap();
+        }
+        t.moveout().unwrap();
+        let batches = t.scan(Some(&[0]), &[]).unwrap();
+        let vals: Vec<Value> = batches[0].column(0).iter().collect();
+        assert_eq!(vals, vec![Value::Int(0), Value::Int(1), Value::Int(2), Value::Int(3)]);
+    }
+
+    #[test]
+    fn scan_includes_wos_and_ros() {
+        let mut t = small_table();
+        t.moveout().unwrap();
+        t.insert_row(vec![Value::Int(9), Value::Int(9), Value::Null]).unwrap();
+        let batches = t.scan(None, &[]).unwrap();
+        assert_eq!(RecordBatch::total_rows(&batches), 5);
+        assert_eq!(batches.len(), 2); // one ROS segment + WOS
+    }
+
+    #[test]
+    fn scan_projection() {
+        let t = small_table();
+        let batches = t.scan(Some(&[1]), &[]).unwrap();
+        assert_eq!(batches[0].num_columns(), 1);
+        assert_eq!(batches[0].schema().fields[0].name, "dst");
+    }
+
+    #[test]
+    fn scan_predicate_filters_rows() {
+        let mut t = small_table();
+        t.moveout().unwrap();
+        let pred = ColumnPredicate::new(0, PredicateOp::Eq, Value::Int(0));
+        let batches = t.scan(None, &[pred]).unwrap();
+        assert_eq!(RecordBatch::total_rows(&batches), 2);
+    }
+
+    #[test]
+    fn zone_map_prunes_segments() {
+        let mut t = Table::new(
+            "t",
+            edge_schema(),
+            TableOptions::default().with_moveout_threshold(2),
+        );
+        // Two segments: src in {0,1} and src in {10,11}.
+        for s in [0i64, 1, 10, 11] {
+            t.insert_row(vec![Value::Int(s), Value::Int(0), Value::Null]).unwrap();
+        }
+        assert_eq!(t.num_segments(), 2);
+        let pred = ColumnPredicate::new(0, PredicateOp::Gt, Value::Int(5));
+        let with_ids = t.scan_with_rowids(None, &[pred]).unwrap();
+        // Only the second segment contributes.
+        assert_eq!(with_ids.len(), 1);
+        assert_eq!(with_ids[0].0.num_rows(), 2);
+    }
+
+    #[test]
+    fn delete_by_rowid_ros_and_wos() {
+        let mut t = small_table();
+        t.moveout().unwrap();
+        t.insert_row(vec![Value::Int(7), Value::Int(8), Value::Null]).unwrap();
+        let scans = t.scan_with_rowids(None, &[]).unwrap();
+        let all_ids: Vec<u64> = scans.iter().flat_map(|(_, ids)| ids.clone()).collect();
+        assert_eq!(all_ids.len(), 5);
+        let n = t.delete_rowids(&all_ids[..2]);
+        assert_eq!(n, 2);
+        assert_eq!(t.num_rows(), 3);
+        // Deleting the same ROS rowids again is a no-op.
+        let n2 = t.delete_rowids(&all_ids[..2]);
+        assert_eq!(n2, 0);
+    }
+
+    #[test]
+    fn update_rows_replaces_values() {
+        let mut t = small_table();
+        t.moveout().unwrap();
+        let pred = ColumnPredicate::new(0, PredicateOp::Eq, Value::Int(2));
+        let scans = t.scan_with_rowids(None, &[pred]).unwrap();
+        let (batch, ids) = &scans[0];
+        assert_eq!(batch.num_rows(), 1);
+        let updated =
+            t.update_rows(vec![(ids[0], vec![Value::Int(2), Value::Int(99), Value::Float(5.0)])])
+                .unwrap();
+        assert_eq!(updated, 1);
+        let pred = ColumnPredicate::new(1, PredicateOp::Eq, Value::Int(99));
+        let found = t.scan(None, &[pred]).unwrap();
+        assert_eq!(RecordBatch::total_rows(&found), 1);
+    }
+
+    #[test]
+    fn mergeout_compacts() {
+        let mut t = Table::new(
+            "t",
+            edge_schema(),
+            TableOptions::default().with_moveout_threshold(1),
+        );
+        for i in 0..4i64 {
+            t.insert_row(vec![Value::Int(i), Value::Int(0), Value::Null]).unwrap();
+        }
+        assert_eq!(t.num_segments(), 4);
+        let scans = t.scan_with_rowids(None, &[]).unwrap();
+        let first_id = scans[0].1[0];
+        t.delete_rowids(&[first_id]);
+        t.mergeout().unwrap();
+        assert_eq!(t.num_segments(), 1);
+        assert_eq!(t.num_rows(), 3);
+        assert!(t.delete_vectors()[0].count_ones() == 0);
+    }
+
+    #[test]
+    fn nullability_enforced() {
+        let mut t = small_table();
+        let r = t.insert_row(vec![Value::Null, Value::Int(1), Value::Null]);
+        assert!(matches!(r, Err(StorageError::NullViolation(_))));
+    }
+
+    #[test]
+    fn arity_enforced() {
+        let mut t = small_table();
+        assert!(t.insert_row(vec![Value::Int(1)]).is_err());
+    }
+
+    #[test]
+    fn coercion_on_insert() {
+        let mut t = small_table();
+        t.insert_row(vec![Value::Int(5), Value::Int(6), Value::Int(2)]).unwrap();
+        let pred = ColumnPredicate::new(0, PredicateOp::Eq, Value::Int(5));
+        let batches = t.scan(None, &[pred]).unwrap();
+        assert_eq!(batches[0].row(0)[2], Value::Float(2.0));
+    }
+
+    #[test]
+    fn append_batch_creates_segment() {
+        let mut t = Table::new("t", edge_schema(), TableOptions::default());
+        let batch = RecordBatch::from_rows(
+            edge_schema(),
+            &[vec![Value::Int(1), Value::Int(2), Value::Float(0.5)]],
+        )
+        .unwrap();
+        t.append_batch(&batch).unwrap();
+        assert_eq!(t.num_segments(), 1);
+        assert_eq!(t.num_rows(), 1);
+    }
+
+    #[test]
+    fn truncate_empties() {
+        let mut t = small_table();
+        t.moveout().unwrap();
+        t.truncate();
+        assert_eq!(t.num_rows(), 0);
+        assert!(t.scan(None, &[]).unwrap().is_empty());
+    }
+
+    #[test]
+    fn predicate_matches_null_is_false() {
+        let p = ColumnPredicate::new(0, PredicateOp::Eq, Value::Int(1));
+        assert!(!p.matches(&Value::Null));
+    }
+
+    #[test]
+    fn compressed_table_roundtrips() {
+        let mut t = Table::new(
+            "t",
+            edge_schema(),
+            TableOptions::default().compressed().with_moveout_threshold(8),
+        );
+        for i in 0..20i64 {
+            t.insert_row(vec![Value::Int(i / 10), Value::Int(i), Value::Float(1.0)]).unwrap();
+        }
+        t.moveout().unwrap();
+        let batches = t.scan(None, &[]).unwrap();
+        assert_eq!(RecordBatch::total_rows(&batches), 20);
+    }
+}

@@ -1,0 +1,358 @@
+//! Scalar values, data types, fields and schemas.
+
+use std::cmp::Ordering;
+use std::fmt;
+use std::sync::Arc;
+
+use crate::error::{StorageError, StorageResult};
+
+/// The engine's scalar type system.
+///
+/// The paper's graph schema needs 64-bit ids (`Int`), floats (PageRank values,
+/// edge weights), strings (edge types, metadata) and binary blobs (encoded
+/// vertex/message values — Vertica's `VARBINARY`).
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash)]
+pub enum DataType {
+    Bool,
+    Int,
+    Float,
+    Str,
+    Blob,
+}
+
+impl fmt::Display for DataType {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        let s = match self {
+            DataType::Bool => "BOOLEAN",
+            DataType::Int => "BIGINT",
+            DataType::Float => "FLOAT",
+            DataType::Str => "VARCHAR",
+            DataType::Blob => "VARBINARY",
+        };
+        f.write_str(s)
+    }
+}
+
+impl DataType {
+    /// Parses the SQL spelling of a type (as produced by `Display`, plus
+    /// common aliases).
+    pub fn parse(s: &str) -> Option<DataType> {
+        match s.to_ascii_uppercase().as_str() {
+            "BOOLEAN" | "BOOL" => Some(DataType::Bool),
+            "BIGINT" | "INT" | "INTEGER" | "SMALLINT" => Some(DataType::Int),
+            "FLOAT" | "DOUBLE" | "REAL" | "DOUBLE PRECISION" | "NUMERIC" => Some(DataType::Float),
+            "VARCHAR" | "TEXT" | "STRING" | "CHAR" => Some(DataType::Str),
+            "VARBINARY" | "BYTEA" | "BLOB" => Some(DataType::Blob),
+            _ => None,
+        }
+    }
+}
+
+/// A dynamically-typed scalar.
+#[derive(Debug, Clone, PartialEq)]
+pub enum Value {
+    Null,
+    Bool(bool),
+    Int(i64),
+    Float(f64),
+    Str(String),
+    Blob(Vec<u8>),
+}
+
+impl Value {
+    pub fn data_type(&self) -> Option<DataType> {
+        match self {
+            Value::Null => None,
+            Value::Bool(_) => Some(DataType::Bool),
+            Value::Int(_) => Some(DataType::Int),
+            Value::Float(_) => Some(DataType::Float),
+            Value::Str(_) => Some(DataType::Str),
+            Value::Blob(_) => Some(DataType::Blob),
+        }
+    }
+
+    pub fn is_null(&self) -> bool {
+        matches!(self, Value::Null)
+    }
+
+    pub fn as_int(&self) -> Option<i64> {
+        match self {
+            Value::Int(v) => Some(*v),
+            _ => None,
+        }
+    }
+
+    pub fn as_float(&self) -> Option<f64> {
+        match self {
+            Value::Float(v) => Some(*v),
+            Value::Int(v) => Some(*v as f64),
+            _ => None,
+        }
+    }
+
+    pub fn as_bool(&self) -> Option<bool> {
+        match self {
+            Value::Bool(v) => Some(*v),
+            _ => None,
+        }
+    }
+
+    pub fn as_str(&self) -> Option<&str> {
+        match self {
+            Value::Str(v) => Some(v),
+            _ => None,
+        }
+    }
+
+    pub fn as_blob(&self) -> Option<&[u8]> {
+        match self {
+            Value::Blob(v) => Some(v),
+            _ => None,
+        }
+    }
+
+    /// Coerces the value to `target`, following SQL-ish implicit casts
+    /// (Int ↔ Float; anything → its own type; Null → any).
+    pub fn coerce(&self, target: DataType) -> StorageResult<Value> {
+        match (self, target) {
+            (Value::Null, _) => Ok(Value::Null),
+            (Value::Bool(_), DataType::Bool)
+            | (Value::Int(_), DataType::Int)
+            | (Value::Float(_), DataType::Float)
+            | (Value::Str(_), DataType::Str)
+            | (Value::Blob(_), DataType::Blob) => Ok(self.clone()),
+            (Value::Int(v), DataType::Float) => Ok(Value::Float(*v as f64)),
+            (Value::Float(v), DataType::Int) => Ok(Value::Int(*v as i64)),
+            (Value::Bool(v), DataType::Int) => Ok(Value::Int(*v as i64)),
+            _ => Err(StorageError::TypeMismatch {
+                expected: target.to_string(),
+                found: format!("{self}"),
+            }),
+        }
+    }
+
+    /// Total order used for sorting and zone maps: `Null` sorts first; values
+    /// of different types order by type tag; floats use IEEE total order.
+    /// `Int` and `Float` compare numerically so mixed arithmetic results sort
+    /// sensibly.
+    pub fn total_cmp(&self, other: &Value) -> Ordering {
+        use Value::*;
+        match (self, other) {
+            (Null, Null) => Ordering::Equal,
+            (Null, _) => Ordering::Less,
+            (_, Null) => Ordering::Greater,
+            (Bool(a), Bool(b)) => a.cmp(b),
+            (Int(a), Int(b)) => a.cmp(b),
+            (Float(a), Float(b)) => a.total_cmp(b),
+            (Int(a), Float(b)) => (*a as f64).total_cmp(b),
+            (Float(a), Int(b)) => a.total_cmp(&(*b as f64)),
+            (Str(a), Str(b)) => a.cmp(b),
+            (Blob(a), Blob(b)) => a.cmp(b),
+            (a, b) => type_rank(a).cmp(&type_rank(b)),
+        }
+    }
+
+    /// SQL equality (`=`): `Null = x` is unknown, represented here as `None`.
+    pub fn sql_eq(&self, other: &Value) -> Option<bool> {
+        if self.is_null() || other.is_null() {
+            return None;
+        }
+        match (self, other) {
+            (Value::Int(a), Value::Float(b)) => Some((*a as f64) == *b),
+            (Value::Float(a), Value::Int(b)) => Some(*a == (*b as f64)),
+            _ => Some(self == other),
+        }
+    }
+}
+
+fn type_rank(v: &Value) -> u8 {
+    match v {
+        Value::Null => 0,
+        Value::Bool(_) => 1,
+        Value::Int(_) => 2,
+        Value::Float(_) => 2, // numerics compare against each other
+        Value::Str(_) => 3,
+        Value::Blob(_) => 4,
+    }
+}
+
+impl fmt::Display for Value {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            Value::Null => f.write_str("NULL"),
+            Value::Bool(v) => write!(f, "{v}"),
+            Value::Int(v) => write!(f, "{v}"),
+            Value::Float(v) => write!(f, "{v}"),
+            Value::Str(v) => write!(f, "{v}"),
+            Value::Blob(v) => write!(f, "0x{}", hex(v)),
+        }
+    }
+}
+
+fn hex(bytes: &[u8]) -> String {
+    let mut s = String::with_capacity(bytes.len() * 2);
+    for b in bytes {
+        s.push_str(&format!("{b:02x}"));
+    }
+    s
+}
+
+impl From<i64> for Value {
+    fn from(v: i64) -> Self {
+        Value::Int(v)
+    }
+}
+impl From<u64> for Value {
+    fn from(v: u64) -> Self {
+        Value::Int(v as i64)
+    }
+}
+impl From<f64> for Value {
+    fn from(v: f64) -> Self {
+        Value::Float(v)
+    }
+}
+impl From<bool> for Value {
+    fn from(v: bool) -> Self {
+        Value::Bool(v)
+    }
+}
+impl From<&str> for Value {
+    fn from(v: &str) -> Self {
+        Value::Str(v.to_string())
+    }
+}
+impl From<String> for Value {
+    fn from(v: String) -> Self {
+        Value::Str(v)
+    }
+}
+impl From<Vec<u8>> for Value {
+    fn from(v: Vec<u8>) -> Self {
+        Value::Blob(v)
+    }
+}
+
+/// A named, typed column in a schema.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct Field {
+    pub name: String,
+    pub dtype: DataType,
+    pub nullable: bool,
+}
+
+impl Field {
+    pub fn new(name: impl Into<String>, dtype: DataType) -> Self {
+        Field { name: name.into(), dtype, nullable: true }
+    }
+
+    pub fn not_null(name: impl Into<String>, dtype: DataType) -> Self {
+        Field { name: name.into(), dtype, nullable: false }
+    }
+}
+
+/// An ordered list of fields.
+#[derive(Debug, Clone, PartialEq, Eq, Default)]
+pub struct Schema {
+    pub fields: Vec<Field>,
+}
+
+impl Schema {
+    pub fn new(fields: Vec<Field>) -> Arc<Self> {
+        Arc::new(Schema { fields })
+    }
+
+    pub fn len(&self) -> usize {
+        self.fields.len()
+    }
+
+    pub fn is_empty(&self) -> bool {
+        self.fields.is_empty()
+    }
+
+    /// Index of the column with the given (case-insensitive) name.
+    pub fn index_of(&self, name: &str) -> Option<usize> {
+        self.fields.iter().position(|f| f.name.eq_ignore_ascii_case(name))
+    }
+
+    pub fn field(&self, idx: usize) -> &Field {
+        &self.fields[idx]
+    }
+
+    /// Schema restricted to the given column indices (projection).
+    pub fn project(&self, indices: &[usize]) -> Arc<Schema> {
+        Schema::new(indices.iter().map(|&i| self.fields[i].clone()).collect())
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn datatype_roundtrips_through_display() {
+        for dt in [DataType::Bool, DataType::Int, DataType::Float, DataType::Str, DataType::Blob] {
+            assert_eq!(DataType::parse(&dt.to_string()), Some(dt));
+        }
+        assert_eq!(DataType::parse("double"), Some(DataType::Float));
+        assert_eq!(DataType::parse("nonsense"), None);
+    }
+
+    #[test]
+    fn coercion_int_float() {
+        assert_eq!(Value::Int(3).coerce(DataType::Float).unwrap(), Value::Float(3.0));
+        assert_eq!(Value::Float(3.9).coerce(DataType::Int).unwrap(), Value::Int(3));
+        assert_eq!(Value::Null.coerce(DataType::Str).unwrap(), Value::Null);
+        assert!(Value::Str("x".into()).coerce(DataType::Int).is_err());
+    }
+
+    #[test]
+    fn total_cmp_orders_nulls_first() {
+        assert_eq!(Value::Null.total_cmp(&Value::Int(1)), Ordering::Less);
+        assert_eq!(Value::Int(1).total_cmp(&Value::Null), Ordering::Greater);
+        assert_eq!(Value::Null.total_cmp(&Value::Null), Ordering::Equal);
+    }
+
+    #[test]
+    fn total_cmp_mixed_numerics() {
+        assert_eq!(Value::Int(2).total_cmp(&Value::Float(2.5)), Ordering::Less);
+        assert_eq!(Value::Float(3.0).total_cmp(&Value::Int(2)), Ordering::Greater);
+        assert_eq!(Value::Int(2).total_cmp(&Value::Float(2.0)), Ordering::Equal);
+    }
+
+    #[test]
+    fn sql_eq_null_is_unknown() {
+        assert_eq!(Value::Null.sql_eq(&Value::Int(1)), None);
+        assert_eq!(Value::Int(1).sql_eq(&Value::Int(1)), Some(true));
+        assert_eq!(Value::Int(1).sql_eq(&Value::Float(1.0)), Some(true));
+        assert_eq!(Value::Int(1).sql_eq(&Value::Int(2)), Some(false));
+    }
+
+    #[test]
+    fn schema_lookup_is_case_insensitive() {
+        let schema = Schema::new(vec![
+            Field::new("Id", DataType::Int),
+            Field::new("name", DataType::Str),
+        ]);
+        assert_eq!(schema.index_of("id"), Some(0));
+        assert_eq!(schema.index_of("NAME"), Some(1));
+        assert_eq!(schema.index_of("missing"), None);
+    }
+
+    #[test]
+    fn schema_projection() {
+        let schema = Schema::new(vec![
+            Field::new("a", DataType::Int),
+            Field::new("b", DataType::Str),
+            Field::new("c", DataType::Float),
+        ]);
+        let p = schema.project(&[2, 0]);
+        assert_eq!(p.fields[0].name, "c");
+        assert_eq!(p.fields[1].name, "a");
+    }
+
+    #[test]
+    fn blob_displays_as_hex() {
+        assert_eq!(Value::Blob(vec![0xde, 0xad]).to_string(), "0xdead");
+    }
+}

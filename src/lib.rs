@@ -1,0 +1,10 @@
+//! Umbrella package for the Vertexica reproduction: hosts the runnable
+//! examples (`examples/`) and the cross-crate integration tests (`tests/`).
+//! The library itself just re-exports the workspace crates.
+
+pub use vertexica;
+pub use vertexica_algorithms as algorithms;
+pub use vertexica_common as common;
+pub use vertexica_giraph as giraph;
+pub use vertexica_graphdb as graphdb;
+pub use vertexica_graphgen as graphgen;

@@ -1,0 +1,186 @@
+//! Cross-engine equivalence: the same `VertexProgram` must produce identical
+//! results on the relational Vertexica engine, the Giraph-like BSP baseline,
+//! the transactional graph database, the hand-written SQL implementations
+//! and the in-memory reference implementations — the correctness backbone of
+//! the Figure-2 comparison.
+
+use std::sync::Arc;
+use std::time::Duration;
+
+use vertexica::sql::Database;
+use vertexica::{run_program, GraphSession, InputMode, VertexicaConfig};
+use vertexica_algorithms::reference;
+use vertexica_algorithms::sqlalgo;
+use vertexica_algorithms::vc::{ConnectedComponents, PageRank, Sssp};
+use vertexica_common::graph::{EdgeList, VertexId};
+use vertexica_giraph::GiraphEngine;
+use vertexica_graphdb::GraphDb;
+use vertexica_graphgen::models::erdos_renyi;
+use vertexica_graphgen::rmat::{rmat_graph, RmatConfig};
+
+fn session_for(graph: &EdgeList) -> GraphSession {
+    let db = Arc::new(Database::new());
+    let s = GraphSession::create(db, "g").expect("create");
+    s.load_edges(graph).expect("load");
+    s
+}
+
+fn test_graphs() -> Vec<EdgeList> {
+    vec![
+        erdos_renyi(60, 240, 3),
+        rmat_graph(&RmatConfig { scale: 7, num_edges: 600, seed: 9, ..Default::default() }),
+        EdgeList::from_pairs([(0, 1), (1, 2), (2, 0), (3, 4)]), // disconnected
+        EdgeList::from_pairs((0..30u64).map(|i| (i, i + 1))),   // chain
+    ]
+}
+
+#[test]
+fn pagerank_agrees_across_all_engines() {
+    for (gi, graph) in test_graphs().into_iter().enumerate() {
+        let expected = reference::pagerank(&graph, 8, 0.85);
+
+        // Vertexica (vertex-centric on the relational engine).
+        let session = session_for(&graph);
+        run_program(&session, Arc::new(PageRank::new(8, 0.85)), &VertexicaConfig::default())
+            .unwrap();
+        let vx: Vec<(VertexId, f64)> = session.vertex_values().unwrap();
+        assert_eq!(vx.len(), expected.len(), "graph {gi}");
+        for (id, rank) in &vx {
+            assert!(
+                (rank - expected[*id as usize]).abs() < 1e-9,
+                "graph {gi} vertexica vertex {id}: {rank} vs {}",
+                expected[*id as usize]
+            );
+        }
+
+        // Giraph baseline.
+        let (giraph_vals, _) = GiraphEngine::default().run(&graph, &PageRank::new(8, 0.85));
+        for (id, rank) in giraph_vals.iter().enumerate() {
+            assert!(
+                (rank - expected[id]).abs() < 1e-9,
+                "graph {gi} giraph vertex {id}"
+            );
+        }
+
+        // Vertexica (SQL).
+        let sql = sqlalgo::pagerank_sql(&session, 8, 0.85).unwrap();
+        for (id, rank) in sql {
+            assert!(
+                (rank - expected[id as usize]).abs() < 1e-9,
+                "graph {gi} sql vertex {id}"
+            );
+        }
+
+        // Graph database.
+        let db = GraphDb::ephemeral();
+        db.load_edges(&graph).unwrap();
+        let out = vertexica_graphdb::algo::pagerank(
+            &db,
+            graph.num_vertices,
+            8,
+            0.85,
+            Duration::from_secs(120),
+        )
+        .unwrap();
+        let gdb = out.finished().expect("graphdb finishes").clone();
+        for (id, rank) in gdb.iter().enumerate() {
+            assert!(
+                (rank - expected[id]).abs() < 1e-9,
+                "graph {gi} graphdb vertex {id}"
+            );
+        }
+    }
+}
+
+#[test]
+fn sssp_agrees_across_all_engines() {
+    for (gi, graph) in test_graphs().into_iter().enumerate() {
+        let expected = reference::sssp(&graph, 0);
+        let close = |a: f64, b: f64| {
+            (a.is_infinite() && b.is_infinite()) || (a - b).abs() < 1e-9
+        };
+
+        let session = session_for(&graph);
+        run_program(&session, Arc::new(Sssp::new(0)), &VertexicaConfig::default()).unwrap();
+        let vx: Vec<(VertexId, f64)> = session.vertex_values().unwrap();
+        for (id, d) in &vx {
+            assert!(
+                close(*d, expected[*id as usize]),
+                "graph {gi} vertexica vertex {id}: {d} vs {}",
+                expected[*id as usize]
+            );
+        }
+
+        let (giraph_vals, _) = GiraphEngine::default().run(&graph, &Sssp::new(0));
+        for (id, d) in giraph_vals.iter().enumerate() {
+            assert!(close(*d, expected[id]), "graph {gi} giraph vertex {id}");
+        }
+
+        let sql = sqlalgo::sssp_sql(&session, 0).unwrap();
+        for (id, d) in sql {
+            assert!(close(d, expected[id as usize]), "graph {gi} sql vertex {id}");
+        }
+
+        let db = GraphDb::ephemeral();
+        db.load_edges(&graph).unwrap();
+        let out = vertexica_graphdb::algo::sssp(
+            &db,
+            graph.num_vertices,
+            0,
+            Duration::from_secs(120),
+        )
+        .unwrap();
+        let gdb = out.finished().expect("graphdb finishes").clone();
+        for (id, d) in gdb.iter().enumerate() {
+            assert!(close(*d, expected[id]), "graph {gi} graphdb vertex {id}");
+        }
+    }
+}
+
+#[test]
+fn connected_components_agree() {
+    let graph = erdos_renyi(50, 60, 5).undirected();
+    let expected = reference::weakly_connected_components(&graph);
+
+    let session = session_for(&graph);
+    run_program(&session, Arc::new(ConnectedComponents), &VertexicaConfig::default()).unwrap();
+    let vx: Vec<(VertexId, u64)> = session.vertex_values().unwrap();
+    for (id, label) in &vx {
+        assert_eq!(*label, expected[*id as usize], "vertexica vertex {id}");
+    }
+
+    let (giraph_vals, _) = GiraphEngine::default().run(&graph, &ConnectedComponents);
+    assert_eq!(giraph_vals, expected);
+
+    let sql = sqlalgo::connected_components_sql(&session).unwrap();
+    for (id, label) in sql {
+        assert_eq!(label, expected[id as usize], "sql vertex {id}");
+    }
+}
+
+#[test]
+fn every_vertexica_configuration_agrees() {
+    // All four §2.3 optimizations toggled — results must never change.
+    let graph = rmat_graph(&RmatConfig { scale: 6, num_edges: 300, seed: 4, ..Default::default() });
+    let expected = reference::pagerank(&graph, 6, 0.85);
+    let configs = vec![
+        VertexicaConfig::default(),
+        VertexicaConfig::default().with_input_mode(InputMode::ThreeWayJoin),
+        VertexicaConfig::default().with_workers(1).with_partitions(1),
+        VertexicaConfig::default().with_workers(8).with_partitions(64),
+        VertexicaConfig::default().with_replace_threshold(0.0),
+        VertexicaConfig::default().with_replace_threshold(1.01),
+        VertexicaConfig::default().with_combiner(false),
+    ];
+    for (ci, config) in configs.into_iter().enumerate() {
+        let session = session_for(&graph);
+        run_program(&session, Arc::new(PageRank::new(6, 0.85)), &config).unwrap();
+        let vx: Vec<(VertexId, f64)> = session.vertex_values().unwrap();
+        for (id, rank) in vx {
+            assert!(
+                (rank - expected[id as usize]).abs() < 1e-9,
+                "config {ci} vertex {id}"
+            );
+        }
+    }
+}

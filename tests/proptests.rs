@@ -1,0 +1,199 @@
+//! Cross-crate property-based tests: algorithm invariants on random graphs,
+//! engine equivalence, partitioner completeness.
+
+use std::sync::Arc;
+
+use proptest::prelude::*;
+use vertexica::sql::Database;
+use vertexica::{run_program, GraphSession, VertexicaConfig};
+use vertexica_algorithms::reference;
+use vertexica_algorithms::vc::{ConnectedComponents, PageRank, Sssp};
+use vertexica_common::graph::{Edge, EdgeList, VertexId};
+use vertexica_giraph::GiraphEngine;
+
+/// Strategy: a random directed graph with up to `max_n` vertices.
+fn arb_graph(max_n: u64, max_m: usize) -> impl Strategy<Value = EdgeList> {
+    (2..=max_n).prop_flat_map(move |n| {
+        proptest::collection::vec((0..n, 0..n, 0.1f64..10.0), 1..=max_m).prop_map(
+            move |pairs| {
+                let edges: Vec<Edge> = pairs
+                    .into_iter()
+                    .map(|(s, d, w)| Edge::weighted(s, d, w))
+                    .collect();
+                EdgeList::new(n, edges)
+            },
+        )
+    })
+}
+
+fn session_for(graph: &EdgeList) -> GraphSession {
+    let db = Arc::new(Database::new());
+    let s = GraphSession::create(db, "g").expect("create");
+    s.load_edges(graph).expect("load");
+    s
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(24))]
+
+    /// PageRank is a probability distribution on any graph.
+    #[test]
+    fn pagerank_sums_to_one(graph in arb_graph(40, 150)) {
+        let ranks = reference::pagerank(&graph, 12, 0.85);
+        let total: f64 = ranks.iter().sum();
+        prop_assert!((total - 1.0).abs() < 1e-9, "total {total}");
+        prop_assert!(ranks.iter().all(|&r| r > 0.0));
+    }
+
+    /// The relational engine and the BSP engine agree with the reference
+    /// on arbitrary graphs.
+    #[test]
+    fn engines_agree_on_random_graphs(graph in arb_graph(24, 80)) {
+        let expected = reference::pagerank(&graph, 5, 0.85);
+        let (giraph_vals, _) = GiraphEngine::default().run(&graph, &PageRank::new(5, 0.85));
+        for (id, rank) in giraph_vals.iter().enumerate() {
+            prop_assert!((rank - expected[id]).abs() < 1e-9, "giraph vertex {id}");
+        }
+        let session = session_for(&graph);
+        run_program(&session, Arc::new(PageRank::new(5, 0.85)), &VertexicaConfig::default())
+            .unwrap();
+        let vx: Vec<(VertexId, f64)> = session.vertex_values().unwrap();
+        for (id, rank) in vx {
+            prop_assert!((rank - expected[id as usize]).abs() < 1e-9, "vertexica vertex {id}");
+        }
+    }
+
+    /// SSSP distances form a relaxation fixpoint: d[src]=0, and for every
+    /// edge (u,v,w): d[v] <= d[u] + w; every finite d[v] is witnessed by an
+    /// incoming relaxed edge.
+    #[test]
+    fn sssp_is_a_relaxation_fixpoint(graph in arb_graph(30, 120)) {
+        let dist = reference::sssp(&graph, 0);
+        prop_assert_eq!(dist[0], 0.0);
+        for e in &graph.edges {
+            if dist[e.src as usize].is_finite() {
+                prop_assert!(
+                    dist[e.dst as usize] <= dist[e.src as usize] + e.weight + 1e-9,
+                    "edge {}->{} violates triangle inequality", e.src, e.dst
+                );
+            }
+        }
+        for (v, &d) in dist.iter().enumerate() {
+            if v != 0 && d.is_finite() {
+                let witnessed = graph.edges.iter().any(|e| {
+                    e.dst as usize == v
+                        && dist[e.src as usize].is_finite()
+                        && (dist[e.src as usize] + e.weight - d).abs() < 1e-9
+                });
+                prop_assert!(witnessed, "vertex {v} distance {d} has no witness");
+            }
+        }
+    }
+
+    /// The vertex-centric SSSP matches Dijkstra on random weighted graphs.
+    #[test]
+    fn vertex_centric_sssp_matches_dijkstra(graph in arb_graph(24, 80)) {
+        let expected = reference::sssp(&graph, 0);
+        let (vals, _) = GiraphEngine::default().run(&graph, &Sssp::new(0));
+        for (id, d) in vals.iter().enumerate() {
+            let want = expected[id];
+            prop_assert!(
+                (d.is_infinite() && want.is_infinite()) || (d - want).abs() < 1e-9,
+                "vertex {id}: {d} vs {want}"
+            );
+        }
+    }
+
+    /// Connected-component labels are consistent: endpoints of every edge
+    /// share a label, and each label is the minimum id of its class.
+    #[test]
+    fn wcc_is_a_valid_partition(graph in arb_graph(30, 100)) {
+        let und = graph.undirected();
+        let labels = reference::weakly_connected_components(&und);
+        for e in &und.edges {
+            prop_assert_eq!(labels[e.src as usize], labels[e.dst as usize]);
+        }
+        for (v, &l) in labels.iter().enumerate() {
+            prop_assert!(l <= v as u64, "label must be a min id");
+            prop_assert_eq!(labels[l as usize], l, "label must be its own root");
+        }
+        // And the vertex-centric version agrees.
+        let (vc_labels, _) = GiraphEngine::default().run(&und, &ConnectedComponents);
+        prop_assert_eq!(vc_labels, labels);
+    }
+
+    /// Triangle counting invariants: per-node counts sum to 3× the total,
+    /// and match across the SQL implementation.
+    #[test]
+    fn triangle_counts_consistent(graph in arb_graph(20, 80)) {
+        let per_node = reference::per_node_triangles(&graph);
+        let total = reference::triangle_count(&graph);
+        prop_assert_eq!(per_node.iter().sum::<u64>(), 3 * total);
+
+        let session = session_for(&graph);
+        let sql_total = vertexica_algorithms::sqlalgo::triangle_count_sql(&session).unwrap();
+        prop_assert_eq!(sql_total, total);
+    }
+
+    /// Hash partitioning loses nothing and separates nothing that belongs
+    /// together.
+    #[test]
+    fn partitioner_is_complete_and_consistent(
+        keys in proptest::collection::vec(0i64..50, 1..300),
+        parts in 1usize..12,
+    ) {
+        use vertexica::storage::{partition::hash_partition, DataType, Field, RecordBatch, Schema, Value};
+        let schema = Schema::new(vec![Field::new("k", DataType::Int)]);
+        let rows: Vec<Vec<Value>> = keys.iter().map(|&k| vec![Value::Int(k)]).collect();
+        let batch = RecordBatch::from_rows(schema, &rows).unwrap();
+        let out = hash_partition(&[batch], &[0], parts).unwrap();
+        let total: usize = out.iter().flat_map(|p| p.iter().map(|b| b.num_rows())).sum();
+        prop_assert_eq!(total, keys.len());
+        // Each key appears in exactly one partition.
+        for k in keys.iter().copied().collect::<std::collections::HashSet<i64>>() {
+            let holders = out
+                .iter()
+                .filter(|p| {
+                    p.iter().any(|b| {
+                        b.column(0).iter().any(|v| v == Value::Int(k))
+                    })
+                })
+                .count();
+            prop_assert_eq!(holders, 1, "key {} split across partitions", k);
+        }
+    }
+
+    /// Random-walk-with-restart masses stay in [0, 1], the source retains at
+    /// least its restart mass, and vertices unreachable from the source get
+    /// exactly zero. (The source is *not* necessarily the maximum — an
+    /// absorbing cycle can out-accumulate it.)
+    #[test]
+    fn rwr_probabilities_bounded(graph in arb_graph(20, 60)) {
+        use vertexica_algorithms::vc::RandomWalkWithRestart;
+        let prog = RandomWalkWithRestart::new(0, 20);
+        let restart = prog.restart;
+        let (vals, _) = GiraphEngine::default().run(&graph, &prog);
+        for (id, v) in vals.iter().enumerate() {
+            prop_assert!((0.0..=1.0 + 1e-9).contains(v), "vertex {id}: {v}");
+        }
+        prop_assert!(vals[0] >= restart - 1e-9, "source lost its restart mass");
+        // BFS reachability from the source.
+        let adj = vertexica_common::graph::Adjacency::from_edge_list(&graph);
+        let mut reachable = vec![false; graph.num_vertices as usize];
+        let mut stack = vec![0u64];
+        reachable[0] = true;
+        while let Some(v) = stack.pop() {
+            for &n in adj.neighbors(v) {
+                if !reachable[n as usize] {
+                    reachable[n as usize] = true;
+                    stack.push(n);
+                }
+            }
+        }
+        for (id, v) in vals.iter().enumerate() {
+            if !reachable[id] {
+                prop_assert_eq!(*v, 0.0, "unreachable vertex {} has mass", id);
+            }
+        }
+    }
+}
