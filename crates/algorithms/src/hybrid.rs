@@ -36,8 +36,7 @@ pub fn important_bridges(
 
     // 1-hop weak ties in SQL.
     let ties = weak_ties_sql(session)?;
-    let tie_scores: Vec<(VertexId, f64)> =
-        ties.iter().map(|&(id, c)| (id, c as f64)).collect();
+    let tie_scores: Vec<(VertexId, f64)> = ties.iter().map(|&(id, c)| (id, c as f64)).collect();
     store_scores(session, "hybrid_ties", &tie_scores)?;
 
     // Relational combination.
@@ -103,11 +102,7 @@ pub fn localized_pagerank(
         e = session.edge_table()
     ))?;
 
-    run_program(
-        &sub,
-        Arc::new(PageRank::new(iterations, 0.85)),
-        &VertexicaConfig::default(),
-    )?;
+    run_program(&sub, Arc::new(PageRank::new(iterations, 0.85)), &VertexicaConfig::default())?;
     let ranks = sub.vertex_values()?;
     Ok((sub, ranks))
 }
@@ -115,8 +110,8 @@ pub fn localized_pagerank(
 #[cfg(test)]
 mod tests {
     use super::*;
-    use vertexica_common::graph::{Edge, EdgeList};
     use vertexica::sql::Database;
+    use vertexica_common::graph::{Edge, EdgeList};
 
     fn session_with(graph: &EdgeList) -> GraphSession {
         let db = Arc::new(Database::new());
@@ -129,22 +124,11 @@ mod tests {
     fn important_bridges_finds_the_bridge() {
         // Two clusters joined through vertex 2; 2 bridges many pairs and
         // receives lots of rank.
-        let graph = EdgeList::from_pairs([
-            (0, 2),
-            (1, 2),
-            (2, 3),
-            (2, 4),
-            (3, 4),
-            (4, 3),
-            (0, 1),
-            (1, 0),
-        ]);
+        let graph =
+            EdgeList::from_pairs([(0, 2), (1, 2), (2, 3), (2, 4), (3, 4), (4, 3), (0, 1), (1, 0)]);
         let session = session_with(&graph);
         let bridges = important_bridges(&session, 10, 0.0, 1).unwrap();
-        assert!(
-            bridges.iter().any(|&(id, _, ties)| id == 2 && ties >= 4),
-            "{bridges:?}"
-        );
+        assert!(bridges.iter().any(|&(id, _, ties)| id == 2 && ties >= 4), "{bridges:?}");
         // Temp tables cleaned up.
         assert!(!session.db().catalog().contains("hybrid_pagerank"));
     }
@@ -181,8 +165,7 @@ mod tests {
             3,
         )
         .unwrap();
-        let (sub, ranks) =
-            localized_pagerank(&g, "etype = 'family'", "h_family", 8).unwrap();
+        let (sub, ranks) = localized_pagerank(&g, "etype = 'family'", "h_family", 8).unwrap();
         assert_eq!(sub.num_edges().unwrap(), 2);
         // Vertex 2 is isolated in the family subgraph: minimal rank.
         let r: Vec<f64> = ranks.iter().map(|&(_, v)| v).collect();

@@ -101,9 +101,9 @@ pub fn weakly_connected_components(graph: &EdgeList) -> Vec<VertexId> {
             min_of_root[r] = v as u64;
         }
     }
-    for v in 0..n {
+    for (v, slot) in label.iter_mut().enumerate() {
         let r = find(&mut parent, v);
-        label[v] = min_of_root[r];
+        *slot = min_of_root[r];
     }
     label
 }
@@ -205,11 +205,8 @@ pub fn strong_overlap(graph: &EdgeList, k: u64) -> Vec<(VertexId, VertexId, u64)
             }
         }
     }
-    let mut out: Vec<(VertexId, VertexId, u64)> = pair_counts
-        .into_iter()
-        .filter(|&(_, c)| c >= k)
-        .map(|((a, b), c)| (a, b, c))
-        .collect();
+    let mut out: Vec<(VertexId, VertexId, u64)> =
+        pair_counts.into_iter().filter(|&(_, c)| c >= k).map(|((a, b), c)| (a, b, c)).collect();
     out.sort_unstable();
     out
 }

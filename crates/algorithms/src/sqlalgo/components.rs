@@ -6,9 +6,7 @@ use vertexica_common::graph::VertexId;
 /// Min-label propagation until fixpoint. Labels propagate along *out* edges;
 /// load the graph with both directions (undirected) for weakly connected
 /// components.
-pub fn connected_components_sql(
-    session: &GraphSession,
-) -> VertexicaResult<Vec<(VertexId, u64)>> {
+pub fn connected_components_sql(session: &GraphSession) -> VertexicaResult<Vec<(VertexId, u64)>> {
     let db = session.db();
     let v = session.vertex_table();
     let e = session.edge_table();
@@ -19,9 +17,7 @@ pub fn connected_components_sql(
         db.catalog().drop_table_if_exists(t);
     }
 
-    db.execute(&format!(
-        "CREATE TABLE {comp} AS SELECT v.id AS id, v.id AS label FROM {v} v"
-    ))?;
+    db.execute(&format!("CREATE TABLE {comp} AS SELECT v.id AS id, v.id AS label FROM {v} v"))?;
 
     let n = session.num_vertices()?.max(1);
     for _ in 0..n {
@@ -49,12 +45,7 @@ pub fn connected_components_sql(
     db.catalog().drop_table_if_exists(&comp);
     Ok(rows
         .into_iter()
-        .map(|r| {
-            (
-                r[0].as_int().unwrap_or(0) as VertexId,
-                r[1].as_int().unwrap_or(0) as u64,
-            )
-        })
+        .map(|r| (r[0].as_int().unwrap_or(0) as VertexId, r[1].as_int().unwrap_or(0) as u64))
         .collect())
 }
 

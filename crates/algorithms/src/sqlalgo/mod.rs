@@ -42,8 +42,7 @@ pub fn store_scores(
     }
     // Chunked multi-row inserts.
     for chunk in scores.chunks(512) {
-        let values: Vec<String> =
-            chunk.iter().map(|(id, s)| format!("({id}, {s:?})")).collect();
+        let values: Vec<String> = chunk.iter().map(|(id, s)| format!("({id}, {s:?})")).collect();
         db.execute(&format!("INSERT INTO {table} VALUES {}", values.join(", ")))?;
     }
     Ok(())
@@ -67,9 +66,9 @@ pub(crate) fn build_undirected(session: &GraphSession, name: &str) -> VertexicaR
 #[cfg(test)]
 pub(crate) mod testutil {
     use std::sync::Arc;
+    use vertexica::sql::Database;
     use vertexica::GraphSession;
     use vertexica_common::graph::EdgeList;
-    use vertexica::sql::Database;
 
     /// A session with a loaded graph, for SQL algorithm tests.
     pub fn session_with(graph: &EdgeList) -> GraphSession {
@@ -84,8 +83,8 @@ pub(crate) mod testutil {
 mod tests {
     use super::*;
     use testutil::session_with;
-    use vertexica_common::graph::EdgeList;
     use vertexica::storage::Value;
+    use vertexica_common::graph::EdgeList;
 
     #[test]
     fn store_scores_roundtrip() {

@@ -15,9 +15,7 @@ pub fn strong_overlap_sql(
     let de = format!("{g}__dedge");
     db.catalog().drop_table_if_exists(&de);
     // Distinct edges: duplicate src→dst rows must not inflate overlap.
-    db.execute(&format!(
-        "CREATE TABLE {de} AS SELECT DISTINCT src, dst FROM {e}"
-    ))?;
+    db.execute(&format!("CREATE TABLE {de} AS SELECT DISTINCT src, dst FROM {e}"))?;
     let rows = db.query(&format!(
         "SELECT e1.src AS a, e2.src AS b, COUNT(*) AS common \
          FROM {de} e1 JOIN {de} e2 ON e1.dst = e2.dst \
@@ -48,8 +46,7 @@ mod tests {
 
     #[test]
     fn matches_reference() {
-        let graph =
-            EdgeList::from_pairs([(0, 2), (0, 3), (1, 2), (1, 3), (4, 2), (4, 3), (5, 2)]);
+        let graph = EdgeList::from_pairs([(0, 2), (0, 3), (1, 2), (1, 3), (4, 2), (4, 3), (5, 2)]);
         let session = session_with(&graph);
         let sql = strong_overlap_sql(&session, 2).unwrap();
         let expected = reference::strong_overlap(&graph, 2);

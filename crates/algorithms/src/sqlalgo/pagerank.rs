@@ -66,12 +66,7 @@ pub fn pagerank_sql(
     }
     Ok(rows
         .into_iter()
-        .map(|r| {
-            (
-                r[0].as_int().unwrap_or(0) as VertexId,
-                r[1].as_float().unwrap_or(0.0),
-            )
-        })
+        .map(|r| (r[0].as_int().unwrap_or(0) as VertexId, r[1].as_float().unwrap_or(0.0)))
         .collect())
 }
 

@@ -12,10 +12,7 @@ const INF_SQL: &str = "1e308";
 /// SSSP by relaxation rounds: each round joins the frontier distances with
 /// the edge table, takes the per-destination MIN, and stops when no distance
 /// improves. Unreachable vertices report `f64::INFINITY`.
-pub fn sssp_sql(
-    session: &GraphSession,
-    source: VertexId,
-) -> VertexicaResult<Vec<(VertexId, f64)>> {
+pub fn sssp_sql(session: &GraphSession, source: VertexId) -> VertexicaResult<Vec<(VertexId, f64)>> {
     let db = session.db();
     let v = session.vertex_table();
     let e = session.edge_table();
@@ -61,10 +58,7 @@ pub fn sssp_sql(
         .into_iter()
         .map(|r| {
             let d = r[1].as_float().unwrap_or(INF);
-            (
-                r[0].as_int().unwrap_or(0) as VertexId,
-                if d >= INF { f64::INFINITY } else { d },
-            )
+            (r[0].as_int().unwrap_or(0) as VertexId, if d >= INF { f64::INFINITY } else { d })
         })
         .collect())
 }

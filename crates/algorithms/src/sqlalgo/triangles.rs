@@ -23,9 +23,7 @@ pub fn triangle_count_sql(session: &GraphSession) -> VertexicaResult<u64> {
 }
 
 /// Triangles per node (a node participates in every triangle covering it).
-pub fn per_node_triangles_sql(
-    session: &GraphSession,
-) -> VertexicaResult<Vec<(VertexId, u64)>> {
+pub fn per_node_triangles_sql(session: &GraphSession) -> VertexicaResult<Vec<(VertexId, u64)>> {
     let db = session.db();
     let g = session.name();
     let ue = format!("{g}__ue");
@@ -52,12 +50,7 @@ pub fn per_node_triangles_sql(
     }
     Ok(rows
         .into_iter()
-        .map(|r| {
-            (
-                r[0].as_int().unwrap_or(0) as VertexId,
-                r[1].as_int().unwrap_or(0) as u64,
-            )
-        })
+        .map(|r| (r[0].as_int().unwrap_or(0) as VertexId, r[1].as_int().unwrap_or(0) as u64))
         .collect())
 }
 

@@ -22,7 +22,9 @@ pub fn weak_ties_sql(session: &GraphSession) -> VertexicaResult<Vec<(VertexId, u
     db.catalog().drop_table_if_exists(&cand);
     db.catalog().drop_table_if_exists(&de);
 
-    db.execute(&format!("CREATE TABLE {de} AS SELECT DISTINCT src, dst FROM {e} WHERE src <> dst"))?;
+    db.execute(&format!(
+        "CREATE TABLE {de} AS SELECT DISTINCT src, dst FROM {e} WHERE src <> dst"
+    ))?;
 
     // 2-path candidates a → v → b with canonical (lo, hi) pair keys.
     db.execute(&format!(
@@ -45,12 +47,7 @@ pub fn weak_ties_sql(session: &GraphSession) -> VertexicaResult<Vec<(VertexId, u
     }
     Ok(rows
         .into_iter()
-        .map(|r| {
-            (
-                r[0].as_int().unwrap_or(0) as VertexId,
-                r[1].as_int().unwrap_or(0) as u64,
-            )
-        })
+        .map(|r| (r[0].as_int().unwrap_or(0) as VertexId, r[1].as_int().unwrap_or(0) as u64))
         .collect())
 }
 

@@ -52,16 +52,10 @@ impl VertexProgram for CollaborativeFiltering {
 
     fn initial_value(&self, id: VertexId, _init: &InitContext) -> Vec<f64> {
         // Deterministic pseudo-random init in [0, 0.5).
-        (0..self.latent_dim)
-            .map(|k| unit_f64(id * 1000 + k as u64) * 0.5)
-            .collect()
+        (0..self.latent_dim).map(|k| unit_f64(id * 1000 + k as u64) * 0.5).collect()
     }
 
-    fn compute(
-        &self,
-        ctx: &mut dyn VertexContext<Vec<f64>, CfMessage>,
-        messages: &[CfMessage],
-    ) {
+    fn compute(&self, ctx: &mut dyn VertexContext<Vec<f64>, CfMessage>, messages: &[CfMessage]) {
         let my_turn_to_send = if self.is_user(ctx.vertex_id()) {
             ctx.superstep() % 2 == 0
         } else {
@@ -105,8 +99,7 @@ impl VertexProgram for CollaborativeFiltering {
         if ctx.superstep() < self.rounds {
             if my_turn_to_send {
                 let payload = (ctx.vertex_id(), ctx.value().clone());
-                let targets: Vec<VertexId> =
-                    ctx.out_edges().iter().map(|e| e.dst).collect();
+                let targets: Vec<VertexId> = ctx.out_edges().iter().map(|e| e.dst).collect();
                 for t in targets {
                     ctx.send_message(t, payload.clone());
                 }
@@ -168,10 +161,8 @@ mod tests {
         let g = bipartite_ratings(users, items, 6, 99);
         let before: Vec<Vec<f64>> = (0..g.num_vertices)
             .map(|id| {
-                CollaborativeFiltering::new(users, 0).initial_value(
-                    id,
-                    &InitContext { num_vertices: g.num_vertices, out_degree: 0 },
-                )
+                CollaborativeFiltering::new(users, 0)
+                    .initial_value(id, &InitContext { num_vertices: g.num_vertices, out_degree: 0 })
             })
             .collect();
         let rmse_before = rmse(&g, users, &before);
@@ -179,10 +170,7 @@ mod tests {
         let prog = CollaborativeFiltering::new(users, 30);
         let (vectors, _) = GiraphEngine::default().run(&g, &prog);
         let rmse_after = rmse(&g, users, &vectors);
-        assert!(
-            rmse_after < rmse_before * 0.5,
-            "rmse before {rmse_before}, after {rmse_after}"
-        );
+        assert!(rmse_after < rmse_before * 0.5, "rmse before {rmse_before}, after {rmse_after}");
     }
 
     #[test]

@@ -35,8 +35,7 @@ impl VertexProgram for Sssp {
         }
         // Propagate on the first superstep (source only — every other vertex
         // is at ∞ and sending ∞+w is pointless) or whenever we improved.
-        let should_send =
-            (ctx.superstep() == 0 && ctx.value().is_finite()) || improved;
+        let should_send = (ctx.superstep() == 0 && ctx.value().is_finite()) || improved;
         if should_send {
             let d = *ctx.value();
             let sends: Vec<(VertexId, f64)> =

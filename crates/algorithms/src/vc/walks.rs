@@ -34,8 +34,7 @@ impl VertexProgram for RandomWalkWithRestart {
     fn compute(&self, ctx: &mut dyn VertexContext<f64, f64>, messages: &[f64]) {
         if ctx.superstep() > 0 {
             let incoming: f64 = messages.iter().sum();
-            let restart_mass =
-                if ctx.vertex_id() == self.source { self.restart } else { 0.0 };
+            let restart_mass = if ctx.vertex_id() == self.source { self.restart } else { 0.0 };
             ctx.set_value((1.0 - self.restart) * incoming + restart_mass);
         }
         if ctx.superstep() < self.iterations {
@@ -76,8 +75,7 @@ mod tests {
     fn proximity_decays_with_distance() {
         // Chain 0 → 1 → 2 → 3.
         let g = EdgeList::from_pairs([(0, 1), (1, 2), (2, 3)]);
-        let (values, _) =
-            GiraphEngine::default().run(&g, &RandomWalkWithRestart::new(0, 30));
+        let (values, _) = GiraphEngine::default().run(&g, &RandomWalkWithRestart::new(0, 30));
         assert!(values[0] > values[1]);
         assert!(values[1] > values[2]);
         assert!(values[2] > values[3]);
@@ -87,8 +85,7 @@ mod tests {
     #[test]
     fn source_gets_restart_mass() {
         let g = EdgeList::from_pairs([(0, 1), (1, 0)]);
-        let (values, _) =
-            GiraphEngine::default().run(&g, &RandomWalkWithRestart::new(0, 50));
+        let (values, _) = GiraphEngine::default().run(&g, &RandomWalkWithRestart::new(0, 50));
         assert!(values[0] > values[1]);
         assert!(values[0] >= 0.15);
     }
@@ -96,8 +93,7 @@ mod tests {
     #[test]
     fn unreachable_vertices_score_zero() {
         let g = EdgeList::from_pairs([(0, 1), (2, 3)]);
-        let (values, _) =
-            GiraphEngine::default().run(&g, &RandomWalkWithRestart::new(0, 10));
+        let (values, _) = GiraphEngine::default().run(&g, &RandomWalkWithRestart::new(0, 10));
         assert_eq!(values[2], 0.0);
         assert_eq!(values[3], 0.0);
     }

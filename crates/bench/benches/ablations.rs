@@ -21,9 +21,7 @@ fn bench_input_assembly(c: &mut Criterion) {
     let graph = figure2_dataset("twitter", &micro_cfg());
     let mut group = c.benchmark_group("ablation_input_assembly");
     group.sample_size(10);
-    for (label, mode) in
-        [("union", InputMode::TableUnion), ("join", InputMode::ThreeWayJoin)]
-    {
+    for (label, mode) in [("union", InputMode::TableUnion), ("join", InputMode::ThreeWayJoin)] {
         group.bench_function(BenchmarkId::new("pagerank5", label), |b| {
             b.iter(|| {
                 let session = fresh_session(&graph);
@@ -40,18 +38,13 @@ fn bench_batching(c: &mut Criterion) {
     let mut group = c.benchmark_group("ablation_batching");
     group.sample_size(10);
     for partitions in [1usize, 8, 64, 512] {
-        group.bench_with_input(
-            BenchmarkId::new("pagerank5", partitions),
-            &partitions,
-            |b, &p| {
-                b.iter(|| {
-                    let session = fresh_session(&graph);
-                    let config = VertexicaConfig::default().with_partitions(p);
-                    run_program(&session, Arc::new(PageRank::new(5, 0.85)), &config)
-                        .unwrap()
-                })
-            },
-        );
+        group.bench_with_input(BenchmarkId::new("pagerank5", partitions), &partitions, |b, &p| {
+            b.iter(|| {
+                let session = fresh_session(&graph);
+                let config = VertexicaConfig::default().with_partitions(p);
+                run_program(&session, Arc::new(PageRank::new(5, 0.85)), &config).unwrap()
+            })
+        });
     }
     group.finish();
 }
@@ -90,11 +83,30 @@ fn bench_combiner(c: &mut Criterion) {
     group.finish();
 }
 
+fn bench_pool_size(c: &mut Criterion) {
+    // Pool-size ablation hook: one persistent session, the shared runtime
+    // pool resized in place between measurements, so the sweep isolates the
+    // runtime's scaling from graph-reload cost.
+    let graph = figure2_dataset("twitter", &micro_cfg());
+    let session = fresh_session(&graph);
+    let mut group = c.benchmark_group("ablation_pool_size");
+    group.sample_size(10);
+    for pool_size in [1usize, 2, 4, 8] {
+        group.bench_with_input(BenchmarkId::new("pagerank5", pool_size), &pool_size, |b, &n| {
+            // run_program resizes the session's shared pool to num_workers.
+            let config = VertexicaConfig::default().with_workers(n);
+            b.iter(|| run_program(&session, Arc::new(PageRank::new(5, 0.85)), &config).unwrap())
+        });
+    }
+    group.finish();
+}
+
 criterion_group!(
     benches,
     bench_input_assembly,
     bench_batching,
     bench_update_vs_replace,
-    bench_combiner
+    bench_combiner,
+    bench_pool_size
 );
 criterion_main!(benches);

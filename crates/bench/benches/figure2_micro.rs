@@ -4,12 +4,12 @@
 
 use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion};
 use std::time::Duration;
-use vertexica_bench::{
-    fresh_session, run_giraph, run_graphdb, run_vertexica_sql, run_vertexica_vertex,
-    HarnessConfig, Workload,
-};
-use vertexica_bench::figure2_dataset;
 use vertexica::VertexicaConfig;
+use vertexica_bench::figure2_dataset;
+use vertexica_bench::{
+    fresh_session, run_giraph, run_graphdb, run_vertexica_sql, run_vertexica_vertex, HarnessConfig,
+    Workload,
+};
 
 fn micro_cfg() -> HarnessConfig {
     HarnessConfig {

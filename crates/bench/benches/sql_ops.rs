@@ -6,8 +6,10 @@ use vertexica_sql::Database;
 
 fn db_with_graph(edges: usize) -> Database {
     let db = Database::new();
-    db.execute("CREATE TABLE edge (src BIGINT NOT NULL, dst BIGINT NOT NULL, weight FLOAT) ORDER BY src")
-        .unwrap();
+    db.execute(
+        "CREATE TABLE edge (src BIGINT NOT NULL, dst BIGINT NOT NULL, weight FLOAT) ORDER BY src",
+    )
+    .unwrap();
     db.execute("CREATE TABLE vertex (id BIGINT NOT NULL, value FLOAT) ORDER BY id").unwrap();
     // Bulk insert via multi-row VALUES in chunks.
     let n_vertices = (edges / 8).max(16);
@@ -43,19 +45,14 @@ fn bench_sql_operators(c: &mut Criterion) {
 
     group.bench_function("filter_scan", |b| {
         b.iter(|| {
-            std::hint::black_box(
-                db.query_int("SELECT COUNT(*) FROM edge WHERE src < 100").unwrap(),
-            )
+            std::hint::black_box(db.query_int("SELECT COUNT(*) FROM edge WHERE src < 100").unwrap())
         })
     });
 
     group.bench_function("hash_join", |b| {
         b.iter(|| {
             std::hint::black_box(
-                db.query_int(
-                    "SELECT COUNT(*) FROM edge e JOIN vertex v ON e.src = v.id",
-                )
-                .unwrap(),
+                db.query_int("SELECT COUNT(*) FROM edge e JOIN vertex v ON e.src = v.id").unwrap(),
             )
         })
     });
@@ -63,9 +60,7 @@ fn bench_sql_operators(c: &mut Criterion) {
     group.bench_function("group_by_aggregate", |b| {
         b.iter(|| {
             std::hint::black_box(
-                db.query("SELECT src, COUNT(*), SUM(weight) FROM edge GROUP BY src")
-                    .unwrap()
-                    .len(),
+                db.query("SELECT src, COUNT(*), SUM(weight) FROM edge GROUP BY src").unwrap().len(),
             )
         })
     });
@@ -88,9 +83,11 @@ fn bench_sql_operators(c: &mut Criterion) {
     group.bench_function("order_by_limit", |b| {
         b.iter(|| {
             std::hint::black_box(
-                db.query("SELECT src, COUNT(*) AS d FROM edge GROUP BY src ORDER BY d DESC LIMIT 10")
-                    .unwrap()
-                    .len(),
+                db.query(
+                    "SELECT src, COUNT(*) AS d FROM edge GROUP BY src ORDER BY d DESC LIMIT 10",
+                )
+                .unwrap()
+                .len(),
             )
         })
     });

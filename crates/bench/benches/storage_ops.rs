@@ -17,11 +17,8 @@ fn edge_schema() -> std::sync::Arc<Schema> {
 }
 
 fn build_table(rows: usize, compress: bool, sorted: bool) -> Table {
-    let opts = if sorted {
-        TableOptions::default().sorted_by(vec![0])
-    } else {
-        TableOptions::default()
-    };
+    let opts =
+        if sorted { TableOptions::default().sorted_by(vec![0]) } else { TableOptions::default() };
     let opts = if compress { opts.compressed() } else { opts };
     let mut t = Table::new("edge", edge_schema(), opts.with_moveout_threshold(rows + 1));
     let types = ["friend", "family", "classmate"];
@@ -62,12 +59,8 @@ fn bench_zone_map_pruning(c: &mut Criterion) {
         TableOptions::default().sorted_by(vec![0]).with_moveout_threshold(4096),
     );
     for i in 0..100_000usize {
-        t.insert_row(vec![
-            Value::Int(i as i64),
-            Value::Int((i % 997) as i64),
-            Value::Null,
-        ])
-        .unwrap();
+        t.insert_row(vec![Value::Int(i as i64), Value::Int((i % 997) as i64), Value::Null])
+            .unwrap();
     }
     t.moveout().unwrap();
     let selective = vec![ColumnPredicate::new(0, PredicateOp::Gt, Value::Int(95_000))];
@@ -116,9 +109,7 @@ fn bench_column_ops(c: &mut Criterion) {
         })
     });
     let indices: Vec<usize> = (0..50_000).map(|i| i * 2).collect();
-    group.bench_function("take_50k", |b| {
-        b.iter(|| std::hint::black_box(col.take(&indices).len()))
-    });
+    group.bench_function("take_50k", |b| b.iter(|| std::hint::black_box(col.take(&indices).len())));
     group.finish();
 }
 

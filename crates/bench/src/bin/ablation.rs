@@ -2,7 +2,7 @@
 //!
 //! ```text
 //! cargo run -p vertexica-bench --release --bin ablation -- \
-//!     [--exp union-vs-join|worker-scaling|batching|update-vs-replace|all]
+//!     [--exp union-vs-join|worker-scaling|batching|update-vs-replace|pool-size|all]
 //! ```
 
 use std::sync::Arc;
@@ -35,10 +35,9 @@ fn main() {
 
     if exp == "union-vs-join" || exp == "all" {
         println!("## §2.3 Table Unions: input assembly strategy (PageRank)");
-        for (label, mode) in [
-            ("table-union", InputMode::TableUnion),
-            ("3-way-join", InputMode::ThreeWayJoin),
-        ] {
+        for (label, mode) in
+            [("table-union", InputMode::TableUnion), ("3-way-join", InputMode::ThreeWayJoin)]
+        {
             let session = fresh_session(&graph);
             let config = VertexicaConfig::default().with_input_mode(mode);
             let sw = Stopwatch::start();
@@ -73,6 +72,26 @@ fn main() {
         println!();
     }
 
+    if exp == "pool-size" || exp == "all" {
+        println!("## Shared runtime: pool-size sweep on one persistent session");
+        println!("# Unlike worker-scaling, the session (and its Database pool) is");
+        println!("# created once and resized in place between runs, isolating the");
+        println!("# runtime's scaling from graph-reload cost.");
+        let session = fresh_session(&graph);
+        for pool_size in [1usize, 2, 4, 8, 16] {
+            // run_program resizes the session's shared pool to num_workers.
+            let config = VertexicaConfig::default().with_workers(pool_size);
+            let sw = Stopwatch::start();
+            run_program(&session, Arc::new(PageRank::new(5, 0.85)), &config).unwrap();
+            println!(
+                "pool={pool_size:<3} {:.3}s  (pool size now {})",
+                sw.elapsed_secs(),
+                session.db().worker_threads()
+            );
+        }
+        println!();
+    }
+
     if exp == "update-vs-replace" || exp == "all" {
         println!("## §2.3 Update vs Replace: threshold sweep");
         println!("# PageRank touches every vertex each superstep (dense updates);");
@@ -80,17 +99,14 @@ fn main() {
         for (wl, dense) in [("pagerank", true), ("sssp", false)] {
             for threshold in [0.0, 0.2, 0.5, 1.01] {
                 let session = fresh_session(&graph);
-                let config =
-                    VertexicaConfig::default().with_replace_threshold(threshold);
+                let config = VertexicaConfig::default().with_replace_threshold(threshold);
                 let sw = Stopwatch::start();
                 let stats = if dense {
-                    run_program(&session, Arc::new(PageRank::new(5, 0.85)), &config)
-                        .unwrap()
+                    run_program(&session, Arc::new(PageRank::new(5, 0.85)), &config).unwrap()
                 } else {
                     run_program(&session, Arc::new(Sssp::new(0)), &config).unwrap()
                 };
-                let replaced =
-                    stats.per_superstep.iter().filter(|s| s.replaced).count();
+                let replaced = stats.per_superstep.iter().filter(|s| s.replaced).count();
                 println!(
                     "{wl:<9} threshold={threshold:<5} {:.3}s  (replaced {}/{} supersteps)",
                     sw.elapsed_secs(),

@@ -25,42 +25,22 @@ fn main() {
 
     let sw = Stopwatch::start();
     let overlap = sqlalgo::strong_overlap_sql(&session, 3).unwrap();
-    println!(
-        "strong overlap (k=3)   {:.3}s  ({} pairs)",
-        sw.elapsed_secs(),
-        overlap.len()
-    );
+    println!("strong overlap (k=3)   {:.3}s  ({} pairs)", sw.elapsed_secs(), overlap.len());
 
     let sw = Stopwatch::start();
     let ties = sqlalgo::weak_ties_sql(&session).unwrap();
     let bridges = ties.iter().filter(|&&(_, c)| c > 0).count();
-    println!(
-        "weak ties              {:.3}s  ({} bridging nodes)",
-        sw.elapsed_secs(),
-        bridges
-    );
+    println!("weak ties              {:.3}s  ({} bridging nodes)", sw.elapsed_secs(), bridges);
 
     let sw = Stopwatch::start();
     let global = sqlalgo::global_clustering_sql(&session).unwrap();
-    println!(
-        "global clustering      {:.3}s  (coefficient {:.4})",
-        sw.elapsed_secs(),
-        global
-    );
+    println!("global clustering      {:.3}s  (coefficient {:.4})", sw.elapsed_secs(), global);
 
     let sw = Stopwatch::start();
     let important = hybrid::important_bridges(&session, 5, 0.0, 1).unwrap();
-    println!(
-        "important bridges      {:.3}s  ({} nodes)",
-        sw.elapsed_secs(),
-        important.len()
-    );
+    println!("important bridges      {:.3}s  ({} nodes)", sw.elapsed_secs(), important.len());
 
     let sw = Stopwatch::start();
     let (source, _) = hybrid::sssp_from_most_clustered(&session).unwrap();
-    println!(
-        "sssp from most-clustered {:.3}s (source {})",
-        sw.elapsed_secs(),
-        source
-    );
+    println!("sssp from most-clustered {:.3}s (source {})", sw.elapsed_secs(), source);
 }

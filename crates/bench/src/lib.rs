@@ -55,10 +55,8 @@ impl Default for HarnessConfig {
 
 impl HarnessConfig {
     pub fn from_env() -> Self {
-        let scale: f64 = std::env::var("VERTEXICA_SCALE")
-            .ok()
-            .and_then(|s| s.parse().ok())
-            .unwrap_or(0.01);
+        let scale: f64 =
+            std::env::var("VERTEXICA_SCALE").ok().and_then(|s| s.parse().ok()).unwrap_or(0.01);
         // Default budget scales with the datasets (the paper's runs lasted
         // minutes at full scale; a fixed budget would DNF everything or
         // nothing as scale varies).
@@ -230,14 +228,10 @@ pub fn run_vertexica_vertex(
 ) -> Measurement {
     let sw = Stopwatch::start();
     let result = match workload {
-        Workload::PageRank => run_program(
-            session,
-            Arc::new(PageRank::new(PR_ITERATIONS, DAMPING)),
-            config,
-        ),
-        Workload::ShortestPaths => {
-            run_program(session, Arc::new(Sssp::new(SSSP_SOURCE)), config)
+        Workload::PageRank => {
+            run_program(session, Arc::new(PageRank::new(PR_ITERATIONS, DAMPING)), config)
         }
+        Workload::ShortestPaths => run_program(session, Arc::new(Sssp::new(SSSP_SOURCE)), config),
     };
     match result {
         Ok(_) => Measurement::Seconds(sw.elapsed_secs()),
@@ -276,12 +270,8 @@ pub fn figure2_panel(workload: Workload, cfg: &HarnessConfig) -> Vec<Figure2Row>
     let mut rows = Vec::new();
     for name in figure2_dataset_names() {
         let graph = figure2_dataset(name, cfg);
-        let graphdb = run_graphdb_with_latency(
-            &graph,
-            workload,
-            cfg.dnf_budget,
-            cfg.graphdb_commit_latency,
-        );
+        let graphdb =
+            run_graphdb_with_latency(&graph, workload, cfg.dnf_budget, cfg.graphdb_commit_latency);
         let giraph = run_giraph(&graph, workload, cfg.scale);
         let session = fresh_session(&graph);
         // Paper-faithful configuration: the message table stores per-edge

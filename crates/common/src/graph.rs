@@ -43,15 +43,8 @@ impl EdgeList {
     /// Builds an edge list from `(src, dst)` pairs, inferring the vertex count
     /// as `max id + 1`.
     pub fn from_pairs(pairs: impl IntoIterator<Item = (VertexId, VertexId)>) -> Self {
-        let edges: Vec<Edge> = pairs
-            .into_iter()
-            .map(|(s, d)| Edge::new(s, d))
-            .collect();
-        let num_vertices = edges
-            .iter()
-            .map(|e| e.src.max(e.dst) + 1)
-            .max()
-            .unwrap_or(0);
+        let edges: Vec<Edge> = pairs.into_iter().map(|(s, d)| Edge::new(s, d)).collect();
+        let num_vertices = edges.iter().map(|e| e.src.max(e.dst) + 1).max().unwrap_or(0);
         EdgeList { num_vertices, edges }
     }
 
@@ -75,12 +68,8 @@ impl EdgeList {
     /// Removes duplicate `(src, dst)` pairs, keeping the first occurrence.
     pub fn dedup(&self) -> EdgeList {
         let mut seen: FxHashSet<(VertexId, VertexId)> = FxHashSet::default();
-        let edges: Vec<Edge> = self
-            .edges
-            .iter()
-            .filter(|e| seen.insert((e.src, e.dst)))
-            .copied()
-            .collect();
+        let edges: Vec<Edge> =
+            self.edges.iter().filter(|e| seen.insert((e.src, e.dst))).copied().collect();
         EdgeList { num_vertices: self.num_vertices, edges }
     }
 
@@ -222,10 +211,7 @@ mod tests {
 
     #[test]
     fn csr_preserves_weights() {
-        let g = EdgeList::new(
-            2,
-            vec![Edge::weighted(0, 1, 2.5), Edge::weighted(1, 0, 0.5)],
-        );
+        let g = EdgeList::new(2, vec![Edge::weighted(0, 1, 2.5), Edge::weighted(1, 0, 0.5)]);
         let adj = Adjacency::from_edge_list(&g);
         assert_eq!(adj.neighbor_weights(0), &[2.5]);
         assert_eq!(adj.neighbor_weights(1), &[0.5]);

@@ -17,11 +17,11 @@ pub mod codec;
 pub mod graph;
 pub mod hash;
 pub mod pregel;
+pub mod runtime;
 pub mod timer;
 
 pub use codec::VertexData;
 pub use graph::{Adjacency, Edge, EdgeList, VertexId};
 pub use hash::{FxHashMap, FxHashSet};
-pub use pregel::{
-    AggKind, AggregatorSpec, InitContext, VertexContext, VertexProgram,
-};
+pub use pregel::{AggKind, AggregatorSpec, InitContext, VertexContext, VertexProgram};
+pub use runtime::WorkerPool;

@@ -1,0 +1,432 @@
+//! Shared parallel runtime: a persistent, size-configurable worker pool with
+//! scoped task submission.
+//!
+//! Vertexica's paper workload is superstep-structured: every superstep fans
+//! out one worker-UDF invocation per vertex partition and joins at a barrier
+//! (§2.2). The seed implementation spawned a fresh `crossbeam::thread::scope`
+//! per superstep inside the SQL layer, paying thread start-up cost on the
+//! hottest path and leaving the SQL engine and the coordinator with no shared
+//! notion of parallelism. [`WorkerPool`] replaces that: threads are spawned
+//! once, owned by the `Database`, reused across supersteps, resized on
+//! demand, and shared by every layer (SQL transform execution, the
+//! coordinator's superstep loop, and the BSP baseline engine).
+//!
+//! Design notes:
+//!
+//! * **Scoped submission.** [`WorkerPool::scope`] allows tasks to borrow from
+//!   the caller's stack, like `std::thread::scope`, but runs them on the
+//!   persistent pool. The scope does not return until every task submitted
+//!   in it has finished, which is what makes the lifetime erasure sound.
+//! * **Panic propagation.** A panicking task does not take down the worker
+//!   thread; the first panic payload is captured and re-thrown from
+//!   `scope()` on the submitting thread.
+//! * **Sequential fallback.** A pool of size 1 (or a single-item
+//!   [`WorkerPool::map_indexed`]) executes inline on the calling thread, so
+//!   `worker_threads = 1` is genuinely sequential and nested use cannot
+//!   deadlock.
+//! * **No nesting.** Calling `scope` *from inside a pool task* is not
+//!   supported (tasks would queue behind their own scope); all engine call
+//!   sites submit from coordinator/user threads.
+
+use std::collections::VecDeque;
+use std::panic::{catch_unwind, resume_unwind, AssertUnwindSafe};
+use std::sync::atomic::{AtomicUsize, Ordering};
+use std::sync::{Arc, Condvar, Mutex};
+use std::thread::JoinHandle;
+
+type Job = Box<dyn FnOnce() + Send + 'static>;
+
+enum Message {
+    Run(Job),
+    Exit,
+}
+
+struct PoolShared {
+    queue: Mutex<VecDeque<Message>>,
+    available: Condvar,
+}
+
+impl PoolShared {
+    fn push(&self, msg: Message) {
+        self.queue.lock().unwrap().push_back(msg);
+        self.available.notify_one();
+    }
+
+    fn pop(&self) -> Message {
+        let mut queue = self.queue.lock().unwrap();
+        loop {
+            if let Some(msg) = queue.pop_front() {
+                return msg;
+            }
+            queue = self.available.wait(queue).unwrap();
+        }
+    }
+}
+
+/// A persistent pool of worker threads with scoped task submission.
+pub struct WorkerPool {
+    shared: Arc<PoolShared>,
+    /// Desired number of workers; the source of truth for [`size`](Self::size).
+    target: AtomicUsize,
+    handles: Mutex<Vec<JoinHandle<()>>>,
+}
+
+impl std::fmt::Debug for WorkerPool {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        f.debug_struct("WorkerPool").field("size", &self.size()).finish()
+    }
+}
+
+impl WorkerPool {
+    /// Creates a pool with `size` workers (clamped to at least 1).
+    pub fn new(size: usize) -> Self {
+        let pool = WorkerPool {
+            shared: Arc::new(PoolShared {
+                queue: Mutex::new(VecDeque::new()),
+                available: Condvar::new(),
+            }),
+            target: AtomicUsize::new(0),
+            handles: Mutex::new(Vec::new()),
+        };
+        pool.resize(size);
+        pool
+    }
+
+    /// A pool sized to the machine's core count.
+    pub fn with_default_size() -> Self {
+        Self::new(default_parallelism())
+    }
+
+    /// The configured number of workers.
+    pub fn size(&self) -> usize {
+        self.target.load(Ordering::SeqCst)
+    }
+
+    /// Grows or shrinks the pool to `size` workers (clamped to at least 1).
+    /// Pending tasks are never dropped; shrinking takes effect once the
+    /// excess workers drain the queue to an exit marker.
+    pub fn resize(&self, size: usize) {
+        let size = size.max(1);
+        let mut handles = self.handles.lock().unwrap();
+        // Opportunistically reap workers that already exited from a shrink.
+        handles.retain(|h| !h.is_finished());
+        let current = self.target.swap(size, Ordering::SeqCst);
+        if size > current {
+            for _ in current..size {
+                let shared = self.shared.clone();
+                handles.push(
+                    std::thread::Builder::new()
+                        .name("vertexica-worker".into())
+                        .spawn(move || worker_loop(shared))
+                        .expect("spawn pool worker"),
+                );
+            }
+        } else {
+            for _ in size..current {
+                self.shared.push(Message::Exit);
+            }
+        }
+    }
+
+    /// Runs `f` with a [`Scope`] through which tasks borrowing from the
+    /// enclosing environment can be submitted to the pool. Returns only after
+    /// every submitted task has completed. If any task panicked, the first
+    /// panic is re-thrown here.
+    pub fn scope<'env, F, R>(&self, f: F) -> R
+    where
+        F: for<'scope> FnOnce(&Scope<'scope, 'env>) -> R,
+    {
+        let state = Arc::new(ScopeState {
+            pending: Mutex::new(0),
+            all_done: Condvar::new(),
+            panic: Mutex::new(None),
+        });
+        let scope = Scope { pool: self, state: state.clone(), _env: std::marker::PhantomData };
+        let result = catch_unwind(AssertUnwindSafe(|| f(&scope)));
+        // The barrier below is what makes `spawn`'s lifetime erasure sound:
+        // no borrow handed to a task outlives this function's frame.
+        state.wait_all();
+        match result {
+            Err(payload) => resume_unwind(payload),
+            Ok(value) => {
+                if let Some(payload) = state.panic.lock().unwrap().take() {
+                    resume_unwind(payload);
+                }
+                value
+            }
+        }
+    }
+
+    /// Applies `f` to every item on the pool, returning results **in input
+    /// order**. Single-item or single-worker calls run inline on the calling
+    /// thread (sequential fallback).
+    pub fn map_indexed<T, R, F>(&self, items: Vec<T>, f: F) -> Vec<R>
+    where
+        T: Send,
+        R: Send,
+        F: Fn(usize, T) -> R + Sync,
+    {
+        if items.len() <= 1 || self.size() <= 1 {
+            return items.into_iter().enumerate().map(|(i, item)| f(i, item)).collect();
+        }
+        let n = items.len();
+        let slots: Vec<Mutex<Option<R>>> = (0..n).map(|_| Mutex::new(None)).collect();
+        self.scope(|scope| {
+            for (i, item) in items.into_iter().enumerate() {
+                let f = &f;
+                let slots = &slots;
+                scope.spawn(move || {
+                    *slots[i].lock().unwrap() = Some(f(i, item));
+                });
+            }
+        });
+        slots
+            .into_iter()
+            .map(|slot| slot.into_inner().unwrap().expect("pool task completed"))
+            .collect()
+    }
+}
+
+impl Drop for WorkerPool {
+    fn drop(&mut self) {
+        let mut handles = self.handles.lock().unwrap();
+        for _ in 0..handles.len() {
+            self.shared.push(Message::Exit);
+        }
+        for handle in handles.drain(..) {
+            let _ = handle.join();
+        }
+    }
+}
+
+fn worker_loop(shared: Arc<PoolShared>) {
+    while let Message::Run(job) = shared.pop() {
+        job();
+    }
+}
+
+struct ScopeState {
+    pending: Mutex<usize>,
+    all_done: Condvar,
+    panic: Mutex<Option<Box<dyn std::any::Any + Send>>>,
+}
+
+impl ScopeState {
+    fn task_started(&self) {
+        *self.pending.lock().unwrap() += 1;
+    }
+
+    fn task_finished(&self) {
+        let mut pending = self.pending.lock().unwrap();
+        *pending -= 1;
+        if *pending == 0 {
+            self.all_done.notify_all();
+        }
+    }
+
+    fn wait_all(&self) {
+        let mut pending = self.pending.lock().unwrap();
+        while *pending > 0 {
+            pending = self.all_done.wait(pending).unwrap();
+        }
+    }
+}
+
+/// Handle for submitting borrowing tasks to the pool within a
+/// [`WorkerPool::scope`] call.
+pub struct Scope<'scope, 'env: 'scope> {
+    pool: &'scope WorkerPool,
+    state: Arc<ScopeState>,
+    /// Invariant over `'env`, like `std::thread::Scope`.
+    _env: std::marker::PhantomData<&'scope mut &'env ()>,
+}
+
+impl<'scope, 'env> Scope<'scope, 'env> {
+    /// Submits a task that may borrow from the environment enclosing the
+    /// scope. The task runs on a pool worker; panics are captured and
+    /// re-thrown from the enclosing `scope()` call.
+    pub fn spawn<F>(&self, task: F)
+    where
+        F: FnOnce() + Send + 'env,
+    {
+        self.state.task_started();
+        let state = self.state.clone();
+        let job: Box<dyn FnOnce() + Send + 'env> = Box::new(move || {
+            let result = catch_unwind(AssertUnwindSafe(task));
+            if let Err(payload) = result {
+                let mut slot = state.panic.lock().unwrap();
+                if slot.is_none() {
+                    *slot = Some(payload);
+                }
+            }
+            state.task_finished();
+        });
+        // SAFETY: `scope()` blocks until `pending` reaches zero before
+        // returning (even when the scope body panics), so every borrow
+        // captured by `job` is live until after the job completes. The
+        // transmute only erases the `'env` lifetime to `'static`.
+        let job: Job = unsafe { std::mem::transmute::<Box<dyn FnOnce() + Send + 'env>, Job>(job) };
+        self.pool.shared.push(Message::Run(job));
+    }
+}
+
+/// The machine's available parallelism, with a sane fallback.
+pub fn default_parallelism() -> usize {
+    std::thread::available_parallelism().map(|n| n.get()).unwrap_or(4)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use std::collections::HashSet;
+    use std::sync::atomic::AtomicU64;
+    use std::thread::ThreadId;
+
+    #[test]
+    fn executes_all_tasks() {
+        let pool = WorkerPool::new(4);
+        let counter = AtomicU64::new(0);
+        pool.scope(|s| {
+            for _ in 0..100 {
+                s.spawn(|| {
+                    counter.fetch_add(1, Ordering::SeqCst);
+                });
+            }
+        });
+        assert_eq!(counter.load(Ordering::SeqCst), 100);
+    }
+
+    #[test]
+    fn tasks_borrow_from_stack() {
+        let pool = WorkerPool::new(2);
+        let data = vec![1u64, 2, 3, 4];
+        let sums: Vec<Mutex<u64>> = (0..4).map(|_| Mutex::new(0)).collect();
+        pool.scope(|s| {
+            for (i, slot) in sums.iter().enumerate() {
+                let data = &data;
+                s.spawn(move || {
+                    *slot.lock().unwrap() = data[i] * 10;
+                });
+            }
+        });
+        let total: u64 = sums.iter().map(|m| *m.lock().unwrap()).sum();
+        assert_eq!(total, 100);
+    }
+
+    #[test]
+    fn pool_threads_are_reused_across_scopes() {
+        // The defining property of the refactor: consecutive supersteps
+        // (scopes) run on the same persistent threads, not fresh spawns.
+        let pool = WorkerPool::new(3);
+        let observe = |pool: &WorkerPool| -> HashSet<ThreadId> {
+            let ids = Mutex::new(HashSet::new());
+            pool.scope(|s| {
+                for _ in 0..32 {
+                    let ids = &ids;
+                    s.spawn(move || {
+                        ids.lock().unwrap().insert(std::thread::current().id());
+                        // Brief yield so multiple workers participate.
+                        std::thread::yield_now();
+                    });
+                }
+            });
+            ids.into_inner().unwrap()
+        };
+        let first = observe(&pool);
+        let second = observe(&pool);
+        assert!(!first.is_empty());
+        assert!(
+            second.is_subset(&first),
+            "scope 2 ran on threads outside the persistent pool: {second:?} vs {first:?}"
+        );
+    }
+
+    #[test]
+    fn panic_in_task_propagates_to_scope_caller() {
+        let pool = WorkerPool::new(2);
+        let result = catch_unwind(AssertUnwindSafe(|| {
+            pool.scope(|s| {
+                s.spawn(|| panic!("boom from worker"));
+                s.spawn(|| { /* healthy sibling task */ });
+            });
+        }));
+        let payload = result.expect_err("scope should rethrow the task panic");
+        let msg = payload
+            .downcast_ref::<&str>()
+            .copied()
+            .unwrap_or_else(|| payload.downcast_ref::<String>().unwrap().as_str());
+        assert!(msg.contains("boom from worker"));
+        // The pool survives the panic and keeps executing.
+        let counter = AtomicU64::new(0);
+        pool.scope(|s| {
+            s.spawn(|| {
+                counter.fetch_add(1, Ordering::SeqCst);
+            });
+        });
+        assert_eq!(counter.load(Ordering::SeqCst), 1);
+    }
+
+    #[test]
+    fn map_indexed_preserves_input_order() {
+        let pool = WorkerPool::new(4);
+        let items: Vec<usize> = (0..64).rev().collect();
+        let out = pool.map_indexed(items.clone(), |_, x| x * 2);
+        assert_eq!(out, items.iter().map(|x| x * 2).collect::<Vec<_>>());
+    }
+
+    #[test]
+    fn size_one_pool_runs_inline_and_sequential() {
+        let pool = WorkerPool::new(1);
+        assert_eq!(pool.size(), 1);
+        let caller = std::thread::current().id();
+        let out = pool.map_indexed(vec![1, 2, 3], |i, x| {
+            assert_eq!(std::thread::current().id(), caller, "sequential fallback must run inline");
+            i + x
+        });
+        assert_eq!(out, vec![1, 3, 5]);
+    }
+
+    #[test]
+    fn resize_grows_and_shrinks() {
+        let pool = WorkerPool::new(1);
+        pool.resize(4);
+        assert_eq!(pool.size(), 4);
+        let counter = AtomicU64::new(0);
+        pool.scope(|s| {
+            for _ in 0..16 {
+                s.spawn(|| {
+                    counter.fetch_add(1, Ordering::SeqCst);
+                });
+            }
+        });
+        assert_eq!(counter.load(Ordering::SeqCst), 16);
+        pool.resize(0); // clamps to 1
+        assert_eq!(pool.size(), 1);
+        pool.scope(|s| {
+            s.spawn(|| {
+                counter.fetch_add(1, Ordering::SeqCst);
+            });
+        });
+        assert_eq!(counter.load(Ordering::SeqCst), 17);
+    }
+
+    #[test]
+    fn scope_body_panic_still_joins_tasks() {
+        let pool = WorkerPool::new(2);
+        let finished = Arc::new(AtomicU64::new(0));
+        let finished2 = finished.clone();
+        let result = catch_unwind(AssertUnwindSafe(|| {
+            pool.scope(|s| {
+                let finished = finished2.clone();
+                s.spawn(move || {
+                    std::thread::sleep(std::time::Duration::from_millis(20));
+                    finished.fetch_add(1, Ordering::SeqCst);
+                });
+                panic!("scope body panic");
+            });
+        }));
+        assert!(result.is_err());
+        // The spawned task must have completed before scope unwound.
+        assert_eq!(finished.load(Ordering::SeqCst), 1);
+    }
+}

@@ -45,11 +45,8 @@ pub fn apply_outputs<P: VertexProgram>(
     let mut updates: Vec<(i64, Vec<u8>, bool)> = Vec::new();
     let mut messages: Vec<(u64, u64, Vec<u8>)> = Vec::new();
     let mut agg: FxHashMap<String, (AggKind, f64)> = FxHashMap::default();
-    let agg_specs: FxHashMap<String, AggKind> = program
-        .aggregators()
-        .into_iter()
-        .map(|s| (s.name.to_string(), s.kind))
-        .collect();
+    let agg_specs: FxHashMap<String, AggKind> =
+        program.aggregators().into_iter().map(|s| (s.name.to_string(), s.kind)).collect();
 
     for batch in &outputs {
         for i in 0..batch.num_rows() {
@@ -80,9 +77,7 @@ pub fn apply_outputs<P: VertexProgram>(
                     };
                     let v = row[6].as_float().unwrap_or(0.0);
                     let Some(kind) = agg_specs.get(&name).copied() else {
-                        return Err(VertexicaError::Runtime(format!(
-                            "unknown aggregator {name}"
-                        )));
+                        return Err(VertexicaError::Runtime(format!("unknown aggregator {name}")));
                     };
                     let entry = agg.entry(name).or_insert((kind, kind.identity()));
                     entry.1 = kind.combine(entry.1, v);
@@ -129,11 +124,8 @@ pub fn apply_outputs<P: VertexProgram>(
     replace_messages(session, &messages)?;
 
     // ---- vertices: update vs replace ----
-    let change_ratio = if total_vertices == 0 {
-        0.0
-    } else {
-        updates.len() as f64 / total_vertices as f64
-    };
+    let change_ratio =
+        if total_vertices == 0 { 0.0 } else { updates.len() as f64 / total_vertices as f64 };
     let replaced = !updates.is_empty() && change_ratio >= config.replace_threshold;
     let vertex_changes = updates.len();
     if replaced {
@@ -229,11 +221,11 @@ fn update_vertices_in_place(
     let mut dml: Vec<(u64, Vec<Value>)> = Vec::with_capacity(updates.len());
     for (batch, rowids) in scans {
         let ids = batch.column(0);
-        for i in 0..batch.num_rows() {
+        for (i, &rowid) in rowids.iter().enumerate().take(batch.num_rows()) {
             let id = ids.value(i).as_int().unwrap_or(i64::MIN);
             if let Some((bytes, halted)) = by_id.get(&id) {
                 dml.push((
-                    rowids[i],
+                    rowid,
                     vec![Value::Int(id), Value::Blob((*bytes).clone()), Value::Bool(*halted)],
                 ));
             }
@@ -347,17 +339,11 @@ mod tests {
         let out = out_batch(vec![msg_row(2, 0, 4.5), msg_row(3, 1, 5.5)]);
         let outcome = apply_outputs(&g, &Noop, &cfg, vec![out], 4).unwrap();
         assert_eq!(outcome.messages, 2);
-        let n = g
-            .db()
-            .query_int(&format!("SELECT COUNT(*) FROM {}", g.message_table()))
-            .unwrap();
+        let n = g.db().query_int(&format!("SELECT COUNT(*) FROM {}", g.message_table())).unwrap();
         assert_eq!(n, 2);
         let stale_left = g
             .db()
-            .query_int(&format!(
-                "SELECT COUNT(*) FROM {} WHERE sender = 9",
-                g.message_table()
-            ))
+            .query_int(&format!("SELECT COUNT(*) FROM {} WHERE sender = 9", g.message_table()))
             .unwrap();
         assert_eq!(stale_left, 0);
     }
@@ -371,10 +357,7 @@ mod tests {
         let out2 = out_batch(vec![msg_row(2, 1, 2.0)]);
         let outcome = apply_outputs(&g, &Noop, &cfg, vec![out1, out2], 4).unwrap();
         assert_eq!(outcome.messages, 1);
-        let rows = g
-            .db()
-            .query(&format!("SELECT value FROM {}", g.message_table()))
-            .unwrap();
+        let rows = g.db().query(&format!("SELECT value FROM {}", g.message_table())).unwrap();
         assert_eq!(rows[0][0], Value::Blob(3.0f64.to_bytes()));
     }
 

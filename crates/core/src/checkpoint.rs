@@ -72,8 +72,8 @@ pub fn restore(session: &GraphSession, dir: impl AsRef<Path>) -> VertexicaResult
             }
         }
     }
-    let superstep = superstep
-        .ok_or_else(|| VertexicaError::Checkpoint("meta.txt missing superstep".into()))?;
+    let superstep =
+        superstep.ok_or_else(|| VertexicaError::Checkpoint("meta.txt missing superstep".into()))?;
 
     for table_name in [session.vertex_table(), session.message_table()] {
         let restored = persist::read_table(dir.join(format!("{table_name}.vxtb")))?;

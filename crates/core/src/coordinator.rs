@@ -6,8 +6,10 @@
 //!
 //! 1. assemble worker input ([`crate::input`], union or join mode);
 //! 2. hash-partition it on vertex id (vertex batching);
-//! 3. run worker UDFs in parallel, one per partition, on a pool of
-//!    `num_workers` threads;
+//! 3. run worker UDFs in parallel, one per partition, on the **shared
+//!    runtime pool** ([`vertexica_common::runtime::WorkerPool`]) owned by
+//!    the `Database` — the same persistent threads every superstep, resized
+//!    once per run to `num_workers`;
 //! 4. apply outputs via update-vs-replace ([`crate::apply`]);
 //! 5. synchronization barrier, aggregator exchange, halt check.
 
@@ -69,11 +71,9 @@ pub fn initialize_vertices<P: VertexProgram>(
         values.push(Value::Blob(v.to_bytes())).map_err(VertexicaError::from)?;
         halted.push(Value::Bool(false)).map_err(VertexicaError::from)?;
     }
-    let batch = RecordBatch::new(
-        vertex_schema(),
-        vec![ids.finish(), values.finish(), halted.finish()],
-    )
-    .map_err(VertexicaError::from)?;
+    let batch =
+        RecordBatch::new(vertex_schema(), vec![ids.finish(), values.finish(), halted.finish()])
+            .map_err(VertexicaError::from)?;
 
     let vertex = session.db().catalog().get(&session.vertex_table())?;
     {
@@ -93,7 +93,9 @@ pub fn run_program<P: VertexProgram + 'static>(
     config: &VertexicaConfig,
 ) -> VertexicaResult<RunStats> {
     let total = Stopwatch::start();
-    session.db().set_worker_threads(config.num_workers);
+    // Size the shared runtime pool once for the whole run; every superstep
+    // reuses the same worker threads.
+    session.db().runtime().resize(config.num_workers);
     let num_vertices = initialize_vertices(session, program.as_ref())?;
     let stats = superstep_loop(session, program, config, num_vertices, 0, FxHashMap::default())?;
     let mut stats = stats;
@@ -113,7 +115,7 @@ pub fn resume_program<P: VertexProgram + 'static>(
         .as_ref()
         .ok_or_else(|| VertexicaError::Checkpoint("no checkpoint_dir configured".into()))?;
     let total = Stopwatch::start();
-    session.db().set_worker_threads(config.num_workers);
+    session.db().runtime().resize(config.num_workers);
     let state = crate::checkpoint::restore(session, dir)?;
     let num_vertices = session.num_vertices()?;
     let mut stats = superstep_loop(
@@ -147,10 +149,9 @@ fn superstep_loop<P: VertexProgram + 'static>(
         // Termination: after superstep 0, stop when no messages are pending
         // and every vertex has halted.
         if superstep > start_superstep || start_superstep > 0 {
-            let pending = session.db().query_int(&format!(
-                "SELECT COUNT(*) FROM {}",
-                session.message_table()
-            ))?;
+            let pending = session
+                .db()
+                .query_int(&format!("SELECT COUNT(*) FROM {}", session.message_table()))?;
             let active = session.db().query_int(&format!(
                 "SELECT COUNT(*) FROM {} WHERE halted = FALSE",
                 session.vertex_table()
@@ -186,8 +187,7 @@ fn superstep_loop<P: VertexProgram + 'static>(
 
         // 4. Apply (update-vs-replace) + barrier.
         let sw = Stopwatch::start();
-        let outcome =
-            apply_outputs(session, program.as_ref(), config, outputs, num_vertices)?;
+        let outcome = apply_outputs(session, program.as_ref(), config, outputs, num_vertices)?;
         let apply_secs = sw.elapsed_secs();
 
         prev_aggregates = outcome.aggregates.clone();
@@ -206,7 +206,7 @@ fn superstep_loop<P: VertexProgram + 'static>(
 
         // 5. Checkpoint if configured.
         if let (Some(every), Some(dir)) = (config.checkpoint_every, &config.checkpoint_dir) {
-            if (superstep + 1) % every == 0 {
+            if (superstep + 1).is_multiple_of(every) {
                 crate::checkpoint::save(session, dir, superstep, &prev_aggregates)?;
             }
         }
@@ -306,9 +306,7 @@ mod tests {
 
     #[test]
     fn join_input_mode_same_answer() {
-        let vals = run_maxid(
-            VertexicaConfig::default().with_input_mode(InputMode::ThreeWayJoin),
-        );
+        let vals = run_maxid(VertexicaConfig::default().with_input_mode(InputMode::ThreeWayJoin));
         assert_eq!(vals, vec![(0, 2), (1, 2), (2, 2), (3, 4), (4, 4)]);
     }
 
@@ -330,12 +328,9 @@ mod tests {
         let db = Arc::new(Database::new());
         let g = GraphSession::create(db, "g").unwrap();
         g.load_edges(&two_components()).unwrap();
-        let stats = run_program(
-            &g,
-            Arc::new(MaxId),
-            &VertexicaConfig::default().with_max_supersteps(1),
-        )
-        .unwrap();
+        let stats =
+            run_program(&g, Arc::new(MaxId), &VertexicaConfig::default().with_max_supersteps(1))
+                .unwrap();
         assert_eq!(stats.supersteps, 1);
     }
 
@@ -355,6 +350,21 @@ mod tests {
         assert!(stats.per_superstep[0].messages > 0);
         // Final superstep emits nothing.
         assert_eq!(stats.per_superstep.last().unwrap().messages, 0);
+    }
+
+    #[test]
+    fn coordinator_shares_the_database_pool() {
+        let db = Arc::new(Database::new());
+        let pool = db.runtime().clone();
+        let g = GraphSession::create(db.clone(), "g").unwrap();
+        g.load_edges(&two_components()).unwrap();
+        run_program(&g, Arc::new(MaxId), &VertexicaConfig::default().with_workers(3)).unwrap();
+        // The run resized the *shared* pool rather than creating its own…
+        assert_eq!(pool.size(), 3);
+        assert!(Arc::ptr_eq(&pool, db.runtime()));
+        // …and a second run on the same database reuses it at a new size.
+        run_program(&g, Arc::new(MaxId), &VertexicaConfig::default().with_workers(2)).unwrap();
+        assert_eq!(pool.size(), 2);
     }
 
     #[test]

@@ -100,9 +100,9 @@ fn assemble_join(session: &GraphSession) -> VertexicaResult<Vec<RecordBatch>> {
     for batch in &batches {
         for i in 0..batch.num_rows() {
             let r = batch.row(i);
-            let vid = r[0].as_int().ok_or_else(|| {
-                VertexicaError::Runtime("join input: vertex id is null".into())
-            })?;
+            let vid = r[0]
+                .as_int()
+                .ok_or_else(|| VertexicaError::Runtime("join input: vertex id is null".into()))?;
             if seen_vertex.insert(vid) {
                 rows.push(vec![
                     Value::Int(vid),
@@ -189,11 +189,7 @@ mod tests {
         let union = assemble(&g, InputMode::TableUnion).unwrap();
         let join = assemble(&g, InputMode::ThreeWayJoin).unwrap();
         for kind in [KIND_VERTEX, KIND_EDGE, KIND_MESSAGE] {
-            assert_eq!(
-                count_kind(&union, kind),
-                count_kind(&join, kind),
-                "kind {kind} mismatch"
-            );
+            assert_eq!(count_kind(&union, kind), count_kind(&join, kind), "kind {kind} mismatch");
         }
     }
 

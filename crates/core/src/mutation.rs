@@ -155,10 +155,7 @@ mod tests {
         g.add_edge(0, 2, 1.0, 0, Some("it's")).unwrap();
         let n = g
             .db()
-            .query_int(&format!(
-                "SELECT COUNT(*) FROM {} WHERE etype = 'it''s'",
-                g.edge_table()
-            ))
+            .query_int(&format!("SELECT COUNT(*) FROM {} WHERE etype = 'it''s'", g.edge_table()))
             .unwrap();
         assert_eq!(n, 1);
     }

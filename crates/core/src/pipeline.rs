@@ -144,13 +144,14 @@ mod tests {
     #[test]
     fn custom_stage_reads_previous_results() {
         let g = session();
-        let p = Pipeline::new()
-            .add_sql("n", "SELECT COUNT(*) FROM g_vertex")
-            .add_stage("double", |_s, ctx| {
+        let p = Pipeline::new().add_sql("n", "SELECT COUNT(*) FROM g_vertex").add_stage(
+            "double",
+            |_s, ctx| {
                 let n = ctx.value("n").and_then(|v| v.as_int()).unwrap_or(0);
                 ctx.values.insert("n2".into(), Value::Int(n * 2));
                 Ok(())
-            });
+            },
+        );
         let (ctx, _) = p.run(&g).unwrap();
         assert_eq!(ctx.value("n2"), Some(&Value::Int(6)));
     }

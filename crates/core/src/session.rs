@@ -93,11 +93,9 @@ impl GraphSession {
             values.push_null();
             halted.push(Value::Bool(false)).map_err(VertexicaError::from)?;
         }
-        let vbatch = RecordBatch::new(
-            vertex_schema(),
-            vec![ids.finish(), values.finish(), halted.finish()],
-        )
-        .map_err(VertexicaError::from)?;
+        let vbatch =
+            RecordBatch::new(vertex_schema(), vec![ids.finish(), values.finish(), halted.finish()])
+                .map_err(VertexicaError::from)?;
         self.db.append_batches(&self.vertex_table(), &[vbatch])?;
 
         // Edges (created = 0, etype NULL for plain loads).
@@ -255,9 +253,7 @@ pub fn message_schema() -> Arc<Schema> {
 }
 
 /// Builds a message-table batch from (recipient, sender, payload) triples.
-pub fn message_batch(
-    messages: &[(VertexId, VertexId, Vec<u8>)],
-) -> VertexicaResult<RecordBatch> {
+pub fn message_batch(messages: &[(VertexId, VertexId, Vec<u8>)]) -> VertexicaResult<RecordBatch> {
     let mut rec = ColumnBuilder::with_capacity(DataType::Int, messages.len());
     let mut snd = ColumnBuilder::with_capacity(DataType::Int, messages.len());
     let mut val = ColumnBuilder::with_capacity(DataType::Blob, messages.len());
@@ -325,10 +321,10 @@ mod tests {
             let scans = table.read().scan_with_rowids(None, &[]).unwrap();
             let mut updates = Vec::new();
             for (batch, ids) in scans {
-                for i in 0..batch.num_rows() {
+                for (i, &rowid) in ids.iter().enumerate().take(batch.num_rows()) {
                     if batch.row(i)[0] == Value::Int(2) {
                         updates.push((
-                            ids[i],
+                            rowid,
                             vec![Value::Int(2), Value::Blob(bytes.clone()), Value::Bool(false)],
                         ));
                     }
@@ -369,10 +365,7 @@ mod tests {
             3,
         )
         .unwrap();
-        assert_eq!(
-            db.query_int("SELECT COUNT(*) FROM g_edge WHERE etype = 'family'").unwrap(),
-            1
-        );
+        assert_eq!(db.query_int("SELECT COUNT(*) FROM g_edge WHERE etype = 'family'").unwrap(), 1);
         assert_eq!(db.query_int("SELECT COUNT(*) FROM g_edge WHERE created > 150").unwrap(), 2);
     }
 }

@@ -14,9 +14,7 @@ use vertexica_common::hash::FxHashMap;
 use vertexica_common::pregel::{AggKind, VertexContext, VertexProgram};
 use vertexica_common::VertexData;
 use vertexica_sql::{SqlError, SqlResult, TransformUdf};
-use vertexica_storage::{
-    ColumnBuilder, DataType, Field, RecordBatch, Schema, Value,
-};
+use vertexica_storage::{ColumnBuilder, DataType, Field, RecordBatch, Schema, Value};
 
 use crate::input::{KIND_EDGE, KIND_MESSAGE, KIND_VERTEX};
 
@@ -146,12 +144,10 @@ impl<P: VertexProgram> TransformUdf for VertexWorker<P> {
         let payload_col = merged.column(4);
         let halted_col = merged.column(5);
 
-        let vids = vid_col
-            .as_int()
-            .ok_or_else(|| SqlError::Udf("vid column must be BIGINT".into()))?;
-        let kinds = kind_col
-            .as_int()
-            .ok_or_else(|| SqlError::Udf("kind column must be BIGINT".into()))?;
+        let vids =
+            vid_col.as_int().ok_or_else(|| SqlError::Udf("vid column must be BIGINT".into()))?;
+        let kinds =
+            kind_col.as_int().ok_or_else(|| SqlError::Udf("kind column must be BIGINT".into()))?;
 
         let mut order: Vec<usize> = (0..n).collect();
         order.sort_unstable_by_key(|&i| (vids[i], kinds[i]));
@@ -161,12 +157,8 @@ impl<P: VertexProgram> TransformUdf for VertexWorker<P> {
         let mut messages: Vec<(VertexId, VertexId, Vec<u8>)> = Vec::new();
         let mut combined: FxHashMap<VertexId, (VertexId, P::Message)> = FxHashMap::default();
         let mut agg_partials: FxHashMap<String, (AggKind, f64)> = FxHashMap::default();
-        let agg_specs: FxHashMap<String, AggKind> = self
-            .program
-            .aggregators()
-            .into_iter()
-            .map(|s| (s.name.to_string(), s.kind))
-            .collect();
+        let agg_specs: FxHashMap<String, AggKind> =
+            self.program.aggregators().into_iter().map(|s| (s.name.to_string(), s.kind)).collect();
 
         // Walk vertex groups.
         let mut i = 0usize;
@@ -212,9 +204,7 @@ impl<P: VertexProgram> TransformUdf for VertexWorker<P> {
             let old_bytes = match payload_col.value(vrow) {
                 Value::Blob(b) => b,
                 Value::Null => {
-                    return Err(SqlError::Udf(format!(
-                        "vertex {vid} has no initialized value"
-                    )))
+                    return Err(SqlError::Udf(format!("vertex {vid} has no initialized value")))
                 }
                 _ => return Err(SqlError::Udf("vertex payload not a blob".into())),
             };

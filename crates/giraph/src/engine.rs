@@ -5,6 +5,7 @@ use std::sync::Arc;
 use vertexica_common::graph::{Adjacency, Edge, EdgeList, VertexId};
 use vertexica_common::hash::{mix64, FxHashMap};
 use vertexica_common::pregel::{AggKind, InitContext, VertexContext, VertexProgram};
+use vertexica_common::runtime::WorkerPool;
 use vertexica_common::timer::Stopwatch;
 use vertexica_common::VertexData;
 
@@ -24,14 +25,19 @@ pub struct GiraphEngine {
     pub num_workers: usize,
     pub use_combiner: bool,
     pub overhead: OverheadModel,
+    /// The shared runtime pool (persistent across supersteps and runs;
+    /// clones of the engine share it).
+    runtime: Arc<WorkerPool>,
 }
 
 impl Default for GiraphEngine {
     fn default() -> Self {
+        let runtime = Arc::new(WorkerPool::with_default_size());
         GiraphEngine {
-            num_workers: std::thread::available_parallelism().map(|n| n.get()).unwrap_or(4),
+            num_workers: runtime.size(),
             use_combiner: true,
             overhead: OverheadModel::none(),
+            runtime,
         }
     }
 }
@@ -41,6 +47,12 @@ struct VertexState<V> {
     value: V,
     halted: bool,
 }
+
+/// One partition's vertex states, keyed by vertex id.
+type StatePartition<V> = FxHashMap<VertexId, VertexState<V>>;
+
+/// One partition's pending messages for the current superstep.
+type Inbox = FxHashMap<VertexId, Vec<Vec<u8>>>;
 
 /// The context handed to compute calls.
 struct Ctx<'a, P: VertexProgram> {
@@ -97,6 +109,11 @@ impl GiraphEngine {
         self
     }
 
+    /// The shared runtime pool driving the compute phases.
+    pub fn runtime(&self) -> &Arc<WorkerPool> {
+        &self.runtime
+    }
+
     pub fn with_overhead(mut self, o: OverheadModel) -> Self {
         self.overhead = o;
         self
@@ -131,29 +148,27 @@ impl GiraphEngine {
             .collect();
 
         let workers = self.num_workers.max(1);
+        // Size the shared pool at run start (engine clones share the pool,
+        // so sizing in the builder could be overwritten by a sibling; sizing
+        // here keeps this run's config and pool in agreement).
+        self.runtime.resize(workers);
         let part_of = |v: VertexId| (mix64(v) % workers as u64) as usize;
 
         // Partition-local vertex states.
-        let mut states: Vec<FxHashMap<VertexId, VertexState<P::Value>>> =
+        let mut states: Vec<StatePartition<P::Value>> =
             (0..workers).map(|_| FxHashMap::default()).collect();
         for v in 0..n {
             let init = InitContext { num_vertices: n, out_degree: adj.out_degree(v) as u64 };
-            states[part_of(v)].insert(
-                v,
-                VertexState { value: program.initial_value(v, &init), halted: false },
-            );
+            states[part_of(v)]
+                .insert(v, VertexState { value: program.initial_value(v, &init), halted: false });
         }
 
         // Double-buffered inboxes: messages for the *current* superstep.
-        let mut inboxes: Vec<FxHashMap<VertexId, Vec<Vec<u8>>>> =
-            (0..workers).map(|_| FxHashMap::default()).collect();
+        let mut inboxes: Vec<Inbox> = (0..workers).map(|_| FxHashMap::default()).collect();
 
         let mut prev_aggregates: FxHashMap<String, f64> = FxHashMap::default();
-        let agg_specs: FxHashMap<String, AggKind> = program
-            .aggregators()
-            .into_iter()
-            .map(|s| (s.name.to_string(), s.kind))
-            .collect();
+        let agg_specs: FxHashMap<String, AggKind> =
+            program.aggregators().into_iter().map(|s| (s.name.to_string(), s.kind)).collect();
 
         let mut stats = GiraphRunStats::default();
         let max_supersteps = program.max_supersteps();
@@ -164,69 +179,54 @@ impl GiraphEngine {
                 break;
             }
             let any_messages = inboxes.iter().any(|p| !p.is_empty());
-            let any_active =
-                states.iter().any(|p| p.values().any(|s| !s.halted));
+            let any_active = states.iter().any(|p| p.values().any(|s| !s.halted));
             if superstep > 0 && !any_messages && !any_active {
                 break;
             }
 
-            // Compute phase: one thread per partition.
+            // Compute phase: one pool task per partition on the shared
+            // runtime — the same persistent worker threads every superstep.
             let current_inboxes = std::mem::take(&mut inboxes);
-            let results: Vec<PartitionResult> = crossbeam::thread::scope(|scope| {
-                let handles: Vec<_> = states
-                    .iter_mut()
-                    .zip(current_inboxes.into_iter())
-                    .map(|(part_states, mut inbox)| {
-                        let edge_lists = &edge_lists;
-                        let prev = &prev_aggregates;
-                        scope.spawn(move |_| {
-                            let mut out: Vec<(VertexId, Vec<u8>)> = Vec::new();
-                            let mut sent_count = 0u64;
-                            let mut agg_out: Vec<(String, f64)> = Vec::new();
-                            let mut ids: Vec<VertexId> =
-                                part_states.keys().copied().collect();
-                            ids.sort_unstable();
-                            for v in ids {
-                                let msgs_bytes = inbox.remove(&v).unwrap_or_default();
-                                let state = part_states.get_mut(&v).expect("state");
-                                let active = superstep == 0
-                                    || !state.halted
-                                    || !msgs_bytes.is_empty();
-                                if !active {
-                                    continue;
-                                }
-                                let msgs: Vec<P::Message> = msgs_bytes
-                                    .iter()
-                                    .filter_map(|b| P::Message::from_bytes(b))
-                                    .collect();
-                                let mut ctx: Ctx<'_, P> = Ctx {
-                                    id: v,
-                                    superstep,
-                                    num_vertices: n,
-                                    value: state.value.clone(),
-                                    edges: &edge_lists[v as usize],
-                                    sent: &mut out,
-                                    sent_count: &mut sent_count,
-                                    voted_halt: false,
-                                    agg_out: &mut agg_out,
-                                    prev_aggregates: prev,
-                                };
-                                program.compute(&mut ctx, &msgs);
-                                state.value = ctx.value;
-                                state.halted = ctx.voted_halt;
-                            }
-                            PartitionResult { out, sent_count, agg_out }
-                        })
-                    })
-                    .collect();
-                handles.into_iter().map(|h| h.join().expect("worker panicked")).collect()
-            })
-            .expect("scope");
+            let work: Vec<(&mut StatePartition<P::Value>, Inbox)> =
+                states.iter_mut().zip(current_inboxes).collect();
+            let results: Vec<PartitionResult> =
+                self.runtime.map_indexed(work, |_, (part_states, mut inbox)| {
+                    let mut out: Vec<(VertexId, Vec<u8>)> = Vec::new();
+                    let mut sent_count = 0u64;
+                    let mut agg_out: Vec<(String, f64)> = Vec::new();
+                    let mut ids: Vec<VertexId> = part_states.keys().copied().collect();
+                    ids.sort_unstable();
+                    for v in ids {
+                        let msgs_bytes = inbox.remove(&v).unwrap_or_default();
+                        let state = part_states.get_mut(&v).expect("state");
+                        let active = superstep == 0 || !state.halted || !msgs_bytes.is_empty();
+                        if !active {
+                            continue;
+                        }
+                        let msgs: Vec<P::Message> =
+                            msgs_bytes.iter().filter_map(|b| P::Message::from_bytes(b)).collect();
+                        let mut ctx: Ctx<'_, P> = Ctx {
+                            id: v,
+                            superstep,
+                            num_vertices: n,
+                            value: state.value.clone(),
+                            edges: &edge_lists[v as usize],
+                            sent: &mut out,
+                            sent_count: &mut sent_count,
+                            voted_halt: false,
+                            agg_out: &mut agg_out,
+                            prev_aggregates: &prev_aggregates,
+                        };
+                        program.compute(&mut ctx, &msgs);
+                        state.value = ctx.value;
+                        state.halted = ctx.voted_halt;
+                    }
+                    PartitionResult { out, sent_count, agg_out }
+                });
 
             // Message routing (the "network" phase).
             let mut delivered: u64 = 0;
-            let mut new_inboxes: Vec<FxHashMap<VertexId, Vec<Vec<u8>>>> =
-                (0..workers).map(|_| FxHashMap::default()).collect();
+            let mut new_inboxes: Vec<Inbox> = (0..workers).map(|_| FxHashMap::default()).collect();
             let mut agg_now: FxHashMap<String, f64> = FxHashMap::default();
             for r in results {
                 delivered += r.sent_count;
@@ -397,8 +397,8 @@ mod tests {
         let g = EdgeList::from_pairs([(0, 1), (0, 2), (0, 3), (0, 4)]);
         let (values, _) = GiraphEngine::default().run(&g, &CountActive);
         // Vertices active in superstep 1 (got messages: 1..4) read 5.0.
-        for v in 1..5 {
-            assert_eq!(values[v], 5.0, "vertex {v}");
+        for (v, &val) in values.iter().enumerate().take(5).skip(1) {
+            assert_eq!(val, 5.0, "vertex {v}");
         }
     }
 

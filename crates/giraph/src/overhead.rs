@@ -29,11 +29,7 @@ pub struct OverheadModel {
 impl OverheadModel {
     /// No modelled overhead: the raw in-memory BSP engine.
     pub fn none() -> Self {
-        OverheadModel {
-            startup: Duration::ZERO,
-            per_superstep: Duration::ZERO,
-            per_message_ns: 0,
-        }
+        OverheadModel { startup: Duration::ZERO, per_superstep: Duration::ZERO, per_message_ns: 0 }
     }
 
     /// Giraph-like constants at full (paper) dataset scale.

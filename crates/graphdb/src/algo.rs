@@ -16,9 +16,14 @@ use crate::store::{GraphDb, NodeId};
 /// Outcome of a budgeted run.
 #[derive(Debug, Clone)]
 pub enum Outcome<T> {
-    Finished { result: T, elapsed: Duration },
+    Finished {
+        result: T,
+        elapsed: Duration,
+    },
     /// Did not finish within the budget (paper: missing bars in Figure 2).
-    DidNotFinish { budget: Duration },
+    DidNotFinish {
+        budget: Duration,
+    },
 }
 
 impl<T> Outcome<T> {
@@ -85,16 +90,14 @@ pub fn pagerank(
             if start.elapsed() > budget {
                 return Ok(Outcome::DidNotFinish { budget });
             }
-            let new_rank =
-                (1.0 - damping) / n + damping * (incoming[v as usize] + dangling / n);
+            let new_rank = (1.0 - damping) / n + damping * (incoming[v as usize] + dangling / n);
             let mut txn = db.begin();
             txn.set_prop(v, "rank", new_rank);
             txn.commit()?;
         }
     }
 
-    let result: Vec<f64> =
-        (0..num_nodes).map(|v| db.node_prop(v, "rank").unwrap_or(0.0)).collect();
+    let result: Vec<f64> = (0..num_nodes).map(|v| db.node_prop(v, "rank").unwrap_or(0.0)).collect();
     Ok(Outcome::Finished { result, elapsed: start.elapsed() })
 }
 
@@ -158,9 +161,8 @@ pub fn sssp(
         }
     }
 
-    let result: Vec<f64> = (0..num_nodes)
-        .map(|v| db.node_prop(v, "dist").unwrap_or(f64::INFINITY))
-        .collect();
+    let result: Vec<f64> =
+        (0..num_nodes).map(|v| db.node_prop(v, "dist").unwrap_or(f64::INFINITY)).collect();
     Ok(Outcome::Finished { result, elapsed: start.elapsed() })
 }
 

@@ -303,8 +303,7 @@ mod tests {
 
     #[test]
     fn wal_recovery_restores_state() {
-        let path = std::env::temp_dir()
-            .join(format!("vxgdb_recover_{}.log", std::process::id()));
+        let path = std::env::temp_dir().join(format!("vxgdb_recover_{}.log", std::process::id()));
         std::fs::remove_file(&path).ok();
         {
             let db = GraphDb::open(GraphDbConfig {

@@ -11,10 +11,23 @@ use bytes::{Buf, BufMut};
 /// Operations recorded in the log.
 #[derive(Debug, Clone, PartialEq)]
 pub enum WalOp {
-    CreateNode { id: u64 },
-    CreateRel { src: u64, dst: u64, weight: f64 },
-    SetProp { node: u64, key: String, value: f64 },
-    DeleteRel { src: u64, dst: u64 },
+    CreateNode {
+        id: u64,
+    },
+    CreateRel {
+        src: u64,
+        dst: u64,
+        weight: f64,
+    },
+    SetProp {
+        node: u64,
+        key: String,
+        value: f64,
+    },
+    DeleteRel {
+        src: u64,
+        dst: u64,
+    },
     /// Transaction boundary.
     Commit,
 }
@@ -109,15 +122,8 @@ impl Wal {
         match path {
             None => Ok(Wal { path: PathBuf::new(), file: None, sync_commits }),
             Some(path) => {
-                let file = std::fs::OpenOptions::new()
-                    .create(true)
-                    .append(true)
-                    .open(&path)?;
-                Ok(Wal {
-                    path,
-                    file: Some(std::io::BufWriter::new(file)),
-                    sync_commits,
-                })
+                let file = std::fs::OpenOptions::new().create(true).append(true).open(&path)?;
+                Ok(Wal { path, file: Some(std::io::BufWriter::new(file)), sync_commits })
             }
         }
     }
@@ -181,16 +187,12 @@ mod tests {
                 WalOp::CreateRel { src: 0, dst: 1, weight: 2.0 },
             ])
             .unwrap();
-            wal.append_txn(&[WalOp::SetProp { node: 0, key: "rank".into(), value: 0.5 }])
-                .unwrap();
+            wal.append_txn(&[WalOp::SetProp { node: 0, key: "rank".into(), value: 0.5 }]).unwrap();
         }
         let txns = Wal::replay(&path).unwrap();
         assert_eq!(txns.len(), 2);
         assert_eq!(txns[0].len(), 3);
-        assert_eq!(
-            txns[1][0],
-            WalOp::SetProp { node: 0, key: "rank".into(), value: 0.5 }
-        );
+        assert_eq!(txns[1][0], WalOp::SetProp { node: 0, key: "rank".into(), value: 0.5 });
         std::fs::remove_file(&path).ok();
     }
 

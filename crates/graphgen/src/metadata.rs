@@ -86,12 +86,9 @@ pub fn node_metadata(num_vertices: u64, seed: u64) -> Vec<NodeMeta> {
     let string_cardinalities: [usize; 10] = [2, 4, 8, 16, 32, 64, 128, 256, 512, 1024];
     (0..num_vertices)
         .map(|id| {
-            let uniform_ints =
-                (0..24).map(|a| rng.gen_range(0..uniform_cardinality(a))).collect();
+            let uniform_ints = (0..24).map(|a| rng.gen_range(0..uniform_cardinality(a))).collect();
             let zipf_ints = zipfs.iter().map(|z| z.sample(&mut rng)).collect();
-            let floats = (0..18)
-                .map(|a| rng.gen::<f64>() * 10f64.powi((a % 6) as i32))
-                .collect();
+            let floats = (0..18).map(|a| rng.gen::<f64>() * 10f64.powi(a % 6)).collect();
             let strings = (0..10)
                 .map(|a| {
                     let card = string_cardinalities[a];

@@ -109,12 +109,7 @@ pub fn grid(rows: u64, cols: u64) -> EdgeList {
 /// `users..users+items`). Each user rates ~`ratings_per_user` random items;
 /// edge weight is the rating in `1.0..=5.0`. Edges run both ways so
 /// user↔item message exchange works vertex-centrically.
-pub fn bipartite_ratings(
-    users: u64,
-    items: u64,
-    ratings_per_user: u64,
-    seed: u64,
-) -> EdgeList {
+pub fn bipartite_ratings(users: u64, items: u64, ratings_per_user: u64, seed: u64) -> EdgeList {
     let mut rng = StdRng::seed_from_u64(seed);
     let mut edges = Vec::new();
     for u in 0..users {

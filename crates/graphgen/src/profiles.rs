@@ -42,12 +42,7 @@ impl DatasetProfile {
         let nodes = ((self.nodes as f64 * scale).ceil() as u64).max(16);
         let edges = ((self.edges as f64 * scale).ceil() as u64).max(nodes);
         let log2_nodes = 64 - (nodes - 1).leading_zeros();
-        rmat_graph(&RmatConfig {
-            scale: log2_nodes,
-            num_edges: edges,
-            seed,
-            ..Default::default()
-        })
+        rmat_graph(&RmatConfig { scale: log2_nodes, num_edges: edges, seed, ..Default::default() })
     }
 }
 

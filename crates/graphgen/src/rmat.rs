@@ -59,11 +59,7 @@ pub fn rmat_graph(config: &RmatConfig) -> EdgeList {
     let d = 1.0 - config.a - config.b - config.c;
     assert!(d >= 0.0, "quadrant probabilities exceed 1");
 
-    let mut seen = if config.dedup {
-        Some(vertexica_common::FxHashSet::default())
-    } else {
-        None
-    };
+    let mut seen = if config.dedup { Some(vertexica_common::FxHashSet::default()) } else { None };
 
     let mut attempts: u64 = 0;
     let max_attempts = config.num_edges.saturating_mul(20).max(1000);
@@ -76,7 +72,11 @@ pub fn rmat_graph(config: &RmatConfig) -> EdgeList {
             let jitter = |p: f64, rng: &mut StdRng| {
                 (p * (1.0 - config.noise + 2.0 * config.noise * rng.gen::<f64>())).max(0.0)
             };
-            let (pa, pb, pc) = (jitter(config.a, &mut rng), jitter(config.b, &mut rng), jitter(config.c, &mut rng));
+            let (pa, pb, pc) = (
+                jitter(config.a, &mut rng),
+                jitter(config.b, &mut rng),
+                jitter(config.c, &mut rng),
+            );
             let pd = jitter(d, &mut rng);
             let total = pa + pb + pc + pd;
             let r = rng.gen::<f64>() * total;

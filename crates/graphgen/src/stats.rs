@@ -30,11 +30,8 @@ pub fn degree_stats(graph: &EdgeList) -> DegreeStats {
         0.0
     } else {
         // Gini via the sorted-rank formula.
-        let sum_ranked: f64 = degrees
-            .iter()
-            .enumerate()
-            .map(|(i, &d)| (i as f64 + 1.0) * d as f64)
-            .sum();
+        let sum_ranked: f64 =
+            degrees.iter().enumerate().map(|(i, &d)| (i as f64 + 1.0) * d as f64).sum();
         (2.0 * sum_ranked) / (n as f64 * total as f64) - (n as f64 + 1.0) / n as f64
     };
 

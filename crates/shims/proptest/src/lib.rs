@@ -1,0 +1,530 @@
+//! Minimal offline stand-in for the crates.io `proptest` crate.
+//!
+//! Supports the subset this workspace's property tests use: the
+//! [`proptest!`] macro, [`Strategy`] with `prop_map` / `prop_flat_map` /
+//! `boxed`, range and tuple strategies, [`any`], [`Just`], weighted
+//! [`prop_oneof!`], `collection::vec`, `option::of`, and a tiny
+//! regex-subset string strategy (`.{a,b}` and `[x-y]{a,b}` forms).
+//!
+//! Differences from real proptest: inputs are generated from a fixed
+//! per-test seed (fully deterministic across runs) and failures are **not
+//! shrunk** — the failing case panics as-is.
+
+use rand::rngs::StdRng;
+use rand::{Rng, SeedableRng};
+
+pub mod prelude {
+    pub use crate::{
+        any, prop_assert, prop_assert_eq, prop_assert_ne, prop_oneof, proptest, BoxedStrategy,
+        Just, ProptestConfig, Strategy,
+    };
+}
+
+/// Per-run configuration; only `cases` is honored.
+#[derive(Debug, Clone)]
+pub struct ProptestConfig {
+    pub cases: u32,
+}
+
+impl ProptestConfig {
+    pub fn with_cases(cases: u32) -> Self {
+        ProptestConfig { cases }
+    }
+}
+
+impl Default for ProptestConfig {
+    fn default() -> Self {
+        ProptestConfig { cases: 32 }
+    }
+}
+
+/// The RNG handed to strategies.
+pub type TestRng = StdRng;
+
+/// Builds the deterministic RNG for one property test.
+pub fn test_rng(test_name: &str) -> TestRng {
+    let mut h: u64 = 0xcbf2_9ce4_8422_2325;
+    for b in test_name.bytes() {
+        h ^= b as u64;
+        h = h.wrapping_mul(0x0000_0100_0000_01B3);
+    }
+    StdRng::seed_from_u64(h ^ 0x5ee3_11a9)
+}
+
+/// A generator of test inputs.
+pub trait Strategy {
+    type Value;
+
+    fn generate(&self, rng: &mut TestRng) -> Self::Value;
+
+    fn prop_map<O, F>(self, f: F) -> Map<Self, F>
+    where
+        Self: Sized,
+        F: Fn(Self::Value) -> O,
+    {
+        Map { inner: self, f }
+    }
+
+    fn prop_flat_map<S2, F>(self, f: F) -> FlatMap<Self, F>
+    where
+        Self: Sized,
+        S2: Strategy,
+        F: Fn(Self::Value) -> S2,
+    {
+        FlatMap { inner: self, f }
+    }
+
+    fn boxed(self) -> BoxedStrategy<Self::Value>
+    where
+        Self: Sized + 'static,
+    {
+        Box::new(self)
+    }
+}
+
+pub type BoxedStrategy<T> = Box<dyn Strategy<Value = T>>;
+
+impl<T> Strategy for BoxedStrategy<T> {
+    type Value = T;
+
+    fn generate(&self, rng: &mut TestRng) -> T {
+        (**self).generate(rng)
+    }
+}
+
+impl<S: Strategy + ?Sized> Strategy for &S {
+    type Value = S::Value;
+
+    fn generate(&self, rng: &mut TestRng) -> S::Value {
+        (**self).generate(rng)
+    }
+}
+
+pub struct Map<S, F> {
+    inner: S,
+    f: F,
+}
+
+impl<S: Strategy, O, F: Fn(S::Value) -> O> Strategy for Map<S, F> {
+    type Value = O;
+
+    fn generate(&self, rng: &mut TestRng) -> O {
+        (self.f)(self.inner.generate(rng))
+    }
+}
+
+pub struct FlatMap<S, F> {
+    inner: S,
+    f: F,
+}
+
+impl<S: Strategy, S2: Strategy, F: Fn(S::Value) -> S2> Strategy for FlatMap<S, F> {
+    type Value = S2::Value;
+
+    fn generate(&self, rng: &mut TestRng) -> S2::Value {
+        (self.f)(self.inner.generate(rng)).generate(rng)
+    }
+}
+
+/// Always produces a clone of the given value.
+#[derive(Debug, Clone)]
+pub struct Just<T: Clone>(pub T);
+
+impl<T: Clone> Strategy for Just<T> {
+    type Value = T;
+
+    fn generate(&self, _rng: &mut TestRng) -> T {
+        self.0.clone()
+    }
+}
+
+/// Types with a canonical "anything goes" strategy.
+pub trait Arbitrary: Sized {
+    fn arbitrary(rng: &mut TestRng) -> Self;
+}
+
+macro_rules! arb_int {
+    ($($t:ty),*) => {$(
+        impl Arbitrary for $t {
+            fn arbitrary(rng: &mut TestRng) -> $t {
+                rng.next_u64() as $t
+            }
+        }
+    )*};
+}
+
+arb_int!(u8, u16, u32, u64, usize, i8, i16, i32, i64, isize);
+
+impl Arbitrary for bool {
+    fn arbitrary(rng: &mut TestRng) -> bool {
+        rng.next_u64() & 1 == 1
+    }
+}
+
+impl Arbitrary for f64 {
+    /// Arbitrary bit patterns: includes subnormals, infinities and NaNs,
+    /// mirroring proptest's full-range `any::<f64>()`.
+    fn arbitrary(rng: &mut TestRng) -> f64 {
+        f64::from_bits(rng.next_u64())
+    }
+}
+
+impl Arbitrary for f32 {
+    fn arbitrary(rng: &mut TestRng) -> f32 {
+        f32::from_bits(rng.next_u64() as u32)
+    }
+}
+
+pub struct Any<T>(std::marker::PhantomData<T>);
+
+impl<T: Arbitrary> Strategy for Any<T> {
+    type Value = T;
+
+    fn generate(&self, rng: &mut TestRng) -> T {
+        T::arbitrary(rng)
+    }
+}
+
+/// `any::<T>()` — the canonical strategy for `T`.
+pub fn any<T: Arbitrary>() -> Any<T> {
+    Any(std::marker::PhantomData)
+}
+
+macro_rules! range_strategy {
+    ($($t:ty),*) => {$(
+        impl Strategy for std::ops::Range<$t> {
+            type Value = $t;
+
+            fn generate(&self, rng: &mut TestRng) -> $t {
+                rng.gen_range(self.clone())
+            }
+        }
+        impl Strategy for std::ops::RangeInclusive<$t> {
+            type Value = $t;
+
+            fn generate(&self, rng: &mut TestRng) -> $t {
+                rng.gen_range(self.clone())
+            }
+        }
+    )*};
+}
+
+range_strategy!(u8, u16, u32, u64, usize, i8, i16, i32, i64, isize);
+
+impl Strategy for std::ops::Range<f64> {
+    type Value = f64;
+
+    fn generate(&self, rng: &mut TestRng) -> f64 {
+        rng.gen_range(self.clone())
+    }
+}
+
+macro_rules! tuple_strategy {
+    ($($name:ident : $idx:tt),+) => {
+        impl<$($name: Strategy),+> Strategy for ($($name,)+) {
+            type Value = ($($name::Value,)+);
+
+            fn generate(&self, rng: &mut TestRng) -> Self::Value {
+                ($(self.$idx.generate(rng),)+)
+            }
+        }
+    };
+}
+
+tuple_strategy!(A: 0);
+tuple_strategy!(A: 0, B: 1);
+tuple_strategy!(A: 0, B: 1, C: 2);
+tuple_strategy!(A: 0, B: 1, C: 2, D: 3);
+tuple_strategy!(A: 0, B: 1, C: 2, D: 3, E: 4);
+
+/// String strategy from a regex **subset**: a single atom (`.` or a
+/// character class like `[a-z0-9_]`) followed by an optional `{a,b}`, `{n}`,
+/// `*` or `+` quantifier. Anything else panics with a clear message.
+impl Strategy for &'static str {
+    type Value = String;
+
+    fn generate(&self, rng: &mut TestRng) -> String {
+        let (pool, min, max) = parse_regex_subset(self);
+        let len = if min == max { min } else { rng.gen_range(min..=max) };
+        (0..len).map(|_| pool[rng.gen_range(0..pool.len())]).collect()
+    }
+}
+
+fn parse_regex_subset(pattern: &str) -> (Vec<char>, usize, usize) {
+    let mut chars = pattern.chars().peekable();
+    let pool: Vec<char> = match chars.next() {
+        Some('.') => {
+            // Printable ASCII plus a few multibyte chars to exercise UTF-8.
+            let mut p: Vec<char> = (0x20u8..0x7F).map(|b| b as char).collect();
+            p.extend(['é', '✓', 'λ', '中']);
+            p
+        }
+        Some('[') => {
+            let mut p = Vec::new();
+            let mut prev: Option<char> = None;
+            loop {
+                match chars.next() {
+                    Some(']') => break,
+                    Some('-') if prev.is_some() && chars.peek().is_some_and(|&c| c != ']') => {
+                        let lo = prev.take().unwrap();
+                        let hi = chars.next().unwrap();
+                        for c in lo as u32..=hi as u32 {
+                            if let Some(ch) = char::from_u32(c) {
+                                p.push(ch);
+                            }
+                        }
+                    }
+                    Some(c) => {
+                        if let Some(prev) = prev.replace(c) {
+                            p.push(prev);
+                        }
+                    }
+                    None => panic!("proptest shim: unterminated class in {pattern:?}"),
+                }
+            }
+            if let Some(prev) = prev {
+                p.push(prev);
+            }
+            p
+        }
+        other => panic!("proptest shim: unsupported regex {pattern:?} (at {other:?})"),
+    };
+    let (min, max) = match chars.next() {
+        None => (1, 1),
+        Some('*') => (0, 16),
+        Some('+') => (1, 16),
+        Some('{') => {
+            let spec: String = chars.by_ref().take_while(|&c| c != '}').collect();
+            match spec.split_once(',') {
+                Some((a, b)) => (a.trim().parse().unwrap(), b.trim().parse().unwrap()),
+                None => {
+                    let n = spec.trim().parse().unwrap();
+                    (n, n)
+                }
+            }
+        }
+        Some(c) => panic!("proptest shim: unsupported quantifier {c:?} in {pattern:?}"),
+    };
+    assert!(chars.next().is_none(), "proptest shim: unsupported trailing syntax in {pattern:?}");
+    (pool, min, max)
+}
+
+/// Weighted union of boxed strategies — the engine behind [`prop_oneof!`].
+pub struct Union<T> {
+    variants: Vec<(u32, BoxedStrategy<T>)>,
+    total: u32,
+}
+
+impl<T> Union<T> {
+    pub fn new(variants: Vec<(u32, BoxedStrategy<T>)>) -> Self {
+        assert!(!variants.is_empty(), "prop_oneof! needs at least one arm");
+        let total = variants.iter().map(|(w, _)| *w).sum();
+        Union { variants, total }
+    }
+}
+
+impl<T> Strategy for Union<T> {
+    type Value = T;
+
+    fn generate(&self, rng: &mut TestRng) -> T {
+        let mut pick = rng.gen_range(0..self.total as u64) as u32;
+        for (w, s) in &self.variants {
+            if pick < *w {
+                return s.generate(rng);
+            }
+            pick -= w;
+        }
+        unreachable!()
+    }
+}
+
+pub mod collection {
+    use super::{Strategy, TestRng};
+    use rand::Rng;
+
+    /// Accepted size specifications for [`vec`].
+    #[derive(Debug, Clone)]
+    pub struct SizeRange {
+        min: usize,
+        max: usize,
+    }
+
+    impl From<usize> for SizeRange {
+        fn from(n: usize) -> Self {
+            SizeRange { min: n, max: n }
+        }
+    }
+
+    impl From<std::ops::Range<usize>> for SizeRange {
+        fn from(r: std::ops::Range<usize>) -> Self {
+            assert!(r.start < r.end, "empty vec size range");
+            SizeRange { min: r.start, max: r.end - 1 }
+        }
+    }
+
+    impl From<std::ops::RangeInclusive<usize>> for SizeRange {
+        fn from(r: std::ops::RangeInclusive<usize>) -> Self {
+            SizeRange { min: *r.start(), max: *r.end() }
+        }
+    }
+
+    pub struct VecStrategy<S> {
+        element: S,
+        size: SizeRange,
+    }
+
+    /// `collection::vec(strategy, size)` — vectors of generated elements.
+    pub fn vec<S: Strategy>(element: S, size: impl Into<SizeRange>) -> VecStrategy<S> {
+        VecStrategy { element, size: size.into() }
+    }
+
+    impl<S: Strategy> Strategy for VecStrategy<S> {
+        type Value = Vec<S::Value>;
+
+        fn generate(&self, rng: &mut TestRng) -> Vec<S::Value> {
+            let len = if self.size.min == self.size.max {
+                self.size.min
+            } else {
+                rng.gen_range(self.size.min..=self.size.max)
+            };
+            (0..len).map(|_| self.element.generate(rng)).collect()
+        }
+    }
+}
+
+pub mod option {
+    use super::{Strategy, TestRng};
+    use rand::Rng;
+
+    pub struct OptionStrategy<S>(S);
+
+    /// `option::of(strategy)` — `None` about a quarter of the time.
+    pub fn of<S: Strategy>(inner: S) -> OptionStrategy<S> {
+        OptionStrategy(inner)
+    }
+
+    impl<S: Strategy> Strategy for OptionStrategy<S> {
+        type Value = Option<S::Value>;
+
+        fn generate(&self, rng: &mut TestRng) -> Option<S::Value> {
+            if rng.gen_range(0..4u32) == 0 {
+                None
+            } else {
+                Some(self.0.generate(rng))
+            }
+        }
+    }
+}
+
+#[macro_export]
+macro_rules! prop_assert {
+    ($($tt:tt)*) => { assert!($($tt)*) };
+}
+
+#[macro_export]
+macro_rules! prop_assert_eq {
+    ($($tt:tt)*) => { assert_eq!($($tt)*) };
+}
+
+#[macro_export]
+macro_rules! prop_assert_ne {
+    ($($tt:tt)*) => { assert_ne!($($tt)*) };
+}
+
+#[macro_export]
+macro_rules! prop_oneof {
+    ($($weight:literal => $strat:expr),+ $(,)?) => {
+        $crate::Union::new(vec![
+            $(($weight as u32, $crate::Strategy::boxed($strat)),)+
+        ])
+    };
+    ($($strat:expr),+ $(,)?) => {
+        $crate::Union::new(vec![
+            $((1u32, $crate::Strategy::boxed($strat)),)+
+        ])
+    };
+}
+
+#[macro_export]
+macro_rules! proptest {
+    (#![proptest_config($cfg:expr)] $($rest:tt)*) => {
+        $crate::__proptest_each! { cfg = ($cfg); $($rest)* }
+    };
+    ($($rest:tt)*) => {
+        $crate::__proptest_each! { cfg = ($crate::ProptestConfig::default()); $($rest)* }
+    };
+}
+
+#[macro_export]
+#[doc(hidden)]
+macro_rules! __proptest_each {
+    (cfg = ($cfg:expr);) => {};
+    (cfg = ($cfg:expr);
+     $(#[$meta:meta])*
+     fn $name:ident($($pat:pat in $strat:expr),* $(,)?) $body:block
+     $($rest:tt)*) => {
+        $(#[$meta])*
+        fn $name() {
+            let __cfg: $crate::ProptestConfig = $cfg;
+            let mut __rng = $crate::test_rng(concat!(module_path!(), "::", stringify!($name)));
+            for __case in 0..__cfg.cases {
+                $(let $pat = $crate::Strategy::generate(&($strat), &mut __rng);)*
+                $body
+            }
+        }
+        $crate::__proptest_each! { cfg = ($cfg); $($rest)* }
+    };
+}
+
+#[cfg(test)]
+mod tests {
+    use super::prelude::*;
+
+    proptest! {
+        #![proptest_config(ProptestConfig::with_cases(64))]
+
+        #[test]
+        fn ranges_stay_in_bounds(a in 0u64..10, b in -5i64..=5, f in 0.25f64..0.75) {
+            prop_assert!(a < 10);
+            prop_assert!((-5..=5).contains(&b));
+            prop_assert!((0.25..0.75).contains(&f));
+        }
+
+        #[test]
+        fn tuples_and_maps(pair in (0u32..4, 10u32..14).prop_map(|(x, y)| (y, x))) {
+            prop_assert!(pair.0 >= 10 && pair.1 < 4);
+        }
+
+        #[test]
+        fn flat_map_depends_on_outer(v in (1usize..5).prop_flat_map(|n| crate::collection::vec(0u64..10, n..n + 1))) {
+            prop_assert!(!v.is_empty() && v.len() < 5);
+        }
+
+        #[test]
+        fn regex_subset_strings(s in "[a-c]{2,4}", t in ".{0,8}") {
+            prop_assert!((2..=4).contains(&s.chars().count()));
+            prop_assert!(s.chars().all(|c| ('a'..='c').contains(&c)));
+            prop_assert!(t.chars().count() <= 8);
+        }
+
+        #[test]
+        fn oneof_weighted(v in prop_oneof![1 => Just(0u8), 9 => Just(1u8)]) {
+            prop_assert!(v <= 1);
+        }
+    }
+
+    #[test]
+    fn deterministic_across_runs() {
+        let mut a = crate::test_rng("x");
+        let mut b = crate::test_rng("x");
+        let s: String = Strategy::generate(&".{0,40}", &mut a);
+        let t: String = Strategy::generate(&".{0,40}", &mut b);
+        assert_eq!(s, t);
+    }
+
+    #[test]
+    #[should_panic(expected = "unsupported regex")]
+    fn unsupported_regex_panics() {
+        let _ = Strategy::generate(&"(a|b)+", &mut crate::test_rng("y"));
+    }
+}

@@ -1,0 +1,207 @@
+//! Minimal offline stand-in for the crates.io `rand` crate.
+//!
+//! Provides the deterministic subset this workspace uses: a seedable
+//! [`rngs::StdRng`] (xoshiro256++ seeded via splitmix64) and the [`Rng`]
+//! extension methods `gen` and `gen_range`. Distributions are uniform; the
+//! stream is stable across runs and platforms, which the graph generators
+//! rely on for reproducible datasets.
+
+/// Seedable RNG constructors.
+pub trait SeedableRng: Sized {
+    fn seed_from_u64(seed: u64) -> Self;
+}
+
+/// Types that can be sampled uniformly from the full RNG output.
+pub trait Standard: Sized {
+    fn sample(rng: &mut rngs::StdRng) -> Self;
+}
+
+impl Standard for u64 {
+    fn sample(rng: &mut rngs::StdRng) -> u64 {
+        rng.next_u64()
+    }
+}
+
+impl Standard for u32 {
+    fn sample(rng: &mut rngs::StdRng) -> u32 {
+        (rng.next_u64() >> 32) as u32
+    }
+}
+
+impl Standard for f64 {
+    /// Uniform in `[0, 1)` with 53 bits of precision.
+    fn sample(rng: &mut rngs::StdRng) -> f64 {
+        (rng.next_u64() >> 11) as f64 * (1.0 / (1u64 << 53) as f64)
+    }
+}
+
+impl Standard for bool {
+    fn sample(rng: &mut rngs::StdRng) -> bool {
+        rng.next_u64() & 1 == 1
+    }
+}
+
+/// Ranges that `Rng::gen_range` accepts.
+pub trait SampleRange<T> {
+    fn sample_from(self, rng: &mut rngs::StdRng) -> T;
+}
+
+macro_rules! int_sample_range {
+    ($($t:ty),*) => {$(
+        impl SampleRange<$t> for std::ops::Range<$t> {
+            fn sample_from(self, rng: &mut rngs::StdRng) -> $t {
+                assert!(self.start < self.end, "gen_range: empty range");
+                let span = (self.end as i128 - self.start as i128) as u128;
+                let v = ((rng.next_u64() as u128) % span) as i128;
+                (self.start as i128 + v) as $t
+            }
+        }
+        impl SampleRange<$t> for std::ops::RangeInclusive<$t> {
+            fn sample_from(self, rng: &mut rngs::StdRng) -> $t {
+                let (start, end) = (*self.start(), *self.end());
+                assert!(start <= end, "gen_range: empty range");
+                let span = (end as i128 - start as i128) as u128 + 1;
+                let v = ((rng.next_u64() as u128) % span) as i128;
+                (start as i128 + v) as $t
+            }
+        }
+    )*};
+}
+
+int_sample_range!(u8, u16, u32, u64, usize, i8, i16, i32, i64, isize);
+
+impl SampleRange<f64> for std::ops::Range<f64> {
+    fn sample_from(self, rng: &mut rngs::StdRng) -> f64 {
+        assert!(self.start < self.end, "gen_range: empty range");
+        self.start + f64::sample(rng) * (self.end - self.start)
+    }
+}
+
+/// The subset of rand's `Rng` extension trait this workspace uses.
+pub trait Rng {
+    fn next_u64(&mut self) -> u64;
+
+    fn gen<T: Standard>(&mut self) -> T
+    where
+        Self: AsStdRng,
+    {
+        T::sample(self.as_std_rng())
+    }
+
+    fn gen_range<T, R: SampleRange<T>>(&mut self, range: R) -> T
+    where
+        Self: AsStdRng,
+    {
+        range.sample_from(self.as_std_rng())
+    }
+
+    fn gen_bool(&mut self, p: f64) -> bool
+    where
+        Self: AsStdRng,
+    {
+        f64::sample(self.as_std_rng()) < p
+    }
+}
+
+/// Helper so the default methods on [`Rng`] can reach the concrete state.
+pub trait AsStdRng {
+    fn as_std_rng(&mut self) -> &mut rngs::StdRng;
+}
+
+pub mod rngs {
+    use super::{AsStdRng, Rng, SeedableRng};
+
+    /// xoshiro256++ seeded from a splitmix64 expansion of the u64 seed.
+    #[derive(Debug, Clone)]
+    pub struct StdRng {
+        s: [u64; 4],
+    }
+
+    fn splitmix64(state: &mut u64) -> u64 {
+        *state = state.wrapping_add(0x9E37_79B9_7F4A_7C15);
+        let mut z = *state;
+        z = (z ^ (z >> 30)).wrapping_mul(0xBF58_476D_1CE4_E5B9);
+        z = (z ^ (z >> 27)).wrapping_mul(0x94D0_49BB_1331_11EB);
+        z ^ (z >> 31)
+    }
+
+    impl SeedableRng for StdRng {
+        fn seed_from_u64(seed: u64) -> Self {
+            let mut state = seed;
+            let mut s = [0u64; 4];
+            for slot in &mut s {
+                *slot = splitmix64(&mut state);
+            }
+            StdRng { s }
+        }
+    }
+
+    impl Rng for StdRng {
+        fn next_u64(&mut self) -> u64 {
+            let s = &mut self.s;
+            let result = s[0].wrapping_add(s[3]).rotate_left(23).wrapping_add(s[0]);
+            let t = s[1] << 17;
+            s[2] ^= s[0];
+            s[3] ^= s[1];
+            s[1] ^= s[2];
+            s[0] ^= s[3];
+            s[2] ^= t;
+            s[3] = s[3].rotate_left(45);
+            result
+        }
+    }
+
+    impl AsStdRng for StdRng {
+        fn as_std_rng(&mut self) -> &mut StdRng {
+            self
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::rngs::StdRng;
+    use super::{Rng, SeedableRng};
+
+    #[test]
+    fn deterministic_for_fixed_seed() {
+        let mut a = StdRng::seed_from_u64(42);
+        let mut b = StdRng::seed_from_u64(42);
+        for _ in 0..100 {
+            assert_eq!(a.next_u64(), b.next_u64());
+        }
+    }
+
+    #[test]
+    fn seeds_diverge() {
+        let mut a = StdRng::seed_from_u64(1);
+        let mut b = StdRng::seed_from_u64(2);
+        assert_ne!(a.next_u64(), b.next_u64());
+    }
+
+    #[test]
+    fn gen_range_respects_bounds() {
+        let mut rng = StdRng::seed_from_u64(7);
+        for _ in 0..1000 {
+            let v: u64 = rng.gen_range(3..17u64);
+            assert!((3..17).contains(&v));
+            let w: i64 = rng.gen_range(-5..=5i64);
+            assert!((-5..=5).contains(&w));
+            let f: f64 = rng.gen_range(0.5..2.0);
+            assert!((0.5..2.0).contains(&f));
+        }
+    }
+
+    #[test]
+    fn gen_f64_is_unit_interval() {
+        let mut rng = StdRng::seed_from_u64(9);
+        let mut sum = 0.0;
+        for _ in 0..1000 {
+            let v: f64 = rng.gen();
+            assert!((0.0..1.0).contains(&v));
+            sum += v;
+        }
+        // Crude uniformity check: mean near 0.5.
+        assert!((sum / 1000.0 - 0.5).abs() < 0.05);
+    }
+}

@@ -150,7 +150,12 @@ impl BinaryOp {
     pub fn is_comparison(self) -> bool {
         matches!(
             self,
-            BinaryOp::Eq | BinaryOp::NotEq | BinaryOp::Lt | BinaryOp::LtEq | BinaryOp::Gt | BinaryOp::GtEq
+            BinaryOp::Eq
+                | BinaryOp::NotEq
+                | BinaryOp::Lt
+                | BinaryOp::LtEq
+                | BinaryOp::Gt
+                | BinaryOp::GtEq
         )
     }
 }
@@ -276,7 +281,8 @@ mod tests {
 
     #[test]
     fn contains_aggregate_detects_nested() {
-        let agg = Expr::Function { name: "sum".into(), args: vec![Expr::col("x")], distinct: false };
+        let agg =
+            Expr::Function { name: "sum".into(), args: vec![Expr::col("x")], distinct: false };
         let wrapped = Expr::binary(agg, BinaryOp::Divide, Expr::lit(2i64));
         assert!(wrapped.contains_aggregate());
         assert!(!Expr::col("x").contains_aggregate());

@@ -4,6 +4,7 @@ use std::collections::HashMap;
 use std::sync::Arc;
 
 use parking_lot::RwLock;
+use vertexica_common::runtime::WorkerPool;
 use vertexica_storage::{
     partition::hash_partition, Catalog, ColumnPredicate, Field, RecordBatch, Row, Schema,
     TableOptions, Value,
@@ -65,8 +66,10 @@ pub struct Database {
     functions: RwLock<FunctionRegistry>,
     transforms: RwLock<HashMap<String, Arc<dyn TransformUdf>>>,
     procedures: RwLock<HashMap<String, Procedure>>,
-    /// Degree of parallelism for transform-UDF execution (default: cores).
-    worker_threads: RwLock<usize>,
+    /// The shared parallel runtime (default size: cores). One persistent
+    /// pool serves every transform-UDF invocation and the coordinator's
+    /// superstep loop — no per-call thread spawning.
+    runtime: Arc<WorkerPool>,
 }
 
 impl Default for Database {
@@ -77,14 +80,18 @@ impl Default for Database {
 
 impl Database {
     pub fn new() -> Self {
+        Self::with_runtime(Arc::new(WorkerPool::with_default_size()))
+    }
+
+    /// Builds a database on an existing runtime, so several engines can
+    /// share one pool.
+    pub fn with_runtime(runtime: Arc<WorkerPool>) -> Self {
         Database {
             catalog: Arc::new(Catalog::new()),
             functions: RwLock::new(FunctionRegistry::new()),
             transforms: RwLock::new(HashMap::new()),
             procedures: RwLock::new(HashMap::new()),
-            worker_threads: RwLock::new(
-                std::thread::available_parallelism().map(|n| n.get()).unwrap_or(4),
-            ),
+            runtime,
         }
     }
 
@@ -92,13 +99,18 @@ impl Database {
         &self.catalog
     }
 
-    /// Sets the number of parallel worker threads used by transform UDFs.
+    /// The shared worker pool owned by this database.
+    pub fn runtime(&self) -> &Arc<WorkerPool> {
+        &self.runtime
+    }
+
+    /// Resizes the shared pool used for transform-UDF execution.
     pub fn set_worker_threads(&self, n: usize) {
-        *self.worker_threads.write() = n.max(1);
+        self.runtime.resize(n.max(1));
     }
 
     pub fn worker_threads(&self) -> usize {
-        *self.worker_threads.read()
+        self.runtime.size()
     }
 
     /// Registers a scalar SQL function.
@@ -298,8 +310,8 @@ impl Database {
                 let ctx = ExecContext { catalog: &self.catalog };
                 let batches = execute(&plan, &ctx)?;
                 let mut n = 0usize;
-                let full_width =
-                    positions.len() == schema.len() && positions.iter().enumerate().all(|(i, &p)| i == p);
+                let full_width = positions.len() == schema.len()
+                    && positions.iter().enumerate().all(|(i, &p)| i == p);
                 let mut guard = table_ref.write();
                 for b in &batches {
                     if b.num_columns() != positions.len() {
@@ -345,9 +357,7 @@ impl Database {
                 Ok((idx, phys))
             })
             .collect::<SqlResult<Vec<_>>>()?;
-        let pred = filter
-            .map(|f| planner.plan_expr_for_table(f, &schema, table))
-            .transpose()?;
+        let pred = filter.map(|f| planner.plan_expr_for_table(f, &schema, table)).transpose()?;
 
         // Scan with rowids while holding a read lock, compute updates, then
         // apply under a write lock.
@@ -393,9 +403,7 @@ impl Database {
         let schema = table_ref.read().schema().clone();
         let functions = self.functions.read().clone();
         let planner = Planner::new(&self.catalog, &functions);
-        let pred = filter
-            .map(|f| planner.plan_expr_for_table(f, &schema, table))
-            .transpose()?;
+        let pred = filter.map(|f| planner.plan_expr_for_table(f, &schema, table)).transpose()?;
 
         let Some(pred) = pred else {
             // Unqualified DELETE: truncate.
@@ -450,57 +458,26 @@ impl Database {
         self.run_transform_partitions(&udf, partitions)
     }
 
-    /// Runs a transform over pre-partitioned input.
+    /// Runs a transform over pre-partitioned input on the shared runtime
+    /// pool. Each partition is one pool task (serial within a partition,
+    /// parallel across partitions — the paper's vertex batching); the pool
+    /// caps concurrency at its configured size and the queue load-balances
+    /// uneven partitions. Output preserves partition order. With one worker
+    /// (or one partition) execution falls back to sequential inline runs.
     pub fn run_transform_partitions(
         &self,
         udf: &Arc<dyn TransformUdf>,
         partitions: Vec<Vec<RecordBatch>>,
     ) -> SqlResult<Vec<RecordBatch>> {
-        let threads = self.worker_threads().min(partitions.len().max(1));
-        if threads <= 1 {
-            let mut out = Vec::new();
-            for p in partitions {
-                if !p.is_empty() {
-                    out.extend(udf.execute(p)?);
-                }
-            }
-            return Ok(out);
-        }
-
-        // Distribute partitions round-robin over worker threads; each worker
-        // executes its partitions serially (vertex batching: serial within a
-        // partition, parallel across partitions).
-        let mut slots: Vec<Vec<(usize, Vec<RecordBatch>)>> = vec![Vec::new(); threads];
-        for (i, p) in partitions.into_iter().enumerate() {
-            if !p.is_empty() {
-                slots[i % threads].push((i, p));
-            }
-        }
-        let results: Vec<SqlResult<Vec<(usize, Vec<RecordBatch>)>>> =
-            crossbeam::thread::scope(|scope| {
-                let handles: Vec<_> = slots
-                    .into_iter()
-                    .map(|work| {
-                        let udf = udf.clone();
-                        scope.spawn(move |_| {
-                            let mut out = Vec::new();
-                            for (idx, p) in work {
-                                out.push((idx, udf.execute(p)?));
-                            }
-                            Ok(out)
-                        })
-                    })
-                    .collect();
-                handles.into_iter().map(|h| h.join().expect("worker panicked")).collect()
-            })
-            .expect("thread scope");
-
-        let mut indexed: Vec<(usize, Vec<RecordBatch>)> = Vec::new();
+        let work: Vec<Vec<RecordBatch>> =
+            partitions.into_iter().filter(|p| !p.is_empty()).collect();
+        let results: Vec<SqlResult<Vec<RecordBatch>>> =
+            self.runtime.map_indexed(work, |_, p| udf.execute(p));
+        let mut out = Vec::new();
         for r in results {
-            indexed.extend(r?);
+            out.extend(r?);
         }
-        indexed.sort_by_key(|(i, _)| *i);
-        Ok(indexed.into_iter().flat_map(|(_, b)| b).collect())
+        Ok(out)
     }
 
     /// Direct storage-level scan helper (bypasses SQL) — used by the
@@ -538,17 +515,16 @@ mod tests {
         let db = Database::new();
         db.execute("CREATE TABLE edge (src BIGINT NOT NULL, dst BIGINT NOT NULL, weight FLOAT)")
             .unwrap();
-        db.execute(
-            "INSERT INTO edge VALUES (0,1,1.0), (0,2,2.0), (1,2,3.0), (2,0,4.0), (2,3,5.0)",
-        )
-        .unwrap();
+        db.execute("INSERT INTO edge VALUES (0,1,1.0), (0,2,2.0), (1,2,3.0), (2,0,4.0), (2,3,5.0)")
+            .unwrap();
         db
     }
 
     #[test]
     fn end_to_end_select() {
         let db = db_with_edges();
-        let rows = db.query("SELECT src, dst FROM edge WHERE weight > 2.5 ORDER BY weight").unwrap();
+        let rows =
+            db.query("SELECT src, dst FROM edge WHERE weight > 2.5 ORDER BY weight").unwrap();
         assert_eq!(rows.len(), 3);
         assert_eq!(rows[0], vec![Value::Int(1), Value::Int(2)]);
     }
@@ -570,9 +546,8 @@ mod tests {
     #[test]
     fn join_end_to_end() {
         let db = db_with_edges();
-        let n = db
-            .query_int("SELECT COUNT(*) FROM edge e1 JOIN edge e2 ON e1.dst = e2.src")
-            .unwrap();
+        let n =
+            db.query_int("SELECT COUNT(*) FROM edge e1 JOIN edge e2 ON e1.dst = e2.src").unwrap();
         assert_eq!(n, 7);
     }
 
@@ -711,6 +686,175 @@ mod tests {
         let db = db_with_edges();
         let n = db.query("SELECT DISTINCT src FROM edge").unwrap();
         assert_eq!(n.len(), 3);
+    }
+
+    /// Identity transform that tags each output batch with the partition's
+    /// first value and records which thread executed it.
+    struct Tagger {
+        threads: std::sync::Mutex<std::collections::HashSet<std::thread::ThreadId>>,
+        delay: std::time::Duration,
+    }
+
+    impl Tagger {
+        fn new(delay_ms: u64) -> Arc<Self> {
+            Arc::new(Tagger {
+                threads: std::sync::Mutex::new(std::collections::HashSet::new()),
+                delay: std::time::Duration::from_millis(delay_ms),
+            })
+        }
+    }
+
+    impl crate::udf::TransformUdf for Tagger {
+        fn name(&self) -> &str {
+            "tagger"
+        }
+
+        fn output_schema(
+            &self,
+            input: &vertexica_storage::Schema,
+        ) -> SqlResult<Arc<vertexica_storage::Schema>> {
+            Ok(Arc::new(input.clone()))
+        }
+
+        fn execute(&self, partition: Vec<RecordBatch>) -> SqlResult<Vec<RecordBatch>> {
+            self.threads.lock().unwrap().insert(std::thread::current().id());
+            if !self.delay.is_zero() {
+                std::thread::sleep(self.delay);
+            }
+            Ok(partition)
+        }
+    }
+
+    fn int_partition(values: &[i64]) -> Vec<RecordBatch> {
+        let schema =
+            vertexica_storage::Schema::new(vec![vertexica_storage::Field::new("x", DataType::Int)]);
+        let rows: Vec<Vec<Value>> = values.iter().map(|&v| vec![Value::Int(v)]).collect();
+        vec![RecordBatch::from_rows(schema, &rows).unwrap()]
+    }
+
+    fn first_values(batches: &[RecordBatch]) -> Vec<i64> {
+        batches
+            .iter()
+            .map(|b| match b.column(0).value(0) {
+                Value::Int(v) => v,
+                other => panic!("expected int, got {other}"),
+            })
+            .collect()
+    }
+
+    #[test]
+    fn run_transform_partitions_preserves_partition_order() {
+        let db = Database::new();
+        db.set_worker_threads(4);
+        // Reverse-staggered delays: later partitions finish first unless the
+        // engine restores partition order.
+        let partitions: Vec<Vec<RecordBatch>> =
+            (0..12).map(|i| int_partition(&[i as i64])).collect();
+        let udf: Arc<dyn TransformUdf> = Tagger::new(2);
+        let out = db.run_transform_partitions(&udf, partitions).unwrap();
+        assert_eq!(first_values(&out), (0..12).collect::<Vec<i64>>());
+    }
+
+    #[test]
+    fn worker_threads_one_is_sequential_and_equivalent() {
+        let partitions: Vec<Vec<RecordBatch>> =
+            (0..8).map(|i| int_partition(&[i as i64, i as i64 + 100])).collect();
+
+        let db = Database::new();
+        db.set_worker_threads(1);
+        assert_eq!(db.worker_threads(), 1);
+        let seq_udf = Tagger::new(0);
+        let seq: Arc<dyn TransformUdf> = seq_udf.clone();
+        let out_seq = db.run_transform_partitions(&seq, partitions.clone()).unwrap();
+        // Sequential fallback runs inline on the calling thread.
+        let seq_threads = seq_udf.threads.lock().unwrap().clone();
+        assert_eq!(seq_threads.len(), 1);
+        assert!(seq_threads.contains(&std::thread::current().id()));
+
+        db.set_worker_threads(8);
+        let par: Arc<dyn TransformUdf> = Tagger::new(1);
+        let out_par = db.run_transform_partitions(&par, partitions).unwrap();
+        assert_eq!(first_values(&out_seq), first_values(&out_par));
+    }
+
+    #[test]
+    fn pool_is_reused_across_transform_invocations() {
+        // The crossbeam-scope predecessor spawned fresh threads per call;
+        // the shared runtime must execute every superstep on the same small
+        // set of persistent workers.
+        let db = Database::new();
+        db.set_worker_threads(3);
+        let udf_impl = Tagger::new(1);
+        let udf: Arc<dyn TransformUdf> = udf_impl.clone();
+        for _ in 0..5 {
+            let partitions: Vec<Vec<RecordBatch>> =
+                (0..9).map(|i| int_partition(&[i as i64])).collect();
+            db.run_transform_partitions(&udf, partitions).unwrap();
+        }
+        let distinct = udf_impl.threads.lock().unwrap().len();
+        assert!(
+            distinct <= 3,
+            "5 invocations × 9 partitions ran on {distinct} distinct threads; \
+             a persistent pool of 3 must not spawn per call"
+        );
+    }
+
+    #[test]
+    fn transform_errors_propagate_without_panicking() {
+        struct Failing;
+        impl crate::udf::TransformUdf for Failing {
+            fn name(&self) -> &str {
+                "failing"
+            }
+            fn output_schema(
+                &self,
+                input: &vertexica_storage::Schema,
+            ) -> SqlResult<Arc<vertexica_storage::Schema>> {
+                Ok(Arc::new(input.clone()))
+            }
+            fn execute(&self, _p: Vec<RecordBatch>) -> SqlResult<Vec<RecordBatch>> {
+                Err(SqlError::Udf("deliberate failure".into()))
+            }
+        }
+        let db = Database::new();
+        db.set_worker_threads(4);
+        let udf: Arc<dyn TransformUdf> = Arc::new(Failing);
+        let partitions: Vec<Vec<RecordBatch>> =
+            (0..6).map(|i| int_partition(&[i as i64])).collect();
+        let err = db.run_transform_partitions(&udf, partitions).unwrap_err();
+        assert!(err.to_string().contains("deliberate failure"));
+    }
+
+    #[test]
+    fn transform_panic_propagates_to_caller() {
+        struct Panicking;
+        impl crate::udf::TransformUdf for Panicking {
+            fn name(&self) -> &str {
+                "panicking"
+            }
+            fn output_schema(
+                &self,
+                input: &vertexica_storage::Schema,
+            ) -> SqlResult<Arc<vertexica_storage::Schema>> {
+                Ok(Arc::new(input.clone()))
+            }
+            fn execute(&self, _p: Vec<RecordBatch>) -> SqlResult<Vec<RecordBatch>> {
+                panic!("udf panic escapes the pool");
+            }
+        }
+        let db = Database::new();
+        db.set_worker_threads(4);
+        let udf: Arc<dyn TransformUdf> = Arc::new(Panicking);
+        let partitions: Vec<Vec<RecordBatch>> =
+            (0..4).map(|i| int_partition(&[i as i64])).collect();
+        let result = std::panic::catch_unwind(std::panic::AssertUnwindSafe(|| {
+            db.run_transform_partitions(&udf, partitions)
+        }));
+        assert!(result.is_err(), "worker panic must reach the submitting thread");
+        // The database (and its pool) stays usable afterwards.
+        let ok: Arc<dyn TransformUdf> = Tagger::new(0);
+        let out = db.run_transform_partitions(&ok, vec![int_partition(&[7])]).unwrap();
+        assert_eq!(first_values(&out), vec![7]);
     }
 
     #[test]

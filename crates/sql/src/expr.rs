@@ -20,14 +20,41 @@ pub enum PhysExpr {
     /// Input column by index.
     Column(usize),
     Literal(Value),
-    Binary { left: Box<PhysExpr>, op: BinaryOp, right: Box<PhysExpr> },
-    Unary { op: UnaryOp, expr: Box<PhysExpr> },
-    IsNull { expr: Box<PhysExpr>, negated: bool },
-    InList { expr: Box<PhysExpr>, list: Vec<PhysExpr>, negated: bool },
-    Like { expr: Box<PhysExpr>, pattern: Box<PhysExpr>, negated: bool },
-    Case { when_then: Vec<(PhysExpr, PhysExpr)>, else_expr: Option<Box<PhysExpr>> },
-    Cast { expr: Box<PhysExpr>, dtype: DataType },
-    ScalarFn { func: Arc<ScalarFunction>, args: Vec<PhysExpr> },
+    Binary {
+        left: Box<PhysExpr>,
+        op: BinaryOp,
+        right: Box<PhysExpr>,
+    },
+    Unary {
+        op: UnaryOp,
+        expr: Box<PhysExpr>,
+    },
+    IsNull {
+        expr: Box<PhysExpr>,
+        negated: bool,
+    },
+    InList {
+        expr: Box<PhysExpr>,
+        list: Vec<PhysExpr>,
+        negated: bool,
+    },
+    Like {
+        expr: Box<PhysExpr>,
+        pattern: Box<PhysExpr>,
+        negated: bool,
+    },
+    Case {
+        when_then: Vec<(PhysExpr, PhysExpr)>,
+        else_expr: Option<Box<PhysExpr>>,
+    },
+    Cast {
+        expr: Box<PhysExpr>,
+        dtype: DataType,
+    },
+    ScalarFn {
+        func: Arc<ScalarFunction>,
+        args: Vec<PhysExpr>,
+    },
 }
 
 impl std::fmt::Debug for PhysExpr {
@@ -162,9 +189,7 @@ impl PhysExpr {
                         (UnaryOp::Neg, Value::Int(x)) => Value::Int(-x),
                         (UnaryOp::Neg, Value::Float(x)) => Value::Float(-x),
                         (op, v) => {
-                            return Err(SqlError::Execution(format!(
-                                "cannot apply {op:?} to {v}"
-                            )))
+                            return Err(SqlError::Execution(format!("cannot apply {op:?} to {v}")))
                         }
                     };
                     b.push(out)?;
@@ -266,8 +291,7 @@ impl PhysExpr {
                 Ok(b.finish())
             }
             PhysExpr::ScalarFn { func, args } => {
-                let arg_cols: SqlResult<Vec<Column>> =
-                    args.iter().map(|a| a.eval(batch)).collect();
+                let arg_cols: SqlResult<Vec<Column>> = args.iter().map(|a| a.eval(batch)).collect();
                 let arg_cols = arg_cols?;
                 let arg_types: Vec<DataType> = arg_cols.iter().map(|c| c.dtype()).collect();
                 let out_type = (func.return_type)(&arg_types)?;
@@ -370,7 +394,7 @@ impl PhysExpr {
             PhysExpr::Like { expr, pattern, .. } => expr.is_constant() && pattern.is_constant(),
             PhysExpr::Case { when_then, else_expr } => {
                 when_then.iter().all(|(w, t)| w.is_constant() && t.is_constant())
-                    && else_expr.as_ref().map_or(true, |e| e.is_constant())
+                    && else_expr.as_ref().is_none_or(|e| e.is_constant())
             }
             PhysExpr::Cast { expr, .. } => expr.is_constant(),
             PhysExpr::ScalarFn { args, .. } => args.iter().all(|a| a.is_constant()),
@@ -785,10 +809,7 @@ mod tests {
             cast_value(&Value::Str("2.5".into()), DataType::Float).unwrap(),
             Value::Float(2.5)
         );
-        assert_eq!(
-            cast_value(&Value::Int(3), DataType::Str).unwrap(),
-            Value::Str("3".into())
-        );
+        assert_eq!(cast_value(&Value::Int(3), DataType::Str).unwrap(), Value::Str("3".into()));
         assert!(cast_value(&Value::Str("zzz".into()), DataType::Int).is_err());
     }
 
@@ -812,10 +833,8 @@ mod tests {
 
     #[test]
     fn float_fast_path_matches_generic() {
-        let schema = Schema::new(vec![
-            Field::new("x", DataType::Float),
-            Field::new("y", DataType::Float),
-        ]);
+        let schema =
+            Schema::new(vec![Field::new("x", DataType::Float), Field::new("y", DataType::Float)]);
         let rows: Vec<Vec<Value>> = (0..100)
             .map(|i| vec![Value::Float(i as f64), Value::Float((i * 2) as f64 + 0.5)])
             .collect();

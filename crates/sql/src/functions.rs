@@ -22,7 +22,7 @@ pub fn is_aggregate_function(name: &str) -> bool {
 }
 
 fn num_ret(args: &[DataType]) -> SqlResult<DataType> {
-    if args.iter().any(|t| *t == DataType::Float) {
+    if args.contains(&DataType::Float) {
         Ok(DataType::Float)
     } else {
         Ok(DataType::Int)
@@ -46,9 +46,8 @@ fn first_arg_ret(args: &[DataType]) -> SqlResult<DataType> {
 }
 
 fn need_f64(v: &Value, fname: &str) -> SqlResult<f64> {
-    v.as_float().ok_or_else(|| {
-        SqlError::Execution(format!("{fname}: expected numeric argument, got {v}"))
-    })
+    v.as_float()
+        .ok_or_else(|| SqlError::Execution(format!("{fname}: expected numeric argument, got {v}")))
 }
 
 fn null_if_any_null(args: &[Value]) -> bool {
@@ -140,11 +139,7 @@ pub fn builtin(name: &str) -> Option<Arc<ScalarFunction>> {
                 if vals.is_empty() {
                     return Ok(Value::Null);
                 }
-                Ok(vals
-                    .into_iter()
-                    .min_by(|a, b| a.total_cmp(b))
-                    .cloned()
-                    .unwrap_or(Value::Null))
+                Ok(vals.into_iter().min_by(|a, b| a.total_cmp(b)).cloned().unwrap_or(Value::Null))
             },
         },
         "greatest" => ScalarFunction {
@@ -155,11 +150,7 @@ pub fn builtin(name: &str) -> Option<Arc<ScalarFunction>> {
                 if vals.is_empty() {
                     return Ok(Value::Null);
                 }
-                Ok(vals
-                    .into_iter()
-                    .max_by(|a, b| a.total_cmp(b))
-                    .cloned()
-                    .unwrap_or(Value::Null))
+                Ok(vals.into_iter().max_by(|a, b| a.total_cmp(b)).cloned().unwrap_or(Value::Null))
             },
         },
         "coalesce" => ScalarFunction {

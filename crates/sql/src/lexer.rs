@@ -220,8 +220,7 @@ pub fn tokenize(input: &str) -> SqlResult<Vec<Token>> {
                 }
                 if end < bytes.len() && (bytes[end] == b'e' || bytes[end] == b'E') {
                     let mut exp_end = end + 1;
-                    if exp_end < bytes.len() && (bytes[exp_end] == b'+' || bytes[exp_end] == b'-')
-                    {
+                    if exp_end < bytes.len() && (bytes[exp_end] == b'+' || bytes[exp_end] == b'-') {
                         exp_end += 1;
                     }
                     if exp_end < bytes.len() && bytes[exp_end].is_ascii_digit() {
@@ -353,11 +352,7 @@ mod tests {
         let k = kinds("t.col");
         assert_eq!(
             &k[..3],
-            &[
-                TokenKind::Ident("t".into()),
-                TokenKind::Dot,
-                TokenKind::Ident("col".into())
-            ]
+            &[TokenKind::Ident("t".into()), TokenKind::Dot, TokenKind::Ident("col".into())]
         );
     }
 

@@ -186,10 +186,8 @@ mod tests {
 
     #[test]
     fn scan_schema_respects_projection() {
-        let schema = Schema::new(vec![
-            Field::new("a", DataType::Int),
-            Field::new("b", DataType::Str),
-        ]);
+        let schema =
+            Schema::new(vec![Field::new("a", DataType::Int), Field::new("b", DataType::Str)]);
         let scan = LogicalPlan::Scan {
             table: "t".into(),
             schema: schema.clone(),
@@ -197,12 +195,8 @@ mod tests {
             predicates: vec![],
         };
         assert_eq!(scan.schema().fields[0].name, "b");
-        let scan_all = LogicalPlan::Scan {
-            table: "t".into(),
-            schema,
-            projection: None,
-            predicates: vec![],
-        };
+        let scan_all =
+            LogicalPlan::Scan { table: "t".into(), schema, projection: None, predicates: vec![] };
         assert_eq!(scan_all.schema().len(), 2);
     }
 

@@ -67,10 +67,7 @@ fn fold_constants_plan(plan: LogicalPlan) -> SqlResult<LogicalPlan> {
             LogicalPlan::Limit { input: Box::new(fold_constants_plan(*input)?), n }
         }
         LogicalPlan::UnionAll { inputs, schema } => LogicalPlan::UnionAll {
-            inputs: inputs
-                .into_iter()
-                .map(fold_constants_plan)
-                .collect::<SqlResult<Vec<_>>>()?,
+            inputs: inputs.into_iter().map(fold_constants_plan).collect::<SqlResult<Vec<_>>>()?,
             schema,
         },
         LogicalPlan::Distinct { input } => {
@@ -89,9 +86,7 @@ pub fn fold_expr(expr: PhysExpr) -> SqlResult<PhysExpr> {
             op,
             right: Box::new(fold_expr(*right)?),
         },
-        PhysExpr::Unary { op, expr } => {
-            PhysExpr::Unary { op, expr: Box::new(fold_expr(*expr)?) }
-        }
+        PhysExpr::Unary { op, expr } => PhysExpr::Unary { op, expr: Box::new(fold_expr(*expr)?) },
         PhysExpr::IsNull { expr, negated } => {
             PhysExpr::IsNull { expr: Box::new(fold_expr(*expr)?), negated }
         }
@@ -163,14 +158,7 @@ fn push_predicates(plan: LogicalPlan) -> SqlResult<LogicalPlan> {
                         None => scan,
                     }
                 }
-                LogicalPlan::Join {
-                    left,
-                    right,
-                    kind: JoinKind::Inner,
-                    on,
-                    filter,
-                    schema,
-                } => {
+                LogicalPlan::Join { left, right, kind: JoinKind::Inner, on, filter, schema } => {
                     let left_width = left.schema().len();
                     let mut conjuncts = Vec::new();
                     split_conjuncts(predicate, &mut conjuncts);
@@ -183,7 +171,7 @@ fn push_predicates(plan: LogicalPlan) -> SqlResult<LogicalPlan> {
                         if !cols.is_empty() && cols.iter().all(|&i| i < left_width) {
                             left_preds.push(c);
                         } else if !cols.is_empty() && cols.iter().all(|&i| i >= left_width) {
-                            right_preds.push(shift_columns(c, left_width as isize * -1));
+                            right_preds.push(shift_columns(c, -(left_width as isize)));
                         } else {
                             keep.push(c);
                         }
@@ -213,11 +201,9 @@ fn push_predicates(plan: LogicalPlan) -> SqlResult<LogicalPlan> {
                 other => LogicalPlan::Filter { input: Box::new(other), predicate },
             }
         }
-        LogicalPlan::Project { input, exprs, schema } => LogicalPlan::Project {
-            input: Box::new(push_predicates(*input)?),
-            exprs,
-            schema,
-        },
+        LogicalPlan::Project { input, exprs, schema } => {
+            LogicalPlan::Project { input: Box::new(push_predicates(*input)?), exprs, schema }
+        }
         LogicalPlan::Join { left, right, kind, on, filter, schema } => LogicalPlan::Join {
             left: Box::new(push_predicates(*left)?),
             right: Box::new(push_predicates(*right)?),
@@ -383,10 +369,9 @@ pub fn map_columns(expr: PhysExpr, f: &impl Fn(usize) -> usize) -> PhysExpr {
         PhysExpr::Cast { expr, dtype } => {
             PhysExpr::Cast { expr: Box::new(map_columns(*expr, f)), dtype }
         }
-        PhysExpr::ScalarFn { func, args } => PhysExpr::ScalarFn {
-            func,
-            args: args.into_iter().map(|e| map_columns(e, f)).collect(),
-        },
+        PhysExpr::ScalarFn { func, args } => {
+            PhysExpr::ScalarFn { func, args: args.into_iter().map(|e| map_columns(e, f)).collect() }
+        }
     }
 }
 
@@ -397,12 +382,7 @@ fn push_projections(plan: LogicalPlan) -> SqlResult<LogicalPlan> {
         LogicalPlan::Project { input, exprs, schema } => {
             match *input {
                 // Project(Scan) and Project(Filter(Scan)).
-                LogicalPlan::Scan {
-                    table,
-                    schema: tschema,
-                    projection: None,
-                    predicates,
-                } => {
+                LogicalPlan::Scan { table, schema: tschema, projection: None, predicates } => {
                     let mut used = Vec::new();
                     for e in &exprs {
                         collect_columns(e, &mut used);
@@ -412,12 +392,7 @@ fn push_projections(plan: LogicalPlan) -> SqlResult<LogicalPlan> {
                     LogicalPlan::Project { input: Box::new(scan), exprs, schema }
                 }
                 LogicalPlan::Filter { input: finput, predicate } => match *finput {
-                    LogicalPlan::Scan {
-                        table,
-                        schema: tschema,
-                        projection: None,
-                        predicates,
-                    } => {
+                    LogicalPlan::Scan { table, schema: tschema, projection: None, predicates } => {
                         let mut used = Vec::new();
                         for e in &exprs {
                             collect_columns(e, &mut used);
@@ -425,8 +400,7 @@ fn push_projections(plan: LogicalPlan) -> SqlResult<LogicalPlan> {
                         collect_columns(&predicate, &mut used);
                         let (scan, remap) = narrow_scan(table, tschema, predicates, used);
                         let predicate = map_columns(predicate, &remap);
-                        let exprs =
-                            exprs.into_iter().map(|e| map_columns(e, &remap)).collect();
+                        let exprs = exprs.into_iter().map(|e| map_columns(e, &remap)).collect();
                         LogicalPlan::Project {
                             input: Box::new(LogicalPlan::Filter {
                                 input: Box::new(scan),
@@ -476,10 +450,7 @@ fn push_projections(plan: LogicalPlan) -> SqlResult<LogicalPlan> {
             LogicalPlan::Limit { input: Box::new(push_projections(*input)?), n }
         }
         LogicalPlan::UnionAll { inputs, schema } => LogicalPlan::UnionAll {
-            inputs: inputs
-                .into_iter()
-                .map(push_projections)
-                .collect::<SqlResult<Vec<_>>>()?,
+            inputs: inputs.into_iter().map(push_projections).collect::<SqlResult<Vec<_>>>()?,
             schema,
         },
         LogicalPlan::Distinct { input } => {
@@ -512,12 +483,7 @@ fn narrow_scan(
     }
     let mapping: std::collections::HashMap<usize, usize> =
         used.iter().enumerate().map(|(new, &old)| (old, new)).collect();
-    let scan = LogicalPlan::Scan {
-        table,
-        schema: tschema,
-        projection: Some(used),
-        predicates,
-    };
+    let scan = LogicalPlan::Scan { table, schema: tschema, projection: Some(used), predicates };
     (scan, identity_or_map(Some(mapping)))
 }
 
@@ -591,10 +557,8 @@ mod tests {
 
     #[test]
     fn predicate_sinks_into_scan() {
-        let plan = LogicalPlan::Filter {
-            input: Box::new(scan(3)),
-            predicate: cmp(1, BinaryOp::Eq, 7),
-        };
+        let plan =
+            LogicalPlan::Filter { input: Box::new(scan(3)), predicate: cmp(1, BinaryOp::Eq, 7) };
         let opt = optimize(plan).unwrap();
         let LogicalPlan::Scan { predicates, .. } = opt else {
             panic!("expected bare scan, got {}", opt.display_indent());
@@ -670,10 +634,8 @@ mod tests {
             ),
         };
         // c3 > 1 references only the right side (indices 2,3).
-        let plan = LogicalPlan::Filter {
-            input: Box::new(join),
-            predicate: cmp(3, BinaryOp::Gt, 1),
-        };
+        let plan =
+            LogicalPlan::Filter { input: Box::new(join), predicate: cmp(3, BinaryOp::Gt, 1) };
         let opt = optimize(plan).unwrap();
         let LogicalPlan::Join { right, .. } = opt else {
             panic!("expected join at root");
@@ -697,10 +659,8 @@ mod tests {
                 (0..2).map(|i| Field::new(format!("c{i}"), DataType::Int)).collect(),
             ),
         };
-        let plan = LogicalPlan::Filter {
-            input: Box::new(join),
-            predicate: cmp(1, BinaryOp::Eq, 1),
-        };
+        let plan =
+            LogicalPlan::Filter { input: Box::new(join), predicate: cmp(1, BinaryOp::Eq, 1) };
         let opt = optimize(plan).unwrap();
         assert!(matches!(opt, LogicalPlan::Filter { .. }));
     }

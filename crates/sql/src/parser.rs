@@ -375,8 +375,7 @@ impl Parser {
         }
         // alias.*
         if let TokenKind::Ident(name) = self.peek_kind().clone() {
-            if self.peek_kind_at(1) == &TokenKind::Dot && self.peek_kind_at(2) == &TokenKind::Star
-            {
+            if self.peek_kind_at(1) == &TokenKind::Dot && self.peek_kind_at(2) == &TokenKind::Star {
                 self.advance();
                 self.advance();
                 self.advance();
@@ -409,7 +408,7 @@ impl Parser {
         let mut left = self.parse_table_factor()?;
         loop {
             let kind = if self.peek_kind().is_kw("JOIN") || self.peek_kind().is_kw("INNER") {
-                if self.eat_kw("INNER") {}
+                self.eat_kw("INNER");
                 self.expect_kw("JOIN")?;
                 JoinKind::Inner
             } else if self.peek_kind().is_kw("LEFT") {
@@ -440,12 +439,7 @@ impl Parser {
                 self.expect_kw("ON")?;
                 Some(self.parse_expr()?)
             };
-            left = TableRef::Join {
-                left: Box::new(left),
-                right: Box::new(right),
-                kind,
-                on,
-            };
+            left = TableRef::Join { left: Box::new(left), right: Box::new(right), kind, on };
         }
         Ok(left)
     }
@@ -676,11 +670,7 @@ impl Parser {
                         }
                     }
                     self.expect(&TokenKind::RParen)?;
-                    return Ok(Expr::Function {
-                        name: word.to_ascii_lowercase(),
-                        args,
-                        distinct,
-                    });
+                    return Ok(Expr::Function { name: word.to_ascii_lowercase(), args, distinct });
                 }
                 self.parse_maybe_qualified(word)
             }
@@ -710,8 +700,7 @@ impl Parser {
         if when_then.is_empty() {
             return Err(self.err("CASE requires at least one WHEN"));
         }
-        let else_expr =
-            if self.eat_kw("ELSE") { Some(Box::new(self.parse_expr()?)) } else { None };
+        let else_expr = if self.eat_kw("ELSE") { Some(Box::new(self.parse_expr()?)) } else { None };
         self.expect_kw("END")?;
         Ok(Expr::Case { when_then, else_expr })
     }
@@ -835,10 +824,7 @@ mod tests {
         let s = parse_statement("SELECT COUNT(*), COUNT(DISTINCT src) FROM edge").unwrap();
         let Statement::Query(q) = s else { panic!() };
         let SetExpr::Select(sel) = &q.body else { panic!() };
-        assert!(matches!(
-            sel.items[0],
-            SelectItem::Expr { expr: Expr::CountStar, .. }
-        ));
+        assert!(matches!(sel.items[0], SelectItem::Expr { expr: Expr::CountStar, .. }));
         assert!(matches!(
             &sel.items[1],
             SelectItem::Expr { expr: Expr::Function { distinct: true, .. }, .. }
@@ -885,9 +871,6 @@ mod tests {
         let s = parse_statement("SELECT * FROM a, b WHERE a.x = b.y").unwrap();
         let Statement::Query(q) = s else { panic!() };
         let SetExpr::Select(sel) = &q.body else { panic!() };
-        assert!(matches!(
-            sel.from,
-            Some(TableRef::Join { kind: JoinKind::Cross, .. })
-        ));
+        assert!(matches!(sel.from, Some(TableRef::Join { kind: JoinKind::Cross, .. })));
     }
 }

@@ -231,9 +231,7 @@ fn hash_join(
     if on.is_empty() {
         // No equi keys: degenerate to a filtered cross product.
         let crossed = cross_join_indices(left.num_rows(), right.num_rows());
-        return materialize_join(
-            left, right, &crossed, residual, schema, outer, flipped,
-        );
+        return materialize_join(left, right, &crossed, residual, schema, outer, flipped);
     }
 
     // Build side: the non-preserved side for outer joins.
@@ -285,16 +283,14 @@ fn hash_join(
         // Generic path: hash the build side on dynamic keys.
         let mut table: FxHashMap<GroupKey, Vec<usize>> = FxHashMap::default();
         for i in 0..build.num_rows() {
-            let key: Vec<Value> =
-                build_keys.iter().map(|&c| build.column(c).value(i)).collect();
+            let key: Vec<Value> = build_keys.iter().map(|&c| build.column(c).value(i)).collect();
             if key.iter().any(|v| v.is_null()) {
                 continue; // NULL keys never match.
             }
             table.entry(GroupKey(key)).or_default().push(i);
         }
         for i in 0..probe.num_rows() {
-            let key: Vec<Value> =
-                probe_keys.iter().map(|&c| probe.column(c).value(i)).collect();
+            let key: Vec<Value> = probe_keys.iter().map(|&c| probe.column(c).value(i)).collect();
             if key.iter().any(|v| v.is_null()) {
                 if outer {
                     pairs.push((i, None));
@@ -530,16 +526,12 @@ impl Acc {
                 }
             }
             Acc::Min(cur) => {
-                if !v.is_null()
-                    && cur.as_ref().map_or(true, |c| v.total_cmp(c).is_lt())
-                {
+                if !v.is_null() && cur.as_ref().is_none_or(|c| v.total_cmp(c).is_lt()) {
                     *cur = Some(v.clone());
                 }
             }
             Acc::Max(cur) => {
-                if !v.is_null()
-                    && cur.as_ref().map_or(true, |c| v.total_cmp(c).is_gt())
-                {
+                if !v.is_null() && cur.as_ref().is_none_or(|c| v.total_cmp(c).is_gt()) {
                     *cur = Some(v.clone());
                 }
             }
@@ -600,6 +592,10 @@ impl Acc {
     }
 }
 
+/// One input batch with its pre-evaluated group-key and aggregate-argument
+/// columns.
+type EvaluatedBatch<'a> = (&'a RecordBatch, Vec<Column>, Vec<Option<Column>>);
+
 fn hash_aggregate(
     batches: &[RecordBatch],
     input_schema: Arc<Schema>,
@@ -616,7 +612,7 @@ fn hash_aggregate(
 
     // Evaluate group keys and aggregate arguments for every batch up front so
     // the key-path decision (typed vs generic) is made once, globally.
-    let mut evaluated: Vec<(&RecordBatch, Vec<Column>, Vec<Option<Column>>)> = Vec::new();
+    let mut evaluated: Vec<EvaluatedBatch<'_>> = Vec::new();
     for batch in batches {
         if batch.num_rows() == 0 {
             continue;
@@ -636,20 +632,18 @@ fn hash_aggregate(
     // Fast path for a single BIGINT group key with no nulls anywhere (the
     // vertex-id shape): avoids the per-row `Vec<Value>` key allocation.
     let int_fast = group.len() == 1
-        && evaluated
-            .iter()
-            .all(|(_, g, _)| g[0].validity().is_none() && g[0].as_int().is_some());
+        && evaluated.iter().all(|(_, g, _)| g[0].validity().is_none() && g[0].as_int().is_some());
     if int_fast {
         let mut int_groups: FxHashMap<i64, usize> = FxHashMap::default();
         for (batch, group_cols, arg_cols) in &evaluated {
             let keys = group_cols[0].as_int().expect("checked int");
-            for row in 0..batch.num_rows() {
-                let slot = match int_groups.entry(keys[row]) {
+            for (row, &key) in keys.iter().enumerate().take(batch.num_rows()) {
+                let slot = match int_groups.entry(key) {
                     Entry::Occupied(e) => *e.get(),
                     Entry::Vacant(e) => {
                         let idx = acc_table.len();
                         e.insert(idx);
-                        order.push(GroupKey(vec![Value::Int(keys[row])]));
+                        order.push(GroupKey(vec![Value::Int(key)]));
                         acc_table.push(new_accs());
                         idx
                     }
@@ -781,10 +775,7 @@ mod tests {
                 .iter()
                 .enumerate()
                 .map(|(i, n)| {
-                    Field::new(
-                        *n,
-                        if i % 3 == 2 { DataType::Float } else { DataType::Int },
-                    )
+                    Field::new(*n, if i % 3 == 2 { DataType::Float } else { DataType::Int })
                 })
                 .collect(),
         );
@@ -847,11 +838,7 @@ mod tests {
             group: vec![PhysExpr::Column(0)],
             aggs: vec![
                 AggCall { func: AggFunc::CountStar, arg: None, distinct: false },
-                AggCall {
-                    func: AggFunc::Sum,
-                    arg: Some(PhysExpr::Column(2)),
-                    distinct: false,
-                },
+                AggCall { func: AggFunc::Sum, arg: Some(PhysExpr::Column(2)), distinct: false },
             ],
             schema: out_schema,
         };
@@ -968,10 +955,8 @@ mod tests {
             .unwrap();
         b.write().insert_row(vec![Value::Int(1)]).unwrap();
         b.write().insert_row(vec![Value::Int(2)]).unwrap();
-        let schema = Schema::new(vec![
-            Field::new("x", DataType::Int),
-            Field::new("y", DataType::Int),
-        ]);
+        let schema =
+            Schema::new(vec![Field::new("x", DataType::Int), Field::new("y", DataType::Int)]);
         let plan = LogicalPlan::Join {
             left: Box::new(scan(&cat, "a")),
             right: Box::new(scan(&cat, "b")),

@@ -72,21 +72,19 @@ impl Scope {
     }
 
     fn to_schema(&self) -> Arc<Schema> {
-        Schema::new(
-            self.cols
-                .iter()
-                .map(|c| Field::new(c.name.clone(), c.dtype))
-                .collect(),
-        )
+        Schema::new(self.cols.iter().map(|c| Field::new(c.name.clone(), c.dtype)).collect())
     }
 }
+
+/// A planned CTE body: its logical plan and output schema.
+type CteEntry = (LogicalPlan, Arc<Schema>);
 
 /// The planner. Holds the catalog (for table schemas), the scalar-function
 /// registry and the in-scope CTEs.
 pub struct Planner<'a> {
     catalog: &'a Catalog,
     functions: &'a FunctionRegistry,
-    ctes: HashMap<String, (LogicalPlan, Arc<Schema>)>,
+    ctes: HashMap<String, CteEntry>,
 }
 
 impl<'a> Planner<'a> {
@@ -97,7 +95,7 @@ impl<'a> Planner<'a> {
     /// Plans a full query (CTEs, body, ORDER BY, LIMIT).
     pub fn plan_query(&mut self, query: &Query) -> SqlResult<LogicalPlan> {
         // Register CTEs (visible to later CTEs and the body).
-        let saved: Vec<(String, Option<(LogicalPlan, Arc<Schema>)>)> = query
+        let saved: Vec<(String, Option<CteEntry>)> = query
             .ctes
             .iter()
             .map(|(name, _)| {
@@ -139,9 +137,7 @@ impl<'a> Planner<'a> {
             let over_output: SqlResult<Vec<(PhysExpr, bool)>> = query
                 .order_by
                 .iter()
-                .map(|ob| {
-                    Ok((self.resolve_output_expr(&ob.expr, &item_asts, &out_scope)?, ob.asc))
-                })
+                .map(|ob| Ok((self.resolve_output_expr(&ob.expr, &item_asts, &out_scope)?, ob.asc)))
                 .collect();
             match over_output {
                 Ok(keys) => {
@@ -159,12 +155,13 @@ impl<'a> Planner<'a> {
                         if matches!(ob.expr, ast::Expr::Literal(Value::Int(_))) {
                             return Err(err);
                         }
-                        let key = match self.resolve_output_expr(&ob.expr, &item_asts, &out_scope)
-                        {
+                        let key = match self.resolve_output_expr(&ob.expr, &item_asts, &out_scope) {
                             // Remap an output-level key below the projection
                             // by substituting projection expressions.
                             Ok(k) => substitute_columns(k, &exprs),
-                            Err(_) => self.plan_expr(&ob.expr, &in_scope).map_err(|_| err_clone(&err))?,
+                            Err(_) => {
+                                self.plan_expr(&ob.expr, &in_scope).map_err(|_| err_clone(&err))?
+                            }
                         };
                         keys.push((key, ob.asc));
                     }
@@ -247,15 +244,10 @@ impl<'a> Planner<'a> {
             target.push(t);
         }
         let schema = Schema::new(
-            ls.fields
-                .iter()
-                .zip(&target)
-                .map(|(f, t)| Field::new(f.name.clone(), *t))
-                .collect(),
+            ls.fields.iter().zip(&target).map(|(f, t)| Field::new(f.name.clone(), *t)).collect(),
         );
         let cast_branch = |plan: LogicalPlan, from: &Schema| -> LogicalPlan {
-            let needs_cast =
-                from.fields.iter().zip(&target).any(|(f, t)| f.dtype != *t);
+            let needs_cast = from.fields.iter().zip(&target).any(|(f, t)| f.dtype != *t);
             if !needs_cast {
                 return plan;
             }
@@ -333,11 +325,8 @@ impl<'a> Planner<'a> {
             self.plan_plain_select(plan, scope, sel)?
         };
 
-        let plan = if sel.distinct {
-            LogicalPlan::Distinct { input: Box::new(plan) }
-        } else {
-            plan
-        };
+        let plan =
+            if sel.distinct { LogicalPlan::Distinct { input: Box::new(plan) } } else { plan };
         Ok((plan, item_asts))
     }
 
@@ -361,10 +350,7 @@ impl<'a> Planner<'a> {
             item_asts.push(expr_ast.clone());
         }
         let schema = Schema::new(fields);
-        Ok((
-            LogicalPlan::Project { input: Box::new(input), exprs, schema },
-            item_asts,
-        ))
+        Ok((LogicalPlan::Project { input: Box::new(input), exprs, schema }, item_asts))
     }
 
     fn plan_aggregate_select(
@@ -414,10 +400,7 @@ impl<'a> Planner<'a> {
                         return Err(SqlError::Plan(format!("{name} takes one argument")));
                     }
                     let arg = self.plan_expr(&args[0], &scope)?;
-                    (
-                        AggCall { func, arg: Some(arg), distinct: *distinct },
-                        name.clone(),
-                    )
+                    (AggCall { func, arg: Some(arg), distinct: *distinct }, name.clone())
                 }
                 other => {
                     return Err(SqlError::Plan(format!("unsupported aggregate {other:?}")));
@@ -468,10 +451,7 @@ impl<'a> Planner<'a> {
             item_asts.push(expr.clone());
         }
         let schema = Schema::new(out_fields);
-        Ok((
-            LogicalPlan::Project { input: Box::new(plan), exprs, schema },
-            item_asts,
-        ))
+        Ok((LogicalPlan::Project { input: Box::new(plan), exprs, schema }, item_asts))
     }
 
     /// GROUP BY items may be positions (`GROUP BY 1`) or select aliases.
@@ -501,6 +481,9 @@ impl<'a> Planner<'a> {
     /// Rewrites a post-aggregation expression (select item or HAVING) into a
     /// `PhysExpr` over the aggregate output schema: group expressions and
     /// aggregate calls become column references.
+    // `agg_schema` is threaded through recursive calls so every rewrite level
+    // resolves columns against the same aggregate output schema.
+    #[allow(clippy::only_used_in_recursion)]
     fn rewrite_post_agg(
         &self,
         expr: &ast::Expr,
@@ -563,9 +546,9 @@ impl<'a> Planner<'a> {
             }
             ast::Expr::Like { expr, pattern, negated } => Ok(PhysExpr::Like {
                 expr: Box::new(self.rewrite_post_agg(expr, group_asts, agg_asts, agg_schema)?),
-                pattern: Box::new(self.rewrite_post_agg(
-                    pattern, group_asts, agg_asts, agg_schema,
-                )?),
+                pattern: Box::new(
+                    self.rewrite_post_agg(pattern, group_asts, agg_asts, agg_schema)?,
+                ),
                 negated: *negated,
             }),
             ast::Expr::Case { when_then, else_expr } => Ok(PhysExpr::Case {
@@ -627,12 +610,7 @@ impl<'a> Planner<'a> {
                 let qualifier = alias.as_deref().unwrap_or(name);
                 let scope = Scope::from_schema(&schema, Some(qualifier));
                 Ok((
-                    LogicalPlan::Scan {
-                        table: key,
-                        schema,
-                        projection: None,
-                        predicates: vec![],
-                    },
+                    LogicalPlan::Scan { table: key, schema, projection: None, predicates: vec![] },
                     scope,
                 ))
             }
@@ -727,14 +705,12 @@ impl<'a> Planner<'a> {
                 op: *op,
                 right: Box::new(self.plan_expr(right, scope)?),
             },
-            ast::Expr::Unary { op, expr } => PhysExpr::Unary {
-                op: *op,
-                expr: Box::new(self.plan_expr(expr, scope)?),
-            },
-            ast::Expr::IsNull { expr, negated } => PhysExpr::IsNull {
-                expr: Box::new(self.plan_expr(expr, scope)?),
-                negated: *negated,
-            },
+            ast::Expr::Unary { op, expr } => {
+                PhysExpr::Unary { op: *op, expr: Box::new(self.plan_expr(expr, scope)?) }
+            }
+            ast::Expr::IsNull { expr, negated } => {
+                PhysExpr::IsNull { expr: Box::new(self.plan_expr(expr, scope)?), negated: *negated }
+            }
             ast::Expr::InList { expr, list, negated } => PhysExpr::InList {
                 expr: Box::new(self.plan_expr(expr, scope)?),
                 list: list
@@ -764,10 +740,9 @@ impl<'a> Planner<'a> {
                     .map(|e| self.plan_expr(e, scope).map(Box::new))
                     .transpose()?,
             },
-            ast::Expr::Cast { expr, dtype } => PhysExpr::Cast {
-                expr: Box::new(self.plan_expr(expr, scope)?),
-                dtype: *dtype,
-            },
+            ast::Expr::Cast { expr, dtype } => {
+                PhysExpr::Cast { expr: Box::new(self.plan_expr(expr, scope)?), dtype: *dtype }
+            }
             ast::Expr::Function { name, args, .. } => {
                 if is_aggregate_function(name) {
                     return Err(SqlError::Plan(format!(
@@ -819,10 +794,9 @@ fn substitute_columns(expr: PhysExpr, replacements: &[PhysExpr]) -> PhysExpr {
         PhysExpr::Unary { op, expr } => {
             PhysExpr::Unary { op, expr: Box::new(substitute_columns(*expr, replacements)) }
         }
-        PhysExpr::IsNull { expr, negated } => PhysExpr::IsNull {
-            expr: Box::new(substitute_columns(*expr, replacements)),
-            negated,
-        },
+        PhysExpr::IsNull { expr, negated } => {
+            PhysExpr::IsNull { expr: Box::new(substitute_columns(*expr, replacements)), negated }
+        }
         PhysExpr::InList { expr, list, negated } => PhysExpr::InList {
             expr: Box::new(substitute_columns(*expr, replacements)),
             list: list.into_iter().map(|e| substitute_columns(e, replacements)).collect(),
@@ -842,10 +816,9 @@ fn substitute_columns(expr: PhysExpr, replacements: &[PhysExpr]) -> PhysExpr {
                 .collect(),
             else_expr: else_expr.map(|e| Box::new(substitute_columns(*e, replacements))),
         },
-        PhysExpr::Cast { expr, dtype } => PhysExpr::Cast {
-            expr: Box::new(substitute_columns(*expr, replacements)),
-            dtype,
-        },
+        PhysExpr::Cast { expr, dtype } => {
+            PhysExpr::Cast { expr: Box::new(substitute_columns(*expr, replacements)), dtype }
+        }
         PhysExpr::ScalarFn { func, args } => PhysExpr::ScalarFn {
             func,
             args: args.into_iter().map(|e| substitute_columns(e, replacements)).collect(),
@@ -859,11 +832,8 @@ fn err_clone(e: &SqlError) -> SqlError {
 
 /// `a BETWEEN x AND y` desugars to `a >= x AND a <= y`.
 fn between_to_phys(e: PhysExpr, lo: PhysExpr, hi: PhysExpr, negated: bool) -> PhysExpr {
-    let ge = PhysExpr::Binary {
-        left: Box::new(e.clone()),
-        op: BinaryOp::GtEq,
-        right: Box::new(lo),
-    };
+    let ge =
+        PhysExpr::Binary { left: Box::new(e.clone()), op: BinaryOp::GtEq, right: Box::new(lo) };
     let le = PhysExpr::Binary { left: Box::new(e), op: BinaryOp::LtEq, right: Box::new(hi) };
     let both = PhysExpr::Binary { left: Box::new(ge), op: BinaryOp::And, right: Box::new(le) };
     if negated {
@@ -976,10 +946,7 @@ fn expand_wildcards(
                 let mut any = false;
                 for c in &scope.cols {
                     if c.qualifier.as_deref().is_some_and(|cq| cq.eq_ignore_ascii_case(q)) {
-                        out.push((
-                            ast::Expr::Column(c.qualifier.clone(), c.name.clone()),
-                            None,
-                        ));
+                        out.push((ast::Expr::Column(c.qualifier.clone(), c.name.clone()), None));
                         any = true;
                     }
                 }
@@ -1060,10 +1027,7 @@ mod tests {
     #[test]
     fn unknown_column_rejected() {
         let cat = setup();
-        assert!(matches!(
-            plan(&cat, "SELECT nonexistent FROM edge"),
-            Err(SqlError::Plan(_))
-        ));
+        assert!(matches!(plan(&cat, "SELECT nonexistent FROM edge"), Err(SqlError::Plan(_))));
     }
 
     #[test]
@@ -1092,11 +1056,9 @@ mod tests {
     #[test]
     fn aggregate_with_having() {
         let cat = setup();
-        let p = plan(
-            &cat,
-            "SELECT src, COUNT(*) AS cnt FROM edge GROUP BY src HAVING COUNT(*) > 2",
-        )
-        .unwrap();
+        let p =
+            plan(&cat, "SELECT src, COUNT(*) AS cnt FROM edge GROUP BY src HAVING COUNT(*) > 2")
+                .unwrap();
         let s = p.schema();
         assert_eq!(s.fields[0].name, "src");
         assert_eq!(s.fields[1].name, "cnt");

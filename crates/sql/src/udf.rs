@@ -67,11 +67,9 @@ mod tests {
     fn transform_udf_contract() {
         let udf = Doubler;
         let schema = Schema::new(vec![Field::new("x", DataType::Int)]);
-        let batch = RecordBatch::from_rows(
-            schema.clone(),
-            &[vec![Value::Int(1)], vec![Value::Int(5)]],
-        )
-        .unwrap();
+        let batch =
+            RecordBatch::from_rows(schema.clone(), &[vec![Value::Int(1)], vec![Value::Int(5)]])
+                .unwrap();
         let out = udf.execute(vec![batch]).unwrap();
         assert_eq!(out[0].column(0).value(1), Value::Int(10));
         assert_eq!(udf.output_schema(&schema).unwrap().fields[0].name, "doubled");

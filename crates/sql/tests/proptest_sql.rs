@@ -4,14 +4,12 @@
 
 use proptest::prelude::*;
 use vertexica_sql::Database;
-use vertexica_storage::Value;
 
 fn db_with_numbers(values: &[(i64, f64)]) -> Database {
     let db = Database::new();
     db.execute("CREATE TABLE nums (k BIGINT NOT NULL, x FLOAT)").unwrap();
     for chunk in values.chunks(256) {
-        let rows: Vec<String> =
-            chunk.iter().map(|(k, x)| format!("({k}, {x:?})")).collect();
+        let rows: Vec<String> = chunk.iter().map(|(k, x)| format!("({k}, {x:?})")).collect();
         db.execute(&format!("INSERT INTO nums VALUES {}", rows.join(","))).unwrap();
     }
     db

@@ -149,10 +149,7 @@ mod tests {
     use crate::value::{DataType, Field};
 
     fn test_schema() -> Arc<Schema> {
-        Schema::new(vec![
-            Field::new("id", DataType::Int),
-            Field::new("name", DataType::Str),
-        ])
+        Schema::new(vec![Field::new("id", DataType::Int), Field::new("name", DataType::Str)])
     }
 
     fn test_batch() -> RecordBatch {

@@ -64,7 +64,7 @@ impl Bitmap {
 
     /// Appends a bit.
     pub fn push(&mut self, v: bool) {
-        if self.len % 64 == 0 {
+        if self.len.is_multiple_of(64) {
             self.words.push(0);
         }
         self.len += 1;
@@ -127,10 +127,7 @@ impl Bitmap {
 
     /// Bitwise NOT.
     pub fn not(&self) -> Bitmap {
-        let mut b = Bitmap {
-            words: self.words.iter().map(|w| !w).collect(),
-            len: self.len,
-        };
+        let mut b = Bitmap { words: self.words.iter().map(|w| !w).collect(), len: self.len };
         b.mask_tail();
         b
     }

@@ -97,9 +97,8 @@ impl Catalog {
         if tables.contains_key(&to_key) {
             return Err(StorageError::DuplicateTable(to.to_string()));
         }
-        let t = tables
-            .remove(&from_key)
-            .ok_or_else(|| StorageError::NoSuchTable(from.to_string()))?;
+        let t =
+            tables.remove(&from_key).ok_or_else(|| StorageError::NoSuchTable(from.to_string()))?;
         t.write().set_name(to_key.clone());
         tables.insert(to_key, t);
         Ok(())

@@ -194,16 +194,15 @@ impl Column {
             ColumnData::Bool(v) => ColumnData::Bool(indices.iter().map(|&i| v[i]).collect()),
             ColumnData::Int(v) => ColumnData::Int(indices.iter().map(|&i| v[i]).collect()),
             ColumnData::Float(v) => ColumnData::Float(indices.iter().map(|&i| v[i]).collect()),
-            ColumnData::Str(v) => {
-                ColumnData::Str(indices.iter().map(|&i| v[i].clone()).collect())
-            }
+            ColumnData::Str(v) => ColumnData::Str(indices.iter().map(|&i| v[i].clone()).collect()),
             ColumnData::Blob(v) => {
                 ColumnData::Blob(indices.iter().map(|&i| v[i].clone()).collect())
             }
         };
-        let validity = self.validity.as_ref().map(|valid| {
-            Bitmap::from_iter_bool(indices.iter().map(|&i| valid.get(i)))
-        });
+        let validity = self
+            .validity
+            .as_ref()
+            .map(|valid| Bitmap::from_iter_bool(indices.iter().map(|&i| valid.get(i))));
         Column::new(data, validity)
     }
 
@@ -421,11 +420,10 @@ mod tests {
     fn take_reorders_and_repeats() {
         let c = int_col(&[10, 20, 30]);
         let t = c.take(&[2, 0, 0]);
-        assert_eq!(t.iter().collect::<Vec<_>>(), vec![
-            Value::Int(30),
-            Value::Int(10),
-            Value::Int(10)
-        ]);
+        assert_eq!(
+            t.iter().collect::<Vec<_>>(),
+            vec![Value::Int(30), Value::Int(10), Value::Int(10)]
+        );
     }
 
     #[test]

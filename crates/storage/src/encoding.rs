@@ -175,7 +175,14 @@ mod tests {
     #[test]
     fn rle_roundtrip() {
         let c = col(
-            vec![Value::Int(5), Value::Int(5), Value::Int(5), Value::Int(7), Value::Null, Value::Null],
+            vec![
+                Value::Int(5),
+                Value::Int(5),
+                Value::Int(5),
+                Value::Int(7),
+                Value::Null,
+                Value::Null,
+            ],
             DataType::Int,
         );
         let e = EncodedColumn::encode_rle(&c);
@@ -227,9 +234,8 @@ mod tests {
 
     #[test]
     fn auto_picks_dict_for_repetitive_strings() {
-        let values: Vec<Value> = (0..300)
-            .map(|i| Value::Str(["friend", "family", "classmate"][i % 3].into()))
-            .collect();
+        let values: Vec<Value> =
+            (0..300).map(|i| Value::Str(["friend", "family", "classmate"][i % 3].into())).collect();
         // Shuffle-ish ordering so RLE doesn't win.
         let c = col(values, DataType::Str);
         let e = EncodedColumn::encode_auto(&c);

@@ -60,7 +60,6 @@ pub fn hash_partition(
 mod tests {
     use super::*;
     use crate::value::{DataType, Field, Schema, Value};
-    use std::sync::Arc;
 
     fn batch_with_ids(ids: &[i64]) -> RecordBatch {
         let schema = Schema::new(vec![
@@ -87,10 +86,8 @@ mod tests {
         // Find where key 5 lives; all three copies must be there.
         let mut count5 = Vec::new();
         for p in &parts {
-            let c: usize = p
-                .iter()
-                .map(|b| b.column(0).iter().filter(|v| *v == Value::Int(5)).count())
-                .sum();
+            let c: usize =
+                p.iter().map(|b| b.column(0).iter().filter(|v| *v == Value::Int(5)).count()).sum();
             if c > 0 {
                 count5.push(c);
             }
@@ -114,10 +111,8 @@ mod tests {
         // Key 1 appears in exactly one partition, with 2 rows across batches.
         let mut ones = 0;
         for p in &parts {
-            let c: usize = p
-                .iter()
-                .map(|b| b.column(0).iter().filter(|v| *v == Value::Int(1)).count())
-                .sum();
+            let c: usize =
+                p.iter().map(|b| b.column(0).iter().filter(|v| *v == Value::Int(1)).count()).sum();
             if c > 0 {
                 assert_eq!(c, 2);
                 ones += 1;

@@ -386,7 +386,9 @@ mod tests {
     fn roundtrip_applies_deletes() {
         let mut t = sample_table();
         t.moveout().unwrap();
-        let scans = t.scan_with_rowids(None, &[ColumnPredicate::new(0, PredicateOp::Lt, Value::Int(10))]).unwrap();
+        let scans = t
+            .scan_with_rowids(None, &[ColumnPredicate::new(0, PredicateOp::Lt, Value::Int(10))])
+            .unwrap();
         let ids: Vec<u64> = scans.iter().flat_map(|(_, ids)| ids.clone()).collect();
         t.delete_rowids(&ids);
         let bytes = table_to_bytes(&t).unwrap();
@@ -408,10 +410,7 @@ mod tests {
 
     #[test]
     fn bad_magic_rejected() {
-        assert!(matches!(
-            table_from_bytes(b"NOTAMAGIC"),
-            Err(StorageError::Corrupt(_))
-        ));
+        assert!(matches!(table_from_bytes(b"NOTAMAGIC"), Err(StorageError::Corrupt(_))));
     }
 
     #[test]
@@ -419,10 +418,7 @@ mod tests {
         let t = sample_table();
         let bytes = table_to_bytes(&t).unwrap();
         for cut in [7, 20, bytes.len() / 2, bytes.len() - 3] {
-            assert!(
-                table_from_bytes(&bytes[..cut]).is_err(),
-                "cut at {cut} should fail"
-            );
+            assert!(table_from_bytes(&bytes[..cut]).is_err(), "cut at {cut} should fail");
         }
     }
 

@@ -159,7 +159,9 @@ impl Segment {
         let zone_maps = columns.iter().map(ZoneMap::from_column).collect();
         let columns = columns
             .into_iter()
-            .map(|c| if compress { EncodedColumn::encode_auto(&c) } else { EncodedColumn::Plain(c) })
+            .map(
+                |c| if compress { EncodedColumn::encode_auto(&c) } else { EncodedColumn::Plain(c) },
+            )
             .collect();
         Segment { num_rows, columns, zone_maps }
     }
@@ -386,11 +388,7 @@ impl Table {
         projection: Option<&[usize]>,
         predicates: &[ColumnPredicate],
     ) -> StorageResult<Vec<RecordBatch>> {
-        Ok(self
-            .scan_with_rowids(projection, predicates)?
-            .into_iter()
-            .map(|(b, _)| b)
-            .collect())
+        Ok(self.scan_with_rowids(projection, predicates)?.into_iter().map(|(b, _)| b).collect())
     }
 
     /// Like [`Table::scan`] but also returns each row's stable rowid, for
@@ -455,10 +453,8 @@ impl Table {
 
         // WOS scan.
         if !self.wos.is_empty() {
-            let mut builders: Vec<ColumnBuilder> = proj
-                .iter()
-                .map(|&ci| ColumnBuilder::new(self.schema.field(ci).dtype))
-                .collect();
+            let mut builders: Vec<ColumnBuilder> =
+                proj.iter().map(|&ci| ColumnBuilder::new(self.schema.field(ci).dtype)).collect();
             let mut rowids = Vec::new();
             'wos_rows: for (r, row) in self.wos.iter().enumerate() {
                 for p in predicates {
@@ -583,11 +579,8 @@ mod tests {
 
     #[test]
     fn auto_moveout_at_threshold() {
-        let mut t = Table::new(
-            "t",
-            edge_schema(),
-            TableOptions::default().with_moveout_threshold(2),
-        );
+        let mut t =
+            Table::new("t", edge_schema(), TableOptions::default().with_moveout_threshold(2));
         for i in 0..5i64 {
             t.insert_row(vec![Value::Int(i), Value::Int(i + 1), Value::Null]).unwrap();
         }
@@ -598,11 +591,7 @@ mod tests {
 
     #[test]
     fn moveout_sorts_by_sort_key() {
-        let mut t = Table::new(
-            "t",
-            edge_schema(),
-            TableOptions::default().sorted_by(vec![0]),
-        );
+        let mut t = Table::new("t", edge_schema(), TableOptions::default().sorted_by(vec![0]));
         for s in [3i64, 1, 2, 0] {
             t.insert_row(vec![Value::Int(s), Value::Int(0), Value::Null]).unwrap();
         }
@@ -641,11 +630,8 @@ mod tests {
 
     #[test]
     fn zone_map_prunes_segments() {
-        let mut t = Table::new(
-            "t",
-            edge_schema(),
-            TableOptions::default().with_moveout_threshold(2),
-        );
+        let mut t =
+            Table::new("t", edge_schema(), TableOptions::default().with_moveout_threshold(2));
         // Two segments: src in {0,1} and src in {10,11}.
         for s in [0i64, 1, 10, 11] {
             t.insert_row(vec![Value::Int(s), Value::Int(0), Value::Null]).unwrap();
@@ -682,9 +668,9 @@ mod tests {
         let scans = t.scan_with_rowids(None, &[pred]).unwrap();
         let (batch, ids) = &scans[0];
         assert_eq!(batch.num_rows(), 1);
-        let updated =
-            t.update_rows(vec![(ids[0], vec![Value::Int(2), Value::Int(99), Value::Float(5.0)])])
-                .unwrap();
+        let updated = t
+            .update_rows(vec![(ids[0], vec![Value::Int(2), Value::Int(99), Value::Float(5.0)])])
+            .unwrap();
         assert_eq!(updated, 1);
         let pred = ColumnPredicate::new(1, PredicateOp::Eq, Value::Int(99));
         let found = t.scan(None, &[pred]).unwrap();
@@ -693,11 +679,8 @@ mod tests {
 
     #[test]
     fn mergeout_compacts() {
-        let mut t = Table::new(
-            "t",
-            edge_schema(),
-            TableOptions::default().with_moveout_threshold(1),
-        );
+        let mut t =
+            Table::new("t", edge_schema(), TableOptions::default().with_moveout_threshold(1));
         for i in 0..4i64 {
             t.insert_row(vec![Value::Int(i), Value::Int(0), Value::Null]).unwrap();
         }

@@ -330,10 +330,8 @@ mod tests {
 
     #[test]
     fn schema_lookup_is_case_insensitive() {
-        let schema = Schema::new(vec![
-            Field::new("Id", DataType::Int),
-            Field::new("name", DataType::Str),
-        ]);
+        let schema =
+            Schema::new(vec![Field::new("Id", DataType::Int), Field::new("name", DataType::Str)]);
         assert_eq!(schema.index_of("id"), Some(0));
         assert_eq!(schema.index_of("NAME"), Some(1));
         assert_eq!(schema.index_of("missing"), None);

@@ -11,11 +11,9 @@ use vertexica_storage::{
 
 fn arb_value_for(dtype: DataType) -> BoxedStrategy<Value> {
     match dtype {
-        DataType::Bool => prop_oneof![
-            Just(Value::Null),
-            any::<bool>().prop_map(Value::Bool)
-        ]
-        .boxed(),
+        DataType::Bool => {
+            prop_oneof![Just(Value::Null), any::<bool>().prop_map(Value::Bool)].boxed()
+        }
         DataType::Int => prop_oneof![
             1 => Just(Value::Null),
             9 => any::<i64>().prop_map(Value::Int)
@@ -51,8 +49,7 @@ fn arb_dtype() -> impl Strategy<Value = DataType> {
 
 fn arb_column() -> impl Strategy<Value = (DataType, Vec<Value>)> {
     arb_dtype().prop_flat_map(|dt| {
-        proptest::collection::vec(arb_value_for(dt), 0..200)
-            .prop_map(move |vals| (dt, vals))
+        proptest::collection::vec(arb_value_for(dt), 0..200).prop_map(move |vals| (dt, vals))
     })
 }
 
@@ -161,10 +158,10 @@ proptest! {
         let mut doomed = Vec::new();
         let mut expected_dead = 0;
         for (batch, ids) in &scans {
-            for i in 0..batch.num_rows() {
+            for (i, &rowid) in ids.iter().enumerate().take(batch.num_rows()) {
                 let key = batch.row(i)[0].as_int().unwrap() as usize;
                 if delete_mask[key] {
-                    doomed.push(ids[i]);
+                    doomed.push(rowid);
                     expected_dead += 1;
                 }
             }

@@ -47,9 +47,8 @@ fn main() {
     println!("== time series: PageRank of vertex 0 per yearly snapshot ==");
     let mut series = Vec::new();
     for year in 1..=3 {
-        let snap = session
-            .snapshot_at(t0 + year * YEAR - 1, &format!("live_y{year}"))
-            .expect("snapshot");
+        let snap =
+            session.snapshot_at(t0 + year * YEAR - 1, &format!("live_y{year}")).expect("snapshot");
         let ranks = ranks_of(&snap);
         series.push(ranks[0].1);
         println!(

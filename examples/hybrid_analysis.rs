@@ -29,13 +29,7 @@ fn main() {
     let metas = edge_metadata(&graph, 0, 1000, 11);
     let edges: Vec<(Edge, i64, Option<String>)> = metas
         .iter()
-        .map(|m| {
-            (
-                Edge::weighted(m.src, m.dst, 1.0),
-                m.created,
-                Some(m.etype.to_string()),
-            )
-        })
+        .map(|m| (Edge::weighted(m.src, m.dst, 1.0), m.created, Some(m.etype.to_string())))
         .collect();
     session.load_edges_with_metadata(&edges, graph.num_vertices).expect("load");
 
@@ -52,7 +46,11 @@ fn main() {
     let ties = weak_ties_sql(&session).expect("weak ties");
     let mut top_ties: Vec<_> = ties.iter().filter(|&&(_, c)| c > 0).collect();
     top_ties.sort_by_key(|&&(_, c)| std::cmp::Reverse(c));
-    println!("bridging nodes: {} (top bridges {:?})", top_ties.len(), &top_ties[..3.min(top_ties.len())]);
+    println!(
+        "bridging nodes: {} (top bridges {:?})",
+        top_ties.len(),
+        &top_ties[..3.min(top_ties.len())]
+    );
 
     let gcc = global_clustering_sql(&session).expect("clustering");
     println!("global clustering coefficient: {gcc:.4}");
@@ -61,10 +59,7 @@ fn main() {
     // "find sufficiently important nodes which act as bridges"
     let n = session.num_vertices().unwrap() as f64;
     let bridges = important_bridges(&session, 10, 1.0 / n, 10).expect("bridges");
-    println!(
-        "\nimportant bridges (rank > 1/n AND ≥10 weak ties): {}",
-        bridges.len()
-    );
+    println!("\nimportant bridges (rank > 1/n AND ≥10 weak ties): {}", bridges.len());
     for (id, rank, tie_count) in bridges.iter().take(5) {
         println!("  vertex {id:<4} rank {rank:.4}  ties {tie_count}");
     }
@@ -72,10 +67,7 @@ fn main() {
     // --- hybrid combo #2: SSSP from the most clustered node -------------
     let (source, dist) = sssp_from_most_clustered(&session).expect("sssp");
     let reachable = dist.iter().filter(|(_, d)| d.is_finite()).count();
-    println!(
-        "\nSSSP from most-clustered vertex {source}: {reachable}/{} reachable",
-        dist.len()
-    );
+    println!("\nSSSP from most-clustered vertex {source}: {reachable}/{} reachable", dist.len());
 
     // --- hybrid combo #3: localized PageRank on the 'family' subgraph ----
     let (sub, ranks) =

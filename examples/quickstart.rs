@@ -80,8 +80,8 @@ fn main() {
 
     // 3. Run the vertex program through the coordinator (a stored procedure
     //    driving worker UDFs over the three tables).
-    let stats = run_program(&session, Arc::new(HopDistance), &VertexicaConfig::default())
-        .expect("run");
+    let stats =
+        run_program(&session, Arc::new(HopDistance), &VertexicaConfig::default()).expect("run");
     println!(
         "converged in {} supersteps, {} messages, {:.1} ms",
         stats.supersteps,
@@ -96,8 +96,23 @@ fn main() {
     }
 
     // 5. …or keep going in SQL: this is the whole point of Vertexica.
-    let far = db
-        .query_int("SELECT COUNT(*) FROM social_vertex WHERE halted = TRUE")
-        .expect("sql");
+    let far = db.query_int("SELECT COUNT(*) FROM social_vertex WHERE halted = TRUE").expect("sql");
     println!("{far} vertices have voted to halt (all of them, naturally)");
+
+    // 6. Swap in a different vertex program on the same three tables — the
+    //    paper's flagship workload, PageRank — without reloading anything.
+    let stats = run_program(
+        &session,
+        Arc::new(vertexica_algorithms::vc::PageRank::new(20, 0.85)),
+        &VertexicaConfig::default(),
+    )
+    .expect("pagerank");
+    let mut ranks: Vec<(VertexId, f64)> = session.vertex_values().expect("ranks");
+    ranks.sort_by(|a, b| b.1.total_cmp(&a.1));
+    println!("pagerank: {} supersteps over the same vertex/edge/message tables", stats.supersteps);
+    for (id, rank) in ranks.iter().take(3) {
+        println!("  top vertex {id}: rank {rank:.4}");
+    }
+    let mass: f64 = ranks.iter().map(|(_, r)| r).sum();
+    assert!((mass - 1.0).abs() < 1e-6, "PageRank mass must stay 1.0, got {mass}");
 }

@@ -24,21 +24,14 @@ fn main() {
 
     // A power-law graph with the §4 edge metadata: weight, creation
     // timestamp, type ∈ {friend, family, classmate}.
-    let graph = rmat_graph(&RmatConfig { scale: 10, num_edges: 8000, seed: 7, ..Default::default() });
+    let graph =
+        rmat_graph(&RmatConfig { scale: 10, num_edges: 8000, seed: 7, ..Default::default() });
     let metas = edge_metadata(&graph, 1_600_000_000, 1_700_000_000, 7);
     let edges: Vec<(Edge, i64, Option<String>)> = metas
         .iter()
-        .map(|m| {
-            (
-                Edge::weighted(m.src, m.dst, m.weight),
-                m.created,
-                Some(m.etype.to_string()),
-            )
-        })
+        .map(|m| (Edge::weighted(m.src, m.dst, m.weight), m.created, Some(m.etype.to_string())))
         .collect();
-    session
-        .load_edges_with_metadata(&edges, graph.num_vertices)
-        .expect("load");
+    session.load_edges_with_metadata(&edges, graph.num_vertices).expect("load");
     println!(
         "graph: {} vertices, {} edges with metadata {:?}",
         graph.num_vertices,
@@ -69,10 +62,7 @@ fn main() {
                  WHERE etype = 'family'",
                 session.edge_table()
             ))?;
-            ctx.values.insert(
-                "family_edges".into(),
-                Value::Int(sub.num_edges()? as i64),
-            );
+            ctx.values.insert("family_edges".into(), Value::Int(sub.num_edges()? as i64));
             Ok(())
         })
         // The graph algorithm, vertex-centrically, on the subgraph.
@@ -86,10 +76,7 @@ fn main() {
         // Relational post-processing: top-5 and a histogram (§4.2.2: "the
         // users might be interested in looking at the distribution of
         // PageRank values").
-        .add_sql(
-            "top5",
-            "SELECT id, score FROM fam_rank ORDER BY score DESC, id LIMIT 5",
-        )
+        .add_sql("top5", "SELECT id, score FROM fam_rank ORDER BY score DESC, id LIMIT 5")
         .add_sql(
             "histogram",
             "SELECT CAST(FLOOR(score * 2000.0) AS BIGINT) AS bucket, COUNT(*) \

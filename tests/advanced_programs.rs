@@ -33,10 +33,8 @@ fn collaborative_filtering_trains_on_relational_engine() {
         .map(|id| {
             use vertexica_common::pregel::InitContext;
             use vertexica_common::VertexProgram;
-            program.initial_value(
-                id,
-                &InitContext { num_vertices: graph.num_vertices, out_degree: 0 },
-            )
+            program
+                .initial_value(id, &InitContext { num_vertices: graph.num_vertices, out_degree: 0 })
         })
         .collect();
     let rmse_before = cf_rmse(&graph, users, &init);
@@ -89,19 +87,14 @@ fn random_walk_with_restart_on_relational_engine() {
     // Chain with a side branch.
     let graph = EdgeList::from_pairs([(0, 1), (1, 2), (1, 3), (3, 4)]);
     let session = session_for(&graph);
-    run_program(
-        &session,
-        Arc::new(RandomWalkWithRestart::new(0, 25)),
-        &VertexicaConfig::default(),
-    )
-    .unwrap();
+    run_program(&session, Arc::new(RandomWalkWithRestart::new(0, 25)), &VertexicaConfig::default())
+        .unwrap();
     let vals: Vec<(VertexId, f64)> = session.vertex_values().unwrap();
     let v: Vec<f64> = vals.iter().map(|&(_, x)| x).collect();
     assert!(v[0] > v[1] && v[1] > v[2]);
     assert!(v[1] > v[3] && v[3] > v[4]);
 
-    let (giraph_vals, _) =
-        GiraphEngine::default().run(&graph, &RandomWalkWithRestart::new(0, 25));
+    let (giraph_vals, _) = GiraphEngine::default().run(&graph, &RandomWalkWithRestart::new(0, 25));
     for (id, x) in vals {
         assert!((x - giraph_vals[id as usize]).abs() < 1e-12, "vertex {id}");
     }
@@ -128,12 +121,7 @@ fn label_propagation_on_relational_engine() {
     pairs.push((3, 4));
     let graph = EdgeList::from_pairs(pairs);
     let session = session_for(&graph);
-    run_program(
-        &session,
-        Arc::new(LabelPropagation::new(8)),
-        &VertexicaConfig::default(),
-    )
-    .unwrap();
+    run_program(&session, Arc::new(LabelPropagation::new(8)), &VertexicaConfig::default()).unwrap();
     let labels: Vec<(VertexId, u64)> = session.vertex_values().unwrap();
     // Community A coheres on one label.
     assert_eq!(labels[0].1, labels[1].1);

@@ -56,19 +56,13 @@ fn pagerank_agrees_across_all_engines() {
         // Giraph baseline.
         let (giraph_vals, _) = GiraphEngine::default().run(&graph, &PageRank::new(8, 0.85));
         for (id, rank) in giraph_vals.iter().enumerate() {
-            assert!(
-                (rank - expected[id]).abs() < 1e-9,
-                "graph {gi} giraph vertex {id}"
-            );
+            assert!((rank - expected[id]).abs() < 1e-9, "graph {gi} giraph vertex {id}");
         }
 
         // Vertexica (SQL).
         let sql = sqlalgo::pagerank_sql(&session, 8, 0.85).unwrap();
         for (id, rank) in sql {
-            assert!(
-                (rank - expected[id as usize]).abs() < 1e-9,
-                "graph {gi} sql vertex {id}"
-            );
+            assert!((rank - expected[id as usize]).abs() < 1e-9, "graph {gi} sql vertex {id}");
         }
 
         // Graph database.
@@ -84,10 +78,7 @@ fn pagerank_agrees_across_all_engines() {
         .unwrap();
         let gdb = out.finished().expect("graphdb finishes").clone();
         for (id, rank) in gdb.iter().enumerate() {
-            assert!(
-                (rank - expected[id]).abs() < 1e-9,
-                "graph {gi} graphdb vertex {id}"
-            );
+            assert!((rank - expected[id]).abs() < 1e-9, "graph {gi} graphdb vertex {id}");
         }
     }
 }
@@ -96,9 +87,7 @@ fn pagerank_agrees_across_all_engines() {
 fn sssp_agrees_across_all_engines() {
     for (gi, graph) in test_graphs().into_iter().enumerate() {
         let expected = reference::sssp(&graph, 0);
-        let close = |a: f64, b: f64| {
-            (a.is_infinite() && b.is_infinite()) || (a - b).abs() < 1e-9
-        };
+        let close = |a: f64, b: f64| (a.is_infinite() && b.is_infinite()) || (a - b).abs() < 1e-9;
 
         let session = session_for(&graph);
         run_program(&session, Arc::new(Sssp::new(0)), &VertexicaConfig::default()).unwrap();
@@ -123,13 +112,9 @@ fn sssp_agrees_across_all_engines() {
 
         let db = GraphDb::ephemeral();
         db.load_edges(&graph).unwrap();
-        let out = vertexica_graphdb::algo::sssp(
-            &db,
-            graph.num_vertices,
-            0,
-            Duration::from_secs(120),
-        )
-        .unwrap();
+        let out =
+            vertexica_graphdb::algo::sssp(&db, graph.num_vertices, 0, Duration::from_secs(120))
+                .unwrap();
         let gdb = out.finished().expect("graphdb finishes").clone();
         for (id, d) in gdb.iter().enumerate() {
             assert!(close(*d, expected[id]), "graph {gi} graphdb vertex {id}");
@@ -177,10 +162,7 @@ fn every_vertexica_configuration_agrees() {
         run_program(&session, Arc::new(PageRank::new(6, 0.85)), &config).unwrap();
         let vx: Vec<(VertexId, f64)> = session.vertex_values().unwrap();
         for (id, rank) in vx {
-            assert!(
-                (rank - expected[id as usize]).abs() < 1e-9,
-                "config {ci} vertex {id}"
-            );
+            assert!((rank - expected[id as usize]).abs() < 1e-9, "config {ci} vertex {id}");
         }
     }
 }

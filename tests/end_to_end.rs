@@ -20,13 +20,7 @@ fn session_with_metadata(db: &Arc<Database>, name: &str) -> GraphSession {
     let metas = edge_metadata(&graph, 0, 1000, 21);
     let edges: Vec<(Edge, i64, Option<String>)> = metas
         .iter()
-        .map(|m| {
-            (
-                Edge::weighted(m.src, m.dst, m.weight),
-                m.created,
-                Some(m.etype.to_string()),
-            )
-        })
+        .map(|m| (Edge::weighted(m.src, m.dst, m.weight), m.created, Some(m.etype.to_string())))
         .collect();
     let s = GraphSession::create(db.clone(), name).unwrap();
     s.load_edges_with_metadata(&edges, graph.num_vertices).unwrap();
@@ -38,10 +32,7 @@ fn full_pipeline_select_rank_aggregate() {
     let db = Arc::new(Database::new());
     let session = session_with_metadata(&db, "p");
     let pipeline = Pipeline::new()
-        .add_sql(
-            "friend_edges",
-            "SELECT COUNT(*) FROM p_edge WHERE etype = 'friend'",
-        )
+        .add_sql("friend_edges", "SELECT COUNT(*) FROM p_edge WHERE etype = 'friend'")
         .add_stage("rank", |s, ctx| {
             run_program(s, Arc::new(PageRank::new(5, 0.85)), &VertexicaConfig::default())?;
             let ranks: Vec<(VertexId, f64)> = s.vertex_values()?;
@@ -50,10 +41,7 @@ fn full_pipeline_select_rank_aggregate() {
             Ok(())
         })
         .add_sql("total_rank", "SELECT SUM(score) FROM p_rank")
-        .add_sql(
-            "top3",
-            "SELECT id FROM p_rank ORDER BY score DESC, id LIMIT 3",
-        );
+        .add_sql("top3", "SELECT id FROM p_rank ORDER BY score DESC, id LIMIT 3");
     let (ctx, timings) = pipeline.run(&session).unwrap();
     assert_eq!(timings.len(), 4);
     assert_eq!(ctx.value("ranked"), Some(&Value::Int(80)));
@@ -88,10 +76,7 @@ fn metadata_filters_drive_scoped_analysis() {
     .unwrap();
     let cls = classmates.num_edges().unwrap();
     assert!(cls > 0 && cls < all);
-    assert_eq!(
-        all as i64,
-        db.query_int("SELECT COUNT(*) FROM scope_edge").unwrap()
-    );
+    assert_eq!(all as i64, db.query_int("SELECT COUNT(*) FROM scope_edge").unwrap());
 }
 
 #[test]
@@ -105,9 +90,7 @@ fn checkpoint_failure_injection_and_resume() {
     std::fs::remove_dir_all(&dir).ok();
 
     // Run with checkpointing every 2 supersteps.
-    let config = VertexicaConfig::default()
-        .with_checkpointing(2, &dir)
-        .with_max_supersteps(4); // "crash" after superstep 3 (0..=3)
+    let config = VertexicaConfig::default().with_checkpointing(2, &dir).with_max_supersteps(4); // "crash" after superstep 3 (0..=3)
     let program = Arc::new(PageRank::new(8, 0.85));
     run_program(&session, program.clone(), &config).unwrap();
 
@@ -124,12 +107,8 @@ fn checkpoint_failure_injection_and_resume() {
     let resumed: Vec<(VertexId, f64)> = session.vertex_values().unwrap();
     let fresh_session = GraphSession::create(db.clone(), "ck2").unwrap();
     fresh_session.load_edges(&graph).unwrap();
-    run_program(
-        &fresh_session,
-        Arc::new(PageRank::new(8, 0.85)),
-        &VertexicaConfig::default(),
-    )
-    .unwrap();
+    run_program(&fresh_session, Arc::new(PageRank::new(8, 0.85)), &VertexicaConfig::default())
+        .unwrap();
     let fresh: Vec<(VertexId, f64)> = fresh_session.vertex_values().unwrap();
     for ((id_a, a), (id_b, b)) in resumed.iter().zip(&fresh) {
         assert_eq!(id_a, id_b);
@@ -151,9 +130,7 @@ fn checkpoint_preserves_aggregator_state() {
     std::fs::remove_dir_all(&dir).ok();
 
     let program = Arc::new(PageRank::new(6, 0.85));
-    let config = VertexicaConfig::default()
-        .with_checkpointing(1, &dir)
-        .with_max_supersteps(3);
+    let config = VertexicaConfig::default().with_checkpointing(1, &dir).with_max_supersteps(3);
     run_program(&session, program.clone(), &config).unwrap();
     let config = VertexicaConfig::default().with_checkpointing(1, &dir);
     resume_program(&session, program, &config).unwrap();
@@ -176,11 +153,7 @@ fn stored_procedure_deployment() {
     let graph = erdos_renyi(30, 120, 2);
     let session = GraphSession::create(db.clone(), "sp").unwrap();
     session.load_edges(&graph).unwrap();
-    let name = register_as_procedure(
-        &session,
-        Arc::new(Sssp::new(0)),
-        VertexicaConfig::default(),
-    );
+    let name = register_as_procedure(&session, Arc::new(Sssp::new(0)), VertexicaConfig::default());
     let out = db.call_procedure(&name, &[]).unwrap();
     assert!(matches!(out, Value::Int(n) if n > 0));
     let dist: Vec<(VertexId, f64)> = session.vertex_values().unwrap();
@@ -192,12 +165,7 @@ fn checkpoint_save_restore_api() {
     let db = Arc::new(Database::new());
     let session = GraphSession::create(db.clone(), "ckapi").unwrap();
     session.load_edges(&erdos_renyi(20, 60, 1)).unwrap();
-    run_program(
-        &session,
-        Arc::new(PageRank::new(3, 0.85)),
-        &VertexicaConfig::default(),
-    )
-    .unwrap();
+    run_program(&session, Arc::new(PageRank::new(3, 0.85)), &VertexicaConfig::default()).unwrap();
     let before: Vec<(VertexId, f64)> = session.vertex_values().unwrap();
 
     let dir = std::env::temp_dir().join(format!("vx_e2e_api_{}", std::process::id()));

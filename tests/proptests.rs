@@ -14,15 +14,11 @@ use vertexica_giraph::GiraphEngine;
 /// Strategy: a random directed graph with up to `max_n` vertices.
 fn arb_graph(max_n: u64, max_m: usize) -> impl Strategy<Value = EdgeList> {
     (2..=max_n).prop_flat_map(move |n| {
-        proptest::collection::vec((0..n, 0..n, 0.1f64..10.0), 1..=max_m).prop_map(
-            move |pairs| {
-                let edges: Vec<Edge> = pairs
-                    .into_iter()
-                    .map(|(s, d, w)| Edge::weighted(s, d, w))
-                    .collect();
-                EdgeList::new(n, edges)
-            },
-        )
+        proptest::collection::vec((0..n, 0..n, 0.1f64..10.0), 1..=max_m).prop_map(move |pairs| {
+            let edges: Vec<Edge> =
+                pairs.into_iter().map(|(s, d, w)| Edge::weighted(s, d, w)).collect();
+            EdgeList::new(n, edges)
+        })
     })
 }
 
