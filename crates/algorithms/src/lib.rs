@@ -11,8 +11,9 @@
 //!   in Figure 2): PageRank, shortest paths, triangle counting, strong
 //!   overlap, weak ties, connected components, clustering coefficients —
 //!   executed against a [`vertexica::GraphSession`]'s tables.
-//! * [`reference`] — straight-line in-memory implementations used by the
-//!   test suite to validate both of the above (and the baselines).
+//! * [`reference`](mod@reference) — straight-line in-memory implementations
+//!   used by the test suite to validate both of the above (and the
+//!   baselines).
 //!
 //! [`hybrid`] composes them into the paper's §3.2 hybrid analyses
 //! (important bridges, SSSP from the most clustered node, localized

@@ -13,16 +13,21 @@ pub type VertexId = u64;
 /// A directed, weighted edge.
 #[derive(Debug, Clone, Copy, PartialEq)]
 pub struct Edge {
+    /// Source vertex.
     pub src: VertexId,
+    /// Destination vertex.
     pub dst: VertexId,
+    /// Edge weight (1.0 for unweighted loads).
     pub weight: f64,
 }
 
 impl Edge {
+    /// An edge with the default weight of 1.0.
     pub fn new(src: VertexId, dst: VertexId) -> Self {
         Edge { src, dst, weight: 1.0 }
     }
 
+    /// An edge with an explicit weight.
     pub fn weighted(src: VertexId, dst: VertexId, weight: f64) -> Self {
         Edge { src, dst, weight }
     }
@@ -31,11 +36,14 @@ impl Edge {
 /// A graph as a flat list of directed edges over vertices `0..num_vertices`.
 #[derive(Debug, Clone, Default)]
 pub struct EdgeList {
+    /// Number of vertices; ids run `0..num_vertices`.
     pub num_vertices: u64,
+    /// The directed edges.
     pub edges: Vec<Edge>,
 }
 
 impl EdgeList {
+    /// An edge list over `0..num_vertices` with the given edges.
     pub fn new(num_vertices: u64, edges: Vec<Edge>) -> Self {
         EdgeList { num_vertices, edges }
     }
@@ -48,6 +56,7 @@ impl EdgeList {
         EdgeList { num_vertices, edges }
     }
 
+    /// Number of directed edges.
     pub fn num_edges(&self) -> u64 {
         self.edges.len() as u64
     }
@@ -96,6 +105,7 @@ impl EdgeList {
 /// `targets[offsets[v]..offsets[v + 1]]`.
 #[derive(Debug, Clone)]
 pub struct Adjacency {
+    /// Number of vertices; ids run `0..num_vertices`.
     pub num_vertices: u64,
     offsets: Vec<usize>,
     targets: Vec<VertexId>,
@@ -103,6 +113,7 @@ pub struct Adjacency {
 }
 
 impl Adjacency {
+    /// Builds the CSR representation from a flat edge list.
     pub fn from_edge_list(g: &EdgeList) -> Self {
         let n = g.num_vertices as usize;
         let mut counts = vec![0usize; n + 1];
@@ -125,24 +136,28 @@ impl Adjacency {
         Adjacency { num_vertices: g.num_vertices, offsets, targets, weights }
     }
 
+    /// Out-neighbours of `v`.
     #[inline]
     pub fn neighbors(&self, v: VertexId) -> &[VertexId] {
         let v = v as usize;
         &self.targets[self.offsets[v]..self.offsets[v + 1]]
     }
 
+    /// Weights of `v`'s out-edges, parallel to [`Adjacency::neighbors`].
     #[inline]
     pub fn neighbor_weights(&self, v: VertexId) -> &[f64] {
         let v = v as usize;
         &self.weights[self.offsets[v]..self.offsets[v + 1]]
     }
 
+    /// Out-degree of `v`.
     #[inline]
     pub fn out_degree(&self, v: VertexId) -> usize {
         let v = v as usize;
         self.offsets[v + 1] - self.offsets[v]
     }
 
+    /// Number of directed edges.
     pub fn num_edges(&self) -> usize {
         self.targets.len()
     }

@@ -13,6 +13,8 @@
 //! * small utilities: an FxHash-style fast hasher for integer-keyed maps and a
 //!   deterministic `splitmix64` generator.
 
+#![warn(missing_docs)]
+
 pub mod codec;
 pub mod graph;
 pub mod hash;

@@ -24,8 +24,11 @@ use crate::graph::{Edge, VertexId};
 /// superstep `S + 1`.
 #[derive(Debug, Clone, Copy, PartialEq, Eq)]
 pub enum AggKind {
+    /// Sum of contributions.
     Sum,
+    /// Minimum contribution.
     Min,
+    /// Maximum contribution.
     Max,
 }
 
@@ -52,7 +55,9 @@ impl AggKind {
 /// Declaration of a global aggregator used by a program.
 #[derive(Debug, Clone)]
 pub struct AggregatorSpec {
+    /// Aggregator name, referenced from `VertexContext::aggregate`.
     pub name: &'static str,
+    /// Fold semantics.
     pub kind: AggKind,
 }
 
@@ -60,7 +65,9 @@ pub struct AggregatorSpec {
 /// (superstep "-1", before the first compute call).
 #[derive(Debug, Clone, Copy)]
 pub struct InitContext {
+    /// Total vertices in the graph.
     pub num_vertices: u64,
+    /// The vertex's out-degree.
     pub out_degree: u64,
 }
 

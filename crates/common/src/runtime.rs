@@ -1,5 +1,5 @@
 //! Shared parallel runtime: a persistent, size-configurable worker pool with
-//! scoped task submission.
+//! per-worker deques, work stealing, and scoped task submission.
 //!
 //! Vertexica's paper workload is superstep-structured: every superstep fans
 //! out one worker-UDF invocation per vertex partition and joins at a barrier
@@ -13,6 +13,16 @@
 //!
 //! Design notes:
 //!
+//! * **Per-worker deques + stealing.** Each worker owns a deque; submissions
+//!   are distributed round-robin over the live workers. A worker pops from
+//!   the *front* of its own deque (FIFO, preserving rough submission order)
+//!   and, when empty, steals from the *back* of a sibling's deque. Skewed
+//!   partitions therefore no longer serialize behind a single shared queue:
+//!   a worker stuck in one long partition keeps its backlog stealable.
+//! * **Observability.** The pool keeps monotonic counters — tasks executed,
+//!   tasks obtained by stealing, and cumulative queue wait (submission →
+//!   execution start). Snapshot them with [`WorkerPool::metrics`]; the
+//!   coordinator turns deltas into per-superstep [`PoolMetrics`].
 //! * **Scoped submission.** [`WorkerPool::scope`] allows tasks to borrow from
 //!   the caller's stack, like `std::thread::scope`, but runs them on the
 //!   persistent pool. The scope does not return until every task submitted
@@ -30,44 +40,206 @@
 
 use std::collections::VecDeque;
 use std::panic::{catch_unwind, resume_unwind, AssertUnwindSafe};
-use std::sync::atomic::{AtomicUsize, Ordering};
-use std::sync::{Arc, Condvar, Mutex};
+use std::sync::atomic::{AtomicBool, AtomicU64, AtomicUsize, Ordering};
+use std::sync::{Arc, Condvar, Mutex, RwLock};
 use std::thread::JoinHandle;
+use std::time::Instant;
 
 type Job = Box<dyn FnOnce() + Send + 'static>;
 
-enum Message {
-    Run(Job),
-    Exit,
+/// A job plus its submission timestamp, for queue-wait accounting.
+struct TimedJob {
+    job: Job,
+    enqueued: Instant,
 }
 
-struct PoolShared {
-    queue: Mutex<VecDeque<Message>>,
-    available: Condvar,
+/// One worker's deque. Slots are created on demand and never removed, so a
+/// shrunken-away worker's leftover jobs remain visible to stealers.
+struct WorkerSlot {
+    deque: Mutex<VecDeque<TimedJob>>,
+    /// Deque length mirror, updated inside the deque lock. Lets pop/steal
+    /// scans skip empty slots without touching their mutexes.
+    len: AtomicUsize,
+    /// Whether a live worker thread currently services this slot. Flipped
+    /// only under the pool's `idle` mutex, which makes grow-after-shrink
+    /// races impossible (no duplicate workers per slot, no missed spawns).
+    occupied: AtomicBool,
 }
 
-impl PoolShared {
-    fn push(&self, msg: Message) {
-        self.queue.lock().unwrap().push_back(msg);
-        self.available.notify_one();
-    }
-
-    fn pop(&self) -> Message {
-        let mut queue = self.queue.lock().unwrap();
-        loop {
-            if let Some(msg) = queue.pop_front() {
-                return msg;
-            }
-            queue = self.available.wait(queue).unwrap();
+impl WorkerSlot {
+    fn new() -> Self {
+        WorkerSlot {
+            deque: Mutex::new(VecDeque::new()),
+            len: AtomicUsize::new(0),
+            occupied: AtomicBool::new(false),
         }
     }
 }
 
-/// A persistent pool of worker threads with scoped task submission.
+/// Monotonic execution counters for a [`WorkerPool`].
+///
+/// All fields only ever grow over the life of the pool (the inline
+/// sequential fallback bypasses the queue and is intentionally not counted).
+/// Use [`PoolMetrics::delta_since`] to scope them to a phase, e.g. one
+/// superstep.
+#[derive(Debug, Clone, Copy, Default, PartialEq)]
+pub struct PoolMetrics {
+    /// Tasks that ran on a pool worker (excludes inline fallback runs).
+    pub tasks_executed: u64,
+    /// Tasks a worker obtained by stealing from a sibling's deque.
+    pub tasks_stolen: u64,
+    /// Cumulative seconds tasks spent queued before starting to execute.
+    pub queue_wait_secs: f64,
+}
+
+impl PoolMetrics {
+    /// The counter increments between `earlier` and `self`.
+    pub fn delta_since(&self, earlier: &PoolMetrics) -> PoolMetrics {
+        PoolMetrics {
+            tasks_executed: self.tasks_executed.saturating_sub(earlier.tasks_executed),
+            tasks_stolen: self.tasks_stolen.saturating_sub(earlier.tasks_stolen),
+            queue_wait_secs: (self.queue_wait_secs - earlier.queue_wait_secs).max(0.0),
+        }
+    }
+}
+
+struct PoolShared {
+    /// Worker deques, indexed by worker id. Grows monotonically; `target`
+    /// decides how many are live.
+    slots: RwLock<Vec<Arc<WorkerSlot>>>,
+    /// Desired number of workers; the source of truth for pool size.
+    target: AtomicUsize,
+    /// Jobs currently sitting in any deque (not yet picked up).
+    queued: AtomicUsize,
+    /// Workers currently parked on (or committing to park on) `available`.
+    /// Lets `submit` skip the idle lock + notify entirely when every worker
+    /// is busy — the common case on a loaded pool.
+    sleepers: AtomicUsize,
+    /// Round-robin submission cursor.
+    next: AtomicUsize,
+    /// Parking lot for idle workers, and the lock under which exit
+    /// decisions and resizes are serialized.
+    idle: Mutex<()>,
+    available: Condvar,
+    // ---- monotonic counters ----
+    executed: AtomicU64,
+    steals: AtomicU64,
+    queue_wait_nanos: AtomicU64,
+}
+
+impl PoolShared {
+    /// Pushes a job onto a live worker's deque (round-robin) and wakes a
+    /// sleeper if any worker is parked.
+    fn submit(&self, job: Job) {
+        let timed = TimedJob { job, enqueued: Instant::now() };
+        {
+            let slots = self.slots.read().unwrap();
+            let live = self.target.load(Ordering::SeqCst).clamp(1, slots.len());
+            let i = self.next.fetch_add(1, Ordering::Relaxed) % live;
+            let mut deque = slots[i].deque.lock().unwrap();
+            deque.push_back(timed);
+            slots[i].len.store(deque.len(), Ordering::SeqCst);
+            // Incremented inside the deque lock: a worker popping this job
+            // can never observe (and underflow) a not-yet-incremented count.
+            self.queued.fetch_add(1, Ordering::SeqCst);
+        }
+        // Workers increment `sleepers` (under the idle lock) *before*
+        // re-checking `queued`, so reading 0 here means every worker either
+        // runs or will observe the increment above — no lost wakeups, and a
+        // busy pool never pays for the lock + notify.
+        if self.sleepers.load(Ordering::SeqCst) > 0 {
+            let _guard = self.idle.lock().unwrap();
+            self.available.notify_one();
+        }
+    }
+
+    /// Pops from the front of `slot`'s own deque, skipping the lock when the
+    /// slot is empty.
+    fn pop_own(&self, slot: &WorkerSlot) -> Option<TimedJob> {
+        if slot.len.load(Ordering::SeqCst) == 0 {
+            return None;
+        }
+        let mut deque = slot.deque.lock().unwrap();
+        let tj = deque.pop_front();
+        if tj.is_some() {
+            slot.len.store(deque.len(), Ordering::SeqCst);
+            self.queued.fetch_sub(1, Ordering::SeqCst);
+        }
+        tj
+    }
+
+    /// Attempts to steal a job from any slot other than `me`, scanning from
+    /// the back of each sibling deque (empty slots are skipped lock-free).
+    fn try_steal(&self, me: usize) -> Option<TimedJob> {
+        let slots = self.slots.read().unwrap();
+        let n = slots.len();
+        for off in 1..n {
+            let j = (me + off) % n;
+            if slots[j].len.load(Ordering::SeqCst) == 0 {
+                continue;
+            }
+            let mut deque = slots[j].deque.lock().unwrap();
+            if let Some(tj) = deque.pop_back() {
+                slots[j].len.store(deque.len(), Ordering::SeqCst);
+                self.queued.fetch_sub(1, Ordering::SeqCst);
+                return Some(tj);
+            }
+        }
+        None
+    }
+
+    /// Runs one dequeued job, updating counters.
+    fn run(&self, timed: TimedJob, stolen: bool) {
+        let waited = timed.enqueued.elapsed();
+        self.queue_wait_nanos.fetch_add(waited.as_nanos() as u64, Ordering::Relaxed);
+        self.executed.fetch_add(1, Ordering::Relaxed);
+        if stolen {
+            self.steals.fetch_add(1, Ordering::Relaxed);
+        }
+        (timed.job)();
+    }
+}
+
+fn worker_loop(shared: Arc<PoolShared>, me: usize) {
+    let my_slot = shared.slots.read().unwrap()[me].clone();
+    loop {
+        // 1. Own deque, front first (FIFO within a worker).
+        if let Some(tj) = shared.pop_own(&my_slot) {
+            shared.run(tj, false);
+            continue;
+        }
+        // 2. Steal from a sibling's back.
+        if let Some(tj) = shared.try_steal(me) {
+            shared.run(tj, true);
+            continue;
+        }
+        // 3. Nothing runnable: exit if shrunk away, otherwise sleep.
+        let guard = shared.idle.lock().unwrap();
+        // Register as a sleeper *before* re-checking `queued`: a submitter
+        // that misses this increment is ordered before it, so the re-check
+        // below observes its queued job (no lost wakeups).
+        shared.sleepers.fetch_add(1, Ordering::SeqCst);
+        if shared.queued.load(Ordering::SeqCst) > 0 {
+            shared.sleepers.fetch_sub(1, Ordering::SeqCst);
+            continue; // work arrived between the scan and the lock
+        }
+        if shared.target.load(Ordering::SeqCst) <= me {
+            // Exit decision is taken under the idle lock, mirroring
+            // `resize`'s spawn decision — the two can never disagree.
+            shared.sleepers.fetch_sub(1, Ordering::SeqCst);
+            my_slot.occupied.store(false, Ordering::SeqCst);
+            return;
+        }
+        let guard = shared.available.wait(guard).unwrap();
+        shared.sleepers.fetch_sub(1, Ordering::SeqCst);
+        drop(guard);
+    }
+}
+
+/// A persistent pool of worker threads with per-worker deques, work
+/// stealing, and scoped task submission.
 pub struct WorkerPool {
     shared: Arc<PoolShared>,
-    /// Desired number of workers; the source of truth for [`size`](Self::size).
-    target: AtomicUsize,
     handles: Mutex<Vec<JoinHandle<()>>>,
 }
 
@@ -82,10 +254,17 @@ impl WorkerPool {
     pub fn new(size: usize) -> Self {
         let pool = WorkerPool {
             shared: Arc::new(PoolShared {
-                queue: Mutex::new(VecDeque::new()),
+                slots: RwLock::new(Vec::new()),
+                target: AtomicUsize::new(0),
+                queued: AtomicUsize::new(0),
+                sleepers: AtomicUsize::new(0),
+                next: AtomicUsize::new(0),
+                idle: Mutex::new(()),
                 available: Condvar::new(),
+                executed: AtomicU64::new(0),
+                steals: AtomicU64::new(0),
+                queue_wait_nanos: AtomicU64::new(0),
             }),
-            target: AtomicUsize::new(0),
             handles: Mutex::new(Vec::new()),
         };
         pool.resize(size);
@@ -99,33 +278,50 @@ impl WorkerPool {
 
     /// The configured number of workers.
     pub fn size(&self) -> usize {
-        self.target.load(Ordering::SeqCst)
+        self.shared.target.load(Ordering::SeqCst)
+    }
+
+    /// A snapshot of the pool's monotonic execution counters.
+    pub fn metrics(&self) -> PoolMetrics {
+        PoolMetrics {
+            tasks_executed: self.shared.executed.load(Ordering::Relaxed),
+            tasks_stolen: self.shared.steals.load(Ordering::Relaxed),
+            queue_wait_secs: self.shared.queue_wait_nanos.load(Ordering::Relaxed) as f64 / 1e9,
+        }
     }
 
     /// Grows or shrinks the pool to `size` workers (clamped to at least 1).
-    /// Pending tasks are never dropped; shrinking takes effect once the
-    /// excess workers drain the queue to an exit marker.
+    /// Pending tasks are never dropped: a shrunken-away worker keeps helping
+    /// (stealing included) until it finds the pool momentarily drained, and
+    /// any jobs left in its deque stay stealable by the surviving workers.
     pub fn resize(&self, size: usize) {
         let size = size.max(1);
+        // The idle lock serializes this against worker exit decisions.
+        let idle_guard = self.shared.idle.lock().unwrap();
         let mut handles = self.handles.lock().unwrap();
-        // Opportunistically reap workers that already exited from a shrink.
         handles.retain(|h| !h.is_finished());
-        let current = self.target.swap(size, Ordering::SeqCst);
-        if size > current {
-            for _ in current..size {
+        self.shared.target.store(size, Ordering::SeqCst);
+        {
+            let mut slots = self.shared.slots.write().unwrap();
+            while slots.len() < size {
+                slots.push(Arc::new(WorkerSlot::new()));
+            }
+        }
+        let slots = self.shared.slots.read().unwrap();
+        for (i, slot) in slots.iter().enumerate().take(size) {
+            if !slot.occupied.swap(true, Ordering::SeqCst) {
                 let shared = self.shared.clone();
                 handles.push(
                     std::thread::Builder::new()
-                        .name("vertexica-worker".into())
-                        .spawn(move || worker_loop(shared))
+                        .name(format!("vertexica-worker-{i}"))
+                        .spawn(move || worker_loop(shared, i))
                         .expect("spawn pool worker"),
                 );
             }
-        } else {
-            for _ in size..current {
-                self.shared.push(Message::Exit);
-            }
         }
+        // Wake sleepers so shrunken-away workers observe the new target.
+        self.shared.available.notify_all();
+        drop(idle_guard);
     }
 
     /// Runs `f` with a [`Scope`] through which tasks borrowing from the
@@ -189,19 +385,15 @@ impl WorkerPool {
 
 impl Drop for WorkerPool {
     fn drop(&mut self) {
-        let mut handles = self.handles.lock().unwrap();
-        for _ in 0..handles.len() {
-            self.shared.push(Message::Exit);
+        {
+            let _guard = self.shared.idle.lock().unwrap();
+            self.shared.target.store(0, Ordering::SeqCst);
+            self.shared.available.notify_all();
         }
+        let mut handles = self.handles.lock().unwrap();
         for handle in handles.drain(..) {
             let _ = handle.join();
         }
-    }
-}
-
-fn worker_loop(shared: Arc<PoolShared>) {
-    while let Message::Run(job) = shared.pop() {
-        job();
     }
 }
 
@@ -266,7 +458,7 @@ impl<'scope, 'env> Scope<'scope, 'env> {
         // captured by `job` is live until after the job completes. The
         // transmute only erases the `'env` lifetime to `'static`.
         let job: Job = unsafe { std::mem::transmute::<Box<dyn FnOnce() + Send + 'env>, Job>(job) };
-        self.pool.shared.push(Message::Run(job));
+        self.pool.shared.submit(job);
     }
 }
 
@@ -279,7 +471,6 @@ pub fn default_parallelism() -> usize {
 mod tests {
     use super::*;
     use std::collections::HashSet;
-    use std::sync::atomic::AtomicU64;
     use std::thread::ThreadId;
 
     #[test]
@@ -411,6 +602,25 @@ mod tests {
     }
 
     #[test]
+    fn repeated_resize_cycles_stay_healthy() {
+        // Exercises the grow-after-shrink path: slots are reused, never
+        // double-occupied, and the pool keeps executing correctly.
+        let pool = WorkerPool::new(4);
+        let counter = AtomicU64::new(0);
+        for round in 0..6 {
+            pool.resize(if round % 2 == 0 { 1 } else { 5 });
+            pool.scope(|s| {
+                for _ in 0..8 {
+                    s.spawn(|| {
+                        counter.fetch_add(1, Ordering::SeqCst);
+                    });
+                }
+            });
+        }
+        assert_eq!(counter.load(Ordering::SeqCst), 48);
+    }
+
+    #[test]
     fn scope_body_panic_still_joins_tasks() {
         let pool = WorkerPool::new(2);
         let finished = Arc::new(AtomicU64::new(0));
@@ -428,5 +638,69 @@ mod tests {
         assert!(result.is_err());
         // The spawned task must have completed before scope unwound.
         assert_eq!(finished.load(Ordering::SeqCst), 1);
+    }
+
+    #[test]
+    fn skewed_load_triggers_work_stealing() {
+        // Round-robin puts half the tasks in each of two deques. Worker 0's
+        // first task blocks it for a while; worker 1 drains its own deque in
+        // microseconds and must steal worker 0's backlog to finish the scope.
+        let pool = WorkerPool::new(2);
+        let before = pool.metrics();
+        let counter = AtomicU64::new(0);
+        pool.scope(|s| {
+            for i in 0..16 {
+                let counter = &counter;
+                s.spawn(move || {
+                    if i == 0 {
+                        std::thread::sleep(std::time::Duration::from_millis(60));
+                    }
+                    counter.fetch_add(1, Ordering::SeqCst);
+                });
+            }
+        });
+        assert_eq!(counter.load(Ordering::SeqCst), 16);
+        let delta = pool.metrics().delta_since(&before);
+        assert_eq!(delta.tasks_executed, 16);
+        assert!(delta.tasks_stolen > 0, "expected steals under skewed load, metrics: {delta:?}");
+    }
+
+    #[test]
+    fn metrics_are_monotonic() {
+        let pool = WorkerPool::new(3);
+        let mut prev = pool.metrics();
+        for _ in 0..4 {
+            pool.scope(|s| {
+                for _ in 0..12 {
+                    s.spawn(|| {
+                        std::thread::yield_now();
+                    });
+                }
+            });
+            let now = pool.metrics();
+            assert!(now.tasks_executed >= prev.tasks_executed);
+            assert!(now.tasks_stolen >= prev.tasks_stolen);
+            assert!(now.queue_wait_secs >= prev.queue_wait_secs);
+            prev = now;
+        }
+        assert_eq!(prev.tasks_executed, 48);
+    }
+
+    #[test]
+    fn queue_wait_is_recorded() {
+        // A pool of 2 fed 2 slow tasks + several queued ones: the queued
+        // tasks must observe non-zero wait.
+        let pool = WorkerPool::new(2);
+        let before = pool.metrics();
+        pool.scope(|s| {
+            for _ in 0..6 {
+                s.spawn(|| {
+                    std::thread::sleep(std::time::Duration::from_millis(5));
+                });
+            }
+        });
+        let delta = pool.metrics().delta_since(&before);
+        assert_eq!(delta.tasks_executed, 6);
+        assert!(delta.queue_wait_secs > 0.0, "queued tasks should have waited: {delta:?}");
     }
 }

@@ -9,18 +9,22 @@ pub struct Stopwatch {
 }
 
 impl Stopwatch {
+    /// Starts timing now.
     pub fn start() -> Self {
         Stopwatch { start: Instant::now() }
     }
 
+    /// Time elapsed since the (re)start.
     pub fn elapsed(&self) -> Duration {
         self.start.elapsed()
     }
 
+    /// Elapsed time in seconds.
     pub fn elapsed_secs(&self) -> f64 {
         self.elapsed().as_secs_f64()
     }
 
+    /// Returns the elapsed time and restarts the clock.
     pub fn restart(&mut self) -> Duration {
         let e = self.start.elapsed();
         self.start = Instant::now();

@@ -34,7 +34,110 @@ pub struct SuperstepOutcome {
     pub aggregates: FxHashMap<String, f64>,
 }
 
-/// Parses worker output rows and applies them to the graph's tables.
+/// Incrementally folds worker output batches into compact apply-ready form.
+///
+/// The streaming pipeline feeds each partition's output here **as the
+/// partition finishes** (from whichever pool worker ran it, behind a mutex),
+/// so raw output batches never accumulate; the materialized pipeline absorbs
+/// everything at once through [`apply_outputs`]. Either way the absorbed
+/// state is order-insensitive: [`apply_accumulated`] canonicalizes
+/// (sort-by-key) before any order-dependent fold, so streaming completion
+/// order cannot change results.
+#[derive(Debug, Default)]
+pub struct OutputAccumulator {
+    /// Parsed state rows: (vid, encoded value, halted).
+    updates: Vec<(i64, Vec<u8>, bool)>,
+    /// Parsed message rows: (recipient, sender, payload).
+    messages: Vec<(u64, u64, Vec<u8>)>,
+    /// Per-partition aggregator partials: (partition, name, value).
+    agg_partials: Vec<(usize, String, f64)>,
+    agg_specs: FxHashMap<String, AggKind>,
+}
+
+impl OutputAccumulator {
+    /// An accumulator validating aggregator names against `program`'s specs.
+    pub fn for_program<P: VertexProgram>(program: &P) -> Self {
+        OutputAccumulator {
+            agg_specs: program
+                .aggregators()
+                .into_iter()
+                .map(|s| (s.name.to_string(), s.kind))
+                .collect(),
+            ..Default::default()
+        }
+    }
+
+    /// An empty accumulator sharing this one's aggregator specs — for
+    /// parsing a partition's output outside the shared accumulator's lock.
+    pub fn fork(&self) -> Self {
+        OutputAccumulator { agg_specs: self.agg_specs.clone(), ..Default::default() }
+    }
+
+    /// Folds another accumulator's parsed state into this one (cheap vector
+    /// appends; ordering is canonicalized later by [`apply_accumulated`]).
+    pub fn merge(&mut self, other: OutputAccumulator) {
+        self.updates.extend(other.updates);
+        self.messages.extend(other.messages);
+        self.agg_partials.extend(other.agg_partials);
+    }
+
+    /// Parses one partition's worker output batches into the accumulator.
+    /// `partition` tags aggregator partials so their final fold order is
+    /// deterministic regardless of completion order.
+    pub fn absorb(&mut self, partition: usize, batches: &[RecordBatch]) -> VertexicaResult<()> {
+        for batch in batches {
+            for i in 0..batch.num_rows() {
+                let row = batch.row(i);
+                let kind = row[0].as_int().unwrap_or(-1);
+                match kind {
+                    OUT_STATE => {
+                        let vid = row[1].as_int().ok_or_else(|| {
+                            VertexicaError::Runtime("state row without vid".into())
+                        })?;
+                        let Value::Blob(bytes) = row[3].clone() else {
+                            return Err(VertexicaError::Runtime(
+                                "state row without payload".into(),
+                            ));
+                        };
+                        let halted = row[4].as_bool().unwrap_or(false);
+                        self.updates.push((vid, bytes, halted));
+                    }
+                    OUT_MESSAGE => {
+                        let to = row[1].as_int().unwrap_or(0) as u64;
+                        let from = row[2].as_int().unwrap_or(0) as u64;
+                        let Value::Blob(bytes) = row[3].clone() else {
+                            return Err(VertexicaError::Runtime(
+                                "message row without payload".into(),
+                            ));
+                        };
+                        self.messages.push((to, from, bytes));
+                    }
+                    OUT_AGGREGATE => {
+                        let Value::Str(name) = row[5].clone() else {
+                            return Err(VertexicaError::Runtime(
+                                "aggregate row without name".into(),
+                            ));
+                        };
+                        let v = row[6].as_float().unwrap_or(0.0);
+                        if !self.agg_specs.contains_key(&name) {
+                            return Err(VertexicaError::Runtime(format!(
+                                "unknown aggregator {name}"
+                            )));
+                        }
+                        self.agg_partials.push((partition, name, v));
+                    }
+                    other => {
+                        return Err(VertexicaError::Runtime(format!("bad output kind {other}")));
+                    }
+                }
+            }
+        }
+        Ok(())
+    }
+}
+
+/// Parses worker output rows and applies them to the graph's tables — the
+/// one-shot form used by the materialized pipeline and tests.
 pub fn apply_outputs<P: VertexProgram>(
     session: &GraphSession,
     program: &P,
@@ -42,51 +145,36 @@ pub fn apply_outputs<P: VertexProgram>(
     outputs: Vec<RecordBatch>,
     total_vertices: u64,
 ) -> VertexicaResult<SuperstepOutcome> {
-    let mut updates: Vec<(i64, Vec<u8>, bool)> = Vec::new();
-    let mut messages: Vec<(u64, u64, Vec<u8>)> = Vec::new();
-    let mut agg: FxHashMap<String, (AggKind, f64)> = FxHashMap::default();
-    let agg_specs: FxHashMap<String, AggKind> =
-        program.aggregators().into_iter().map(|s| (s.name.to_string(), s.kind)).collect();
+    let mut acc = OutputAccumulator::for_program(program);
+    for (i, batch) in outputs.iter().enumerate() {
+        acc.absorb(i, std::slice::from_ref(batch))?;
+    }
+    apply_accumulated(session, program, config, acc, total_vertices)
+}
 
-    for batch in &outputs {
-        for i in 0..batch.num_rows() {
-            let row = batch.row(i);
-            let kind = row[0].as_int().unwrap_or(-1);
-            match kind {
-                OUT_STATE => {
-                    let vid = row[1]
-                        .as_int()
-                        .ok_or_else(|| VertexicaError::Runtime("state row without vid".into()))?;
-                    let Value::Blob(bytes) = row[3].clone() else {
-                        return Err(VertexicaError::Runtime("state row without payload".into()));
-                    };
-                    let halted = row[4].as_bool().unwrap_or(false);
-                    updates.push((vid, bytes, halted));
-                }
-                OUT_MESSAGE => {
-                    let to = row[1].as_int().unwrap_or(0) as u64;
-                    let from = row[2].as_int().unwrap_or(0) as u64;
-                    let Value::Blob(bytes) = row[3].clone() else {
-                        return Err(VertexicaError::Runtime("message row without payload".into()));
-                    };
-                    messages.push((to, from, bytes));
-                }
-                OUT_AGGREGATE => {
-                    let Value::Str(name) = row[5].clone() else {
-                        return Err(VertexicaError::Runtime("aggregate row without name".into()));
-                    };
-                    let v = row[6].as_float().unwrap_or(0.0);
-                    let Some(kind) = agg_specs.get(&name).copied() else {
-                        return Err(VertexicaError::Runtime(format!("unknown aggregator {name}")));
-                    };
-                    let entry = agg.entry(name).or_insert((kind, kind.identity()));
-                    entry.1 = kind.combine(entry.1, v);
-                }
-                other => {
-                    return Err(VertexicaError::Runtime(format!("bad output kind {other}")));
-                }
-            }
-        }
+/// Applies accumulated worker outputs to the graph's tables: cross-partition
+/// combine, message-table replace, update-vs-replace on the vertex table,
+/// aggregator fold, halting check.
+pub fn apply_accumulated<P: VertexProgram>(
+    session: &GraphSession,
+    program: &P,
+    config: &VertexicaConfig,
+    acc: OutputAccumulator,
+    total_vertices: u64,
+) -> VertexicaResult<SuperstepOutcome> {
+    let OutputAccumulator { mut updates, mut messages, mut agg_partials, agg_specs } = acc;
+    // Canonicalize: with streaming execution, partitions absorb in
+    // completion order; sorting makes every downstream fold (and the table
+    // contents feeding the next superstep) deterministic.
+    updates.sort();
+    messages.sort();
+    agg_partials.sort_by(|a, b| (a.0, &a.1).cmp(&(b.0, &b.1)));
+
+    let mut agg: FxHashMap<String, (AggKind, f64)> = FxHashMap::default();
+    for (_, name, v) in agg_partials {
+        let kind = agg_specs[&name];
+        let entry = agg.entry(name).or_insert((kind, kind.identity()));
+        entry.1 = kind.combine(entry.1, v);
     }
 
     // Cross-partition combine: workers pre-combined within partitions; fold

@@ -35,6 +35,13 @@ pub struct VertexicaConfig {
     /// Fold messages to the same recipient with the program's combiner (when
     /// the program provides one).
     pub use_combiner: bool,
+    /// Stream the superstep hot path: assemble worker input chunk-by-chunk
+    /// straight into the hash partitioner (never materializing the full
+    /// table union alongside its partitioned copy) and fold worker outputs
+    /// into the apply accumulator as each partition finishes. Disable to get
+    /// the original materialize-everything pipeline, kept for ablation and
+    /// equivalence testing.
+    pub streaming: bool,
     /// Hard cap on supersteps (safety net on top of the program's own limit).
     pub max_supersteps: u64,
     /// Checkpoint every N supersteps into `checkpoint_dir`.
@@ -52,6 +59,7 @@ impl Default for VertexicaConfig {
             input_mode: InputMode::TableUnion,
             replace_threshold: 0.2,
             use_combiner: true,
+            streaming: true,
             max_supersteps: 10_000,
             checkpoint_every: None,
             checkpoint_dir: None,
@@ -82,6 +90,11 @@ impl VertexicaConfig {
 
     pub fn with_combiner(mut self, on: bool) -> Self {
         self.use_combiner = on;
+        self
+    }
+
+    pub fn with_streaming(mut self, on: bool) -> Self {
+        self.streaming = on;
         self
     }
 

@@ -4,50 +4,86 @@
 //! implement the coordinator as a stored procedure; it runs as long as there
 //! is any message for the next superstep" (§2.2). Each superstep:
 //!
-//! 1. assemble worker input ([`crate::input`], union or join mode);
-//! 2. hash-partition it on vertex id (vertex batching);
+//! 1. assemble worker input ([`crate::input`], union or join mode) — by
+//!    default **streamed** chunk-by-chunk straight into the partitioner, so
+//!    the full table union never materializes;
+//! 2. hash-partition it on vertex id (vertex batching,
+//!    [`vertexica_storage::partition::StreamingPartitioner`]);
 //! 3. run worker UDFs in parallel, one per partition, on the **shared
 //!    runtime pool** ([`vertexica_common::runtime::WorkerPool`]) owned by
 //!    the `Database` — the same persistent threads every superstep, resized
-//!    once per run to `num_workers`;
-//! 4. apply outputs via update-vs-replace ([`crate::apply`]);
+//!    once per run to `num_workers`, with per-worker deques and work
+//!    stealing smoothing out skewed partitions;
+//! 4. apply outputs via update-vs-replace ([`crate::apply`]) — streamed
+//!    execution folds each partition's output into the accumulator as the
+//!    partition finishes;
 //! 5. synchronization barrier, aggregator exchange, halt check.
+//!
+//! Each superstep's [`SuperstepStats`] carries the pipeline's observability:
+//! pool queue-wait and steal counts, plus peak/total in-flight input bytes.
+//! `VertexicaConfig::with_streaming(false)` restores the original
+//! materialize-everything pipeline (kept for ablations and equivalence
+//! tests).
 
-use std::sync::Arc;
+use std::sync::{Arc, Mutex};
 
 use vertexica_common::hash::FxHashMap;
 use vertexica_common::pregel::{InitContext, VertexProgram};
 use vertexica_common::timer::Stopwatch;
 use vertexica_common::VertexData;
 use vertexica_sql::TransformUdf;
-use vertexica_storage::partition::hash_partition;
+use vertexica_storage::partition::{hash_partition, StreamingPartitioner};
 use vertexica_storage::{ColumnBuilder, DataType, RecordBatch, Value};
 
-use crate::apply::apply_outputs;
+use crate::apply::{apply_accumulated, apply_outputs, OutputAccumulator};
 use crate::config::VertexicaConfig;
 use crate::error::{VertexicaError, VertexicaResult};
-use crate::input::assemble;
+use crate::input::{assemble, assemble_chunks};
 use crate::session::{vertex_schema, GraphSession};
 use crate::worker::VertexWorker;
 
 /// Per-superstep observability.
 #[derive(Debug, Clone)]
 pub struct SuperstepStats {
+    /// Superstep number (0-based).
     pub superstep: u64,
+    /// Messages delivered into the next superstep.
     pub messages: usize,
+    /// Vertices whose value or halt state changed.
     pub vertex_changes: usize,
+    /// Whether the vertex table was replaced (vs updated in place).
     pub replaced: bool,
+    /// Wall-clock seconds assembling + partitioning worker input.
     pub assemble_secs: f64,
+    /// Wall-clock seconds running worker UDFs (streaming mode also absorbs
+    /// outputs in this window).
     pub compute_secs: f64,
+    /// Wall-clock seconds applying outputs (table writes, halt check).
     pub apply_secs: f64,
+    /// Cumulative seconds this superstep's pool tasks spent queued before a
+    /// worker picked them up (from [`vertexica_common::runtime::PoolMetrics`]).
+    pub queue_wait_secs: f64,
+    /// Pool tasks this superstep obtained by work stealing.
+    pub steals: u64,
+    /// Largest single in-flight input batch, in estimated bytes. Streaming
+    /// keeps this far below [`input_bytes`](Self::input_bytes); the
+    /// materialized pipeline holds the whole input at once, so there the two
+    /// are equal.
+    pub peak_batch_bytes: usize,
+    /// Total assembled worker input for this superstep, in estimated bytes.
+    pub input_bytes: usize,
 }
 
 /// Whole-run observability.
 #[derive(Debug, Clone, Default)]
 pub struct RunStats {
+    /// Supersteps executed by this run.
     pub supersteps: u64,
+    /// Total wall-clock seconds, including initialization.
     pub total_secs: f64,
+    /// Messages delivered across all supersteps.
     pub total_messages: u64,
+    /// Per-superstep breakdown, in execution order.
     pub per_superstep: Vec<SuperstepStats>,
     /// Final aggregator values.
     pub aggregates: FxHashMap<String, f64>,
@@ -161,20 +197,41 @@ fn superstep_loop<P: VertexProgram + 'static>(
             }
         }
 
-        // 1. Assemble input.
+        // 1 + 2. Assemble input and hash-partition it on vid. The streaming
+        // pipeline scatters each chunk into the partitioner as it is
+        // produced, so the unpartitioned union never exists in full; the
+        // materialized pipeline (config.streaming = false) is the original
+        // assemble-then-partition sequence.
         let sw = Stopwatch::start();
-        let input = assemble(session, config.input_mode)?;
+        let (partitions, input_bytes, peak_batch_bytes) = if config.streaming {
+            let mut partitioner = StreamingPartitioner::new(vec![0], config.num_partitions.max(1));
+            let mut total = 0usize;
+            let mut peak = 0usize;
+            assemble_chunks(session, config.input_mode, &mut |chunk| {
+                let bytes = chunk.estimated_bytes();
+                total += bytes;
+                peak = peak.max(bytes);
+                partitioner.push(&chunk).map_err(VertexicaError::from)
+            })?;
+            (partitioner.finish(), total, peak)
+        } else {
+            let input = assemble(session, config.input_mode)?;
+            let bytes: usize = input.iter().map(|b| b.estimated_bytes()).sum();
+            let partitions = if config.num_partitions <= 1 {
+                vec![input]
+            } else {
+                hash_partition(&input, &[0], config.num_partitions)?
+            };
+            // Fully materialized: the whole input is one in-flight unit.
+            (partitions, bytes, bytes)
+        };
         let assemble_secs = sw.elapsed_secs();
 
-        // 2. Vertex batching: hash-partition on vid.
-        let sw = Stopwatch::start();
-        let partitions = if config.num_partitions <= 1 {
-            vec![input]
-        } else {
-            hash_partition(&input, &[0], config.num_partitions)?
-        };
-
-        // 3. Parallel workers.
+        // 3. Parallel workers on the shared pool (+ 4. apply). Streaming
+        // execution folds each partition's output into the accumulator the
+        // moment that partition finishes; the table writes happen once at
+        // the end either way.
+        let pool_before = session.db().runtime().metrics();
         let worker: Arc<dyn TransformUdf> = Arc::new(VertexWorker {
             program: program.clone(),
             superstep,
@@ -182,13 +239,31 @@ fn superstep_loop<P: VertexProgram + 'static>(
             prev_aggregates: Arc::new(prev_aggregates.clone()),
             use_combiner: config.use_combiner,
         });
-        let outputs = session.db().run_transform_partitions(&worker, partitions)?;
-        let compute_secs = sw.elapsed_secs();
-
-        // 4. Apply (update-vs-replace) + barrier.
         let sw = Stopwatch::start();
-        let outcome = apply_outputs(session, program.as_ref(), config, outputs, num_vertices)?;
-        let apply_secs = sw.elapsed_secs();
+        let (outcome, compute_secs, apply_secs) = if config.streaming {
+            let template = OutputAccumulator::for_program(program.as_ref());
+            let acc = Mutex::new(template.fork());
+            session.db().run_transform_streamed(&worker, partitions, &|idx, out| {
+                // Parse outside the shared lock (absorb clones every blob);
+                // only the cheap vector merge is serialized.
+                let mut local = template.fork();
+                local.absorb(idx, &out).map_err(|e| vertexica_sql::SqlError::Udf(e.to_string()))?;
+                acc.lock().unwrap().merge(local);
+                Ok(())
+            })?;
+            let compute_secs = sw.elapsed_secs();
+            let sw = Stopwatch::start();
+            let acc = acc.into_inner().unwrap();
+            let outcome = apply_accumulated(session, program.as_ref(), config, acc, num_vertices)?;
+            (outcome, compute_secs, sw.elapsed_secs())
+        } else {
+            let outputs = session.db().run_transform_partitions(&worker, partitions)?;
+            let compute_secs = sw.elapsed_secs();
+            let sw = Stopwatch::start();
+            let outcome = apply_outputs(session, program.as_ref(), config, outputs, num_vertices)?;
+            (outcome, compute_secs, sw.elapsed_secs())
+        };
+        let pool_delta = session.db().runtime().metrics().delta_since(&pool_before);
 
         prev_aggregates = outcome.aggregates.clone();
         stats.per_superstep.push(SuperstepStats {
@@ -199,6 +274,10 @@ fn superstep_loop<P: VertexProgram + 'static>(
             assemble_secs,
             compute_secs,
             apply_secs,
+            queue_wait_secs: pool_delta.queue_wait_secs,
+            steals: pool_delta.tasks_stolen,
+            peak_batch_bytes,
+            input_bytes,
         });
         stats.total_messages += outcome.messages as u64;
         stats.supersteps = superstep + 1 - start_superstep;

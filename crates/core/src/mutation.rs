@@ -3,7 +3,7 @@
 //! "Vertexica is naturally suited to handle updates" — mutations are plain
 //! DML against the vertex/edge tables, something "graph processing systems,
 //! such as Giraph, have no clear method of" doing. Temporal analysis runs an
-//! algorithm over [`snapshot_at`] materializations of the edge table at
+//! algorithm over [`GraphSession::snapshot_at`] materializations of the edge table at
 //! different timestamps (edges carry a `created` column) and compares results
 //! relationally — e.g. "which node-pairs' shortest paths decreased in the
 //! last year".

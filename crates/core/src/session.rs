@@ -182,30 +182,39 @@ impl GraphSession {
             .collect())
     }
 
-    /// Decodes all vertex values, sorted by id.
-    pub fn vertex_values<V: VertexData>(&self) -> VertexicaResult<Vec<(VertexId, V)>> {
+    /// Decodes all vertex values, sorted by id. Blob decoding is
+    /// embarrassingly parallel over storage batches, so it runs on the
+    /// database's shared worker pool (sequential inline when the pool has a
+    /// single worker or the table a single batch).
+    pub fn vertex_values<V: VertexData + Send>(&self) -> VertexicaResult<Vec<(VertexId, V)>> {
         let table = self.db.catalog().get(&self.vertex_table())?;
         let batches = {
             let guard = table.read();
             guard.scan(Some(&[0, 1]), &[])?
         };
-        let mut out = Vec::new();
-        for batch in batches {
-            let ids = batch.column(0);
-            let vals = batch.column(1);
-            for i in 0..batch.num_rows() {
-                let id = ids.value(i).as_int().unwrap_or(0) as VertexId;
-                if vals.is_null(i) {
-                    continue;
+        let decoded: Vec<VertexicaResult<Vec<(VertexId, V)>>> =
+            self.db.runtime().map_indexed(batches, |_, batch| {
+                let ids = batch.column(0);
+                let vals = batch.column(1);
+                let mut out = Vec::with_capacity(batch.num_rows());
+                for i in 0..batch.num_rows() {
+                    let id = ids.value(i).as_int().unwrap_or(0) as VertexId;
+                    if vals.is_null(i) {
+                        continue;
+                    }
+                    let Value::Blob(bytes) = vals.value(i) else {
+                        return Err(VertexicaError::Codec("vertex value is not a blob".into()));
+                    };
+                    let v = V::from_bytes(&bytes).ok_or_else(|| {
+                        VertexicaError::Codec(format!("cannot decode value of vertex {id}"))
+                    })?;
+                    out.push((id, v));
                 }
-                let Value::Blob(bytes) = vals.value(i) else {
-                    return Err(VertexicaError::Codec("vertex value is not a blob".into()));
-                };
-                let v = V::from_bytes(&bytes).ok_or_else(|| {
-                    VertexicaError::Codec(format!("cannot decode value of vertex {id}"))
-                })?;
-                out.push((id, v));
-            }
+                Ok(out)
+            });
+        let mut out = Vec::new();
+        for batch in decoded {
+            out.extend(batch?);
         }
         out.sort_by_key(|(id, _)| *id);
         Ok(out)
@@ -334,6 +343,31 @@ mod tests {
         }
         let vals: Vec<(VertexId, f64)> = g.vertex_values().unwrap();
         assert_eq!(vals, vec![(2, 2.5)]);
+    }
+
+    #[test]
+    fn vertex_values_decode_in_parallel_across_batches() {
+        // Five separate appends → five storage segments → five pool tasks.
+        let db = Arc::new(Database::new());
+        db.set_worker_threads(4);
+        let g = GraphSession::create(db.clone(), "g").unwrap();
+        let table = db.catalog().get("g_vertex").unwrap();
+        for chunk in 0..5i64 {
+            let rows: Vec<Vec<Value>> = (0..10)
+                .map(|i| {
+                    let id = chunk * 10 + i;
+                    vec![Value::Int(id), Value::Blob((id as f64).to_bytes()), Value::Bool(false)]
+                })
+                .collect();
+            let batch = RecordBatch::from_rows(vertex_schema(), &rows).unwrap();
+            table.write().append_batch(&batch).unwrap();
+        }
+        let vals: Vec<(VertexId, f64)> = g.vertex_values().unwrap();
+        assert_eq!(vals.len(), 50);
+        for (i, (id, v)) in vals.iter().enumerate() {
+            assert_eq!(*id, i as VertexId);
+            assert_eq!(*v, i as f64);
+        }
     }
 
     #[test]

@@ -7,8 +7,13 @@
 //! regex-subset string strategy (`.{a,b}` and `[x-y]{a,b}` forms).
 //!
 //! Differences from real proptest: inputs are generated from a fixed
-//! per-test seed (fully deterministic across runs) and failures are **not
-//! shrunk** — the failing case panics as-is.
+//! per-test seed (fully deterministic across runs) and shrinking is
+//! **minimal**: integer ranges/`any` shrink toward their lower bound / zero,
+//! vectors shrink by truncation plus element-wise shrinking, tuples shrink
+//! component-wise, and strings shrink by dropping characters. Mapped,
+//! flat-mapped, and `prop_oneof!` strategies do not shrink (the generating
+//! input is not recoverable from the value). A failing case is greedily
+//! re-minimized and the panic reports the reduced input.
 
 use rand::rngs::StdRng;
 use rand::{Rng, SeedableRng};
@@ -57,6 +62,13 @@ pub trait Strategy {
 
     fn generate(&self, rng: &mut TestRng) -> Self::Value;
 
+    /// Candidate simplifications of a failing `value`, most aggressive
+    /// first. The default is no shrinking; integer, vector, tuple and string
+    /// strategies override it.
+    fn shrink(&self, _value: &Self::Value) -> Vec<Self::Value> {
+        Vec::new()
+    }
+
     fn prop_map<O, F>(self, f: F) -> Map<Self, F>
     where
         Self: Sized,
@@ -90,6 +102,10 @@ impl<T> Strategy for BoxedStrategy<T> {
     fn generate(&self, rng: &mut TestRng) -> T {
         (**self).generate(rng)
     }
+
+    fn shrink(&self, value: &T) -> Vec<T> {
+        (**self).shrink(value)
+    }
 }
 
 impl<S: Strategy + ?Sized> Strategy for &S {
@@ -97,6 +113,10 @@ impl<S: Strategy + ?Sized> Strategy for &S {
 
     fn generate(&self, rng: &mut TestRng) -> S::Value {
         (**self).generate(rng)
+    }
+
+    fn shrink(&self, value: &S::Value) -> Vec<S::Value> {
+        (**self).shrink(value)
     }
 }
 
@@ -141,6 +161,12 @@ impl<T: Clone> Strategy for Just<T> {
 /// Types with a canonical "anything goes" strategy.
 pub trait Arbitrary: Sized {
     fn arbitrary(rng: &mut TestRng) -> Self;
+
+    /// Candidate simplifications of a failing value (see
+    /// [`Strategy::shrink`]). Defaults to none.
+    fn shrink_value(&self) -> Vec<Self> {
+        Vec::new()
+    }
 }
 
 macro_rules! arb_int {
@@ -148,6 +174,24 @@ macro_rules! arb_int {
         impl Arbitrary for $t {
             fn arbitrary(rng: &mut TestRng) -> $t {
                 rng.next_u64() as $t
+            }
+
+            /// Shrinks toward zero on a binary ladder:
+            /// `[0, v ∓ |v|/2, v ∓ |v|/4, …, v ∓ 1]` — greedy adoption of
+            /// the first still-failing candidate converges to the failure
+            /// boundary in O(log²|v|) probes.
+            fn shrink_value(&self) -> Vec<$t> {
+                let v = *self;
+                if v == 0 {
+                    return Vec::new();
+                }
+                let mut out = vec![0 as $t];
+                let mut delta = (v as i128) / 2; // truncates toward zero
+                while delta != 0 {
+                    out.push(((v as i128) - delta) as $t);
+                    delta /= 2;
+                }
+                out
             }
         }
     )*};
@@ -158,6 +202,14 @@ arb_int!(u8, u16, u32, u64, usize, i8, i16, i32, i64, isize);
 impl Arbitrary for bool {
     fn arbitrary(rng: &mut TestRng) -> bool {
         rng.next_u64() & 1 == 1
+    }
+
+    fn shrink_value(&self) -> Vec<bool> {
+        if *self {
+            vec![false]
+        } else {
+            Vec::new()
+        }
     }
 }
 
@@ -183,11 +235,39 @@ impl<T: Arbitrary> Strategy for Any<T> {
     fn generate(&self, rng: &mut TestRng) -> T {
         T::arbitrary(rng)
     }
+
+    fn shrink(&self, value: &T) -> Vec<T> {
+        value.shrink_value()
+    }
 }
 
 /// `any::<T>()` — the canonical strategy for `T`.
 pub fn any<T: Arbitrary>() -> Any<T> {
     Any(std::marker::PhantomData)
+}
+
+/// Integer shrink candidates toward the range's lower bound `lo`, on a
+/// binary ladder: `[lo, v - span/2, v - span/4, …, v - 1]` (most aggressive
+/// first). Greedy first-failing adoption converges to the failure boundary
+/// in O(log² span) probes.
+macro_rules! shrink_toward {
+    ($t:ty, $lo:expr, $v:expr) => {{
+        let lo: $t = $lo;
+        let v: $t = $v;
+        // i128 math sidesteps overflow on extreme signed ranges.
+        let span = (v as i128) - (lo as i128);
+        if span <= 0 {
+            Vec::new()
+        } else {
+            let mut out = vec![lo];
+            let mut delta = span / 2;
+            while delta > 0 {
+                out.push(((v as i128) - delta) as $t);
+                delta /= 2;
+            }
+            out
+        }
+    }};
 }
 
 macro_rules! range_strategy {
@@ -198,12 +278,20 @@ macro_rules! range_strategy {
             fn generate(&self, rng: &mut TestRng) -> $t {
                 rng.gen_range(self.clone())
             }
+
+            fn shrink(&self, value: &$t) -> Vec<$t> {
+                shrink_toward!($t, self.start, *value)
+            }
         }
         impl Strategy for std::ops::RangeInclusive<$t> {
             type Value = $t;
 
             fn generate(&self, rng: &mut TestRng) -> $t {
                 rng.gen_range(self.clone())
+            }
+
+            fn shrink(&self, value: &$t) -> Vec<$t> {
+                shrink_toward!($t, *self.start(), *value)
             }
         }
     )*};
@@ -221,11 +309,28 @@ impl Strategy for std::ops::Range<f64> {
 
 macro_rules! tuple_strategy {
     ($($name:ident : $idx:tt),+) => {
-        impl<$($name: Strategy),+> Strategy for ($($name,)+) {
+        impl<$($name: Strategy),+> Strategy for ($($name,)+)
+        where
+            $($name::Value: Clone),+
+        {
             type Value = ($($name::Value,)+);
 
             fn generate(&self, rng: &mut TestRng) -> Self::Value {
                 ($(self.$idx.generate(rng),)+)
+            }
+
+            /// Component-wise shrinking: each candidate replaces exactly one
+            /// component with one of its strategy's shrink candidates.
+            fn shrink(&self, value: &Self::Value) -> Vec<Self::Value> {
+                let mut out = Vec::new();
+                $(
+                    for cand in self.$idx.shrink(&value.$idx) {
+                        let mut v = value.clone();
+                        v.$idx = cand;
+                        out.push(v);
+                    }
+                )+
+                out
             }
         }
     };
@@ -247,6 +352,23 @@ impl Strategy for &'static str {
         let (pool, min, max) = parse_regex_subset(self);
         let len = if min == max { min } else { rng.gen_range(min..=max) };
         (0..len).map(|_| pool[rng.gen_range(0..pool.len())]).collect()
+    }
+
+    /// Shrinks by dropping characters on a binary ladder down to the
+    /// quantifier's minimum length.
+    fn shrink(&self, value: &String) -> Vec<String> {
+        let (_, min, _) = parse_regex_subset(self);
+        let n = value.chars().count();
+        if n <= min {
+            return Vec::new();
+        }
+        let mut out: Vec<String> = vec![value.chars().take(min).collect()];
+        let mut delta = (n - min) / 2;
+        while delta > 0 {
+            out.push(value.chars().take(n - delta).collect());
+            delta /= 2;
+        }
+        out
     }
 }
 
@@ -342,7 +464,7 @@ pub mod collection {
     use super::{Strategy, TestRng};
     use rand::Rng;
 
-    /// Accepted size specifications for [`vec`].
+    /// Accepted size specifications for [`vec`](fn@vec).
     #[derive(Debug, Clone)]
     pub struct SizeRange {
         min: usize,
@@ -378,7 +500,10 @@ pub mod collection {
         VecStrategy { element, size: size.into() }
     }
 
-    impl<S: Strategy> Strategy for VecStrategy<S> {
+    impl<S: Strategy> Strategy for VecStrategy<S>
+    where
+        S::Value: Clone,
+    {
         type Value = Vec<S::Value>;
 
         fn generate(&self, rng: &mut TestRng) -> Vec<S::Value> {
@@ -388,6 +513,30 @@ pub mod collection {
                 rng.gen_range(self.size.min..=self.size.max)
             };
             (0..len).map(|_| self.element.generate(rng)).collect()
+        }
+
+        /// Shrinks by prefix truncation on a binary ladder down to the
+        /// minimum length, then element-wise via the element strategy.
+        fn shrink(&self, value: &Vec<S::Value>) -> Vec<Vec<S::Value>> {
+            let n = value.len();
+            let min = self.size.min;
+            let mut out: Vec<Vec<S::Value>> = Vec::new();
+            if n > min {
+                out.push(value[..min].to_vec());
+                let mut delta = (n - min) / 2;
+                while delta > 0 {
+                    out.push(value[..n - delta].to_vec());
+                    delta /= 2;
+                }
+            }
+            for i in 0..n {
+                for cand in self.element.shrink(&value[i]) {
+                    let mut v = value.clone();
+                    v[i] = cand;
+                    out.push(v);
+                }
+            }
+            out
         }
     }
 }
@@ -413,6 +562,111 @@ pub mod option {
                 Some(self.0.generate(rng))
             }
         }
+    }
+}
+
+/// Cap on shrink attempts per failing case (candidate evaluations).
+const MAX_SHRINK_STEPS: usize = 1024;
+
+/// RAII guard that swaps in a no-op panic hook (process-global, reference
+/// counted so overlapping probe phases from concurrent tests compose) and
+/// restores the previously-installed hook when the last guard drops.
+struct QuietPanics;
+
+type PanicHook = Box<dyn Fn(&std::panic::PanicHookInfo<'_>) + Send + Sync>;
+
+/// (nesting depth, the hook that was active before the first guard).
+static QUIET_PANICS: std::sync::Mutex<(usize, Option<PanicHook>)> =
+    std::sync::Mutex::new((0, None));
+
+impl QuietPanics {
+    fn install() -> QuietPanics {
+        let mut state = QUIET_PANICS.lock().unwrap();
+        if state.0 == 0 {
+            state.1 = Some(std::panic::take_hook());
+            std::panic::set_hook(Box::new(|_| {}));
+        }
+        state.0 += 1;
+        QuietPanics
+    }
+}
+
+impl Drop for QuietPanics {
+    fn drop(&mut self) {
+        let mut state = QUIET_PANICS.lock().unwrap();
+        state.0 -= 1;
+        if state.0 == 0 {
+            match state.1.take() {
+                Some(prev) => std::panic::set_hook(prev),
+                None => drop(std::panic::take_hook()),
+            }
+        }
+    }
+}
+
+/// Extracts a printable message from a panic payload.
+fn payload_message(payload: &(dyn std::any::Any + Send)) -> String {
+    if let Some(s) = payload.downcast_ref::<&str>() {
+        (*s).to_string()
+    } else if let Some(s) = payload.downcast_ref::<String>() {
+        s.clone()
+    } else {
+        "<non-string panic payload>".to_string()
+    }
+}
+
+/// Runs `test` once and, if it fails, re-runs a non-panicking probe to find
+/// the smallest failing input reachable through [`Strategy::shrink`].
+/// Returns `None` when the case passes, `Some((minimal_input, message))`
+/// when it fails.
+pub fn find_minimal_failure<S>(
+    strategy: &S,
+    value: S::Value,
+    test: &dyn Fn(&S::Value),
+) -> Option<(S::Value, String)>
+where
+    S: Strategy,
+    S::Value: Clone + std::fmt::Debug,
+{
+    use std::panic::{catch_unwind, AssertUnwindSafe};
+    // Probes intentionally panic (the original case plus every still-failing
+    // shrink candidate); silence the default hook so a failing property does
+    // not spray hundreds of backtraces before the real minimal-input panic.
+    let _quiet = QuietPanics::install();
+    let probe = |v: &S::Value| catch_unwind(AssertUnwindSafe(|| test(v))).err();
+    let mut payload = probe(&value)?;
+    let mut best = value;
+    let mut steps = 0usize;
+    'outer: while steps < MAX_SHRINK_STEPS {
+        for cand in strategy.shrink(&best) {
+            steps += 1;
+            if let Some(p) = probe(&cand) {
+                // Greedy descent: adopt the first still-failing candidate.
+                best = cand;
+                payload = p;
+                continue 'outer;
+            }
+            if steps >= MAX_SHRINK_STEPS {
+                break 'outer;
+            }
+        }
+        break; // no candidate still fails: `best` is minimal
+    }
+    Some((best, payload_message(&*payload)))
+}
+
+/// Runs one generated case, shrinking on failure and panicking with the
+/// reduced input — the runtime behind the [`proptest!`] macro.
+pub fn check_case<S, F>(strategy: &S, value: S::Value, test: F)
+where
+    S: Strategy,
+    S::Value: Clone + std::fmt::Debug,
+    F: Fn(&S::Value),
+{
+    if let Some((minimal, message)) = find_minimal_failure(strategy, value, &test) {
+        panic!(
+            "proptest shim: case failed; minimal failing input: {minimal:?}\ncaused by: {message}"
+        );
     }
 }
 
@@ -461,15 +715,22 @@ macro_rules! __proptest_each {
     (cfg = ($cfg:expr);) => {};
     (cfg = ($cfg:expr);
      $(#[$meta:meta])*
-     fn $name:ident($($pat:pat in $strat:expr),* $(,)?) $body:block
+     fn $name:ident($($pat:pat in $strat:expr),+ $(,)?) $body:block
      $($rest:tt)*) => {
         $(#[$meta])*
         fn $name() {
             let __cfg: $crate::ProptestConfig = $cfg;
             let mut __rng = $crate::test_rng(concat!(module_path!(), "::", stringify!($name)));
+            // One tuple strategy over all parameters: generation draws from
+            // the RNG in declaration order (identical inputs to the
+            // pre-shrinking shim) and failures shrink component-wise.
+            let __strategy = ($($strat,)+);
             for __case in 0..__cfg.cases {
-                $(let $pat = $crate::Strategy::generate(&($strat), &mut __rng);)*
-                $body
+                let __vals = $crate::Strategy::generate(&__strategy, &mut __rng);
+                $crate::check_case(&__strategy, __vals, |__vals| {
+                    let ($($pat,)+) = ::core::clone::Clone::clone(__vals);
+                    $body
+                });
             }
         }
         $crate::__proptest_each! { cfg = ($cfg); $($rest)* }
@@ -511,6 +772,64 @@ mod tests {
         fn oneof_weighted(v in prop_oneof![1 => Just(0u8), 9 => Just(1u8)]) {
             prop_assert!(v <= 1);
         }
+    }
+
+    #[test]
+    fn seeded_failure_shrinks_to_minimal_input() {
+        // Property "v < 500" fails for any v in 500..1000; the minimal
+        // failing input is exactly 500 and greedy range-shrinking must
+        // reach it from any seed.
+        let strategy = (0u64..1000,);
+        let mut rng = crate::test_rng("shrink-to-minimal");
+        let mut checked_failures = 0;
+        for _ in 0..64 {
+            let v = Strategy::generate(&strategy, &mut rng);
+            let outcome =
+                crate::find_minimal_failure(&strategy, v, &|&(v,): &(u64,)| assert!(v < 500));
+            match outcome {
+                None => {}
+                Some((minimal, message)) => {
+                    checked_failures += 1;
+                    assert_eq!(minimal, (500,), "shrinking stopped early");
+                    assert!(message.contains("v < 500"));
+                }
+            }
+        }
+        assert!(checked_failures > 0, "seed never produced a failing case");
+    }
+
+    #[test]
+    fn failing_proptest_reports_shrunk_input() {
+        // End-to-end through the macro: the panic message must carry the
+        // *reduced* input (the boundary value 500), not the original random
+        // draw.
+        proptest! {
+            #![proptest_config(ProptestConfig::with_cases(32))]
+
+            #[allow(unused)]
+            fn value_is_small(v in 0u64..1000) {
+                prop_assert!(v < 500);
+            }
+        }
+        let result = std::panic::catch_unwind(value_is_small);
+        let payload = result.expect_err("property should fail");
+        let msg = crate::payload_message(&*payload);
+        assert!(msg.contains("minimal failing input"), "unexpected message: {msg}");
+        assert!(msg.contains("(500,)"), "not fully shrunk: {msg}");
+        assert!(msg.contains("v < 500"), "original assertion lost: {msg}");
+    }
+
+    #[test]
+    fn shrink_candidates_respect_bounds() {
+        let r = 10u64..1000;
+        for cand in Strategy::shrink(&r, &500) {
+            assert!((10..500).contains(&cand), "candidate {cand} out of range");
+        }
+        assert!(Strategy::shrink(&r, &10).is_empty());
+        let v = crate::collection::vec(0u64..10, 2..6);
+        let shrunk = Strategy::shrink(&v, &vec![5, 5, 5, 5]);
+        assert!(shrunk.iter().all(|s| s.len() >= 2));
+        assert!(shrunk.contains(&vec![5, 5]));
     }
 
     #[test]

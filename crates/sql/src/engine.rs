@@ -1,7 +1,7 @@
 //! The `Database` façade: catalog + SQL execution + UDx + stored procedures.
 
 use std::collections::HashMap;
-use std::sync::Arc;
+use std::sync::{Arc, Mutex};
 
 use parking_lot::RwLock;
 use vertexica_common::runtime::WorkerPool;
@@ -459,25 +459,86 @@ impl Database {
     }
 
     /// Runs a transform over pre-partitioned input on the shared runtime
-    /// pool. Each partition is one pool task (serial within a partition,
-    /// parallel across partitions — the paper's vertex batching); the pool
-    /// caps concurrency at its configured size and the queue load-balances
-    /// uneven partitions. Output preserves partition order. With one worker
-    /// (or one partition) execution falls back to sequential inline runs.
+    /// pool, streaming each partition's output to `sink` **as soon as that
+    /// partition finishes** instead of collecting everything first. Each
+    /// partition is one pool task (serial within a partition, parallel
+    /// across partitions — the paper's vertex batching); the per-worker
+    /// deques load-balance uneven partitions by stealing. This is the
+    /// engine's streaming execution primitive: the coordinator's superstep
+    /// loop applies worker outputs incrementally through it, and
+    /// [`run_transform_partitions`](Self::run_transform_partitions) is a
+    /// thin order-restoring wrapper over it.
+    ///
+    /// `sink` is called once per non-empty partition with
+    /// `(partition_index, output_batches)`, from whichever worker thread
+    /// finished the partition (so it must be `Sync`; calls may interleave
+    /// across partitions but each partition is delivered exactly once).
+    /// Completion order is not deterministic. The first error — from the UDF
+    /// or from the sink — is returned; partitions not yet started are then
+    /// skipped and in-flight ones have their sink deliveries suppressed.
+    /// With one worker
+    /// (or one non-empty partition) execution falls back to sequential
+    /// inline runs on the calling thread.
+    pub fn run_transform_streamed(
+        &self,
+        udf: &Arc<dyn TransformUdf>,
+        partitions: Vec<Vec<RecordBatch>>,
+        sink: &(dyn Fn(usize, Vec<RecordBatch>) -> SqlResult<()> + Sync),
+    ) -> SqlResult<()> {
+        let work: Vec<(usize, Vec<RecordBatch>)> =
+            partitions.into_iter().enumerate().filter(|(_, p)| !p.is_empty()).collect();
+        if work.len() <= 1 || self.runtime.size() <= 1 {
+            for (idx, p) in work {
+                sink(idx, udf.execute(p)?)?;
+            }
+            return Ok(());
+        }
+        let failure: Mutex<Option<SqlError>> = Mutex::new(None);
+        self.runtime.scope(|scope| {
+            for (idx, p) in work {
+                let failure = &failure;
+                scope.spawn(move || {
+                    if failure.lock().unwrap().is_some() {
+                        return; // an earlier partition already failed: skip the work
+                    }
+                    let result = udf.execute(p).and_then(|out| {
+                        if failure.lock().unwrap().is_some() {
+                            return Ok(()); // a failure landed while we computed
+                        }
+                        sink(idx, out)
+                    });
+                    if let Err(e) = result {
+                        let mut slot = failure.lock().unwrap();
+                        if slot.is_none() {
+                            *slot = Some(e);
+                        }
+                    }
+                });
+            }
+        });
+        match failure.into_inner().unwrap() {
+            Some(e) => Err(e),
+            None => Ok(()),
+        }
+    }
+
+    /// Runs a transform over pre-partitioned input on the shared runtime
+    /// pool, collecting every partition's output. Output preserves partition
+    /// order. Built on [`run_transform_streamed`](Self::run_transform_streamed);
+    /// prefer that entry point when outputs can be consumed incrementally.
     pub fn run_transform_partitions(
         &self,
         udf: &Arc<dyn TransformUdf>,
         partitions: Vec<Vec<RecordBatch>>,
     ) -> SqlResult<Vec<RecordBatch>> {
-        let work: Vec<Vec<RecordBatch>> =
-            partitions.into_iter().filter(|p| !p.is_empty()).collect();
-        let results: Vec<SqlResult<Vec<RecordBatch>>> =
-            self.runtime.map_indexed(work, |_, p| udf.execute(p));
-        let mut out = Vec::new();
-        for r in results {
-            out.extend(r?);
-        }
-        Ok(out)
+        let collected: Mutex<Vec<(usize, Vec<RecordBatch>)>> = Mutex::new(Vec::new());
+        self.run_transform_streamed(udf, partitions, &|idx, out| {
+            collected.lock().unwrap().push((idx, out));
+            Ok(())
+        })?;
+        let mut collected = collected.into_inner().unwrap();
+        collected.sort_by_key(|(idx, _)| *idx);
+        Ok(collected.into_iter().flat_map(|(_, out)| out).collect())
     }
 
     /// Direct storage-level scan helper (bypasses SQL) — used by the
@@ -797,6 +858,81 @@ mod tests {
             "5 invocations × 9 partitions ran on {distinct} distinct threads; \
              a persistent pool of 3 must not spawn per call"
         );
+    }
+
+    #[test]
+    fn streamed_sink_sees_every_partition_exactly_once() {
+        let db = Database::new();
+        db.set_worker_threads(4);
+        let partitions: Vec<Vec<RecordBatch>> =
+            (0..10).map(|i| int_partition(&[i as i64])).collect();
+        let udf: Arc<dyn TransformUdf> = Tagger::new(1);
+        let seen = Mutex::new(Vec::new());
+        db.run_transform_streamed(&udf, partitions, &|idx, out| {
+            seen.lock().unwrap().push((idx, first_values(&out)));
+            Ok(())
+        })
+        .unwrap();
+        let mut seen = seen.into_inner().unwrap();
+        seen.sort();
+        let expected: Vec<(usize, Vec<i64>)> = (0..10).map(|i| (i, vec![i as i64])).collect();
+        assert_eq!(seen, expected);
+    }
+
+    #[test]
+    fn streamed_sink_error_propagates() {
+        let db = Database::new();
+        db.set_worker_threads(4);
+        let partitions: Vec<Vec<RecordBatch>> =
+            (0..6).map(|i| int_partition(&[i as i64])).collect();
+        let udf: Arc<dyn TransformUdf> = Tagger::new(0);
+        let err = db
+            .run_transform_streamed(&udf, partitions, &|_, _| {
+                Err(SqlError::Udf("sink rejects".into()))
+            })
+            .unwrap_err();
+        assert!(err.to_string().contains("sink rejects"));
+    }
+
+    #[test]
+    fn skewed_partition_map_triggers_work_stealing() {
+        // One giant slow partition plus many light ones, on a pool smaller
+        // than the partition count: with per-worker deques the light
+        // partitions pile up behind the slow worker's deque and must be
+        // stolen by its idle siblings.
+        let db = Database::new();
+        db.set_worker_threads(2);
+        let before = db.runtime().metrics();
+        let mut partitions: Vec<Vec<RecordBatch>> =
+            vec![int_partition(&(0..512).collect::<Vec<_>>())];
+        partitions.extend((1..16).map(|i| int_partition(&[i as i64])));
+
+        struct SlowFirst {
+            inner: Arc<Tagger>,
+        }
+        impl crate::udf::TransformUdf for SlowFirst {
+            fn name(&self) -> &str {
+                "slow_first"
+            }
+            fn output_schema(
+                &self,
+                input: &vertexica_storage::Schema,
+            ) -> SqlResult<Arc<vertexica_storage::Schema>> {
+                self.inner.output_schema(input)
+            }
+            fn execute(&self, p: Vec<RecordBatch>) -> SqlResult<Vec<RecordBatch>> {
+                if p[0].num_rows() > 1 {
+                    std::thread::sleep(std::time::Duration::from_millis(50));
+                }
+                self.inner.execute(p)
+            }
+        }
+        let slow: Arc<dyn TransformUdf> = Arc::new(SlowFirst { inner: Tagger::new(0) });
+        let out = db.run_transform_partitions(&slow, partitions).unwrap();
+        assert_eq!(out.len(), 16);
+        let delta = db.runtime().metrics().delta_since(&before);
+        assert_eq!(delta.tasks_executed, 16);
+        assert!(delta.tasks_stolen > 0, "skewed partitions should force steals: {delta:?}");
     }
 
     #[test]

@@ -141,6 +141,13 @@ impl RecordBatch {
     pub fn total_rows(batches: &[RecordBatch]) -> usize {
         batches.iter().map(|b| b.num_rows()).sum()
     }
+
+    /// Estimated heap footprint of this batch in bytes (sum of its columns'
+    /// [`Column::estimated_bytes`]). Used by the streaming superstep pipeline
+    /// for peak/total in-flight size accounting.
+    pub fn estimated_bytes(&self) -> usize {
+        self.columns.iter().map(|c| c.estimated_bytes()).sum()
+    }
 }
 
 #[cfg(test)]

@@ -121,6 +121,21 @@ impl Column {
         }
     }
 
+    /// Estimated heap footprint of this column's data in bytes. Used by the
+    /// streaming superstep pipeline to report peak in-flight batch sizes;
+    /// an estimate (variable-width headers are approximated), not an exact
+    /// allocator measurement.
+    pub fn estimated_bytes(&self) -> usize {
+        let data = match &*self.data {
+            ColumnData::Bool(v) => v.len(),
+            ColumnData::Int(v) => v.len() * 8,
+            ColumnData::Float(v) => v.len() * 8,
+            ColumnData::Str(v) => v.iter().map(|s| s.len() + std::mem::size_of::<String>()).sum(),
+            ColumnData::Blob(v) => v.iter().map(|b| b.len() + std::mem::size_of::<Vec<u8>>()).sum(),
+        };
+        data + self.validity.as_ref().map_or(0, |v| v.len().div_ceil(8))
+    }
+
     /// The value at row `i` (clones strings/blobs).
     pub fn value(&self, i: usize) -> Value {
         if self.is_null(i) {

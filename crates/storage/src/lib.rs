@@ -4,7 +4,7 @@
 //! The paper runs vertex-centric graph analytics on an *unmodified* industrial
 //! column store. This crate provides the physical layer of that substrate:
 //!
-//! * [`value`] / [`column`] / [`batch`] — typed values, columnar vectors with
+//! * [`value`] / [`column`](mod@column) / [`batch`] — typed values, columnar vectors with
 //!   validity bitmaps, and record batches (the unit of vectorized execution);
 //! * [`table`] — tables with a Vertica-style split between a row-oriented
 //!   **write-optimized store (WOS)** and sorted, encoded, zone-mapped

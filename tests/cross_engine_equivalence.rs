@@ -145,17 +145,21 @@ fn connected_components_agree() {
 
 #[test]
 fn every_vertexica_configuration_agrees() {
-    // All four §2.3 optimizations toggled — results must never change.
+    // All four §2.3 optimizations toggled, on both pipelines — results must
+    // never change.
     let graph = rmat_graph(&RmatConfig { scale: 6, num_edges: 300, seed: 4, ..Default::default() });
     let expected = reference::pagerank(&graph, 6, 0.85);
     let configs = vec![
         VertexicaConfig::default(),
+        VertexicaConfig::default().with_streaming(false),
         VertexicaConfig::default().with_input_mode(InputMode::ThreeWayJoin),
+        VertexicaConfig::default().with_input_mode(InputMode::ThreeWayJoin).with_streaming(false),
         VertexicaConfig::default().with_workers(1).with_partitions(1),
         VertexicaConfig::default().with_workers(8).with_partitions(64),
         VertexicaConfig::default().with_replace_threshold(0.0),
         VertexicaConfig::default().with_replace_threshold(1.01),
         VertexicaConfig::default().with_combiner(false),
+        VertexicaConfig::default().with_combiner(false).with_streaming(false),
     ];
     for (ci, config) in configs.into_iter().enumerate() {
         let session = session_for(&graph);
@@ -165,4 +169,106 @@ fn every_vertexica_configuration_agrees() {
             assert!((rank - expected[id as usize]).abs() < 1e-9, "config {ci} vertex {id}");
         }
     }
+}
+
+/// Runs `program` under the streaming and the materialized pipeline on the
+/// same graph and requires **bitwise-identical** vertex values: the
+/// streaming refactor canonicalizes apply order, so not even float
+/// summation order may differ between the two paths.
+fn assert_streaming_matches_materialized<P, V>(graph: &EdgeList, make_program: impl Fn() -> P)
+where
+    P: vertexica_common::VertexProgram<Value = V> + 'static,
+    V: vertexica_common::VertexData + Send + PartialEq + std::fmt::Debug,
+{
+    for (workers, partitions) in [(4, 16), (2, 3), (1, 1)] {
+        let base = VertexicaConfig::default().with_workers(workers).with_partitions(partitions);
+
+        let streaming_session = session_for(graph);
+        run_program(&streaming_session, Arc::new(make_program()), &base.clone()).unwrap();
+        let streamed: Vec<(VertexId, V)> = streaming_session.vertex_values().unwrap();
+
+        let materialized_session = session_for(graph);
+        run_program(&materialized_session, Arc::new(make_program()), &base.with_streaming(false))
+            .unwrap();
+        let materialized: Vec<(VertexId, V)> = materialized_session.vertex_values().unwrap();
+
+        assert_eq!(
+            streamed, materialized,
+            "streaming and materialized pipelines diverged \
+             (workers={workers}, partitions={partitions})"
+        );
+    }
+}
+
+#[test]
+fn streaming_matches_materialized_on_every_algorithm() {
+    use vertexica_algorithms::vc::{LabelPropagation, RandomWalkWithRestart};
+    let graph =
+        rmat_graph(&RmatConfig { scale: 6, num_edges: 400, seed: 11, ..Default::default() });
+    assert_streaming_matches_materialized(&graph, || PageRank::new(6, 0.85));
+    assert_streaming_matches_materialized(&graph, || Sssp::new(0));
+    assert_streaming_matches_materialized(&graph.undirected(), || ConnectedComponents);
+    assert_streaming_matches_materialized(&graph, || RandomWalkWithRestart::new(0, 10));
+    assert_streaming_matches_materialized(&graph.undirected(), || LabelPropagation::new(6));
+}
+
+#[test]
+fn streaming_stats_report_bounded_peak_bytes() {
+    // Dense superstep: PageRank touches every vertex, edge, and (after
+    // superstep 0) a per-edge message load. The streaming pipeline must
+    // never hold the whole assembled input as one in-flight batch.
+    let graph = erdos_renyi(400, 3200, 9);
+    let session = session_for(&graph);
+    let stats =
+        run_program(&session, Arc::new(PageRank::new(5, 0.85)), &VertexicaConfig::default())
+            .unwrap();
+    assert!(stats.supersteps >= 2);
+    for s in &stats.per_superstep {
+        assert!(s.input_bytes > 0, "superstep {} reported no input", s.superstep);
+        assert!(
+            s.peak_batch_bytes < s.input_bytes,
+            "superstep {}: streaming peak {} should stay strictly below the \
+             fully-materialized input size {}",
+            s.superstep,
+            s.peak_batch_bytes,
+            s.input_bytes
+        );
+        assert!(s.queue_wait_secs >= 0.0);
+    }
+
+    // The materialized pipeline, by definition, holds the whole input.
+    let session = session_for(&graph);
+    let stats = run_program(
+        &session,
+        Arc::new(PageRank::new(5, 0.85)),
+        &VertexicaConfig::default().with_streaming(false),
+    )
+    .unwrap();
+    for s in &stats.per_superstep {
+        assert_eq!(s.peak_batch_bytes, s.input_bytes);
+    }
+}
+
+#[test]
+fn pool_metrics_grow_monotonically_across_supersteps() {
+    let graph = erdos_renyi(200, 1200, 3);
+    let session = session_for(&graph);
+    let pool = session.db().runtime().clone();
+    let before = pool.metrics();
+    let stats = run_program(
+        &session,
+        Arc::new(PageRank::new(5, 0.85)),
+        &VertexicaConfig::default().with_workers(4).with_partitions(32),
+    )
+    .unwrap();
+    let after = pool.metrics();
+    // The run's per-superstep deltas must add up to no more than the pool's
+    // monotonic counter growth (other phases may add to the pool totals).
+    assert!(after.tasks_executed > before.tasks_executed);
+    assert!(after.queue_wait_secs >= before.queue_wait_secs);
+    assert!(after.tasks_stolen >= before.tasks_stolen);
+    let summed_wait: f64 = stats.per_superstep.iter().map(|s| s.queue_wait_secs).sum();
+    let summed_steals: u64 = stats.per_superstep.iter().map(|s| s.steals).sum();
+    assert!(summed_wait <= after.queue_wait_secs - before.queue_wait_secs + 1e-9);
+    assert!(summed_steals <= after.tasks_stolen - before.tasks_stolen);
 }
