@@ -108,8 +108,22 @@ fn main() {
                 let steals: u64 = stats.per_superstep.iter().map(|s| s.steals).sum();
                 let peak =
                     stats.per_superstep.iter().map(|s| s.peak_batch_bytes).max().unwrap_or(0);
+                let apply: f64 = stats.per_superstep.iter().map(|s| s.apply_secs).sum();
+                let apply_par =
+                    stats.per_superstep.iter().map(|s| s.apply_parallelism).max().unwrap_or(1);
+                // Ablation column: the same run with the serial one-shot SQL
+                // apply path, isolating what the segment-parallel apply
+                // saves (it also wins at pool=1 by dropping the staged
+                // LEFT JOIN rebuild and the post-commit halting scan).
+                let serial_config = config.clone().with_parallel_apply(false);
+                let serial_stats =
+                    run_program(&session, Arc::new(PageRank::new(5, 0.85)), &serial_config)
+                        .unwrap();
+                let serial_apply: f64 =
+                    serial_stats.per_superstep.iter().map(|s| s.apply_secs).sum();
                 println!(
                     "pool={pool_size:<3} {secs:.3}s  speedup×{speedup:<5.2} \
+                     apply={apply:.3}s(×{apply_par}, serial {serial_apply:.3}s) \
                      queue-wait={queue_wait:.3}s steals={steals} peak-batch={peak}B"
                 );
             }

@@ -23,6 +23,12 @@
 //!   tasks obtained by stealing, and cumulative queue wait (submission →
 //!   execution start). Snapshot them with [`WorkerPool::metrics`]; the
 //!   coordinator turns deltas into per-superstep [`PoolMetrics`].
+//! * **Per-worker parking.** An idle worker parks on its *own* slot's
+//!   mutex + condvar behind a wake-token handshake; a submitter tokens
+//!   exactly one sleeping slot (preferring the deque that just received the
+//!   job). The shared `idle` lock serializes only resizes and worker exits,
+//!   so sleep/wake on a large, mostly-idle pool no longer contends on one
+//!   pool-wide condvar.
 //! * **Scoped submission.** [`WorkerPool::scope`] allows tasks to borrow from
 //!   the caller's stack, like `std::thread::scope`, but runs them on the
 //!   persistent pool. The scope does not return until every task submitted
@@ -53,8 +59,9 @@ struct TimedJob {
     enqueued: Instant,
 }
 
-/// One worker's deque. Slots are created on demand and never removed, so a
-/// shrunken-away worker's leftover jobs remain visible to stealers.
+/// One worker's deque plus its private parking lot. Slots are created on
+/// demand and never removed, so a shrunken-away worker's leftover jobs
+/// remain visible to stealers.
 struct WorkerSlot {
     deque: Mutex<VecDeque<TimedJob>>,
     /// Deque length mirror, updated inside the deque lock. Lets pop/steal
@@ -64,6 +71,16 @@ struct WorkerSlot {
     /// only under the pool's `idle` mutex, which makes grow-after-shrink
     /// races impossible (no duplicate workers per slot, no missed spawns).
     occupied: AtomicBool,
+    /// Per-worker parking: a wake token under this slot's own mutex, with a
+    /// condvar only this slot's worker waits on. Submitters token exactly
+    /// one sleeping slot instead of signalling a pool-wide condvar, so a
+    /// large, mostly-idle pool no longer funnels every sleep/wake through
+    /// one shared lock.
+    park: Mutex<bool>,
+    unpark: Condvar,
+    /// Whether this slot's worker is parked (or committing to park). Read
+    /// lock-free by submitters scanning for a worker to wake.
+    sleeping: AtomicBool,
 }
 
 impl WorkerSlot {
@@ -72,7 +89,18 @@ impl WorkerSlot {
             deque: Mutex::new(VecDeque::new()),
             len: AtomicUsize::new(0),
             occupied: AtomicBool::new(false),
+            park: Mutex::new(false),
+            unpark: Condvar::new(),
+            sleeping: AtomicBool::new(false),
         }
+    }
+
+    /// Deposits a wake token and signals the slot's worker. Tokens are
+    /// idempotent: a spurious token just makes the worker rescan once.
+    fn wake(&self) {
+        let mut token = self.park.lock().unwrap();
+        *token = true;
+        self.unpark.notify_one();
     }
 }
 
@@ -111,16 +139,16 @@ struct PoolShared {
     target: AtomicUsize,
     /// Jobs currently sitting in any deque (not yet picked up).
     queued: AtomicUsize,
-    /// Workers currently parked on (or committing to park on) `available`.
-    /// Lets `submit` skip the idle lock + notify entirely when every worker
+    /// Workers currently parked (or committing to park) on their per-slot
+    /// condvars. Lets `submit` skip the wake scan entirely when every worker
     /// is busy — the common case on a loaded pool.
     sleepers: AtomicUsize,
     /// Round-robin submission cursor.
     next: AtomicUsize,
-    /// Parking lot for idle workers, and the lock under which exit
-    /// decisions and resizes are serialized.
+    /// The lock under which worker-exit decisions and resizes are
+    /// serialized. **Not** part of the parking hot path: workers park on
+    /// their own slot's mutex/condvar and only touch this lock when exiting.
     idle: Mutex<()>,
-    available: Condvar,
     // ---- monotonic counters ----
     executed: AtomicU64,
     steals: AtomicU64,
@@ -128,11 +156,11 @@ struct PoolShared {
 }
 
 impl PoolShared {
-    /// Pushes a job onto a live worker's deque (round-robin) and wakes a
-    /// sleeper if any worker is parked.
+    /// Pushes a job onto a live worker's deque (round-robin) and wakes one
+    /// parked worker, preferring the deque's owner.
     fn submit(&self, job: Job) {
         let timed = TimedJob { job, enqueued: Instant::now() };
-        {
+        let target = {
             let slots = self.slots.read().unwrap();
             let live = self.target.load(Ordering::SeqCst).clamp(1, slots.len());
             let i = self.next.fetch_add(1, Ordering::Relaxed) % live;
@@ -142,14 +170,52 @@ impl PoolShared {
             // Incremented inside the deque lock: a worker popping this job
             // can never observe (and underflow) a not-yet-incremented count.
             self.queued.fetch_add(1, Ordering::SeqCst);
-        }
-        // Workers increment `sleepers` (under the idle lock) *before*
-        // re-checking `queued`, so reading 0 here means every worker either
-        // runs or will observe the increment above — no lost wakeups, and a
-        // busy pool never pays for the lock + notify.
+            i
+        };
+        // Workers set their slot's `sleeping` flag (and bump `sleepers`)
+        // *before* re-checking `queued`, so reading 0 here means every
+        // worker either runs or will observe the increment above — no lost
+        // wakeups, and a busy pool pays nothing beyond this load.
         if self.sleepers.load(Ordering::SeqCst) > 0 {
-            let _guard = self.idle.lock().unwrap();
-            self.available.notify_one();
+            self.wake_one(target);
+        }
+    }
+
+    /// Tokens exactly one sleeping worker, starting the scan at `preferred`
+    /// (the slot that just received a job). Any woken worker rescans every
+    /// deque — its own, then stealing — so waking "the wrong" sleeper is
+    /// still correct.
+    ///
+    /// The `sleeping` flag is re-checked **under the slot's park lock**
+    /// before the token is deposited: workers clear the flag under that same
+    /// lock when they unpark or commit to exiting (pool shrink), so a token
+    /// can never land on a slot whose worker has already left — which would
+    /// strand the queued job if every other worker were parked. Finding no
+    /// committed sleeper is safe: any worker parking after this submission's
+    /// `queued` increment re-checks the queue under its lock and bails out.
+    fn wake_one(&self, preferred: usize) {
+        let slots = self.slots.read().unwrap();
+        let n = slots.len();
+        for off in 0..n {
+            let slot = &slots[(preferred + off) % n];
+            if !slot.sleeping.load(Ordering::SeqCst) {
+                continue;
+            }
+            let mut token = slot.park.lock().unwrap();
+            if !slot.sleeping.load(Ordering::SeqCst) {
+                continue; // unparked or exited between the peek and the lock
+            }
+            *token = true;
+            slot.unpark.notify_one();
+            return;
+        }
+    }
+
+    /// Tokens every slot (resize, shutdown).
+    fn wake_all(&self) {
+        let slots = self.slots.read().unwrap();
+        for slot in slots.iter() {
+            slot.wake();
         }
     }
 
@@ -213,26 +279,42 @@ fn worker_loop(shared: Arc<PoolShared>, me: usize) {
             shared.run(tj, true);
             continue;
         }
-        // 3. Nothing runnable: exit if shrunk away, otherwise sleep.
-        let guard = shared.idle.lock().unwrap();
+        // 3. Nothing runnable: exit if shrunk away, otherwise park on this
+        // worker's own condvar (no shared lock on the sleep/wake path).
+        let mut token = my_slot.park.lock().unwrap();
         // Register as a sleeper *before* re-checking `queued`: a submitter
-        // that misses this increment is ordered before it, so the re-check
-        // below observes its queued job (no lost wakeups).
+        // that misses these stores is ordered before them, so the re-check
+        // below observes its queued job (no lost wakeups); a submitter that
+        // sees them will deposit a wake token.
+        my_slot.sleeping.store(true, Ordering::SeqCst);
         shared.sleepers.fetch_add(1, Ordering::SeqCst);
-        if shared.queued.load(Ordering::SeqCst) > 0 {
+        let unregister = |token: &mut bool| {
+            *token = false;
+            my_slot.sleeping.store(false, Ordering::SeqCst);
             shared.sleepers.fetch_sub(1, Ordering::SeqCst);
-            continue; // work arrived between the scan and the lock
+        };
+        if shared.queued.load(Ordering::SeqCst) > 0 || *token {
+            // Work arrived between the scan and the park commit, or a stale
+            // token was left behind: consume it and rescan.
+            unregister(&mut token);
+            continue;
         }
         if shared.target.load(Ordering::SeqCst) <= me {
-            // Exit decision is taken under the idle lock, mirroring
+            unregister(&mut token);
+            drop(token);
+            // The exit decision is re-taken under the idle lock, mirroring
             // `resize`'s spawn decision — the two can never disagree.
-            shared.sleepers.fetch_sub(1, Ordering::SeqCst);
-            my_slot.occupied.store(false, Ordering::SeqCst);
-            return;
+            let _guard = shared.idle.lock().unwrap();
+            if shared.target.load(Ordering::SeqCst) <= me {
+                my_slot.occupied.store(false, Ordering::SeqCst);
+                return;
+            }
+            continue; // a concurrent grow kept this worker alive
         }
-        let guard = shared.available.wait(guard).unwrap();
-        shared.sleepers.fetch_sub(1, Ordering::SeqCst);
-        drop(guard);
+        while !*token {
+            token = my_slot.unpark.wait(token).unwrap();
+        }
+        unregister(&mut token);
     }
 }
 
@@ -260,7 +342,6 @@ impl WorkerPool {
                 sleepers: AtomicUsize::new(0),
                 next: AtomicUsize::new(0),
                 idle: Mutex::new(()),
-                available: Condvar::new(),
                 executed: AtomicU64::new(0),
                 steals: AtomicU64::new(0),
                 queue_wait_nanos: AtomicU64::new(0),
@@ -319,8 +400,10 @@ impl WorkerPool {
                 );
             }
         }
-        // Wake sleepers so shrunken-away workers observe the new target.
-        self.shared.available.notify_all();
+        drop(slots);
+        drop(handles);
+        // Wake every worker so shrunken-away ones observe the new target.
+        self.shared.wake_all();
         drop(idle_guard);
     }
 
@@ -388,8 +471,8 @@ impl Drop for WorkerPool {
         {
             let _guard = self.shared.idle.lock().unwrap();
             self.shared.target.store(0, Ordering::SeqCst);
-            self.shared.available.notify_all();
         }
+        self.shared.wake_all();
         let mut handles = self.handles.lock().unwrap();
         for handle in handles.drain(..) {
             let _ = handle.join();
@@ -684,6 +767,87 @@ mod tests {
             prev = now;
         }
         assert_eq!(prev.tasks_executed, 48);
+    }
+
+    #[test]
+    fn queue_wait_drops_with_pool_size() {
+        // Regression guard for the per-worker parking backoff: a fixed load
+        // of short tasks must observe *much* less cumulative queue wait on a
+        // big pool than on a tiny one. Under the old single shared condvar,
+        // wakeup contention at larger pool sizes ate into exactly this
+        // margin.
+        let load = |size: usize| -> f64 {
+            let pool = WorkerPool::new(size);
+            let before = pool.metrics();
+            pool.scope(|s| {
+                for _ in 0..48 {
+                    s.spawn(|| {
+                        std::thread::sleep(std::time::Duration::from_millis(3));
+                    });
+                }
+            });
+            let delta = pool.metrics().delta_since(&before);
+            assert_eq!(delta.tasks_executed, 48);
+            delta.queue_wait_secs
+        };
+        let small = load(2);
+        let large = load(8);
+        // The expected ratio is ~0.25 (4× the workers draining the same
+        // queue), but both sides are wall-clock measurements: keep a wide
+        // margin so scheduler noise on loaded CI runners can't flake this.
+        assert!(
+            large < small,
+            "pool=8 should cut cumulative queue wait below pool=2: {large:.4}s vs {small:.4}s"
+        );
+    }
+
+    #[test]
+    fn shrink_then_submit_never_strands_a_job() {
+        // Regression guard for a lost-wakeup window: a submission racing a
+        // pool shrink must not deposit its single wake token on a worker
+        // that is committing to exit (leaving the job queued while every
+        // surviving worker stays parked). `wake_one` re-checks the sleeping
+        // flag under the slot's park lock to close this; the loop below
+        // hangs (scope never returns) if it regresses.
+        let pool = WorkerPool::new(8);
+        let counter = AtomicU64::new(0);
+        for round in 0..40 {
+            pool.resize(8);
+            pool.resize(1);
+            if round % 4 == 0 {
+                // Give shrunken-away workers time to reach their exit path.
+                std::thread::sleep(std::time::Duration::from_millis(2));
+            }
+            pool.scope(|s| {
+                s.spawn(|| {
+                    counter.fetch_add(1, Ordering::SeqCst);
+                });
+            });
+        }
+        assert_eq!(counter.load(Ordering::SeqCst), 40);
+    }
+
+    #[test]
+    fn parked_workers_wake_for_late_submissions() {
+        // Workers park on their own slots once the pool drains; later
+        // submissions must still be picked up (no lost wakeups) even after
+        // repeated park/unpark cycles.
+        let pool = WorkerPool::new(4);
+        let counter = AtomicU64::new(0);
+        for round in 0..10 {
+            if round % 2 == 0 {
+                // Give the workers time to actually park.
+                std::thread::sleep(std::time::Duration::from_millis(10));
+            }
+            pool.scope(|s| {
+                for _ in 0..4 {
+                    s.spawn(|| {
+                        counter.fetch_add(1, Ordering::SeqCst);
+                    });
+                }
+            });
+        }
+        assert_eq!(counter.load(Ordering::SeqCst), 40);
     }
 
     #[test]

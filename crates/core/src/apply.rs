@@ -8,10 +8,30 @@
 //! the old vertex table with the superstep's delta and swap it in. When few
 //! tuples changed (below a threshold), in-place updates win — so the policy
 //! is threshold-based.
+//!
+//! Two implementations of the policy live here:
+//!
+//! * the **serial** path ([`apply_accumulated`]): fold every partition's
+//!   output into one [`OutputAccumulator`] and issue one-shot SQL table
+//!   replacements (stage a delta table, LEFT JOIN, swap) — the paper's
+//!   literal mechanism, kept for ablation via
+//!   [`VertexicaConfig::with_parallel_apply`]`(false)`;
+//! * the **segment-parallel** path ([`apply_parallel`], default): each
+//!   partition's output is parsed and canonicalized **on the pool worker
+//!   that finished it** ([`ParallelApply::absorb`]), the new vertex/message
+//!   tables are built as per-bucket ROS segments in parallel on the same
+//!   pool, and the commit is an atomic catalog-level contents swap
+//!   ([`vertexica_sql::Database::replace_table_segmented`]). Canonicalizing
+//!   sorts at every segment boundary keep the two paths bitwise-identical —
+//!   which `tests/cross_engine_equivalence.rs`'s config-matrix harness
+//!   proves on every vertex-centric algorithm.
+
+use std::sync::Mutex;
 
 use vertexica_common::hash::FxHashMap;
 use vertexica_common::pregel::{AggKind, VertexProgram};
 use vertexica_common::VertexData;
+use vertexica_storage::partition::{hash_partition, int_key_partition};
 use vertexica_storage::{RecordBatch, TableOptions, Value};
 
 use crate::config::VertexicaConfig;
@@ -32,6 +52,9 @@ pub struct SuperstepOutcome {
     pub all_halted: bool,
     /// Merged aggregator values for the next superstep.
     pub aggregates: FxHashMap<String, f64>,
+    /// Width of the apply fan-out: the number of segment buckets built in
+    /// parallel on the pool (1 for the serial one-shot SQL path).
+    pub apply_parallelism: usize,
 }
 
 /// Incrementally folds worker output batches into compact apply-ready form.
@@ -137,7 +160,8 @@ impl OutputAccumulator {
 }
 
 /// Parses worker output rows and applies them to the graph's tables — the
-/// one-shot form used by the materialized pipeline and tests.
+/// one-shot form used by the materialized pipeline and tests. Routes to the
+/// segment-parallel or serial apply path per `config.parallel_apply`.
 pub fn apply_outputs<P: VertexProgram>(
     session: &GraphSession,
     program: &P,
@@ -145,11 +169,57 @@ pub fn apply_outputs<P: VertexProgram>(
     outputs: Vec<RecordBatch>,
     total_vertices: u64,
 ) -> VertexicaResult<SuperstepOutcome> {
+    if config.parallel_apply {
+        let apply = ParallelApply::for_program(program, config.num_workers.max(1));
+        for (i, batch) in outputs.iter().enumerate() {
+            apply.absorb(i, std::slice::from_ref(batch))?;
+        }
+        return apply_parallel(session, program, config, apply, total_vertices);
+    }
     let mut acc = OutputAccumulator::for_program(program);
     for (i, batch) in outputs.iter().enumerate() {
         acc.absorb(i, std::slice::from_ref(batch))?;
     }
     apply_accumulated(session, program, config, acc, total_vertices)
+}
+
+/// Folds message partials addressed to the same recipient with the program's
+/// combiner, preserving the serial path's exact fold order: `messages` must
+/// arrive sorted by `(recipient, sender, payload)`, and partials for one
+/// recipient are combined in that order. Both apply paths call this — the
+/// serial one over the globally sorted message vector, the parallel one per
+/// recipient-hash bucket (a restriction of the same sorted order, so every
+/// per-recipient fold sequence is identical bit for bit).
+fn combine_messages<P: VertexProgram>(
+    program: &P,
+    messages: Vec<(u64, u64, Vec<u8>)>,
+) -> VertexicaResult<Vec<(u64, u64, Vec<u8>)>> {
+    let mut folded: FxHashMap<u64, (u64, P::Message)> = FxHashMap::default();
+    let mut passthrough: Vec<(u64, u64, Vec<u8>)> = Vec::new();
+    for (to, from, bytes) in messages {
+        let Some(m) = P::Message::from_bytes(&bytes) else {
+            return Err(VertexicaError::Codec("cannot decode message for combine".into()));
+        };
+        match folded.remove(&to) {
+            None => {
+                folded.insert(to, (from, m));
+            }
+            Some((sender, existing)) => match program.combine(&existing, &m) {
+                Some(c) => {
+                    folded.insert(to, (sender, c));
+                }
+                None => {
+                    passthrough.push((to, sender, existing.to_bytes()));
+                    passthrough.push((to, from, m.to_bytes()));
+                }
+            },
+        }
+    }
+    let mut messages = passthrough;
+    for (to, (from, m)) in folded {
+        messages.push((to, from, m.to_bytes()));
+    }
+    Ok(messages)
 }
 
 /// Applies accumulated worker outputs to the graph's tables: cross-partition
@@ -180,31 +250,7 @@ pub fn apply_accumulated<P: VertexProgram>(
     // Cross-partition combine: workers pre-combined within partitions; fold
     // partials addressed to the same recipient once more.
     if config.use_combiner {
-        let mut folded: FxHashMap<u64, (u64, P::Message)> = FxHashMap::default();
-        let mut passthrough: Vec<(u64, u64, Vec<u8>)> = Vec::new();
-        for (to, from, bytes) in messages {
-            let Some(m) = P::Message::from_bytes(&bytes) else {
-                return Err(VertexicaError::Codec("cannot decode message for combine".into()));
-            };
-            match folded.remove(&to) {
-                None => {
-                    folded.insert(to, (from, m));
-                }
-                Some((sender, existing)) => match program.combine(&existing, &m) {
-                    Some(c) => {
-                        folded.insert(to, (sender, c));
-                    }
-                    None => {
-                        passthrough.push((to, sender, existing.to_bytes()));
-                        passthrough.push((to, from, m.to_bytes()));
-                    }
-                },
-            }
-        }
-        messages = passthrough;
-        for (to, (from, m)) in folded {
-            messages.push((to, from, m.to_bytes()));
-        }
+        messages = combine_messages(program, messages)?;
     }
 
     // ---- messages: always replace (fresh table each superstep) ----
@@ -234,6 +280,334 @@ pub fn apply_accumulated<P: VertexProgram>(
         replaced,
         all_halted: remaining == 0,
         aggregates: agg.into_iter().map(|(k, (_, v))| (k, v)).collect(),
+        apply_parallelism: 1,
+    })
+}
+
+/// Parsed state rows for one apply bucket: `(vid, encoded value, halted)`.
+type UpdateRows = Vec<(i64, Vec<u8>, bool)>;
+/// Parsed message rows for one apply bucket: `(recipient, sender, payload)`.
+type MessageRows = Vec<(u64, u64, Vec<u8>)>;
+
+/// One partition's parsed worker output, **pre-scattered into apply
+/// buckets** — the per-partition segment builder state that replaces the
+/// single [`OutputAccumulator`] drain on the parallel apply path.
+struct PartitionDelta {
+    partition: usize,
+    /// Updates scattered by vertex-id hash: `updates[bucket]`.
+    updates: Vec<UpdateRows>,
+    /// Messages scattered by recipient hash: `messages[bucket]`.
+    messages: Vec<MessageRows>,
+    agg_partials: Vec<(usize, String, f64)>,
+    num_updates: usize,
+}
+
+/// Collector for the segment-parallel apply path.
+///
+/// The streaming pipeline calls [`ParallelApply::absorb`] from whichever
+/// pool worker finished a partition: the partition's raw output batches are
+/// parsed **and scattered into apply buckets right there**, so by the time
+/// the last partition lands, the post-barrier work is nothing but per-bucket
+/// merges and segment builds (themselves fanned out on the pool). Only the
+/// final vector push is serialized behind the mutex.
+pub struct ParallelApply {
+    agg_specs: FxHashMap<String, AggKind>,
+    buckets: usize,
+    deltas: Mutex<Vec<PartitionDelta>>,
+}
+
+impl ParallelApply {
+    /// A collector scattering into `buckets` apply segments, validating
+    /// aggregator names against `program`'s specs.
+    pub fn for_program<P: VertexProgram>(program: &P, buckets: usize) -> Self {
+        ParallelApply {
+            agg_specs: program
+                .aggregators()
+                .into_iter()
+                .map(|s| (s.name.to_string(), s.kind))
+                .collect(),
+            buckets: buckets.max(1),
+            deltas: Mutex::new(Vec::new()),
+        }
+    }
+
+    /// Parses one partition's worker output, scatters it into apply
+    /// buckets, and files it under its partition index. Safe to call
+    /// concurrently from pool workers; all the parsing and scattering
+    /// happens outside the shared lock.
+    pub fn absorb(&self, partition: usize, batches: &[RecordBatch]) -> VertexicaResult<()> {
+        let mut acc = OutputAccumulator { agg_specs: self.agg_specs.clone(), ..Default::default() };
+        acc.absorb(partition, batches)?;
+        let OutputAccumulator { updates, messages, agg_partials, .. } = acc;
+        let num_updates = updates.len();
+        let mut upd_buckets: Vec<UpdateRows> = (0..self.buckets).map(|_| Vec::new()).collect();
+        for u in updates {
+            upd_buckets[int_key_partition(u.0, self.buckets)].push(u);
+        }
+        let mut msg_buckets: Vec<MessageRows> = (0..self.buckets).map(|_| Vec::new()).collect();
+        for m in messages {
+            msg_buckets[int_key_partition(m.0 as i64, self.buckets)].push(m);
+        }
+        self.deltas.lock().unwrap().push(PartitionDelta {
+            partition,
+            updates: upd_buckets,
+            messages: msg_buckets,
+            agg_partials,
+            num_updates,
+        });
+        Ok(())
+    }
+}
+
+/// Builds one message-table segment batch by moving (not cloning) the
+/// bucket's payloads into column builders.
+fn message_segment(bucket: MessageRows) -> VertexicaResult<RecordBatch> {
+    let mut rec = vertexica_storage::ColumnBuilder::with_capacity(
+        vertexica_storage::DataType::Int,
+        bucket.len(),
+    );
+    let mut snd = vertexica_storage::ColumnBuilder::with_capacity(
+        vertexica_storage::DataType::Int,
+        bucket.len(),
+    );
+    let mut val = vertexica_storage::ColumnBuilder::with_capacity(
+        vertexica_storage::DataType::Blob,
+        bucket.len(),
+    );
+    for (r, s, v) in bucket {
+        rec.push_int(r as i64);
+        snd.push_int(s as i64);
+        val.push(Value::Blob(v)).map_err(VertexicaError::from)?;
+    }
+    RecordBatch::new(message_schema(), vec![rec.finish(), snd.finish(), val.finish()])
+        .map_err(VertexicaError::from)
+}
+
+/// The segment-parallel apply path: scatter per-partition deltas into
+/// recipient/vertex-hash buckets, build each bucket's new table segment in
+/// parallel on the shared pool, and commit both tables with atomic
+/// catalog-level contents swaps.
+///
+/// Equivalence with [`apply_accumulated`] (asserted bitwise by the
+/// config-matrix harness) rests on three facts: every bucket is sorted with
+/// the same comparator the serial path uses globally (a restriction of a
+/// sorted sequence to a bucket preserves order, so per-recipient combine
+/// folds see identical sequences); updates are keyed by vertex id, which is
+/// unique, so override maps agree; and the worker's canonical total-order
+/// input sort makes downstream compute independent of physical table row
+/// order, which is the only thing that differs (bucket-major vs scan-major).
+///
+/// Commit protocol: **all** segments for both tables are fully encoded
+/// first; only then are the message table and the vertex table swapped, in
+/// that order. Any error or panic during parsing, combining, or segment
+/// encoding leaves both tables untouched — there is no torn state to clean
+/// up (the crash/abort test injects a pool-task panic to prove it). The
+/// exception is the below-threshold *update* arm, which mutates the vertex
+/// table in place after the message swap and is inherently non-atomic —
+/// the same trade the serial path (and the paper) makes.
+pub fn apply_parallel<P: VertexProgram>(
+    session: &GraphSession,
+    program: &P,
+    config: &VertexicaConfig,
+    apply: ParallelApply,
+    total_vertices: u64,
+) -> VertexicaResult<SuperstepOutcome> {
+    let ParallelApply { agg_specs, buckets, deltas } = apply;
+    let mut deltas = deltas.into_inner().unwrap();
+    deltas.sort_by_key(|d| d.partition);
+    let pool = session.db().runtime().clone();
+
+    // ---- aggregators: identical fold order to the serial path ----
+    let mut agg_partials: Vec<(usize, String, f64)> =
+        deltas.iter_mut().flat_map(|d| std::mem::take(&mut d.agg_partials)).collect();
+    agg_partials.sort_by(|a, b| (a.0, &a.1).cmp(&(b.0, &b.1)));
+    let mut agg: FxHashMap<String, (AggKind, f64)> = FxHashMap::default();
+    for (_, name, v) in agg_partials {
+        let kind = agg_specs[&name];
+        let entry = agg.entry(name).or_insert((kind, kind.identity()));
+        entry.1 = kind.combine(entry.1, v);
+    }
+
+    // ---- update-vs-replace decision (needs the global delta size) ----
+    let vertex_changes: usize = deltas.iter().map(|d| d.num_updates).sum();
+    let change_ratio =
+        if total_vertices == 0 { 0.0 } else { vertex_changes as f64 / total_vertices as f64 };
+    let replaced = vertex_changes > 0 && change_ratio >= config.replace_threshold;
+
+    // ---- messages: transpose per-partition buckets, build in parallel ----
+    // `absorb` already scattered each partition's messages by recipient
+    // hash, so this transpose moves whole vectors (O(partitions × buckets)
+    // pointer swaps), never individual rows.
+    let mut msg_buckets: Vec<Vec<MessageRows>> = (0..buckets).map(|_| Vec::new()).collect();
+    for d in &mut deltas {
+        for (b, v) in std::mem::take(&mut d.messages).into_iter().enumerate() {
+            msg_buckets[b].push(v);
+        }
+    }
+    let use_combiner = config.use_combiner;
+    let msg_results: Vec<VertexicaResult<(usize, RecordBatch)>> =
+        pool.map_indexed(msg_buckets, |_, parts| {
+            let mut bucket: MessageRows = parts.into_iter().flatten().collect();
+            // Canonicalizing sort at the segment boundary: the bucket holds
+            // the same rows in the same relative order as the serial path's
+            // globally sorted vector restricted to this bucket, so the
+            // per-recipient combine below folds identically.
+            bucket.sort();
+            if use_combiner {
+                bucket = combine_messages(program, bucket)?;
+            }
+            let count = bucket.len();
+            Ok((count, message_segment(bucket)?))
+        });
+    let mut num_messages = 0usize;
+    let mut msg_batches = Vec::with_capacity(buckets);
+    for r in msg_results {
+        let (count, batch) = r?;
+        num_messages += count;
+        if batch.num_rows() > 0 {
+            msg_batches.push(batch);
+        }
+    }
+
+    // ---- vertices: per-bucket LEFT-JOIN-equivalent merge, in parallel ----
+    let mut vertex_batches = Vec::new();
+    let mut active_after_replace = 0i64;
+    if replaced {
+        // Partition the old table's batches on the pool (one task per
+        // storage batch), then transpose into per-bucket batch lists. The
+        // hash matches `int_key_partition`, so each old row meets its
+        // override in the same bucket.
+        let old = session.db().scan_table(&session.vertex_table(), None, &[])?;
+        let old_parted: Vec<VertexicaResult<Vec<Vec<RecordBatch>>>> =
+            pool.map_indexed(old, |_, batch| {
+                hash_partition(std::slice::from_ref(&batch), &[0], buckets)
+                    .map_err(VertexicaError::from)
+            });
+        let mut old_buckets: Vec<Vec<RecordBatch>> = (0..buckets).map(|_| Vec::new()).collect();
+        for per_batch in old_parted {
+            for (b, v) in per_batch?.into_iter().enumerate() {
+                old_buckets[b].extend(v);
+            }
+        }
+        let mut upd_buckets: Vec<Vec<UpdateRows>> = (0..buckets).map(|_| Vec::new()).collect();
+        for d in &mut deltas {
+            for (b, v) in std::mem::take(&mut d.updates).into_iter().enumerate() {
+                upd_buckets[b].push(v);
+            }
+        }
+        let work: Vec<(Vec<RecordBatch>, Vec<UpdateRows>)> =
+            old_buckets.into_iter().zip(upd_buckets).collect();
+        let results: Vec<VertexicaResult<(RecordBatch, i64)>> =
+            pool.map_indexed(work, |_, (old_batches, upd_parts)| {
+                // Vertex ids are unique across partitions, so inserts never
+                // collide.
+                let ovr: FxHashMap<i64, (Vec<u8>, bool)> = upd_parts
+                    .into_iter()
+                    .flatten()
+                    .map(|(id, bytes, halted)| (id, (bytes, halted)))
+                    .collect();
+                let mut rows: Vec<(i64, Value, Value)> = Vec::new();
+                for batch in &old_batches {
+                    let ids = batch.column(0);
+                    for i in 0..batch.num_rows() {
+                        let id = ids.value(i).as_int().ok_or_else(|| {
+                            VertexicaError::Runtime("vertex row without id".into())
+                        })?;
+                        match ovr.get(&id) {
+                            Some((bytes, halted)) => {
+                                rows.push((id, Value::Blob(bytes.clone()), Value::Bool(*halted)))
+                            }
+                            // LEFT JOIN + COALESCE: untouched rows survive
+                            // as-is; updates without an old row are dropped.
+                            None => {
+                                rows.push((id, batch.column(1).value(i), batch.column(2).value(i)))
+                            }
+                        }
+                    }
+                }
+                rows.sort_by_key(|r| r.0);
+                let mut ids = vertexica_storage::ColumnBuilder::with_capacity(
+                    vertexica_storage::DataType::Int,
+                    rows.len(),
+                );
+                let mut values = vertexica_storage::ColumnBuilder::with_capacity(
+                    vertexica_storage::DataType::Blob,
+                    rows.len(),
+                );
+                let mut halted = vertexica_storage::ColumnBuilder::with_capacity(
+                    vertexica_storage::DataType::Bool,
+                    rows.len(),
+                );
+                let mut active = 0i64;
+                for (id, value, halt) in rows {
+                    if halt == Value::Bool(false) {
+                        active += 1;
+                    }
+                    ids.push_int(id);
+                    values.push(value).map_err(VertexicaError::from)?;
+                    halted.push(halt).map_err(VertexicaError::from)?;
+                }
+                let batch = RecordBatch::new(
+                    vertex_schema(),
+                    vec![ids.finish(), values.finish(), halted.finish()],
+                )
+                .map_err(VertexicaError::from)?;
+                Ok((batch, active))
+            });
+        for r in results {
+            let (batch, active) = r?;
+            active_after_replace += active;
+            if batch.num_rows() > 0 {
+                vertex_batches.push(batch);
+            }
+        }
+    }
+
+    // ---- commit: encode EVERYTHING, then swap both tables ----
+    // Both tables' segments are fully encoded before either contents swap,
+    // so no failure in encoding can leave the message table at superstep
+    // N+1 with the vertex table still at N. The commit calls themselves can
+    // only fail on shape mismatches that are impossible by construction
+    // here (the batches were built against the live schemas above).
+    let msg_segments = session.db().encode_segments_for(&session.message_table(), msg_batches)?;
+    let vertex_segments = if replaced {
+        Some(session.db().encode_segments_for(&session.vertex_table(), vertex_batches)?)
+    } else {
+        None
+    };
+    session.db().commit_table_segments(&session.message_table(), msg_segments)?;
+    if let Some(segments) = vertex_segments {
+        session.db().commit_table_segments(&session.vertex_table(), segments)?;
+    } else if vertex_changes > 0 {
+        // The *update* arm mutates the vertex table directly (delete +
+        // re-insert); it is inherently per-row, not atomic with the message
+        // swap — exactly the trade the paper's threshold policy makes.
+        let mut updates: UpdateRows =
+            deltas.iter_mut().flat_map(|d| std::mem::take(&mut d.updates)).flatten().collect();
+        updates.sort();
+        update_vertices_in_place(session, &updates)?;
+    }
+
+    // ---- halting check ----
+    // After a replace we counted the active vertices while building the
+    // segments (the table *is* what we just wrote), saving a full SQL scan;
+    // the in-place path still asks the table.
+    let remaining = if replaced {
+        active_after_replace
+    } else {
+        session.db().query_int(&format!(
+            "SELECT COUNT(*) FROM {} WHERE halted = FALSE",
+            session.vertex_table()
+        ))?
+    };
+
+    Ok(SuperstepOutcome {
+        vertex_changes,
+        messages: num_messages,
+        replaced,
+        all_halted: remaining == 0,
+        aggregates: agg.into_iter().map(|(k, (_, v))| (k, v)).collect(),
+        apply_parallelism: buckets,
     })
 }
 

@@ -35,7 +35,9 @@ use vertexica_sql::TransformUdf;
 use vertexica_storage::partition::{hash_partition, StreamingPartitioner};
 use vertexica_storage::{ColumnBuilder, DataType, RecordBatch, Value};
 
-use crate::apply::{apply_accumulated, apply_outputs, OutputAccumulator};
+use crate::apply::{
+    apply_accumulated, apply_outputs, apply_parallel, OutputAccumulator, ParallelApply,
+};
 use crate::config::VertexicaConfig;
 use crate::error::{VertexicaError, VertexicaResult};
 use crate::input::{assemble, assemble_chunks};
@@ -60,6 +62,9 @@ pub struct SuperstepStats {
     pub compute_secs: f64,
     /// Wall-clock seconds applying outputs (table writes, halt check).
     pub apply_secs: f64,
+    /// Width of the apply fan-out: segment buckets built in parallel on the
+    /// pool (1 when the serial one-shot SQL apply path ran).
+    pub apply_parallelism: usize,
     /// Cumulative seconds this superstep's pool tasks spent queued before a
     /// worker picked them up (from [`vertexica_common::runtime::PoolMetrics`]).
     pub queue_wait_secs: f64,
@@ -240,7 +245,20 @@ fn superstep_loop<P: VertexProgram + 'static>(
             use_combiner: config.use_combiner,
         });
         let sw = Stopwatch::start();
-        let (outcome, compute_secs, apply_secs) = if config.streaming {
+        let (outcome, compute_secs, apply_secs) = if config.streaming && config.parallel_apply {
+            // Segment-parallel apply: each partition's output is parsed and
+            // canonicalized on the pool worker that finished it; the final
+            // table writes are per-bucket segment builds on the same pool,
+            // committed by an atomic catalog-level contents swap.
+            let apply = ParallelApply::for_program(program.as_ref(), config.num_workers.max(1));
+            session.db().run_transform_streamed(&worker, partitions, &|idx, out| {
+                apply.absorb(idx, &out).map_err(|e| vertexica_sql::SqlError::Udf(e.to_string()))
+            })?;
+            let compute_secs = sw.elapsed_secs();
+            let sw = Stopwatch::start();
+            let outcome = apply_parallel(session, program.as_ref(), config, apply, num_vertices)?;
+            (outcome, compute_secs, sw.elapsed_secs())
+        } else if config.streaming {
             let template = OutputAccumulator::for_program(program.as_ref());
             let acc = Mutex::new(template.fork());
             session.db().run_transform_streamed(&worker, partitions, &|idx, out| {
@@ -274,6 +292,7 @@ fn superstep_loop<P: VertexProgram + 'static>(
             assemble_secs,
             compute_secs,
             apply_secs,
+            apply_parallelism: outcome.apply_parallelism,
             queue_wait_secs: pool_delta.queue_wait_secs,
             steals: pool_delta.tasks_stolen,
             peak_batch_bytes,

@@ -149,8 +149,29 @@ impl<P: VertexProgram> TransformUdf for VertexWorker<P> {
         let kinds =
             kind_col.as_int().ok_or_else(|| SqlError::Udf("kind column must be BIGINT".into()))?;
 
+        // Canonical **total** order: (vid, kind) first — the paper's
+        // per-partition sort — then every remaining column as a tiebreak.
+        // A mere (vid, kind) key leaves ties (a vertex's edges, its
+        // messages) in input order, which silently couples compute to the
+        // physical row order of the underlying tables; the segment-parallel
+        // apply path writes those tables in a different (but content-equal)
+        // order than the serial one. With a total order, any two runs that
+        // agree on partition *contents* produce bitwise-identical compute —
+        // which the config-matrix equivalence harness asserts. Rows tying on
+        // every column are interchangeable, so `sort_unstable` is safe.
+        let tiebreak_cols = [other_col, weight_col, payload_col, halted_col];
         let mut order: Vec<usize> = (0..n).collect();
-        order.sort_unstable_by_key(|&i| (vids[i], kinds[i]));
+        order.sort_unstable_by(|&a, &b| {
+            (vids[a], kinds[a]).cmp(&(vids[b], kinds[b])).then_with(|| {
+                for col in tiebreak_cols {
+                    let ord = col.value(a).total_cmp(&col.value(b));
+                    if !ord.is_eq() {
+                        return ord;
+                    }
+                }
+                std::cmp::Ordering::Equal
+            })
+        });
 
         // Outputs.
         let mut state_rows: Vec<(VertexId, Vec<u8>, bool)> = Vec::new();

@@ -8,15 +8,19 @@
 //!
 //! Differences from real proptest: inputs are generated from a fixed
 //! per-test seed (fully deterministic across runs) and shrinking is
-//! **minimal**: integer ranges/`any` shrink toward their lower bound / zero,
-//! vectors shrink by truncation plus element-wise shrinking, tuples shrink
-//! component-wise, and strings shrink by dropping characters. Mapped,
-//! flat-mapped, and `prop_oneof!` strategies do not shrink (the generating
-//! input is not recoverable from the value). A failing case is greedily
+//! **two-level**: value-level (integer ranges/`any` shrink toward their
+//! lower bound / zero, vectors shrink by truncation plus element-wise
+//! shrinking, tuples shrink component-wise, strings shrink by dropping
+//! characters) plus generator-level **RNG-tape shrinking** — every raw
+//! `next_u64` draw made while generating a case is recorded on a tape, and
+//! candidates are produced by laddering individual tape entries toward zero
+//! and regenerating. Tape shrinking is what minimizes `prop_map`ped,
+//! `prop_flat_map`ped and `prop_oneof!` values, whose generating input is
+//! not recoverable from the value itself. A failing case is greedily
 //! re-minimized and the panic reports the reduced input.
 
 use rand::rngs::StdRng;
-use rand::{Rng, SeedableRng};
+use rand::{Rng, RngCore, SeedableRng};
 
 pub mod prelude {
     pub use crate::{
@@ -43,8 +47,35 @@ impl Default for ProptestConfig {
     }
 }
 
-/// The RNG handed to strategies.
-pub type TestRng = StdRng;
+/// The RNG handed to strategies: a [`StdRng`] stream that can additionally
+/// **record** its raw draws onto a tape, or **replay** a (possibly mutated)
+/// tape.
+///
+/// Recording + replaying is the seam generator-side shrinking runs through:
+/// a failing case's value is a deterministic function of its tape, so
+/// shrinking the *tape* (and regenerating) shrinks values that have no
+/// value-level shrinker — mapped, flat-mapped and `prop_oneof!` outputs.
+pub struct TestRng {
+    inner: StdRng,
+    /// Draws recorded while `recording` (drained by [`generate_recorded`]).
+    tape: Vec<u64>,
+    recording: bool,
+    /// Pending replay entries, served before `inner`.
+    replay: std::collections::VecDeque<u64>,
+}
+
+impl RngCore for TestRng {
+    fn next_u64(&mut self) -> u64 {
+        let v = match self.replay.pop_front() {
+            Some(v) => v,
+            None => self.inner.next_u64(),
+        };
+        if self.recording {
+            self.tape.push(v);
+        }
+        v
+    }
+}
 
 /// Builds the deterministic RNG for one property test.
 pub fn test_rng(test_name: &str) -> TestRng {
@@ -53,7 +84,35 @@ pub fn test_rng(test_name: &str) -> TestRng {
         h ^= b as u64;
         h = h.wrapping_mul(0x0000_0100_0000_01B3);
     }
-    StdRng::seed_from_u64(h ^ 0x5ee3_11a9)
+    TestRng {
+        inner: StdRng::seed_from_u64(h ^ 0x5ee3_11a9),
+        tape: Vec::new(),
+        recording: false,
+        replay: std::collections::VecDeque::new(),
+    }
+}
+
+/// Generates one case while recording the raw draw tape that produced it.
+pub fn generate_recorded<S: Strategy>(strategy: &S, rng: &mut TestRng) -> (S::Value, Vec<u64>) {
+    rng.tape.clear();
+    rng.recording = true;
+    let value = strategy.generate(rng);
+    rng.recording = false;
+    (value, std::mem::take(&mut rng.tape))
+}
+
+/// Regenerates a value from a (possibly mutated) draw tape. If the mutated
+/// tape changes the generator's control flow enough to need *more* draws
+/// than it holds, the extra draws come from a fixed-seed fallback stream, so
+/// replay is always total and deterministic.
+pub fn replay_tape<S: Strategy>(strategy: &S, tape: &[u64]) -> S::Value {
+    let mut rng = TestRng {
+        inner: StdRng::seed_from_u64(0x7a9e_7a9e),
+        tape: Vec::new(),
+        recording: false,
+        replay: tape.iter().copied().collect(),
+    };
+    strategy.generate(&mut rng)
 }
 
 /// A generator of test inputs.
@@ -615,13 +674,51 @@ fn payload_message(payload: &(dyn std::any::Any + Send)) -> String {
     }
 }
 
+/// Binary ladder toward zero for a raw tape entry: `[0, v - v/2, …, v - 1]`.
+fn tape_entry_ladder(v: u64) -> Vec<u64> {
+    if v == 0 {
+        return Vec::new();
+    }
+    let mut out = vec![0u64];
+    let mut delta = v / 2;
+    while delta > 0 {
+        out.push(v - delta);
+        delta /= 2;
+    }
+    out
+}
+
 /// Runs `test` once and, if it fails, re-runs a non-panicking probe to find
 /// the smallest failing input reachable through [`Strategy::shrink`].
 /// Returns `None` when the case passes, `Some((minimal_input, message))`
-/// when it fails.
+/// when it fails. Value-level shrinking only; see
+/// [`find_minimal_failure_with_tape`] for the generator-level variant the
+/// [`proptest!`] macro uses.
 pub fn find_minimal_failure<S>(
     strategy: &S,
     value: S::Value,
+    test: &dyn Fn(&S::Value),
+) -> Option<(S::Value, String)>
+where
+    S: Strategy,
+    S::Value: Clone + std::fmt::Debug,
+{
+    find_minimal_failure_with_tape(strategy, value, None, test)
+}
+
+/// Like [`find_minimal_failure`], but additionally shrinks through the
+/// failing case's recorded RNG tape (when one is supplied): each tape entry
+/// is laddered toward zero and the case regenerated, which minimizes values
+/// whose strategies cannot shrink directly (`prop_map`, `prop_flat_map`,
+/// `prop_oneof!`).
+///
+/// Tape candidates are tried before value-level candidates: a value-level
+/// adoption discards the tape (the adopted value was never generated from
+/// one), whereas tape-level adoptions keep both levels usable.
+pub fn find_minimal_failure_with_tape<S>(
+    strategy: &S,
+    value: S::Value,
+    tape: Option<Vec<u64>>,
     test: &dyn Fn(&S::Value),
 ) -> Option<(S::Value, String)>
 where
@@ -636,13 +733,39 @@ where
     let probe = |v: &S::Value| catch_unwind(AssertUnwindSafe(|| test(v))).err();
     let mut payload = probe(&value)?;
     let mut best = value;
+    let mut best_tape = tape;
     let mut steps = 0usize;
     'outer: while steps < MAX_SHRINK_STEPS {
+        if let Some(t) = best_tape.clone() {
+            for i in 0..t.len() {
+                for entry in tape_entry_ladder(t[i]) {
+                    steps += 1;
+                    let mut t2 = t.clone();
+                    t2[i] = entry;
+                    // A mutated tape could, in principle, drive a generator
+                    // into a panic; treat that candidate as unusable.
+                    let Ok(v2) = catch_unwind(AssertUnwindSafe(|| replay_tape(strategy, &t2)))
+                    else {
+                        continue;
+                    };
+                    if let Some(p) = probe(&v2) {
+                        best = v2;
+                        best_tape = Some(t2);
+                        payload = p;
+                        continue 'outer;
+                    }
+                    if steps >= MAX_SHRINK_STEPS {
+                        break 'outer;
+                    }
+                }
+            }
+        }
         for cand in strategy.shrink(&best) {
             steps += 1;
             if let Some(p) = probe(&cand) {
                 // Greedy descent: adopt the first still-failing candidate.
                 best = cand;
+                best_tape = None;
                 payload = p;
                 continue 'outer;
             }
@@ -655,15 +778,18 @@ where
     Some((best, payload_message(&*payload)))
 }
 
-/// Runs one generated case, shrinking on failure and panicking with the
-/// reduced input — the runtime behind the [`proptest!`] macro.
-pub fn check_case<S, F>(strategy: &S, value: S::Value, test: F)
+/// Runs one generated case, shrinking on failure (tape-level then
+/// value-level) and panicking with the reduced input — the runtime behind
+/// the [`proptest!`] macro.
+pub fn check_case<S, F>(strategy: &S, value: S::Value, tape: Vec<u64>, test: F)
 where
     S: Strategy,
     S::Value: Clone + std::fmt::Debug,
     F: Fn(&S::Value),
 {
-    if let Some((minimal, message)) = find_minimal_failure(strategy, value, &test) {
+    if let Some((minimal, message)) =
+        find_minimal_failure_with_tape(strategy, value, Some(tape), &test)
+    {
         panic!(
             "proptest shim: case failed; minimal failing input: {minimal:?}\ncaused by: {message}"
         );
@@ -726,8 +852,12 @@ macro_rules! __proptest_each {
             // pre-shrinking shim) and failures shrink component-wise.
             let __strategy = ($($strat,)+);
             for __case in 0..__cfg.cases {
-                let __vals = $crate::Strategy::generate(&__strategy, &mut __rng);
-                $crate::check_case(&__strategy, __vals, |__vals| {
+                // Record the raw draw tape alongside the value so failures
+                // can shrink through the generator (tape) as well as the
+                // value — mapped/flat-mapped/oneof strategies only shrink
+                // via the tape.
+                let (__vals, __tape) = $crate::generate_recorded(&__strategy, &mut __rng);
+                $crate::check_case(&__strategy, __vals, __tape, |__vals| {
                     let ($($pat,)+) = ::core::clone::Clone::clone(__vals);
                     $body
                 });
@@ -817,6 +947,58 @@ mod tests {
         assert!(msg.contains("minimal failing input"), "unexpected message: {msg}");
         assert!(msg.contains("(500,)"), "not fully shrunk: {msg}");
         assert!(msg.contains("v < 500"), "original assertion lost: {msg}");
+    }
+
+    #[test]
+    fn mapped_strategy_shrinks_via_rng_tape() {
+        // `prop_map` has no value-level shrinker (the pre-image is lost);
+        // the tape shrinker must still minimize: property "v < 1000" over
+        // v = x * 2, x in 0..1000 has minimal failing value exactly 1000.
+        proptest! {
+            #![proptest_config(ProptestConfig::with_cases(32))]
+
+            #[allow(unused)]
+            fn mapped_is_small(v in (0u64..1000).prop_map(|x| x * 2)) {
+                prop_assert!(v < 1000);
+            }
+        }
+        let result = std::panic::catch_unwind(mapped_is_small);
+        let payload = result.expect_err("property should fail");
+        let msg = crate::payload_message(&*payload);
+        assert!(msg.contains("minimal failing input"), "unexpected message: {msg}");
+        assert!(msg.contains("(1000,)"), "mapped value not fully shrunk: {msg}");
+    }
+
+    #[test]
+    fn flat_mapped_strategy_shrinks_via_rng_tape() {
+        // Length drawn by the outer strategy, elements by the inner one —
+        // both live only on the tape. Minimal failing input for "len < 3"
+        // is the all-zeros vector of length 3.
+        proptest! {
+            #![proptest_config(ProptestConfig::with_cases(32))]
+
+            #[allow(unused)]
+            fn vec_is_short(
+                v in (1usize..8).prop_flat_map(|n| crate::collection::vec(0u64..100, n..n + 1))
+            ) {
+                prop_assert!(v.len() < 3);
+            }
+        }
+        let result = std::panic::catch_unwind(vec_is_short);
+        let payload = result.expect_err("property should fail");
+        let msg = crate::payload_message(&*payload);
+        assert!(msg.contains("([0, 0, 0],)"), "flat-mapped value not fully shrunk: {msg}");
+    }
+
+    #[test]
+    fn replayed_tape_reproduces_generation() {
+        let strategy = ((0u64..1_000_000).prop_map(|x| x * 3), "[a-z]{1,12}");
+        let mut rng = crate::test_rng("tape-roundtrip");
+        for _ in 0..32 {
+            let (value, tape) = crate::generate_recorded(&strategy, &mut rng);
+            let replayed = crate::replay_tape(&strategy, &tape);
+            assert_eq!(value, replayed, "replay must be a faithful function of the tape");
+        }
     }
 
     #[test]

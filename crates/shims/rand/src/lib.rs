@@ -5,6 +5,20 @@
 //! extension methods `gen` and `gen_range`. Distributions are uniform; the
 //! stream is stable across runs and platforms, which the graph generators
 //! rely on for reproducible datasets.
+//!
+//! All sampling is defined over the [`RngCore`] source-of-randomness trait
+//! (one method: `next_u64`), so wrappers can interpose on the raw draw
+//! stream — the proptest shim's tape-recording/replaying `TestRng` is built
+//! on exactly this seam.
+
+/// The raw source of randomness: everything else derives from `next_u64`.
+///
+/// Implement this (and nothing else) to get the full [`Rng`] surface via the
+/// blanket impl — including for wrappers that record or replay the draw
+/// stream.
+pub trait RngCore {
+    fn next_u64(&mut self) -> u64;
+}
 
 /// Seedable RNG constructors.
 pub trait SeedableRng: Sized {
@@ -13,43 +27,43 @@ pub trait SeedableRng: Sized {
 
 /// Types that can be sampled uniformly from the full RNG output.
 pub trait Standard: Sized {
-    fn sample(rng: &mut rngs::StdRng) -> Self;
+    fn sample<R: RngCore + ?Sized>(rng: &mut R) -> Self;
 }
 
 impl Standard for u64 {
-    fn sample(rng: &mut rngs::StdRng) -> u64 {
+    fn sample<R: RngCore + ?Sized>(rng: &mut R) -> u64 {
         rng.next_u64()
     }
 }
 
 impl Standard for u32 {
-    fn sample(rng: &mut rngs::StdRng) -> u32 {
+    fn sample<R: RngCore + ?Sized>(rng: &mut R) -> u32 {
         (rng.next_u64() >> 32) as u32
     }
 }
 
 impl Standard for f64 {
     /// Uniform in `[0, 1)` with 53 bits of precision.
-    fn sample(rng: &mut rngs::StdRng) -> f64 {
+    fn sample<R: RngCore + ?Sized>(rng: &mut R) -> f64 {
         (rng.next_u64() >> 11) as f64 * (1.0 / (1u64 << 53) as f64)
     }
 }
 
 impl Standard for bool {
-    fn sample(rng: &mut rngs::StdRng) -> bool {
+    fn sample<R: RngCore + ?Sized>(rng: &mut R) -> bool {
         rng.next_u64() & 1 == 1
     }
 }
 
 /// Ranges that `Rng::gen_range` accepts.
 pub trait SampleRange<T> {
-    fn sample_from(self, rng: &mut rngs::StdRng) -> T;
+    fn sample_from<R: RngCore + ?Sized>(self, rng: &mut R) -> T;
 }
 
 macro_rules! int_sample_range {
     ($($t:ty),*) => {$(
         impl SampleRange<$t> for std::ops::Range<$t> {
-            fn sample_from(self, rng: &mut rngs::StdRng) -> $t {
+            fn sample_from<R: RngCore + ?Sized>(self, rng: &mut R) -> $t {
                 assert!(self.start < self.end, "gen_range: empty range");
                 let span = (self.end as i128 - self.start as i128) as u128;
                 let v = ((rng.next_u64() as u128) % span) as i128;
@@ -57,7 +71,7 @@ macro_rules! int_sample_range {
             }
         }
         impl SampleRange<$t> for std::ops::RangeInclusive<$t> {
-            fn sample_from(self, rng: &mut rngs::StdRng) -> $t {
+            fn sample_from<R: RngCore + ?Sized>(self, rng: &mut R) -> $t {
                 let (start, end) = (*self.start(), *self.end());
                 assert!(start <= end, "gen_range: empty range");
                 let span = (end as i128 - start as i128) as u128 + 1;
@@ -71,45 +85,41 @@ macro_rules! int_sample_range {
 int_sample_range!(u8, u16, u32, u64, usize, i8, i16, i32, i64, isize);
 
 impl SampleRange<f64> for std::ops::Range<f64> {
-    fn sample_from(self, rng: &mut rngs::StdRng) -> f64 {
+    fn sample_from<R: RngCore + ?Sized>(self, rng: &mut R) -> f64 {
         assert!(self.start < self.end, "gen_range: empty range");
         self.start + f64::sample(rng) * (self.end - self.start)
     }
 }
 
-/// The subset of rand's `Rng` extension trait this workspace uses.
-pub trait Rng {
-    fn next_u64(&mut self) -> u64;
-
+/// The subset of rand's `Rng` extension trait this workspace uses, provided
+/// for every [`RngCore`] by a blanket impl.
+pub trait Rng: RngCore {
     fn gen<T: Standard>(&mut self) -> T
     where
-        Self: AsStdRng,
+        Self: Sized,
     {
-        T::sample(self.as_std_rng())
+        T::sample(self)
     }
 
     fn gen_range<T, R: SampleRange<T>>(&mut self, range: R) -> T
     where
-        Self: AsStdRng,
+        Self: Sized,
     {
-        range.sample_from(self.as_std_rng())
+        range.sample_from(self)
     }
 
     fn gen_bool(&mut self, p: f64) -> bool
     where
-        Self: AsStdRng,
+        Self: Sized,
     {
-        f64::sample(self.as_std_rng()) < p
+        f64::sample(self) < p
     }
 }
 
-/// Helper so the default methods on [`Rng`] can reach the concrete state.
-pub trait AsStdRng {
-    fn as_std_rng(&mut self) -> &mut rngs::StdRng;
-}
+impl<T: RngCore + ?Sized> Rng for T {}
 
 pub mod rngs {
-    use super::{AsStdRng, Rng, SeedableRng};
+    use super::{RngCore, SeedableRng};
 
     /// xoshiro256++ seeded from a splitmix64 expansion of the u64 seed.
     #[derive(Debug, Clone)]
@@ -136,7 +146,7 @@ pub mod rngs {
         }
     }
 
-    impl Rng for StdRng {
+    impl RngCore for StdRng {
         fn next_u64(&mut self) -> u64 {
             let s = &mut self.s;
             let result = s[0].wrapping_add(s[3]).rotate_left(23).wrapping_add(s[0]);
@@ -150,18 +160,12 @@ pub mod rngs {
             result
         }
     }
-
-    impl AsStdRng for StdRng {
-        fn as_std_rng(&mut self) -> &mut StdRng {
-            self
-        }
-    }
 }
 
 #[cfg(test)]
 mod tests {
     use super::rngs::StdRng;
-    use super::{Rng, SeedableRng};
+    use super::{Rng, RngCore, SeedableRng};
 
     #[test]
     fn deterministic_for_fixed_seed() {
@@ -203,5 +207,25 @@ mod tests {
         }
         // Crude uniformity check: mean near 0.5.
         assert!((sum / 1000.0 - 0.5).abs() < 0.05);
+    }
+
+    #[test]
+    fn rng_core_wrappers_sample_identically() {
+        // A wrapper that forwards next_u64 must reproduce StdRng's derived
+        // sample streams exactly — the seam tape-recording RNGs rely on.
+        struct Fwd(StdRng);
+        impl RngCore for Fwd {
+            fn next_u64(&mut self) -> u64 {
+                self.0.next_u64()
+            }
+        }
+        let mut plain = StdRng::seed_from_u64(5);
+        let mut wrapped = Fwd(StdRng::seed_from_u64(5));
+        for _ in 0..64 {
+            assert_eq!(plain.gen_range(0..1000u64), wrapped.gen_range(0..1000u64));
+            let a: f64 = plain.gen();
+            let b: f64 = wrapped.gen();
+            assert_eq!(a, b);
+        }
     }
 }

@@ -541,6 +541,87 @@ impl Database {
         Ok(collected.into_iter().flat_map(|(_, out)| out).collect())
     }
 
+    /// Segment-write fast path: encodes one ROS segment per batch **in
+    /// parallel on the shared runtime pool** and atomically replaces
+    /// `table`'s contents with exactly those segments (keeping its schema,
+    /// options and catalog handle).
+    ///
+    /// This is the write-side sibling of
+    /// [`run_transform_streamed`](Self::run_transform_streamed): where that
+    /// primitive fans partition *reads/compute* out over the pool, this one
+    /// fans the *table rebuild* out. The expensive work per segment —
+    /// column coercion, zone maps, optional compression — happens off-table
+    /// on pool workers; the commit is a single
+    /// [`Catalog::replace_contents`] under one table write lock, so readers
+    /// see either the complete old or the complete new table, never a torn
+    /// mixture. Batches map to segments in input order; empty batches are
+    /// dropped. Returns the number of rows in the new contents.
+    ///
+    /// Nothing is committed unless **every** segment builds successfully:
+    /// the first build error aborts the whole replacement with the old
+    /// contents untouched.
+    ///
+    /// Split into [`encode_segments_for`](Self::encode_segments_for) +
+    /// [`commit_table_segments`](Self::commit_table_segments) for callers
+    /// that must build segments for *several* tables before publishing any
+    /// of them (the parallel apply path's cross-table commit protocol).
+    pub fn replace_table_segmented(
+        &self,
+        table: &str,
+        segment_batches: Vec<RecordBatch>,
+    ) -> SqlResult<usize> {
+        let segments = self.encode_segments_for(table, segment_batches)?;
+        self.commit_table_segments(table, segments)
+    }
+
+    /// The encode half of [`replace_table_segmented`](Self::replace_table_segmented):
+    /// builds one ROS segment per batch in parallel on the pool, against
+    /// `table`'s current schema and options, without touching the table.
+    pub fn encode_segments_for(
+        &self,
+        table: &str,
+        segment_batches: Vec<RecordBatch>,
+    ) -> SqlResult<Vec<vertexica_storage::Segment>> {
+        let table_ref = self.catalog.get(table)?;
+        let (schema, compress) = {
+            let guard = table_ref.read();
+            (guard.schema().clone(), guard.options().compress)
+        };
+        let built: Vec<vertexica_storage::StorageResult<vertexica_storage::Segment>> =
+            self.runtime.map_indexed(segment_batches, |_, batch| {
+                vertexica_storage::Segment::build(&schema, &batch, compress)
+            });
+        let mut segments = Vec::with_capacity(built.len());
+        for seg in built {
+            segments.push(seg?);
+        }
+        Ok(segments)
+    }
+
+    /// The commit half of [`replace_table_segmented`](Self::replace_table_segmented):
+    /// atomically replaces `table`'s contents with the pre-built segments
+    /// under one write lock. The only failure modes are shape mismatches
+    /// against the live schema — encoding already happened.
+    pub fn commit_table_segments(
+        &self,
+        table: &str,
+        segments: Vec<vertexica_storage::Segment>,
+    ) -> SqlResult<usize> {
+        let table_ref = self.catalog.get(table)?;
+        let (name, schema, options) = {
+            let guard = table_ref.read();
+            (guard.name().to_string(), guard.schema().clone(), guard.options().clone())
+        };
+        let mut fresh = vertexica_storage::Table::new(name, schema, options);
+        let mut rows = 0usize;
+        for seg in segments {
+            rows += seg.num_rows();
+            fresh.adopt_segment(seg)?;
+        }
+        self.catalog.replace_contents(table, fresh)?;
+        Ok(rows)
+    }
+
     /// Direct storage-level scan helper (bypasses SQL) — used by the
     /// coordinator's hot paths.
     pub fn scan_table(
@@ -991,6 +1072,50 @@ mod tests {
         let ok: Arc<dyn TransformUdf> = Tagger::new(0);
         let out = db.run_transform_partitions(&ok, vec![int_partition(&[7])]).unwrap();
         assert_eq!(first_values(&out), vec![7]);
+    }
+
+    #[test]
+    fn replace_table_segmented_rebuilds_contents() {
+        let db = db_with_edges();
+        db.set_worker_threads(4);
+        // Three segment batches, one of them empty.
+        let schema = db.catalog().get("edge").unwrap().read().schema().clone();
+        let seg1 = RecordBatch::from_rows(
+            schema.clone(),
+            &[vec![Value::Int(10), Value::Int(11), Value::Float(1.0)]],
+        )
+        .unwrap();
+        let seg2 = RecordBatch::empty(schema.clone());
+        let seg3 = RecordBatch::from_rows(
+            schema.clone(),
+            &[
+                vec![Value::Int(20), Value::Int(21), Value::Float(2.0)],
+                vec![Value::Int(30), Value::Int(31), Value::Float(3.0)],
+            ],
+        )
+        .unwrap();
+        let handle = db.catalog().get("edge").unwrap();
+        let n = db.replace_table_segmented("edge", vec![seg1, seg2, seg3]).unwrap();
+        assert_eq!(n, 3);
+        // Old rows are gone, the handle observes the replacement, and the
+        // non-empty batches became one segment each.
+        assert_eq!(db.query_int("SELECT COUNT(*) FROM edge").unwrap(), 3);
+        assert_eq!(db.query_int("SELECT COUNT(*) FROM edge WHERE src < 10").unwrap(), 0);
+        assert_eq!(handle.read().num_segments(), 2);
+    }
+
+    #[test]
+    fn replace_table_segmented_aborts_cleanly_on_bad_batch() {
+        let db = db_with_edges();
+        let bad_schema = vertexica_storage::Schema::new(vec![vertexica_storage::Field::new(
+            "only",
+            DataType::Int,
+        )]);
+        let bad = RecordBatch::from_rows(bad_schema, &[vec![Value::Int(1)]]).unwrap();
+        assert!(db.replace_table_segmented("edge", vec![bad]).is_err());
+        // Nothing committed: original contents intact.
+        assert_eq!(db.query_int("SELECT COUNT(*) FROM edge").unwrap(), 5);
+        assert!(db.replace_table_segmented("ghost", vec![]).is_err());
     }
 
     #[test]

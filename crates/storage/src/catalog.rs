@@ -125,6 +125,22 @@ impl Catalog {
         Ok(())
     }
 
+    /// Atomically replaces the **contents** of an existing table with a
+    /// fully-built replacement, keeping the name and the shared handle.
+    ///
+    /// This is the commit half of the segment-parallel apply path: segments
+    /// are encoded off to the side (on the worker pool), assembled into a
+    /// fresh [`Table`], and swapped in here under a single table write lock —
+    /// readers holding the [`TableRef`] observe either the complete old or
+    /// the complete new contents, never a mixture, and no `_new`/`_delta`
+    /// temporary tables are needed.
+    pub fn replace_contents(&self, name: &str, mut table: Table) -> StorageResult<()> {
+        let existing = self.get(name)?;
+        table.set_name(normalize(name));
+        *existing.write() = table;
+        Ok(())
+    }
+
     /// Sorted list of table names.
     pub fn list(&self) -> Vec<String> {
         let mut names: Vec<String> = self.tables.read().keys().cloned().collect();
@@ -210,6 +226,26 @@ mod tests {
         cat.create_table("zeta", schema(), TableOptions::default()).unwrap();
         cat.create_table("alpha", schema(), TableOptions::default()).unwrap();
         assert_eq!(cat.list(), vec!["alpha".to_string(), "zeta".to_string()]);
+    }
+
+    #[test]
+    fn replace_contents_swaps_under_existing_handle() {
+        let cat = Catalog::new();
+        let t = cat.create_table("t", schema(), TableOptions::default()).unwrap();
+        t.write().insert_row(vec![Value::Int(1)]).unwrap();
+
+        let mut fresh = Table::new("whatever", schema(), TableOptions::default());
+        fresh.insert_row(vec![Value::Int(7)]).unwrap();
+        fresh.insert_row(vec![Value::Int(8)]).unwrap();
+        cat.replace_contents("T", fresh).unwrap();
+
+        // The *same* handle observes the new contents under the old name.
+        assert_eq!(t.read().num_rows(), 2);
+        assert_eq!(t.read().name(), "t");
+        assert_eq!(cat.get("t").unwrap().read().num_rows(), 2);
+        assert!(cat
+            .replace_contents("ghost", Table::new("x", schema(), TableOptions::default()))
+            .is_err());
     }
 
     #[test]

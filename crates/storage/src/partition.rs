@@ -8,6 +8,20 @@
 
 use crate::batch::RecordBatch;
 use crate::error::StorageResult;
+use vertexica_common::hash::mix64;
+
+/// The partition a single non-null integer key lands in — exactly the row
+/// placement [`partition_assignments`] computes for a one-column Int key.
+///
+/// The parallel apply path uses this to scatter parsed update/message rows
+/// (plain `i64` ids, no longer inside a batch) into apply segments that stay
+/// consistent with batch-level partitioning.
+pub fn int_key_partition(key: i64, num_partitions: usize) -> usize {
+    assert!(num_partitions > 0, "num_partitions must be positive");
+    // Mirrors Column::hash_combine for an Int column folded into a zero
+    // seed: h = mix64(rotl(0, 23) ^ mix64(key)).
+    (mix64(mix64(key as u64)) % num_partitions as u64) as usize
+}
 
 /// Computes, for every row across `batches`, the target partition in
 /// `0..num_partitions` by hashing the `key_columns`.
@@ -193,6 +207,26 @@ mod tests {
             let rows_a: Vec<_> = a.iter().flat_map(|b| b.rows()).collect();
             let rows_b: Vec<_> = b.iter().flat_map(|b| b.rows()).collect();
             assert_eq!(rows_a, rows_b);
+        }
+    }
+
+    #[test]
+    fn int_key_partition_matches_batch_assignments() {
+        let keys: Vec<i64> = (-64..64).chain([i64::MIN, i64::MAX, 1 << 40]).collect();
+        let batch = {
+            let schema = Schema::new(vec![Field::new("k", DataType::Int)]);
+            let rows: Vec<Vec<Value>> = keys.iter().map(|&k| vec![Value::Int(k)]).collect();
+            RecordBatch::from_rows(schema, &rows).unwrap()
+        };
+        for parts in [1usize, 2, 7, 16] {
+            let assign = partition_assignments(std::slice::from_ref(&batch), &[0], parts);
+            for (row, &k) in keys.iter().enumerate() {
+                assert_eq!(
+                    int_key_partition(k, parts),
+                    assign[0][row],
+                    "key {k} with {parts} partitions"
+                );
+            }
         }
     }
 

@@ -166,6 +166,37 @@ impl Segment {
         Segment { num_rows, columns, zone_maps }
     }
 
+    /// Builds an encoded, zone-mapped ROS segment for a table with `schema`
+    /// directly from a batch, coercing columns like [`Table::append_batch`].
+    ///
+    /// This is the off-table half of segmented ingest: because it needs no
+    /// `&mut Table`, callers can encode many segments concurrently (e.g. one
+    /// per apply partition on a worker pool) and only serialize the cheap
+    /// [`Table::adopt_segment`] / [`crate::catalog::Catalog::replace_contents`]
+    /// commit.
+    pub fn build(schema: &Schema, batch: &RecordBatch, compress: bool) -> StorageResult<Segment> {
+        if batch.num_columns() != schema.len() {
+            return Err(StorageError::ArityMismatch {
+                expected: schema.len(),
+                found: batch.num_columns(),
+            });
+        }
+        let mut columns = Vec::with_capacity(batch.num_columns());
+        for (field, col) in schema.fields.iter().zip(batch.columns()) {
+            if col.dtype() != field.dtype {
+                // Column-level coercion (e.g. Int batch into Float column).
+                let mut b = ColumnBuilder::with_capacity(field.dtype, col.len());
+                for i in 0..col.len() {
+                    b.push(col.value(i))?;
+                }
+                columns.push(b.finish());
+            } else {
+                columns.push(col.clone());
+            }
+        }
+        Ok(Segment::from_columns(columns, compress))
+    }
+
     pub fn num_rows(&self) -> usize {
         self.num_rows
     }
@@ -299,29 +330,36 @@ impl Table {
     /// Bulk-appends a batch directly as a ROS segment (bypassing the WOS) —
     /// the fast path for `CREATE TABLE AS SELECT` and superstep table swaps.
     pub fn append_batch(&mut self, batch: &RecordBatch) -> StorageResult<()> {
-        if batch.num_columns() != self.schema.len() {
-            return Err(StorageError::ArityMismatch {
-                expected: self.schema.len(),
-                found: batch.num_columns(),
-            });
-        }
-        if batch.num_rows() == 0 {
+        if batch.num_rows() == 0 && batch.num_columns() == self.schema.len() {
             return Ok(());
         }
-        let mut columns = Vec::with_capacity(batch.num_columns());
-        for (field, col) in self.schema.fields.iter().zip(batch.columns()) {
+        let seg = Segment::build(&self.schema, batch, self.options.compress)?;
+        self.adopt_segment(seg)
+    }
+
+    /// Appends a pre-built ROS segment (see [`Segment::build`]) after
+    /// validating its shape against the table schema. Empty segments are
+    /// dropped. This is the cheap, in-lock half of segmented ingest: the
+    /// expensive encode already happened off-table (possibly on another
+    /// thread).
+    pub fn adopt_segment(&mut self, seg: Segment) -> StorageResult<()> {
+        if seg.columns.len() != self.schema.len() {
+            return Err(StorageError::ArityMismatch {
+                expected: self.schema.len(),
+                found: seg.columns.len(),
+            });
+        }
+        for (field, col) in self.schema.fields.iter().zip(&seg.columns) {
             if col.dtype() != field.dtype {
-                // Column-level coercion (e.g. Int batch into Float column).
-                let mut b = ColumnBuilder::with_capacity(field.dtype, col.len());
-                for i in 0..col.len() {
-                    b.push(col.value(i))?;
-                }
-                columns.push(b.finish());
-            } else {
-                columns.push(col.clone());
+                return Err(StorageError::TypeMismatch {
+                    expected: field.dtype.to_string(),
+                    found: col.dtype().to_string(),
+                });
             }
         }
-        let seg = Segment::from_columns(columns, self.options.compress);
+        if seg.num_rows() == 0 {
+            return Ok(());
+        }
         self.delete_vectors.push(Bitmap::zeros(seg.num_rows()));
         self.segments.push(Arc::new(seg));
         Ok(())
@@ -727,6 +765,56 @@ mod tests {
         t.append_batch(&batch).unwrap();
         assert_eq!(t.num_segments(), 1);
         assert_eq!(t.num_rows(), 1);
+    }
+
+    #[test]
+    fn build_and_adopt_segment_off_table() {
+        let schema = edge_schema();
+        let batch = RecordBatch::from_rows(
+            schema.clone(),
+            &[
+                vec![Value::Int(1), Value::Int(2), Value::Int(3)], // Int weight coerces to Float
+                vec![Value::Int(4), Value::Int(5), Value::Null],
+            ],
+        )
+        .unwrap();
+        // Built with no table in hand (as a pool worker would).
+        let seg = Segment::build(&schema, &batch, false).unwrap();
+        assert_eq!(seg.num_rows(), 2);
+        let mut t = Table::new("t", schema, TableOptions::default());
+        t.adopt_segment(seg).unwrap();
+        assert_eq!(t.num_segments(), 1);
+        assert_eq!(t.num_rows(), 2);
+        let rows = t.scan(None, &[]).unwrap()[0].rows();
+        assert_eq!(rows[0][2], Value::Float(3.0));
+    }
+
+    #[test]
+    fn adopt_segment_validates_shape() {
+        let narrow = Schema::new(vec![Field::new("only", DataType::Int)]);
+        let batch = RecordBatch::from_rows(narrow.clone(), &[vec![Value::Int(1)]]).unwrap();
+        let seg = Segment::build(&narrow, &batch, false).unwrap();
+        let mut t = Table::new("t", edge_schema(), TableOptions::default());
+        assert!(matches!(t.adopt_segment(seg), Err(StorageError::ArityMismatch { .. })));
+
+        let wrong_type = Schema::new(vec![
+            Field::new("src", DataType::Str),
+            Field::new("dst", DataType::Str),
+            Field::new("weight", DataType::Str),
+        ]);
+        let batch = RecordBatch::from_rows(
+            wrong_type.clone(),
+            &[vec![Value::Str("a".into()), Value::Str("b".into()), Value::Str("c".into())]],
+        )
+        .unwrap();
+        let seg = Segment::build(&wrong_type, &batch, false).unwrap();
+        assert!(matches!(t.adopt_segment(seg), Err(StorageError::TypeMismatch { .. })));
+
+        // Empty segments are silently dropped.
+        let empty =
+            Segment::build(&edge_schema(), &RecordBatch::empty(edge_schema()), false).unwrap();
+        t.adopt_segment(empty).unwrap();
+        assert_eq!(t.num_segments(), 0);
     }
 
     #[test]

@@ -249,6 +249,153 @@ fn streaming_stats_report_bounded_peak_bytes() {
     }
 }
 
+/// The full vertex table, bit for bit: every row's id, raw encoded value
+/// bytes and halt flag, canonicalized by id (physical row order is the one
+/// thing the apply paths are *allowed* to differ on).
+fn vertex_table_bits(session: &GraphSession) -> Vec<(i64, Option<Vec<u8>>, Option<bool>)> {
+    let batches = session.db().scan_table(&session.vertex_table(), None, &[]).unwrap();
+    let mut rows: Vec<(i64, Option<Vec<u8>>, Option<bool>)> = Vec::new();
+    for b in &batches {
+        for i in 0..b.num_rows() {
+            let row = b.row(i);
+            rows.push((
+                row[0].as_int().unwrap(),
+                row[1].as_blob().map(|b| b.to_vec()),
+                row[2].as_bool(),
+            ));
+        }
+    }
+    rows.sort();
+    rows
+}
+
+/// The full message table, bit for bit, canonicalized.
+fn message_table_bits(session: &GraphSession) -> Vec<(i64, Option<i64>, Option<Vec<u8>>)> {
+    let batches = session.db().scan_table(&session.message_table(), None, &[]).unwrap();
+    let mut rows: Vec<(i64, Option<i64>, Option<Vec<u8>>)> = Vec::new();
+    for b in &batches {
+        for i in 0..b.num_rows() {
+            let row = b.row(i);
+            rows.push((
+                row[0].as_int().unwrap(),
+                row[1].as_int(),
+                row[2].as_blob().map(|b| b.to_vec()),
+            ));
+        }
+    }
+    rows.sort();
+    rows
+}
+
+/// Everything one configuration cell produced that must be invariant across
+/// the {streaming} × {parallel apply} matrix.
+#[derive(PartialEq, Debug)]
+struct CellResult {
+    vertex_bits: Vec<(i64, Option<Vec<u8>>, Option<bool>)>,
+    message_bits: Vec<(i64, Option<i64>, Option<Vec<u8>>)>,
+    total_messages: u64,
+    per_superstep: Vec<(usize, usize, bool)>, // (messages, vertex_changes, replaced)
+}
+
+fn run_cell<P, F>(
+    graph: &EdgeList,
+    make_program: F,
+    streaming: bool,
+    parallel: bool,
+    cap: u64,
+) -> CellResult
+where
+    P: vertexica_common::VertexProgram + 'static,
+    F: Fn() -> P,
+{
+    let config = VertexicaConfig::default()
+        .with_workers(4)
+        .with_partitions(16)
+        .with_streaming(streaming)
+        .with_parallel_apply(parallel)
+        .with_max_supersteps(cap);
+    let session = session_for(graph);
+    let stats = run_program(&session, Arc::new(make_program()), &config).unwrap();
+    // The segment-parallel cells must actually have fanned the apply out,
+    // and the serial cells must not.
+    for s in &stats.per_superstep {
+        if parallel {
+            assert_eq!(s.apply_parallelism, 4, "parallel apply should span num_workers buckets");
+        } else {
+            assert_eq!(s.apply_parallelism, 1, "serial apply must not fan out");
+        }
+    }
+    CellResult {
+        vertex_bits: vertex_table_bits(&session),
+        message_bits: message_table_bits(&session),
+        total_messages: stats.total_messages,
+        per_superstep: stats
+            .per_superstep
+            .iter()
+            .map(|s| (s.messages, s.vertex_changes, s.replaced))
+            .collect(),
+    }
+}
+
+/// The config-matrix equivalence harness: every vertex-centric algorithm,
+/// run under all four {streaming on/off} × {parallel apply on/off} cells,
+/// must produce **bitwise-identical** vertex tables, message tables and
+/// message counts. Two runs stop mid-algorithm (superstep cap) so the
+/// message table is non-empty and mid-flight state is compared too.
+#[test]
+fn config_matrix_streaming_x_parallel_apply_is_bitwise_identical() {
+    use vertexica_algorithms::vc::{LabelPropagation, RandomWalkWithRestart};
+    let graph =
+        rmat_graph(&RmatConfig { scale: 6, num_edges: 400, seed: 17, ..Default::default() });
+    let undirected = graph.undirected();
+
+    // (name, cap, runner): each runner executes one cell for its algorithm.
+    type Cell = Box<dyn Fn(bool, bool) -> CellResult>;
+    let algorithms: Vec<(&str, Cell)> = vec![
+        ("pagerank", {
+            let g = graph.clone();
+            Box::new(move |s, p| run_cell(&g, || PageRank::new(6, 0.85), s, p, 10_000))
+        }),
+        ("pagerank-midflight", {
+            let g = graph.clone();
+            Box::new(move |s, p| run_cell(&g, || PageRank::new(6, 0.85), s, p, 3))
+        }),
+        ("sssp", {
+            let g = graph.clone();
+            Box::new(move |s, p| run_cell(&g, || Sssp::new(0), s, p, 10_000))
+        }),
+        ("connected-components", {
+            let g = undirected.clone();
+            Box::new(move |s, p| run_cell(&g, || ConnectedComponents, s, p, 10_000))
+        }),
+        ("cc-midflight", {
+            let g = undirected.clone();
+            Box::new(move |s, p| run_cell(&g, || ConnectedComponents, s, p, 2))
+        }),
+        ("random-walk-with-restart", {
+            let g = graph.clone();
+            Box::new(move |s, p| run_cell(&g, || RandomWalkWithRestart::new(0, 8), s, p, 10_000))
+        }),
+        ("label-propagation", {
+            let g = undirected.clone();
+            Box::new(move |s, p| run_cell(&g, || LabelPropagation::new(6), s, p, 10_000))
+        }),
+    ];
+
+    for (name, cell) in &algorithms {
+        let reference = cell(true, true);
+        assert!(!reference.vertex_bits.is_empty(), "{name}: empty vertex table");
+        for (streaming, parallel) in [(true, false), (false, true), (false, false)] {
+            let other = cell(streaming, parallel);
+            assert_eq!(
+                reference, other,
+                "{name}: cell (streaming={streaming}, parallel_apply={parallel}) diverged \
+                 from the (true, true) reference"
+            );
+        }
+    }
+}
+
 #[test]
 fn pool_metrics_grow_monotonically_across_supersteps() {
     let graph = erdos_renyi(200, 1200, 3);

@@ -159,6 +159,122 @@ proptest! {
         }
     }
 
+    /// Segmented storage, engine level: any random chunk split of the same
+    /// rows, hash-partitioned into per-partition segment batches and
+    /// committed through the parallel-apply fast path
+    /// (`replace_table_segmented`), must equal the one-shot table build.
+    #[test]
+    fn segmented_replace_matches_one_shot_build(
+        rows in proptest::collection::vec((0i64..500, -1000i64..1000), 1..120),
+        chunks in (1usize..6).prop_flat_map(|n| {
+            proptest::collection::vec(1usize..40, n..n + 1)
+        }),
+        parts in 1usize..6,
+    ) {
+        use vertexica::storage::{partition::hash_partition, DataType, Field, RecordBatch, Schema, Value};
+        let schema = Schema::new(vec![
+            Field::new("k", DataType::Int),
+            Field::new("payload", DataType::Int),
+        ]);
+        let to_batch = |rows: &[(i64, i64)]| {
+            let vals: Vec<Vec<Value>> =
+                rows.iter().map(|&(k, p)| vec![Value::Int(k), Value::Int(p)]).collect();
+            RecordBatch::from_rows(schema.clone(), &vals).unwrap()
+        };
+
+        let db = Database::new();
+        db.execute("CREATE TABLE one_shot (k BIGINT, payload BIGINT)").unwrap();
+        db.execute("CREATE TABLE segmented (k BIGINT, payload BIGINT)").unwrap();
+        // Pre-populate the replacement target with junk that must vanish.
+        db.execute("INSERT INTO segmented VALUES (-77, -77)").unwrap();
+
+        db.append_batches("one_shot", &[to_batch(&rows)]).unwrap();
+
+        // Random chunk split (chunk lengths cycle through `chunks`), then a
+        // hash partition of the chunks — the same shape the parallel apply
+        // path produces (per-partition segment batches).
+        let mut chunked: Vec<RecordBatch> = Vec::new();
+        let mut rest: &[(i64, i64)] = &rows;
+        let mut ci = 0;
+        while !rest.is_empty() {
+            let take = chunks[ci % chunks.len()].min(rest.len());
+            chunked.push(to_batch(&rest[..take]));
+            rest = &rest[take..];
+            ci += 1;
+        }
+        let partitions = hash_partition(&chunked, &[0], parts).unwrap();
+        let segment_batches: Vec<RecordBatch> =
+            partitions.into_iter().flatten().collect();
+        let n = db.replace_table_segmented("segmented", segment_batches).unwrap();
+        prop_assert_eq!(n, rows.len());
+
+        let canon = |table: &str| {
+            let mut r = db.query(&format!("SELECT k, payload FROM {table}")).unwrap();
+            r.sort_by(|a, b| {
+                a.iter().map(|v| v.as_int()).cmp(b.iter().map(|v| v.as_int()))
+            });
+            r
+        };
+        prop_assert_eq!(canon("segmented"), canon("one_shot"));
+    }
+
+    /// Segmented storage, table level: building segments off-table
+    /// (`Segment::build`), adopting them into a staging table and
+    /// atomically swapping it in (`Catalog::swap`) equals the one-shot
+    /// build, for any chunk split.
+    #[test]
+    fn adopted_segments_plus_swap_match_one_shot_build(
+        keys in proptest::collection::vec(0i64..300, 1..150),
+        split_at in proptest::collection::vec(1usize..150, 1..5),
+    ) {
+        use vertexica::storage::{
+            Catalog, DataType, Field, RecordBatch, Schema, Segment, Table, TableOptions, Value,
+        };
+        let schema = Schema::new(vec![Field::new("k", DataType::Int)]);
+        let to_batch = |keys: &[i64]| {
+            let vals: Vec<Vec<Value>> = keys.iter().map(|&k| vec![Value::Int(k)]).collect();
+            RecordBatch::from_rows(schema.clone(), &vals).unwrap()
+        };
+
+        let catalog = Catalog::new();
+        let live = catalog.create_table("t", schema.clone(), TableOptions::default()).unwrap();
+        live.write().insert_row(vec![Value::Int(-1)]).unwrap(); // junk to replace
+
+        let mut one_shot = Table::new("ref", schema.clone(), TableOptions::default());
+        one_shot.append_batch(&to_batch(&keys)).unwrap();
+
+        // Split points (mod len, deduped) cut the keys into chunks; each
+        // chunk becomes one off-table segment adopted into the staging table.
+        let mut cuts: Vec<usize> = split_at.iter().map(|&s| s % keys.len()).collect();
+        cuts.push(0);
+        cuts.push(keys.len());
+        cuts.sort_unstable();
+        cuts.dedup();
+        let mut staging = Table::new("t_new", schema.clone(), TableOptions::default());
+        for w in cuts.windows(2) {
+            let seg = Segment::build(&schema, &to_batch(&keys[w[0]..w[1]]), false).unwrap();
+            staging.adopt_segment(seg).unwrap();
+        }
+        catalog.register(staging).unwrap();
+        catalog.swap("t", "t_new").unwrap();
+        catalog.drop_table("t_new").unwrap();
+
+        let canon = |t: &Table| {
+            let mut rows: Vec<i64> = t
+                .scan(None, &[])
+                .unwrap()
+                .iter()
+                .flat_map(|b| b.column(0).iter().map(|v| v.as_int().unwrap()).collect::<Vec<_>>())
+                .collect();
+            rows.sort_unstable();
+            rows
+        };
+        let live = catalog.get("t").unwrap();
+        let guard = live.read();
+        prop_assert_eq!(guard.num_rows(), keys.len());
+        prop_assert_eq!(canon(&guard), canon(&one_shot));
+    }
+
     /// Random-walk-with-restart masses stay in [0, 1], the source retains at
     /// least its restart mass, and vertices unreachable from the source get
     /// exactly zero. (The source is *not* necessarily the maximum — an
