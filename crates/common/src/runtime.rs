@@ -40,18 +40,46 @@
 //!   [`WorkerPool::map_indexed`]) executes inline on the calling thread, so
 //!   `worker_threads = 1` is genuinely sequential and nested use cannot
 //!   deadlock.
-//! * **No nesting.** Calling `scope` *from inside a pool task* is not
-//!   supported (tasks would queue behind their own scope); all engine call
-//!   sites submit from coordinator/user threads.
+//! * **Nestable scopes.** Tasks may submit follow-up work. Two shapes are
+//!   supported. *Continuation spawns*: a running task can call
+//!   [`Scope::spawn`] on the scope that spawned it (the scope handle is
+//!   `Sync` and tasks are bounded by `'scope`, exactly like
+//!   `std::thread::scope`), so dynamically discovered work — e.g. a
+//!   partition sealing mid-assemble — is dispatched without a second
+//!   barrier. *Nested scopes*: calling [`WorkerPool::scope`] from inside a
+//!   pool task is also supported; while the nested scope waits, the blocked
+//!   worker **helps** — it keeps draining its own deque and stealing from
+//!   siblings — so nested tasks can never deadlock behind their own scope,
+//!   even on a pool of one. Nested-scope entries are counted in
+//!   [`PoolMetrics::nested_scopes`].
 
+use std::cell::Cell;
 use std::collections::VecDeque;
 use std::panic::{catch_unwind, resume_unwind, AssertUnwindSafe};
 use std::sync::atomic::{AtomicBool, AtomicU64, AtomicUsize, Ordering};
 use std::sync::{Arc, Condvar, Mutex, RwLock};
 use std::thread::JoinHandle;
-use std::time::Instant;
+use std::time::{Duration, Instant};
 
 type Job = Box<dyn FnOnce() + Send + 'static>;
+
+thread_local! {
+    /// Which pool worker (pool identity + worker index) the current thread
+    /// is, if any. Set for the lifetime of a worker thread; lets `scope`
+    /// detect that it is being entered from inside a pool task and switch
+    /// its barrier wait to the helping loop.
+    static WORKER_CONTEXT: Cell<Option<(usize, usize)>> = const { Cell::new(None) };
+}
+
+/// Clears [`WORKER_CONTEXT`] when a worker thread exits (pool shrink or
+/// shutdown), including on unwind.
+struct WorkerContextReset;
+
+impl Drop for WorkerContextReset {
+    fn drop(&mut self) {
+        WORKER_CONTEXT.with(|ctx| ctx.set(None));
+    }
+}
 
 /// A job plus its submission timestamp, for queue-wait accounting.
 struct TimedJob {
@@ -118,6 +146,11 @@ pub struct PoolMetrics {
     pub tasks_stolen: u64,
     /// Cumulative seconds tasks spent queued before starting to execute.
     pub queue_wait_secs: f64,
+    /// Scopes entered **from inside a pool task** (nesting depth ≥ 1). While
+    /// such a scope waits, the blocked worker helps drain the pool instead
+    /// of parking, so nested submission never deadlocks behind its own
+    /// scope.
+    pub nested_scopes: u64,
 }
 
 impl PoolMetrics {
@@ -127,6 +160,7 @@ impl PoolMetrics {
             tasks_executed: self.tasks_executed.saturating_sub(earlier.tasks_executed),
             tasks_stolen: self.tasks_stolen.saturating_sub(earlier.tasks_stolen),
             queue_wait_secs: (self.queue_wait_secs - earlier.queue_wait_secs).max(0.0),
+            nested_scopes: self.nested_scopes.saturating_sub(earlier.nested_scopes),
         }
     }
 }
@@ -153,6 +187,7 @@ struct PoolShared {
     executed: AtomicU64,
     steals: AtomicU64,
     queue_wait_nanos: AtomicU64,
+    nested_scopes: AtomicU64,
 }
 
 impl PoolShared {
@@ -268,6 +303,10 @@ impl PoolShared {
 
 fn worker_loop(shared: Arc<PoolShared>, me: usize) {
     let my_slot = shared.slots.read().unwrap()[me].clone();
+    // Identify this thread as pool worker `me` so scopes entered from
+    // inside a task switch to the helping wait (see `ScopeState::wait_all`).
+    WORKER_CONTEXT.with(|ctx| ctx.set(Some((Arc::as_ptr(&shared) as usize, me))));
+    let _reset = WorkerContextReset;
     loop {
         // 1. Own deque, front first (FIFO within a worker).
         if let Some(tj) = shared.pop_own(&my_slot) {
@@ -345,6 +384,7 @@ impl WorkerPool {
                 executed: AtomicU64::new(0),
                 steals: AtomicU64::new(0),
                 queue_wait_nanos: AtomicU64::new(0),
+                nested_scopes: AtomicU64::new(0),
             }),
             handles: Mutex::new(Vec::new()),
         };
@@ -368,6 +408,7 @@ impl WorkerPool {
             tasks_executed: self.shared.executed.load(Ordering::Relaxed),
             tasks_stolen: self.shared.steals.load(Ordering::Relaxed),
             queue_wait_secs: self.shared.queue_wait_nanos.load(Ordering::Relaxed) as f64 / 1e9,
+            nested_scopes: self.shared.nested_scopes.load(Ordering::Relaxed),
         }
     }
 
@@ -409,22 +450,41 @@ impl WorkerPool {
 
     /// Runs `f` with a [`Scope`] through which tasks borrowing from the
     /// enclosing environment can be submitted to the pool. Returns only after
-    /// every submitted task has completed. If any task panicked, the first
-    /// panic is re-thrown here.
+    /// every submitted task has completed — including tasks spawned *by*
+    /// tasks (continuation spawns, see [`Scope::spawn`]). If any task
+    /// panicked, the first panic is re-thrown here.
+    ///
+    /// `scope` may itself be called from inside a pool task (a **nested
+    /// scope**). The nested barrier then does not park the worker: while its
+    /// tasks are outstanding the worker keeps executing queued pool jobs —
+    /// its own deque first, then stealing — so nested tasks cannot deadlock
+    /// behind the scope that submitted them, even on a single-worker pool.
     pub fn scope<'env, F, R>(&self, f: F) -> R
     where
-        F: for<'scope> FnOnce(&Scope<'scope, 'env>) -> R,
+        F: for<'scope> FnOnce(&'scope Scope<'scope, 'env>) -> R,
     {
+        // A nested scope is one entered from a worker *of this pool*; a
+        // worker of some other pool can block normally (its pool still has
+        // threads to make progress with).
+        let helper = WORKER_CONTEXT
+            .with(|ctx| ctx.get())
+            .and_then(|(pool, me)| (pool == Arc::as_ptr(&self.shared) as usize).then_some(me));
+        if helper.is_some() {
+            self.shared.nested_scopes.fetch_add(1, Ordering::Relaxed);
+        }
         let state = Arc::new(ScopeState {
             pending: Mutex::new(0),
             all_done: Condvar::new(),
             panic: Mutex::new(None),
         });
-        let scope = Scope { pool: self, state: state.clone(), _env: std::marker::PhantomData };
+        let scope = Scope { pool: self, state: state.clone(), _scope: std::marker::PhantomData };
         let result = catch_unwind(AssertUnwindSafe(|| f(&scope)));
         // The barrier below is what makes `spawn`'s lifetime erasure sound:
         // no borrow handed to a task outlives this function's frame.
-        state.wait_all();
+        match helper {
+            Some(me) => state.wait_all_helping(&self.shared, me),
+            None => state.wait_all(),
+        }
         match result {
             Err(payload) => resume_unwind(payload),
             Ok(value) => {
@@ -505,28 +565,70 @@ impl ScopeState {
             pending = self.all_done.wait(pending).unwrap();
         }
     }
+
+    /// The nested-scope barrier: called when the scope was entered from pool
+    /// worker `me`. Instead of parking (which could leave this scope's own
+    /// tasks stranded in this very worker's deque), the worker keeps
+    /// draining the pool — own deque front first, then stealing — until the
+    /// scope's task count hits zero. When nothing is runnable but tasks are
+    /// still in flight on other workers, it naps briefly on the scope
+    /// condvar; the timeout bounds the latency of picking up *new* jobs
+    /// spawned by those in-flight tasks (a completion signal wakes it
+    /// immediately).
+    fn wait_all_helping(&self, shared: &PoolShared, me: usize) {
+        let my_slot = shared.slots.read().unwrap().get(me).cloned();
+        loop {
+            if *self.pending.lock().unwrap() == 0 {
+                return;
+            }
+            if let Some(slot) = my_slot.as_deref() {
+                if let Some(tj) = shared.pop_own(slot) {
+                    shared.run(tj, false);
+                    continue;
+                }
+            }
+            if let Some(tj) = shared.try_steal(me) {
+                shared.run(tj, true);
+                continue;
+            }
+            let pending = self.pending.lock().unwrap();
+            if *pending == 0 {
+                return;
+            }
+            // Outstanding tasks are running elsewhere; nap until one
+            // finishes or the timeout says "rescan the deques".
+            let _ = self.all_done.wait_timeout(pending, Duration::from_micros(200)).unwrap();
+        }
+    }
 }
 
 /// Handle for submitting borrowing tasks to the pool within a
 /// [`WorkerPool::scope`] call.
+///
+/// Mirrors `std::thread::Scope`: the handle is `Sync` and tasks are bounded
+/// by `'scope`, so a running task can capture `&Scope` and spawn follow-up
+/// work onto its own scope (the barrier counts dynamically spawned tasks
+/// too — a task always registers its continuations before finishing, so the
+/// scope can never observe a premature zero).
 pub struct Scope<'scope, 'env: 'scope> {
     pool: &'scope WorkerPool,
     state: Arc<ScopeState>,
-    /// Invariant over `'env`, like `std::thread::Scope`.
-    _env: std::marker::PhantomData<&'scope mut &'env ()>,
+    /// Invariant over `'scope` and `'env`, like `std::thread::Scope`.
+    _scope: std::marker::PhantomData<&'scope mut &'env ()>,
 }
 
 impl<'scope, 'env> Scope<'scope, 'env> {
     /// Submits a task that may borrow from the environment enclosing the
-    /// scope. The task runs on a pool worker; panics are captured and
-    /// re-thrown from the enclosing `scope()` call.
-    pub fn spawn<F>(&self, task: F)
+    /// scope — or from the scope itself (`F: 'scope`, so a task can capture
+    /// `&Scope` and spawn continuations). The task runs on a pool worker;
+    /// panics are captured and re-thrown from the enclosing `scope()` call.
+    pub fn spawn<F>(&'scope self, task: F)
     where
-        F: FnOnce() + Send + 'env,
+        F: FnOnce() + Send + 'scope,
     {
         self.state.task_started();
         let state = self.state.clone();
-        let job: Box<dyn FnOnce() + Send + 'env> = Box::new(move || {
+        let job: Box<dyn FnOnce() + Send + 'scope> = Box::new(move || {
             let result = catch_unwind(AssertUnwindSafe(task));
             if let Err(payload) = result {
                 let mut slot = state.panic.lock().unwrap();
@@ -537,10 +639,14 @@ impl<'scope, 'env> Scope<'scope, 'env> {
             state.task_finished();
         });
         // SAFETY: `scope()` blocks until `pending` reaches zero before
-        // returning (even when the scope body panics), so every borrow
-        // captured by `job` is live until after the job completes. The
-        // transmute only erases the `'env` lifetime to `'static`.
-        let job: Job = unsafe { std::mem::transmute::<Box<dyn FnOnce() + Send + 'env>, Job>(job) };
+        // returning (even when the scope body panics), and every spawn —
+        // including one from inside a running task — increments `pending`
+        // before the spawning task's own decrement, so every borrow captured
+        // by `job` (environment or scope-local) is live until after the job
+        // completes. The transmute only erases the `'scope` lifetime to
+        // `'static`.
+        let job: Job =
+            unsafe { std::mem::transmute::<Box<dyn FnOnce() + Send + 'scope>, Job>(job) };
         self.pool.shared.submit(job);
     }
 }
@@ -848,6 +954,131 @@ mod tests {
             });
         }
         assert_eq!(counter.load(Ordering::SeqCst), 40);
+    }
+
+    #[test]
+    fn tasks_spawn_continuations_onto_their_own_scope() {
+        // A running task discovers more work and submits it to the same
+        // scope (the pipelined dispatch pattern: a scatter task seals a
+        // partition and spawns its compute task). The barrier must count
+        // the continuations.
+        let pool = WorkerPool::new(4);
+        let counter = AtomicU64::new(0);
+        pool.scope(|s| {
+            for _ in 0..8 {
+                let counter = &counter;
+                s.spawn(move || {
+                    counter.fetch_add(1, Ordering::SeqCst);
+                    // Two generations of continuations, spawned from workers.
+                    s.spawn(move || {
+                        counter.fetch_add(10, Ordering::SeqCst);
+                        s.spawn(move || {
+                            counter.fetch_add(100, Ordering::SeqCst);
+                        });
+                    });
+                });
+            }
+        });
+        assert_eq!(counter.load(Ordering::SeqCst), 8 * 111);
+    }
+
+    #[test]
+    fn continuation_panic_still_propagates() {
+        let pool = WorkerPool::new(2);
+        let result = catch_unwind(AssertUnwindSafe(|| {
+            pool.scope(|s| {
+                s.spawn(move || {
+                    s.spawn(|| panic!("continuation boom"));
+                });
+            });
+        }));
+        let payload = result.expect_err("scope should rethrow the continuation panic");
+        let msg = payload
+            .downcast_ref::<&str>()
+            .copied()
+            .unwrap_or_else(|| payload.downcast_ref::<String>().unwrap().as_str());
+        assert!(msg.contains("continuation boom"));
+    }
+
+    #[test]
+    fn nested_scope_from_worker_completes() {
+        // A pool task opens its own scope. The blocked worker must help run
+        // the nested tasks rather than queueing behind its own scope.
+        let pool = WorkerPool::new(3);
+        let before = pool.metrics();
+        let total = AtomicU64::new(0);
+        pool.scope(|s| {
+            for _ in 0..4 {
+                let pool = &pool;
+                let total = &total;
+                s.spawn(move || {
+                    let inner = AtomicU64::new(0);
+                    pool.scope(|nested| {
+                        for _ in 0..8 {
+                            let inner = &inner;
+                            nested.spawn(move || {
+                                inner.fetch_add(1, Ordering::SeqCst);
+                            });
+                        }
+                    });
+                    total.fetch_add(inner.load(Ordering::SeqCst), Ordering::SeqCst);
+                });
+            }
+        });
+        assert_eq!(total.load(Ordering::SeqCst), 32);
+        let delta = pool.metrics().delta_since(&before);
+        assert_eq!(delta.nested_scopes, 4, "each task's scope counts as nested: {delta:?}");
+        assert_eq!(delta.tasks_executed, 4 + 32);
+    }
+
+    #[test]
+    fn nested_scope_on_single_worker_pool_cannot_deadlock() {
+        // The regression the helping wait exists for: on a pool of one, a
+        // task's nested scope submits into the only deque — the deque the
+        // nesting task itself is blocking. Helping runs them inline.
+        let pool = WorkerPool::new(1);
+        let observed = AtomicU64::new(0);
+        pool.scope(|s| {
+            let pool = &pool;
+            let observed = &observed;
+            s.spawn(move || {
+                pool.scope(|nested| {
+                    for _ in 0..5 {
+                        nested.spawn(move || {
+                            observed.fetch_add(1, Ordering::SeqCst);
+                        });
+                    }
+                });
+                // And map_indexed (built on scope) must nest too.
+                let out = pool.map_indexed(vec![1u64, 2, 3], |_, x| x * 2);
+                observed.fetch_add(out.iter().sum::<u64>(), Ordering::SeqCst);
+            });
+        });
+        assert_eq!(observed.load(Ordering::SeqCst), 5 + 12);
+    }
+
+    #[test]
+    fn nested_scope_metrics_are_monotonic() {
+        let pool = WorkerPool::new(2);
+        let mut prev = pool.metrics();
+        assert_eq!(prev.nested_scopes, 0);
+        for round in 0..3 {
+            pool.scope(|s| {
+                let pool = &pool;
+                s.spawn(move || {
+                    pool.scope(|nested| {
+                        nested.spawn(std::thread::yield_now);
+                    });
+                });
+            });
+            let now = pool.metrics();
+            assert!(now.nested_scopes > prev.nested_scopes, "round {round}: {now:?}");
+            assert!(now.tasks_executed >= prev.tasks_executed);
+            prev = now;
+        }
+        // Top-level scopes never count as nested.
+        pool.scope(|s| s.spawn(|| {}));
+        assert_eq!(pool.metrics().nested_scopes, prev.nested_scopes);
     }
 
     #[test]

@@ -53,6 +53,22 @@ pub struct VertexicaConfig {
     /// ablation runs), while [`VertexicaConfig::with_parallel_apply`] always
     /// wins.
     pub parallel_apply: bool,
+    /// Fully pipeline the superstep (requires [`streaming`](Self::streaming)):
+    /// every assemble chunk is scattered by a pool task, a cheap key-column
+    /// prescan tells each compute partition how many rows it will receive,
+    /// and the moment a partition's last row lands its worker-UDF task is
+    /// launched — while assemble is still streaming later chunks. Results
+    /// are bitwise-identical to the phased pipelines (the config-matrix
+    /// harness proves all eight {streaming} × {parallel apply} ×
+    /// {pipelined} cells agree). Defaults to on; the environment variable
+    /// `VERTEXICA_PIPELINED=0` flips the *default* off (for CI ablation
+    /// runs), while [`VertexicaConfig::with_pipelined`] always wins.
+    pub pipelined: bool,
+    /// Upper bound on rows per streamed assemble chunk (default
+    /// [`crate::input::STREAM_CHUNK_ROWS`]). Smaller chunks bound peak
+    /// in-flight bytes tighter and give the pipelined dispatcher more
+    /// scatter granularity; larger chunks amortize per-chunk overhead.
+    pub stream_chunk_rows: usize,
     /// Hard cap on supersteps (safety net on top of the program's own limit).
     pub max_supersteps: u64,
     /// Checkpoint every N supersteps into `checkpoint_dir`.
@@ -66,7 +82,20 @@ pub struct VertexicaConfig {
 /// or `off`, case-insensitive) — the hook CI uses to keep the serial apply
 /// path green on every push.
 fn parallel_apply_default() -> bool {
-    match std::env::var("VERTEXICA_PARALLEL_APPLY") {
+    env_toggle_default_on("VERTEXICA_PARALLEL_APPLY")
+}
+
+/// Default for [`VertexicaConfig::pipelined`]: on, unless the
+/// `VERTEXICA_PIPELINED` environment variable disables it (`0`, `false` or
+/// `off`, case-insensitive) — the hook CI uses to keep the phased streaming
+/// pipeline green on every push.
+fn pipelined_default() -> bool {
+    env_toggle_default_on("VERTEXICA_PIPELINED")
+}
+
+/// `true` unless `var` is set to `0`/`false`/`off` (case-insensitive).
+fn env_toggle_default_on(var: &str) -> bool {
+    match std::env::var(var) {
         Ok(v) => !matches!(v.trim().to_ascii_lowercase().as_str(), "0" | "false" | "off"),
         Err(_) => true,
     }
@@ -83,6 +112,8 @@ impl Default for VertexicaConfig {
             use_combiner: true,
             streaming: true,
             parallel_apply: parallel_apply_default(),
+            pipelined: pipelined_default(),
+            stream_chunk_rows: crate::input::STREAM_CHUNK_ROWS,
             max_supersteps: 10_000,
             checkpoint_every: None,
             checkpoint_dir: None,
@@ -123,6 +154,16 @@ impl VertexicaConfig {
 
     pub fn with_parallel_apply(mut self, on: bool) -> Self {
         self.parallel_apply = on;
+        self
+    }
+
+    pub fn with_pipelined(mut self, on: bool) -> Self {
+        self.pipelined = on;
+        self
+    }
+
+    pub fn with_stream_chunk_rows(mut self, rows: usize) -> Self {
+        self.stream_chunk_rows = rows.max(1);
         self
     }
 

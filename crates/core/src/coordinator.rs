@@ -19,10 +19,21 @@
 //!    partition finishes;
 //! 5. synchronization barrier, aggregator exchange, halt check.
 //!
+//! By default steps 1–3 are **fully pipelined**
+//! ([`vertexica_sql::Database::run_transform_pipelined`]): a key-column
+//! prescan ([`crate::input::partition_row_plan`]) tells each partition how
+//! many rows it will receive, assemble chunks are scattered by pool tasks,
+//! and a partition's worker UDF launches the moment its last row lands —
+//! while assemble is still streaming later chunks. The overlap actually
+//! achieved is reported per superstep as
+//! [`SuperstepStats::overlap_secs`].
+//!
 //! Each superstep's [`SuperstepStats`] carries the pipeline's observability:
-//! pool queue-wait and steal counts, plus peak/total in-flight input bytes.
-//! `VertexicaConfig::with_streaming(false)` restores the original
-//! materialize-everything pipeline (kept for ablations and equivalence
+//! pool queue-wait, steal and nested-scope counts, compute/assemble overlap,
+//! plus peak/total in-flight input bytes.
+//! `VertexicaConfig::with_pipelined(false)` restores the phased streaming
+//! pipeline and `VertexicaConfig::with_streaming(false)` the original
+//! materialize-everything pipeline (both kept for ablations and equivalence
 //! tests).
 
 use std::sync::{Arc, Mutex};
@@ -65,11 +76,20 @@ pub struct SuperstepStats {
     /// Width of the apply fan-out: segment buckets built in parallel on the
     /// pool (1 when the serial one-shot SQL apply path ran).
     pub apply_parallelism: usize,
+    /// Seconds worker-UDF compute tasks ran **while assemble was still
+    /// streaming chunks** — the overlap the pipelined dataflow exists to
+    /// create. Zero for the phased pipelines (`pipelined`/`streaming` off)
+    /// and on a single-worker pool (nothing is concurrent).
+    pub overlap_secs: f64,
     /// Cumulative seconds this superstep's pool tasks spent queued before a
     /// worker picked them up (from [`vertexica_common::runtime::PoolMetrics`]).
     pub queue_wait_secs: f64,
     /// Pool tasks this superstep obtained by work stealing.
     pub steals: u64,
+    /// Scopes entered from inside a pool task this superstep (nested
+    /// parallelism, e.g. a big partition's worker sorting its input on the
+    /// pool), from [`vertexica_common::runtime::PoolMetrics::nested_scopes`].
+    pub nested_scopes: u64,
     /// Largest single in-flight input batch, in estimated bytes. Streaming
     /// keeps this far below [`input_bytes`](Self::input_bytes); the
     /// materialized pipeline holds the whole input at once, so there the two
@@ -171,6 +191,88 @@ pub fn resume_program<P: VertexProgram + 'static>(
     Ok(stats)
 }
 
+/// Wall-clock phases and byte accounting of one superstep's
+/// assemble/partition/compute stages. In the pipelined shape
+/// `assemble_secs` and `compute_secs` overlap by construction;
+/// `overlap_secs` says by how much.
+struct ExecProfile {
+    assemble_secs: f64,
+    compute_secs: f64,
+    overlap_secs: f64,
+    input_bytes: usize,
+    peak_batch_bytes: usize,
+}
+
+/// Runs one streaming superstep's assemble → partition → compute stages,
+/// delivering each partition's worker output to `sink` as the partition
+/// finishes.
+///
+/// With `config.pipelined` this is the fully overlapped dataflow
+/// ([`vertexica_sql::Database::run_transform_pipelined`]): the key-column
+/// prescan plans per-partition completion, chunks are scattered by pool
+/// tasks, and sealed partitions start computing while assemble still
+/// streams. Without it, the phased form: scatter every chunk on this
+/// thread, then compute all partitions.
+fn run_streaming_compute(
+    session: &GraphSession,
+    config: &VertexicaConfig,
+    worker: &Arc<dyn TransformUdf>,
+    sink: &(dyn Fn(usize, Vec<vertexica_storage::RecordBatch>) -> vertexica_sql::SqlResult<()>
+          + Sync),
+) -> VertexicaResult<ExecProfile> {
+    let num_partitions = config.num_partitions.max(1);
+    if config.pipelined {
+        let plan = crate::input::partition_row_plan(session, config.input_mode, num_partitions)?;
+        let report = session.db().run_transform_pipelined(
+            worker,
+            vec![0],
+            num_partitions,
+            plan,
+            &mut |chunk_sink| {
+                assemble_chunks(
+                    session,
+                    config.input_mode,
+                    config.stream_chunk_rows,
+                    &mut |chunk| chunk_sink(chunk).map_err(VertexicaError::from),
+                )
+                .map_err(|e| match e {
+                    VertexicaError::Sql(e) => e,
+                    other => vertexica_sql::SqlError::Execution(other.to_string()),
+                })
+            },
+            sink,
+        )?;
+        return Ok(ExecProfile {
+            assemble_secs: report.assemble_secs,
+            compute_secs: report.compute_secs,
+            overlap_secs: report.overlap_secs,
+            input_bytes: report.input_bytes,
+            peak_batch_bytes: report.peak_chunk_bytes,
+        });
+    }
+    let sw = Stopwatch::start();
+    let mut partitioner = StreamingPartitioner::new(vec![0], num_partitions);
+    let mut total = 0usize;
+    let mut peak = 0usize;
+    assemble_chunks(session, config.input_mode, config.stream_chunk_rows, &mut |chunk| {
+        let bytes = chunk.estimated_bytes();
+        total += bytes;
+        peak = peak.max(bytes);
+        partitioner.push(&chunk).map_err(VertexicaError::from)
+    })?;
+    let partitions = partitioner.finish();
+    let assemble_secs = sw.elapsed_secs();
+    let sw = Stopwatch::start();
+    session.db().run_transform_streamed(worker, partitions, sink)?;
+    Ok(ExecProfile {
+        assemble_secs,
+        compute_secs: sw.elapsed_secs(),
+        overlap_secs: 0.0,
+        input_bytes: total,
+        peak_batch_bytes: peak,
+    })
+}
+
 fn superstep_loop<P: VertexProgram + 'static>(
     session: &GraphSession,
     program: Arc<P>,
@@ -202,40 +304,20 @@ fn superstep_loop<P: VertexProgram + 'static>(
             }
         }
 
-        // 1 + 2. Assemble input and hash-partition it on vid. The streaming
-        // pipeline scatters each chunk into the partitioner as it is
-        // produced, so the unpartitioned union never exists in full; the
-        // materialized pipeline (config.streaming = false) is the original
-        // assemble-then-partition sequence.
-        let sw = Stopwatch::start();
-        let (partitions, input_bytes, peak_batch_bytes) = if config.streaming {
-            let mut partitioner = StreamingPartitioner::new(vec![0], config.num_partitions.max(1));
-            let mut total = 0usize;
-            let mut peak = 0usize;
-            assemble_chunks(session, config.input_mode, &mut |chunk| {
-                let bytes = chunk.estimated_bytes();
-                total += bytes;
-                peak = peak.max(bytes);
-                partitioner.push(&chunk).map_err(VertexicaError::from)
-            })?;
-            (partitioner.finish(), total, peak)
-        } else {
-            let input = assemble(session, config.input_mode)?;
-            let bytes: usize = input.iter().map(|b| b.estimated_bytes()).sum();
-            let partitions = if config.num_partitions <= 1 {
-                vec![input]
-            } else {
-                hash_partition(&input, &[0], config.num_partitions)?
-            };
-            // Fully materialized: the whole input is one in-flight unit.
-            (partitions, bytes, bytes)
-        };
-        let assemble_secs = sw.elapsed_secs();
-
-        // 3. Parallel workers on the shared pool (+ 4. apply). Streaming
-        // execution folds each partition's output into the accumulator the
-        // moment that partition finishes; the table writes happen once at
-        // the end either way.
+        // 1–3. Assemble, partition and compute; 4. apply. Three execution
+        // shapes share the apply sinks:
+        //
+        // * **pipelined** (default): assemble chunks are scattered by pool
+        //   tasks and each partition's worker UDF launches the moment the
+        //   partition seals — assemble and compute genuinely overlap;
+        // * **streamed** (`pipelined` off): assemble scatters into the
+        //   partitioner on this thread, then all partitions compute;
+        // * **materialized** (`streaming` off): the original
+        //   assemble-then-partition-then-compute sequence.
+        //
+        // Either way, streaming execution folds each partition's output into
+        // the apply collector the moment that partition finishes; the table
+        // writes happen once at the end.
         let pool_before = session.db().runtime().metrics();
         let worker: Arc<dyn TransformUdf> = Arc::new(VertexWorker {
             program: program.clone(),
@@ -243,25 +325,24 @@ fn superstep_loop<P: VertexProgram + 'static>(
             num_vertices,
             prev_aggregates: Arc::new(prev_aggregates.clone()),
             use_combiner: config.use_combiner,
+            pool: Some(session.db().runtime().clone()),
         });
-        let sw = Stopwatch::start();
-        let (outcome, compute_secs, apply_secs) = if config.streaming && config.parallel_apply {
+        let (outcome, profile, apply_secs) = if config.streaming && config.parallel_apply {
             // Segment-parallel apply: each partition's output is parsed and
             // canonicalized on the pool worker that finished it; the final
             // table writes are per-bucket segment builds on the same pool,
             // committed by an atomic catalog-level contents swap.
             let apply = ParallelApply::for_program(program.as_ref(), config.num_workers.max(1));
-            session.db().run_transform_streamed(&worker, partitions, &|idx, out| {
+            let profile = run_streaming_compute(session, config, &worker, &|idx, out| {
                 apply.absorb(idx, &out).map_err(|e| vertexica_sql::SqlError::Udf(e.to_string()))
             })?;
-            let compute_secs = sw.elapsed_secs();
             let sw = Stopwatch::start();
             let outcome = apply_parallel(session, program.as_ref(), config, apply, num_vertices)?;
-            (outcome, compute_secs, sw.elapsed_secs())
+            (outcome, profile, sw.elapsed_secs())
         } else if config.streaming {
             let template = OutputAccumulator::for_program(program.as_ref());
             let acc = Mutex::new(template.fork());
-            session.db().run_transform_streamed(&worker, partitions, &|idx, out| {
+            let profile = run_streaming_compute(session, config, &worker, &|idx, out| {
                 // Parse outside the shared lock (absorb clones every blob);
                 // only the cheap vector merge is serialized.
                 let mut local = template.fork();
@@ -269,17 +350,33 @@ fn superstep_loop<P: VertexProgram + 'static>(
                 acc.lock().unwrap().merge(local);
                 Ok(())
             })?;
-            let compute_secs = sw.elapsed_secs();
             let sw = Stopwatch::start();
             let acc = acc.into_inner().unwrap();
             let outcome = apply_accumulated(session, program.as_ref(), config, acc, num_vertices)?;
-            (outcome, compute_secs, sw.elapsed_secs())
+            (outcome, profile, sw.elapsed_secs())
         } else {
+            let sw = Stopwatch::start();
+            let input = assemble(session, config.input_mode)?;
+            let bytes: usize = input.iter().map(|b| b.estimated_bytes()).sum();
+            let partitions = if config.num_partitions <= 1 {
+                vec![input]
+            } else {
+                hash_partition(&input, &[0], config.num_partitions)?
+            };
+            let assemble_secs = sw.elapsed_secs();
+            let sw = Stopwatch::start();
             let outputs = session.db().run_transform_partitions(&worker, partitions)?;
-            let compute_secs = sw.elapsed_secs();
+            let profile = ExecProfile {
+                assemble_secs,
+                compute_secs: sw.elapsed_secs(),
+                overlap_secs: 0.0,
+                // Fully materialized: the whole input is one in-flight unit.
+                input_bytes: bytes,
+                peak_batch_bytes: bytes,
+            };
             let sw = Stopwatch::start();
             let outcome = apply_outputs(session, program.as_ref(), config, outputs, num_vertices)?;
-            (outcome, compute_secs, sw.elapsed_secs())
+            (outcome, profile, sw.elapsed_secs())
         };
         let pool_delta = session.db().runtime().metrics().delta_since(&pool_before);
 
@@ -289,14 +386,16 @@ fn superstep_loop<P: VertexProgram + 'static>(
             messages: outcome.messages,
             vertex_changes: outcome.vertex_changes,
             replaced: outcome.replaced,
-            assemble_secs,
-            compute_secs,
+            assemble_secs: profile.assemble_secs,
+            compute_secs: profile.compute_secs,
             apply_secs,
             apply_parallelism: outcome.apply_parallelism,
+            overlap_secs: profile.overlap_secs,
             queue_wait_secs: pool_delta.queue_wait_secs,
             steals: pool_delta.tasks_stolen,
-            peak_batch_bytes,
-            input_bytes,
+            nested_scopes: pool_delta.nested_scopes,
+            peak_batch_bytes: profile.peak_batch_bytes,
+            input_bytes: profile.input_bytes,
         });
         stats.total_messages += outcome.messages as u64;
         stats.supersteps = superstep + 1 - start_superstep;

@@ -17,9 +17,10 @@ use crate::config::InputMode;
 use crate::error::{VertexicaError, VertexicaResult};
 use crate::session::GraphSession;
 
-/// Upper bound on rows per streamed input chunk. Storage segments are
-/// usually the natural chunk size; this cap only kicks in when one segment
-/// is huge, keeping peak in-flight chunk bytes bounded.
+/// Default upper bound on rows per streamed input chunk
+/// ([`crate::config::VertexicaConfig::stream_chunk_rows`] overrides it).
+/// Storage segments are usually the natural chunk size; this cap only kicks
+/// in when one segment is huge, keeping peak in-flight chunk bytes bounded.
 pub const STREAM_CHUNK_ROWS: usize = 65_536;
 
 /// Tuple-kind discriminator for vertex rows in the common schema.
@@ -66,14 +67,17 @@ pub fn assemble(session: &GraphSession, mode: InputMode) -> VertexicaResult<Vec<
 /// segment by segment, and each scanned batch is re-shaped into the common
 /// schema with constant/null companion columns — the same rows the UNION ALL
 /// query produces, without materializing their concatenation. Chunks larger
-/// than [`STREAM_CHUNK_ROWS`] are split. [`InputMode::ThreeWayJoin`] is
-/// inherently materialized (its dedup needs the whole join result), so it
-/// assembles eagerly and replays the result through `sink`.
+/// than `chunk_rows` are split. [`InputMode::ThreeWayJoin`] replays the join
+/// result through the same sink: the joined table itself is produced by the
+/// SQL engine, but the re-shaped (deduplicated) union-schema rows stream out
+/// chunk by chunk instead of materializing end-to-end.
 pub fn assemble_chunks(
     session: &GraphSession,
     mode: InputMode,
+    chunk_rows: usize,
     sink: &mut dyn FnMut(RecordBatch) -> VertexicaResult<()>,
 ) -> VertexicaResult<()> {
+    let chunk_rows = chunk_rows.max(1);
     match mode {
         InputMode::TableUnion => {
             let schema = union_schema();
@@ -91,7 +95,7 @@ pub fn assemble_chunks(
                         batch.column(2).clone(),
                     ],
                 )?;
-                emit_capped(chunk, sink)?;
+                emit_capped(chunk, chunk_rows, sink)?;
             }
             // Edge rows: (src, dst, weight, …) → (src, 1, dst, weight, NULL, NULL).
             // Project to the three consumed columns; `created`/`etype` would
@@ -109,7 +113,7 @@ pub fn assemble_chunks(
                         Column::repeat(DataType::Bool, &Value::Null, n)?,
                     ],
                 )?;
-                emit_capped(chunk, sink)?;
+                emit_capped(chunk, chunk_rows, sink)?;
             }
             // Message rows: (recipient, sender, value) → (recipient, 2, sender, NULL, value, NULL).
             for batch in session.db().scan_table(&session.message_table(), None, &[])? {
@@ -125,37 +129,78 @@ pub fn assemble_chunks(
                         Column::repeat(DataType::Bool, &Value::Null, n)?,
                     ],
                 )?;
-                emit_capped(chunk, sink)?;
+                emit_capped(chunk, chunk_rows, sink)?;
             }
             Ok(())
         }
-        InputMode::ThreeWayJoin => {
-            for batch in assemble_join(session)? {
-                emit_capped(batch, sink)?;
-            }
-            Ok(())
-        }
+        InputMode::ThreeWayJoin => assemble_join_chunks(session, chunk_rows, sink),
     }
 }
 
-/// Feeds `chunk` to the sink, split into [`STREAM_CHUNK_ROWS`]-row pieces
-/// when oversized.
+/// Feeds `chunk` to the sink, split into `chunk_rows`-row pieces when
+/// oversized.
 fn emit_capped(
     chunk: RecordBatch,
+    chunk_rows: usize,
     sink: &mut dyn FnMut(RecordBatch) -> VertexicaResult<()>,
 ) -> VertexicaResult<()> {
     let n = chunk.num_rows();
-    if n <= STREAM_CHUNK_ROWS {
+    if n <= chunk_rows {
         return sink(chunk);
     }
     let mut start = 0;
     while start < n {
-        let end = (start + STREAM_CHUNK_ROWS).min(n);
+        let end = (start + chunk_rows).min(n);
         let indices: Vec<usize> = (start..end).collect();
         sink(chunk.take(&indices).map_err(VertexicaError::from)?)?;
         start = end;
     }
     Ok(())
+}
+
+/// How much input each compute partition will eventually receive, for
+/// pipelined per-partition completion detection: `plan[p]` is the number of
+/// union-schema rows hashing (on `vid`) to partition `p`.
+///
+/// This is how the chunk sources "declare which partitions they can still
+/// touch": a cheap prescan of each source table's **key column only** (one
+/// BIGINT column out of six — the blob payloads that dominate assemble are
+/// never decoded) hashes every future row with the exact rule the scatter
+/// uses, so the moment partition `p` has received `plan[p]` rows, no later
+/// chunk can touch it and its compute task can launch. Returns `None` for
+/// [`InputMode::ThreeWayJoin`]: the join replay's row placement isn't known
+/// until the join runs, so its partitions stay open-ended (sealed only at
+/// end-of-stream).
+pub fn partition_row_plan(
+    session: &GraphSession,
+    mode: InputMode,
+    num_partitions: usize,
+) -> VertexicaResult<Option<Vec<u64>>> {
+    if mode != InputMode::TableUnion {
+        return Ok(None);
+    }
+    let num_partitions = num_partitions.max(1);
+    let mut plan = vec![0u64; num_partitions];
+    // The three sources' key columns: vertex id, edge src, message
+    // recipient — each is column 0 of its table and becomes `vid` (the
+    // partition key) in the union schema.
+    for table in [session.vertex_table(), session.edge_table(), session.message_table()] {
+        for batch in session.db().scan_table(&table, Some(&[0]), &[])? {
+            if num_partitions == 1 {
+                plan[0] += batch.num_rows() as u64;
+                continue;
+            }
+            let assign = vertexica_storage::partition::partition_assignments(
+                std::slice::from_ref(&batch),
+                &[0],
+                num_partitions,
+            );
+            for &p in &assign[0] {
+                plan[p] += 1;
+            }
+        }
+    }
+    Ok(Some(plan))
 }
 
 /// The paper's strategy: rename to a common schema and UNION ALL.
@@ -182,15 +227,36 @@ fn assemble_union(session: &GraphSession) -> VertexicaResult<Vec<RecordBatch>> {
         .collect()
 }
 
+/// The naive baseline, materialized: collects the streaming reshape of
+/// [`assemble_join_chunks`] (kept for the materialized pipeline and tests).
+fn assemble_join(session: &GraphSession) -> VertexicaResult<Vec<RecordBatch>> {
+    let mut out = Vec::new();
+    assemble_join_chunks(session, STREAM_CHUNK_ROWS, &mut |b| {
+        out.push(b);
+        Ok(())
+    })?;
+    Ok(out)
+}
+
 /// The naive baseline: a 3-way join producing the per-vertex cartesian
-/// product of edges × messages, then re-shaped (with deduplication) into the
+/// product of edges × messages, re-shaped (with deduplication) into the
 /// common schema so the same worker can consume it. The join cost *and* the
 /// dedup cost are the point of the ablation.
+///
+/// The join result itself comes out of the SQL engine, but the re-shape now
+/// **streams**: each join batch is deduplicated against the running seen-sets
+/// and its surviving union-schema rows are emitted to `sink` immediately, so
+/// the re-shaped table never materializes end-to-end (the seen-sets — keys
+/// only — are the remaining inherent memory cost of the join formulation).
 ///
 /// Limitation (inherent to the join formulation): duplicate edges and
 /// byte-identical duplicate messages to the same vertex collapse. The default
 /// union mode has no such restriction.
-fn assemble_join(session: &GraphSession) -> VertexicaResult<Vec<RecordBatch>> {
+fn assemble_join_chunks(
+    session: &GraphSession,
+    chunk_rows: usize,
+    sink: &mut dyn FnMut(RecordBatch) -> VertexicaResult<()>,
+) -> VertexicaResult<()> {
     let sql = format!(
         "SELECT v.id, v.value, v.halted, m.sender, m.value AS mvalue, e.dst, e.weight \
          FROM {v} v \
@@ -203,13 +269,15 @@ fn assemble_join(session: &GraphSession) -> VertexicaResult<Vec<RecordBatch>> {
     let batches = session.db().execute(&sql)?.into_batches()?;
 
     // Re-shape into union-schema rows, deduplicating the cartesian blowup.
+    // The seen-sets span batches; the reshaped rows do not.
     use vertexica_common::FxHashSet;
     let mut seen_vertex: FxHashSet<i64> = FxHashSet::default();
     let mut seen_edge: FxHashSet<(i64, i64, u64)> = FxHashSet::default();
     let mut seen_msg: FxHashSet<(i64, i64, Vec<u8>)> = FxHashSet::default();
 
-    let mut rows: Vec<Vec<Value>> = Vec::new();
+    let schema = union_schema();
     for batch in &batches {
+        let mut rows: Vec<Vec<Value>> = Vec::new();
         for i in 0..batch.num_rows() {
             let r = batch.row(i);
             let vid = r[0]
@@ -252,8 +320,11 @@ fn assemble_join(session: &GraphSession) -> VertexicaResult<Vec<RecordBatch>> {
                 }
             }
         }
+        if !rows.is_empty() {
+            emit_capped(RecordBatch::from_rows(schema.clone(), &rows)?, chunk_rows, sink)?;
+        }
     }
-    Ok(vec![RecordBatch::from_rows(union_schema(), &rows)?])
+    Ok(())
 }
 
 #[cfg(test)]
@@ -315,7 +386,7 @@ mod tests {
 
     fn collect_chunks(g: &GraphSession, mode: InputMode) -> Vec<RecordBatch> {
         let mut chunks = Vec::new();
-        assemble_chunks(g, mode, &mut |b| {
+        assemble_chunks(g, mode, STREAM_CHUNK_ROWS, &mut |b| {
             chunks.push(b);
             Ok(())
         })
@@ -372,11 +443,74 @@ mod tests {
             .collect();
         let big = RecordBatch::from_rows(union_schema(), &rows).unwrap();
         let mut sizes = Vec::new();
-        emit_capped(big, &mut |b| {
+        emit_capped(big, STREAM_CHUNK_ROWS, &mut |b| {
             sizes.push(b.num_rows());
             Ok(())
         })
         .unwrap();
         assert_eq!(sizes, vec![STREAM_CHUNK_ROWS, 10]);
+    }
+
+    #[test]
+    fn custom_chunk_cap_bounds_every_chunk() {
+        let g = session_with_graph();
+        let mut sizes = Vec::new();
+        assemble_chunks(&g, InputMode::TableUnion, 2, &mut |b| {
+            sizes.push(b.num_rows());
+            Ok(())
+        })
+        .unwrap();
+        assert!(sizes.iter().all(|&n| n <= 2), "cap violated: {sizes:?}");
+        assert_eq!(sizes.iter().sum::<usize>(), 6); // 3 vertices + 3 edges
+    }
+
+    #[test]
+    fn partition_row_plan_matches_actual_scatter() {
+        use vertexica_storage::partition::StreamingPartitioner;
+        let g = session_with_graph();
+        let msgs = message_batch(&[(2, 0, 1.0f64.to_bytes()), (1, 0, 2.0f64.to_bytes())]).unwrap();
+        g.db().append_batches(&g.message_table(), &[msgs]).unwrap();
+
+        for parts in [1usize, 3, 8] {
+            let plan = partition_row_plan(&g, InputMode::TableUnion, parts).unwrap().unwrap();
+            assert_eq!(plan.len(), parts);
+            let mut partitioner = StreamingPartitioner::new(vec![0], parts);
+            assemble_chunks(&g, InputMode::TableUnion, STREAM_CHUNK_ROWS, &mut |b| {
+                partitioner.push(&b).map_err(VertexicaError::from)
+            })
+            .unwrap();
+            let scattered: Vec<u64> = partitioner
+                .finish()
+                .iter()
+                .map(|p| p.iter().map(|b| b.num_rows() as u64).sum())
+                .collect();
+            assert_eq!(plan, scattered, "{parts} partitions: plan must equal the real scatter");
+        }
+    }
+
+    #[test]
+    fn join_mode_has_no_row_plan() {
+        let g = session_with_graph();
+        assert!(partition_row_plan(&g, InputMode::ThreeWayJoin, 4).unwrap().is_none());
+    }
+
+    #[test]
+    fn join_mode_streams_multiple_chunks_with_global_dedup() {
+        let g = session_with_graph();
+        let msgs = message_batch(&[(0, 1, 1.5f64.to_bytes()), (0, 2, 2.5f64.to_bytes())]).unwrap();
+        g.db().append_batches(&g.message_table(), &[msgs]).unwrap();
+
+        // A tiny cap forces many chunks out of the join replay; dedup must
+        // still be global (same multiset as the one-shot reshape).
+        let mut chunks = Vec::new();
+        assemble_chunks(&g, InputMode::ThreeWayJoin, 2, &mut |b| {
+            chunks.push(b);
+            Ok(())
+        })
+        .unwrap();
+        assert!(chunks.len() > 1, "expected the join replay to stream in pieces");
+        assert!(chunks.iter().all(|b| b.num_rows() <= 2));
+        let materialized = assemble(&g, InputMode::ThreeWayJoin).unwrap();
+        assert_eq!(sorted_rows(&materialized), sorted_rows(&chunks));
     }
 }

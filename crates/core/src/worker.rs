@@ -12,11 +12,19 @@ use std::sync::Arc;
 use vertexica_common::graph::{Edge, VertexId};
 use vertexica_common::hash::FxHashMap;
 use vertexica_common::pregel::{AggKind, VertexContext, VertexProgram};
+use vertexica_common::runtime::WorkerPool;
 use vertexica_common::VertexData;
 use vertexica_sql::{SqlError, SqlResult, TransformUdf};
 use vertexica_storage::{ColumnBuilder, DataType, Field, RecordBatch, Schema, Value};
 
 use crate::input::{KIND_EDGE, KIND_MESSAGE, KIND_VERTEX};
+
+/// Partitions at or above this row count sort their canonical input order
+/// on the pool (chunk sorts in parallel + pairwise merges) instead of on
+/// the worker alone. The worker itself runs *on* a pool thread, so this is
+/// a nested scope — the runtime's help-first barrier makes it safe at any
+/// pool size.
+pub const PARALLEL_SORT_MIN_ROWS: usize = 4096;
 
 /// Output-row kinds emitted by workers.
 pub const OUT_STATE: i64 = 0;
@@ -49,6 +57,9 @@ pub struct VertexWorker<P: VertexProgram> {
     pub prev_aggregates: Arc<FxHashMap<String, f64>>,
     /// Pre-combine messages per recipient within the partition.
     pub use_combiner: bool,
+    /// The shared runtime pool, for sorting big partitions with nested
+    /// parallelism (`None`: always sort on the calling thread).
+    pub pool: Option<Arc<WorkerPool>>,
 }
 
 /// The `VertexContext` handed to user compute functions.
@@ -106,6 +117,30 @@ impl<'a, P: VertexProgram> VertexContext<P::Value, P::Message> for WorkerCtx<'a,
     }
 }
 
+/// Merges two runs sorted under `cmp` into one. Ties take from `a` first;
+/// tying rows are byte-identical under the total order, so merge order
+/// cannot change compute.
+fn merge_runs(
+    a: Vec<usize>,
+    b: Vec<usize>,
+    cmp: &impl Fn(usize, usize) -> std::cmp::Ordering,
+) -> Vec<usize> {
+    let mut out = Vec::with_capacity(a.len() + b.len());
+    let (mut ai, mut bi) = (0, 0);
+    while ai < a.len() && bi < b.len() {
+        if cmp(a[ai], b[bi]).is_le() {
+            out.push(a[ai]);
+            ai += 1;
+        } else {
+            out.push(b[bi]);
+            bi += 1;
+        }
+    }
+    out.extend_from_slice(&a[ai..]);
+    out.extend_from_slice(&b[bi..]);
+    out
+}
+
 impl<P: VertexProgram> VertexWorker<P> {
     fn decode_value(bytes: &[u8]) -> SqlResult<P::Value> {
         P::Value::from_bytes(bytes)
@@ -158,10 +193,10 @@ impl<P: VertexProgram> TransformUdf for VertexWorker<P> {
         // order than the serial one. With a total order, any two runs that
         // agree on partition *contents* produce bitwise-identical compute —
         // which the config-matrix equivalence harness asserts. Rows tying on
-        // every column are interchangeable, so `sort_unstable` is safe.
+        // every column are interchangeable, so `sort_unstable` (and any
+        // run-merge order in the parallel sort) is safe.
         let tiebreak_cols = [other_col, weight_col, payload_col, halted_col];
-        let mut order: Vec<usize> = (0..n).collect();
-        order.sort_unstable_by(|&a, &b| {
+        let cmp = |a: usize, b: usize| {
             (vids[a], kinds[a]).cmp(&(vids[b], kinds[b])).then_with(|| {
                 for col in tiebreak_cols {
                     let ord = col.value(a).total_cmp(&col.value(b));
@@ -171,7 +206,36 @@ impl<P: VertexProgram> TransformUdf for VertexWorker<P> {
                 }
                 std::cmp::Ordering::Equal
             })
-        });
+        };
+        let mut order: Vec<usize> = (0..n).collect();
+        let lanes = self.pool.as_ref().map_or(1, |p| p.size());
+        if n >= PARALLEL_SORT_MIN_ROWS && lanes > 1 {
+            // Big partition: sort contiguous runs as pool tasks — a nested
+            // scope when this worker itself runs on the pool — then merge.
+            let pool = self.pool.as_ref().expect("lanes > 1 implies a pool");
+            let run_len = n.div_ceil(lanes);
+            pool.scope(|s| {
+                for run in order.chunks_mut(run_len) {
+                    let cmp = &cmp;
+                    s.spawn(move || run.sort_unstable_by(|&a, &b| cmp(a, b)));
+                }
+            });
+            let mut runs: Vec<Vec<usize>> = order.chunks(run_len).map(<[usize]>::to_vec).collect();
+            while runs.len() > 1 {
+                let mut next = Vec::with_capacity(runs.len().div_ceil(2));
+                let mut it = runs.into_iter();
+                while let Some(a) = it.next() {
+                    match it.next() {
+                        Some(b) => next.push(merge_runs(a, b, &cmp)),
+                        None => next.push(a),
+                    }
+                }
+                runs = next;
+            }
+            order = runs.pop().unwrap_or_default();
+        } else {
+            order.sort_unstable_by(|&a, &b| cmp(a, b));
+        }
 
         // Outputs.
         let mut state_rows: Vec<(VertexId, Vec<u8>, bool)> = Vec::new();
@@ -429,6 +493,7 @@ mod tests {
             num_vertices: 3,
             prev_aggregates: Arc::new(FxHashMap::default()),
             use_combiner: combiner,
+            pool: None,
         }
     }
 
@@ -510,6 +575,57 @@ mod tests {
         let out = worker(1, false).execute(vec![input]).unwrap();
         // No crash; only vertex 0's state.
         assert!(rows_of_kind(&out, OUT_STATE).len() <= 1);
+    }
+
+    #[test]
+    fn parallel_sort_is_bitwise_identical_to_serial() {
+        // A partition big enough to cross PARALLEL_SORT_MIN_ROWS, with
+        // deliberately shuffled rows: the pooled sort path must produce
+        // byte-identical output batches to the pool-less worker — and, when
+        // invoked from inside a pool task (as the engine does), must
+        // register as a *nested* scope.
+        let n_vertices = PARALLEL_SORT_MIN_ROWS / 2;
+        let vertices: Vec<(u64, f64, bool)> =
+            (0..n_vertices as u64).map(|i| (i, (i % 97) as f64, false)).collect();
+        let edges: Vec<(u64, u64)> =
+            (0..n_vertices as u64).map(|i| (i, (i * 31 + 7) % n_vertices as u64)).collect();
+        let msgs: Vec<(u64, u64, f64)> = (0..n_vertices as u64)
+            .map(|i| (i, (i + 1) % n_vertices as u64, (i % 13) as f64))
+            .collect();
+        let mut input = build_input(&vertices, &edges, &msgs);
+        // Shuffle rows deterministically so the sort has real work.
+        let rows = input.num_rows();
+        let perm: Vec<usize> = (0..rows).map(|i| (i * 7919) % rows).collect();
+        // 7919 is prime and rows isn't a multiple of it ⇒ perm is a bijection.
+        assert_eq!(perm.iter().collect::<std::collections::HashSet<_>>().len(), rows);
+        input = input.take(&perm).unwrap();
+        assert!(input.num_rows() >= PARALLEL_SORT_MIN_ROWS);
+
+        let serial = worker(1, true).execute(vec![input.clone()]).unwrap();
+
+        let pool = Arc::new(WorkerPool::new(4));
+        let mut pooled_worker = worker(1, true);
+        pooled_worker.pool = Some(pool.clone());
+        let before = pool.metrics();
+        // Run the worker the way the engine does: as a pool task.
+        let result: std::sync::Mutex<Option<SqlResult<Vec<RecordBatch>>>> =
+            std::sync::Mutex::new(None);
+        pool.scope(|s| {
+            let result = &result;
+            let pooled_worker = &pooled_worker;
+            let input = input.clone();
+            s.spawn(move || {
+                *result.lock().unwrap() = Some(pooled_worker.execute(vec![input]));
+            });
+        });
+        let pooled = result.into_inner().unwrap().unwrap().unwrap();
+        let delta = pool.metrics().delta_since(&before);
+        assert!(delta.nested_scopes >= 1, "pooled sort from a worker must nest: {delta:?}");
+
+        let rows_of = |out: &[RecordBatch]| -> Vec<Vec<Value>> {
+            out.iter().flat_map(|b| (0..b.num_rows()).map(move |i| b.row(i))).collect()
+        };
+        assert_eq!(rows_of(&serial), rows_of(&pooled));
     }
 
     #[test]

@@ -1,13 +1,15 @@
 //! The `Database` façade: catalog + SQL execution + UDx + stored procedures.
 
 use std::collections::HashMap;
-use std::sync::{Arc, Mutex};
+use std::sync::atomic::{AtomicBool, AtomicUsize, Ordering};
+use std::sync::{Arc, Condvar, Mutex};
+use std::time::Instant;
 
 use parking_lot::RwLock;
-use vertexica_common::runtime::WorkerPool;
+use vertexica_common::runtime::{Scope, WorkerPool};
 use vertexica_storage::{
-    partition::hash_partition, Catalog, ColumnPredicate, Field, RecordBatch, Row, Schema,
-    TableOptions, Value,
+    partition::{hash_partition, split_batch, StreamingPartitioner},
+    Catalog, ColumnPredicate, Field, RecordBatch, Row, Schema, TableOptions, Value,
 };
 
 use crate::ast::{InsertSource, Statement};
@@ -541,6 +543,216 @@ impl Database {
         Ok(collected.into_iter().flat_map(|(_, out)| out).collect())
     }
 
+    /// Fully pipelined transform execution: overlaps input production,
+    /// partition scatter and per-partition compute on the shared pool.
+    ///
+    /// `produce` is called once, on the calling thread, with a chunk sink;
+    /// every chunk it emits is handed to a **scatter task** on the pool,
+    /// which hashes the chunk's rows into per-partition pieces
+    /// ([`vertexica_storage::partition::split_batch`], outside any lock) and
+    /// files them with a shared sealing
+    /// [`StreamingPartitioner`]. The moment a
+    /// partition's last expected row lands (`expected_rows`, from the
+    /// caller's source prescan), the scatter task **spawns that partition's
+    /// compute task from the worker it is running on** — a continuation
+    /// spawn onto the same scope — so compute genuinely starts while the
+    /// producer is still streaming later chunks. Partitions not covered by
+    /// a plan (`expected_rows = None`, e.g. the 3-way-join replay) are
+    /// dispatched when production and scattering have both finished.
+    ///
+    /// `sink` has the same contract as in
+    /// [`run_transform_streamed`](Self::run_transform_streamed): called once
+    /// per non-empty partition from whichever worker finished it, in
+    /// nondeterministic order; the first error (producer, scatter, UDF or
+    /// sink) wins and suppresses all later work. On a single-worker pool the
+    /// whole dataflow degenerates to the sequential scatter-then-compute
+    /// order (no overlap, trivially equivalent).
+    ///
+    /// Two guards keep the dataflow honest. **Backpressure**: at most
+    /// `2 × pool size` produced chunks may be in flight (spawned but not yet
+    /// scattered) — the producer blocks until a scatter task frees a slot,
+    /// so a fast producer cannot queue the whole input in worker deques and
+    /// void the streaming memory bound. **Plan enforcement**: with
+    /// `expected_rows`, a partition receiving *more* rows than planned
+    /// errors at the scatter, and a partition still waiting for rows when
+    /// the stream ends (an overstated plan) errors at the drain — silent
+    /// truncation and silent degradation are both impossible.
+    ///
+    /// The returned [`PipelinedReport`] carries the overlap accounting: how
+    /// long compute tasks ran concurrently with the assemble window (start
+    /// of production → last chunk scattered).
+    pub fn run_transform_pipelined(
+        &self,
+        udf: &Arc<dyn TransformUdf>,
+        key_columns: Vec<usize>,
+        num_partitions: usize,
+        expected_rows: Option<Vec<u64>>,
+        produce: &mut dyn FnMut(&mut ChunkSink<'_>) -> SqlResult<()>,
+        sink: &(dyn Fn(usize, Vec<RecordBatch>) -> SqlResult<()> + Sync),
+    ) -> SqlResult<PipelinedReport> {
+        let num_partitions = num_partitions.max(1);
+        let start = Instant::now();
+        let planned = expected_rows.is_some();
+        let partitioner = match expected_rows {
+            Some(plan) => {
+                StreamingPartitioner::with_expected_rows(key_columns.clone(), num_partitions, plan)
+            }
+            None => StreamingPartitioner::new(key_columns.clone(), num_partitions),
+        };
+
+        if self.runtime.size() <= 1 {
+            // Sequential fallback: scatter inline, compute after the stream
+            // ends. Nothing runs concurrently, so overlap is honestly zero.
+            let mut partitioner = partitioner;
+            let mut input_bytes = 0usize;
+            let mut peak_chunk_bytes = 0usize;
+            let mut sealed: Vec<(usize, Vec<RecordBatch>)> = Vec::new();
+            produce(&mut |chunk| {
+                let bytes = chunk.estimated_bytes();
+                input_bytes += bytes;
+                peak_chunk_bytes = peak_chunk_bytes.max(bytes);
+                let pieces = split_batch(&chunk, &key_columns, num_partitions)?;
+                sealed.extend(partitioner.absorb(pieces)?);
+                Ok(())
+            })?;
+            if planned && !partitioner.fully_sealed() {
+                return Err(plan_underdelivery_error());
+            }
+            sealed.extend(partitioner.drain_unsealed());
+            let assemble_secs = start.elapsed().as_secs_f64();
+            let compute_start = Instant::now();
+            sealed.sort_by_key(|(idx, _)| *idx);
+            let had_work = !sealed.is_empty();
+            for (idx, batches) in sealed {
+                sink(idx, udf.execute(batches)?)?;
+            }
+            return Ok(PipelinedReport {
+                assemble_secs,
+                compute_secs: if had_work { compute_start.elapsed().as_secs_f64() } else { 0.0 },
+                overlap_secs: 0.0,
+                input_bytes,
+                peak_chunk_bytes,
+                peak_inflight_chunks: usize::from(input_bytes > 0),
+                early_dispatches: 0,
+            });
+        }
+
+        let shared = PipeShared {
+            udf,
+            sink,
+            partitioner: Mutex::new(partitioner),
+            key_columns,
+            num_partitions,
+            planned,
+            failure: Mutex::new(None),
+            windows: Mutex::new(Vec::new()),
+            scatter_pending: AtomicUsize::new(0),
+            produced_all: AtomicBool::new(false),
+            assemble_end: Mutex::new(None),
+            early_dispatches: AtomicUsize::new(0),
+            inflight: Mutex::new(0),
+            inflight_freed: Condvar::new(),
+            inflight_cap: self.runtime.size().saturating_mul(2).max(2),
+        };
+        let mut input_bytes = 0usize;
+        let mut peak_chunk_bytes = 0usize;
+        let mut peak_inflight_chunks = 0usize;
+
+        self.runtime.scope(|scope| {
+            let shared = &shared;
+            let result = produce(&mut |chunk| {
+                if let Some(e) = shared.failure.lock().unwrap().as_ref() {
+                    // Fail fast: no point streaming further chunks.
+                    return Err(SqlError::Execution(format!("pipelined run failed: {e}")));
+                }
+                let bytes = chunk.estimated_bytes();
+                input_bytes += bytes;
+                peak_chunk_bytes = peak_chunk_bytes.max(bytes);
+                {
+                    // Backpressure: never let more than `inflight_cap`
+                    // produced chunks sit unscattered in worker deques —
+                    // that would re-materialize the input the streaming
+                    // pipeline exists to avoid. Progress is guaranteed:
+                    // every spawned scatter task eventually runs and frees
+                    // its slot (even when an earlier failure short-circuits
+                    // its work).
+                    let mut inflight = shared.inflight.lock().unwrap();
+                    while *inflight >= shared.inflight_cap {
+                        inflight = shared.inflight_freed.wait(inflight).unwrap();
+                    }
+                    *inflight += 1;
+                    peak_inflight_chunks = peak_inflight_chunks.max(*inflight);
+                }
+                shared.scatter_pending.fetch_add(1, Ordering::SeqCst);
+                scope.spawn(move || {
+                    if shared.failure.lock().unwrap().is_none() {
+                        let sealed =
+                            split_batch(&chunk, &shared.key_columns, shared.num_partitions)
+                                .map_err(SqlError::from)
+                                .and_then(|pieces| {
+                                    shared
+                                        .partitioner
+                                        .lock()
+                                        .unwrap()
+                                        .absorb(pieces)
+                                        .map_err(Into::into)
+                                });
+                        match sealed {
+                            Ok(sealed) => pipe_dispatch(shared, scope, sealed, true),
+                            Err(e) => shared.fail(e),
+                        }
+                    }
+                    {
+                        let mut inflight = shared.inflight.lock().unwrap();
+                        *inflight -= 1;
+                        shared.inflight_freed.notify_one();
+                    }
+                    // Last scatter out (with production finished) closes the
+                    // assemble window and dispatches open-ended partitions.
+                    if shared.scatter_pending.fetch_sub(1, Ordering::SeqCst) == 1
+                        && shared.produced_all.load(Ordering::SeqCst)
+                    {
+                        pipe_finish_assemble(shared, scope);
+                    }
+                });
+                Ok(())
+            });
+            if let Err(e) = result {
+                shared.fail(e);
+            }
+            shared.produced_all.store(true, Ordering::SeqCst);
+            if shared.scatter_pending.load(Ordering::SeqCst) == 0 {
+                pipe_finish_assemble(shared, scope);
+            }
+        });
+
+        if let Some(e) = shared.failure.into_inner().unwrap() {
+            return Err(e);
+        }
+        let scope_end = Instant::now();
+        let assemble_end = shared.assemble_end.into_inner().unwrap().unwrap_or(scope_end);
+        let windows = shared.windows.into_inner().unwrap();
+        let overlap_secs: f64 = windows
+            .iter()
+            .map(|(s, e)| e.min(&assemble_end).saturating_duration_since(*s).as_secs_f64())
+            .sum();
+        let compute_secs = windows
+            .iter()
+            .map(|(s, _)| *s)
+            .min()
+            .map(|first| scope_end.saturating_duration_since(first).as_secs_f64())
+            .unwrap_or(0.0);
+        Ok(PipelinedReport {
+            assemble_secs: assemble_end.saturating_duration_since(start).as_secs_f64(),
+            compute_secs,
+            overlap_secs,
+            input_bytes,
+            peak_chunk_bytes,
+            peak_inflight_chunks,
+            early_dispatches: shared.early_dispatches.load(Ordering::Relaxed),
+        })
+    }
+
     /// Segment-write fast path: encodes one ROS segment per batch **in
     /// parallel on the shared runtime pool** and atomically replaces
     /// `table`'s contents with exactly those segments (keeping its schema,
@@ -648,6 +860,152 @@ impl Database {
     }
 }
 
+/// The chunk consumer a [`Database::run_transform_pipelined`] producer is
+/// handed: call it once per produced input chunk.
+pub type ChunkSink<'a> = dyn FnMut(RecordBatch) -> SqlResult<()> + 'a;
+
+/// What a [`Database::run_transform_pipelined`] call observed about its own
+/// overlap. All times are wall-clock seconds.
+#[derive(Debug, Clone, Default)]
+pub struct PipelinedReport {
+    /// Production start → last chunk scattered (the assemble window).
+    pub assemble_secs: f64,
+    /// First compute task start → last task finished. Overlaps
+    /// [`assemble_secs`](Self::assemble_secs) by construction.
+    pub compute_secs: f64,
+    /// Total seconds compute tasks ran **while the assemble window was
+    /// still open** — the quantity pipelining exists to create. Zero in the
+    /// sequential fallback.
+    pub overlap_secs: f64,
+    /// Total produced input, in estimated bytes.
+    pub input_bytes: usize,
+    /// Largest single produced chunk, in estimated bytes.
+    pub peak_chunk_bytes: usize,
+    /// Most chunks simultaneously in flight (spawned to a scatter task but
+    /// not yet scattered). Bounded by the producer backpressure at
+    /// `2 × pool size`, which is what keeps queued-chunk memory from
+    /// re-materializing the input when production outpaces scatter.
+    pub peak_inflight_chunks: usize,
+    /// Partitions whose compute was dispatched by a **seal** (before the
+    /// assemble window closed), as opposed to the end-of-stream drain.
+    pub early_dispatches: usize,
+}
+
+/// Shared state of one pipelined transform run. Lives in the caller's frame
+/// for the duration of the scope; scatter tasks, compute tasks and the
+/// producer all hold `&PipeShared`.
+struct PipeShared<'a> {
+    udf: &'a Arc<dyn TransformUdf>,
+    sink: &'a (dyn Fn(usize, Vec<RecordBatch>) -> SqlResult<()> + Sync),
+    partitioner: Mutex<StreamingPartitioner>,
+    key_columns: Vec<usize>,
+    num_partitions: usize,
+    /// Whether the partitioner was armed with an expected-rows plan — in
+    /// which case *every* partition must seal by itself and an end-of-stream
+    /// drain that finds leftovers is a plan violation.
+    planned: bool,
+    /// First error from any stage; later work short-circuits on it.
+    failure: Mutex<Option<SqlError>>,
+    /// (start, end) of every compute task, for overlap accounting.
+    windows: Mutex<Vec<(Instant, Instant)>>,
+    /// Chunks handed to scatter tasks but not yet fully scattered.
+    scatter_pending: AtomicUsize,
+    /// The producer has emitted its last chunk.
+    produced_all: AtomicBool,
+    /// When the last chunk finished scattering (closes the assemble window;
+    /// doubles as the run-once latch for the end-of-stream drain).
+    assemble_end: Mutex<Option<Instant>>,
+    early_dispatches: AtomicUsize,
+    /// Producer backpressure: chunks spawned to scatter tasks but not yet
+    /// scattered, capped at `inflight_cap` (the producer blocks on
+    /// `inflight_freed` until a scatter task frees a slot).
+    inflight: Mutex<usize>,
+    inflight_freed: Condvar,
+    inflight_cap: usize,
+}
+
+/// The error for a planned pipelined run whose stream ended before every
+/// partition sealed — the plan overstated some partition's rows (the
+/// understated direction errors in `StreamingPartitioner::absorb`).
+fn plan_underdelivery_error() -> SqlError {
+    SqlError::Execution(
+        "pipelined plan violation: input stream ended before every partition \
+         received its expected rows (prescan and scatter disagree)"
+            .into(),
+    )
+}
+
+impl PipeShared<'_> {
+    fn fail(&self, e: SqlError) {
+        let mut slot = self.failure.lock().unwrap();
+        if slot.is_none() {
+            *slot = Some(e);
+        }
+    }
+}
+
+/// Spawns one compute task per sealed partition — from whatever thread
+/// observed the seal, which on the hot path is a pool worker running a
+/// scatter task (a continuation spawn onto its own scope).
+fn pipe_dispatch<'scope, 'env>(
+    shared: &'env PipeShared<'env>,
+    scope: &'scope Scope<'scope, 'env>,
+    sealed: Vec<(usize, Vec<RecordBatch>)>,
+    early: bool,
+) {
+    for (idx, batches) in sealed {
+        if early {
+            shared.early_dispatches.fetch_add(1, Ordering::Relaxed);
+        }
+        scope.spawn(move || {
+            if shared.failure.lock().unwrap().is_some() {
+                return; // an earlier stage failed: skip the work
+            }
+            let start = Instant::now();
+            let result = shared.udf.execute(batches).and_then(|out| {
+                if shared.failure.lock().unwrap().is_some() {
+                    return Ok(()); // a failure landed while we computed
+                }
+                (shared.sink)(idx, out)
+            });
+            let end = Instant::now();
+            shared.windows.lock().unwrap().push((start, end));
+            if let Err(e) = result {
+                shared.fail(e);
+            }
+        });
+    }
+}
+
+/// Closes the assemble window (run-once) and dispatches whatever the seals
+/// didn't: the open-ended partitions of a plan-less run. On a *planned* run
+/// every partition must have sealed by now — leftovers mean the plan
+/// overstated a partition's rows, and silently computing them here would
+/// mask the plan bug (and quietly forfeit the pipelining), so it errors
+/// instead. Called by whichever of {producer, last scatter task} finishes
+/// second.
+fn pipe_finish_assemble<'scope, 'env>(
+    shared: &'env PipeShared<'env>,
+    scope: &'scope Scope<'scope, 'env>,
+) {
+    let drained = {
+        let mut end = shared.assemble_end.lock().unwrap();
+        if end.is_some() {
+            return; // both sides raced here; first one already drained
+        }
+        *end = Some(Instant::now());
+        let mut partitioner = shared.partitioner.lock().unwrap();
+        if shared.planned && !partitioner.fully_sealed() {
+            // `fail` keeps the first error, so a stream that stopped early
+            // because something already failed is not re-flagged.
+            shared.fail(plan_underdelivery_error());
+            return;
+        }
+        partitioner.drain_unsealed()
+    };
+    pipe_dispatch(shared, scope, drained, false);
+}
+
 #[cfg(test)]
 mod tests {
     use super::*;
@@ -691,6 +1049,76 @@ mod tests {
         let n =
             db.query_int("SELECT COUNT(*) FROM edge e1 JOIN edge e2 ON e1.dst = e2.src").unwrap();
         assert_eq!(n, 7);
+    }
+
+    #[test]
+    fn two_column_int_join_end_to_end() {
+        // Exercises the composite (i64, i64) hash-join fast path: edge
+        // identity self-join, plus an inner join against a subset.
+        let db = db_with_edges();
+        let n = db
+            .query_int(
+                "SELECT COUNT(*) FROM edge e1 JOIN edge e2 \
+                 ON e1.src = e2.src AND e1.dst = e2.dst",
+            )
+            .unwrap();
+        assert_eq!(n, 5, "edge identity self-join matches each edge exactly once");
+
+        db.execute("CREATE TABLE hot AS SELECT src, dst FROM edge WHERE weight >= 4.0").unwrap();
+        let rows = db
+            .query(
+                "SELECT e.src, e.dst, e.weight FROM edge e JOIN hot h \
+                 ON e.src = h.src AND e.dst = h.dst ORDER BY e.dst",
+            )
+            .unwrap();
+        assert_eq!(
+            rows,
+            vec![
+                vec![Value::Int(2), Value::Int(0), Value::Float(4.0)],
+                vec![Value::Int(2), Value::Int(3), Value::Float(5.0)],
+            ]
+        );
+        // LEFT JOIN through the same fast path: non-hot edges null-extend.
+        let nulls = db
+            .query_int(
+                "SELECT COUNT(*) FROM edge e LEFT JOIN hot h \
+                 ON e.src = h.src AND e.dst = h.dst WHERE h.src IS NULL",
+            )
+            .unwrap();
+        assert_eq!(nulls, 3);
+    }
+
+    #[test]
+    fn generic_key_join_agrees_with_int_fast_path() {
+        // The same equi-join computed over BIGINT keys (fast path) and over
+        // the keys cast to FLOAT (generic scratch-buffer path) must agree.
+        let db = db_with_edges();
+        db.execute(
+            "CREATE TABLE fedge AS SELECT CAST(src AS FLOAT) AS fsrc, \
+             CAST(dst AS FLOAT) AS fdst, weight FROM edge",
+        )
+        .unwrap();
+        let fast = db
+            .query_int(
+                "SELECT COUNT(*) FROM edge e1 JOIN edge e2 \
+                 ON e1.src = e2.src AND e1.dst = e2.dst",
+            )
+            .unwrap();
+        let generic = db
+            .query_int(
+                "SELECT COUNT(*) FROM fedge f1 JOIN fedge f2 \
+                 ON f1.fsrc = f2.fsrc AND f1.fdst = f2.fdst",
+            )
+            .unwrap();
+        assert_eq!(fast, generic);
+        // Duplicate generic keys still fan out (scratch-buffer reuse must
+        // not corrupt previously inserted keys).
+        let by_weight =
+            db.query_int("SELECT COUNT(*) FROM edge e1 JOIN edge e2 ON e1.src = e2.dst").unwrap();
+        let by_fweight = db
+            .query_int("SELECT COUNT(*) FROM fedge f1 JOIN fedge f2 ON f1.fsrc = f2.fdst")
+            .unwrap();
+        assert_eq!(by_weight, by_fweight);
     }
 
     #[test]
@@ -973,6 +1401,263 @@ mod tests {
             })
             .unwrap_err();
         assert!(err.to_string().contains("sink rejects"));
+    }
+
+    /// One single-column int chunk per element of `chunks`.
+    fn int_chunks(chunks: &[Vec<i64>]) -> Vec<RecordBatch> {
+        chunks.iter().map(|c| int_partition(c).remove(0)).collect()
+    }
+
+    /// The expected-rows plan for `chunks` hashed on column 0.
+    fn chunk_plan(chunks: &[RecordBatch], parts: usize) -> Vec<u64> {
+        let mut plan = vec![0u64; parts];
+        for assign in vertexica_storage::partition::partition_assignments(chunks, &[0], parts) {
+            for p in assign {
+                plan[p] += 1;
+            }
+        }
+        plan
+    }
+
+    /// Runs the pipelined path over `chunks` and returns (report, outputs
+    /// keyed by partition index, canonicalized).
+    #[allow(clippy::type_complexity)]
+    fn run_pipelined(
+        db: &Database,
+        udf: &Arc<dyn TransformUdf>,
+        chunks: Vec<RecordBatch>,
+        parts: usize,
+        plan: Option<Vec<u64>>,
+    ) -> SqlResult<(PipelinedReport, Vec<(usize, Vec<i64>)>)> {
+        let seen = Mutex::new(Vec::new());
+        let report = db.run_transform_pipelined(
+            udf,
+            vec![0],
+            parts,
+            plan,
+            &mut |sink| {
+                for c in chunks.clone() {
+                    sink(c)?;
+                }
+                Ok(())
+            },
+            &|idx, out| {
+                let mut vals: Vec<i64> =
+                    out.iter().flat_map(|b| b.column(0).as_int().unwrap().to_vec()).collect();
+                vals.sort_unstable();
+                seen.lock().unwrap().push((idx, vals));
+                Ok(())
+            },
+        )?;
+        let mut seen = seen.into_inner().unwrap();
+        seen.sort();
+        Ok((report, seen))
+    }
+
+    #[test]
+    fn pipelined_run_matches_materialized_partitioning() {
+        // The pipelined dataflow must deliver, per partition, exactly the
+        // rows the one-shot hash partitioning assigns it — at every pool
+        // size including the sequential fallback, with and without a plan.
+        let chunks = int_chunks(&[
+            (0..40).collect::<Vec<i64>>(),
+            (40..55).collect(),
+            vec![],
+            (55..97).collect(),
+        ]);
+        let parts = 6;
+        let reference: Vec<(usize, Vec<i64>)> = {
+            let parted = hash_partition(&chunks, &[0], parts).unwrap();
+            parted
+                .iter()
+                .enumerate()
+                .filter(|(_, bs)| bs.iter().any(|b| b.num_rows() > 0))
+                .map(|(i, bs)| {
+                    let mut vals: Vec<i64> =
+                        bs.iter().flat_map(|b| b.column(0).as_int().unwrap().to_vec()).collect();
+                    vals.sort_unstable();
+                    (i, vals)
+                })
+                .collect()
+        };
+        for workers in [1usize, 4] {
+            for planned in [true, false] {
+                let db = Database::new();
+                db.set_worker_threads(workers);
+                let udf: Arc<dyn TransformUdf> = Tagger::new(0);
+                let plan = planned.then(|| chunk_plan(&chunks, parts));
+                let (report, seen) = run_pipelined(&db, &udf, chunks.clone(), parts, plan).unwrap();
+                assert_eq!(seen, reference, "workers={workers} planned={planned}");
+                assert!(report.input_bytes > 0);
+                assert!(report.peak_chunk_bytes <= report.input_bytes);
+            }
+        }
+    }
+
+    #[test]
+    fn pipelined_plan_dispatches_before_assemble_finishes() {
+        // Each chunk holds keys of a single partition, and the producer
+        // sleeps between chunks: with a plan, partition p's compute must
+        // launch while later chunks are still being produced.
+        let parts = 4;
+        let mut per_part: Vec<Vec<i64>> = vec![Vec::new(); parts];
+        let mut k = 0i64;
+        while per_part.iter().any(|v| v.len() < 8) {
+            per_part[vertexica_storage::partition::int_key_partition(k, parts)].push(k);
+            k += 1;
+        }
+        let chunks = int_chunks(&per_part);
+        let plan = chunk_plan(&chunks, parts);
+
+        let db = Database::new();
+        db.set_worker_threads(4);
+        let udf: Arc<dyn TransformUdf> = Tagger::new(5);
+        let seen = Mutex::new(0usize);
+        let report = db
+            .run_transform_pipelined(
+                &udf,
+                vec![0],
+                parts,
+                Some(plan),
+                &mut |sink| {
+                    for c in chunks.clone() {
+                        sink(c)?;
+                        // Keep the assemble window open while sealed
+                        // partitions compute.
+                        std::thread::sleep(std::time::Duration::from_millis(15));
+                    }
+                    Ok(())
+                },
+                &|_, _| {
+                    *seen.lock().unwrap() += 1;
+                    Ok(())
+                },
+            )
+            .unwrap();
+        assert_eq!(*seen.lock().unwrap(), parts);
+        assert!(
+            report.early_dispatches >= parts - 1,
+            "single-partition chunks must seal on arrival: {report:?}"
+        );
+        assert!(
+            report.overlap_secs > 0.0,
+            "compute should have run inside the assemble window: {report:?}"
+        );
+    }
+
+    #[test]
+    fn pipelined_without_plan_dispatches_only_at_drain() {
+        let chunks = int_chunks(&[(0..64).collect::<Vec<i64>>()]);
+        let db = Database::new();
+        db.set_worker_threads(4);
+        let udf: Arc<dyn TransformUdf> = Tagger::new(0);
+        let (report, seen) = run_pipelined(&db, &udf, chunks, 4, None).unwrap();
+        assert_eq!(seen.len(), 4);
+        assert_eq!(report.early_dispatches, 0, "open-ended sources never seal early");
+    }
+
+    #[test]
+    fn pipelined_udf_and_sink_errors_propagate() {
+        struct Failing;
+        impl crate::udf::TransformUdf for Failing {
+            fn name(&self) -> &str {
+                "failing"
+            }
+            fn output_schema(
+                &self,
+                input: &vertexica_storage::Schema,
+            ) -> SqlResult<Arc<vertexica_storage::Schema>> {
+                Ok(Arc::new(input.clone()))
+            }
+            fn execute(&self, _p: Vec<RecordBatch>) -> SqlResult<Vec<RecordBatch>> {
+                Err(SqlError::Udf("pipelined udf failure".into()))
+            }
+        }
+        let chunks = int_chunks(&[(0..32).collect::<Vec<i64>>()]);
+        for workers in [1usize, 4] {
+            let db = Database::new();
+            db.set_worker_threads(workers);
+            let udf: Arc<dyn TransformUdf> = Arc::new(Failing);
+            let err = run_pipelined(&db, &udf, chunks.clone(), 4, None).unwrap_err();
+            assert!(err.to_string().contains("pipelined udf failure"), "workers={workers}");
+
+            let ok: Arc<dyn TransformUdf> = Tagger::new(0);
+            let err = db
+                .run_transform_pipelined(
+                    &ok,
+                    vec![0],
+                    4,
+                    None,
+                    &mut |sink| {
+                        for c in chunks.clone() {
+                            sink(c)?;
+                        }
+                        Ok(())
+                    },
+                    &|_, _| Err(SqlError::Udf("pipelined sink failure".into())),
+                )
+                .unwrap_err();
+            assert!(err.to_string().contains("pipelined sink failure"), "workers={workers}");
+        }
+    }
+
+    #[test]
+    fn pipelined_mismatched_plan_is_an_error() {
+        // A plan that understates a partition's rows means a compute task
+        // could have started on truncated input — loud failure required.
+        let chunks = int_chunks(&[(0..64).collect::<Vec<i64>>()]);
+        let parts = 4;
+        let mut plan = chunk_plan(&chunks, parts);
+        let victim = plan.iter().position(|&n| n > 1).unwrap();
+        plan[victim] -= 1;
+        let db = Database::new();
+        db.set_worker_threads(4);
+        let udf: Arc<dyn TransformUdf> = Tagger::new(0);
+        assert!(run_pipelined(&db, &udf, chunks, parts, Some(plan)).is_err());
+    }
+
+    #[test]
+    fn pipelined_overstated_plan_is_an_error() {
+        // The other direction: a plan promising rows that never arrive
+        // would leave the partition to the end-of-stream drain — silently
+        // masking the plan bug and forfeiting the pipelining — so the run
+        // must fail loudly instead, at every pool size.
+        let chunks = int_chunks(&[(0..64).collect::<Vec<i64>>()]);
+        let parts = 4;
+        let mut plan = chunk_plan(&chunks, parts);
+        plan[0] += 1;
+        for workers in [1usize, 4] {
+            let db = Database::new();
+            db.set_worker_threads(workers);
+            let udf: Arc<dyn TransformUdf> = Tagger::new(0);
+            let err =
+                run_pipelined(&db, &udf, chunks.clone(), parts, Some(plan.clone())).unwrap_err();
+            assert!(
+                err.to_string().contains("plan violation"),
+                "workers={workers}: unexpected error {err}"
+            );
+        }
+    }
+
+    #[test]
+    fn pipelined_producer_is_backpressured() {
+        // A producer that can emit chunks much faster than busy workers
+        // scatter them must be throttled: in-flight chunks stay bounded by
+        // 2 × pool size, so queued chunks can never re-materialize the
+        // input. Slow compute keeps both workers busy while the producer
+        // races ahead.
+        let many: Vec<Vec<i64>> = (0..48).map(|c| vec![c, c + 100, c + 200]).collect();
+        let chunks = int_chunks(&many);
+        let db = Database::new();
+        db.set_worker_threads(2);
+        let udf: Arc<dyn TransformUdf> = Tagger::new(2);
+        let (report, seen) = run_pipelined(&db, &udf, chunks, 4, None).unwrap();
+        assert_eq!(seen.iter().map(|(_, v)| v.len()).sum::<usize>(), 48 * 3);
+        assert!(report.peak_inflight_chunks >= 1);
+        assert!(
+            report.peak_inflight_chunks <= 4,
+            "producer outran the backpressure cap: {report:?}"
+        );
     }
 
     #[test]

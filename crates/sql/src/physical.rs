@@ -247,67 +247,105 @@ fn hash_join(
 
     let mut pairs: Vec<(usize, Option<usize>)> = Vec::new();
 
-    // Fast path: single BIGINT key with no nulls on either side — the shape
-    // of every graph-workload join (vertex ids). Avoids the per-row
-    // `Vec<Value>` key allocation of the generic path.
-    let int_fast = probe_keys.len() == 1
-        && probe.column(probe_keys[0]).as_int().is_some()
-        && probe.column(probe_keys[0]).validity().is_none()
-        && build.column(build_keys[0]).as_int().is_some()
-        && build.column(build_keys[0]).validity().is_none();
-
-    if int_fast {
-        let bkeys = build.column(build_keys[0]).as_int().unwrap();
-        let pkeys = probe.column(probe_keys[0]).as_int().unwrap();
-        let mut table: FxHashMap<i64, Vec<usize>> = FxHashMap::default();
-        table.reserve(bkeys.len());
-        for (i, &k) in bkeys.iter().enumerate() {
-            table.entry(k).or_default().push(i);
-        }
-        pairs.reserve(pkeys.len());
-        for (i, k) in pkeys.iter().enumerate() {
-            match table.get(k) {
-                Some(matches) => {
-                    for &m in matches {
-                        pairs.push((i, Some(m)));
+    match (int_key_cols(probe, &probe_keys), int_key_cols(build, &build_keys)) {
+        // Fast path: single BIGINT key. Avoids the per-row key
+        // materialization of the generic path entirely.
+        (Some(p), Some(b)) if probe_keys.len() == 1 => {
+            let (pkeys, bkeys) = (p[0], b[0]);
+            let mut table: FxHashMap<i64, Vec<usize>> = FxHashMap::default();
+            table.reserve(bkeys.len());
+            for (i, &k) in bkeys.iter().enumerate() {
+                table.entry(k).or_default().push(i);
+            }
+            pairs.reserve(pkeys.len());
+            for (i, k) in pkeys.iter().enumerate() {
+                match table.get(k) {
+                    Some(matches) => {
+                        for &m in matches {
+                            pairs.push((i, Some(m)));
+                        }
+                    }
+                    None => {
+                        if outer {
+                            pairs.push((i, None));
+                        }
                     }
                 }
-                None => {
+            }
+        }
+        // Fast path: composite two-column BIGINT key (e.g. joining on
+        // (src, dst) edge identity) — a `(i64, i64)` hash key instead of
+        // two boxed `Value`s per row.
+        (Some(p), Some(b)) if probe_keys.len() == 2 => {
+            let mut table: FxHashMap<(i64, i64), Vec<usize>> = FxHashMap::default();
+            table.reserve(b[0].len());
+            for (i, (&k0, &k1)) in b[0].iter().zip(b[1]).enumerate() {
+                table.entry((k0, k1)).or_default().push(i);
+            }
+            pairs.reserve(p[0].len());
+            for (i, (&k0, &k1)) in p[0].iter().zip(p[1]).enumerate() {
+                match table.get(&(k0, k1)) {
+                    Some(matches) => {
+                        for &m in matches {
+                            pairs.push((i, Some(m)));
+                        }
+                    }
+                    None => {
+                        if outer {
+                            pairs.push((i, None));
+                        }
+                    }
+                }
+            }
+        }
+        // Generic path: hash the build side on dynamic keys, reusing one
+        // scratch key buffer per side — a fresh `Vec<Value>` is only
+        // allocated when a *distinct* build key enters the table (its
+        // buffer moves in and the scratch is re-armed).
+        _ => {
+            let mut table: FxHashMap<GroupKey, Vec<usize>> = FxHashMap::default();
+            let mut scratch: Vec<Value> = Vec::with_capacity(build_keys.len());
+            for i in 0..build.num_rows() {
+                scratch.clear();
+                scratch.extend(build_keys.iter().map(|&c| build.column(c).value(i)));
+                if scratch.iter().any(|v| v.is_null()) {
+                    continue; // NULL keys never match.
+                }
+                let key = GroupKey(std::mem::take(&mut scratch));
+                match table.get_mut(&key) {
+                    Some(rows) => {
+                        rows.push(i);
+                        scratch = key.0; // recover the buffer
+                    }
+                    None => {
+                        table.insert(key, vec![i]);
+                        scratch = Vec::with_capacity(build_keys.len());
+                    }
+                }
+            }
+            for i in 0..probe.num_rows() {
+                scratch.clear();
+                scratch.extend(probe_keys.iter().map(|&c| probe.column(c).value(i)));
+                if scratch.iter().any(|v| v.is_null()) {
                     if outer {
                         pairs.push((i, None));
                     }
+                    continue;
                 }
-            }
-        }
-    } else {
-        // Generic path: hash the build side on dynamic keys.
-        let mut table: FxHashMap<GroupKey, Vec<usize>> = FxHashMap::default();
-        for i in 0..build.num_rows() {
-            let key: Vec<Value> = build_keys.iter().map(|&c| build.column(c).value(i)).collect();
-            if key.iter().any(|v| v.is_null()) {
-                continue; // NULL keys never match.
-            }
-            table.entry(GroupKey(key)).or_default().push(i);
-        }
-        for i in 0..probe.num_rows() {
-            let key: Vec<Value> = probe_keys.iter().map(|&c| probe.column(c).value(i)).collect();
-            if key.iter().any(|v| v.is_null()) {
-                if outer {
-                    pairs.push((i, None));
-                }
-                continue;
-            }
-            match table.get(&GroupKey(key)) {
-                Some(matches) => {
-                    for &m in matches {
-                        pairs.push((i, Some(m)));
+                let key = GroupKey(std::mem::take(&mut scratch));
+                match table.get(&key) {
+                    Some(matches) => {
+                        for &m in matches {
+                            pairs.push((i, Some(m)));
+                        }
+                    }
+                    None => {
+                        if outer {
+                            pairs.push((i, None));
+                        }
                     }
                 }
-                None => {
-                    if outer {
-                        pairs.push((i, None));
-                    }
-                }
+                scratch = key.0; // probe lookups never surrender the buffer
             }
         }
     }
@@ -318,6 +356,22 @@ fn hash_join(
         .map(|(p, b)| if probe_is_left { (Some(p), b) } else { (b, Some(p)) })
         .collect();
     materialize_join_lr(left, right, &lr_pairs, residual, schema, outer, probe_is_left)
+}
+
+/// A join side's key columns decoded for the int fast paths: `Some` only
+/// when every key column is BIGINT with no nulls — the shape of every
+/// graph-workload join (vertex ids, (src, dst) pairs).
+fn int_key_cols<'a>(batch: &'a RecordBatch, keys: &[usize]) -> Option<Vec<&'a [i64]>> {
+    keys.iter()
+        .map(|&c| {
+            let col = batch.column(c);
+            if col.validity().is_none() {
+                col.as_int()
+            } else {
+                None
+            }
+        })
+        .collect()
 }
 
 fn cross_join_indices(n_left: usize, n_right: usize) -> Vec<(Option<usize>, Option<usize>)> {

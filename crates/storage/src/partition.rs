@@ -7,7 +7,7 @@
 //! SQL engine for parallel hash joins and aggregations.
 
 use crate::batch::RecordBatch;
-use crate::error::StorageResult;
+use crate::error::{StorageError, StorageResult};
 use vertexica_common::hash::mix64;
 
 /// The partition a single non-null integer key lands in — exactly the row
@@ -62,6 +62,40 @@ pub fn hash_partition(
     Ok(partitioner.finish())
 }
 
+/// Splits one chunk into per-partition pieces by hashing `key_columns` —
+/// the pure scatter step of [`StreamingPartitioner::push`], exposed so
+/// concurrent callers (the pipelined superstep dispatcher runs one scatter
+/// task per chunk on the worker pool) can hash and copy rows *outside* the
+/// lock guarding the shared partitioner, then [`StreamingPartitioner::absorb`]
+/// the pieces under it. Only non-empty pieces are returned.
+pub fn split_batch(
+    batch: &RecordBatch,
+    key_columns: &[usize],
+    num_partitions: usize,
+) -> StorageResult<Vec<(usize, RecordBatch)>> {
+    assert!(num_partitions > 0, "num_partitions must be positive");
+    if batch.num_rows() == 0 {
+        return Ok(Vec::new());
+    }
+    if num_partitions == 1 {
+        return Ok(vec![(0, batch.clone())]);
+    }
+    // One source of truth for row placement: the same assignment rule as
+    // the one-shot path.
+    let assign = partition_assignments(std::slice::from_ref(batch), key_columns, num_partitions);
+    let mut indices: Vec<Vec<usize>> = vec![Vec::new(); num_partitions];
+    for (row, &p) in assign[0].iter().enumerate() {
+        indices[p].push(row);
+    }
+    let mut pieces = Vec::new();
+    for (p, idx) in indices.into_iter().enumerate() {
+        if !idx.is_empty() {
+            pieces.push((p, batch.take(&idx)?));
+        }
+    }
+    Ok(pieces)
+}
+
 /// Incremental hash partitioning: feed input one [`RecordBatch`] chunk at a
 /// time and the chunk's rows are scattered to their partitions immediately,
 /// so the caller can drop each chunk right after pushing it. Compared to
@@ -71,17 +105,60 @@ pub fn hash_partition(
 ///
 /// Rows with equal keys always land in the same partition, regardless of
 /// which chunk carried them.
+///
+/// # Per-partition completion detection
+///
+/// A partitioner built with [`StreamingPartitioner::with_expected_rows`]
+/// additionally knows, per partition, how many input rows it will
+/// eventually receive (the chunk sources declare what they can still touch
+/// — in practice a cheap key-column prescan). The moment a partition's last
+/// expected row is scattered the partition **seals**: [`absorb`] hands its
+/// accumulated batches back to the caller, which can start computing on
+/// them while later chunks are still streaming — the heart of the pipelined
+/// superstep. Without a plan (or for open-ended sources like the 3-way-join
+/// replay, whose row placement isn't known up front) nothing seals until
+/// [`drain_unsealed`] is called at end-of-stream.
+///
+/// [`absorb`]: StreamingPartitioner::absorb
+/// [`drain_unsealed`]: StreamingPartitioner::drain_unsealed
 #[derive(Debug)]
 pub struct StreamingPartitioner {
     key_columns: Vec<usize>,
     partitions: Vec<Vec<RecordBatch>>,
+    /// Rows each partition still expects before sealing (`None`: open-ended,
+    /// seal only at [`StreamingPartitioner::drain_unsealed`]).
+    remaining: Option<Vec<u64>>,
+    /// Partitions already handed out by seal or drain; guards double-takes.
+    sealed: Vec<bool>,
 }
 
 impl StreamingPartitioner {
-    /// A partitioner hashing `key_columns` into `num_partitions` outputs.
+    /// A partitioner hashing `key_columns` into `num_partitions` outputs,
+    /// with no completion plan (partitions never seal early).
     pub fn new(key_columns: Vec<usize>, num_partitions: usize) -> Self {
         assert!(num_partitions > 0, "num_partitions must be positive");
-        StreamingPartitioner { key_columns, partitions: vec![Vec::new(); num_partitions] }
+        StreamingPartitioner {
+            key_columns,
+            partitions: vec![Vec::new(); num_partitions],
+            remaining: None,
+            sealed: vec![false; num_partitions],
+        }
+    }
+
+    /// A partitioner that seals each partition the moment its declared row
+    /// count has been scattered. `expected_rows[p]` is the total number of
+    /// input rows (across all chunks and sources) hashing to partition `p`;
+    /// partitions expecting zero rows are sealed (empty) from the start.
+    pub fn with_expected_rows(
+        key_columns: Vec<usize>,
+        num_partitions: usize,
+        expected_rows: Vec<u64>,
+    ) -> Self {
+        assert_eq!(expected_rows.len(), num_partitions, "plan arity must match partitions");
+        let mut p = Self::new(key_columns, num_partitions);
+        p.sealed = expected_rows.iter().map(|&n| n == 0).collect();
+        p.remaining = Some(expected_rows);
+        p
     }
 
     /// The configured number of output partitions.
@@ -89,30 +166,82 @@ impl StreamingPartitioner {
         self.partitions.len()
     }
 
-    /// Scatters one input chunk across the partitions.
+    /// The key columns rows are hashed on.
+    pub fn key_columns(&self) -> &[usize] {
+        &self.key_columns
+    }
+
+    /// Scatters one input chunk across the partitions (sealing, if a plan
+    /// is armed, is reported by [`StreamingPartitioner::absorb`]; `push`
+    /// keeps everything accumulated for [`StreamingPartitioner::finish`]).
     pub fn push(&mut self, batch: &RecordBatch) -> StorageResult<()> {
-        if batch.num_rows() == 0 {
-            return Ok(());
-        }
-        let num_partitions = self.partitions.len();
-        if num_partitions == 1 {
-            self.partitions[0].push(batch.clone());
-            return Ok(());
-        }
-        // One source of truth for row placement: the same assignment rule
-        // as the one-shot path.
-        let assign =
-            partition_assignments(std::slice::from_ref(batch), &self.key_columns, num_partitions);
-        let mut indices: Vec<Vec<usize>> = vec![Vec::new(); num_partitions];
-        for (row, &p) in assign[0].iter().enumerate() {
-            indices[p].push(row);
-        }
-        for (p, idx) in indices.into_iter().enumerate() {
-            if !idx.is_empty() {
-                self.partitions[p].push(batch.take(&idx)?);
-            }
+        let pieces = split_batch(batch, &self.key_columns, self.partitions.len())?;
+        for (p, piece) in pieces {
+            self.partitions[p].push(piece);
         }
         Ok(())
+    }
+
+    /// Files pre-split pieces (from [`split_batch`] with this partitioner's
+    /// key columns and partition count) and returns every partition that
+    /// this call **sealed**: its full accumulated input, moved out. Requires
+    /// an expected-rows plan for anything to seal; receiving more rows than
+    /// a partition declared is a plan violation and errors out (a silent
+    /// excess would mean a compute task already ran on truncated input).
+    pub fn absorb(
+        &mut self,
+        pieces: Vec<(usize, RecordBatch)>,
+    ) -> StorageResult<Vec<(usize, Vec<RecordBatch>)>> {
+        let mut newly_sealed = Vec::new();
+        for (p, piece) in pieces {
+            let rows = piece.num_rows() as u64;
+            if rows == 0 {
+                continue;
+            }
+            if self.sealed[p] {
+                return Err(StorageError::Internal(format!(
+                    "partition {p} received {rows} rows after sealing"
+                )));
+            }
+            self.partitions[p].push(piece);
+            if let Some(remaining) = &mut self.remaining {
+                if remaining[p] < rows {
+                    return Err(StorageError::Internal(format!(
+                        "partition {p} received {rows} rows but expected only {} more",
+                        remaining[p]
+                    )));
+                }
+                remaining[p] -= rows;
+                if remaining[p] == 0 {
+                    self.sealed[p] = true;
+                    newly_sealed.push((p, std::mem::take(&mut self.partitions[p])));
+                }
+            }
+        }
+        Ok(newly_sealed)
+    }
+
+    /// Seals every remaining partition at end-of-stream, returning the
+    /// non-empty ones. This is how open-ended (plan-less) partitions are
+    /// dispatched, and how a planned run recovers if a source under-delivers
+    /// (the caller decides whether that is an error).
+    pub fn drain_unsealed(&mut self) -> Vec<(usize, Vec<RecordBatch>)> {
+        let mut drained = Vec::new();
+        for p in 0..self.partitions.len() {
+            if !self.sealed[p] {
+                self.sealed[p] = true;
+                let batches = std::mem::take(&mut self.partitions[p]);
+                if !batches.is_empty() {
+                    drained.push((p, batches));
+                }
+            }
+        }
+        drained
+    }
+
+    /// True when every partition has been sealed (its input handed out).
+    pub fn fully_sealed(&self) -> bool {
+        self.sealed.iter().all(|&s| s)
     }
 
     /// Consumes the partitioner, returning the accumulated partitions.
@@ -228,6 +357,123 @@ mod tests {
                 );
             }
         }
+    }
+
+    /// Expected-rows plan for a set of chunks: count rows per partition the
+    /// same way the scatter will.
+    fn row_plan(chunks: &[RecordBatch], parts: usize) -> Vec<u64> {
+        let mut plan = vec![0u64; parts];
+        for assign in partition_assignments(chunks, &[0], parts) {
+            for p in assign {
+                plan[p] += 1;
+            }
+        }
+        plan
+    }
+
+    #[test]
+    fn split_batch_matches_push() {
+        let chunks = vec![
+            batch_with_ids(&(0..50).collect::<Vec<_>>()),
+            batch_with_ids(&(50..77).collect::<Vec<_>>()),
+        ];
+        let mut pushed = StreamingPartitioner::new(vec![0], 5);
+        let mut split = StreamingPartitioner::new(vec![0], 5);
+        for c in &chunks {
+            pushed.push(c).unwrap();
+            for (p, piece) in split_batch(c, &[0], 5).unwrap() {
+                split.partitions[p].push(piece);
+            }
+        }
+        let (a, b) = (pushed.finish(), split.finish());
+        for (pa, pb) in a.iter().zip(&b) {
+            let rows_a: Vec<_> = pa.iter().flat_map(|b| b.rows()).collect();
+            let rows_b: Vec<_> = pb.iter().flat_map(|b| b.rows()).collect();
+            assert_eq!(rows_a, rows_b);
+        }
+    }
+
+    #[test]
+    fn partitions_seal_exactly_when_their_last_row_lands() {
+        let chunks: Vec<RecordBatch> = vec![
+            batch_with_ids(&(0..40).collect::<Vec<_>>()),
+            batch_with_ids(&(40..70).collect::<Vec<_>>()),
+            batch_with_ids(&(70..100).collect::<Vec<_>>()),
+        ];
+        let parts = 6;
+        let plan = row_plan(&chunks, parts);
+        // Reference placement from the one-shot path.
+        let one_shot = hash_partition(&chunks, &[0], parts).unwrap();
+
+        let mut partitioner =
+            StreamingPartitioner::with_expected_rows(vec![0], parts, plan.clone());
+        let mut sealed_rows: Vec<Option<Vec<Vec<crate::value::Value>>>> = vec![None; parts];
+        let mut seal_chunk: Vec<Option<usize>> = vec![None; parts];
+        for (ci, c) in chunks.iter().enumerate() {
+            let pieces = split_batch(c, &[0], parts).unwrap();
+            for (p, batches) in partitioner.absorb(pieces).unwrap() {
+                assert!(sealed_rows[p].is_none(), "partition {p} sealed twice");
+                sealed_rows[p] = Some(batches.iter().flat_map(|b| b.rows()).collect());
+                seal_chunk[p] = Some(ci);
+            }
+        }
+        // Every non-empty partition sealed (the plan covered all chunks)…
+        assert!(partitioner.fully_sealed() || partitioner.drain_unsealed().is_empty());
+        for p in 0..parts {
+            let expected: Vec<_> = one_shot[p].iter().flat_map(|b| b.rows()).collect();
+            if expected.is_empty() {
+                assert!(sealed_rows[p].is_none());
+                continue;
+            }
+            // …with exactly the one-shot contents…
+            assert_eq!(sealed_rows[p].as_ref().unwrap(), &expected, "partition {p}");
+            // …at the chunk carrying its last row, not later.
+            let last_touch = partition_assignments(&chunks, &[0], parts)
+                .iter()
+                .enumerate()
+                .filter(|(_, a)| a.contains(&p))
+                .map(|(ci, _)| ci)
+                .max()
+                .unwrap();
+            assert_eq!(seal_chunk[p], Some(last_touch), "partition {p} sealed late");
+        }
+    }
+
+    #[test]
+    fn over_receipt_is_a_plan_violation() {
+        let chunk = batch_with_ids(&(0..32).collect::<Vec<_>>());
+        let parts = 4;
+        let mut plan = row_plan(std::slice::from_ref(&chunk), parts);
+        // Understate one partition's expectation: it seals early, and the
+        // stream then delivers rows to a sealed partition.
+        let victim = plan.iter().position(|&n| n > 1).unwrap();
+        plan[victim] -= 1;
+        let mut partitioner = StreamingPartitioner::with_expected_rows(vec![0], parts, plan);
+        let pieces = split_batch(&chunk, &[0], parts).unwrap();
+        assert!(partitioner.absorb(pieces).is_err(), "excess rows must not pass silently");
+    }
+
+    #[test]
+    fn planless_partitioner_seals_only_on_drain() {
+        let chunk = batch_with_ids(&(0..64).collect::<Vec<_>>());
+        let mut partitioner = StreamingPartitioner::new(vec![0], 4);
+        let sealed = partitioner.absorb(split_batch(&chunk, &[0], 4).unwrap()).unwrap();
+        assert!(sealed.is_empty(), "no plan, nothing seals early");
+        assert!(!partitioner.fully_sealed());
+        let drained = partitioner.drain_unsealed();
+        let total: usize = drained.iter().flat_map(|(_, bs)| bs.iter().map(|b| b.num_rows())).sum();
+        assert_eq!(total, 64);
+        assert!(partitioner.fully_sealed());
+        // A second drain yields nothing.
+        assert!(partitioner.drain_unsealed().is_empty());
+    }
+
+    #[test]
+    fn zero_expectation_partitions_start_sealed() {
+        let mut partitioner = StreamingPartitioner::with_expected_rows(vec![0], 3, vec![0, 5, 0]);
+        assert!(!partitioner.fully_sealed());
+        assert!(partitioner.drain_unsealed().is_empty(), "empty partitions carry no work");
+        assert!(partitioner.fully_sealed());
     }
 
     #[test]

@@ -237,6 +237,11 @@ pub struct Table {
     wos: Vec<Row>,
     segments: Vec<Arc<Segment>>,
     delete_vectors: Vec<Bitmap>,
+    /// Monotonic count of segments skipped by zone-map pruning across all
+    /// scans of this table handle — observability for "did the pruning
+    /// predicate actually avoid decoding that segment?" (regression-tested
+    /// against segments produced by the segmented-replace fast path).
+    segments_pruned: std::sync::atomic::AtomicU64,
 }
 
 impl Table {
@@ -248,7 +253,14 @@ impl Table {
             wos: Vec::new(),
             segments: Vec::new(),
             delete_vectors: Vec::new(),
+            segments_pruned: std::sync::atomic::AtomicU64::new(0),
         }
+    }
+
+    /// Total segments zone-map-pruned (never decoded) over this table
+    /// handle's lifetime of scans.
+    pub fn segments_pruned(&self) -> u64 {
+        self.segments_pruned.load(std::sync::atomic::Ordering::Relaxed)
     }
 
     pub fn name(&self) -> &str {
@@ -446,6 +458,7 @@ impl Table {
         for (si, (seg, dels)) in self.segments.iter().zip(&self.delete_vectors).enumerate() {
             // Zone-map pruning.
             if predicates.iter().any(|p| !p.maybe_in(seg.zone_map(p.column))) {
+                self.segments_pruned.fetch_add(1, std::sync::atomic::Ordering::Relaxed);
                 continue;
             }
             // Decode predicate columns first and compute surviving rows.

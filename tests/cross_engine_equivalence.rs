@@ -288,7 +288,7 @@ fn message_table_bits(session: &GraphSession) -> Vec<(i64, Option<i64>, Option<V
 }
 
 /// Everything one configuration cell produced that must be invariant across
-/// the {streaming} × {parallel apply} matrix.
+/// the {streaming} × {parallel apply} × {pipelined} matrix.
 #[derive(PartialEq, Debug)]
 struct CellResult {
     vertex_bits: Vec<(i64, Option<Vec<u8>>, Option<bool>)>,
@@ -302,6 +302,7 @@ fn run_cell<P, F>(
     make_program: F,
     streaming: bool,
     parallel: bool,
+    pipelined: bool,
     cap: u64,
 ) -> CellResult
 where
@@ -313,16 +314,21 @@ where
         .with_partitions(16)
         .with_streaming(streaming)
         .with_parallel_apply(parallel)
+        .with_pipelined(pipelined)
         .with_max_supersteps(cap);
     let session = session_for(graph);
     let stats = run_program(&session, Arc::new(make_program()), &config).unwrap();
     // The segment-parallel cells must actually have fanned the apply out,
-    // and the serial cells must not.
+    // and the serial cells must not; overlap can only come from the
+    // pipelined streaming dataflow.
     for s in &stats.per_superstep {
         if parallel {
             assert_eq!(s.apply_parallelism, 4, "parallel apply should span num_workers buckets");
         } else {
             assert_eq!(s.apply_parallelism, 1, "serial apply must not fan out");
+        }
+        if !(streaming && pipelined) {
+            assert_eq!(s.overlap_secs, 0.0, "phased pipelines must report zero overlap");
         }
     }
     CellResult {
@@ -338,61 +344,103 @@ where
 }
 
 /// The config-matrix equivalence harness: every vertex-centric algorithm,
-/// run under all four {streaming on/off} × {parallel apply on/off} cells,
+/// run under all eight {streaming} × {parallel apply} × {pipelined} cells,
 /// must produce **bitwise-identical** vertex tables, message tables and
 /// message counts. Two runs stop mid-algorithm (superstep cap) so the
 /// message table is non-empty and mid-flight state is compared too.
 #[test]
-fn config_matrix_streaming_x_parallel_apply_is_bitwise_identical() {
+fn config_matrix_streaming_x_parallel_apply_x_pipelined_is_bitwise_identical() {
     use vertexica_algorithms::vc::{LabelPropagation, RandomWalkWithRestart};
     let graph =
         rmat_graph(&RmatConfig { scale: 6, num_edges: 400, seed: 17, ..Default::default() });
     let undirected = graph.undirected();
 
     // (name, cap, runner): each runner executes one cell for its algorithm.
-    type Cell = Box<dyn Fn(bool, bool) -> CellResult>;
+    type Cell = Box<dyn Fn(bool, bool, bool) -> CellResult>;
     let algorithms: Vec<(&str, Cell)> = vec![
         ("pagerank", {
             let g = graph.clone();
-            Box::new(move |s, p| run_cell(&g, || PageRank::new(6, 0.85), s, p, 10_000))
+            Box::new(move |s, p, l| run_cell(&g, || PageRank::new(6, 0.85), s, p, l, 10_000))
         }),
         ("pagerank-midflight", {
             let g = graph.clone();
-            Box::new(move |s, p| run_cell(&g, || PageRank::new(6, 0.85), s, p, 3))
+            Box::new(move |s, p, l| run_cell(&g, || PageRank::new(6, 0.85), s, p, l, 3))
         }),
         ("sssp", {
             let g = graph.clone();
-            Box::new(move |s, p| run_cell(&g, || Sssp::new(0), s, p, 10_000))
+            Box::new(move |s, p, l| run_cell(&g, || Sssp::new(0), s, p, l, 10_000))
         }),
         ("connected-components", {
             let g = undirected.clone();
-            Box::new(move |s, p| run_cell(&g, || ConnectedComponents, s, p, 10_000))
+            Box::new(move |s, p, l| run_cell(&g, || ConnectedComponents, s, p, l, 10_000))
         }),
         ("cc-midflight", {
             let g = undirected.clone();
-            Box::new(move |s, p| run_cell(&g, || ConnectedComponents, s, p, 2))
+            Box::new(move |s, p, l| run_cell(&g, || ConnectedComponents, s, p, l, 2))
         }),
         ("random-walk-with-restart", {
             let g = graph.clone();
-            Box::new(move |s, p| run_cell(&g, || RandomWalkWithRestart::new(0, 8), s, p, 10_000))
+            Box::new(move |s, p, l| {
+                run_cell(&g, || RandomWalkWithRestart::new(0, 8), s, p, l, 10_000)
+            })
         }),
         ("label-propagation", {
             let g = undirected.clone();
-            Box::new(move |s, p| run_cell(&g, || LabelPropagation::new(6), s, p, 10_000))
+            Box::new(move |s, p, l| run_cell(&g, || LabelPropagation::new(6), s, p, l, 10_000))
         }),
     ];
 
     for (name, cell) in &algorithms {
-        let reference = cell(true, true);
+        let reference = cell(true, true, true);
         assert!(!reference.vertex_bits.is_empty(), "{name}: empty vertex table");
-        for (streaming, parallel) in [(true, false), (false, true), (false, false)] {
-            let other = cell(streaming, parallel);
+        for bits in 0..7u8 {
+            // The remaining seven cells of the cube.
+            let (streaming, parallel, pipelined) = (bits & 4 != 0, bits & 2 != 0, bits & 1 != 0);
+            let other = cell(streaming, parallel, pipelined);
             assert_eq!(
                 reference, other,
-                "{name}: cell (streaming={streaming}, parallel_apply={parallel}) diverged \
-                 from the (true, true) reference"
+                "{name}: cell (streaming={streaming}, parallel_apply={parallel}, \
+                 pipelined={pipelined}) diverged from the (true, true, true) reference"
             );
         }
+    }
+}
+
+/// The pipelined dataflow must *actually* overlap: on a dense superstep
+/// with many small chunks, at least one worker-UDF compute task has to
+/// start (and run) while assemble is still streaming — and the phased
+/// pipeline on the same workload must report exactly zero overlap.
+#[test]
+fn dense_supersteps_report_genuine_compute_assemble_overlap() {
+    let graph = erdos_renyi(1200, 9600, 21);
+    let config = VertexicaConfig::default()
+        .with_workers(4)
+        .with_partitions(8)
+        .with_parallel_apply(true)
+        .with_pipelined(true)
+        // Small chunks give the dispatcher real scatter granularity, so
+        // partitions seal (and compute) while later chunks still stream.
+        .with_stream_chunk_rows(128);
+    let session = session_for(&graph);
+    let stats = run_program(&session, Arc::new(PageRank::new(4, 0.85)), &config).unwrap();
+    assert!(stats.supersteps >= 3);
+    let total_overlap: f64 = stats.per_superstep.iter().map(|s| s.overlap_secs).sum();
+    assert!(
+        total_overlap > 0.0,
+        "pipelined dense supersteps should start compute before assemble finishes: {:?}",
+        stats.per_superstep.iter().map(|s| s.overlap_secs).collect::<Vec<_>>()
+    );
+
+    // Same workload, phased pipeline: zero overlap by construction.
+    let session = session_for(&graph);
+    let stats = run_program(
+        &session,
+        Arc::new(PageRank::new(4, 0.85)),
+        &config.clone().with_pipelined(false),
+    )
+    .unwrap();
+    for s in &stats.per_superstep {
+        assert_eq!(s.overlap_secs, 0.0);
     }
 }
 

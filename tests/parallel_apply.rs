@@ -184,6 +184,85 @@ fn apply_parallelism_is_observable_per_superstep() {
 }
 
 #[test]
+fn segmented_replace_produces_correct_zone_maps_and_prunable_segments() {
+    // Regression guard for `Database::replace_table_segmented`: the bucket
+    // segments adopted by the parallel apply must carry real zone maps.
+    // After a dense superstep, scans with a pruning predicate on the vertex
+    // id must (a) skip at least one segment outright — observable via the
+    // table's pruning counter — and (b) still return exactly the matching
+    // rows.
+    use vertexica::storage::{ColumnPredicate, PredicateOp};
+
+    let graph = vertexica_graphgen::models::erdos_renyi(300, 1200, 11);
+    let db = Arc::new(Database::new());
+    let g = GraphSession::create(db, "g").unwrap();
+    g.load_edges(&graph).unwrap();
+    let config = VertexicaConfig::default()
+        .with_workers(4)
+        .with_parallel_apply(true)
+        .with_replace_threshold(0.0)
+        .with_max_supersteps(2);
+    run_program(&g, Arc::new(PageRank::new(2, 0.85)), &config).unwrap();
+
+    let handle = g.db().catalog().get(&g.vertex_table()).unwrap();
+    let guard = handle.read();
+    assert!(guard.num_segments() >= 2, "need bucket segments for pruning to matter");
+
+    // (a) Every segment's id zone map actually bounds its ids.
+    for (si, seg) in guard.segments().iter().enumerate() {
+        let zm = seg.zone_map(0);
+        let ids = seg.encoded_column(0).decode().unwrap();
+        let min = zm.min.as_int().expect("int zone-map min");
+        let max = zm.max.as_int().expect("int zone-map max");
+        assert!(min <= max, "segment {si}");
+        for i in 0..ids.len() {
+            let id = ids.value(i).as_int().unwrap();
+            assert!((min..=max).contains(&id), "segment {si}: id {id} outside [{min}, {max}]");
+        }
+    }
+
+    // (b) Hash buckets overlap in id range, so only a predicate beyond the
+    // table's span can prune — and then it must prune **every** segment
+    // without decoding any of them. If `replace_table_segmented` ever
+    // adopted segments with broken zone maps (all-null, or min/max not
+    // covering the data), either this stops pruning or (a) fails.
+    let full_segments = guard.num_segments() as u64;
+    let pruned_before = guard.segments_pruned();
+    let pred = ColumnPredicate::new(0, PredicateOp::Gt, Value::Int(10_000));
+    let batches = guard.scan(None, std::slice::from_ref(&pred)).unwrap();
+    assert!(batches.is_empty());
+    let pruned = guard.segments_pruned() - pruned_before;
+    assert_eq!(
+        pruned, full_segments,
+        "an out-of-range predicate must zone-map-prune every bucket segment"
+    );
+
+    // An in-range point probe cannot prune hash buckets but must still find
+    // exactly its row.
+    let probe_id = 137i64;
+    let pred = ColumnPredicate::new(0, PredicateOp::Eq, Value::Int(probe_id));
+    let hits: Vec<i64> = guard
+        .scan(None, std::slice::from_ref(&pred))
+        .unwrap()
+        .iter()
+        .flat_map(|b| b.column(0).as_int().unwrap().to_vec())
+        .collect();
+    assert_eq!(hits, vec![probe_id]);
+
+    // (c) A range predicate never changes results, pruned or not: the graph
+    // has vertices 0..300, so `id < 5` returns exactly five rows.
+    let pred = ColumnPredicate::new(0, PredicateOp::Lt, Value::Int(5));
+    let mut low_ids: Vec<i64> = guard
+        .scan(None, std::slice::from_ref(&pred))
+        .unwrap()
+        .iter()
+        .flat_map(|b| b.column(0).as_int().unwrap().to_vec())
+        .collect();
+    low_ids.sort_unstable();
+    assert_eq!(low_ids, (0..5).collect::<Vec<i64>>(), "range predicate lost or invented rows");
+}
+
+#[test]
 fn parallel_replace_writes_one_segment_per_nonempty_bucket() {
     // A dense superstep under parallel apply leaves the vertex table
     // bucket-segmented (one ROS segment per non-empty hash bucket) — and
