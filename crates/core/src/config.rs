@@ -69,6 +69,21 @@ pub struct VertexicaConfig {
     /// in-flight bytes tighter and give the pipelined dispatcher more
     /// scatter granularity; larger chunks amortize per-chunk overhead.
     pub stream_chunk_rows: usize,
+    /// Pull the SQL scans feeding assemble through per-segment
+    /// [`vertexica_sql::Database::scan_cursor`]s instead of materializing
+    /// every segment batch up front, and drive the 3-way-join input mode
+    /// through the engine's streaming hash join (build sides hashed once,
+    /// vertex probe batches pulled one at a time) — which also lets the
+    /// join mode plan per-partition row counts and seal partitions like the
+    /// direct-scan mode. A superstep's transient scan footprint drops to
+    /// one in-flight batch per source
+    /// ([`crate::coordinator::SuperstepStats::peak_resident_scan_bytes`]
+    /// proves it). Results are bitwise-identical either way (the
+    /// config-matrix harness covers the axis). Defaults to on; the
+    /// environment variable `VERTEXICA_STREAM_SCAN=0` flips the *default*
+    /// off (for CI ablation runs), while
+    /// [`VertexicaConfig::with_streaming_scan`] always wins.
+    pub streaming_scan: bool,
     /// Hard cap on supersteps (safety net on top of the program's own limit).
     pub max_supersteps: u64,
     /// Checkpoint every N supersteps into `checkpoint_dir`.
@@ -93,6 +108,14 @@ fn pipelined_default() -> bool {
     env_toggle_default_on("VERTEXICA_PIPELINED")
 }
 
+/// Default for [`VertexicaConfig::streaming_scan`]: on, unless the
+/// `VERTEXICA_STREAM_SCAN` environment variable disables it (`0`, `false`
+/// or `off`, case-insensitive) — the hook CI uses to keep the eager scan
+/// path green on every push.
+fn streaming_scan_default() -> bool {
+    env_toggle_default_on("VERTEXICA_STREAM_SCAN")
+}
+
 /// `true` unless `var` is set to `0`/`false`/`off` (case-insensitive).
 fn env_toggle_default_on(var: &str) -> bool {
     match std::env::var(var) {
@@ -114,6 +137,7 @@ impl Default for VertexicaConfig {
             parallel_apply: parallel_apply_default(),
             pipelined: pipelined_default(),
             stream_chunk_rows: crate::input::STREAM_CHUNK_ROWS,
+            streaming_scan: streaming_scan_default(),
             max_supersteps: 10_000,
             checkpoint_every: None,
             checkpoint_dir: None,
@@ -164,6 +188,11 @@ impl VertexicaConfig {
 
     pub fn with_stream_chunk_rows(mut self, rows: usize) -> Self {
         self.stream_chunk_rows = rows.max(1);
+        self
+    }
+
+    pub fn with_streaming_scan(mut self, on: bool) -> Self {
+        self.streaming_scan = on;
         self
     }
 

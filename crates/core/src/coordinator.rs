@@ -97,6 +97,19 @@ pub struct SuperstepStats {
     pub peak_batch_bytes: usize,
     /// Total assembled worker input for this superstep, in estimated bytes.
     pub input_bytes: usize,
+    /// The most un-emitted **source-scan** data assemble ever held at once,
+    /// in estimated bytes. With pull-based scan cursors (the
+    /// `streaming_scan` default) this is one in-flight batch per source —
+    /// strictly below [`input_bytes`](Self::input_bytes) on any multi-batch
+    /// input; the eager scan ablation holds whole tables, and the
+    /// materialized pipeline the whole input.
+    pub peak_resident_scan_bytes: usize,
+    /// Compute partitions dispatched by a **seal** — their last planned row
+    /// landed while assemble was still streaming — as opposed to the
+    /// end-of-stream drain. Nonzero only for the pipelined dataflow on a
+    /// multi-worker pool; with the join-mode row plan, the 3-way-join input
+    /// seals partitions too.
+    pub early_dispatches: usize,
 }
 
 /// Whole-run observability.
@@ -201,6 +214,8 @@ struct ExecProfile {
     overlap_secs: f64,
     input_bytes: usize,
     peak_batch_bytes: usize,
+    peak_resident_scan_bytes: usize,
+    early_dispatches: usize,
 }
 
 /// Runs one streaming superstep's assemble → partition → compute stages,
@@ -233,6 +248,7 @@ fn run_streaming_compute(
                     session,
                     config.input_mode,
                     config.stream_chunk_rows,
+                    config.streaming_scan,
                     &mut |chunk| chunk_sink(chunk).map_err(VertexicaError::from),
                 )
                 .map_err(|e| match e {
@@ -248,18 +264,26 @@ fn run_streaming_compute(
             overlap_secs: report.overlap_secs,
             input_bytes: report.input_bytes,
             peak_batch_bytes: report.peak_chunk_bytes,
+            peak_resident_scan_bytes: report.peak_resident_scan_bytes,
+            early_dispatches: report.early_dispatches,
         });
     }
     let sw = Stopwatch::start();
     let mut partitioner = StreamingPartitioner::new(vec![0], num_partitions);
     let mut total = 0usize;
     let mut peak = 0usize;
-    assemble_chunks(session, config.input_mode, config.stream_chunk_rows, &mut |chunk| {
-        let bytes = chunk.estimated_bytes();
-        total += bytes;
-        peak = peak.max(bytes);
-        partitioner.push(&chunk).map_err(VertexicaError::from)
-    })?;
+    let peak_resident_scan_bytes = assemble_chunks(
+        session,
+        config.input_mode,
+        config.stream_chunk_rows,
+        config.streaming_scan,
+        &mut |chunk| {
+            let bytes = chunk.estimated_bytes();
+            total += bytes;
+            peak = peak.max(bytes);
+            partitioner.push(&chunk).map_err(VertexicaError::from)
+        },
+    )?;
     let partitions = partitioner.finish();
     let assemble_secs = sw.elapsed_secs();
     let sw = Stopwatch::start();
@@ -270,6 +294,8 @@ fn run_streaming_compute(
         overlap_secs: 0.0,
         input_bytes: total,
         peak_batch_bytes: peak,
+        peak_resident_scan_bytes,
+        early_dispatches: 0,
     })
 }
 
@@ -356,7 +382,7 @@ fn superstep_loop<P: VertexProgram + 'static>(
             (outcome, profile, sw.elapsed_secs())
         } else {
             let sw = Stopwatch::start();
-            let input = assemble(session, config.input_mode)?;
+            let input = assemble(session, config.input_mode, config.streaming_scan)?;
             let bytes: usize = input.iter().map(|b| b.estimated_bytes()).sum();
             let partitions = if config.num_partitions <= 1 {
                 vec![input]
@@ -373,6 +399,8 @@ fn superstep_loop<P: VertexProgram + 'static>(
                 // Fully materialized: the whole input is one in-flight unit.
                 input_bytes: bytes,
                 peak_batch_bytes: bytes,
+                peak_resident_scan_bytes: bytes,
+                early_dispatches: 0,
             };
             let sw = Stopwatch::start();
             let outcome = apply_outputs(session, program.as_ref(), config, outputs, num_vertices)?;
@@ -396,6 +424,8 @@ fn superstep_loop<P: VertexProgram + 'static>(
             nested_scopes: pool_delta.nested_scopes,
             peak_batch_bytes: profile.peak_batch_bytes,
             input_bytes: profile.input_bytes,
+            peak_resident_scan_bytes: profile.peak_resident_scan_bytes,
+            early_dispatches: profile.early_dispatches,
         });
         stats.total_messages += outcome.messages as u64;
         stats.supersteps = superstep + 1 - start_superstep;

@@ -82,42 +82,56 @@ impl GraphSession {
 
     /// Bulk-loads an edge list: all edges into the edge table, and one vertex
     /// row per id in `0..num_vertices` (value NULL, halted false).
+    ///
+    /// Loads are segmented at [`crate::input::STREAM_CHUNK_ROWS`] rows per
+    /// ROS segment rather than one monolithic segment, so segment-granular
+    /// machinery — zone-map pruning, and the pull-based scan cursor whose
+    /// in-flight unit is one segment batch — stays bounded on huge graphs.
     pub fn load_edges(&self, graph: &EdgeList) -> VertexicaResult<()> {
+        let seg_rows = crate::input::STREAM_CHUNK_ROWS;
         // Vertices.
         let n = graph.num_vertices as usize;
-        let mut ids = ColumnBuilder::with_capacity(DataType::Int, n);
-        let mut values = ColumnBuilder::with_capacity(DataType::Blob, n);
-        let mut halted = ColumnBuilder::with_capacity(DataType::Bool, n);
-        for id in 0..graph.num_vertices {
-            ids.push_int(id as i64);
-            values.push_null();
-            halted.push(Value::Bool(false)).map_err(VertexicaError::from)?;
+        let mut start = 0usize;
+        while start < n {
+            let end = (start + seg_rows).min(n);
+            let mut ids = ColumnBuilder::with_capacity(DataType::Int, end - start);
+            let mut values = ColumnBuilder::with_capacity(DataType::Blob, end - start);
+            let mut halted = ColumnBuilder::with_capacity(DataType::Bool, end - start);
+            for id in start..end {
+                ids.push_int(id as i64);
+                values.push_null();
+                halted.push(Value::Bool(false)).map_err(VertexicaError::from)?;
+            }
+            let vbatch = RecordBatch::new(
+                vertex_schema(),
+                vec![ids.finish(), values.finish(), halted.finish()],
+            )
+            .map_err(VertexicaError::from)?;
+            self.db.append_batches(&self.vertex_table(), &[vbatch])?;
+            start = end;
         }
-        let vbatch =
-            RecordBatch::new(vertex_schema(), vec![ids.finish(), values.finish(), halted.finish()])
-                .map_err(VertexicaError::from)?;
-        self.db.append_batches(&self.vertex_table(), &[vbatch])?;
 
         // Edges (created = 0, etype NULL for plain loads).
-        let m = graph.edges.len();
-        let mut src = ColumnBuilder::with_capacity(DataType::Int, m);
-        let mut dst = ColumnBuilder::with_capacity(DataType::Int, m);
-        let mut weight = ColumnBuilder::with_capacity(DataType::Float, m);
-        let mut created = ColumnBuilder::with_capacity(DataType::Int, m);
-        let mut etype = ColumnBuilder::with_capacity(DataType::Str, m);
-        for e in &graph.edges {
-            src.push_int(e.src as i64);
-            dst.push_int(e.dst as i64);
-            weight.push_float(e.weight);
-            created.push_int(0);
-            etype.push_null();
+        for chunk in graph.edges.chunks(seg_rows.max(1)) {
+            let mut src = ColumnBuilder::with_capacity(DataType::Int, chunk.len());
+            let mut dst = ColumnBuilder::with_capacity(DataType::Int, chunk.len());
+            let mut weight = ColumnBuilder::with_capacity(DataType::Float, chunk.len());
+            let mut created = ColumnBuilder::with_capacity(DataType::Int, chunk.len());
+            let mut etype = ColumnBuilder::with_capacity(DataType::Str, chunk.len());
+            for e in chunk {
+                src.push_int(e.src as i64);
+                dst.push_int(e.dst as i64);
+                weight.push_float(e.weight);
+                created.push_int(0);
+                etype.push_null();
+            }
+            let ebatch = RecordBatch::new(
+                edge_schema(),
+                vec![src.finish(), dst.finish(), weight.finish(), created.finish(), etype.finish()],
+            )
+            .map_err(VertexicaError::from)?;
+            self.db.append_batches(&self.edge_table(), &[ebatch])?;
         }
-        let ebatch = RecordBatch::new(
-            edge_schema(),
-            vec![src.finish(), dst.finish(), weight.finish(), created.finish(), etype.finish()],
-        )
-        .map_err(VertexicaError::from)?;
-        self.db.append_batches(&self.edge_table(), &[ebatch])?;
         Ok(())
     }
 
@@ -187,11 +201,16 @@ impl GraphSession {
     /// database's shared worker pool (sequential inline when the pool has a
     /// single worker or the table a single batch).
     pub fn vertex_values<V: VertexData + Send>(&self) -> VertexicaResult<Vec<(VertexId, V)>> {
-        let table = self.db.catalog().get(&self.vertex_table())?;
-        let batches = {
+        // Snapshot a cursor under a brief read lock; decode unlocked.
+        let mut cursor = {
+            let table = self.db.catalog().get(&self.vertex_table())?;
             let guard = table.read();
-            guard.scan(Some(&[0, 1]), &[])?
+            guard.scan_cursor(Some(&[0, 1]), &[])?
         };
+        let mut batches = Vec::new();
+        while let Some(batch) = cursor.next_batch()? {
+            batches.push(batch);
+        }
         let decoded: Vec<VertexicaResult<Vec<(VertexId, V)>>> =
             self.db.runtime().map_indexed(batches, |_, batch| {
                 let ids = batch.column(0);

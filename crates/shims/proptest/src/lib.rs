@@ -400,6 +400,8 @@ tuple_strategy!(A: 0, B: 1);
 tuple_strategy!(A: 0, B: 1, C: 2);
 tuple_strategy!(A: 0, B: 1, C: 2, D: 3);
 tuple_strategy!(A: 0, B: 1, C: 2, D: 3, E: 4);
+tuple_strategy!(A: 0, B: 1, C: 2, D: 3, E: 4, F: 5);
+tuple_strategy!(A: 0, B: 1, C: 2, D: 3, E: 4, F: 5, G: 6);
 
 /// String strategy from a regex **subset**: a single atom (`.` or a
 /// character class like `[a-z0-9_]`) followed by an optional `{a,b}`, `{n}`,

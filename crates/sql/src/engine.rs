@@ -18,7 +18,7 @@ use crate::expr::PhysExpr;
 use crate::functions::{FunctionRegistry, ScalarFunction};
 use crate::optimizer::optimize;
 use crate::parser::{parse_script, parse_statement};
-use crate::physical::{execute, ExecContext};
+use crate::physical::{execute, ExecContext, JoinBuild};
 use crate::planner::Planner;
 use crate::udf::TransformUdf;
 
@@ -361,14 +361,15 @@ impl Database {
             .collect::<SqlResult<Vec<_>>>()?;
         let pred = filter.map(|f| planner.plan_expr_for_table(f, &schema, table)).transpose()?;
 
-        // Scan with rowids while holding a read lock, compute updates, then
-        // apply under a write lock.
-        let scans = {
+        // Snapshot a rowid cursor under a brief read lock, decode and
+        // compute updates with the lock released, then apply under a write
+        // lock.
+        let mut cursor = {
             let guard = table_ref.read();
-            guard.scan_with_rowids(None, &[])?
+            guard.scan_cursor(None, &[])?
         };
         let mut updates: Vec<(u64, Row)> = Vec::new();
-        for (batch, rowids) in scans {
+        while let Some((batch, rowids)) = cursor.next_with_rowids()? {
             let mask = match &pred {
                 Some(p) => p.eval_predicate(&batch)?,
                 None => vec![true; batch.num_rows()],
@@ -415,12 +416,13 @@ impl Database {
             return Ok(QueryResult::Affected(n));
         };
 
-        let scans = {
+        // Same lock-snapshot protocol as UPDATE: decode happens unlocked.
+        let mut cursor = {
             let guard = table_ref.read();
-            guard.scan_with_rowids(None, &[])?
+            guard.scan_cursor(None, &[])?
         };
         let mut doomed: Vec<u64> = Vec::new();
-        for (batch, rowids) in scans {
+        while let Some((batch, rowids)) = cursor.next_with_rowids()? {
             let mask = pred.eval_predicate(&batch)?;
             for (keep, rowid) in mask.iter().zip(&rowids) {
                 if *keep {
@@ -581,13 +583,19 @@ impl Database {
     /// The returned [`PipelinedReport`] carries the overlap accounting: how
     /// long compute tasks ran concurrently with the assemble window (start
     /// of production → last chunk scattered).
+    /// `produce` returns its **peak resident source bytes** gauge: the
+    /// largest amount of un-emitted source data (e.g. decoded scan batches)
+    /// it ever held at once while producing. A pull-based producer reports
+    /// one batch; an eager one reports a whole table. The value is passed
+    /// through as [`PipelinedReport::peak_resident_scan_bytes`] (0 if the
+    /// producer doesn't measure).
     pub fn run_transform_pipelined(
         &self,
         udf: &Arc<dyn TransformUdf>,
         key_columns: Vec<usize>,
         num_partitions: usize,
         expected_rows: Option<Vec<u64>>,
-        produce: &mut dyn FnMut(&mut ChunkSink<'_>) -> SqlResult<()>,
+        produce: &mut dyn FnMut(&mut ChunkSink<'_>) -> SqlResult<usize>,
         sink: &(dyn Fn(usize, Vec<RecordBatch>) -> SqlResult<()> + Sync),
     ) -> SqlResult<PipelinedReport> {
         let num_partitions = num_partitions.max(1);
@@ -607,7 +615,7 @@ impl Database {
             let mut input_bytes = 0usize;
             let mut peak_chunk_bytes = 0usize;
             let mut sealed: Vec<(usize, Vec<RecordBatch>)> = Vec::new();
-            produce(&mut |chunk| {
+            let peak_resident_scan_bytes = produce(&mut |chunk| {
                 let bytes = chunk.estimated_bytes();
                 input_bytes += bytes;
                 peak_chunk_bytes = peak_chunk_bytes.max(bytes);
@@ -632,6 +640,7 @@ impl Database {
                 overlap_secs: 0.0,
                 input_bytes,
                 peak_chunk_bytes,
+                peak_resident_scan_bytes,
                 peak_inflight_chunks: usize::from(input_bytes > 0),
                 early_dispatches: 0,
             });
@@ -657,6 +666,7 @@ impl Database {
         let mut input_bytes = 0usize;
         let mut peak_chunk_bytes = 0usize;
         let mut peak_inflight_chunks = 0usize;
+        let mut peak_resident_scan_bytes = 0usize;
 
         self.runtime.scope(|scope| {
             let shared = &shared;
@@ -717,8 +727,9 @@ impl Database {
                 });
                 Ok(())
             });
-            if let Err(e) = result {
-                shared.fail(e);
+            match result {
+                Ok(resident) => peak_resident_scan_bytes = resident,
+                Err(e) => shared.fail(e),
             }
             shared.produced_all.store(true, Ordering::SeqCst);
             if shared.scatter_pending.load(Ordering::SeqCst) == 0 {
@@ -748,6 +759,7 @@ impl Database {
             overlap_secs,
             input_bytes,
             peak_chunk_bytes,
+            peak_resident_scan_bytes,
             peak_inflight_chunks,
             early_dispatches: shared.early_dispatches.load(Ordering::Relaxed),
         })
@@ -834,17 +846,102 @@ impl Database {
         Ok(rows)
     }
 
+    /// Pull-based storage-level scan (bypasses SQL): snapshots a
+    /// [`vertexica_storage::ScanCursor`] under a **briefly held** table read
+    /// lock and returns it with the lock already released. Each
+    /// [`ScanCursor::next_batch`](vertexica_storage::ScanCursor::next_batch)
+    /// pull decodes one (zone-map-pruned, delete-filtered) segment, so a
+    /// consumer's transient footprint is one in-flight batch and a slow
+    /// consumer never blocks writers. This is the scan primitive behind the
+    /// superstep assemble path and [`scan_table`](Self::scan_table).
+    pub fn scan_cursor(
+        &self,
+        table: &str,
+        projection: Option<&[usize]>,
+        predicates: &[ColumnPredicate],
+    ) -> SqlResult<vertexica_storage::ScanCursor> {
+        let t = self.catalog.get(table)?;
+        let guard = t.read();
+        Ok(guard.scan_cursor(projection, predicates)?)
+        // `guard` drops here: every decode happens lock-free on the cursor.
+    }
+
     /// Direct storage-level scan helper (bypasses SQL) — used by the
-    /// coordinator's hot paths.
+    /// coordinator's hot paths. Eagerly drains a
+    /// [`scan_cursor`](Self::scan_cursor), so the table lock is dropped
+    /// before any segment is decoded.
     pub fn scan_table(
         &self,
         table: &str,
         projection: Option<&[usize]>,
         predicates: &[ColumnPredicate],
     ) -> SqlResult<Vec<RecordBatch>> {
-        let t = self.catalog.get(table)?;
-        let guard = t.read();
-        Ok(guard.scan(projection, predicates)?)
+        let mut cursor = self.scan_cursor(table, projection, predicates)?;
+        let mut out = Vec::new();
+        while let Some(batch) = cursor.next_batch()? {
+            out.push(batch);
+        }
+        Ok(out)
+    }
+
+    /// Scans `build_table` (projected) through a cursor and hashes it once
+    /// on `key_columns` into a reusable [`JoinBuild`] — the build half of
+    /// the engine's streaming hash join. `key_columns` index the *projected*
+    /// batch.
+    pub fn hash_join_build(
+        &self,
+        build_table: &str,
+        projection: Option<&[usize]>,
+        key_columns: Vec<usize>,
+    ) -> SqlResult<JoinBuild> {
+        let mut cursor = self.scan_cursor(build_table, projection, &[])?;
+        let schema = cursor.schema().clone();
+        let mut batches = Vec::new();
+        while let Some(batch) = cursor.next_batch()? {
+            batches.push(batch);
+        }
+        let build = RecordBatch::concat(schema, &batches)?;
+        Ok(JoinBuild::new(build, key_columns))
+    }
+
+    /// Streaming equi-join: pulls `probe_table` (projected) batch-by-batch
+    /// through a scan cursor and probes `build` with each batch, emitting
+    /// one joined batch (probe columns then build columns) per non-empty
+    /// probe batch to `sink`. The build side was hashed exactly once (see
+    /// [`hash_join_build`](Self::hash_join_build)); the probe side never
+    /// materializes beyond the in-flight batch — the MonetDB/X100-style
+    /// pull-based operator shape, with the same single/composite BIGINT
+    /// fast paths (and per-row NULL-key skipping) as the eager SQL join.
+    /// With `outer`, unmatched probe rows are emitted null-extended (LEFT
+    /// JOIN semantics, probe side preserved).
+    pub fn stream_hash_join(
+        &self,
+        probe_table: &str,
+        probe_projection: Option<&[usize]>,
+        probe_keys: &[usize],
+        build: &JoinBuild,
+        outer: bool,
+        sink: &mut dyn FnMut(RecordBatch) -> SqlResult<()>,
+    ) -> SqlResult<()> {
+        let mut cursor = self.scan_cursor(probe_table, probe_projection, &[])?;
+        let out_schema = {
+            let mut fields = cursor.schema().fields.clone();
+            for f in &build.batch().schema().fields {
+                let mut f = f.clone();
+                // The build side null-extends under an outer join.
+                f.nullable = f.nullable || outer;
+                fields.push(f);
+            }
+            Schema::new(fields)
+        };
+        while let Some(batch) = cursor.next_batch()? {
+            let joined =
+                crate::physical::join_probe_batch(&batch, build, probe_keys, outer, &out_schema)?;
+            if joined.num_rows() > 0 {
+                sink(joined)?;
+            }
+        }
+        Ok(())
     }
 
     /// Direct bulk append (bypasses SQL) — used for graph loading.
@@ -881,6 +978,12 @@ pub struct PipelinedReport {
     pub input_bytes: usize,
     /// Largest single produced chunk, in estimated bytes.
     pub peak_chunk_bytes: usize,
+    /// Producer-reported gauge: the most un-emitted **source** data (e.g.
+    /// decoded scan batches) the producer ever held at once. With pull-based
+    /// scan cursors this is one in-flight batch per source; the eager scan
+    /// path holds a whole table's batches, so the gap between the two is the
+    /// streaming-scan memory win. 0 when the producer doesn't measure.
+    pub peak_resident_scan_bytes: usize,
     /// Most chunks simultaneously in flight (spawned to a scatter task but
     /// not yet scattered). Bounded by the producer backpressure at
     /// `2 × pool size`, which is what keeps queued-chunk memory from
@@ -1119,6 +1222,123 @@ mod tests {
             .query_int("SELECT COUNT(*) FROM fedge f1 JOIN fedge f2 ON f1.fsrc = f2.fdst")
             .unwrap();
         assert_eq!(by_weight, by_fweight);
+    }
+
+    /// End-to-end NULL-key regression: the same join over nullable BIGINT
+    /// keys (typed fast path, NULLs skipped per row) and over the keys cast
+    /// to FLOAT (generic path) must agree — and NULL must never match NULL,
+    /// nor a NULL slot's 0 data sentinel match a real key 0.
+    #[test]
+    fn nullable_bigint_join_agrees_with_generic_and_skips_nulls() {
+        let db = Database::new();
+        db.execute("CREATE TABLE a (k BIGINT, v BIGINT NOT NULL)").unwrap();
+        db.execute("CREATE TABLE b (k BIGINT, w BIGINT NOT NULL)").unwrap();
+        db.execute("INSERT INTO a VALUES (1, 10), (NULL, 20), (0, 30), (2, 40)").unwrap();
+        db.execute("INSERT INTO b VALUES (1, 100), (NULL, 200), (0, 300), (0, 400), (3, 500)")
+            .unwrap();
+        // k=1 matches once, k=0 matches twice; the NULLs match nothing. A
+        // fast path without per-row NULL checks would cross-match the NULL
+        // rows with the real 0 keys (NULL's data sentinel is 0) → 7 rows.
+        let inner = db.query_int("SELECT COUNT(*) FROM a JOIN b ON a.k = b.k").unwrap();
+        assert_eq!(inner, 3, "NULL join keys must never match");
+        let left = db.query_int("SELECT COUNT(*) FROM a LEFT JOIN b ON a.k = b.k").unwrap();
+        assert_eq!(left, 5, "NULL/unmatched probe rows null-extend exactly once");
+
+        // Same joins through the generic path (FLOAT keys).
+        db.execute("CREATE TABLE fa AS SELECT CAST(k AS FLOAT) AS k, v FROM a").unwrap();
+        db.execute("CREATE TABLE fb AS SELECT CAST(k AS FLOAT) AS k, w FROM b").unwrap();
+        let ginner = db.query_int("SELECT COUNT(*) FROM fa JOIN fb ON fa.k = fb.k").unwrap();
+        let gleft = db.query_int("SELECT COUNT(*) FROM fa LEFT JOIN fb ON fa.k = fb.k").unwrap();
+        assert_eq!((inner, left), (ginner, gleft), "fast path diverged from generic");
+
+        // Composite nullable key: only fully-non-NULL (k, k2) pairs match.
+        db.execute("CREATE TABLE c (k BIGINT, k2 BIGINT, x BIGINT NOT NULL)").unwrap();
+        db.execute("INSERT INTO c VALUES (0, 0, 1), (0, NULL, 2), (NULL, 0, 3), (1, 2, 4)")
+            .unwrap();
+        let n = db
+            .query_int("SELECT COUNT(*) FROM c c1 JOIN c c2 ON c1.k = c2.k AND c1.k2 = c2.k2")
+            .unwrap();
+        assert_eq!(n, 2, "composite keys with a NULL component must never match");
+    }
+
+    #[test]
+    fn stream_hash_join_matches_sql_join() {
+        let db = Database::new();
+        db.execute("CREATE TABLE p (k BIGINT, v BIGINT NOT NULL)").unwrap();
+        db.execute("CREATE TABLE bld (k BIGINT, w BIGINT NOT NULL)").unwrap();
+        // Two ROS segments on the probe side, so the cursor actually pulls
+        // more than one probe batch through the build.
+        let p_schema = db.catalog().get("p").unwrap().read().schema().clone();
+        let seg = |rows: &[(Option<i64>, i64)]| {
+            let rows: Vec<Vec<Value>> = rows
+                .iter()
+                .map(|(k, v)| vec![k.map(Value::Int).unwrap_or(Value::Null), Value::Int(*v)])
+                .collect();
+            RecordBatch::from_rows(p_schema.clone(), &rows).unwrap()
+        };
+        db.append_batches("p", &[seg(&[(Some(1), 10), (None, 20), (Some(0), 30)])]).unwrap();
+        db.append_batches("p", &[seg(&[(Some(2), 40), (Some(3), 50), (Some(0), 60)])]).unwrap();
+        db.execute("INSERT INTO bld VALUES (1, 100), (NULL, 200), (0, 300), (3, 400)").unwrap();
+
+        for (outer, sql) in [
+            (false, "SELECT p.k, p.v, bld.k, bld.w FROM p JOIN bld ON p.k = bld.k"),
+            (true, "SELECT p.k, p.v, bld.k, bld.w FROM p LEFT JOIN bld ON p.k = bld.k"),
+        ] {
+            let build = db.hash_join_build("bld", None, vec![0]).unwrap();
+            let mut streamed: Vec<Vec<Value>> = Vec::new();
+            let mut batches_seen = 0usize;
+            db.stream_hash_join("p", None, &[0], &build, outer, &mut |batch| {
+                batches_seen += 1;
+                streamed.extend(batch.rows());
+                Ok(())
+            })
+            .unwrap();
+            assert!(batches_seen >= 2, "probe side should stream in several batches");
+            let mut expected = db.query(sql).unwrap();
+            let canon = |rows: &mut Vec<Vec<Value>>| {
+                rows.sort_by(|a, b| format!("{a:?}").cmp(&format!("{b:?}")));
+            };
+            canon(&mut streamed);
+            canon(&mut expected);
+            assert_eq!(streamed, expected, "outer={outer}");
+        }
+    }
+
+    #[test]
+    fn open_scan_cursor_does_not_block_writers() {
+        let db = db_with_edges();
+        // A cursor snapshotted through the engine holds no table lock, so a
+        // concurrent writer must make progress while the cursor is open.
+        let mut cursor = db.scan_cursor("edge", None, &[]).unwrap();
+        let schema = db.catalog().get("edge").unwrap().read().schema().clone();
+        let (tx, rx) = std::sync::mpsc::channel();
+        let handle = {
+            let batch = RecordBatch::from_rows(
+                schema,
+                &[vec![Value::Int(90), Value::Int(91), Value::Float(9.0)]],
+            )
+            .unwrap();
+            let db = std::sync::Arc::new(db);
+            let db2 = db.clone();
+            let t = std::thread::spawn(move || {
+                let n = db2.append_batches("edge", &[batch]).unwrap();
+                tx.send(n).unwrap();
+            });
+            (db, t)
+        };
+        let appended = rx
+            .recv_timeout(std::time::Duration::from_secs(10))
+            .expect("append_batches blocked behind an open scan cursor");
+        assert_eq!(appended, 1);
+        handle.1.join().unwrap();
+        // The open cursor still sees exactly its snapshot…
+        let mut rows = 0;
+        while let Some(b) = cursor.next_batch().unwrap() {
+            rows += b.num_rows();
+        }
+        assert_eq!(rows, 5);
+        // …while a fresh scan sees the concurrent append.
+        assert_eq!(handle.0.query_int("SELECT COUNT(*) FROM edge").unwrap(), 6);
     }
 
     #[test]
@@ -1439,7 +1659,7 @@ mod tests {
                 for c in chunks.clone() {
                     sink(c)?;
                 }
-                Ok(())
+                Ok(0)
             },
             &|idx, out| {
                 let mut vals: Vec<i64> =
@@ -1526,7 +1746,7 @@ mod tests {
                         // partitions compute.
                         std::thread::sleep(std::time::Duration::from_millis(15));
                     }
-                    Ok(())
+                    Ok(0)
                 },
                 &|_, _| {
                     *seen.lock().unwrap() += 1;
@@ -1543,6 +1763,34 @@ mod tests {
             report.overlap_secs > 0.0,
             "compute should have run inside the assemble window: {report:?}"
         );
+    }
+
+    #[test]
+    fn pipelined_report_carries_producer_resident_gauge() {
+        // Whatever peak-resident-source-bytes gauge the producer returns
+        // must surface verbatim on the report, at every pool size.
+        let chunks = int_chunks(&[(0..16).collect::<Vec<i64>>()]);
+        for workers in [1usize, 4] {
+            let db = Database::new();
+            db.set_worker_threads(workers);
+            let udf: Arc<dyn TransformUdf> = Tagger::new(0);
+            let report = db
+                .run_transform_pipelined(
+                    &udf,
+                    vec![0],
+                    2,
+                    None,
+                    &mut |sink| {
+                        for c in chunks.clone() {
+                            sink(c)?;
+                        }
+                        Ok(7777)
+                    },
+                    &|_, _| Ok(()),
+                )
+                .unwrap();
+            assert_eq!(report.peak_resident_scan_bytes, 7777, "workers={workers}");
+        }
     }
 
     #[test]
@@ -1592,7 +1840,7 @@ mod tests {
                         for c in chunks.clone() {
                             sink(c)?;
                         }
-                        Ok(())
+                        Ok(0)
                     },
                     &|_, _| Err(SqlError::Udf("pipelined sink failure".into())),
                 )

@@ -30,4 +30,5 @@ pub mod udf;
 
 pub use engine::{Database, QueryResult};
 pub use error::{SqlError, SqlResult};
+pub use physical::JoinBuild;
 pub use udf::TransformUdf;

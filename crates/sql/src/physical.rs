@@ -23,9 +23,18 @@ pub struct ExecContext<'a> {
 pub fn execute(plan: &LogicalPlan, ctx: &ExecContext<'_>) -> SqlResult<Vec<RecordBatch>> {
     match plan {
         LogicalPlan::Scan { table, projection, predicates, .. } => {
-            let t = ctx.catalog.get(table)?;
-            let guard = t.read();
-            Ok(guard.scan(projection.as_deref(), predicates)?)
+            // Snapshot a cursor under the read lock, then decode with the
+            // lock released — a long scan must not block writers.
+            let mut cursor = {
+                let t = ctx.catalog.get(table)?;
+                let guard = t.read();
+                guard.scan_cursor(projection.as_deref(), predicates)?
+            };
+            let mut out = Vec::new();
+            while let Some(batch) = cursor.next_batch()? {
+                out.push(batch);
+            }
+            Ok(out)
         }
         LogicalPlan::Values { schema, rows } => {
             Ok(vec![RecordBatch::from_rows(schema.clone(), rows)?])
@@ -218,6 +227,261 @@ impl Hash for GroupKey {
 
 // ---- joins ----
 
+/// A hashed equi-join **build side**, reusable across any number of probe
+/// batches — the engine's streaming-join primitive. The build batch is
+/// hashed exactly once; probes then stream through
+/// [`JoinBuild::probe_pairs`] / [`JoinBuild::probe_matches`] one batch at a
+/// time, so a pull-based scan can feed the probe side without ever
+/// materializing it (see `Database::stream_hash_join`). The eager
+/// [`LogicalPlan::Join`] executor is a single-probe-batch special case of
+/// the same kernels.
+///
+/// Three key strategies, chosen by the build keys' **declared types** (not
+/// by the accident of whether this batch happens to contain a NULL):
+///
+/// * single BIGINT key — `FxHashMap<i64, _>`, the vertex-id join shape;
+/// * composite `(BIGINT, BIGINT)` key — edge-identity joins;
+/// * generic dynamic-`Value` keys with scratch-buffer reuse.
+///
+/// **NULL keys never match, on every strategy** (SQL equi-join semantics):
+/// build rows with a NULL key column are never inserted, and probe rows
+/// with a NULL key match nothing (null-extending under outer joins). The
+/// typed fast paths check per-row validity — a nullable BIGINT key column
+/// stays on the fast path instead of silently matching NULL = NULL or
+/// falling back to the slow generic path.
+pub struct JoinBuild {
+    batch: RecordBatch,
+    keys: Vec<usize>,
+    map: KeyMap,
+}
+
+enum KeyMap {
+    /// Single BIGINT key (vertex-id joins).
+    Int(FxHashMap<i64, Vec<usize>>),
+    /// Composite two-column BIGINT key ((src, dst) edge identity).
+    Int2(FxHashMap<(i64, i64), Vec<usize>>),
+    /// Dynamic-value keys, scratch-buffer reuse: a fresh `Vec<Value>` is
+    /// only allocated when a *distinct* build key enters the table.
+    Generic(FxHashMap<GroupKey, Vec<usize>>),
+}
+
+/// True when every named key column of `batch` is BIGINT — the typed
+/// fast-path shape. Nullability does not matter: the kernels skip NULL keys
+/// per row.
+fn int_typed(batch: &RecordBatch, keys: &[usize]) -> bool {
+    keys.iter().all(|&c| batch.column(c).dtype() == DataType::Int)
+}
+
+/// `(raw data, validity)` per BIGINT key column.
+fn int_key_data<'a>(
+    batch: &'a RecordBatch,
+    keys: &[usize],
+) -> Option<Vec<(&'a [i64], Option<&'a Bitmap>)>> {
+    keys.iter()
+        .map(|&c| {
+            let col = batch.column(c);
+            col.as_int().map(|v| (v, col.validity()))
+        })
+        .collect()
+}
+
+#[inline]
+fn row_valid(validity: Option<&Bitmap>, i: usize) -> bool {
+    validity.is_none_or(|b| b.get(i))
+}
+
+impl JoinBuild {
+    /// Hashes `batch` on `key_columns`, picking the typed fast path when
+    /// every key column is BIGINT.
+    pub fn new(batch: RecordBatch, key_columns: Vec<usize>) -> Self {
+        let force_generic = !(int_typed(&batch, &key_columns) && key_columns.len() <= 2);
+        Self::with_strategy(batch, key_columns, force_generic)
+    }
+
+    /// Like [`JoinBuild::new`] but lets the caller force the generic key
+    /// strategy — needed when the *probe* side's key types are known not to
+    /// be BIGINT, so typed build keys could never be compared against them.
+    fn with_strategy(batch: RecordBatch, key_columns: Vec<usize>, force_generic: bool) -> Self {
+        let n = batch.num_rows();
+        let map = if !force_generic && key_columns.len() == 1 {
+            let cols = int_key_data(&batch, &key_columns).expect("int-typed key checked");
+            let (k0, v0) = cols[0];
+            let mut table: FxHashMap<i64, Vec<usize>> = FxHashMap::default();
+            table.reserve(n);
+            for (i, &k) in k0.iter().enumerate() {
+                if row_valid(v0, i) {
+                    table.entry(k).or_default().push(i);
+                }
+            }
+            KeyMap::Int(table)
+        } else if !force_generic && key_columns.len() == 2 {
+            let cols = int_key_data(&batch, &key_columns).expect("int-typed keys checked");
+            let ((k0, v0), (k1, v1)) = (cols[0], cols[1]);
+            let mut table: FxHashMap<(i64, i64), Vec<usize>> = FxHashMap::default();
+            table.reserve(n);
+            for i in 0..n {
+                if row_valid(v0, i) && row_valid(v1, i) {
+                    table.entry((k0[i], k1[i])).or_default().push(i);
+                }
+            }
+            KeyMap::Int2(table)
+        } else {
+            let mut table: FxHashMap<GroupKey, Vec<usize>> = FxHashMap::default();
+            let mut scratch: Vec<Value> = Vec::with_capacity(key_columns.len());
+            for i in 0..n {
+                scratch.clear();
+                scratch.extend(key_columns.iter().map(|&c| batch.column(c).value(i)));
+                if scratch.iter().any(|v| v.is_null()) {
+                    continue; // NULL keys never match.
+                }
+                let key = GroupKey(std::mem::take(&mut scratch));
+                match table.get_mut(&key) {
+                    Some(rows) => {
+                        rows.push(i);
+                        scratch = key.0; // recover the buffer
+                    }
+                    None => {
+                        table.insert(key, vec![i]);
+                        scratch = Vec::with_capacity(key_columns.len());
+                    }
+                }
+            }
+            KeyMap::Generic(table)
+        };
+        JoinBuild { batch, keys: key_columns, map }
+    }
+
+    /// The hashed build-side batch.
+    pub fn batch(&self) -> &RecordBatch {
+        &self.batch
+    }
+
+    /// The build-side key columns this table was hashed on.
+    pub fn key_columns(&self) -> &[usize] {
+        &self.keys
+    }
+
+    /// Rows in the build side (including NULL-key rows, which match nothing).
+    pub fn num_rows(&self) -> usize {
+        self.batch.num_rows()
+    }
+
+    /// Streams every probe row's build-side match list to `f`. NULL probe
+    /// keys (and unmatched keys) yield an empty slice.
+    fn for_each_probe_row(
+        &self,
+        probe: &RecordBatch,
+        probe_keys: &[usize],
+        mut f: impl FnMut(usize, &[usize]),
+    ) -> SqlResult<()> {
+        if probe_keys.len() != self.keys.len() {
+            return Err(SqlError::Execution(format!(
+                "join probe key arity {} does not match build arity {}",
+                probe_keys.len(),
+                self.keys.len()
+            )));
+        }
+        let n = probe.num_rows();
+        match &self.map {
+            KeyMap::Int(table) => {
+                let cols = int_key_data(probe, probe_keys).ok_or_else(|| {
+                    SqlError::Execution("BIGINT-keyed join probed with non-BIGINT key".into())
+                })?;
+                let (k0, v0) = cols[0];
+                for (i, k) in k0.iter().enumerate() {
+                    let matches: &[usize] = if row_valid(v0, i) {
+                        table.get(k).map(Vec::as_slice).unwrap_or(&[])
+                    } else {
+                        &[]
+                    };
+                    f(i, matches);
+                }
+            }
+            KeyMap::Int2(table) => {
+                let cols = int_key_data(probe, probe_keys).ok_or_else(|| {
+                    SqlError::Execution("BIGINT-keyed join probed with non-BIGINT key".into())
+                })?;
+                let ((k0, v0), (k1, v1)) = (cols[0], cols[1]);
+                for i in 0..n {
+                    let matches: &[usize] = if row_valid(v0, i) && row_valid(v1, i) {
+                        table.get(&(k0[i], k1[i])).map(Vec::as_slice).unwrap_or(&[])
+                    } else {
+                        &[]
+                    };
+                    f(i, matches);
+                }
+            }
+            KeyMap::Generic(table) => {
+                let mut scratch: Vec<Value> = Vec::with_capacity(probe_keys.len());
+                for i in 0..n {
+                    scratch.clear();
+                    scratch.extend(probe_keys.iter().map(|&c| probe.column(c).value(i)));
+                    if scratch.iter().any(|v| v.is_null()) {
+                        f(i, &[]);
+                        continue;
+                    }
+                    let key = GroupKey(std::mem::take(&mut scratch));
+                    f(i, table.get(&key).map(Vec::as_slice).unwrap_or(&[]));
+                    scratch = key.0; // probe lookups never surrender the buffer
+                }
+            }
+        }
+        Ok(())
+    }
+
+    /// Probes one batch, producing `(probe_row, Some(build_row))` per match;
+    /// with `outer`, unmatched (or NULL-key) probe rows yield
+    /// `(probe_row, None)` exactly once.
+    pub fn probe_pairs(
+        &self,
+        probe: &RecordBatch,
+        probe_keys: &[usize],
+        outer: bool,
+    ) -> SqlResult<Vec<(usize, Option<usize>)>> {
+        let mut pairs: Vec<(usize, Option<usize>)> = Vec::with_capacity(probe.num_rows());
+        self.for_each_probe_row(probe, probe_keys, |i, matches| {
+            if matches.is_empty() {
+                if outer {
+                    pairs.push((i, None));
+                }
+            } else {
+                pairs.extend(matches.iter().map(|&m| (i, Some(m))));
+            }
+        })?;
+        Ok(pairs)
+    }
+
+    /// Probes one batch, returning each probe row's build-row match list
+    /// (empty = no match or NULL key) — the shape multi-build compositions
+    /// like the 3-way-join input re-shape consume.
+    pub fn probe_matches(
+        &self,
+        probe: &RecordBatch,
+        probe_keys: &[usize],
+    ) -> SqlResult<Vec<Vec<usize>>> {
+        let mut out: Vec<Vec<usize>> = Vec::with_capacity(probe.num_rows());
+        self.for_each_probe_row(probe, probe_keys, |_, matches| out.push(matches.to_vec()))?;
+        Ok(out)
+    }
+}
+
+/// Materializes one streaming-join step: probes `build` with `probe` and
+/// builds the joined batch (probe columns, then build columns) under
+/// `schema`. Used by `Database::stream_hash_join`; one probe batch in, one
+/// joined batch out.
+pub(crate) fn join_probe_batch(
+    probe: &RecordBatch,
+    build: &JoinBuild,
+    probe_keys: &[usize],
+    outer: bool,
+    schema: &Arc<Schema>,
+) -> SqlResult<RecordBatch> {
+    let pairs = build.probe_pairs(probe, probe_keys, outer)?;
+    let lr_pairs: Vec<(Option<usize>, Option<usize>)> =
+        pairs.into_iter().map(|(p, b)| (Some(p), b)).collect();
+    materialize_join_lr(probe, build.batch(), &lr_pairs, None, schema, outer, true)
+}
+
 #[allow(clippy::too_many_arguments)]
 fn hash_join(
     left: &RecordBatch,
@@ -245,110 +509,12 @@ fn hash_join(
         (left, right, pk, bk, true)
     };
 
-    let mut pairs: Vec<(usize, Option<usize>)> = Vec::new();
-
-    match (int_key_cols(probe, &probe_keys), int_key_cols(build, &build_keys)) {
-        // Fast path: single BIGINT key. Avoids the per-row key
-        // materialization of the generic path entirely.
-        (Some(p), Some(b)) if probe_keys.len() == 1 => {
-            let (pkeys, bkeys) = (p[0], b[0]);
-            let mut table: FxHashMap<i64, Vec<usize>> = FxHashMap::default();
-            table.reserve(bkeys.len());
-            for (i, &k) in bkeys.iter().enumerate() {
-                table.entry(k).or_default().push(i);
-            }
-            pairs.reserve(pkeys.len());
-            for (i, k) in pkeys.iter().enumerate() {
-                match table.get(k) {
-                    Some(matches) => {
-                        for &m in matches {
-                            pairs.push((i, Some(m)));
-                        }
-                    }
-                    None => {
-                        if outer {
-                            pairs.push((i, None));
-                        }
-                    }
-                }
-            }
-        }
-        // Fast path: composite two-column BIGINT key (e.g. joining on
-        // (src, dst) edge identity) — a `(i64, i64)` hash key instead of
-        // two boxed `Value`s per row.
-        (Some(p), Some(b)) if probe_keys.len() == 2 => {
-            let mut table: FxHashMap<(i64, i64), Vec<usize>> = FxHashMap::default();
-            table.reserve(b[0].len());
-            for (i, (&k0, &k1)) in b[0].iter().zip(b[1]).enumerate() {
-                table.entry((k0, k1)).or_default().push(i);
-            }
-            pairs.reserve(p[0].len());
-            for (i, (&k0, &k1)) in p[0].iter().zip(p[1]).enumerate() {
-                match table.get(&(k0, k1)) {
-                    Some(matches) => {
-                        for &m in matches {
-                            pairs.push((i, Some(m)));
-                        }
-                    }
-                    None => {
-                        if outer {
-                            pairs.push((i, None));
-                        }
-                    }
-                }
-            }
-        }
-        // Generic path: hash the build side on dynamic keys, reusing one
-        // scratch key buffer per side — a fresh `Vec<Value>` is only
-        // allocated when a *distinct* build key enters the table (its
-        // buffer moves in and the scratch is re-armed).
-        _ => {
-            let mut table: FxHashMap<GroupKey, Vec<usize>> = FxHashMap::default();
-            let mut scratch: Vec<Value> = Vec::with_capacity(build_keys.len());
-            for i in 0..build.num_rows() {
-                scratch.clear();
-                scratch.extend(build_keys.iter().map(|&c| build.column(c).value(i)));
-                if scratch.iter().any(|v| v.is_null()) {
-                    continue; // NULL keys never match.
-                }
-                let key = GroupKey(std::mem::take(&mut scratch));
-                match table.get_mut(&key) {
-                    Some(rows) => {
-                        rows.push(i);
-                        scratch = key.0; // recover the buffer
-                    }
-                    None => {
-                        table.insert(key, vec![i]);
-                        scratch = Vec::with_capacity(build_keys.len());
-                    }
-                }
-            }
-            for i in 0..probe.num_rows() {
-                scratch.clear();
-                scratch.extend(probe_keys.iter().map(|&c| probe.column(c).value(i)));
-                if scratch.iter().any(|v| v.is_null()) {
-                    if outer {
-                        pairs.push((i, None));
-                    }
-                    continue;
-                }
-                let key = GroupKey(std::mem::take(&mut scratch));
-                match table.get(&key) {
-                    Some(matches) => {
-                        for &m in matches {
-                            pairs.push((i, Some(m)));
-                        }
-                    }
-                    None => {
-                        if outer {
-                            pairs.push((i, None));
-                        }
-                    }
-                }
-                scratch = key.0; // probe lookups never surrender the buffer
-            }
-        }
-    }
+    // The typed fast paths require BIGINT keys on *both* sides (NULLs are
+    // fine — the kernels skip them per row); otherwise hash dynamic values.
+    let force_generic =
+        !(int_typed(probe, &probe_keys) && int_typed(build, &build_keys) && probe_keys.len() <= 2);
+    let hashed = JoinBuild::with_strategy(build.clone(), build_keys, force_generic);
+    let pairs = hashed.probe_pairs(probe, &probe_keys, outer)?;
 
     // Map probe/build pairs back to (left, right) order.
     let lr_pairs: Vec<(Option<usize>, Option<usize>)> = pairs
@@ -356,22 +522,6 @@ fn hash_join(
         .map(|(p, b)| if probe_is_left { (Some(p), b) } else { (b, Some(p)) })
         .collect();
     materialize_join_lr(left, right, &lr_pairs, residual, schema, outer, probe_is_left)
-}
-
-/// A join side's key columns decoded for the int fast paths: `Some` only
-/// when every key column is BIGINT with no nulls — the shape of every
-/// graph-workload join (vertex ids, (src, dst) pairs).
-fn int_key_cols<'a>(batch: &'a RecordBatch, keys: &[usize]) -> Option<Vec<&'a [i64]>> {
-    keys.iter()
-        .map(|&c| {
-            let col = batch.column(c);
-            if col.validity().is_none() {
-                col.as_int()
-            } else {
-                None
-            }
-        })
-        .collect()
 }
 
 fn cross_join_indices(n_left: usize, n_right: usize) -> Vec<(Option<usize>, Option<usize>)> {
@@ -987,6 +1137,100 @@ mod tests {
         // them as distinct entries under Eq — acceptable for SQL since NaN
         // rarely appears in group keys; document via this test.
         assert!(!s.is_empty());
+    }
+
+    fn nullable_int_batch(name: &str, keys: &[Option<i64>]) -> RecordBatch {
+        let schema = Schema::new(vec![
+            Field::new(name, DataType::Int),
+            Field::not_null("tag", DataType::Int),
+        ]);
+        let rows: Vec<Vec<Value>> = keys
+            .iter()
+            .enumerate()
+            .map(|(i, k)| vec![k.map(Value::Int).unwrap_or(Value::Null), Value::Int(i as i64)])
+            .collect();
+        RecordBatch::from_rows(schema, &rows).unwrap()
+    }
+
+    /// The headline NULL-key regression: a nullable BIGINT join key must
+    /// stay on the typed fast path *and* never match NULL = NULL (or a NULL
+    /// slot's 0 sentinel against a real key 0). The old fast-path kernels
+    /// had no per-row validity check — they were only safe behind an
+    /// all-or-nothing `validity().is_none()` bail to the generic path, so
+    /// putting nullable columns on the fast path (or reusing the kernels
+    /// per probe batch, as the streaming join does) would have silently
+    /// produced the 0-key cross matches this test pins. It fails if the
+    /// per-row checks are removed.
+    #[test]
+    fn nullable_bigint_fast_path_skips_null_keys() {
+        let build = nullable_int_batch("k", &[Some(1), None, Some(0), Some(0), Some(3)]);
+        let probe = nullable_int_batch("k", &[Some(1), None, Some(0), Some(2)]);
+
+        let fast = JoinBuild::new(build.clone(), vec![0]);
+        assert!(
+            matches!(fast.map, KeyMap::Int(_)),
+            "nullable BIGINT keys must not evict the join from the typed fast path"
+        );
+        let generic = JoinBuild::with_strategy(build, vec![0], true);
+        assert!(matches!(generic.map, KeyMap::Generic(_)));
+
+        for outer in [false, true] {
+            let f = fast.probe_pairs(&probe, &[0], outer).unwrap();
+            let g = generic.probe_pairs(&probe, &[0], outer).unwrap();
+            assert_eq!(f, g, "fast and generic paths diverged (outer={outer})");
+            // key 1 → 1 match, key 0 → 2 matches; NULL and 2 match nothing.
+            let matched = f.iter().filter(|(_, m)| m.is_some()).count();
+            assert_eq!(matched, 3, "NULL keys must never match (outer={outer})");
+            if outer {
+                let null_extended: Vec<usize> =
+                    f.iter().filter(|(_, m)| m.is_none()).map(|(i, _)| *i).collect();
+                assert_eq!(null_extended, vec![1, 3], "NULL-key probe rows null-extend once");
+            }
+        }
+    }
+
+    /// Composite (BIGINT, BIGINT) keys: a NULL in *either* component kills
+    /// the row on both build and probe sides, identically to generic.
+    #[test]
+    fn nullable_composite_bigint_fast_path_skips_null_keys() {
+        let schema =
+            Schema::new(vec![Field::new("a", DataType::Int), Field::new("b", DataType::Int)]);
+        let mk = |rows: &[(Option<i64>, Option<i64>)]| {
+            let rows: Vec<Vec<Value>> = rows
+                .iter()
+                .map(|(a, b)| {
+                    vec![
+                        a.map(Value::Int).unwrap_or(Value::Null),
+                        b.map(Value::Int).unwrap_or(Value::Null),
+                    ]
+                })
+                .collect();
+            RecordBatch::from_rows(schema.clone(), &rows).unwrap()
+        };
+        let build = mk(&[(Some(0), Some(0)), (Some(0), None), (None, Some(0)), (Some(1), Some(2))]);
+        let probe = mk(&[(Some(0), Some(0)), (None, None), (Some(0), None), (Some(1), Some(2))]);
+
+        let fast = JoinBuild::new(build.clone(), vec![0, 1]);
+        assert!(matches!(fast.map, KeyMap::Int2(_)));
+        let generic = JoinBuild::with_strategy(build, vec![0, 1], true);
+        for outer in [false, true] {
+            let f = fast.probe_pairs(&probe, &[0, 1], outer).unwrap();
+            let g = generic.probe_pairs(&probe, &[0, 1], outer).unwrap();
+            assert_eq!(f, g, "composite fast path diverged from generic (outer={outer})");
+            let matched = f.iter().filter(|(_, m)| m.is_some()).count();
+            assert_eq!(matched, 2, "only the two fully-non-NULL keys match");
+        }
+    }
+
+    #[test]
+    fn join_build_probe_matches_lists_per_row() {
+        let build = nullable_int_batch("k", &[Some(5), Some(5), None, Some(7)]);
+        let jb = JoinBuild::new(build, vec![0]);
+        let probe = nullable_int_batch("k", &[Some(5), Some(6), None, Some(7)]);
+        let matches = jb.probe_matches(&probe, &[0]).unwrap();
+        assert_eq!(matches, vec![vec![0, 1], vec![], vec![], vec![3]]);
+        assert_eq!(jb.num_rows(), 4);
+        assert_eq!(jb.key_columns(), &[0]);
     }
 
     #[test]

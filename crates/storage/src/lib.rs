@@ -35,5 +35,5 @@ pub use bitmap::Bitmap;
 pub use catalog::Catalog;
 pub use column::{Column, ColumnBuilder};
 pub use error::{StorageError, StorageResult};
-pub use table::{ColumnPredicate, PredicateOp, Row, Segment, Table, TableOptions};
+pub use table::{ColumnPredicate, PredicateOp, Row, ScanCursor, Segment, Table, TableOptions};
 pub use value::{DataType, Field, Schema, Value};

@@ -241,7 +241,10 @@ pub struct Table {
     /// scans of this table handle — observability for "did the pruning
     /// predicate actually avoid decoding that segment?" (regression-tested
     /// against segments produced by the segmented-replace fast path).
-    segments_pruned: std::sync::atomic::AtomicU64,
+    /// Shared (`Arc`) with every [`ScanCursor`] snapshotted from this table,
+    /// so pruning observed by a cursor *after* the catalog lock was dropped
+    /// still lands on the same counter the eager scan bumps.
+    segments_pruned: Arc<std::sync::atomic::AtomicU64>,
 }
 
 impl Table {
@@ -253,7 +256,7 @@ impl Table {
             wos: Vec::new(),
             segments: Vec::new(),
             delete_vectors: Vec::new(),
-            segments_pruned: std::sync::atomic::AtomicU64::new(0),
+            segments_pruned: Arc::new(std::sync::atomic::AtomicU64::new(0)),
         }
     }
 
@@ -433,6 +436,11 @@ impl Table {
     /// Scans the table, returning one batch per live segment plus one for the
     /// WOS. `projection` selects columns; `predicates` are used for zone-map
     /// pruning *and* applied to rows.
+    ///
+    /// This is the eager form of [`Table::scan_cursor`]: it drains the cursor
+    /// immediately, so every segment is decoded before the call returns.
+    /// Callers that hold a lock on this table should prefer snapshotting a
+    /// cursor and decoding after the lock is dropped.
     pub fn scan(
         &self,
         projection: Option<&[usize]>,
@@ -448,62 +456,44 @@ impl Table {
         projection: Option<&[usize]>,
         predicates: &[ColumnPredicate],
     ) -> StorageResult<Vec<(RecordBatch, Vec<u64>)>> {
+        let mut cursor = self.scan_cursor(projection, predicates)?;
+        let mut out = Vec::new();
+        while let Some(item) = cursor.next_with_rowids()? {
+            out.push(item);
+        }
+        Ok(out)
+    }
+
+    /// Snapshots a pull-based [`ScanCursor`] over the table's current
+    /// contents. The snapshot is cheap — the segment list is `Arc`-cloned,
+    /// delete vectors are copied, and only the (bounded) WOS rows are
+    /// materialized — so a caller holding the catalog's table lock can take
+    /// the cursor and **drop the lock before decoding anything**: all the
+    /// expensive per-segment decode work happens on
+    /// [`ScanCursor::next_batch`] / [`ScanCursor::next_with_rowids`] pulls,
+    /// without blocking writers. Zone-map pruning fires lazily per pull and
+    /// bumps the same [`Table::segments_pruned`] counter as the eager scan
+    /// (the counter cell is shared with the table handle).
+    ///
+    /// The cursor observes the table as of the snapshot: rows appended or
+    /// deleted afterwards are invisible to it.
+    pub fn scan_cursor(
+        &self,
+        projection: Option<&[usize]>,
+        predicates: &[ColumnPredicate],
+    ) -> StorageResult<ScanCursor> {
         let proj: Vec<usize> = match projection {
             Some(p) => p.to_vec(),
             None => (0..self.schema.len()).collect(),
         };
         let out_schema = self.schema.project(&proj);
-        let mut out = Vec::new();
 
-        for (si, (seg, dels)) in self.segments.iter().zip(&self.delete_vectors).enumerate() {
-            // Zone-map pruning.
-            if predicates.iter().any(|p| !p.maybe_in(seg.zone_map(p.column))) {
-                self.segments_pruned.fetch_add(1, std::sync::atomic::Ordering::Relaxed);
-                continue;
-            }
-            // Decode predicate columns first and compute surviving rows.
-            let mut keep: Vec<u32> = Vec::with_capacity(seg.num_rows());
-            let pred_cols: Vec<(usize, Column)> = {
-                let mut v = Vec::new();
-                for p in predicates {
-                    if !v.iter().any(|(c, _)| *c == p.column) {
-                        v.push((p.column, seg.decode_column(p.column)?));
-                    }
-                }
-                v
-            };
-            'rows: for r in 0..seg.num_rows() {
-                if dels.get(r) {
-                    continue;
-                }
-                for p in predicates {
-                    let col = &pred_cols.iter().find(|(c, _)| *c == p.column).unwrap().1;
-                    if !p.matches(&col.value(r)) {
-                        continue 'rows;
-                    }
-                }
-                keep.push(r as u32);
-            }
-            if keep.is_empty() {
-                continue;
-            }
-            let all = keep.len() == seg.num_rows();
-            let indices: Vec<usize> = keep.iter().map(|&r| r as usize).collect();
-            let mut cols = Vec::with_capacity(proj.len());
-            for &ci in &proj {
-                // Reuse predicate-decoded columns when possible.
-                let full = match pred_cols.iter().find(|(c, _)| *c == ci) {
-                    Some((_, c)) => c.clone(),
-                    None => seg.decode_column(ci)?,
-                };
-                cols.push(if all { full } else { full.take(&indices) });
-            }
-            let rowids: Vec<u64> = keep.iter().map(|&r| rowid(si as u32, r)).collect();
-            out.push((RecordBatch::new(out_schema.clone(), cols)?, rowids));
-        }
-
-        // WOS scan.
-        if !self.wos.is_empty() {
+        // WOS rows are row-oriented and bounded by the moveout threshold, so
+        // they are the one part copied out eagerly (they would have to be
+        // copied to survive the lock anyway).
+        let wos = if self.wos.is_empty() {
+            None
+        } else {
             let mut builders: Vec<ColumnBuilder> =
                 proj.iter().map(|&ci| ColumnBuilder::new(self.schema.field(ci).dtype)).collect();
             let mut rowids = Vec::new();
@@ -518,12 +508,29 @@ impl Table {
                 }
                 rowids.push(rowid(WOS_SEGMENT, r as u32));
             }
-            if !rowids.is_empty() {
+            if rowids.is_empty() {
+                None
+            } else {
                 let cols: Vec<Column> = builders.into_iter().map(|b| b.finish()).collect();
-                out.push((RecordBatch::new(out_schema.clone(), cols)?, rowids));
+                Some((RecordBatch::new(out_schema.clone(), cols)?, rowids))
             }
-        }
-        Ok(out)
+        };
+
+        Ok(ScanCursor {
+            out_schema,
+            proj,
+            predicates: predicates.to_vec(),
+            segments: self
+                .segments
+                .iter()
+                .zip(&self.delete_vectors)
+                .enumerate()
+                .map(|(si, (seg, dels))| (si as u32, seg.clone(), dels.clone()))
+                .collect(),
+            pos: 0,
+            wos,
+            pruned: self.segments_pruned.clone(),
+        })
     }
 
     /// Deletes rows by rowid (as returned from [`Table::scan_with_rowids`]).
@@ -587,6 +594,104 @@ impl Table {
     /// Rows currently buffered in the WOS.
     pub fn wos(&self) -> &[Row] {
         &self.wos
+    }
+}
+
+/// A pull-based scan over a [`Table`] snapshot: one
+/// (zone-map-pruned, delete-vector-filtered, predicate-filtered) batch per
+/// live segment, then one batch for the WOS.
+///
+/// Created by [`Table::scan_cursor`]. The cursor owns its snapshot
+/// (`Arc`-cloned segments, copied delete vectors, materialized WOS rows), so
+/// it holds **no lock**: segment decode — the expensive part of a scan —
+/// happens on each [`next_batch`](Self::next_batch) pull, after the caller
+/// has released the table lock, and the consumer's transient footprint is
+/// one in-flight batch instead of the whole table. Concatenating every
+/// pulled batch reproduces the eager [`Table::scan`] output bitwise (the
+/// eager scan is implemented by draining this cursor).
+#[derive(Debug)]
+pub struct ScanCursor {
+    out_schema: Arc<Schema>,
+    proj: Vec<usize>,
+    predicates: Vec<ColumnPredicate>,
+    /// `(segment index, segment, delete-vector snapshot)` per ROS segment.
+    segments: Vec<(u32, Arc<Segment>, Bitmap)>,
+    pos: usize,
+    /// The filtered WOS batch (pulled last), if any rows survived.
+    wos: Option<(RecordBatch, Vec<u64>)>,
+    /// The owning table handle's pruning counter (shared so cursor-observed
+    /// prunes and eager-scan prunes land on the same gauge).
+    pruned: Arc<std::sync::atomic::AtomicU64>,
+}
+
+impl ScanCursor {
+    /// Schema of every batch this cursor yields (the projected table schema).
+    pub fn schema(&self) -> &Arc<Schema> {
+        &self.out_schema
+    }
+
+    /// Segments not yet pulled (upper bound on remaining ROS batches; some
+    /// may still be pruned or filtered to nothing).
+    pub fn segments_remaining(&self) -> usize {
+        self.segments.len() - self.pos
+    }
+
+    /// Pulls the next non-empty batch, or `None` at end of scan.
+    pub fn next_batch(&mut self) -> StorageResult<Option<RecordBatch>> {
+        Ok(self.next_with_rowids()?.map(|(b, _)| b))
+    }
+
+    /// Pulls the next non-empty batch along with each row's stable rowid.
+    pub fn next_with_rowids(&mut self) -> StorageResult<Option<(RecordBatch, Vec<u64>)>> {
+        while self.pos < self.segments.len() {
+            let (si, seg, dels) = &self.segments[self.pos];
+            self.pos += 1;
+            // Zone-map pruning: skip the segment without decoding anything.
+            if self.predicates.iter().any(|p| !p.maybe_in(seg.zone_map(p.column))) {
+                self.pruned.fetch_add(1, std::sync::atomic::Ordering::Relaxed);
+                continue;
+            }
+            // Decode predicate columns first and compute surviving rows.
+            let pred_cols: Vec<(usize, Column)> = {
+                let mut v: Vec<(usize, Column)> = Vec::new();
+                for p in &self.predicates {
+                    if !v.iter().any(|(c, _)| *c == p.column) {
+                        v.push((p.column, seg.decode_column(p.column)?));
+                    }
+                }
+                v
+            };
+            let mut keep: Vec<u32> = Vec::with_capacity(seg.num_rows());
+            'rows: for r in 0..seg.num_rows() {
+                if dels.get(r) {
+                    continue;
+                }
+                for p in &self.predicates {
+                    let col = &pred_cols.iter().find(|(c, _)| *c == p.column).unwrap().1;
+                    if !p.matches(&col.value(r)) {
+                        continue 'rows;
+                    }
+                }
+                keep.push(r as u32);
+            }
+            if keep.is_empty() {
+                continue;
+            }
+            let all = keep.len() == seg.num_rows();
+            let indices: Vec<usize> = keep.iter().map(|&r| r as usize).collect();
+            let mut cols = Vec::with_capacity(self.proj.len());
+            for &ci in &self.proj {
+                // Reuse predicate-decoded columns when possible.
+                let full = match pred_cols.iter().find(|(c, _)| *c == ci) {
+                    Some((_, c)) => c.clone(),
+                    None => seg.decode_column(ci)?,
+                };
+                cols.push(if all { full } else { full.take(&indices) });
+            }
+            let rowids: Vec<u64> = keep.iter().map(|&r| rowid(*si, r)).collect();
+            return Ok(Some((RecordBatch::new(self.out_schema.clone(), cols)?, rowids)));
+        }
+        Ok(self.wos.take())
     }
 }
 
@@ -843,6 +948,98 @@ mod tests {
     fn predicate_matches_null_is_false() {
         let p = ColumnPredicate::new(0, PredicateOp::Eq, Value::Int(1));
         assert!(!p.matches(&Value::Null));
+    }
+
+    #[test]
+    fn scan_cursor_matches_eager_scan_batches() {
+        let mut t =
+            Table::new("t", edge_schema(), TableOptions::default().with_moveout_threshold(3));
+        for i in 0..10i64 {
+            t.insert_row(vec![Value::Int(i), Value::Int(i + 1), Value::Float(i as f64)]).unwrap();
+        }
+        // 3 ROS segments + 1 WOS row; delete one ROS row.
+        let first_id = t.scan_with_rowids(None, &[]).unwrap()[0].1[0];
+        t.delete_rowids(&[first_id]);
+        let pred = ColumnPredicate::new(0, PredicateOp::Lt, Value::Int(8));
+        let eager = t.scan(None, std::slice::from_ref(&pred)).unwrap();
+        let mut cursor = t.scan_cursor(None, &[pred]).unwrap();
+        let mut pulled = Vec::new();
+        while let Some(b) = cursor.next_batch().unwrap() {
+            pulled.push(b);
+        }
+        assert_eq!(eager.len(), pulled.len());
+        for (e, p) in eager.iter().zip(&pulled) {
+            assert_eq!(e.rows(), p.rows());
+        }
+    }
+
+    #[test]
+    fn scan_cursor_snapshot_ignores_later_writes() {
+        let mut t = small_table();
+        t.moveout().unwrap();
+        let mut cursor = t.scan_cursor(None, &[]).unwrap();
+        // Mutations after the snapshot are invisible to the open cursor.
+        t.insert_row(vec![Value::Int(42), Value::Int(43), Value::Null]).unwrap();
+        let all_ids: Vec<u64> = t
+            .scan_with_rowids(None, &[])
+            .unwrap()
+            .iter()
+            .flat_map(|(_, ids)| ids.clone())
+            .collect();
+        t.delete_rowids(&all_ids);
+        assert_eq!(t.num_rows(), 0);
+        let mut rows = 0;
+        while let Some(b) = cursor.next_batch().unwrap() {
+            rows += b.num_rows();
+        }
+        assert_eq!(rows, 4, "cursor must see exactly the snapshot contents");
+    }
+
+    #[test]
+    fn cursor_and_eager_scan_prune_identically() {
+        let mut t =
+            Table::new("t", edge_schema(), TableOptions::default().with_moveout_threshold(2));
+        // Three segments: src in {0,1}, {10,11}, {20,21}.
+        for s in [0i64, 1, 10, 11, 20, 21] {
+            t.insert_row(vec![Value::Int(s), Value::Int(0), Value::Null]).unwrap();
+        }
+        assert_eq!(t.num_segments(), 3);
+        let pred = ColumnPredicate::new(0, PredicateOp::Gt, Value::Int(15));
+
+        let before = t.segments_pruned();
+        let eager = t.scan(None, std::slice::from_ref(&pred)).unwrap();
+        let eager_pruned = t.segments_pruned() - before;
+        assert_eq!(eager_pruned, 2);
+
+        let before = t.segments_pruned();
+        let mut cursor = t.scan_cursor(None, &[pred]).unwrap();
+        let mut pulled = Vec::new();
+        while let Some(b) = cursor.next_batch().unwrap() {
+            pulled.push(b);
+        }
+        let cursor_pruned = t.segments_pruned() - before;
+        assert_eq!(
+            cursor_pruned, eager_pruned,
+            "zone-map pruning must fire identically through the cursor"
+        );
+        assert_eq!(RecordBatch::total_rows(&eager), RecordBatch::total_rows(&pulled));
+    }
+
+    #[test]
+    fn cursor_prune_counts_after_lock_is_dropped() {
+        // The counter cell is shared: prunes observed while pulling a cursor
+        // whose table handle (lock guard in real use) is long gone still land
+        // on the table's gauge.
+        let mut t =
+            Table::new("t", edge_schema(), TableOptions::default().with_moveout_threshold(2));
+        for s in [0i64, 1, 10, 11] {
+            t.insert_row(vec![Value::Int(s), Value::Int(0), Value::Null]).unwrap();
+        }
+        let pred = ColumnPredicate::new(0, PredicateOp::Gt, Value::Int(5));
+        let mut cursor = t.scan_cursor(None, &[pred]).unwrap();
+        assert_eq!(t.segments_pruned(), 0, "pruning is lazy: nothing pruned before a pull");
+        while cursor.next_batch().unwrap().is_some() {}
+        assert_eq!(t.segments_pruned(), 1);
     }
 
     #[test]

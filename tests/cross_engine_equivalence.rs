@@ -152,8 +152,12 @@ fn every_vertexica_configuration_agrees() {
     let configs = vec![
         VertexicaConfig::default(),
         VertexicaConfig::default().with_streaming(false),
+        VertexicaConfig::default().with_streaming_scan(false),
         VertexicaConfig::default().with_input_mode(InputMode::ThreeWayJoin),
         VertexicaConfig::default().with_input_mode(InputMode::ThreeWayJoin).with_streaming(false),
+        VertexicaConfig::default()
+            .with_input_mode(InputMode::ThreeWayJoin)
+            .with_streaming_scan(false),
         VertexicaConfig::default().with_workers(1).with_partitions(1),
         VertexicaConfig::default().with_workers(8).with_partitions(64),
         VertexicaConfig::default().with_replace_threshold(0.0),
@@ -216,12 +220,27 @@ fn streaming_matches_materialized_on_every_algorithm() {
 fn streaming_stats_report_bounded_peak_bytes() {
     // Dense superstep: PageRank touches every vertex, edge, and (after
     // superstep 0) a per-edge message load. The streaming pipeline must
-    // never hold the whole assembled input as one in-flight batch.
+    // never hold the whole assembled input as one in-flight batch, and the
+    // pull-based scan must never hold more than one in-flight batch per
+    // source — strictly below the eager input size.
     let graph = erdos_renyi(400, 3200, 9);
+    // No combiner: the full per-edge message load lands in the message
+    // table, which the apply path writes as several bucket segments — the
+    // shape where pulling one segment at a time visibly beats holding the
+    // whole table.
+    // (workers and parallel apply pinned: the bucket fan-out — and so the
+    // message table's segment count — follows num_workers under the
+    // segment-parallel apply path; the defaults track the host's core count
+    // and the CI ablation env.)
+    let base =
+        VertexicaConfig::default().with_combiner(false).with_workers(4).with_parallel_apply(true);
     let session = session_for(&graph);
-    let stats =
-        run_program(&session, Arc::new(PageRank::new(5, 0.85)), &VertexicaConfig::default())
-            .unwrap();
+    let stats = run_program(
+        &session,
+        Arc::new(PageRank::new(5, 0.85)),
+        &base.clone().with_streaming_scan(true),
+    )
+    .unwrap();
     assert!(stats.supersteps >= 2);
     for s in &stats.per_superstep {
         assert!(s.input_bytes > 0, "superstep {} reported no input", s.superstep);
@@ -233,8 +252,34 @@ fn streaming_stats_report_bounded_peak_bytes() {
             s.peak_batch_bytes,
             s.input_bytes
         );
+        assert!(
+            s.peak_resident_scan_bytes > 0 && s.peak_resident_scan_bytes < s.input_bytes,
+            "superstep {}: the pull-based scan's resident gauge {} should stay \
+             strictly below the eager input size {}",
+            s.superstep,
+            s.peak_resident_scan_bytes,
+            s.input_bytes
+        );
         assert!(s.queue_wait_secs >= 0.0);
     }
+    let streamed_resident: usize =
+        stats.per_superstep.iter().map(|s| s.peak_resident_scan_bytes).sum();
+
+    // Same run through the eager scan ablation: whole tables are resident,
+    // so the gauge must come out strictly higher (from superstep 1 on, the
+    // apply path writes the message table as several bucket segments — the
+    // cursor holds one of them, the eager scan all of them).
+    let session = session_for(&graph);
+    let eager_stats =
+        run_program(&session, Arc::new(PageRank::new(5, 0.85)), &base.with_streaming_scan(false))
+            .unwrap();
+    let eager_resident: usize =
+        eager_stats.per_superstep.iter().map(|s| s.peak_resident_scan_bytes).sum();
+    assert!(
+        streamed_resident < eager_resident,
+        "pull-based scans should shrink the resident footprint: \
+         streamed {streamed_resident} vs eager {eager_resident}"
+    );
 
     // The materialized pipeline, by definition, holds the whole input.
     let session = session_for(&graph);
@@ -246,6 +291,7 @@ fn streaming_stats_report_bounded_peak_bytes() {
     .unwrap();
     for s in &stats.per_superstep {
         assert_eq!(s.peak_batch_bytes, s.input_bytes);
+        assert_eq!(s.peak_resident_scan_bytes, s.input_bytes);
     }
 }
 
@@ -288,7 +334,8 @@ fn message_table_bits(session: &GraphSession) -> Vec<(i64, Option<i64>, Option<V
 }
 
 /// Everything one configuration cell produced that must be invariant across
-/// the {streaming} × {parallel apply} × {pipelined} matrix.
+/// the {streaming} × {parallel apply} × {pipelined} × {streaming scan}
+/// matrix.
 #[derive(PartialEq, Debug)]
 struct CellResult {
     vertex_bits: Vec<(i64, Option<Vec<u8>>, Option<bool>)>,
@@ -303,6 +350,7 @@ fn run_cell<P, F>(
     streaming: bool,
     parallel: bool,
     pipelined: bool,
+    stream_scan: bool,
     cap: u64,
 ) -> CellResult
 where
@@ -315,6 +363,7 @@ where
         .with_streaming(streaming)
         .with_parallel_apply(parallel)
         .with_pipelined(pipelined)
+        .with_streaming_scan(stream_scan)
         .with_max_supersteps(cap);
     let session = session_for(graph);
     let stats = run_program(&session, Arc::new(make_program()), &config).unwrap();
@@ -330,6 +379,12 @@ where
         if !(streaming && pipelined) {
             assert_eq!(s.overlap_secs, 0.0, "phased pipelines must report zero overlap");
         }
+        if !streaming {
+            // The materialized pipeline holds the whole input by definition.
+            assert_eq!(s.peak_resident_scan_bytes, s.input_bytes);
+        } else if s.input_bytes > 0 {
+            assert!(s.peak_resident_scan_bytes > 0, "streaming cells must report the scan gauge");
+        }
     }
     CellResult {
         vertex_bits: vertex_table_bits(&session),
@@ -344,65 +399,102 @@ where
 }
 
 /// The config-matrix equivalence harness: every vertex-centric algorithm,
-/// run under all eight {streaming} × {parallel apply} × {pipelined} cells,
-/// must produce **bitwise-identical** vertex tables, message tables and
-/// message counts. Two runs stop mid-algorithm (superstep cap) so the
-/// message table is non-empty and mid-flight state is compared too.
+/// run under all sixteen {streaming} × {parallel apply} × {pipelined} ×
+/// {streaming scan} cells, must produce **bitwise-identical** vertex
+/// tables, message tables and message counts. Two runs stop mid-algorithm
+/// (superstep cap) so the message table is non-empty and mid-flight state
+/// is compared too.
 #[test]
-fn config_matrix_streaming_x_parallel_apply_x_pipelined_is_bitwise_identical() {
+fn config_matrix_streaming_x_parallel_apply_x_pipelined_x_scan_is_bitwise_identical() {
     use vertexica_algorithms::vc::{LabelPropagation, RandomWalkWithRestart};
     let graph =
         rmat_graph(&RmatConfig { scale: 6, num_edges: 400, seed: 17, ..Default::default() });
     let undirected = graph.undirected();
 
     // (name, cap, runner): each runner executes one cell for its algorithm.
-    type Cell = Box<dyn Fn(bool, bool, bool) -> CellResult>;
+    type Cell = Box<dyn Fn(bool, bool, bool, bool) -> CellResult>;
     let algorithms: Vec<(&str, Cell)> = vec![
         ("pagerank", {
             let g = graph.clone();
-            Box::new(move |s, p, l| run_cell(&g, || PageRank::new(6, 0.85), s, p, l, 10_000))
+            Box::new(move |s, p, l, c| run_cell(&g, || PageRank::new(6, 0.85), s, p, l, c, 10_000))
         }),
         ("pagerank-midflight", {
             let g = graph.clone();
-            Box::new(move |s, p, l| run_cell(&g, || PageRank::new(6, 0.85), s, p, l, 3))
+            Box::new(move |s, p, l, c| run_cell(&g, || PageRank::new(6, 0.85), s, p, l, c, 3))
         }),
         ("sssp", {
             let g = graph.clone();
-            Box::new(move |s, p, l| run_cell(&g, || Sssp::new(0), s, p, l, 10_000))
+            Box::new(move |s, p, l, c| run_cell(&g, || Sssp::new(0), s, p, l, c, 10_000))
         }),
         ("connected-components", {
             let g = undirected.clone();
-            Box::new(move |s, p, l| run_cell(&g, || ConnectedComponents, s, p, l, 10_000))
+            Box::new(move |s, p, l, c| run_cell(&g, || ConnectedComponents, s, p, l, c, 10_000))
         }),
         ("cc-midflight", {
             let g = undirected.clone();
-            Box::new(move |s, p, l| run_cell(&g, || ConnectedComponents, s, p, l, 2))
+            Box::new(move |s, p, l, c| run_cell(&g, || ConnectedComponents, s, p, l, c, 2))
         }),
         ("random-walk-with-restart", {
             let g = graph.clone();
-            Box::new(move |s, p, l| {
-                run_cell(&g, || RandomWalkWithRestart::new(0, 8), s, p, l, 10_000)
+            Box::new(move |s, p, l, c| {
+                run_cell(&g, || RandomWalkWithRestart::new(0, 8), s, p, l, c, 10_000)
             })
         }),
         ("label-propagation", {
             let g = undirected.clone();
-            Box::new(move |s, p, l| run_cell(&g, || LabelPropagation::new(6), s, p, l, 10_000))
+            Box::new(move |s, p, l, c| {
+                run_cell(&g, || LabelPropagation::new(6), s, p, l, c, 10_000)
+            })
         }),
     ];
 
     for (name, cell) in &algorithms {
-        let reference = cell(true, true, true);
+        let reference = cell(true, true, true, true);
         assert!(!reference.vertex_bits.is_empty(), "{name}: empty vertex table");
-        for bits in 0..7u8 {
-            // The remaining seven cells of the cube.
-            let (streaming, parallel, pipelined) = (bits & 4 != 0, bits & 2 != 0, bits & 1 != 0);
-            let other = cell(streaming, parallel, pipelined);
+        for bits in 0..15u8 {
+            // The remaining fifteen cells of the hypercube.
+            let (streaming, parallel, pipelined, stream_scan) =
+                (bits & 8 != 0, bits & 4 != 0, bits & 2 != 0, bits & 1 != 0);
+            let other = cell(streaming, parallel, pipelined, stream_scan);
             assert_eq!(
                 reference, other,
                 "{name}: cell (streaming={streaming}, parallel_apply={parallel}, \
-                 pipelined={pipelined}) diverged from the (true, true, true) reference"
+                 pipelined={pipelined}, streaming_scan={stream_scan}) diverged from \
+                 the all-true reference"
             );
         }
+    }
+}
+
+/// Sealed join partitions: with the join-mode row plan, the 3-way-join
+/// input's partitions seal the moment their last planned row lands, so the
+/// pipelined dataflow dispatches compute early — the pre-cursor
+/// implementation kept every join partition open until end-of-stream
+/// (`early_dispatches` was structurally 0 in join mode).
+#[test]
+fn join_mode_seals_partitions_and_dispatches_early() {
+    let graph = erdos_renyi(300, 2400, 13);
+    let config = VertexicaConfig::default()
+        .with_workers(4)
+        .with_partitions(8)
+        .with_pipelined(true)
+        .with_streaming_scan(true)
+        .with_input_mode(InputMode::ThreeWayJoin)
+        .with_stream_chunk_rows(128);
+    let session = session_for(&graph);
+    let stats = run_program(&session, Arc::new(PageRank::new(4, 0.85)), &config).unwrap();
+    let early: usize = stats.per_superstep.iter().map(|s| s.early_dispatches).sum();
+    assert!(
+        early > 0,
+        "join-mode partitions should seal from the prescan plan: {:?}",
+        stats.per_superstep.iter().map(|s| s.early_dispatches).collect::<Vec<_>>()
+    );
+
+    // And the sealed-join run still computes the right answer.
+    let expected = reference::pagerank(&graph, 4, 0.85);
+    let vx: Vec<(VertexId, f64)> = session.vertex_values().unwrap();
+    for (id, rank) in &vx {
+        assert!((rank - expected[*id as usize]).abs() < 1e-9, "vertex {id}");
     }
 }
 
