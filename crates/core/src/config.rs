@@ -84,6 +84,16 @@ pub struct VertexicaConfig {
     /// off (for CI ablation runs), while
     /// [`VertexicaConfig::with_streaming_scan`] always wins.
     pub streaming_scan: bool,
+    /// Evaluate SQL expressions with the typed slice kernels in
+    /// `vertexica_sql::expr` (Int/Float arithmetic and comparisons over raw
+    /// slices, bitmap-native three-valued AND/OR/NOT, columnar
+    /// IsNull/InList/CASE) instead of the `Value`-per-row fallback loop.
+    /// Results are bitwise-identical either way (the config-matrix harness
+    /// covers the axis; a property test pins kernels ≡ row loop over random
+    /// expression trees). Defaults to on; the environment variable
+    /// `VERTEXICA_VECTOR_EXPR=0` flips the *default* off (for CI ablation
+    /// runs), while [`VertexicaConfig::with_vectorized_expr`] always wins.
+    pub vectorized_expr: bool,
     /// Hard cap on supersteps (safety net on top of the program's own limit).
     pub max_supersteps: u64,
     /// Checkpoint every N supersteps into `checkpoint_dir`.
@@ -116,6 +126,14 @@ fn streaming_scan_default() -> bool {
     env_toggle_default_on("VERTEXICA_STREAM_SCAN")
 }
 
+/// Default for [`VertexicaConfig::vectorized_expr`]: on, unless the
+/// `VERTEXICA_VECTOR_EXPR` environment variable disables it (`0`, `false`
+/// or `off`, case-insensitive) — the hook CI uses to keep the row-at-a-time
+/// expression path green on every push.
+fn vectorized_expr_default() -> bool {
+    env_toggle_default_on("VERTEXICA_VECTOR_EXPR")
+}
+
 /// `true` unless `var` is set to `0`/`false`/`off` (case-insensitive).
 fn env_toggle_default_on(var: &str) -> bool {
     match std::env::var(var) {
@@ -138,6 +156,7 @@ impl Default for VertexicaConfig {
             pipelined: pipelined_default(),
             stream_chunk_rows: crate::input::STREAM_CHUNK_ROWS,
             streaming_scan: streaming_scan_default(),
+            vectorized_expr: vectorized_expr_default(),
             max_supersteps: 10_000,
             checkpoint_every: None,
             checkpoint_dir: None,
@@ -193,6 +212,11 @@ impl VertexicaConfig {
 
     pub fn with_streaming_scan(mut self, on: bool) -> Self {
         self.streaming_scan = on;
+        self
+    }
+
+    pub fn with_vectorized_expr(mut self, on: bool) -> Self {
+        self.vectorized_expr = on;
         self
     }
 

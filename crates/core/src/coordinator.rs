@@ -168,7 +168,10 @@ pub fn run_program<P: VertexProgram + 'static>(
 ) -> VertexicaResult<RunStats> {
     let total = Stopwatch::start();
     // Size the shared runtime pool once for the whole run; every superstep
-    // reuses the same worker threads.
+    // reuses the same worker threads. Expression kernels are a process-wide
+    // switch — applying it here is safe because both paths are bitwise
+    // identical.
+    vertexica_sql::expr::set_vectorized_expr(config.vectorized_expr);
     session.db().runtime().resize(config.num_workers);
     let num_vertices = initialize_vertices(session, program.as_ref())?;
     let stats = superstep_loop(session, program, config, num_vertices, 0, FxHashMap::default())?;
@@ -189,6 +192,7 @@ pub fn resume_program<P: VertexProgram + 'static>(
         .as_ref()
         .ok_or_else(|| VertexicaError::Checkpoint("no checkpoint_dir configured".into()))?;
     let total = Stopwatch::start();
+    vertexica_sql::expr::set_vectorized_expr(config.vectorized_expr);
     session.db().runtime().resize(config.num_workers);
     let state = crate::checkpoint::restore(session, dir)?;
     let num_vertices = session.num_vertices()?;

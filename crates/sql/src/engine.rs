@@ -372,9 +372,9 @@ impl Database {
         while let Some((batch, rowids)) = cursor.next_with_rowids()? {
             let mask = match &pred {
                 Some(p) => p.eval_predicate(&batch)?,
-                None => vec![true; batch.num_rows()],
+                None => vertexica_storage::Bitmap::ones(batch.num_rows()),
             };
-            if !mask.iter().any(|&m| m) {
+            if !mask.any() {
                 continue;
             }
             // Evaluate assignment expressions vectorized over the batch.
@@ -382,15 +382,12 @@ impl Database {
                 .iter()
                 .map(|(idx, e)| Ok((*idx, e.eval(&batch)?)))
                 .collect::<SqlResult<Vec<_>>>()?;
-            for (i, (&keep, rowid)) in mask.iter().zip(&rowids).enumerate() {
-                if !keep {
-                    continue;
-                }
+            for i in mask.iter_ones() {
                 let mut row = batch.row(i);
                 for (idx, col) in &new_cols {
                     row[*idx] = col.value(i);
                 }
-                updates.push((*rowid, row));
+                updates.push((rowids[i], row));
             }
         }
         let n = table_ref.write().update_rows(updates)?;
@@ -424,10 +421,8 @@ impl Database {
         let mut doomed: Vec<u64> = Vec::new();
         while let Some((batch, rowids)) = cursor.next_with_rowids()? {
             let mask = pred.eval_predicate(&batch)?;
-            for (keep, rowid) in mask.iter().zip(&rowids) {
-                if *keep {
-                    doomed.push(*rowid);
-                }
+            for i in mask.iter_ones() {
+                doomed.push(rowids[i]);
             }
         }
         let n = table_ref.write().delete_rowids(&doomed);
@@ -2035,6 +2030,45 @@ mod tests {
         assert_eq!(db.query_int("SELECT COUNT(*) FROM edge").unwrap(), 3);
         assert_eq!(db.query_int("SELECT COUNT(*) FROM edge WHERE src < 10").unwrap(), 0);
         assert_eq!(handle.read().num_segments(), 2);
+    }
+
+    #[test]
+    fn replace_table_segmented_carries_block_zone_maps() {
+        use vertexica_storage::BLOCK_ROWS;
+        let db = Database::new();
+        db.execute("CREATE TABLE t (k BIGINT NOT NULL, v BIGINT)").unwrap();
+        let schema = db.catalog().get("t").unwrap().read().schema().clone();
+        let n = BLOCK_ROWS * 3;
+        let rows: Vec<Vec<Value>> =
+            (0..n).map(|i| vec![Value::Int(i as i64), Value::Int((i % 7) as i64)]).collect();
+        let batch = RecordBatch::from_rows(schema, &rows).unwrap();
+        assert_eq!(db.replace_table_segmented("t", vec![batch]).unwrap(), n);
+
+        // The segment-parallel commit path must produce the same per-block
+        // zone maps a bulk load would: k is sorted, so block b spans exactly
+        // [b * BLOCK_ROWS, (b + 1) * BLOCK_ROWS).
+        let handle = db.catalog().get("t").unwrap();
+        {
+            let guard = handle.read();
+            let seg = &guard.segments()[0];
+            assert_eq!(seg.num_blocks(), 3);
+            for b in 0..seg.num_blocks() {
+                let (start, len) = seg.block_range(b);
+                let zm = seg.block_zone_map(0, b);
+                assert_eq!(zm.min, Value::Int(start as i64));
+                assert_eq!(zm.max, Value::Int((start + len - 1) as i64));
+                assert_eq!(zm.null_count, 0);
+            }
+        }
+
+        // A pushed-down point predicate then prunes the two non-matching
+        // blocks inside the surviving segment.
+        let before = handle.read().blocks_pruned();
+        let probe = (BLOCK_ROWS + 5) as i64;
+        let got = db.query_int(&format!("SELECT v FROM t WHERE k = {probe}")).unwrap();
+        assert_eq!(got, probe % 7);
+        let after = handle.read().blocks_pruned();
+        assert_eq!(after - before, 2, "two of the three blocks should be zone-map-pruned");
     }
 
     #[test]

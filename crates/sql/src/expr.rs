@@ -3,16 +3,59 @@
 //! The planner lowers AST expressions ([`crate::ast::Expr`]) into
 //! [`PhysExpr`], with column references resolved to input-schema indices and
 //! function names bound to implementations. Evaluation is column-at-a-time:
-//! children evaluate to [`Column`]s, then the node combines them row-wise with
-//! SQL NULL semantics (three-valued logic for booleans).
+//! children evaluate to [`Column`]s, then the node combines them with **typed
+//! slice kernels** — Int/Float arithmetic and comparisons run over raw
+//! `&[i64]`/`&[f64]` with validity-bitmap NULL handling, AND/OR/NOT run
+//! word-wise on packed [`Bitmap`]s, and IsNull/InList/CASE have dedicated
+//! columnar paths. The `Value`-per-row loop survives as the generic fallback
+//! for type combinations with no kernel, and as the whole-path ablation
+//! baseline via [`set_vectorized_expr`] / `VERTEXICA_VECTOR_EXPR=0`. Both
+//! paths are bitwise identical (property-tested in `tests/proptest_sql.rs`).
 
+use std::sync::atomic::{AtomicU8, Ordering};
 use std::sync::Arc;
 
-use vertexica_storage::{Column, ColumnBuilder, DataType, RecordBatch, Schema, Value};
+use vertexica_storage::{
+    Bitmap, Column, ColumnBuilder, ColumnData, DataType, RecordBatch, Schema, Value,
+};
 
 use crate::ast::{BinaryOp, UnaryOp};
 use crate::error::{SqlError, SqlResult};
 use crate::functions::ScalarFunction;
+
+/// Whether expression evaluation uses the typed slice kernels:
+/// 0 = uninitialized (consult `VERTEXICA_VECTOR_EXPR` on first use),
+/// 1 = vectorized, 2 = row-at-a-time fallback.
+static VECTORIZED_EXPR: AtomicU8 = AtomicU8::new(0);
+
+/// True when the vectorized expression kernels are enabled (the default).
+/// The first call consults the `VERTEXICA_VECTOR_EXPR` environment variable
+/// (`0`/`false`/`off` disable); [`set_vectorized_expr`] overrides either way.
+pub fn vectorized_expr_enabled() -> bool {
+    match VECTORIZED_EXPR.load(Ordering::Relaxed) {
+        1 => true,
+        2 => false,
+        _ => {
+            let on = !matches!(
+                std::env::var("VERTEXICA_VECTOR_EXPR")
+                    .unwrap_or_default()
+                    .to_ascii_lowercase()
+                    .as_str(),
+                "0" | "false" | "off"
+            );
+            VECTORIZED_EXPR.store(if on { 1 } else { 2 }, Ordering::Relaxed);
+            on
+        }
+    }
+}
+
+/// Switches between the vectorized kernels and the row-at-a-time fallback
+/// (process-wide; the coordinator applies `VertexicaConfig::vectorized_expr`
+/// here per run). Safe to flip at any time: the two paths produce bitwise
+/// identical columns.
+pub fn set_vectorized_expr(on: bool) {
+    VECTORIZED_EXPR.store(if on { 1 } else { 2 }, Ordering::Relaxed);
+}
 
 /// A fully-resolved scalar expression.
 #[derive(Clone)]
@@ -91,6 +134,12 @@ impl PhysExpr {
         PhysExpr::Literal(v.into())
     }
 
+    /// True for a bare `NULL` literal, which has no type of its own and
+    /// should adopt one from surrounding context.
+    pub fn is_untyped_null(&self) -> bool {
+        matches!(self, PhysExpr::Literal(Value::Null))
+    }
+
     /// Output type given the input schema.
     pub fn data_type(&self, input: &Schema) -> SqlResult<DataType> {
         Ok(match self {
@@ -133,14 +182,23 @@ impl PhysExpr {
                 DataType::Bool
             }
             PhysExpr::Case { when_then, else_expr } => {
+                // A bare NULL branch carries no type of its own — it adopts
+                // whatever the typed branches agree on (previously it was
+                // silently typed Int, making `CASE ... THEN NULL ELSE 'x'`
+                // fail at eval time).
                 let mut t = None;
                 for (_, then) in when_then {
+                    if then.is_untyped_null() {
+                        continue;
+                    }
                     let tt = then.data_type(input)?;
                     t = Some(merge_types(t, tt));
                 }
                 if let Some(e) = else_expr {
-                    let tt = e.data_type(input)?;
-                    t = Some(merge_types(t, tt));
+                    if !e.is_untyped_null() {
+                        let tt = e.data_type(input)?;
+                        t = Some(merge_types(t, tt));
+                    }
                 }
                 t.unwrap_or(DataType::Int)
             }
@@ -174,6 +232,11 @@ impl PhysExpr {
             }
             PhysExpr::Unary { op, expr } => {
                 let c = expr.eval(batch)?;
+                if vectorized_expr_enabled() {
+                    if let Some(out) = eval_unary_vectorized(*op, &c) {
+                        return Ok(out);
+                    }
+                }
                 let mut b = ColumnBuilder::with_capacity(
                     match op {
                         UnaryOp::Not => DataType::Bool,
@@ -198,6 +261,15 @@ impl PhysExpr {
             }
             PhysExpr::IsNull { expr, negated } => {
                 let c = expr.eval(batch)?;
+                if vectorized_expr_enabled() {
+                    // IS [NOT] NULL reads the validity bitmap directly; the
+                    // output is never null itself.
+                    let data: Vec<bool> = match c.validity() {
+                        None => vec![*negated; n],
+                        Some(valid) => (0..n).map(|i| valid.get(i) == *negated).collect(),
+                    };
+                    return Ok(Column::new(ColumnData::Bool(data), None));
+                }
                 let mut b = ColumnBuilder::with_capacity(DataType::Bool, n);
                 for i in 0..n {
                     let isnull = c.is_null(i);
@@ -209,6 +281,9 @@ impl PhysExpr {
                 let c = expr.eval(batch)?;
                 let lists: SqlResult<Vec<Column>> = list.iter().map(|e| e.eval(batch)).collect();
                 let lists = lists?;
+                if vectorized_expr_enabled() {
+                    return Ok(eval_in_list_vectorized(&c, &lists, *negated));
+                }
                 let mut b = ColumnBuilder::with_capacity(DataType::Bool, n);
                 for i in 0..n {
                     let v = c.value(i);
@@ -265,6 +340,13 @@ impl PhysExpr {
                     when_then.iter().map(|(_, t)| t.eval(batch)).collect();
                 let thens = thens?;
                 let else_col = else_expr.as_ref().map(|e| e.eval(batch)).transpose()?;
+                if vectorized_expr_enabled() {
+                    if let Some(out) =
+                        eval_case_vectorized(out_type, &whens, &thens, else_col.as_ref(), n)?
+                    {
+                        return Ok(out);
+                    }
+                }
                 let mut b = ColumnBuilder::with_capacity(out_type, n);
                 'rows: for i in 0..n {
                     for (w, t) in whens.iter().zip(&thens) {
@@ -401,9 +483,11 @@ impl PhysExpr {
         }
     }
 
-    /// Evaluates and requires a boolean column; returns per-row truthiness
-    /// with SQL semantics (NULL → false).
-    pub fn eval_predicate(&self, batch: &RecordBatch) -> SqlResult<Vec<bool>> {
+    /// Evaluates and requires a boolean column; returns a selection bitmap
+    /// with SQL semantics (bit set iff the row is a known `true`; NULL →
+    /// unset). Operators consume this directly — `RecordBatch::filter` and
+    /// the bitmap algebra work on it without a `Vec<bool>` detour.
+    pub fn eval_predicate(&self, batch: &RecordBatch) -> SqlResult<Bitmap> {
         let c = self.eval(batch)?;
         if c.dtype() != DataType::Bool {
             return Err(SqlError::Execution(format!(
@@ -411,7 +495,13 @@ impl PhysExpr {
                 c.dtype()
             )));
         }
-        Ok((0..c.len()).map(|i| c.value(i) == Value::Bool(true)).collect())
+        let data = Bitmap::from_bools(c.as_bool().expect("bool column"));
+        // Mask out nulls: payload bits behind an unset validity bit are
+        // unspecified (gathers can carry stale values).
+        Ok(match c.validity() {
+            Some(valid) => data.and(valid),
+            None => data,
+        })
     }
 }
 
@@ -479,38 +569,9 @@ fn eval_binary(l: &Column, op: BinaryOp, r: &Column, _schema: &Schema) -> SqlRes
     let n = l.len();
     debug_assert_eq!(n, r.len());
 
-    // Typed fast path: Float arithmetic with no nulls.
-    if !op.is_comparison()
-        && !matches!(op, BinaryOp::And | BinaryOp::Or)
-        && l.validity().is_none()
-        && r.validity().is_none()
-    {
-        if let (Some(lf), Some(rf)) = (l.as_float(), r.as_float()) {
-            let mut b = ColumnBuilder::with_capacity(DataType::Float, n);
-            for i in 0..n {
-                let v = match op {
-                    BinaryOp::Plus => lf[i] + rf[i],
-                    BinaryOp::Minus => lf[i] - rf[i],
-                    BinaryOp::Multiply => lf[i] * rf[i],
-                    BinaryOp::Divide => {
-                        if rf[i] == 0.0 {
-                            b.push_null();
-                            continue;
-                        }
-                        lf[i] / rf[i]
-                    }
-                    BinaryOp::Modulo => {
-                        if rf[i] == 0.0 {
-                            b.push_null();
-                            continue;
-                        }
-                        lf[i] % rf[i]
-                    }
-                    _ => unreachable!(),
-                };
-                b.push_float(v);
-            }
-            return Ok(b.finish());
+    if vectorized_expr_enabled() {
+        if let Some(out) = eval_binary_vectorized(l, op, r)? {
+            return Ok(out);
         }
     }
 
@@ -537,6 +598,392 @@ fn eval_binary(l: &Column, op: BinaryOp, r: &Column, _schema: &Schema) -> SqlRes
         b.push(out)?;
     }
     Ok(b.finish())
+}
+
+/// A borrowed numeric column payload; lets comparison and arithmetic kernels
+/// treat Int and Float operands uniformly through the same f64 promotion the
+/// row-path oracle ([`binary_value_op`]) applies.
+#[derive(Clone, Copy)]
+enum NumView<'a> {
+    I(&'a [i64]),
+    F(&'a [f64]),
+}
+
+impl NumView<'_> {
+    fn of(c: &Column) -> Option<NumView<'_>> {
+        c.as_int().map(NumView::I).or_else(|| c.as_float().map(NumView::F))
+    }
+
+    #[inline]
+    fn get(&self, i: usize) -> f64 {
+        match self {
+            NumView::I(v) => v[i] as f64,
+            NumView::F(v) => v[i],
+        }
+    }
+}
+
+/// Dispatches to a typed slice kernel, or returns `None` when no kernel
+/// applies. Unsupported dtype pairings deliberately fall back to the row
+/// loop: it raises type errors lazily, only for rows where **both** sides
+/// are non-null, and a kernel must not error eagerly where the row path
+/// would have succeeded.
+fn eval_binary_vectorized(l: &Column, op: BinaryOp, r: &Column) -> SqlResult<Option<Column>> {
+    if matches!(op, BinaryOp::And | BinaryOp::Or) {
+        if l.dtype() == DataType::Bool && r.dtype() == DataType::Bool {
+            return Ok(Some(bool_logic_kernel(l, op, r)));
+        }
+        return Ok(None);
+    }
+    if op.is_comparison() {
+        return Ok(compare_kernel(l, op, r));
+    }
+    Ok(arith_kernel(l, op, r))
+}
+
+/// Word-wise three-valued AND/OR. With LT/LF = "left valid and true/false"
+/// (RT/RF likewise), `AND` is false when either side is a known false and
+/// true when both are known true; `OR` is the dual. Everything else is NULL.
+/// Payload bits behind an unset validity bit are never trusted.
+fn bool_logic_kernel(l: &Column, op: BinaryOp, r: &Column) -> Column {
+    let n = l.len();
+    let ld = Bitmap::from_bools(l.as_bool().expect("bool column"));
+    let rd = Bitmap::from_bools(r.as_bool().expect("bool column"));
+    let lv = l.validity().cloned().unwrap_or_else(|| Bitmap::ones(n));
+    let rv = r.validity().cloned().unwrap_or_else(|| Bitmap::ones(n));
+    let (lt, lf) = (lv.and(&ld), lv.and_not(&ld));
+    let (rt, rf) = (rv.and(&rd), rv.and_not(&rd));
+    let (data, valid) = match op {
+        BinaryOp::And => {
+            let t = lt.and(&rt);
+            let valid = lf.or(&rf).or(&t);
+            (t, valid)
+        }
+        BinaryOp::Or => {
+            let t = lt.or(&rt);
+            let valid = lf.and(&rf).or(&t);
+            (t, valid)
+        }
+        _ => unreachable!("bool_logic_kernel only handles AND/OR"),
+    };
+    let has_null = !valid.all();
+    Column::new(ColumnData::Bool(data.to_bools()), has_null.then_some(valid))
+}
+
+fn cmp_ord(op: BinaryOp, ord: std::cmp::Ordering) -> bool {
+    match op {
+        BinaryOp::Eq => ord.is_eq(),
+        BinaryOp::NotEq => !ord.is_eq(),
+        BinaryOp::Lt => ord.is_lt(),
+        BinaryOp::LtEq => ord.is_le(),
+        BinaryOp::Gt => ord.is_gt(),
+        BinaryOp::GtEq => ord.is_ge(),
+        _ => unreachable!("not a comparison"),
+    }
+}
+
+/// Typed comparison kernel. Numeric operands promote through f64 even for
+/// Int/Int — the row-path oracle does the same, so behaviour at magnitudes
+/// beyond 2^53 stays bit-identical. Cross-type pairings return `None`.
+fn compare_kernel(l: &Column, op: BinaryOp, r: &Column) -> Option<Column> {
+    let n = l.len();
+    if let (Some(a), Some(b)) = (NumView::of(l), NumView::of(r)) {
+        let mut data = vec![false; n];
+        let mut valid = Bitmap::ones(n);
+        let mut has_null = false;
+        for (i, slot) in data.iter_mut().enumerate() {
+            if l.is_null(i) || r.is_null(i) {
+                valid.set(i, false);
+                has_null = true;
+                continue;
+            }
+            match a.get(i).partial_cmp(&b.get(i)) {
+                Some(ord) => *slot = cmp_ord(op, ord),
+                None => {
+                    // NaN comparisons are unknown.
+                    valid.set(i, false);
+                    has_null = true;
+                }
+            }
+        }
+        return Some(Column::new(ColumnData::Bool(data), has_null.then_some(valid)));
+    }
+    fn ordered<T: PartialOrd>(l: &Column, a: &[T], op: BinaryOp, r: &Column, b: &[T]) -> Column {
+        let n = a.len();
+        let mut data = vec![false; n];
+        let mut valid = Bitmap::ones(n);
+        let mut has_null = false;
+        for i in 0..n {
+            match (!l.is_null(i) && !r.is_null(i)).then(|| a[i].partial_cmp(&b[i])).flatten() {
+                Some(ord) => data[i] = cmp_ord(op, ord),
+                None => {
+                    valid.set(i, false);
+                    has_null = true;
+                }
+            }
+        }
+        Column::new(ColumnData::Bool(data), has_null.then_some(valid))
+    }
+    match (l.dtype(), r.dtype()) {
+        (DataType::Str, DataType::Str) => {
+            Some(ordered(l, l.as_str().unwrap(), op, r, r.as_str().unwrap()))
+        }
+        (DataType::Bool, DataType::Bool) => {
+            Some(ordered(l, l.as_bool().unwrap(), op, r, r.as_bool().unwrap()))
+        }
+        (DataType::Blob, DataType::Blob) => {
+            Some(ordered(l, l.as_blob().unwrap(), op, r, r.as_blob().unwrap()))
+        }
+        _ => None,
+    }
+}
+
+/// Typed arithmetic kernels: Int stays in i64 with wrapping semantics
+/// (except division, which always floats), any Float operand promotes both
+/// sides to f64, and `Str + Str` concatenates. Division/modulo by zero is
+/// NULL, matching the oracle. Non-numeric pairings return `None`.
+fn arith_kernel(l: &Column, op: BinaryOp, r: &Column) -> Option<Column> {
+    use BinaryOp::*;
+    let n = l.len();
+    if let (Some(a), Some(b)) = (l.as_int(), r.as_int()) {
+        if matches!(op, Plus | Minus | Multiply) {
+            let mut data = vec![0i64; n];
+            let mut valid = Bitmap::ones(n);
+            let mut has_null = false;
+            for i in 0..n {
+                if l.is_null(i) || r.is_null(i) {
+                    valid.set(i, false);
+                    has_null = true;
+                    continue;
+                }
+                data[i] = match op {
+                    Plus => a[i].wrapping_add(b[i]),
+                    Minus => a[i].wrapping_sub(b[i]),
+                    _ => a[i].wrapping_mul(b[i]),
+                };
+            }
+            return Some(Column::new(ColumnData::Int(data), has_null.then_some(valid)));
+        }
+        if op == Modulo {
+            let mut data = vec![0i64; n];
+            let mut valid = Bitmap::ones(n);
+            let mut has_null = false;
+            for i in 0..n {
+                if l.is_null(i) || r.is_null(i) || b[i] == 0 {
+                    valid.set(i, false);
+                    has_null = true;
+                    continue;
+                }
+                data[i] = a[i] % b[i];
+            }
+            return Some(Column::new(ColumnData::Int(data), has_null.then_some(valid)));
+        }
+        // Divide falls through to the float kernel below.
+    }
+    if op == Plus {
+        if let (Some(a), Some(b)) = (l.as_str(), r.as_str()) {
+            let mut data = Vec::with_capacity(n);
+            let mut valid = Bitmap::ones(n);
+            let mut has_null = false;
+            for i in 0..n {
+                if l.is_null(i) || r.is_null(i) {
+                    valid.set(i, false);
+                    has_null = true;
+                    data.push(String::new());
+                    continue;
+                }
+                let mut s = String::with_capacity(a[i].len() + b[i].len());
+                s.push_str(&a[i]);
+                s.push_str(&b[i]);
+                data.push(s);
+            }
+            return Some(Column::new(ColumnData::Str(data), has_null.then_some(valid)));
+        }
+    }
+    if let (Some(a), Some(b)) = (NumView::of(l), NumView::of(r)) {
+        let mut data = vec![0f64; n];
+        let mut valid = Bitmap::ones(n);
+        let mut has_null = false;
+        for (i, slot) in data.iter_mut().enumerate() {
+            if l.is_null(i) || r.is_null(i) {
+                valid.set(i, false);
+                has_null = true;
+                continue;
+            }
+            let (x, y) = (a.get(i), b.get(i));
+            *slot = match op {
+                Plus => x + y,
+                Minus => x - y,
+                Multiply => x * y,
+                Divide | Modulo => {
+                    if y == 0.0 {
+                        valid.set(i, false);
+                        has_null = true;
+                        continue;
+                    }
+                    if op == Divide {
+                        x / y
+                    } else {
+                        x % y
+                    }
+                }
+                _ => unreachable!("not an arithmetic operator"),
+            };
+        }
+        return Some(Column::new(ColumnData::Float(data), has_null.then_some(valid)));
+    }
+    None
+}
+
+/// Vectorized NOT (bitmap complement under validity) and Neg (typed slice
+/// negation). `None` falls back to the row loop for its lazy type errors.
+fn eval_unary_vectorized(op: UnaryOp, c: &Column) -> Option<Column> {
+    let n = c.len();
+    match op {
+        UnaryOp::Not => {
+            let data = Bitmap::from_bools(c.as_bool()?);
+            let valid = c.validity().cloned().unwrap_or_else(|| Bitmap::ones(n));
+            let out = valid.and_not(&data);
+            let has_null = !valid.all();
+            Some(Column::new(ColumnData::Bool(out.to_bools()), has_null.then_some(valid)))
+        }
+        UnaryOp::Neg => {
+            if let Some(v) = c.as_int() {
+                // `-x`, not wrapping_neg: a debug-build overflow on i64::MIN
+                // must panic exactly as the row loop does.
+                let data = (0..n).map(|i| if c.is_null(i) { 0 } else { -v[i] }).collect();
+                Some(Column::new(ColumnData::Int(data), c.validity().cloned()))
+            } else if let Some(v) = c.as_float() {
+                let data = (0..n).map(|i| if c.is_null(i) { 0.0 } else { -v[i] }).collect();
+                Some(Column::new(ColumnData::Float(data), c.validity().cloned()))
+            } else {
+                None
+            }
+        }
+    }
+}
+
+/// Columnar IN-list: probes every list column against the needle with typed
+/// loops, accumulating per-row "found a match" / "saw a NULL item" flags,
+/// then assembles the three-valued result in one pass. `sql_eq` semantics
+/// throughout: a type mismatch is plain false, NULL items make a miss
+/// unknown rather than false.
+fn eval_in_list_vectorized(v: &Column, lists: &[Column], negated: bool) -> Column {
+    let n = v.len();
+    let mut found = vec![false; n];
+    let mut saw_null = vec![false; n];
+    for lc in lists {
+        in_list_probe(v, lc, &mut found, &mut saw_null);
+    }
+    let mut data = vec![false; n];
+    let mut valid = Bitmap::ones(n);
+    let mut has_null = false;
+    for i in 0..n {
+        if v.is_null(i) || (!found[i] && saw_null[i]) {
+            valid.set(i, false);
+            has_null = true;
+        } else {
+            data[i] = found[i] != negated;
+        }
+    }
+    Column::new(ColumnData::Bool(data), has_null.then_some(valid))
+}
+
+fn in_list_probe(v: &Column, lc: &Column, found: &mut [bool], saw_null: &mut [bool]) {
+    let n = v.len();
+    macro_rules! probe {
+        ($eq:expr) => {
+            for i in 0..n {
+                if v.is_null(i) {
+                    continue;
+                }
+                if lc.is_null(i) {
+                    saw_null[i] = true;
+                } else if $eq(i) {
+                    found[i] = true;
+                }
+            }
+        };
+    }
+    match (v.dtype(), lc.dtype()) {
+        (DataType::Int, DataType::Int) => {
+            let (a, b) = (v.as_int().unwrap(), lc.as_int().unwrap());
+            probe!(|i: usize| a[i] == b[i]);
+        }
+        (DataType::Float, DataType::Float) => {
+            let (a, b) = (v.as_float().unwrap(), lc.as_float().unwrap());
+            probe!(|i: usize| a[i] == b[i]);
+        }
+        (DataType::Int, DataType::Float) => {
+            let (a, b) = (v.as_int().unwrap(), lc.as_float().unwrap());
+            probe!(|i: usize| (a[i] as f64) == b[i]);
+        }
+        (DataType::Float, DataType::Int) => {
+            let (a, b) = (v.as_float().unwrap(), lc.as_int().unwrap());
+            probe!(|i: usize| a[i] == (b[i] as f64));
+        }
+        (DataType::Str, DataType::Str) => {
+            let (a, b) = (v.as_str().unwrap(), lc.as_str().unwrap());
+            probe!(|i: usize| a[i] == b[i]);
+        }
+        _ => {
+            // Bool/Blob and cross-type pairings: per-row sql_eq (a mismatch
+            // is an ordinary false, never an error).
+            probe!(|i: usize| v.value(i).sql_eq(&lc.value(i)) == Some(true));
+        }
+    }
+}
+
+/// Columnar CASE: computes a per-row branch choice from the WHEN columns,
+/// then gathers from the matching THEN/ELSE columns. Only engages when every
+/// source column is losslessly pushable into the output type — otherwise the
+/// row loop runs, which coerces (and can error) only on selected rows.
+fn eval_case_vectorized(
+    out_type: DataType,
+    whens: &[Column],
+    thens: &[Column],
+    else_col: Option<&Column>,
+    n: usize,
+) -> SqlResult<Option<Column>> {
+    let coercible = |c: &Column| {
+        c.null_count() == c.len()
+            || c.dtype() == out_type
+            || matches!(
+                (c.dtype(), out_type),
+                (DataType::Int, DataType::Float)
+                    | (DataType::Float, DataType::Int)
+                    | (DataType::Bool, DataType::Int)
+            )
+    };
+    if !thens.iter().all(coercible) || !else_col.is_none_or(coercible) {
+        return Ok(None);
+    }
+    // u32::MAX = "no branch matched" → ELSE (or NULL without one).
+    let mut choice = vec![u32::MAX; n];
+    for (bi, w) in whens.iter().enumerate() {
+        // A non-boolean WHEN column never equals TRUE row-wise; skip it.
+        let Some(wd) = w.as_bool() else { continue };
+        for i in 0..n {
+            if choice[i] == u32::MAX && !w.is_null(i) && wd[i] {
+                choice[i] = bi as u32;
+            }
+        }
+    }
+    let mut b = ColumnBuilder::with_capacity(out_type, n);
+    for (i, &ch) in choice.iter().enumerate() {
+        let src = match ch {
+            u32::MAX => match else_col {
+                Some(e) => e,
+                None => {
+                    b.push_null();
+                    continue;
+                }
+            },
+            bi => &thens[bi as usize],
+        };
+        b.push(src.value(i))?;
+    }
+    Ok(Some(b.finish()))
 }
 
 /// Applies a binary operator to two scalars with SQL NULL semantics.
@@ -822,13 +1269,122 @@ mod tests {
             right: Box::new(PhysExpr::lit(1i64)),
         };
         let mask = e.eval_predicate(&b).unwrap();
-        assert_eq!(mask, vec![false, true, false]);
+        assert_eq!(mask, Bitmap::from_iter_bool([false, true, false]));
     }
 
     #[test]
     fn predicate_type_checked() {
         let b = batch();
         assert!(PhysExpr::col(0).eval_predicate(&b).is_err());
+    }
+
+    #[test]
+    fn case_null_branch_adopts_other_branch_type() {
+        // Regression: a bare NULL THEN-branch used to be typed Int, so
+        // `CASE WHEN a=1 THEN NULL ELSE 'x' END` failed pushing 'x' into an
+        // Int column. The NULL branch must adopt the Str type instead.
+        let b = batch();
+        let e = PhysExpr::Case {
+            when_then: vec![(
+                PhysExpr::Binary {
+                    left: Box::new(PhysExpr::col(0)),
+                    op: BinaryOp::Eq,
+                    right: Box::new(PhysExpr::lit(1i64)),
+                },
+                PhysExpr::Literal(Value::Null),
+            )],
+            else_expr: Some(Box::new(PhysExpr::lit("x"))),
+        };
+        assert_eq!(e.data_type(b.schema()).unwrap(), DataType::Str);
+        let c = e.eval(&b).unwrap();
+        assert_eq!(c.value(0), Value::Null);
+        assert_eq!(c.value(1), Value::Str("x".into()));
+        assert_eq!(c.value(2), Value::Str("x".into()));
+        // All branches NULL still defaults to Int.
+        let all_null = PhysExpr::Case {
+            when_then: vec![],
+            else_expr: Some(Box::new(PhysExpr::lit(Value::Null))),
+        };
+        assert_eq!(all_null.data_type(b.schema()).unwrap(), DataType::Int);
+    }
+
+    /// Evaluates `e` with kernels on and off and asserts the outputs are
+    /// bitwise identical (dtype, values, and validity placement).
+    fn assert_paths_agree(e: &PhysExpr, b: &RecordBatch) {
+        set_vectorized_expr(true);
+        let fast = e.eval(b).unwrap();
+        set_vectorized_expr(false);
+        let slow = e.eval(b).unwrap();
+        set_vectorized_expr(true);
+        assert_eq!(fast.dtype(), slow.dtype());
+        assert_eq!(fast.len(), slow.len());
+        for i in 0..fast.len() {
+            assert_eq!(fast.value(i), slow.value(i), "row {i} of {e:?}");
+            assert_eq!(fast.is_null(i), slow.is_null(i), "row {i} nullness of {e:?}");
+        }
+        assert_eq!(fast.validity(), slow.validity(), "validity of {e:?}");
+    }
+
+    #[test]
+    fn kernels_match_row_path() {
+        let b = batch();
+        let bin = |l: PhysExpr, op, r: PhysExpr| PhysExpr::Binary {
+            left: Box::new(l),
+            op,
+            right: Box::new(r),
+        };
+        for op in [
+            BinaryOp::Plus,
+            BinaryOp::Minus,
+            BinaryOp::Multiply,
+            BinaryOp::Divide,
+            BinaryOp::Modulo,
+            BinaryOp::Eq,
+            BinaryOp::NotEq,
+            BinaryOp::Lt,
+            BinaryOp::LtEq,
+            BinaryOp::Gt,
+            BinaryOp::GtEq,
+        ] {
+            // Int×Int, Int×Float (incl. nulls in column a), and zero divisors.
+            assert_paths_agree(&bin(PhysExpr::col(0), op, PhysExpr::col(0)), &b);
+            assert_paths_agree(&bin(PhysExpr::col(0), op, PhysExpr::col(1)), &b);
+            assert_paths_agree(&bin(PhysExpr::col(0), op, PhysExpr::lit(0i64)), &b);
+        }
+        // Str concat and Str comparison, with nulls.
+        assert_paths_agree(&bin(PhysExpr::col(2), BinaryOp::Plus, PhysExpr::col(2)), &b);
+        assert_paths_agree(&bin(PhysExpr::col(2), BinaryOp::Lt, PhysExpr::lit("friend")), &b);
+        // Three-valued AND/OR over (a > 1) and (b < 2.0), NOT, IS NULL.
+        let gt = bin(PhysExpr::col(0), BinaryOp::Gt, PhysExpr::lit(1i64));
+        let lt = bin(PhysExpr::col(1), BinaryOp::Lt, PhysExpr::lit(2.0f64));
+        assert_paths_agree(&bin(gt.clone(), BinaryOp::And, lt.clone()), &b);
+        assert_paths_agree(&bin(gt.clone(), BinaryOp::Or, lt.clone()), &b);
+        assert_paths_agree(&PhysExpr::Unary { op: UnaryOp::Not, expr: Box::new(gt.clone()) }, &b);
+        assert_paths_agree(
+            &PhysExpr::Unary { op: UnaryOp::Neg, expr: Box::new(PhysExpr::col(0)) },
+            &b,
+        );
+        assert_paths_agree(
+            &PhysExpr::IsNull { expr: Box::new(PhysExpr::col(0)), negated: true },
+            &b,
+        );
+        // IN with a NULL list item: misses become unknown, not false.
+        assert_paths_agree(
+            &PhysExpr::InList {
+                expr: Box::new(PhysExpr::col(0)),
+                list: vec![PhysExpr::lit(2i64), PhysExpr::Literal(Value::Null)],
+                negated: false,
+            },
+            &b,
+        );
+        // CASE gathering across branches of coercible types.
+        assert_paths_agree(
+            &PhysExpr::Case {
+                when_then: vec![(gt, PhysExpr::col(0))],
+                else_expr: Some(Box::new(PhysExpr::col(1))),
+            },
+            &b,
+        );
     }
 
     #[test]

@@ -46,17 +46,49 @@ pub fn execute(plan: &LogicalPlan, ctx: &ExecContext<'_>) -> SqlResult<Vec<Recor
                 if batch.num_rows() == 0 {
                     continue;
                 }
-                let mask = predicate.eval_predicate(&batch)?;
-                if mask.iter().all(|&m| m) {
+                let sel = predicate.eval_predicate(&batch)?;
+                if sel.all() {
                     out.push(batch);
-                } else if mask.iter().any(|&m| m) {
-                    let sel = Bitmap::from_iter_bool(mask);
+                } else if sel.any() {
                     out.push(batch.filter(&sel)?);
                 }
             }
             Ok(out)
         }
         LogicalPlan::Project { input, exprs, schema } => {
+            // Late materialization for filter → project: evaluate the
+            // predicate on the undisturbed batch, then gather only the
+            // columns the projection actually reads through the selection
+            // vector. Unreferenced columns never pay the row-shuffle.
+            if let LogicalPlan::Filter { input: finput, predicate } = input.as_ref() {
+                let batches = execute(finput, ctx)?;
+                let mut referenced: Vec<usize> = Vec::new();
+                for e in exprs {
+                    crate::optimizer::collect_columns(e, &mut referenced);
+                }
+                referenced.sort_unstable();
+                referenced.dedup();
+                let mut out = Vec::with_capacity(batches.len().max(1));
+                for batch in &batches {
+                    if batch.num_rows() == 0 {
+                        continue;
+                    }
+                    let sel = predicate.eval_predicate(batch)?;
+                    if !sel.any() {
+                        continue;
+                    }
+                    let selected = if sel.all() {
+                        batch.clone()
+                    } else {
+                        gather_selected(batch, &sel, &referenced)?
+                    };
+                    out.push(project_batch(&selected, exprs, schema)?);
+                }
+                if out.is_empty() {
+                    out.push(RecordBatch::empty(schema.clone()));
+                }
+                return Ok(out);
+            }
             let batches = execute(input, ctx)?;
             let mut out = Vec::with_capacity(batches.len().max(1));
             for batch in &batches {
@@ -157,6 +189,35 @@ pub fn execute(plan: &LogicalPlan, ctx: &ExecContext<'_>) -> SqlResult<Vec<Recor
             Ok(vec![merged.take(&keep)?])
         }
     }
+}
+
+/// Gathers only `referenced` (sorted, deduped) columns through the selection
+/// vector; every other slot gets a same-length placeholder of the right
+/// dtype. The fused projection never reads the placeholders — they exist
+/// only so column indices keep lining up with the input schema.
+fn gather_selected(
+    batch: &RecordBatch,
+    sel: &vertexica_storage::Bitmap,
+    referenced: &[usize],
+) -> SqlResult<RecordBatch> {
+    use vertexica_storage::ColumnData;
+    let k = sel.count_ones();
+    let mut cols = Vec::with_capacity(batch.num_columns());
+    for i in 0..batch.num_columns() {
+        if referenced.binary_search(&i).is_ok() {
+            cols.push(batch.column(i).filter(sel));
+        } else {
+            let data = match batch.schema().fields[i].dtype {
+                DataType::Bool => ColumnData::Bool(vec![false; k]),
+                DataType::Int => ColumnData::Int(vec![0; k]),
+                DataType::Float => ColumnData::Float(vec![0.0; k]),
+                DataType::Str => ColumnData::Str(vec![String::new(); k]),
+                DataType::Blob => ColumnData::Blob(vec![Vec::new(); k]),
+            };
+            cols.push(Column::new(data, None));
+        }
+    }
+    RecordBatch::new(batch.schema().clone(), cols).map_err(Into::into)
 }
 
 /// Evaluates projection expressions over a batch, coercing to the output
@@ -623,16 +684,15 @@ fn materialize_join_lr(
     let candidate = build_batch(pairs)?;
     let mask = residual.eval_predicate(&candidate)?;
     if !outer {
-        let sel = Bitmap::from_iter_bool(mask);
-        return candidate.filter(&sel).map_err(Into::into);
+        return candidate.filter(&mask).map_err(Into::into);
     }
 
     // Outer join: keep passing pairs; track which preserved rows survive.
     let mut kept: Vec<(Option<usize>, Option<usize>)> = Vec::new();
     let mut survived: std::collections::HashSet<usize> = std::collections::HashSet::new();
-    for (pair, ok) in pairs.iter().zip(&mask) {
+    for (idx, pair) in pairs.iter().enumerate() {
         let preserved_idx = if left_preserved { pair.0 } else { pair.1 };
-        if *ok {
+        if mask.get(idx) {
             kept.push(*pair);
             if let Some(i) = preserved_idx {
                 survived.insert(i);

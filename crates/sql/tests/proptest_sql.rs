@@ -3,7 +3,10 @@
 //! aggregate identities.
 
 use proptest::prelude::*;
+use vertexica_sql::ast::{BinaryOp, UnaryOp};
+use vertexica_sql::expr::{set_vectorized_expr, PhysExpr};
 use vertexica_sql::Database;
+use vertexica_storage::{DataType, Field, RecordBatch, Schema, Value};
 
 fn db_with_numbers(values: &[(i64, f64)]) -> Database {
     let db = Database::new();
@@ -15,8 +18,149 @@ fn db_with_numbers(values: &[(i64, f64)]) -> Database {
     db
 }
 
+/// Decodes a byte stream into a random expression tree over columns
+/// #0 (Int), #1 (Float), #2 (Str) — a stack machine, so no recursive
+/// strategy is needed. Every byte either pushes a leaf or combines what is
+/// already on the stack, covering arithmetic, comparisons, three-valued
+/// AND/OR, NOT/Neg, IS NULL, IN lists and CASE, with zero and NULL literals
+/// mixed in to hit division-by-zero and null-propagation paths.
+fn build_expr(bytes: &[u8]) -> PhysExpr {
+    const BIN_OPS: [BinaryOp; 13] = [
+        BinaryOp::Plus,
+        BinaryOp::Minus,
+        BinaryOp::Multiply,
+        BinaryOp::Divide,
+        BinaryOp::Modulo,
+        BinaryOp::Eq,
+        BinaryOp::NotEq,
+        BinaryOp::Lt,
+        BinaryOp::LtEq,
+        BinaryOp::Gt,
+        BinaryOp::GtEq,
+        BinaryOp::And,
+        BinaryOp::Or,
+    ];
+    let mut stack = vec![PhysExpr::col(0), PhysExpr::col(1), PhysExpr::col(2)];
+    for &b in bytes {
+        let pick = b % 12;
+        let salt = (b / 12) as usize;
+        let e = match pick {
+            0 => PhysExpr::col(salt % 3),
+            1 => PhysExpr::lit((salt as i64) - 10),
+            2 => PhysExpr::lit(((salt as f64) - 10.0) / 4.0),
+            3 => PhysExpr::Literal(Value::Null),
+            4 => PhysExpr::lit(salt.is_multiple_of(2)),
+            5 => PhysExpr::lit(["", "a", "bb", "family"][salt % 4]),
+            6 | 7 => {
+                let right = stack.pop().expect("seeded stack");
+                let left = stack.pop().unwrap_or(PhysExpr::col(salt % 3));
+                PhysExpr::Binary {
+                    left: Box::new(left),
+                    op: BIN_OPS[salt % BIN_OPS.len()],
+                    right: Box::new(right),
+                }
+            }
+            8 => PhysExpr::Unary {
+                op: if salt.is_multiple_of(2) { UnaryOp::Not } else { UnaryOp::Neg },
+                expr: Box::new(stack.pop().expect("seeded stack")),
+            },
+            9 => PhysExpr::IsNull {
+                expr: Box::new(stack.pop().expect("seeded stack")),
+                negated: salt.is_multiple_of(2),
+            },
+            10 => PhysExpr::InList {
+                expr: Box::new(stack.pop().expect("seeded stack")),
+                list: vec![
+                    PhysExpr::lit((salt as i64) - 5),
+                    PhysExpr::Literal(Value::Null),
+                    PhysExpr::col(salt % 3),
+                ],
+                negated: salt % 2 == 1,
+            },
+            _ => {
+                let otherwise = stack.pop().expect("seeded stack");
+                let then = stack.pop().unwrap_or(PhysExpr::lit((salt as i64) - 3));
+                let when = stack.pop().unwrap_or(PhysExpr::Binary {
+                    left: Box::new(PhysExpr::col(0)),
+                    op: BinaryOp::Gt,
+                    right: Box::new(PhysExpr::lit(0i64)),
+                });
+                PhysExpr::Case {
+                    when_then: vec![(when, then)],
+                    else_expr: Some(Box::new(otherwise)),
+                }
+            }
+        };
+        stack.push(e);
+    }
+    stack.pop().expect("seeded stack")
+}
+
+fn arb_cell_bytes() -> impl Strategy<Value = Vec<u8>> {
+    proptest::collection::vec(any::<u8>(), 1..40)
+}
+
 proptest! {
     #![proptest_config(ProptestConfig::with_cases(32))]
+
+    /// The typed slice kernels and the `Value`-per-row loop are bitwise
+    /// interchangeable: same Ok/Err outcome, and on Ok the same dtype,
+    /// values, and validity placement — over random expression trees and
+    /// random batches with nulls, zeros, and empty inputs.
+    #[test]
+    fn vectorized_expr_matches_row_path(
+        bytes in arb_cell_bytes(),
+        rows in proptest::collection::vec(
+            (
+                prop_oneof![1 => Just(Value::Null), 4 => (-6i64..6).prop_map(Value::Int)],
+                prop_oneof![
+                    1 => Just(Value::Null),
+                    1 => Just(Value::Float(0.0)),
+                    3 => (-8.0f64..8.0).prop_map(Value::Float)
+                ],
+                prop_oneof![1 => Just(Value::Null), 3 => "[ab]{0,3}".prop_map(Value::Str)],
+            ),
+            0..50,
+        ),
+    ) {
+        let schema = Schema::new(vec![
+            Field::new("i", DataType::Int),
+            Field::new("f", DataType::Float),
+            Field::new("s", DataType::Str),
+        ]);
+        let rows: Vec<Vec<Value>> = rows.into_iter().map(|(a, b, c)| vec![a, b, c]).collect();
+        let batch = RecordBatch::from_rows(schema, &rows).unwrap();
+        let expr = build_expr(&bytes);
+
+        set_vectorized_expr(true);
+        let fast = expr.eval(&batch);
+        set_vectorized_expr(false);
+        let slow = expr.eval(&batch);
+        set_vectorized_expr(true);
+
+        match (fast, slow) {
+            (Ok(fast), Ok(slow)) => {
+                prop_assert_eq!(fast.dtype(), slow.dtype(), "dtype of {:?}", &expr);
+                prop_assert_eq!(fast.len(), slow.len());
+                for i in 0..fast.len() {
+                    prop_assert_eq!(
+                        fast.value(i),
+                        slow.value(i),
+                        "row {} of {:?}", i, &expr
+                    );
+                }
+                prop_assert_eq!(fast.validity(), slow.validity(), "validity of {:?}", &expr);
+            }
+            (Err(_), Err(_)) => {} // both paths reject the same trees
+            (fast, slow) => prop_assert!(
+                false,
+                "paths disagree on {:?}: vectorized {:?}, row {:?}",
+                &expr,
+                fast.map(|c| c.len()),
+                slow.map(|c| c.len())
+            ),
+        }
+    }
 
     /// WHERE filters agree with a straight Rust filter.
     #[test]

@@ -29,6 +29,27 @@ impl Bitmap {
         b
     }
 
+    /// Packs a boolean slice directly into words — the kernel-speed
+    /// counterpart of [`Bitmap::from_iter_bool`], used by the vectorized
+    /// expression kernels to move between boolean column data and
+    /// bitmap-native three-valued logic.
+    pub fn from_bools(bits: &[bool]) -> Self {
+        let mut words = vec![0u64; bits.len().div_ceil(64)];
+        for (chunk, word) in bits.chunks(64).zip(words.iter_mut()) {
+            let mut w = 0u64;
+            for (bit, &b) in chunk.iter().enumerate() {
+                w |= (b as u64) << bit;
+            }
+            *word = w;
+        }
+        Bitmap { words, len: bits.len() }
+    }
+
+    /// Unpacks into one `bool` per bit (inverse of [`Bitmap::from_bools`]).
+    pub fn to_bools(&self) -> Vec<bool> {
+        (0..self.len).map(|i| self.get(i)).collect()
+    }
+
     fn mask_tail(&mut self) {
         let tail_bits = self.len % 64;
         if tail_bits != 0 {
@@ -179,6 +200,16 @@ mod tests {
         }
         assert_eq!(b.len(), 200);
         assert_eq!(b.count_ones(), (0..200).filter(|i| i % 3 == 0).count());
+    }
+
+    #[test]
+    fn from_bools_roundtrips() {
+        let bits: Vec<bool> = (0..130).map(|i| i % 5 == 0 || i % 7 == 3).collect();
+        let b = Bitmap::from_bools(&bits);
+        assert_eq!(b.len(), 130);
+        assert_eq!(b.to_bools(), bits);
+        assert_eq!(b, Bitmap::from_iter_bool(bits.iter().copied()));
+        assert!(Bitmap::from_bools(&[]).is_empty());
     }
 
     #[test]

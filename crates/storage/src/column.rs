@@ -221,6 +221,27 @@ impl Column {
         Column::new(data, validity)
     }
 
+    /// Copies out the contiguous row range `[start, start + len)` as a new
+    /// column. This is the gather primitive behind block-granular partial
+    /// segment decode: a plain-encoded block is one typed-slice copy, no
+    /// per-value boxing.
+    pub fn slice(&self, start: usize, len: usize) -> Column {
+        assert!(start + len <= self.len(), "slice out of bounds");
+        let end = start + len;
+        let data = match &*self.data {
+            ColumnData::Bool(v) => ColumnData::Bool(v[start..end].to_vec()),
+            ColumnData::Int(v) => ColumnData::Int(v[start..end].to_vec()),
+            ColumnData::Float(v) => ColumnData::Float(v[start..end].to_vec()),
+            ColumnData::Str(v) => ColumnData::Str(v[start..end].to_vec()),
+            ColumnData::Blob(v) => ColumnData::Blob(v[start..end].to_vec()),
+        };
+        let validity = self
+            .validity
+            .as_ref()
+            .map(|valid| Bitmap::from_iter_bool((start..end).map(|i| valid.get(i))));
+        Column::new(data, validity)
+    }
+
     /// Concatenates columns of identical type.
     pub fn concat(columns: &[Column]) -> StorageResult<Column> {
         let Some(first) = columns.first() else {
@@ -447,6 +468,22 @@ mod tests {
         let t = c.take(&[1, 0]);
         assert!(!t.is_null(0));
         assert!(t.is_null(1));
+    }
+
+    #[test]
+    fn slice_copies_range_and_validity() {
+        let c = Column::from_values(
+            DataType::Int,
+            &[Value::Int(1), Value::Null, Value::Int(3), Value::Int(4)],
+        )
+        .unwrap();
+        let s = c.slice(1, 2);
+        assert_eq!(s.len(), 2);
+        assert!(s.is_null(0));
+        assert_eq!(s.value(1), Value::Int(3));
+        // An all-valid slice of a nullable column normalizes validity away.
+        assert!(c.slice(2, 2).validity().is_none());
+        assert_eq!(c.slice(4, 0).len(), 0);
     }
 
     #[test]

@@ -33,7 +33,9 @@ pub mod value;
 pub use batch::RecordBatch;
 pub use bitmap::Bitmap;
 pub use catalog::Catalog;
-pub use column::{Column, ColumnBuilder};
+pub use column::{Column, ColumnBuilder, ColumnData};
 pub use error::{StorageError, StorageResult};
-pub use table::{ColumnPredicate, PredicateOp, Row, ScanCursor, Segment, Table, TableOptions};
+pub use table::{
+    ColumnPredicate, PredicateOp, Row, ScanCursor, Segment, Table, TableOptions, BLOCK_ROWS,
+};
 pub use value::{DataType, Field, Schema, Value};

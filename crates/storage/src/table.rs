@@ -125,10 +125,14 @@ pub struct ZoneMap {
 
 impl ZoneMap {
     fn from_column(col: &Column) -> ZoneMap {
+        Self::from_column_range(col, 0, col.len())
+    }
+
+    fn from_column_range(col: &Column, start: usize, len: usize) -> ZoneMap {
         let mut min = Value::Null;
         let mut max = Value::Null;
         let mut null_count = 0usize;
-        for i in 0..col.len() {
+        for i in start..start + len {
             let v = col.value(i);
             if v.is_null() {
                 null_count += 1;
@@ -145,25 +149,53 @@ impl ZoneMap {
     }
 }
 
-/// An immutable ROS segment: encoded columns plus zone maps.
+/// Rows per zone-mapped block inside a segment. Blocks are the granularity
+/// of partial decode: a pushed-down predicate that rules out a block's
+/// min/max skips decoding those rows entirely (see
+/// [`ScanCursor::next_with_rowids`]).
+pub const BLOCK_ROWS: usize = 1024;
+
+/// An immutable ROS segment: encoded columns plus zone maps — one per
+/// column for the whole segment, and one per column per [`BLOCK_ROWS`]-row
+/// block for partial decode.
 #[derive(Debug, Clone)]
 pub struct Segment {
     num_rows: usize,
     columns: Vec<EncodedColumn>,
     zone_maps: Vec<ZoneMap>,
+    /// `block_zone_maps[col][block]`; empty inner vec when the segment fits
+    /// in a single block (the per-segment map already covers it).
+    block_zone_maps: Vec<Vec<ZoneMap>>,
 }
 
 impl Segment {
     fn from_columns(columns: Vec<Column>, compress: bool) -> Segment {
         let num_rows = columns.first().map_or(0, |c| c.len());
         let zone_maps = columns.iter().map(ZoneMap::from_column).collect();
+        let num_blocks = num_rows.div_ceil(BLOCK_ROWS);
+        let block_zone_maps = columns
+            .iter()
+            .map(|c| {
+                if num_blocks <= 1 {
+                    Vec::new()
+                } else {
+                    (0..num_blocks)
+                        .map(|b| {
+                            let start = b * BLOCK_ROWS;
+                            let len = BLOCK_ROWS.min(num_rows - start);
+                            ZoneMap::from_column_range(c, start, len)
+                        })
+                        .collect()
+                }
+            })
+            .collect();
         let columns = columns
             .into_iter()
             .map(
                 |c| if compress { EncodedColumn::encode_auto(&c) } else { EncodedColumn::Plain(c) },
             )
             .collect();
-        Segment { num_rows, columns, zone_maps }
+        Segment { num_rows, columns, zone_maps, block_zone_maps }
     }
 
     /// Builds an encoded, zone-mapped ROS segment for a table with `schema`
@@ -205,12 +237,38 @@ impl Segment {
         &self.zone_maps[col]
     }
 
+    /// Number of [`BLOCK_ROWS`]-row blocks covering this segment.
+    pub fn num_blocks(&self) -> usize {
+        self.num_rows.div_ceil(BLOCK_ROWS).max(1)
+    }
+
+    /// `(start row, row count)` of block `b`.
+    pub fn block_range(&self, b: usize) -> (usize, usize) {
+        let start = b * BLOCK_ROWS;
+        (start, BLOCK_ROWS.min(self.num_rows - start))
+    }
+
+    /// Zone map of block `b` of column `col`. A single-block segment answers
+    /// with the per-segment map (the per-block vec is elided to save memory).
+    pub fn block_zone_map(&self, col: usize, b: usize) -> &ZoneMap {
+        let blocks = &self.block_zone_maps[col];
+        if blocks.is_empty() {
+            &self.zone_maps[col]
+        } else {
+            &blocks[b]
+        }
+    }
+
     pub fn encoded_column(&self, col: usize) -> &EncodedColumn {
         &self.columns[col]
     }
 
     fn decode_column(&self, col: usize) -> StorageResult<Column> {
         self.columns[col].decode()
+    }
+
+    fn decode_column_range(&self, col: usize, start: usize, len: usize) -> StorageResult<Column> {
+        self.columns[col].decode_range(start, len)
     }
 }
 
@@ -245,6 +303,16 @@ pub struct Table {
     /// so pruning observed by a cursor *after* the catalog lock was dropped
     /// still lands on the same counter the eager scan bumps.
     segments_pruned: Arc<std::sync::atomic::AtomicU64>,
+    /// Like `segments_pruned`, but counting [`BLOCK_ROWS`]-row blocks skipped
+    /// by per-block zone maps inside segments that survived segment-level
+    /// pruning (blocks of pruned segments are *not* counted — they were never
+    /// considered).
+    blocks_pruned: Arc<std::sync::atomic::AtomicU64>,
+    /// Estimated bytes of column data decoded by scans of this table handle
+    /// (full-segment and partial block decodes alike) — the gauge that shows
+    /// block-granular decode paying off: with a selective pushed-down
+    /// predicate it stays proportional to surviving blocks, not segments.
+    bytes_decoded: Arc<std::sync::atomic::AtomicU64>,
 }
 
 impl Table {
@@ -257,6 +325,8 @@ impl Table {
             segments: Vec::new(),
             delete_vectors: Vec::new(),
             segments_pruned: Arc::new(std::sync::atomic::AtomicU64::new(0)),
+            blocks_pruned: Arc::new(std::sync::atomic::AtomicU64::new(0)),
+            bytes_decoded: Arc::new(std::sync::atomic::AtomicU64::new(0)),
         }
     }
 
@@ -264,6 +334,17 @@ impl Table {
     /// handle's lifetime of scans.
     pub fn segments_pruned(&self) -> u64 {
         self.segments_pruned.load(std::sync::atomic::Ordering::Relaxed)
+    }
+
+    /// Total blocks skipped by per-block zone maps within surviving segments.
+    pub fn blocks_pruned(&self) -> u64 {
+        self.blocks_pruned.load(std::sync::atomic::Ordering::Relaxed)
+    }
+
+    /// Estimated bytes of column data decoded by scans over this handle's
+    /// lifetime (shared with outstanding cursors, like the prune counters).
+    pub fn bytes_decoded(&self) -> u64 {
+        self.bytes_decoded.load(std::sync::atomic::Ordering::Relaxed)
     }
 
     pub fn name(&self) -> &str {
@@ -530,6 +611,8 @@ impl Table {
             pos: 0,
             wos,
             pruned: self.segments_pruned.clone(),
+            blocks_pruned: self.blocks_pruned.clone(),
+            bytes_decoded: self.bytes_decoded.clone(),
         })
     }
 
@@ -622,6 +705,10 @@ pub struct ScanCursor {
     /// The owning table handle's pruning counter (shared so cursor-observed
     /// prunes and eager-scan prunes land on the same gauge).
     pruned: Arc<std::sync::atomic::AtomicU64>,
+    /// Shared per-block pruning counter (see [`Table::blocks_pruned`]).
+    blocks_pruned: Arc<std::sync::atomic::AtomicU64>,
+    /// Shared decoded-bytes gauge (see [`Table::bytes_decoded`]).
+    bytes_decoded: Arc<std::sync::atomic::AtomicU64>,
 }
 
 impl ScanCursor {
@@ -642,57 +729,134 @@ impl ScanCursor {
     }
 
     /// Pulls the next non-empty batch along with each row's stable rowid.
+    ///
+    /// Within a surviving segment, pushed-down predicates are evaluated
+    /// **block-wise**: each [`BLOCK_ROWS`]-row block is first checked against
+    /// its per-block zone maps, pruned blocks are never decoded (counted on
+    /// the shared [`Table::blocks_pruned`] gauge), and only surviving blocks
+    /// are partially decoded via [`EncodedColumn::decode_range`]. The segment
+    /// still yields at most one batch, identical to a full decode + row
+    /// filter — a pruned block's min/max proves it holds no matching row, so
+    /// a selective point predicate's decode cost is proportional to matching
+    /// blocks, not segments.
     pub fn next_with_rowids(&mut self) -> StorageResult<Option<(RecordBatch, Vec<u64>)>> {
+        use std::sync::atomic::Ordering::Relaxed;
         while self.pos < self.segments.len() {
             let (si, seg, dels) = &self.segments[self.pos];
             self.pos += 1;
             // Zone-map pruning: skip the segment without decoding anything.
             if self.predicates.iter().any(|p| !p.maybe_in(seg.zone_map(p.column))) {
-                self.pruned.fetch_add(1, std::sync::atomic::Ordering::Relaxed);
+                self.pruned.fetch_add(1, Relaxed);
                 continue;
             }
-            // Decode predicate columns first and compute surviving rows.
-            let pred_cols: Vec<(usize, Column)> = {
-                let mut v: Vec<(usize, Column)> = Vec::new();
-                for p in &self.predicates {
-                    if !v.iter().any(|(c, _)| *c == p.column) {
-                        v.push((p.column, seg.decode_column(p.column)?));
+            if self.predicates.is_empty() {
+                // No predicate to localize: decode columns whole (a plain
+                // column is an Arc clone) and only filter deleted rows.
+                let mut keep: Vec<u32> = Vec::with_capacity(seg.num_rows());
+                for r in 0..seg.num_rows() {
+                    if !dels.get(r) {
+                        keep.push(r as u32);
                     }
                 }
-                v
-            };
-            let mut keep: Vec<u32> = Vec::with_capacity(seg.num_rows());
-            'rows: for r in 0..seg.num_rows() {
-                if dels.get(r) {
+                if keep.is_empty() {
                     continue;
                 }
-                for p in &self.predicates {
-                    let col = &pred_cols.iter().find(|(c, _)| *c == p.column).unwrap().1;
-                    if !p.matches(&col.value(r)) {
-                        continue 'rows;
-                    }
+                let all = keep.len() == seg.num_rows();
+                let indices: Vec<usize> = keep.iter().map(|&r| r as usize).collect();
+                let mut cols = Vec::with_capacity(self.proj.len());
+                for &ci in &self.proj {
+                    let full = seg.decode_column(ci)?;
+                    self.bytes_decoded.fetch_add(full.estimated_bytes() as u64, Relaxed);
+                    cols.push(if all { full } else { full.take(&indices) });
                 }
-                keep.push(r as u32);
+                let rowids: Vec<u64> = keep.iter().map(|&r| rowid(*si, r)).collect();
+                return Ok(Some((RecordBatch::new(self.out_schema.clone(), cols)?, rowids)));
+            }
+            // Distinct predicate columns, in first-use order.
+            let mut pred_col_idx: Vec<usize> = Vec::new();
+            for p in &self.predicates {
+                if !pred_col_idx.contains(&p.column) {
+                    pred_col_idx.push(p.column);
+                }
+            }
+            // Block-granular partial decode: prune blocks by their zone maps,
+            // decode predicate columns only inside surviving blocks, filter.
+            let mut live: Vec<LiveBlock> = Vec::new();
+            let mut keep: Vec<u32> = Vec::new();
+            for b in 0..seg.num_blocks() {
+                if self.predicates.iter().any(|p| !p.maybe_in(seg.block_zone_map(p.column, b))) {
+                    self.blocks_pruned.fetch_add(1, Relaxed);
+                    continue;
+                }
+                let (start, len) = seg.block_range(b);
+                let mut pred_cols: Vec<(usize, Column)> = Vec::with_capacity(pred_col_idx.len());
+                for &c in &pred_col_idx {
+                    let col = seg.decode_column_range(c, start, len)?;
+                    self.bytes_decoded.fetch_add(col.estimated_bytes() as u64, Relaxed);
+                    pred_cols.push((c, col));
+                }
+                let mut keep_local: Vec<usize> = Vec::with_capacity(len);
+                'rows: for r in 0..len {
+                    if dels.get(start + r) {
+                        continue;
+                    }
+                    for p in &self.predicates {
+                        let col = &pred_cols.iter().find(|(c, _)| *c == p.column).unwrap().1;
+                        if !p.matches(&col.value(r)) {
+                            continue 'rows;
+                        }
+                    }
+                    keep_local.push(r);
+                    keep.push((start + r) as u32);
+                }
+                if !keep_local.is_empty() {
+                    live.push(LiveBlock { start, len, keep_local, pred_cols });
+                }
             }
             if keep.is_empty() {
                 continue;
             }
-            let all = keep.len() == seg.num_rows();
-            let indices: Vec<usize> = keep.iter().map(|&r| r as usize).collect();
             let mut cols = Vec::with_capacity(self.proj.len());
             for &ci in &self.proj {
-                // Reuse predicate-decoded columns when possible.
-                let full = match pred_cols.iter().find(|(c, _)| *c == ci) {
-                    Some((_, c)) => c.clone(),
-                    None => seg.decode_column(ci)?,
-                };
-                cols.push(if all { full } else { full.take(&indices) });
+                let mut pieces: Vec<Column> = Vec::with_capacity(live.len());
+                for lb in &live {
+                    // Reuse the predicate decode when the projection wants
+                    // the same column; otherwise partially decode this block.
+                    let col = match lb.pred_cols.iter().find(|(c, _)| *c == ci) {
+                        Some((_, c)) => c.clone(),
+                        None => {
+                            let c = seg.decode_column_range(ci, lb.start, lb.len)?;
+                            self.bytes_decoded.fetch_add(c.estimated_bytes() as u64, Relaxed);
+                            c
+                        }
+                    };
+                    pieces.push(if lb.keep_local.len() == lb.len {
+                        col
+                    } else {
+                        col.take(&lb.keep_local)
+                    });
+                }
+                cols.push(if pieces.len() == 1 {
+                    pieces.pop().expect("one piece")
+                } else {
+                    Column::concat(&pieces)?
+                });
             }
             let rowids: Vec<u64> = keep.iter().map(|&r| rowid(*si, r)).collect();
             return Ok(Some((RecordBatch::new(self.out_schema.clone(), cols)?, rowids)));
         }
         Ok(self.wos.take())
     }
+}
+
+/// A segment block that survived per-block zone-map pruning: its row range,
+/// the locally-surviving row offsets, and the predicate columns already
+/// partially decoded for it (reused by the projection gather).
+struct LiveBlock {
+    start: usize,
+    len: usize,
+    keep_local: Vec<usize>,
+    pred_cols: Vec<(usize, Column)>,
 }
 
 #[cfg(test)]
@@ -1040,6 +1204,108 @@ mod tests {
         assert_eq!(t.segments_pruned(), 0, "pruning is lazy: nothing pruned before a pull");
         while cursor.next_batch().unwrap().is_some() {}
         assert_eq!(t.segments_pruned(), 1);
+    }
+
+    fn int_table_segment(n: usize) -> Table {
+        let schema =
+            Schema::new(vec![Field::not_null("k", DataType::Int), Field::new("v", DataType::Int)]);
+        let rows: Vec<Row> =
+            (0..n).map(|i| vec![Value::Int(i as i64), Value::Int((i % 3) as i64)]).collect();
+        let batch = RecordBatch::from_rows(schema.clone(), &rows).unwrap();
+        let mut t = Table::new("t", schema, TableOptions::default());
+        t.append_batch(&batch).unwrap();
+        t
+    }
+
+    #[test]
+    fn bulk_load_carries_per_block_zone_maps() {
+        let t = int_table_segment(BLOCK_ROWS * 3 + 17);
+        let seg = &t.segments()[0];
+        assert_eq!(seg.num_blocks(), 4);
+        for b in 0..seg.num_blocks() {
+            let (start, len) = seg.block_range(b);
+            let zm = seg.block_zone_map(0, b);
+            assert_eq!(zm.min, Value::Int(start as i64));
+            assert_eq!(zm.max, Value::Int((start + len - 1) as i64));
+            assert_eq!(zm.null_count, 0);
+        }
+        // The last block is the 17-row remainder.
+        assert_eq!(seg.block_range(3), (BLOCK_ROWS * 3, 17));
+        // Single-block segments answer block queries from the segment map.
+        let small = int_table_segment(10);
+        let seg = &small.segments()[0];
+        assert_eq!(seg.num_blocks(), 1);
+        assert_eq!(seg.block_zone_map(0, 0).max, Value::Int(9));
+    }
+
+    #[test]
+    fn selective_scan_prunes_blocks_and_decodes_less() {
+        let t = int_table_segment(BLOCK_ROWS * 4);
+        // Baseline: unpredicated scan decodes the full segment.
+        let before = t.bytes_decoded();
+        t.scan(None, &[]).unwrap();
+        let full_bytes = t.bytes_decoded() - before;
+        assert!(full_bytes > 0);
+
+        // A point predicate falls inside exactly one block.
+        let pred = ColumnPredicate::new(0, PredicateOp::Eq, Value::Int(5));
+        let (pruned_before, bytes_before) = (t.blocks_pruned(), t.bytes_decoded());
+        let got = t.scan(None, std::slice::from_ref(&pred)).unwrap();
+        assert_eq!(RecordBatch::total_rows(&got), 1);
+        assert_eq!(got[0].row(0)[0], Value::Int(5));
+        assert_eq!(t.blocks_pruned() - pruned_before, 3);
+        let partial_bytes = t.bytes_decoded() - bytes_before;
+        assert!(
+            partial_bytes < full_bytes,
+            "partial decode ({partial_bytes}B) must stay below full-segment decode ({full_bytes}B)"
+        );
+    }
+
+    #[test]
+    fn block_pruning_never_drops_matching_rows() {
+        // Matches placed at every block boundary (first and last row of each
+        // block): an off-by-one in block skipping would drop them.
+        let n = BLOCK_ROWS * 3;
+        let t = int_table_segment(n);
+        for target in [0, BLOCK_ROWS - 1, BLOCK_ROWS, 2 * BLOCK_ROWS - 1, 2 * BLOCK_ROWS, n - 1] {
+            let pred = ColumnPredicate::new(0, PredicateOp::Eq, Value::Int(target as i64));
+            let got = t.scan(None, std::slice::from_ref(&pred)).unwrap();
+            assert_eq!(RecordBatch::total_rows(&got), 1, "row {target} was dropped");
+            assert_eq!(got[0].row(0)[0], Value::Int(target as i64));
+        }
+        // A range predicate spanning a block boundary keeps both sides, in
+        // one batch, in segment order.
+        let lo = BLOCK_ROWS - 2;
+        let preds = [
+            ColumnPredicate::new(0, PredicateOp::GtEq, Value::Int(lo as i64)),
+            ColumnPredicate::new(0, PredicateOp::Lt, Value::Int((lo + 4) as i64)),
+        ];
+        let got = t.scan(None, &preds).unwrap();
+        assert_eq!(got.len(), 1);
+        let ks: Vec<Value> = got[0].column(0).iter().collect();
+        assert_eq!(ks, (lo..lo + 4).map(|i| Value::Int(i as i64)).collect::<Vec<_>>());
+    }
+
+    #[test]
+    fn block_pruning_respects_deletes_and_compression() {
+        // Compressed (RLE-friendly) segment: partial decode must honor the
+        // delete vector with absolute row addressing.
+        let schema = Schema::new(vec![Field::not_null("k", DataType::Int)]);
+        let rows: Vec<Row> =
+            (0..BLOCK_ROWS * 2).map(|i| vec![Value::Int((i / 64) as i64)]).collect();
+        let batch = RecordBatch::from_rows(schema.clone(), &rows).unwrap();
+        let mut t = Table::new("t", schema, TableOptions::default().compressed());
+        t.append_batch(&batch).unwrap();
+        let target = (BLOCK_ROWS + 128) / 64; // lives in block 1 only
+        let pred = ColumnPredicate::new(0, PredicateOp::Eq, Value::Int(target as i64));
+        let with_ids = t.scan_with_rowids(None, std::slice::from_ref(&pred)).unwrap();
+        assert_eq!(with_ids.len(), 1);
+        assert_eq!(with_ids[0].0.num_rows(), 64);
+        // Delete half the matches; a rescan sees exactly the survivors.
+        let doomed: Vec<u64> = with_ids[0].1.iter().copied().take(32).collect();
+        assert_eq!(t.delete_rowids(&doomed), 32);
+        let again = t.scan(None, std::slice::from_ref(&pred)).unwrap();
+        assert_eq!(RecordBatch::total_rows(&again), 32);
     }
 
     #[test]

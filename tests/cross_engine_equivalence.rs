@@ -334,8 +334,8 @@ fn message_table_bits(session: &GraphSession) -> Vec<(i64, Option<i64>, Option<V
 }
 
 /// Everything one configuration cell produced that must be invariant across
-/// the {streaming} × {parallel apply} × {pipelined} × {streaming scan}
-/// matrix.
+/// the {streaming} × {parallel apply} × {pipelined} × {streaming scan} ×
+/// {vectorized expr} matrix.
 #[derive(PartialEq, Debug)]
 struct CellResult {
     vertex_bits: Vec<(i64, Option<Vec<u8>>, Option<bool>)>,
@@ -344,6 +344,7 @@ struct CellResult {
     per_superstep: Vec<(usize, usize, bool)>, // (messages, vertex_changes, replaced)
 }
 
+#[allow(clippy::too_many_arguments)]
 fn run_cell<P, F>(
     graph: &EdgeList,
     make_program: F,
@@ -351,6 +352,7 @@ fn run_cell<P, F>(
     parallel: bool,
     pipelined: bool,
     stream_scan: bool,
+    vector_expr: bool,
     cap: u64,
 ) -> CellResult
 where
@@ -364,6 +366,7 @@ where
         .with_parallel_apply(parallel)
         .with_pipelined(pipelined)
         .with_streaming_scan(stream_scan)
+        .with_vectorized_expr(vector_expr)
         .with_max_supersteps(cap);
     let session = session_for(graph);
     let stats = run_program(&session, Arc::new(make_program()), &config).unwrap();
@@ -399,68 +402,72 @@ where
 }
 
 /// The config-matrix equivalence harness: every vertex-centric algorithm,
-/// run under all sixteen {streaming} × {parallel apply} × {pipelined} ×
-/// {streaming scan} cells, must produce **bitwise-identical** vertex
-/// tables, message tables and message counts. Two runs stop mid-algorithm
-/// (superstep cap) so the message table is non-empty and mid-flight state
-/// is compared too.
+/// run under all thirty-two {streaming} × {parallel apply} × {pipelined} ×
+/// {streaming scan} × {vectorized expr} cells, must produce
+/// **bitwise-identical** vertex tables, message tables and message counts.
+/// Two runs stop mid-algorithm (superstep cap) so the message table is
+/// non-empty and mid-flight state is compared too.
 #[test]
-fn config_matrix_streaming_x_parallel_apply_x_pipelined_x_scan_is_bitwise_identical() {
+fn config_matrix_streaming_x_parallel_apply_x_pipelined_x_scan_x_expr_is_bitwise_identical() {
     use vertexica_algorithms::vc::{LabelPropagation, RandomWalkWithRestart};
     let graph =
         rmat_graph(&RmatConfig { scale: 6, num_edges: 400, seed: 17, ..Default::default() });
     let undirected = graph.undirected();
 
     // (name, cap, runner): each runner executes one cell for its algorithm.
-    type Cell = Box<dyn Fn(bool, bool, bool, bool) -> CellResult>;
+    type Cell = Box<dyn Fn(bool, bool, bool, bool, bool) -> CellResult>;
     let algorithms: Vec<(&str, Cell)> = vec![
         ("pagerank", {
             let g = graph.clone();
-            Box::new(move |s, p, l, c| run_cell(&g, || PageRank::new(6, 0.85), s, p, l, c, 10_000))
+            Box::new(move |s, p, l, c, v| {
+                run_cell(&g, || PageRank::new(6, 0.85), s, p, l, c, v, 10_000)
+            })
         }),
         ("pagerank-midflight", {
             let g = graph.clone();
-            Box::new(move |s, p, l, c| run_cell(&g, || PageRank::new(6, 0.85), s, p, l, c, 3))
+            Box::new(move |s, p, l, c, v| run_cell(&g, || PageRank::new(6, 0.85), s, p, l, c, v, 3))
         }),
         ("sssp", {
             let g = graph.clone();
-            Box::new(move |s, p, l, c| run_cell(&g, || Sssp::new(0), s, p, l, c, 10_000))
+            Box::new(move |s, p, l, c, v| run_cell(&g, || Sssp::new(0), s, p, l, c, v, 10_000))
         }),
         ("connected-components", {
             let g = undirected.clone();
-            Box::new(move |s, p, l, c| run_cell(&g, || ConnectedComponents, s, p, l, c, 10_000))
+            Box::new(move |s, p, l, c, v| {
+                run_cell(&g, || ConnectedComponents, s, p, l, c, v, 10_000)
+            })
         }),
         ("cc-midflight", {
             let g = undirected.clone();
-            Box::new(move |s, p, l, c| run_cell(&g, || ConnectedComponents, s, p, l, c, 2))
+            Box::new(move |s, p, l, c, v| run_cell(&g, || ConnectedComponents, s, p, l, c, v, 2))
         }),
         ("random-walk-with-restart", {
             let g = graph.clone();
-            Box::new(move |s, p, l, c| {
-                run_cell(&g, || RandomWalkWithRestart::new(0, 8), s, p, l, c, 10_000)
+            Box::new(move |s, p, l, c, v| {
+                run_cell(&g, || RandomWalkWithRestart::new(0, 8), s, p, l, c, v, 10_000)
             })
         }),
         ("label-propagation", {
             let g = undirected.clone();
-            Box::new(move |s, p, l, c| {
-                run_cell(&g, || LabelPropagation::new(6), s, p, l, c, 10_000)
+            Box::new(move |s, p, l, c, v| {
+                run_cell(&g, || LabelPropagation::new(6), s, p, l, c, v, 10_000)
             })
         }),
     ];
 
     for (name, cell) in &algorithms {
-        let reference = cell(true, true, true, true);
+        let reference = cell(true, true, true, true, true);
         assert!(!reference.vertex_bits.is_empty(), "{name}: empty vertex table");
-        for bits in 0..15u8 {
-            // The remaining fifteen cells of the hypercube.
-            let (streaming, parallel, pipelined, stream_scan) =
-                (bits & 8 != 0, bits & 4 != 0, bits & 2 != 0, bits & 1 != 0);
-            let other = cell(streaming, parallel, pipelined, stream_scan);
+        for bits in 0..31u8 {
+            // The remaining thirty-one cells of the hypercube.
+            let (streaming, parallel, pipelined, stream_scan, vector_expr) =
+                (bits & 16 != 0, bits & 8 != 0, bits & 4 != 0, bits & 2 != 0, bits & 1 != 0);
+            let other = cell(streaming, parallel, pipelined, stream_scan, vector_expr);
             assert_eq!(
                 reference, other,
                 "{name}: cell (streaming={streaming}, parallel_apply={parallel}, \
-                 pipelined={pipelined}, streaming_scan={stream_scan}) diverged from \
-                 the all-true reference"
+                 pipelined={pipelined}, streaming_scan={stream_scan}, \
+                 vectorized_expr={vector_expr}) diverged from the all-true reference"
             );
         }
     }
