@@ -47,7 +47,7 @@ pub fn important_bridges(
          ORDER BY p.score DESC"
     ))?;
     for t in ["hybrid_pagerank", "hybrid_ties"] {
-        session.db().catalog().drop_table_if_exists(t);
+        session.db().catalog().drop_table_if_exists(t)?;
     }
     Ok(rows
         .into_iter()

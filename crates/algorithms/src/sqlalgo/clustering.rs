@@ -21,7 +21,7 @@ pub fn local_clustering_sql(session: &GraphSession) -> VertexicaResult<Vec<(Vert
          GROUP BY v.id ORDER BY v.id",
         v = session.vertex_table()
     ))?;
-    db.catalog().drop_table_if_exists(&ue);
+    db.catalog().drop_table_if_exists(&ue)?;
 
     let triangles = per_node_triangles_sql(session)?;
     Ok(deg_rows
@@ -51,7 +51,7 @@ pub fn global_clustering_sql(session: &GraphSession) -> VertexicaResult<f64> {
         ))?
         .as_float()
         .unwrap_or(0.0);
-    db.catalog().drop_table_if_exists(&ue);
+    db.catalog().drop_table_if_exists(&ue)?;
     let triangles = super::triangle_count_sql(session)? as f64;
     Ok(if wedges == 0.0 { 0.0 } else { 3.0 * triangles / wedges })
 }

@@ -14,7 +14,7 @@ pub fn connected_components_sql(session: &GraphSession) -> VertexicaResult<Vec<(
     let comp = format!("{g}__comp");
     let comp_next = format!("{g}__comp_next");
     for t in [&comp, &comp_next] {
-        db.catalog().drop_table_if_exists(t);
+        db.catalog().drop_table_if_exists(t)?;
     }
 
     db.execute(&format!("CREATE TABLE {comp} AS SELECT v.id AS id, v.id AS label FROM {v} v"))?;
@@ -35,14 +35,14 @@ pub fn connected_components_sql(session: &GraphSession) -> VertexicaResult<Vec<(
              WHERE a.label < b.label"
         ))?;
         db.catalog().swap(&comp, &comp_next)?;
-        db.catalog().drop_table_if_exists(&comp_next);
+        db.catalog().drop_table_if_exists(&comp_next)?;
         if changed == 0 {
             break;
         }
     }
 
     let rows = db.query(&format!("SELECT id, label FROM {comp} ORDER BY id"))?;
-    db.catalog().drop_table_if_exists(&comp);
+    db.catalog().drop_table_if_exists(&comp)?;
     Ok(rows
         .into_iter()
         .map(|r| (r[0].as_int().unwrap_or(0) as VertexId, r[1].as_int().unwrap_or(0) as u64))

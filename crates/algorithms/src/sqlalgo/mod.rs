@@ -35,7 +35,7 @@ pub fn store_scores(
     scores: &[(VertexId, f64)],
 ) -> VertexicaResult<()> {
     let db = session.db();
-    db.catalog().drop_table_if_exists(table);
+    db.catalog().drop_table_if_exists(table)?;
     db.execute(&format!("CREATE TABLE {table} (id BIGINT NOT NULL, score FLOAT) ORDER BY id"))?;
     if scores.is_empty() {
         return Ok(());
@@ -53,7 +53,7 @@ pub fn store_scores(
 /// Several SQL algorithms (triangles, weak ties, clustering) share it.
 pub(crate) fn build_undirected(session: &GraphSession, name: &str) -> VertexicaResult<()> {
     let db = session.db();
-    db.catalog().drop_table_if_exists(name);
+    db.catalog().drop_table_if_exists(name)?;
     db.execute(&format!(
         "CREATE TABLE {name} AS \
          SELECT DISTINCT LEAST(src, dst) AS a, GREATEST(src, dst) AS b \

@@ -13,7 +13,7 @@ pub fn strong_overlap_sql(
     let e = session.edge_table();
     let g = session.name();
     let de = format!("{g}__dedge");
-    db.catalog().drop_table_if_exists(&de);
+    db.catalog().drop_table_if_exists(&de)?;
     // Distinct edges: duplicate src→dst rows must not inflate overlap.
     db.execute(&format!("CREATE TABLE {de} AS SELECT DISTINCT src, dst FROM {e}"))?;
     let rows = db.query(&format!(
@@ -24,7 +24,7 @@ pub fn strong_overlap_sql(
          HAVING COUNT(*) >= {k} \
          ORDER BY a, b"
     ))?;
-    db.catalog().drop_table_if_exists(&de);
+    db.catalog().drop_table_if_exists(&de)?;
     Ok(rows
         .into_iter()
         .map(|r| {

@@ -18,7 +18,7 @@ pub fn pagerank_sql(
     let pr_next = format!("{g}__pr_next");
     let deg = format!("{g}__outdeg");
     for t in [&pr, &pr_next, &deg] {
-        db.catalog().drop_table_if_exists(t);
+        db.catalog().drop_table_if_exists(t)?;
     }
 
     let n = session.num_vertices()?.max(1);
@@ -57,12 +57,12 @@ pub fn pagerank_sql(
              JOIN {deg} o ON r.id = o.id"
         ))?;
         db.catalog().swap(&pr, &pr_next)?;
-        db.catalog().drop_table_if_exists(&pr_next);
+        db.catalog().drop_table_if_exists(&pr_next)?;
     }
 
     let rows = db.query(&format!("SELECT id, rank FROM {pr} ORDER BY id"))?;
     for t in [&pr, &deg] {
-        db.catalog().drop_table_if_exists(t);
+        db.catalog().drop_table_if_exists(t)?;
     }
     Ok(rows
         .into_iter()

@@ -20,7 +20,7 @@ pub fn sssp_sql(session: &GraphSession, source: VertexId) -> VertexicaResult<Vec
     let dist = format!("{g}__dist");
     let dist_next = format!("{g}__dist_next");
     for t in [&dist, &dist_next] {
-        db.catalog().drop_table_if_exists(t);
+        db.catalog().drop_table_if_exists(t)?;
     }
 
     db.execute(&format!(
@@ -46,14 +46,14 @@ pub fn sssp_sql(session: &GraphSession, source: VertexId) -> VertexicaResult<Vec
              WHERE a.d < b.d"
         ))?;
         db.catalog().swap(&dist, &dist_next)?;
-        db.catalog().drop_table_if_exists(&dist_next);
+        db.catalog().drop_table_if_exists(&dist_next)?;
         if improved == 0 {
             break;
         }
     }
 
     let rows = db.query(&format!("SELECT id, d FROM {dist} ORDER BY id"))?;
-    db.catalog().drop_table_if_exists(&dist);
+    db.catalog().drop_table_if_exists(&dist)?;
     Ok(rows
         .into_iter()
         .map(|r| {

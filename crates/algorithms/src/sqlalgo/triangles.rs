@@ -18,7 +18,7 @@ pub fn triangle_count_sql(session: &GraphSession) -> VertexicaResult<u64> {
          JOIN {ue} e2 ON e2.a = e1.b \
          JOIN {ue} e3 ON e3.a = e1.a AND e3.b = e2.b"
     ))?;
-    db.catalog().drop_table_if_exists(&ue);
+    db.catalog().drop_table_if_exists(&ue)?;
     Ok(n as u64)
 }
 
@@ -29,7 +29,7 @@ pub fn per_node_triangles_sql(session: &GraphSession) -> VertexicaResult<Vec<(Ve
     let ue = format!("{g}__ue");
     let tri = format!("{g}__tri");
     build_undirected(session, &ue)?;
-    db.catalog().drop_table_if_exists(&tri);
+    db.catalog().drop_table_if_exists(&tri)?;
     // Materialize oriented triangles, then credit all three corners.
     db.execute(&format!(
         "CREATE TABLE {tri} AS \
@@ -46,7 +46,7 @@ pub fn per_node_triangles_sql(session: &GraphSession) -> VertexicaResult<Vec<(Ve
         v = session.vertex_table()
     ))?;
     for t in [&ue, &tri] {
-        db.catalog().drop_table_if_exists(t);
+        db.catalog().drop_table_if_exists(t)?;
     }
     Ok(rows
         .into_iter()

@@ -19,8 +19,8 @@ pub fn weak_ties_sql(session: &GraphSession) -> VertexicaResult<Vec<(VertexId, u
     let cand = format!("{g}__wt_cand");
     let de = format!("{g}__wt_dedge");
     build_undirected(session, &ue)?;
-    db.catalog().drop_table_if_exists(&cand);
-    db.catalog().drop_table_if_exists(&de);
+    db.catalog().drop_table_if_exists(&cand)?;
+    db.catalog().drop_table_if_exists(&de)?;
 
     db.execute(&format!(
         "CREATE TABLE {de} AS SELECT DISTINCT src, dst FROM {e} WHERE src <> dst"
@@ -43,7 +43,7 @@ pub fn weak_ties_sql(session: &GraphSession) -> VertexicaResult<Vec<(VertexId, u
         v = session.vertex_table()
     ))?;
     for t in [&ue, &cand, &de] {
-        db.catalog().drop_table_if_exists(t);
+        db.catalog().drop_table_if_exists(t)?;
     }
     Ok(rows
         .into_iter()

@@ -107,7 +107,7 @@ fn bench_dml(c: &mut Criterion) {
             db.execute("CREATE TABLE vertex_new AS SELECT id, value + 1.0 AS value FROM vertex")
                 .unwrap();
             db.catalog().swap("vertex", "vertex_new").unwrap();
-            db.catalog().drop_table_if_exists("vertex_new");
+            let _ = db.catalog().drop_table_if_exists("vertex_new");
         })
     });
     group.bench_function("update_in_place_1pct", |b| {

@@ -2,7 +2,7 @@
 //!
 //! ```text
 //! cargo run -p vertexica-bench --release --bin ablation -- \
-//!     [--exp union-vs-join|worker-scaling|batching|update-vs-replace|pool-size|pipeline|expr|all]
+//!     [--exp union-vs-join|worker-scaling|batching|update-vs-replace|pool-size|pipeline|expr|wal|all]
 //! ```
 
 use std::sync::Arc;
@@ -184,6 +184,10 @@ fn main() {
         expr_ablation(&cfg);
     }
 
+    if exp == "wal" || exp == "all" {
+        wal_ablation(&graph, &cfg);
+    }
+
     if exp == "update-vs-replace" || exp == "all" {
         println!("## §2.3 Update vs Replace: threshold sweep");
         println!("# PageRank touches every vertex each superstep (dense updates);");
@@ -212,6 +216,67 @@ fn main() {
 
 fn bin(left: PhysExpr, op: BinaryOp, right: PhysExpr) -> PhysExpr {
     PhysExpr::Binary { left: Box::new(left), op, right: Box::new(right) }
+}
+
+/// Durability ablation: the same PageRank run in-memory, write-ahead-logged
+/// without fsync, and fully fsynced — isolating what the WAL append, the
+/// grouped-commit table flushes, and `fsync` each cost. Writes
+/// `BENCH_pr7.json` into the current directory.
+fn wal_ablation(graph: &vertexica_common::graph::EdgeList, cfg: &HarnessConfig) {
+    println!("## Durability: WAL + grouped-commit flush + fsync (PageRank)");
+    println!("# in-memory: the baseline database (no durability);");
+    println!("# wal-nosync: every superstep apply rides one atomic WAL commit");
+    println!("#   record and flushes the swapped tables' images (OS-cached);");
+    println!("# wal-fsync: the same, with fsync before each acknowledgment.");
+    let mut lines = Vec::new();
+    for (label, durable, sync) in
+        [("in-memory", false, false), ("wal-nosync", true, false), ("wal-fsync", true, true)]
+    {
+        let (session, dir) = if durable {
+            std::env::set_var("VERTEXICA_DURABLE_SYNC", if sync { "1" } else { "0" });
+            let dir =
+                std::env::temp_dir().join(format!("vx_bench_wal_{}_{label}", std::process::id()));
+            std::fs::remove_dir_all(&dir).ok();
+            let db = Arc::new(Database::open(&dir).expect("open durable bench db"));
+            let session = vertexica::GraphSession::create(db, "bench").expect("create session");
+            session.load_edges(graph).expect("load edges");
+            (session, Some(dir))
+        } else {
+            (fresh_session(graph), None)
+        };
+        let config = VertexicaConfig::default().with_durable(durable);
+        let sw = Stopwatch::start();
+        let stats = run_program(&session, Arc::new(PageRank::new(5, 0.85)), &config).unwrap();
+        let secs = sw.elapsed_secs();
+        let wal_records: u64 = stats.per_superstep.iter().map(|s| s.wal_records).sum();
+        let wal_bytes: u64 = stats.per_superstep.iter().map(|s| s.wal_bytes).sum();
+        let flush_bytes: u64 = stats.per_superstep.iter().map(|s| s.flush_bytes).sum();
+        let totals = session.db().durability_stats().unwrap_or_default();
+        println!(
+            "{label:<11} {secs:.3}s  wal-records={wal_records} wal-bytes={wal_bytes}B \
+             flush-bytes={flush_bytes}B commits={} checkpoints={} rotations={}",
+            totals.commits, totals.checkpoints, totals.rotations
+        );
+        lines.push(format!(
+            "    {{\"label\": \"{label}\", \"secs\": {secs:.6}, \"wal_records\": {wal_records}, \
+             \"wal_bytes\": {wal_bytes}, \"flush_bytes\": {flush_bytes}, \
+             \"commits\": {}, \"checkpoints\": {}, \"rotations\": {}}}",
+            totals.commits, totals.checkpoints, totals.rotations
+        ));
+        if let Some(dir) = dir {
+            std::fs::remove_dir_all(&dir).ok();
+        }
+    }
+    let cores = std::thread::available_parallelism().map(|p| p.get()).unwrap_or(1);
+    let json = format!(
+        "{{\n  \"experiment\": \"wal\",\n  \"cores\": {cores},\n  \"scale\": {},\n  \
+         \"workload\": \"pagerank x5 on twitter profile\",\n  \"variants\": [\n{}\n  ]\n}}\n",
+        cfg.scale,
+        lines.join(",\n")
+    );
+    std::fs::write("BENCH_pr7.json", &json).expect("write BENCH_pr7.json");
+    println!("wrote BENCH_pr7.json");
+    println!();
 }
 
 /// Vectorized-expression + block-decode ablation: typed slice kernels vs the

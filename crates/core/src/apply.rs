@@ -563,22 +563,27 @@ pub fn apply_parallel<P: VertexProgram>(
         }
     }
 
-    // ---- commit: encode EVERYTHING, then swap both tables ----
+    // ---- commit: encode EVERYTHING, then swap both tables at once ----
     // Both tables' segments are fully encoded before either contents swap,
-    // so no failure in encoding can leave the message table at superstep
-    // N+1 with the vertex table still at N. The commit calls themselves can
-    // only fail on shape mismatches that are impossible by construction
-    // here (the batches were built against the live schemas above).
+    // and the swap itself is a single grouped catalog commit: on a durable
+    // database both replacements ride one atomic WAL commit record, so
+    // crash recovery can never land on a message table at superstep N+1
+    // with the vertex table still at N. The commit call can only fail on
+    // shape mismatches that are impossible by construction here (the
+    // batches were built against the live schemas above).
     let msg_segments = session.db().encode_segments_for(&session.message_table(), msg_batches)?;
     let vertex_segments = if replaced {
         Some(session.db().encode_segments_for(&session.vertex_table(), vertex_batches)?)
     } else {
         None
     };
-    session.db().commit_table_segments(&session.message_table(), msg_segments)?;
+    let mut commit_group = vec![(session.message_table(), msg_segments)];
+    let vertex_replaced = vertex_segments.is_some();
     if let Some(segments) = vertex_segments {
-        session.db().commit_table_segments(&session.vertex_table(), segments)?;
-    } else if vertex_changes > 0 {
+        commit_group.push((session.vertex_table(), segments));
+    }
+    session.db().commit_tables_segmented(commit_group)?;
+    if !vertex_replaced && vertex_changes > 0 {
         // The *update* arm mutates the vertex table directly (delete +
         // re-insert); it is inherently per-row, not atomic with the message
         // swap — exactly the trade the paper's threshold policy makes.
@@ -619,7 +624,7 @@ fn replace_messages(
 ) -> VertexicaResult<()> {
     let catalog = session.db().catalog();
     let tmp = format!("{}_message_new", session.name());
-    catalog.drop_table_if_exists(&tmp);
+    catalog.drop_table_if_exists(&tmp)?;
     catalog.create_table(&tmp, message_schema(), TableOptions::default().sorted_by(vec![0]))?;
     if !messages.is_empty() {
         let batch = message_batch(
@@ -628,7 +633,7 @@ fn replace_messages(
         session.db().append_batches(&tmp, &[batch])?;
     }
     catalog.swap(&session.message_table(), &tmp)?;
-    catalog.drop_table_if_exists(&tmp);
+    catalog.drop_table_if_exists(&tmp)?;
     Ok(())
 }
 
@@ -642,8 +647,8 @@ fn replace_vertices(
     let catalog = session.db().catalog();
     let delta = format!("{}_vertex_delta", session.name());
     let fresh = format!("{}_vertex_new", session.name());
-    catalog.drop_table_if_exists(&delta);
-    catalog.drop_table_if_exists(&fresh);
+    catalog.drop_table_if_exists(&delta)?;
+    catalog.drop_table_if_exists(&fresh)?;
 
     catalog.create_table(&delta, vertex_schema(), TableOptions::default().sorted_by(vec![0]))?;
     let rows: Vec<Vec<Value>> = updates
@@ -663,8 +668,8 @@ fn replace_vertices(
         v = session.vertex_table(),
     ))?;
     catalog.swap(&session.vertex_table(), &fresh)?;
-    catalog.drop_table_if_exists(&fresh);
-    catalog.drop_table_if_exists(&delta);
+    catalog.drop_table_if_exists(&fresh)?;
+    catalog.drop_table_if_exists(&delta)?;
     Ok(())
 }
 

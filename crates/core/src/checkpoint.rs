@@ -79,7 +79,7 @@ pub fn restore(session: &GraphSession, dir: impl AsRef<Path>) -> VertexicaResult
         let restored = persist::read_table(dir.join(format!("{table_name}.vxtb")))?;
         let live = session.db().catalog().get(&table_name)?;
         let mut guard = live.write();
-        guard.truncate();
+        guard.truncate()?;
         let batches = restored.scan(None, &[])?;
         for b in &batches {
             guard.append_batch(b)?;

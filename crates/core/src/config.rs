@@ -94,6 +94,18 @@ pub struct VertexicaConfig {
     /// `VERTEXICA_VECTOR_EXPR=0` flips the *default* off (for CI ablation
     /// runs), while [`VertexicaConfig::with_vectorized_expr`] always wins.
     pub vectorized_expr: bool,
+    /// Run against a **durable** database: the coordinator checkpoints the
+    /// write-ahead-logged catalog before the first superstep and after the
+    /// run, so a crash at any point recovers to a committed superstep
+    /// boundary (every apply already rides one atomic WAL commit record).
+    /// Meaningless (and harmless) on an in-memory
+    /// [`vertexica_sql::Database::new`] database — checkpointing a
+    /// non-durable catalog is a no-op. Defaults to **off**; the environment
+    /// variable `VERTEXICA_DURABLE=1` flips the default on (the hook CI and
+    /// the cross-engine harness use to run every algorithm against a
+    /// disk-backed database), while [`VertexicaConfig::with_durable`]
+    /// always wins.
+    pub durable: bool,
     /// Hard cap on supersteps (safety net on top of the program's own limit).
     pub max_supersteps: u64,
     /// Checkpoint every N supersteps into `checkpoint_dir`.
@@ -142,6 +154,17 @@ fn env_toggle_default_on(var: &str) -> bool {
     }
 }
 
+/// Default for [`VertexicaConfig::durable`]: **off**, unless the
+/// `VERTEXICA_DURABLE` environment variable enables it (anything other than
+/// unset/`0`/`false`/`off`, case-insensitive) — the hook the durability CI
+/// job and the cross-engine harness use to run every algorithm disk-backed.
+pub fn durable_default() -> bool {
+    match std::env::var("VERTEXICA_DURABLE") {
+        Ok(v) => !matches!(v.trim().to_ascii_lowercase().as_str(), "" | "0" | "false" | "off"),
+        Err(_) => false,
+    }
+}
+
 impl Default for VertexicaConfig {
     fn default() -> Self {
         let cores = std::thread::available_parallelism().map(|n| n.get()).unwrap_or(4);
@@ -157,6 +180,7 @@ impl Default for VertexicaConfig {
             stream_chunk_rows: crate::input::STREAM_CHUNK_ROWS,
             streaming_scan: streaming_scan_default(),
             vectorized_expr: vectorized_expr_default(),
+            durable: durable_default(),
             max_supersteps: 10_000,
             checkpoint_every: None,
             checkpoint_dir: None,
@@ -217,6 +241,11 @@ impl VertexicaConfig {
 
     pub fn with_vectorized_expr(mut self, on: bool) -> Self {
         self.vectorized_expr = on;
+        self
+    }
+
+    pub fn with_durable(mut self, on: bool) -> Self {
+        self.durable = on;
         self
     }
 

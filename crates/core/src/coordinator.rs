@@ -110,6 +110,17 @@ pub struct SuperstepStats {
     /// multi-worker pool; with the join-mode row plan, the 3-way-join input
     /// seals partitions too.
     pub early_dispatches: usize,
+    /// Write-ahead-log records appended during this superstep (zero on a
+    /// non-durable database). The grouped apply commit contributes exactly
+    /// one commit record regardless of how many tables it swapped.
+    pub wal_records: u64,
+    /// Bytes appended to the write-ahead log during this superstep,
+    /// including frame headers (zero on a non-durable database).
+    pub wal_bytes: u64,
+    /// Bytes of table images flushed to segment files during this superstep
+    /// — the grouped apply commit writes each swapped table's full physical
+    /// image (zero on a non-durable database).
+    pub flush_bytes: u64,
 }
 
 /// Whole-run observability.
@@ -149,14 +160,25 @@ pub fn initialize_vertices<P: VertexProgram>(
         RecordBatch::new(vertex_schema(), vec![ids.finish(), values.finish(), halted.finish()])
             .map_err(VertexicaError::from)?;
 
-    let vertex = session.db().catalog().get(&session.vertex_table())?;
-    {
-        let mut guard = vertex.write();
-        guard.truncate();
-        guard.append_batch(&batch)?;
+    // Swap in freshly built vertex/message contents as ONE grouped catalog
+    // commit (not truncate-then-append): on a durable database both tables
+    // ride a single atomic WAL commit record, so recovery can never land
+    // between an emptied vertex table and its initialization.
+    let catalog = session.db().catalog();
+    let mut replacements = Vec::with_capacity(2);
+    for (name, init) in [(session.vertex_table(), Some(&batch)), (session.message_table(), None)] {
+        let table_ref = catalog.get(&name)?;
+        let (tname, schema, options) = {
+            let guard = table_ref.read();
+            (guard.name().to_string(), guard.schema().clone(), guard.options().clone())
+        };
+        let mut fresh = vertexica_storage::Table::new(tname, schema, options);
+        if let Some(batch) = init {
+            fresh.append_batch(batch)?;
+        }
+        replacements.push((name, fresh));
     }
-    let message = session.db().catalog().get(&session.message_table())?;
-    message.write().truncate();
+    catalog.replace_contents_many(replacements)?;
     Ok(n)
 }
 
@@ -174,7 +196,17 @@ pub fn run_program<P: VertexProgram + 'static>(
     vertexica_sql::expr::set_vectorized_expr(config.vectorized_expr);
     session.db().runtime().resize(config.num_workers);
     let num_vertices = initialize_vertices(session, program.as_ref())?;
+    if config.durable {
+        // Flush the freshly initialized vertex/message tables so recovery
+        // from a crash in superstep 0 starts from the initialized state
+        // instead of replaying graph loading.
+        session.db().checkpoint()?;
+    }
     let stats = superstep_loop(session, program, config, num_vertices, 0, FxHashMap::default())?;
+    if config.durable {
+        // Land the final state in segment files and truncate the log.
+        session.db().checkpoint()?;
+    }
     let mut stats = stats;
     stats.total_secs = total.elapsed_secs();
     Ok(stats)
@@ -204,6 +236,9 @@ pub fn resume_program<P: VertexProgram + 'static>(
         state.superstep + 1,
         state.aggregates,
     )?;
+    if config.durable {
+        session.db().checkpoint()?;
+    }
     stats.total_secs = total.elapsed_secs();
     Ok(stats)
 }
@@ -349,6 +384,7 @@ fn superstep_loop<P: VertexProgram + 'static>(
         // the apply collector the moment that partition finishes; the table
         // writes happen once at the end.
         let pool_before = session.db().runtime().metrics();
+        let dur_before = session.db().durability_stats();
         let worker: Arc<dyn TransformUdf> = Arc::new(VertexWorker {
             program: program.clone(),
             superstep,
@@ -411,6 +447,15 @@ fn superstep_loop<P: VertexProgram + 'static>(
             (outcome, profile, sw.elapsed_secs())
         };
         let pool_delta = session.db().runtime().metrics().delta_since(&pool_before);
+        let (wal_records, wal_bytes, flush_bytes) =
+            match (dur_before, session.db().durability_stats()) {
+                (Some(before), Some(after)) => (
+                    after.wal_records - before.wal_records,
+                    after.wal_bytes - before.wal_bytes,
+                    after.flush_bytes - before.flush_bytes,
+                ),
+                _ => (0, 0, 0),
+            };
 
         prev_aggregates = outcome.aggregates.clone();
         stats.per_superstep.push(SuperstepStats {
@@ -430,6 +475,9 @@ fn superstep_loop<P: VertexProgram + 'static>(
             input_bytes: profile.input_bytes,
             peak_resident_scan_bytes: profile.peak_resident_scan_bytes,
             early_dispatches: profile.early_dispatches,
+            wal_records,
+            wal_bytes,
+            flush_bytes,
         });
         stats.total_messages += outcome.messages as u64;
         stats.supersteps = superstep + 1 - start_superstep;

@@ -242,11 +242,11 @@ impl GraphSession {
     /// Drops the graph's tables (including any temporaries left behind).
     pub fn drop_graph(self) -> VertexicaResult<()> {
         let catalog = self.db.catalog();
-        catalog.drop_table_if_exists(&self.vertex_table());
-        catalog.drop_table_if_exists(&self.edge_table());
-        catalog.drop_table_if_exists(&self.message_table());
-        catalog.drop_table_if_exists(&format!("{}_vertex_new", self.name));
-        catalog.drop_table_if_exists(&format!("{}_message_new", self.name));
+        catalog.drop_table_if_exists(&self.vertex_table())?;
+        catalog.drop_table_if_exists(&self.edge_table())?;
+        catalog.drop_table_if_exists(&self.message_table())?;
+        catalog.drop_table_if_exists(&format!("{}_vertex_new", self.name))?;
+        catalog.drop_table_if_exists(&format!("{}_message_new", self.name))?;
         Ok(())
     }
 }

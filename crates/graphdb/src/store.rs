@@ -91,7 +91,6 @@ impl DbInner {
                     }
                 }
             }
-            WalOp::Commit => {}
         }
     }
 }

@@ -1,35 +1,26 @@
-//! Write-ahead log: length-prefixed operation records with commit markers.
+//! Write-ahead log for the native graph baseline.
 //!
-//! Recovery replays only transactions terminated by a commit marker, so a
-//! crash mid-append loses at most the in-flight transaction (atomicity).
+//! The *op* codec (what goes in a record) is graph-domain: node/rel/prop
+//! operations. The *file* layer — length-prefixed, CRC-checksummed frames
+//! with torn-tail detection — is the storage crate's shared
+//! [`FrameLog`], the same framing underneath
+//! the column store's durability WAL. One frame holds one **committed**
+//! transaction (the frame boundary *is* the commit marker), so recovery
+//! replays exactly the acknowledged transactions and a crash mid-append
+//! loses at most the in-flight one (atomicity).
 
-use std::io::Write;
 use std::path::{Path, PathBuf};
 
 use bytes::{Buf, BufMut};
+use vertexica_storage::{FrameLog, StorageError};
 
 /// Operations recorded in the log.
 #[derive(Debug, Clone, PartialEq)]
 pub enum WalOp {
-    CreateNode {
-        id: u64,
-    },
-    CreateRel {
-        src: u64,
-        dst: u64,
-        weight: f64,
-    },
-    SetProp {
-        node: u64,
-        key: String,
-        value: f64,
-    },
-    DeleteRel {
-        src: u64,
-        dst: u64,
-    },
-    /// Transaction boundary.
-    Commit,
+    CreateNode { id: u64 },
+    CreateRel { src: u64, dst: u64, weight: f64 },
+    SetProp { node: u64, key: String, value: f64 },
+    DeleteRel { src: u64, dst: u64 },
 }
 
 fn encode_op(op: &WalOp, buf: &mut Vec<u8>) {
@@ -56,7 +47,6 @@ fn encode_op(op: &WalOp, buf: &mut Vec<u8>) {
             buf.put_u64_le(*src);
             buf.put_u64_le(*dst);
         }
-        WalOp::Commit => buf.put_u8(255),
     }
 }
 
@@ -102,16 +92,24 @@ fn decode_op(buf: &mut &[u8]) -> Option<WalOp> {
             }
             WalOp::DeleteRel { src: buf.get_u64_le(), dst: buf.get_u64_le() }
         }
-        255 => WalOp::Commit,
         _ => return None,
     })
 }
 
-/// An append-only log file.
+fn to_io(e: StorageError) -> std::io::Error {
+    match e {
+        StorageError::Io(io) => io,
+        other => std::io::Error::new(std::io::ErrorKind::InvalidData, other.to_string()),
+    }
+}
+
+/// An append-only transaction log framed by the shared
+/// [`FrameLog`].
 pub struct Wal {
     path: PathBuf,
-    file: Option<std::io::BufWriter<std::fs::File>>,
+    log: FrameLog,
     /// `true` = fsync on every commit (durability); `false` for benchmarks.
+    /// Fixed at [`open`](Wal::open).
     pub sync_commits: bool,
 }
 
@@ -119,50 +117,44 @@ impl Wal {
     /// Opens (or creates) the log at `path`. Pass `None` for an ephemeral,
     /// in-memory-only database (no durability).
     pub fn open(path: Option<PathBuf>, sync_commits: bool) -> std::io::Result<Wal> {
-        match path {
-            None => Ok(Wal { path: PathBuf::new(), file: None, sync_commits }),
-            Some(path) => {
-                let file = std::fs::OpenOptions::new().create(true).append(true).open(&path)?;
-                Ok(Wal { path, file: Some(std::io::BufWriter::new(file)), sync_commits })
-            }
-        }
+        let log = FrameLog::open(path.as_deref(), sync_commits).map_err(to_io)?;
+        Ok(Wal { path: path.unwrap_or_default(), log, sync_commits })
     }
 
-    /// Appends a transaction (ops + commit marker) and optionally fsyncs.
+    /// Appends a transaction as one checksummed frame and (with
+    /// `sync_commits`) fsyncs before acknowledging.
     pub fn append_txn(&mut self, ops: &[WalOp]) -> std::io::Result<()> {
-        let Some(file) = &mut self.file else { return Ok(()) };
         let mut buf = Vec::with_capacity(ops.len() * 16 + 1);
         for op in ops {
             encode_op(op, &mut buf);
         }
-        encode_op(&WalOp::Commit, &mut buf);
-        file.write_all(&buf)?;
-        file.flush()?;
-        if self.sync_commits {
-            file.get_ref().sync_data()?;
-        }
-        Ok(())
+        self.log.append(&buf).map_err(to_io)
     }
 
     pub fn path(&self) -> &Path {
         &self.path
     }
 
-    /// Reads back every *committed* transaction from a log file. Incomplete
-    /// trailing transactions (torn writes) are discarded.
+    /// Reads back every *committed* transaction from a log file. An
+    /// incomplete trailing frame (torn write) is discarded; a complete
+    /// frame whose checksum does not match is a hard corruption error.
     pub fn replay(path: impl AsRef<Path>) -> std::io::Result<Vec<Vec<WalOp>>> {
-        let bytes = std::fs::read(path)?;
-        let mut buf: &[u8] = &bytes;
-        let mut txns = Vec::new();
-        let mut current = Vec::new();
-        while let Some(op) = decode_op(&mut buf) {
-            if op == WalOp::Commit {
-                txns.push(std::mem::take(&mut current));
-            } else {
-                current.push(op);
+        let (frames, _torn) = FrameLog::read_frames(path.as_ref()).map_err(to_io)?;
+        let mut txns = Vec::with_capacity(frames.len());
+        for frame in frames {
+            let mut slice: &[u8] = &frame;
+            let mut ops = Vec::new();
+            while !slice.is_empty() {
+                let op = decode_op(&mut slice).ok_or_else(|| {
+                    std::io::Error::new(
+                        std::io::ErrorKind::InvalidData,
+                        "corrupt graphdb wal frame: bad op encoding",
+                    )
+                })?;
+                ops.push(op);
             }
+            txns.push(ops);
         }
-        // `current` holds an uncommitted tail, dropped by design.
         Ok(txns)
     }
 }
@@ -210,6 +202,25 @@ mod tests {
         std::fs::write(&path, &bytes[..bytes.len() - 3]).unwrap();
         let txns = Wal::replay(&path).unwrap();
         assert_eq!(txns.len(), 1);
+        std::fs::remove_file(&path).ok();
+    }
+
+    #[test]
+    fn bit_flip_in_committed_frame_is_detected() {
+        let path = temp_wal("flip");
+        std::fs::remove_file(&path).ok();
+        {
+            let mut wal = Wal::open(Some(path.clone()), false).unwrap();
+            wal.append_txn(&[WalOp::CreateNode { id: 0 }]).unwrap();
+        }
+        // Flip one payload bit: the shared frame checksum must catch it —
+        // the pre-FrameLog byte stream would have replayed garbage here.
+        let mut bytes = std::fs::read(&path).unwrap();
+        let last = bytes.len() - 1;
+        bytes[last] ^= 0x40;
+        std::fs::write(&path, &bytes).unwrap();
+        let err = Wal::replay(&path).unwrap_err();
+        assert_eq!(err.kind(), std::io::ErrorKind::InvalidData);
         std::fs::remove_file(&path).ok();
     }
 

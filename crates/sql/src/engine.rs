@@ -88,13 +88,57 @@ impl Database {
     /// Builds a database on an existing runtime, so several engines can
     /// share one pool.
     pub fn with_runtime(runtime: Arc<WorkerPool>) -> Self {
+        Self::with_catalog_and_runtime(Arc::new(Catalog::new()), runtime)
+    }
+
+    fn with_catalog_and_runtime(catalog: Arc<Catalog>, runtime: Arc<WorkerPool>) -> Self {
         Database {
-            catalog: Arc::new(Catalog::new()),
+            catalog,
             functions: RwLock::new(FunctionRegistry::new()),
             transforms: RwLock::new(HashMap::new()),
             procedures: RwLock::new(HashMap::new()),
             runtime,
         }
+    }
+
+    /// Opens (or creates) a **durable** database rooted at `dir`: recovers
+    /// the catalog from the last checkpoint plus the committed write-ahead
+    /// log tail, then keeps logging every mutation so a crash at any point
+    /// loses nothing that was acknowledged. `fsync` defaults to on; set
+    /// `VERTEXICA_DURABLE_SYNC=0` to trade crash-safety against raw power
+    /// loss for speed (process-kill safety is unaffected).
+    pub fn open(dir: impl AsRef<std::path::Path>) -> SqlResult<Self> {
+        Self::open_with(dir, Arc::new(WorkerPool::with_default_size()))
+    }
+
+    /// [`open`](Self::open) on an existing runtime pool.
+    pub fn open_with(
+        dir: impl AsRef<std::path::Path>,
+        runtime: Arc<WorkerPool>,
+    ) -> SqlResult<Self> {
+        let sync = !matches!(
+            std::env::var("VERTEXICA_DURABLE_SYNC").as_deref(),
+            Ok("0") | Ok("false") | Ok("off")
+        );
+        let catalog = vertexica_storage::open_durable(dir.as_ref(), sync)?;
+        Ok(Self::with_catalog_and_runtime(catalog, runtime))
+    }
+
+    /// Whether this database persists mutations through a write-ahead log.
+    pub fn is_durable(&self) -> bool {
+        self.catalog.is_durable()
+    }
+
+    /// Flushes every table to its on-disk segment file and truncates the
+    /// write-ahead log. No-op on a non-durable database.
+    pub fn checkpoint(&self) -> SqlResult<()> {
+        Ok(self.catalog.checkpoint()?)
+    }
+
+    /// Cumulative durability counters (records logged, bytes written,
+    /// flushes, commits, checkpoints). `None` on a non-durable database.
+    pub fn durability_stats(&self) -> Option<vertexica_storage::DurabilityStats> {
+        self.catalog.wal_sink().map(|w| w.stats())
     }
 
     pub fn catalog(&self) -> &Arc<Catalog> {
@@ -233,7 +277,7 @@ impl Database {
             }
             Statement::DropTable { name, if_exists } => {
                 if if_exists {
-                    self.catalog.drop_table_if_exists(&name);
+                    self.catalog.drop_table_if_exists(&name)?;
                 } else {
                     self.catalog.drop_table(&name)?;
                 }
@@ -409,7 +453,7 @@ impl Database {
             // Unqualified DELETE: truncate.
             let mut guard = table_ref.write();
             let n = guard.num_rows();
-            guard.truncate();
+            guard.truncate()?;
             return Ok(QueryResult::Affected(n));
         };
 
@@ -425,7 +469,7 @@ impl Database {
                 doomed.push(rowids[i]);
             }
         }
-        let n = table_ref.write().delete_rowids(&doomed);
+        let n = table_ref.write().delete_rowids(&doomed)?;
         Ok(QueryResult::Affected(n))
     }
 
@@ -838,6 +882,35 @@ impl Database {
             fresh.adopt_segment(seg)?;
         }
         self.catalog.replace_contents(table, fresh)?;
+        Ok(rows)
+    }
+
+    /// Multi-table variant of [`commit_table_segments`](Self::commit_table_segments):
+    /// publishes **all** the pre-built per-table contents in one atomic
+    /// catalog commit. On a durable database the whole group rides a single
+    /// WAL commit record, so recovery lands on either the complete old or
+    /// the complete new superstep state — never a torn mixture. Returns the
+    /// total row count across the new contents.
+    pub fn commit_tables_segmented(
+        &self,
+        groups: Vec<(String, Vec<vertexica_storage::Segment>)>,
+    ) -> SqlResult<usize> {
+        let mut replacements = Vec::with_capacity(groups.len());
+        let mut rows = 0usize;
+        for (table, segments) in groups {
+            let table_ref = self.catalog.get(&table)?;
+            let (name, schema, options) = {
+                let guard = table_ref.read();
+                (guard.name().to_string(), guard.schema().clone(), guard.options().clone())
+            };
+            let mut fresh = vertexica_storage::Table::new(name, schema, options);
+            for seg in segments {
+                rows += seg.num_rows();
+                fresh.adopt_segment(seg)?;
+            }
+            replacements.push((table, fresh));
+        }
+        self.catalog.replace_contents_many(replacements)?;
         Ok(rows)
     }
 

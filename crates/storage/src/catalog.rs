@@ -12,16 +12,24 @@ use parking_lot::RwLock;
 use vertexica_common::FxHashMap;
 
 use crate::error::{StorageError, StorageResult};
+use crate::persist;
 use crate::table::{Table, TableOptions};
 use crate::value::Schema;
+use crate::wal::WalSink;
 
 /// Shared handle to a table.
 pub type TableRef = Arc<RwLock<Table>>;
 
 /// A catalog of named tables.
+///
+/// With a durability sink attached (`Catalog::attach_wal`, done by
+/// [`crate::wal::open_durable`]), every DDL operation is WAL-logged before it
+/// applies, every table the catalog hands out logs its own mutations, and
+/// [`Catalog::replace_contents_many`] runs the durable commit protocol.
 #[derive(Default)]
 pub struct Catalog {
     tables: RwLock<FxHashMap<String, TableRef>>,
+    wal: RwLock<Option<Arc<WalSink>>>,
 }
 
 fn normalize(name: &str) -> String {
@@ -31,6 +39,29 @@ fn normalize(name: &str) -> String {
 impl Catalog {
     pub fn new() -> Self {
         Catalog::default()
+    }
+
+    /// The attached durability sink, if this catalog belongs to a durable
+    /// database.
+    pub fn wal_sink(&self) -> Option<Arc<WalSink>> {
+        self.wal.read().clone()
+    }
+
+    /// Whether a durability sink is attached.
+    pub fn is_durable(&self) -> bool {
+        self.wal.read().is_some()
+    }
+
+    /// Attaches the durability sink to the catalog and to every table it
+    /// currently holds. Called once by [`crate::wal::open_durable`], after
+    /// recovery replay (so replay itself is not re-logged).
+    pub(crate) fn attach_wal(&self, wal: Arc<WalSink>) {
+        let tables = self.tables.write();
+        for (name, t) in tables.iter() {
+            wal.ensure_meta(name);
+            t.write().set_wal(Some(wal.clone()));
+        }
+        *self.wal.write() = Some(wal);
     }
 
     /// Creates a table; errors if the name is taken.
@@ -45,7 +76,13 @@ impl Catalog {
         if tables.contains_key(&key) {
             return Err(StorageError::DuplicateTable(name.to_string()));
         }
-        let table = Arc::new(RwLock::new(Table::new(key.clone(), schema, options)));
+        let wal = self.wal.read().clone();
+        if let Some(w) = &wal {
+            w.log_create_table(&key, &schema, &options)?;
+        }
+        let mut table = Table::new(key.clone(), schema, options);
+        table.set_wal(wal);
+        let table = Arc::new(RwLock::new(table));
         tables.insert(key, table.clone());
         Ok(table)
     }
@@ -57,6 +94,13 @@ impl Catalog {
         if tables.contains_key(&key) {
             return Err(StorageError::DuplicateTable(key));
         }
+        let wal = self.wal.read().clone();
+        let mut table = table;
+        table.set_name(key.clone());
+        if let Some(w) = &wal {
+            w.log_register_table(&key, &persist::table_to_bytes_physical(&table)?)?;
+        }
+        table.set_wal(wal);
         let table = Arc::new(RwLock::new(table));
         tables.insert(key, table.clone());
         Ok(table)
@@ -77,16 +121,30 @@ impl Catalog {
 
     /// Drops a table; errors if missing.
     pub fn drop_table(&self, name: &str) -> StorageResult<()> {
-        self.tables
-            .write()
-            .remove(&normalize(name))
-            .map(|_| ())
-            .ok_or_else(|| StorageError::NoSuchTable(name.to_string()))
+        let key = normalize(name);
+        let mut tables = self.tables.write();
+        if !tables.contains_key(&key) {
+            return Err(StorageError::NoSuchTable(name.to_string()));
+        }
+        if let Some(w) = self.wal.read().as_ref() {
+            w.log_drop_table(&key)?;
+        }
+        tables.remove(&key);
+        Ok(())
     }
 
     /// Drops a table if it exists; returns whether it did.
-    pub fn drop_table_if_exists(&self, name: &str) -> bool {
-        self.tables.write().remove(&normalize(name)).is_some()
+    pub fn drop_table_if_exists(&self, name: &str) -> StorageResult<bool> {
+        let key = normalize(name);
+        let mut tables = self.tables.write();
+        if !tables.contains_key(&key) {
+            return Ok(false);
+        }
+        if let Some(w) = self.wal.read().as_ref() {
+            w.log_drop_table(&key)?;
+        }
+        tables.remove(&key);
+        Ok(true)
     }
 
     /// Renames a table.
@@ -97,8 +155,13 @@ impl Catalog {
         if tables.contains_key(&to_key) {
             return Err(StorageError::DuplicateTable(to.to_string()));
         }
-        let t =
-            tables.remove(&from_key).ok_or_else(|| StorageError::NoSuchTable(from.to_string()))?;
+        if !tables.contains_key(&from_key) {
+            return Err(StorageError::NoSuchTable(from.to_string()));
+        }
+        if let Some(w) = self.wal.read().as_ref() {
+            w.log_rename(&from_key, &to_key)?;
+        }
+        let t = tables.remove(&from_key).expect("checked above");
         t.write().set_name(to_key.clone());
         tables.insert(to_key, t);
         Ok(())
@@ -115,6 +178,9 @@ impl Catalog {
         }
         if !tables.contains_key(&b_key) {
             return Err(StorageError::NoSuchTable(b.to_string()));
+        }
+        if let Some(w) = self.wal.read().as_ref() {
+            w.log_swap(&a_key, &b_key)?;
         }
         let ta = tables.remove(&a_key).unwrap();
         let tb = tables.remove(&b_key).unwrap();
@@ -134,11 +200,80 @@ impl Catalog {
     /// readers holding the [`TableRef`] observe either the complete old or
     /// the complete new contents, never a mixture, and no `_new`/`_delta`
     /// temporary tables are needed.
-    pub fn replace_contents(&self, name: &str, mut table: Table) -> StorageResult<()> {
-        let existing = self.get(name)?;
-        table.set_name(normalize(name));
-        *existing.write() = table;
+    pub fn replace_contents(&self, name: &str, table: Table) -> StorageResult<()> {
+        self.replace_contents_many(vec![(name.to_string(), table)])
+    }
+
+    /// Atomically replaces the contents of **several** tables as one durable
+    /// commit — the superstep-apply commit point. In-memory, each swap is
+    /// per-table atomic exactly like [`Catalog::replace_contents`]; on disk,
+    /// the whole group commits via a *single* WAL `Commit` record naming
+    /// every `(table, segment file)` pair, so recovery lands on either all of
+    /// the new tables or none of them.
+    ///
+    /// Protocol: serialize each fresh table's physical image, take every
+    /// target's write lock (in sorted name order — no lock-order inversion),
+    /// write the images to fresh segment files + append the commit marker
+    /// (`WalSink::commit_replace`), then install the new contents under the
+    /// still-held locks. Holding the locks across log-then-install means no
+    /// writer can slip a record against the doomed old contents in between.
+    pub fn replace_contents_many(&self, tables: Vec<(String, Table)>) -> StorageResult<()> {
+        let wal = self.wal.read().clone();
+        // Normalize names, set them on the fresh tables, serialize images.
+        let mut prepared: Vec<(String, Table, Option<Vec<u8>>)> = Vec::with_capacity(tables.len());
+        for (name, mut table) in tables {
+            let key = normalize(&name);
+            table.set_name(key.clone());
+            let bytes =
+                if wal.is_some() { Some(persist::table_to_bytes_physical(&table)?) } else { None };
+            prepared.push((key, table, bytes));
+        }
+        prepared.sort_by(|a, b| a.0.cmp(&b.0));
+        for pair in prepared.windows(2) {
+            if pair[0].0 == pair[1].0 {
+                return Err(StorageError::Internal(format!(
+                    "replace_contents_many given table {} twice",
+                    pair[0].0
+                )));
+            }
+        }
+        let refs: Vec<TableRef> =
+            prepared.iter().map(|(name, _, _)| self.get(name)).collect::<StorageResult<_>>()?;
+        let mut guards: Vec<_> = refs.iter().map(|r| r.write()).collect();
+        if let Some(w) = &wal {
+            let entries: Vec<(String, Vec<u8>)> = prepared
+                .iter_mut()
+                .map(|(name, _, bytes)| (name.clone(), bytes.take().expect("serialized above")))
+                .collect();
+            w.commit_replace(&entries)?;
+        }
+        for (guard, (_, mut table, _)) in guards.iter_mut().zip(prepared) {
+            table.set_wal(wal.clone());
+            **guard = table;
+        }
         Ok(())
+    }
+
+    /// Flushes every table's physical image to segment files, publishes a
+    /// fresh manifest, and — since nothing is left unflushed — rotates
+    /// (truncates) the WAL. No-op without an attached sink.
+    pub fn checkpoint(&self) -> StorageResult<()> {
+        let Some(wal) = self.wal_sink() else { return Ok(()) };
+        // Holding the map write lock blocks DDL (not data writes, which go
+        // through per-table locks + the sink directly) so the manifest's
+        // table list is a consistent snapshot.
+        let tables = self.tables.write();
+        let mut names: Vec<&String> = tables.keys().collect();
+        names.sort();
+        for name in names {
+            // Hold the table's read lock across the flush: writers log under
+            // the write lock, so nothing can slip a record between the image
+            // serialization and the watermark sample inside `flush_table`.
+            let guard = tables[name].read();
+            let bytes = persist::table_to_bytes_physical(&guard)?;
+            wal.flush_table(name, &bytes)?;
+        }
+        wal.finish_checkpoint()
     }
 
     /// Sorted list of table names.
@@ -251,8 +386,8 @@ mod tests {
     #[test]
     fn drop_if_exists() {
         let cat = Catalog::new();
-        assert!(!cat.drop_table_if_exists("ghost"));
+        assert!(!cat.drop_table_if_exists("ghost").unwrap());
         cat.create_table("t", schema(), TableOptions::default()).unwrap();
-        assert!(cat.drop_table_if_exists("t"));
+        assert!(cat.drop_table_if_exists("t").unwrap());
     }
 }

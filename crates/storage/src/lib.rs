@@ -17,7 +17,11 @@
 //! * [`partition`] — hash partitioning of batches, used by *vertex batching*
 //!   (§2.3) to split the table union across worker UDFs;
 //! * [`persist`] — a compact binary on-disk format used for durability and
-//!   superstep checkpointing.
+//!   superstep checkpointing;
+//! * [`wal`] — the durability layer: an append-only, checksummed write-ahead
+//!   log, segment flushing, a manifest-anchored checkpoint/truncate cycle,
+//!   and crash recovery ([`wal::open_durable`]) with byte-budget crash
+//!   injection for testing.
 
 pub mod batch;
 pub mod bitmap;
@@ -29,6 +33,7 @@ pub mod partition;
 pub mod persist;
 pub mod table;
 pub mod value;
+pub mod wal;
 
 pub use batch::RecordBatch;
 pub use bitmap::Bitmap;
@@ -39,3 +44,4 @@ pub use table::{
     ColumnPredicate, PredicateOp, Row, ScanCursor, Segment, Table, TableOptions, BLOCK_ROWS,
 };
 pub use value::{DataType, Field, Schema, Value};
+pub use wal::{open_durable, DurabilityStats, FrameLog, WalSink};

@@ -1,30 +1,43 @@
 //! Compact binary persistence for tables.
 //!
-//! Used for durability and for superstep **checkpointing** (the paper cites
-//! checkpointing/recovery as a relational feature graph systems forgo). The
-//! format writes the *logical* table content (delete vectors applied, WOS
-//! included) with per-column auto-encoding, so a restored table is equivalent
-//! under scans even if its physical segment layout differs.
+//! Two self-describing formats, both ending in a CRC32 trailer so torn or
+//! bit-flipped files surface as [`StorageError::Corrupt`] instead of decoding
+//! silently:
+//!
+//! * **`VXTB1` (logical)** — [`table_to_bytes`] writes the table's logical
+//!   content (delete vectors applied, WOS included) with per-column
+//!   auto-encoding. A restored table is equivalent under scans even if its
+//!   physical segment layout differs. Used by superstep checkpointing.
+//! * **`VXTB2` (physical)** — [`table_to_bytes_physical`] preserves the exact
+//!   WOS rows, per-segment encoded columns, per-segment **and per-block** zone
+//!   maps, and delete vectors, so `decode(encode(t))` re-serializes
+//!   byte-identically. This is the format the durability layer
+//!   ([`crate::wal`]) flushes and recovers, which is what makes "recovered
+//!   state is bitwise the committed state" a testable invariant.
 
 use std::path::Path;
+use std::sync::Arc;
 
 use bytes::{Buf, BufMut};
 
 use crate::batch::RecordBatch;
+use crate::bitmap::Bitmap;
 use crate::column::Column;
 use crate::encoding::EncodedColumn;
 use crate::error::{StorageError, StorageResult};
-use crate::table::{Table, TableOptions};
+use crate::table::{Row, Segment, Table, TableOptions, ZoneMap};
 use crate::value::{DataType, Field, Schema, Value};
+use crate::wal::crc32;
 
 const MAGIC: &[u8; 6] = b"VXTB1\n";
+const MAGIC_PHYSICAL: &[u8; 6] = b"VXTB2\n";
 
-fn put_str(buf: &mut Vec<u8>, s: &str) {
+pub(crate) fn put_str(buf: &mut Vec<u8>, s: &str) {
     buf.put_u32_le(s.len() as u32);
     buf.extend_from_slice(s.as_bytes());
 }
 
-fn get_str(buf: &mut &[u8]) -> StorageResult<String> {
+pub(crate) fn get_str(buf: &mut &[u8]) -> StorageResult<String> {
     if buf.len() < 4 {
         return Err(StorageError::Corrupt("truncated string length".into()));
     }
@@ -38,7 +51,7 @@ fn get_str(buf: &mut &[u8]) -> StorageResult<String> {
     Ok(s)
 }
 
-fn dtype_tag(dt: DataType) -> u8 {
+pub(crate) fn dtype_tag(dt: DataType) -> u8 {
     match dt {
         DataType::Bool => 0,
         DataType::Int => 1,
@@ -48,7 +61,7 @@ fn dtype_tag(dt: DataType) -> u8 {
     }
 }
 
-fn dtype_from_tag(tag: u8) -> StorageResult<DataType> {
+pub(crate) fn dtype_from_tag(tag: u8) -> StorageResult<DataType> {
     Ok(match tag {
         0 => DataType::Bool,
         1 => DataType::Int,
@@ -59,7 +72,7 @@ fn dtype_from_tag(tag: u8) -> StorageResult<DataType> {
     })
 }
 
-fn put_value(buf: &mut Vec<u8>, v: &Value) {
+pub(crate) fn put_value(buf: &mut Vec<u8>, v: &Value) {
     match v {
         Value::Null => buf.put_u8(0),
         Value::Bool(x) => {
@@ -86,7 +99,7 @@ fn put_value(buf: &mut Vec<u8>, v: &Value) {
     }
 }
 
-fn get_value(buf: &mut &[u8]) -> StorageResult<Value> {
+pub(crate) fn get_value(buf: &mut &[u8]) -> StorageResult<Value> {
     if buf.is_empty() {
         return Err(StorageError::Corrupt("truncated value".into()));
     }
@@ -128,7 +141,7 @@ fn get_value(buf: &mut &[u8]) -> StorageResult<Value> {
     })
 }
 
-fn put_encoded_column(buf: &mut Vec<u8>, col: &EncodedColumn) {
+pub(crate) fn put_encoded_column(buf: &mut Vec<u8>, col: &EncodedColumn) {
     match col {
         EncodedColumn::Plain(c) => {
             buf.put_u8(0);
@@ -161,7 +174,7 @@ fn put_encoded_column(buf: &mut Vec<u8>, col: &EncodedColumn) {
     }
 }
 
-fn get_encoded_column(buf: &mut &[u8]) -> StorageResult<EncodedColumn> {
+pub(crate) fn get_encoded_column(buf: &mut &[u8]) -> StorageResult<EncodedColumn> {
     if buf.is_empty() {
         return Err(StorageError::Corrupt("truncated column".into()));
     }
@@ -222,50 +235,23 @@ fn get_encoded_column(buf: &mut &[u8]) -> StorageResult<EncodedColumn> {
     }
 }
 
-/// Serializes a table's logical content to bytes.
-pub fn table_to_bytes(table: &Table) -> StorageResult<Vec<u8>> {
-    let mut buf = Vec::new();
-    buf.extend_from_slice(MAGIC);
-    put_str(&mut buf, table.name());
-    let schema = table.schema();
+pub(crate) fn put_schema(buf: &mut Vec<u8>, schema: &Schema) {
     buf.put_u32_le(schema.len() as u32);
     for f in &schema.fields {
-        put_str(&mut buf, &f.name);
+        put_str(buf, &f.name);
         buf.put_u8(dtype_tag(f.dtype));
         buf.put_u8(f.nullable as u8);
     }
-    let opts = table.options();
-    buf.put_u64_le(opts.moveout_threshold as u64);
-    buf.put_u8(opts.compress as u8);
-    buf.put_u32_le(opts.sort_key.len() as u32);
-    for &k in &opts.sort_key {
-        buf.put_u32_le(k as u32);
-    }
-
-    // Logical content: scan everything into one batch, encode per column.
-    let batches = table.scan(None, &[])?;
-    let merged = RecordBatch::concat(schema.clone(), &batches)?;
-    buf.put_u64_le(merged.num_rows() as u64);
-    for col in merged.columns() {
-        put_encoded_column(&mut buf, &EncodedColumn::encode_auto(col));
-    }
-    Ok(buf)
 }
 
-/// Reconstructs a table from bytes produced by [`table_to_bytes`].
-pub fn table_from_bytes(mut buf: &[u8]) -> StorageResult<Table> {
-    if buf.len() < MAGIC.len() || &buf[..MAGIC.len()] != MAGIC {
-        return Err(StorageError::Corrupt("bad magic".into()));
-    }
-    buf.advance(MAGIC.len());
-    let name = get_str(&mut buf)?;
+pub(crate) fn get_schema(buf: &mut &[u8]) -> StorageResult<Arc<Schema>> {
     if buf.len() < 4 {
         return Err(StorageError::Corrupt("truncated schema".into()));
     }
     let nfields = buf.get_u32_le() as usize;
     let mut fields = Vec::with_capacity(nfields.min(1 << 16));
     for _ in 0..nfields {
-        let fname = get_str(&mut buf)?;
+        let fname = get_str(buf)?;
         if buf.len() < 2 {
             return Err(StorageError::Corrupt("truncated field".into()));
         }
@@ -273,7 +259,19 @@ pub fn table_from_bytes(mut buf: &[u8]) -> StorageResult<Table> {
         let nullable = buf.get_u8() != 0;
         fields.push(Field { name: fname, dtype, nullable });
     }
-    let schema = Schema::new(fields);
+    Ok(Schema::new(fields))
+}
+
+pub(crate) fn put_options(buf: &mut Vec<u8>, opts: &TableOptions) {
+    buf.put_u64_le(opts.moveout_threshold as u64);
+    buf.put_u8(opts.compress as u8);
+    buf.put_u32_le(opts.sort_key.len() as u32);
+    for &k in &opts.sort_key {
+        buf.put_u32_le(k as u32);
+    }
+}
+
+pub(crate) fn get_options(buf: &mut &[u8]) -> StorageResult<TableOptions> {
     if buf.len() < 13 {
         return Err(StorageError::Corrupt("truncated options".into()));
     }
@@ -290,6 +288,158 @@ pub fn table_from_bytes(mut buf: &[u8]) -> StorageResult<Table> {
     let mut options = TableOptions::default().with_moveout_threshold(moveout_threshold);
     options.compress = compress;
     options.sort_key = sort_key;
+    Ok(options)
+}
+
+pub(crate) fn put_row(buf: &mut Vec<u8>, row: &[Value]) {
+    buf.put_u32_le(row.len() as u32);
+    for v in row {
+        put_value(buf, v);
+    }
+}
+
+pub(crate) fn get_row(buf: &mut &[u8]) -> StorageResult<Row> {
+    if buf.len() < 4 {
+        return Err(StorageError::Corrupt("truncated row arity".into()));
+    }
+    let arity = buf.get_u32_le() as usize;
+    let mut row = Vec::with_capacity(arity.min(1 << 16));
+    for _ in 0..arity {
+        row.push(get_value(buf)?);
+    }
+    Ok(row)
+}
+
+fn put_zone_map(buf: &mut Vec<u8>, zm: &ZoneMap) {
+    put_value(buf, &zm.min);
+    put_value(buf, &zm.max);
+    buf.put_u64_le(zm.null_count as u64);
+}
+
+fn get_zone_map(buf: &mut &[u8]) -> StorageResult<ZoneMap> {
+    let min = get_value(buf)?;
+    let max = get_value(buf)?;
+    if buf.len() < 8 {
+        return Err(StorageError::Corrupt("truncated zone map".into()));
+    }
+    let null_count = buf.get_u64_le() as usize;
+    Ok(ZoneMap { min, max, null_count })
+}
+
+fn put_bitmap(buf: &mut Vec<u8>, bm: &Bitmap) {
+    let bools = bm.to_bools();
+    buf.put_u64_le(bools.len() as u64);
+    let mut byte = 0u8;
+    for (i, b) in bools.iter().enumerate() {
+        if *b {
+            byte |= 1 << (i % 8);
+        }
+        if i % 8 == 7 {
+            buf.put_u8(byte);
+            byte = 0;
+        }
+    }
+    if !bools.len().is_multiple_of(8) {
+        buf.put_u8(byte);
+    }
+}
+
+fn get_bitmap(buf: &mut &[u8]) -> StorageResult<Bitmap> {
+    if buf.len() < 8 {
+        return Err(StorageError::Corrupt("truncated bitmap length".into()));
+    }
+    let len = buf.get_u64_le() as usize;
+    let nbytes = len.div_ceil(8);
+    if buf.len() < nbytes {
+        return Err(StorageError::Corrupt("truncated bitmap body".into()));
+    }
+    let mut bools = Vec::with_capacity(len);
+    for i in 0..len {
+        bools.push(buf[i / 8] & (1 << (i % 8)) != 0);
+    }
+    buf.advance(nbytes);
+    Ok(Bitmap::from_bools(&bools))
+}
+
+/// Serializes one ROS segment preserving its exact physical layout: encoded
+/// columns verbatim, per-segment zone maps, and per-block zone maps (count 0
+/// when the segment elides them).
+pub(crate) fn put_segment(buf: &mut Vec<u8>, seg: &Segment) {
+    buf.put_u64_le(seg.num_rows() as u64);
+    let ncols = seg.num_columns();
+    buf.put_u32_le(ncols as u32);
+    for c in 0..ncols {
+        put_encoded_column(buf, seg.encoded_column(c));
+    }
+    for c in 0..ncols {
+        put_zone_map(buf, seg.zone_map(c));
+    }
+    for c in 0..ncols {
+        let blocks = seg.stored_block_zone_maps(c);
+        buf.put_u32_le(blocks.len() as u32);
+        for zm in blocks {
+            put_zone_map(buf, zm);
+        }
+    }
+}
+
+pub(crate) fn get_segment(buf: &mut &[u8]) -> StorageResult<Segment> {
+    if buf.len() < 12 {
+        return Err(StorageError::Corrupt("truncated segment header".into()));
+    }
+    let num_rows = buf.get_u64_le() as usize;
+    let ncols = buf.get_u32_le() as usize;
+    let mut columns = Vec::with_capacity(ncols.min(1 << 16));
+    for _ in 0..ncols {
+        columns.push(get_encoded_column(buf)?);
+    }
+    let mut zone_maps = Vec::with_capacity(ncols.min(1 << 16));
+    for _ in 0..ncols {
+        zone_maps.push(get_zone_map(buf)?);
+    }
+    let mut block_zone_maps = Vec::with_capacity(ncols.min(1 << 16));
+    for _ in 0..ncols {
+        if buf.len() < 4 {
+            return Err(StorageError::Corrupt("truncated block zone maps".into()));
+        }
+        let nblocks = buf.get_u32_le() as usize;
+        let mut blocks = Vec::with_capacity(nblocks.min(1 << 16));
+        for _ in 0..nblocks {
+            blocks.push(get_zone_map(buf)?);
+        }
+        block_zone_maps.push(blocks);
+    }
+    Segment::from_parts(num_rows, columns, zone_maps, block_zone_maps)
+}
+
+/// Serializes a table's logical content to bytes.
+pub fn table_to_bytes(table: &Table) -> StorageResult<Vec<u8>> {
+    let mut buf = Vec::new();
+    buf.extend_from_slice(MAGIC);
+    put_str(&mut buf, table.name());
+    let schema = table.schema();
+    put_schema(&mut buf, schema);
+    put_options(&mut buf, table.options());
+
+    // Logical content: scan everything into one batch, encode per column.
+    let batches = table.scan(None, &[])?;
+    let merged = RecordBatch::concat(schema.clone(), &batches)?;
+    buf.put_u64_le(merged.num_rows() as u64);
+    for col in merged.columns() {
+        put_encoded_column(&mut buf, &EncodedColumn::encode_auto(col));
+    }
+    let crc = crc32(&buf);
+    buf.put_u32_le(crc);
+    Ok(buf)
+}
+
+/// Reconstructs a table from bytes produced by [`table_to_bytes`].
+pub fn table_from_bytes(buf: &[u8]) -> StorageResult<Table> {
+    let mut buf = check_magic_and_crc(buf, MAGIC)?;
+    let buf = &mut buf;
+    let name = get_str(buf)?;
+    let schema = get_schema(buf)?;
+    let options = get_options(buf)?;
 
     if buf.len() < 8 {
         return Err(StorageError::Corrupt("truncated row count".into()));
@@ -297,7 +447,7 @@ pub fn table_from_bytes(mut buf: &[u8]) -> StorageResult<Table> {
     let num_rows = buf.get_u64_le() as usize;
     let mut columns = Vec::with_capacity(schema.len());
     for f in &schema.fields {
-        let enc = get_encoded_column(&mut buf)?;
+        let enc = get_encoded_column(buf)?;
         let col = enc.decode()?;
         if col.len() != num_rows {
             return Err(StorageError::Corrupt(format!(
@@ -320,6 +470,87 @@ pub fn table_from_bytes(mut buf: &[u8]) -> StorageResult<Table> {
         table.append_batch(&batch)?;
     }
     Ok(table)
+}
+
+/// Validates a file's magic and CRC32 trailer, returning the payload slice
+/// between them (magic excluded, trailer excluded).
+pub(crate) fn check_magic_and_crc<'a>(buf: &'a [u8], magic: &[u8; 6]) -> StorageResult<&'a [u8]> {
+    if buf.len() < magic.len() || &buf[..magic.len()] != magic {
+        return Err(StorageError::Corrupt("bad magic".into()));
+    }
+    if buf.len() < magic.len() + 4 {
+        return Err(StorageError::Corrupt("truncated checksum trailer".into()));
+    }
+    let body_end = buf.len() - 4;
+    let stored = u32::from_le_bytes(buf[body_end..].try_into().expect("4 bytes"));
+    let actual = crc32(&buf[..body_end]);
+    if stored != actual {
+        return Err(StorageError::Corrupt(format!(
+            "checksum mismatch: stored {stored:#010x}, computed {actual:#010x}"
+        )));
+    }
+    Ok(&buf[magic.len()..body_end])
+}
+
+/// Serializes a table's exact **physical** state: WOS rows, ROS segments with
+/// their encoded columns and zone maps (segment- and block-level), and delete
+/// vectors. Unlike [`table_to_bytes`], the reconstructed table is
+/// byte-identical under re-serialization — the durability layer's bitwise
+/// recovery invariant rests on this.
+pub fn table_to_bytes_physical(table: &Table) -> StorageResult<Vec<u8>> {
+    let mut buf = Vec::new();
+    buf.extend_from_slice(MAGIC_PHYSICAL);
+    put_str(&mut buf, table.name());
+    put_schema(&mut buf, table.schema());
+    put_options(&mut buf, table.options());
+    let wos = table.wos();
+    buf.put_u32_le(wos.len() as u32);
+    for row in wos {
+        put_row(&mut buf, row);
+    }
+    let segments = table.segments();
+    buf.put_u32_le(segments.len() as u32);
+    for seg in segments {
+        put_segment(&mut buf, seg);
+    }
+    for dv in table.delete_vectors() {
+        put_bitmap(&mut buf, dv);
+    }
+    let crc = crc32(&buf);
+    buf.put_u32_le(crc);
+    Ok(buf)
+}
+
+/// Reconstructs a table from [`table_to_bytes_physical`] bytes, validating
+/// shapes via `Table::from_parts`. Any truncation, bit flip, or tag
+/// corruption yields [`StorageError::Corrupt`].
+pub fn table_from_bytes_physical(buf: &[u8]) -> StorageResult<Table> {
+    let mut buf = check_magic_and_crc(buf, MAGIC_PHYSICAL)?;
+    let buf = &mut buf;
+    let name = get_str(buf)?;
+    let schema = get_schema(buf)?;
+    let options = get_options(buf)?;
+    if buf.len() < 4 {
+        return Err(StorageError::Corrupt("truncated wos count".into()));
+    }
+    let nwos = buf.get_u32_le() as usize;
+    let mut wos = Vec::with_capacity(nwos.min(1 << 22));
+    for _ in 0..nwos {
+        wos.push(get_row(buf)?);
+    }
+    if buf.len() < 4 {
+        return Err(StorageError::Corrupt("truncated segment count".into()));
+    }
+    let nsegs = buf.get_u32_le() as usize;
+    let mut segments = Vec::with_capacity(nsegs.min(1 << 22));
+    for _ in 0..nsegs {
+        segments.push(get_segment(buf)?);
+    }
+    let mut delete_vectors = Vec::with_capacity(nsegs.min(1 << 22));
+    for _ in 0..nsegs {
+        delete_vectors.push(get_bitmap(buf)?);
+    }
+    Table::from_parts(name, schema, options, wos, segments, delete_vectors)
 }
 
 /// Writes a table to a file.
@@ -390,7 +621,7 @@ mod tests {
             .scan_with_rowids(None, &[ColumnPredicate::new(0, PredicateOp::Lt, Value::Int(10))])
             .unwrap();
         let ids: Vec<u64> = scans.iter().flat_map(|(_, ids)| ids.clone()).collect();
-        t.delete_rowids(&ids);
+        t.delete_rowids(&ids).unwrap();
         let bytes = table_to_bytes(&t).unwrap();
         let back = table_from_bytes(&bytes).unwrap();
         assert_eq!(back.num_rows(), 40);

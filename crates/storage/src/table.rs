@@ -16,6 +16,7 @@ use crate::column::{Column, ColumnBuilder};
 use crate::encoding::EncodedColumn;
 use crate::error::{StorageError, StorageResult};
 use crate::value::{Schema, Value};
+use crate::wal::{self, WalSink};
 
 /// A row of dynamic values (WOS representation).
 pub type Row = Vec<Value>;
@@ -263,6 +264,40 @@ impl Segment {
         &self.columns[col]
     }
 
+    pub fn num_columns(&self) -> usize {
+        self.columns.len()
+    }
+
+    /// The per-block zone maps exactly as stored: empty when the segment fits
+    /// in one block and elides them. Persistence serializes this verbatim so
+    /// a recovered segment is byte-identical under re-serialization.
+    pub(crate) fn stored_block_zone_maps(&self, col: usize) -> &[ZoneMap] {
+        &self.block_zone_maps[col]
+    }
+
+    /// Reassembles a segment from persisted parts, validating the shape
+    /// invariants [`Segment::from_columns`] guarantees by construction.
+    pub(crate) fn from_parts(
+        num_rows: usize,
+        columns: Vec<EncodedColumn>,
+        zone_maps: Vec<ZoneMap>,
+        block_zone_maps: Vec<Vec<ZoneMap>>,
+    ) -> StorageResult<Segment> {
+        if zone_maps.len() != columns.len() || block_zone_maps.len() != columns.len() {
+            return Err(StorageError::Corrupt("segment zone-map arity mismatch".into()));
+        }
+        let expected_blocks = num_rows.div_ceil(BLOCK_ROWS);
+        for (col, blocks) in columns.iter().zip(&block_zone_maps) {
+            if col.num_rows() != num_rows {
+                return Err(StorageError::Corrupt("segment column row-count mismatch".into()));
+            }
+            if !blocks.is_empty() && blocks.len() != expected_blocks {
+                return Err(StorageError::Corrupt("segment block zone-map count mismatch".into()));
+            }
+        }
+        Ok(Segment { num_rows, columns, zone_maps, block_zone_maps })
+    }
+
     fn decode_column(&self, col: usize) -> StorageResult<Column> {
         self.columns[col].decode()
     }
@@ -313,6 +348,11 @@ pub struct Table {
     /// block-granular decode paying off: with a selective pushed-down
     /// predicate it stays proportional to surviving blocks, not segments.
     bytes_decoded: Arc<std::sync::atomic::AtomicU64>,
+    /// Durability sink, when this table belongs to a durable database. Every
+    /// mutation is logged here *before* it is applied and acknowledged; the
+    /// `_unlogged` method variants are the apply halves, shared with WAL
+    /// replay so recovery reproduces the original mutations deterministically.
+    wal: Option<Arc<WalSink>>,
 }
 
 impl Table {
@@ -327,7 +367,61 @@ impl Table {
             segments_pruned: Arc::new(std::sync::atomic::AtomicU64::new(0)),
             blocks_pruned: Arc::new(std::sync::atomic::AtomicU64::new(0)),
             bytes_decoded: Arc::new(std::sync::atomic::AtomicU64::new(0)),
+            wal: None,
         }
+    }
+
+    /// Reassembles a table from persisted physical parts (see
+    /// [`crate::persist::table_from_bytes_physical`]), validating the shape
+    /// invariants the mutation API guarantees by construction.
+    pub(crate) fn from_parts(
+        name: String,
+        schema: Arc<Schema>,
+        options: TableOptions,
+        wos: Vec<Row>,
+        segments: Vec<Segment>,
+        delete_vectors: Vec<Bitmap>,
+    ) -> StorageResult<Table> {
+        if segments.len() != delete_vectors.len() {
+            return Err(StorageError::Corrupt("delete-vector count mismatch".into()));
+        }
+        for (seg, dv) in segments.iter().zip(&delete_vectors) {
+            if seg.num_columns() != schema.len() {
+                return Err(StorageError::Corrupt("segment arity mismatch".into()));
+            }
+            for (field, c) in schema.fields.iter().zip(&seg.columns) {
+                if c.dtype() != field.dtype {
+                    return Err(StorageError::Corrupt(format!(
+                        "segment column type mismatch for {}",
+                        field.name
+                    )));
+                }
+            }
+            if dv.len() != seg.num_rows() {
+                return Err(StorageError::Corrupt("delete-vector length mismatch".into()));
+            }
+        }
+        for row in &wos {
+            if row.len() != schema.len() {
+                return Err(StorageError::Corrupt("wos row arity mismatch".into()));
+            }
+        }
+        let mut t = Table::new(name, schema, options);
+        t.wos = wos;
+        t.segments = segments.into_iter().map(Arc::new).collect();
+        t.delete_vectors = delete_vectors;
+        Ok(t)
+    }
+
+    /// Attaches (or detaches) the durability sink. While attached, every
+    /// mutation is WAL-logged before it is applied.
+    pub(crate) fn set_wal(&mut self, wal: Option<Arc<WalSink>>) {
+        self.wal = wal;
+    }
+
+    /// Whether mutations on this table are WAL-logged.
+    pub fn is_durable(&self) -> bool {
+        self.wal.is_some()
     }
 
     /// Total segments zone-map-pruned (never decoded) over this table
@@ -407,20 +501,41 @@ impl Table {
     /// Inserts one row into the WOS (auto-moveout past the threshold).
     pub fn insert_row(&mut self, row: Row) -> StorageResult<()> {
         let row = self.check_row(row)?;
-        self.wos.push(row);
-        if self.wos.len() >= self.options.moveout_threshold {
-            self.moveout()?;
+        if let Some(w) = &self.wal {
+            w.log_data(
+                &self.name,
+                &wal::payload_insert_rows(&self.name, std::slice::from_ref(&row)),
+            )?;
         }
-        Ok(())
+        self.insert_row_unlogged(row)
     }
 
-    /// Inserts many rows.
+    /// Inserts many rows (one WAL record for the whole batch).
     pub fn insert_rows(&mut self, rows: Vec<Row>) -> StorageResult<usize> {
-        let n = rows.len();
+        let mut checked = Vec::with_capacity(rows.len());
         for row in rows {
-            self.insert_row(row)?;
+            checked.push(self.check_row(row)?);
+        }
+        let n = checked.len();
+        if n > 0 {
+            if let Some(w) = &self.wal {
+                w.log_data(&self.name, &wal::payload_insert_rows(&self.name, &checked))?;
+            }
+        }
+        for row in checked {
+            self.insert_row_unlogged(row)?;
         }
         Ok(n)
+    }
+
+    /// Apply half of [`Table::insert_row`]: pushes an already-validated row
+    /// and runs the (deterministic) auto-moveout check. Shared with replay.
+    pub(crate) fn insert_row_unlogged(&mut self, row: Row) -> StorageResult<()> {
+        self.wos.push(row);
+        if self.wos.len() >= self.options.moveout_threshold {
+            self.moveout_unlogged()?;
+        }
+        Ok(())
     }
 
     /// Bulk-appends a batch directly as a ROS segment (bypassing the WOS) —
@@ -456,13 +571,36 @@ impl Table {
         if seg.num_rows() == 0 {
             return Ok(());
         }
+        if let Some(w) = &self.wal {
+            w.log_data(&self.name, &wal::payload_adopt_segment(&self.name, &seg))?;
+        }
+        self.adopt_segment_unlogged(seg);
+        Ok(())
+    }
+
+    /// Apply half of [`Table::adopt_segment`]: pushes an already-validated,
+    /// non-empty segment. Shared with replay.
+    pub(crate) fn adopt_segment_unlogged(&mut self, seg: Segment) {
         self.delete_vectors.push(Bitmap::zeros(seg.num_rows()));
         self.segments.push(Arc::new(seg));
-        Ok(())
     }
 
     /// Flushes the WOS into a new sorted, encoded ROS segment.
     pub fn moveout(&mut self) -> StorageResult<()> {
+        if self.wos.is_empty() {
+            return Ok(());
+        }
+        if let Some(w) = &self.wal {
+            w.log_data(&self.name, &wal::payload_moveout(&self.name))?;
+        }
+        self.moveout_unlogged()
+    }
+
+    /// Apply half of [`Table::moveout`] — also the auto-moveout inside
+    /// [`Table::insert_row_unlogged`], which is *not* logged separately:
+    /// replaying the inserts reproduces it (the threshold check is
+    /// deterministic, and the sort is stable).
+    pub(crate) fn moveout_unlogged(&mut self) -> StorageResult<()> {
         if self.wos.is_empty() {
             return Ok(());
         }
@@ -500,7 +638,16 @@ impl Table {
     /// Merges all ROS segments (and the WOS) into a single segment, dropping
     /// deleted rows — Vertica's "mergeout".
     pub fn mergeout(&mut self) -> StorageResult<()> {
-        self.moveout()?;
+        if let Some(w) = &self.wal {
+            w.log_data(&self.name, &wal::payload_mergeout(&self.name))?;
+        }
+        self.mergeout_unlogged()
+    }
+
+    /// Apply half of [`Table::mergeout`]. Deterministic given the table
+    /// state, so replaying the single `Mergeout` record reproduces it.
+    pub(crate) fn mergeout_unlogged(&mut self) -> StorageResult<()> {
+        self.moveout_unlogged()?;
         if self.segments.len() <= 1 && self.delete_vectors.iter().all(|d| !d.any()) {
             return Ok(());
         }
@@ -509,7 +656,10 @@ impl Table {
         self.segments.clear();
         self.delete_vectors.clear();
         if merged.num_rows() > 0 {
-            self.append_batch(&merged)?;
+            let seg = Segment::build(&self.schema, &merged, self.options.compress)?;
+            if seg.num_rows() > 0 {
+                self.adopt_segment_unlogged(seg);
+            }
         }
         Ok(())
     }
@@ -618,7 +768,17 @@ impl Table {
 
     /// Deletes rows by rowid (as returned from [`Table::scan_with_rowids`]).
     /// Returns the number of rows deleted.
-    pub fn delete_rowids(&mut self, rowids: &[u64]) -> usize {
+    pub fn delete_rowids(&mut self, rowids: &[u64]) -> StorageResult<usize> {
+        if !rowids.is_empty() {
+            if let Some(w) = &self.wal {
+                w.log_data(&self.name, &wal::payload_delete_rowids(&self.name, rowids))?;
+            }
+        }
+        Ok(self.delete_rowids_unlogged(rowids))
+    }
+
+    /// Apply half of [`Table::delete_rowids`]. Shared with replay.
+    pub(crate) fn delete_rowids_unlogged(&mut self, rowids: &[u64]) -> usize {
         let mut wos_dead: Vec<u32> = Vec::new();
         let mut n = 0usize;
         for &id in rowids {
@@ -650,15 +810,43 @@ impl Table {
     /// Updates rows in place: for each `(rowid, new_row)`, deletes the old row
     /// and inserts the new one. Returns the number of rows updated.
     pub fn update_rows(&mut self, updates: Vec<(u64, Row)>) -> StorageResult<usize> {
+        let mut checked = Vec::with_capacity(updates.len());
+        for (id, row) in updates {
+            checked.push((id, self.check_row(row)?));
+        }
+        if !checked.is_empty() {
+            if let Some(w) = &self.wal {
+                w.log_data(&self.name, &wal::payload_update_rows(&self.name, &checked))?;
+            }
+        }
+        self.update_rows_unlogged(checked)
+    }
+
+    /// Apply half of [`Table::update_rows`] (delete + re-insert of
+    /// already-validated rows). Shared with replay.
+    pub(crate) fn update_rows_unlogged(
+        &mut self,
+        updates: Vec<(u64, Row)>,
+    ) -> StorageResult<usize> {
         let ids: Vec<u64> = updates.iter().map(|(id, _)| *id).collect();
-        let rows: Vec<Row> = updates.into_iter().map(|(_, r)| r).collect();
-        let n = self.delete_rowids(&ids);
-        self.insert_rows(rows)?;
+        let n = self.delete_rowids_unlogged(&ids);
+        for (_, row) in updates {
+            self.insert_row_unlogged(row)?;
+        }
         Ok(n)
     }
 
     /// Removes all rows.
-    pub fn truncate(&mut self) {
+    pub fn truncate(&mut self) -> StorageResult<()> {
+        if let Some(w) = &self.wal {
+            w.log_data(&self.name, &wal::payload_truncate(&self.name))?;
+        }
+        self.truncate_unlogged();
+        Ok(())
+    }
+
+    /// Apply half of [`Table::truncate`]. Shared with replay.
+    pub(crate) fn truncate_unlogged(&mut self) {
         self.wos.clear();
         self.segments.clear();
         self.delete_vectors.clear();
@@ -972,11 +1160,11 @@ mod tests {
         let scans = t.scan_with_rowids(None, &[]).unwrap();
         let all_ids: Vec<u64> = scans.iter().flat_map(|(_, ids)| ids.clone()).collect();
         assert_eq!(all_ids.len(), 5);
-        let n = t.delete_rowids(&all_ids[..2]);
+        let n = t.delete_rowids(&all_ids[..2]).unwrap();
         assert_eq!(n, 2);
         assert_eq!(t.num_rows(), 3);
         // Deleting the same ROS rowids again is a no-op.
-        let n2 = t.delete_rowids(&all_ids[..2]);
+        let n2 = t.delete_rowids(&all_ids[..2]).unwrap();
         assert_eq!(n2, 0);
     }
 
@@ -1007,7 +1195,7 @@ mod tests {
         assert_eq!(t.num_segments(), 4);
         let scans = t.scan_with_rowids(None, &[]).unwrap();
         let first_id = scans[0].1[0];
-        t.delete_rowids(&[first_id]);
+        t.delete_rowids(&[first_id]).unwrap();
         t.mergeout().unwrap();
         assert_eq!(t.num_segments(), 1);
         assert_eq!(t.num_rows(), 3);
@@ -1103,7 +1291,7 @@ mod tests {
     fn truncate_empties() {
         let mut t = small_table();
         t.moveout().unwrap();
-        t.truncate();
+        t.truncate().unwrap();
         assert_eq!(t.num_rows(), 0);
         assert!(t.scan(None, &[]).unwrap().is_empty());
     }
@@ -1123,7 +1311,7 @@ mod tests {
         }
         // 3 ROS segments + 1 WOS row; delete one ROS row.
         let first_id = t.scan_with_rowids(None, &[]).unwrap()[0].1[0];
-        t.delete_rowids(&[first_id]);
+        t.delete_rowids(&[first_id]).unwrap();
         let pred = ColumnPredicate::new(0, PredicateOp::Lt, Value::Int(8));
         let eager = t.scan(None, std::slice::from_ref(&pred)).unwrap();
         let mut cursor = t.scan_cursor(None, &[pred]).unwrap();
@@ -1150,7 +1338,7 @@ mod tests {
             .iter()
             .flat_map(|(_, ids)| ids.clone())
             .collect();
-        t.delete_rowids(&all_ids);
+        t.delete_rowids(&all_ids).unwrap();
         assert_eq!(t.num_rows(), 0);
         let mut rows = 0;
         while let Some(b) = cursor.next_batch().unwrap() {
@@ -1303,7 +1491,7 @@ mod tests {
         assert_eq!(with_ids[0].0.num_rows(), 64);
         // Delete half the matches; a rescan sees exactly the survivors.
         let doomed: Vec<u64> = with_ids[0].1.iter().copied().take(32).collect();
-        assert_eq!(t.delete_rowids(&doomed), 32);
+        assert_eq!(t.delete_rowids(&doomed).unwrap(), 32);
         let again = t.scan(None, std::slice::from_ref(&pred)).unwrap();
         assert_eq!(RecordBatch::total_rows(&again), 32);
     }

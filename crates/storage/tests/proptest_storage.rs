@@ -166,7 +166,7 @@ proptest! {
                 }
             }
         }
-        let dead = t.delete_rowids(&doomed);
+        let dead = t.delete_rowids(&doomed).unwrap();
         prop_assert_eq!(dead, expected_dead);
         prop_assert_eq!(t.num_rows(), n - expected_dead);
         // Deleted keys never reappear in scans.
@@ -221,7 +221,7 @@ proptest! {
         }
         // Rowid scan order may interleave WOS/ROS differently from insert
         // order, so recompute the expected survivors from the table itself.
-        t.delete_rowids(&doomed);
+        t.delete_rowids(&doomed).unwrap();
         let op = if flip { PredicateOp::Gt } else { PredicateOp::LtEq };
         let pred = ColumnPredicate::new(0, op, Value::Int(threshold));
 

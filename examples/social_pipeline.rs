@@ -49,9 +49,9 @@ fn main() {
         // Select the "family" subgraph (§4.2.1: scope of analysis).
         .add_stage("family_subgraph", |session, ctx| {
             let db = session.db();
-            db.catalog().drop_table_if_exists("fam_vertex");
-            db.catalog().drop_table_if_exists("fam_edge");
-            db.catalog().drop_table_if_exists("fam_message");
+            db.catalog().drop_table_if_exists("fam_vertex").unwrap();
+            db.catalog().drop_table_if_exists("fam_edge").unwrap();
+            db.catalog().drop_table_if_exists("fam_message").unwrap();
             let sub = GraphSession::create(db.clone(), "fam")?;
             db.execute(&format!(
                 "INSERT INTO fam_vertex SELECT id, CAST(NULL AS VARBINARY), FALSE FROM {}",

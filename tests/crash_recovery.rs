@@ -1,0 +1,412 @@
+//! Crash-injection proof of the durability layer.
+//!
+//! Three escalating attacks on `open_durable` recovery:
+//!
+//! 1. **Byte-offset crash injection** (proptest): a random operation
+//!    schedule runs against a durable catalog whose WAL sink is armed with
+//!    a random byte budget — every durable write past the budget is
+//!    truncated exactly at the boundary, mimicking a torn write at an
+//!    arbitrary byte offset. Recovery must land **bitwise-exactly** on
+//!    either the last fully acknowledged operation's state or (if the
+//!    in-flight record made it to disk completely) the next one — never a
+//!    torn mixture, never a lost acknowledged write.
+//!
+//! 2. **Corruption fuzz**: truncations, bit flips, bad magic and bad
+//!    checksums against the segment-file format and the WAL/manifest
+//!    readers must surface as clean `Err`s (corruption or torn-tail
+//!    discard), never a panic and never silently wrong data.
+//!
+//! 3. **`kill -9` mid-superstep** (in `kill9_recovery.rs`'s helpers here):
+//!    a child process runs real grouped superstep commits until the parent
+//!    SIGKILLs it at an arbitrary moment; recovery must observe the
+//!    multi-table commit atomically.
+
+use std::path::PathBuf;
+use std::sync::atomic::{AtomicU64, Ordering};
+use std::sync::Arc;
+
+use proptest::prelude::*;
+use vertexica_storage::persist;
+use vertexica_storage::{
+    open_durable, Catalog, DataType, Field, Schema, Table, TableOptions, Value,
+};
+
+static DIR_SEQ: AtomicU64 = AtomicU64::new(0);
+
+fn temp_dir(tag: &str) -> PathBuf {
+    let n = DIR_SEQ.fetch_add(1, Ordering::Relaxed);
+    std::env::temp_dir().join(format!("vx_crash_{tag}_{}_{n}", std::process::id()))
+}
+
+/// Physical image of every table in a catalog — the bitwise comparator.
+fn catalog_image(catalog: &Catalog) -> Vec<(String, Vec<u8>)> {
+    let mut names = catalog.list();
+    names.sort();
+    names
+        .into_iter()
+        .map(|n| {
+            let t = catalog.get(&n).unwrap();
+            let bytes = persist::table_to_bytes_physical(&t.read()).unwrap();
+            (n, bytes)
+        })
+        .collect()
+}
+
+fn pair_schema() -> Arc<Schema> {
+    Schema::new(vec![Field::not_null("id", DataType::Int), Field::new("val", DataType::Int)])
+}
+
+/// One atomic (single WAL record / single commit) operation in a schedule.
+#[derive(Debug, Clone)]
+enum Op {
+    /// Batch-insert rows into alpha (one record; may auto-moveout).
+    Insert(Vec<(i64, Option<i64>)>),
+    /// Delete the first `k` scanned rowids of alpha (one record).
+    Delete(usize),
+    /// Flush alpha's WOS into a ROS segment (one record).
+    Moveout,
+    /// Truncate beta (one record).
+    TruncateBeta,
+    /// Replace alpha+beta contents in one grouped commit (one commit
+    /// record): alpha gets `n` rows tagged `tag`, beta gets `n/2`.
+    ReplaceBoth { n: usize, tag: i64 },
+    /// Drop gamma if present (one record, or none when absent).
+    DropGamma,
+    /// Create gamma if absent (one record, or none when present).
+    CreateGamma,
+}
+
+fn arb_op() -> impl Strategy<Value = Op> {
+    prop_oneof![
+        3 => proptest::collection::vec((0i64..500, proptest::option::of(-50i64..50)), 1..20)
+            .prop_map(Op::Insert),
+        2 => (0usize..12).prop_map(Op::Delete),
+        1 => Just(Op::Moveout),
+        1 => Just(Op::TruncateBeta),
+        2 => ((1usize..24), (0i64..1000)).prop_map(|(n, tag)| Op::ReplaceBoth { n, tag }),
+        1 => Just(Op::DropGamma),
+        1 => Just(Op::CreateGamma),
+    ]
+}
+
+/// Applies one op to a catalog (durable or shadow — identical calls).
+fn apply_op(catalog: &Catalog, op: &Op) -> vertexica_storage::StorageResult<()> {
+    match op {
+        Op::Insert(rows) => {
+            let t = catalog.get("alpha")?;
+            let rows: Vec<Vec<Value>> = rows
+                .iter()
+                .map(|(id, val)| vec![Value::Int(*id), val.map(Value::Int).unwrap_or(Value::Null)])
+                .collect();
+            t.write().insert_rows(rows)?;
+        }
+        Op::Delete(k) => {
+            let t = catalog.get("alpha")?;
+            let doomed: Vec<u64> = {
+                let guard = t.read();
+                guard
+                    .scan_with_rowids(None, &[])?
+                    .into_iter()
+                    .flat_map(|(_, ids)| ids)
+                    .take(*k)
+                    .collect()
+            };
+            t.write().delete_rowids(&doomed)?;
+        }
+        Op::Moveout => {
+            catalog.get("alpha")?.write().moveout()?;
+        }
+        Op::TruncateBeta => {
+            catalog.get("beta")?.write().truncate()?;
+        }
+        Op::ReplaceBoth { n, tag } => {
+            let mk = |rows: usize| -> vertexica_storage::StorageResult<Table> {
+                let mut t = Table::new(
+                    "x",
+                    pair_schema(),
+                    TableOptions::default().with_moveout_threshold(8),
+                );
+                for i in 0..rows {
+                    t.insert_row(vec![Value::Int(i as i64), Value::Int(*tag)])?;
+                }
+                Ok(t)
+            };
+            catalog.replace_contents_many(vec![
+                ("alpha".to_string(), mk(*n)?),
+                ("beta".to_string(), mk(*n / 2)?),
+            ])?;
+        }
+        Op::DropGamma => {
+            catalog.drop_table_if_exists("gamma")?;
+        }
+        Op::CreateGamma => {
+            if !catalog.contains("gamma") {
+                catalog.create_table("gamma", pair_schema(), TableOptions::default())?;
+            }
+        }
+    }
+    Ok(())
+}
+
+fn seed_catalog(catalog: &Catalog) {
+    let opts = TableOptions::default().with_moveout_threshold(8);
+    catalog.create_table("alpha", pair_schema(), opts.clone()).unwrap();
+    catalog.create_table("beta", pair_schema(), opts).unwrap();
+    let t = catalog.get("alpha").unwrap();
+    let rows: Vec<Vec<Value>> = (0..12).map(|i| vec![Value::Int(i), Value::Int(-i)]).collect();
+    t.write().insert_rows(rows).unwrap();
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(24))]
+
+    /// THE durability property: crash a durable catalog by truncating its
+    /// durable writes at an arbitrary byte offset mid-schedule; recovery
+    /// must be bitwise-identical to the state after the last acknowledged
+    /// operation (or the next one, if its single record fully landed).
+    #[test]
+    fn recovery_is_exact_at_any_crash_offset(
+        ops in proptest::collection::vec(arb_op(), 1..14),
+        budget in 0u64..6000,
+    ) {
+        let dir = temp_dir("offset");
+        let durable = open_durable(&dir, false).unwrap();
+        seed_catalog(&durable);
+
+        // Shadow: the same schedule on a plain in-memory catalog, with a
+        // bitwise snapshot after every op. snapshots[i] = state after ops[i].
+        let shadow = Catalog::new();
+        seed_catalog(&shadow);
+        let mut snapshots = vec![catalog_image(&shadow)];
+
+        // Arm the crash: every durable byte past `budget` is torn off.
+        let sink = durable.wal_sink().unwrap();
+        sink.set_crash_budget(Some(budget));
+
+        let mut last_acked = 0usize; // snapshot index of last acknowledged op
+        let mut crashed = false;
+        for (i, op) in ops.iter().enumerate() {
+            apply_op(&shadow, op).unwrap();
+            snapshots.push(catalog_image(&shadow));
+            match apply_op(&durable, op) {
+                Ok(()) => last_acked = i + 1,
+                Err(_) => {
+                    crashed = true;
+                    break;
+                }
+            }
+        }
+        drop(durable);
+
+        let recovered = open_durable(&dir, false).unwrap();
+        let image = catalog_image(&recovered);
+        if crashed {
+            // Either the in-flight record was torn (last acked state) or it
+            // fully landed before the budget ran out (next state).
+            prop_assert!(
+                image == snapshots[last_acked] || image == snapshots[last_acked + 1],
+                "recovered state matches neither the last acknowledged nor \
+                 the in-flight operation's state (last_acked={last_acked})"
+            );
+        } else {
+            prop_assert_eq!(&image, &snapshots[last_acked]);
+        }
+
+        // Recovery is idempotent: reopening lands on the identical image.
+        drop(recovered);
+        let again = open_durable(&dir, false).unwrap();
+        prop_assert_eq!(catalog_image(&again), image);
+        drop(again);
+        std::fs::remove_dir_all(&dir).ok();
+    }
+
+    /// Arbitrary byte soup never panics the physical table reader.
+    #[test]
+    fn physical_reader_survives_random_bytes(bytes in proptest::collection::vec(any::<u8>(), 0..600)) {
+        prop_assert!(persist::table_from_bytes_physical(&bytes).is_err());
+    }
+}
+
+/// A committed durable directory to corrupt, plus its clean image.
+fn committed_dir(tag: &str) -> (PathBuf, Vec<(String, Vec<u8>)>) {
+    let dir = temp_dir(tag);
+    let durable = open_durable(&dir, false).unwrap();
+    seed_catalog(&durable);
+    // Leave an unflushed WAL tail beyond the recovery checkpoint: reopen,
+    // then write more without checkpointing.
+    drop(durable);
+    let durable = open_durable(&dir, false).unwrap();
+    let t = durable.get("alpha").unwrap();
+    t.write()
+        .insert_rows((0..5).map(|i| vec![Value::Int(100 + i), Value::Null]).collect())
+        .unwrap();
+    let image = catalog_image(&durable);
+    drop(durable);
+    (dir, image)
+}
+
+#[test]
+fn truncating_the_wal_tail_is_a_clean_stop() {
+    // Every truncation point must recover cleanly: complete-frame prefixes
+    // replay, torn tails are discarded. Never a panic, never a hard error.
+    // Recovery checkpoints (rewriting the fixture), so each cut gets a
+    // freshly built directory.
+    let probe = committed_dir("trunc");
+    let wal_len = {
+        let wal_path = find_wal(&probe.0);
+        std::fs::read(&wal_path).unwrap().len()
+    };
+    std::fs::remove_dir_all(&probe.0).ok();
+    for cut in (14..wal_len).step_by(9) {
+        let (dir, _) = committed_dir("trunc");
+        let wal_path = find_wal(&dir);
+        let bytes = std::fs::read(&wal_path).unwrap();
+        assert_eq!(bytes.len(), wal_len, "fixture must be deterministic");
+        std::fs::write(&wal_path, &bytes[..cut]).unwrap();
+        let recovered = open_durable(&dir, false).unwrap();
+        let t = recovered.get("alpha").unwrap();
+        let rows = t.read().num_rows();
+        assert!(
+            rows >= 12,
+            "checkpointed rows must survive a WAL truncation at byte {cut} (got {rows})"
+        );
+        drop(recovered);
+        std::fs::remove_dir_all(&dir).ok();
+    }
+}
+
+fn find_wal(dir: &std::path::Path) -> PathBuf {
+    std::fs::read_dir(dir)
+        .unwrap()
+        .filter_map(|e| e.ok().map(|e| e.path()))
+        .find(|p| p.file_name().unwrap().to_str().unwrap().starts_with("wal-"))
+        .unwrap()
+}
+
+#[test]
+fn bit_flips_in_committed_wal_frames_are_corruption_not_garbage() {
+    // Flip one bit inside a *complete* WAL frame: recovery must refuse with
+    // a corruption error — not panic, not replay a mangled record.
+    for flip_at_frac in [0.3f64, 0.5, 0.7, 0.9] {
+        let (dir, _) = committed_dir("flip");
+        let wal_path = find_wal(&dir);
+        let mut bytes = std::fs::read(&wal_path).unwrap();
+        if bytes.len() <= 20 {
+            std::fs::remove_dir_all(&dir).ok();
+            continue;
+        }
+        let pos = 14 + ((bytes.len() - 15) as f64 * flip_at_frac) as usize;
+        bytes[pos] ^= 0x10;
+        std::fs::write(&wal_path, &bytes).unwrap();
+        match open_durable(&dir, false) {
+            Err(vertexica_storage::StorageError::Corrupt(_)) => {}
+            Err(other) => panic!("expected Corrupt, got {other:?}"),
+            // A flip in the length prefix can turn the frame into a torn
+            // tail (length now exceeds the file) — that is a clean stop.
+            Ok(_) => {}
+        }
+        std::fs::remove_dir_all(&dir).ok();
+    }
+}
+
+#[test]
+fn bad_wal_magic_is_corruption() {
+    let (dir, _) = committed_dir("magic");
+    let wal_path = find_wal(&dir);
+    let mut bytes = std::fs::read(&wal_path).unwrap();
+    bytes[0] = b'Z';
+    std::fs::write(&wal_path, &bytes).unwrap();
+    assert!(matches!(open_durable(&dir, false), Err(vertexica_storage::StorageError::Corrupt(_))));
+    std::fs::remove_dir_all(&dir).ok();
+}
+
+#[test]
+fn manifest_bit_flip_is_corruption() {
+    let (dir, _) = committed_dir("mf");
+    let mf = dir.join("MANIFEST");
+    let mut bytes = std::fs::read(&mf).unwrap();
+    let mid = bytes.len() / 2;
+    bytes[mid] ^= 0x01;
+    std::fs::write(&mf, &bytes).unwrap();
+    assert!(matches!(open_durable(&dir, false), Err(vertexica_storage::StorageError::Corrupt(_))));
+    std::fs::remove_dir_all(&dir).ok();
+}
+
+#[test]
+fn segment_file_corruption_is_detected() {
+    let (dir, _) = committed_dir("seg");
+    let seg_path = std::fs::read_dir(&dir)
+        .unwrap()
+        .filter_map(|e| e.ok().map(|e| e.path()))
+        .find(|p| p.extension().map(|e| e == "vxtb").unwrap_or(false))
+        .expect("recovery checkpoint must leave table files");
+    let clean = std::fs::read(&seg_path).unwrap();
+    // Bit flips anywhere in the file: the CRC trailer catches them all.
+    for frac in [0.1f64, 0.4, 0.8] {
+        let mut bytes = clean.clone();
+        let pos = (bytes.len() as f64 * frac) as usize;
+        bytes[pos] ^= 0x20;
+        std::fs::write(&seg_path, &bytes).unwrap();
+        assert!(
+            open_durable(&dir, false).is_err(),
+            "flip at {pos}/{} must fail recovery",
+            bytes.len()
+        );
+    }
+    // Truncations: every prefix must fail, never panic.
+    for cut in [0usize, 1, 6, clean.len() / 2, clean.len() - 1] {
+        std::fs::write(&seg_path, &clean[..cut]).unwrap();
+        assert!(open_durable(&dir, false).is_err());
+    }
+    // Restoring the clean bytes restores recovery.
+    std::fs::write(&seg_path, &clean).unwrap();
+    open_durable(&dir, false).unwrap();
+    std::fs::remove_dir_all(&dir).ok();
+}
+
+#[test]
+fn logical_persist_corruption_is_detected() {
+    // The VXTB1 logical format gets the same treatment: truncations and
+    // flips surface as errors, never panics.
+    let mut t = Table::new("t", pair_schema(), TableOptions::default().with_moveout_threshold(4));
+    for i in 0..20 {
+        t.insert_row(vec![Value::Int(i), Value::Int(i * 2)]).unwrap();
+    }
+    let clean = persist::table_to_bytes(&t).unwrap();
+    persist::table_from_bytes(&clean).unwrap();
+    for cut in 0..clean.len() {
+        assert!(persist::table_from_bytes(&clean[..cut]).is_err());
+    }
+    for pos in (0..clean.len()).step_by(3) {
+        let mut bytes = clean.clone();
+        bytes[pos] ^= 0x08;
+        assert!(persist::table_from_bytes(&bytes).is_err(), "flip at {pos} undetected");
+    }
+}
+
+#[test]
+fn physical_persist_truncations_all_error() {
+    let mut t = Table::new("t", pair_schema(), TableOptions::default().with_moveout_threshold(4));
+    for i in 0..40 {
+        t.insert_row(vec![Value::Int(i % 7), Value::Int(i)]).unwrap();
+    }
+    // Deletes give the physical image non-empty delete vectors too.
+    let doomed: Vec<u64> = t
+        .scan_with_rowids(None, &[])
+        .unwrap()
+        .into_iter()
+        .flat_map(|(_, ids)| ids)
+        .step_by(3)
+        .collect();
+    t.delete_rowids(&doomed).unwrap();
+    let clean = persist::table_to_bytes_physical(&t).unwrap();
+    persist::table_from_bytes_physical(&clean).unwrap();
+    for cut in 0..clean.len() {
+        assert!(persist::table_from_bytes_physical(&clean[..cut]).is_err());
+    }
+    for pos in (0..clean.len()).step_by(3) {
+        let mut bytes = clean.clone();
+        bytes[pos] ^= 0x04;
+        assert!(persist::table_from_bytes_physical(&bytes).is_err(), "flip at {pos} undetected");
+    }
+}

@@ -18,11 +18,28 @@ use vertexica_graphdb::GraphDb;
 use vertexica_graphgen::models::erdos_renyi;
 use vertexica_graphgen::rmat::{rmat_graph, RmatConfig};
 
+/// With `VERTEXICA_DURABLE` set, every cross-engine cell runs against a
+/// disk-backed database in a unique temp directory (WAL + segment files,
+/// `fsync` per `VERTEXICA_DURABLE_SYNC`) — the durability CI job's hook.
 fn session_for(graph: &EdgeList) -> GraphSession {
-    let db = Arc::new(Database::new());
+    let db = if vertexica::config::durable_default() {
+        Arc::new(Database::open(unique_durable_dir("xeq")).expect("open durable"))
+    } else {
+        Arc::new(Database::new())
+    };
     let s = GraphSession::create(db, "g").expect("create");
     s.load_edges(graph).expect("load");
     s
+}
+
+fn unique_durable_dir(tag: &str) -> std::path::PathBuf {
+    use std::sync::atomic::{AtomicU64, Ordering};
+    static SEQ: AtomicU64 = AtomicU64::new(0);
+    std::env::temp_dir().join(format!(
+        "vx_xeq_{tag}_{}_{}",
+        std::process::id(),
+        SEQ.fetch_add(1, Ordering::Relaxed)
+    ))
 }
 
 fn test_graphs() -> Vec<EdgeList> {
@@ -214,6 +231,94 @@ fn streaming_matches_materialized_on_every_algorithm() {
     assert_streaming_matches_materialized(&graph.undirected(), || ConnectedComponents);
     assert_streaming_matches_materialized(&graph, || RandomWalkWithRestart::new(0, 10));
     assert_streaming_matches_materialized(&graph.undirected(), || LabelPropagation::new(6));
+}
+
+/// Physical image of every table — the bitwise recovery comparator.
+fn physical_image(catalog: &vertexica::storage::Catalog) -> Vec<(String, Vec<u8>)> {
+    let mut names = catalog.list();
+    names.sort();
+    names
+        .into_iter()
+        .map(|n| {
+            let t = catalog.get(&n).unwrap();
+            let bytes = vertexica::storage::persist::table_to_bytes_physical(&t.read()).unwrap();
+            (n, bytes)
+        })
+        .collect()
+}
+
+/// The persisted-reopen cell: run an algorithm on a durable database, drop
+/// the process-local state entirely, recover from disk, and require the
+/// recovered vertex table — and every table's physical image — to be
+/// **bitwise-identical** to the live post-run state.
+fn assert_durable_reopen_is_bitwise_identical<P>(graph: &EdgeList, tag: &str, program: Arc<P>)
+where
+    P: vertexica_common::VertexProgram + 'static,
+{
+    let dir = unique_durable_dir(tag);
+    let db = Arc::new(Database::open(&dir).expect("open durable"));
+    let session = GraphSession::create(db.clone(), "g").expect("create");
+    session.load_edges(graph).expect("load");
+    let stats =
+        run_program(&session, program, &VertexicaConfig::default().with_durable(true)).unwrap();
+    assert!(
+        stats.per_superstep.iter().any(|s| s.wal_records > 0 && s.wal_bytes > 0),
+        "{tag}: durable run must report WAL activity in the superstep gauges"
+    );
+    // The grouped apply commit flushes per superstep; the serial ablation
+    // path flushes at the run-boundary checkpoints — either way the
+    // cumulative counter must show flushed table images.
+    assert!(
+        db.durability_stats().unwrap().flush_bytes > 0,
+        "{tag}: a durable run must flush table images"
+    );
+    let live_bits = vertex_table_bits(&session);
+    let live_image = physical_image(db.catalog());
+    drop(session);
+    drop(db);
+
+    let db2 = Arc::new(Database::open(&dir).expect("reopen"));
+    assert_eq!(
+        physical_image(db2.catalog()),
+        live_image,
+        "{tag}: recovered physical image differs from the live post-run state"
+    );
+    let session2 = GraphSession::open(db2, "g").expect("reopen session");
+    assert_eq!(
+        vertex_table_bits(&session2),
+        live_bits,
+        "{tag}: recovered vertex table differs bitwise"
+    );
+    drop(session2);
+    std::fs::remove_dir_all(&dir).ok();
+}
+
+#[test]
+fn durable_reopen_is_bitwise_identical_for_every_algorithm() {
+    use vertexica_algorithms::vc::{LabelPropagation, RandomWalkWithRestart};
+    let graph =
+        rmat_graph(&RmatConfig { scale: 6, num_edges: 400, seed: 13, ..Default::default() });
+    assert_durable_reopen_is_bitwise_identical(
+        &graph,
+        "pagerank",
+        Arc::new(PageRank::new(6, 0.85)),
+    );
+    assert_durable_reopen_is_bitwise_identical(&graph, "sssp", Arc::new(Sssp::new(0)));
+    assert_durable_reopen_is_bitwise_identical(
+        &graph.undirected(),
+        "cc",
+        Arc::new(ConnectedComponents),
+    );
+    assert_durable_reopen_is_bitwise_identical(
+        &graph,
+        "rwr",
+        Arc::new(RandomWalkWithRestart::new(0, 10)),
+    );
+    assert_durable_reopen_is_bitwise_identical(
+        &graph.undirected(),
+        "lp",
+        Arc::new(LabelPropagation::new(6)),
+    );
 }
 
 #[test]
