@@ -2,7 +2,7 @@
 //!
 //! ```text
 //! cargo run -p vertexica-bench --release --bin ablation -- \
-//!     [--exp union-vs-join|worker-scaling|batching|update-vs-replace|pool-size|pipeline|expr|wal|all]
+//!     [--exp union-vs-join|worker-scaling|batching|update-vs-replace|pool-size|pipeline|expr|wal|evict|all]
 //! ```
 
 use std::sync::Arc;
@@ -188,6 +188,10 @@ fn main() {
         wal_ablation(&graph, &cfg);
     }
 
+    if exp == "evict" || exp == "all" {
+        evict_ablation(&graph, &cfg);
+    }
+
     if exp == "update-vs-replace" || exp == "all" {
         println!("## §2.3 Update vs Replace: threshold sweep");
         println!("# PageRank touches every vertex each superstep (dense updates);");
@@ -276,6 +280,133 @@ fn wal_ablation(graph: &vertexica_common::graph::EdgeList, cfg: &HarnessConfig) 
     );
     std::fs::write("BENCH_pr7.json", &json).expect("write BENCH_pr7.json");
     println!("wrote BENCH_pr7.json");
+    println!();
+}
+
+/// Out-of-core ablation: the same durable PageRank run with the segment
+/// buffer pool unbounded, then squeezed to fractions of the checkpointed
+/// footprint — isolating what clock eviction and reload-on-miss cost (and
+/// proving the budgeted runs stay at or below their cap while producing the
+/// same ranks). Writes `BENCH_pr8.json` into the current directory.
+fn evict_ablation(graph: &vertexica_common::graph::EdgeList, cfg: &HarnessConfig) {
+    use vertexica::session::edge_schema;
+    use vertexica_common::graph::EdgeList;
+    use vertexica_storage::ColumnBuilder;
+
+    println!("## Out-of-core: segment buffer pool budget sweep (PageRank, durable)");
+    println!("# Edges load in small append batches so the checkpointed graph spans");
+    println!("# many ROS segments (the segment is the eviction granule — a budget");
+    println!("# only binds if it exceeds the largest pinned segment). Each variant");
+    println!("# caps the pool at a fraction of the unbounded footprint; evictions /");
+    println!("# reloads are spill-twin round-trips, peak-resident is the per-");
+    println!("# superstep high-water mark of pooled bytes.");
+    std::env::set_var("VERTEXICA_DURABLE_SYNC", "0");
+
+    // Finely segmented load: vertices via the normal path, then edges in
+    // small append batches (one WOS moveout -> one ROS segment each).
+    let load = |session: &vertexica::GraphSession| {
+        let base = EdgeList::new(graph.num_vertices, vec![]);
+        session.load_edges(&base).expect("load vertices");
+        for chunk in graph.edges.chunks(512) {
+            let mut src = ColumnBuilder::new(DataType::Int);
+            let mut dst = ColumnBuilder::new(DataType::Int);
+            let mut weight = ColumnBuilder::new(DataType::Float);
+            let mut created = ColumnBuilder::new(DataType::Int);
+            let mut etype = ColumnBuilder::new(DataType::Str);
+            for e in chunk {
+                src.push_int(e.src as i64);
+                dst.push_int(e.dst as i64);
+                weight.push_float(e.weight);
+                created.push_int(0);
+                etype.push_null();
+            }
+            let batch = RecordBatch::new(
+                edge_schema(),
+                vec![src.finish(), dst.finish(), weight.finish(), created.finish(), etype.finish()],
+            )
+            .expect("edge batch");
+            session.db().append_batches(&session.edge_table(), &[batch]).expect("append edges");
+        }
+    };
+
+    let mut lines = Vec::new();
+    let mut footprint = 0usize;
+    let mut reference: Option<Vec<(i64, Option<Vec<u8>>)>> = None;
+    for (label, fraction) in
+        [("unbounded", None), ("budget-1/2", Some(0.5f64)), ("budget-1/4", Some(0.25f64))]
+    {
+        let dir =
+            std::env::temp_dir().join(format!("vx_bench_evict_{}_{label}", std::process::id()));
+        std::fs::remove_dir_all(&dir).ok();
+        let db = Arc::new(Database::open(&dir).expect("open durable bench db"));
+        // The measurement load runs unbounded even when the ambient
+        // VERTEXICA_MEMORY_BUDGET (the CI out-of-core mode) is set.
+        db.catalog().buffer_pool().set_budget(None);
+        let session = vertexica::GraphSession::create(db.clone(), "bench").expect("create session");
+        load(&session);
+        db.checkpoint().expect("checkpoint load");
+        if footprint == 0 {
+            footprint = db.catalog().buffer_pool().stats().resident_bytes as usize;
+        }
+        let budget = fraction.map(|f| ((footprint as f64) * f) as usize);
+        let config = VertexicaConfig::default().with_durable(true).with_memory_budget(budget);
+        if budget.is_none() {
+            db.catalog().buffer_pool().set_budget(None);
+        }
+        let sw = Stopwatch::start();
+        let stats = run_program(&session, Arc::new(PageRank::new(5, 0.85)), &config).unwrap();
+        let secs = sw.elapsed_secs();
+        let evictions: u64 = stats.per_superstep.iter().map(|s| s.evictions).sum();
+        let reloads: u64 = stats.per_superstep.iter().map(|s| s.reloads).sum();
+        let peak = stats.per_superstep.iter().map(|s| s.resident_bytes).max().unwrap_or(0);
+        let ranks: Vec<(i64, Option<Vec<u8>>)> = {
+            let batches =
+                session.db().scan_table(&session.vertex_table(), None, &[]).expect("rank scan");
+            let mut rows = Vec::new();
+            for b in &batches {
+                for i in 0..b.num_rows() {
+                    let row = b.row(i);
+                    rows.push((row[0].as_int().expect("id"), row[1].as_blob().map(|v| v.to_vec())));
+                }
+            }
+            rows.sort();
+            rows
+        };
+        match &reference {
+            None => reference = Some(ranks),
+            Some(expected) => {
+                assert_eq!(&ranks, expected, "{label}: budgeted ranks diverged from unbounded")
+            }
+        }
+        if let Some(b) = budget {
+            assert!(evictions > 0, "{label}: a below-footprint budget must force evictions");
+            assert!(peak <= b as u64, "{label}: peak residency {peak} exceeds the {b}-byte budget");
+        }
+        let budget_str = budget.map_or("null".to_string(), |b| b.to_string());
+        println!(
+            "{label:<11} {secs:.3}s  budget={}B evictions={evictions} reloads={reloads} \
+             peak-resident={peak}B",
+            budget.map_or("∞".to_string(), |b| b.to_string())
+        );
+        lines.push(format!(
+            "    {{\"label\": \"{label}\", \"secs\": {secs:.6}, \"budget_bytes\": {budget_str}, \
+             \"footprint_bytes\": {footprint}, \"evictions\": {evictions}, \
+             \"reloads\": {reloads}, \"peak_resident_bytes\": {peak}}}"
+        ));
+        drop(session);
+        drop(db);
+        std::fs::remove_dir_all(&dir).ok();
+    }
+    let cores = std::thread::available_parallelism().map(|p| p.get()).unwrap_or(1);
+    let json = format!(
+        "{{\n  \"experiment\": \"evict\",\n  \"cores\": {cores},\n  \"scale\": {},\n  \
+         \"workload\": \"pagerank x5 on twitter profile, durable, finely segmented edges\",\n  \
+         \"variants\": [\n{}\n  ]\n}}\n",
+        cfg.scale,
+        lines.join(",\n")
+    );
+    std::fs::write("BENCH_pr8.json", &json).expect("write BENCH_pr8.json");
+    println!("wrote BENCH_pr8.json");
     println!();
 }
 

@@ -106,6 +106,17 @@ pub struct VertexicaConfig {
     /// disk-backed database), while [`VertexicaConfig::with_durable`]
     /// always wins.
     pub durable: bool,
+    /// Byte budget for the storage-layer segment buffer pool: cold ROS
+    /// segments beyond this budget are evicted (clock / second-chance) once
+    /// they have a checkpointed `.vxtb` spill image, and reloaded on demand
+    /// when a scan pins them — so datasets whose segment bytes exceed RAM
+    /// still complete, bitwise-identical to the unbounded run (proven by the
+    /// cross-engine equivalence harness). `None` = unbounded (the default);
+    /// the environment variable `VERTEXICA_MEMORY_BUDGET` (bytes, with
+    /// optional `k`/`kb`/`m`/`mb`/`g`/`gb` suffix) sets the *default*, while
+    /// [`VertexicaConfig::with_memory_budget`] always wins. Only effective on
+    /// a durable database — without spill images nothing is evictable.
+    pub memory_budget_bytes: Option<usize>,
     /// Hard cap on supersteps (safety net on top of the program's own limit).
     pub max_supersteps: u64,
     /// Checkpoint every N supersteps into `checkpoint_dir`.
@@ -154,6 +165,15 @@ fn env_toggle_default_on(var: &str) -> bool {
     }
 }
 
+/// Default for [`VertexicaConfig::memory_budget_bytes`]: unbounded, unless
+/// the `VERTEXICA_MEMORY_BUDGET` environment variable sets a byte budget
+/// (plain bytes or `k`/`kb`/`m`/`mb`/`g`/`gb` suffixed, case-insensitive) —
+/// the hook the out-of-core CI job uses to run the whole suite under memory
+/// pressure.
+pub fn memory_budget_default() -> Option<usize> {
+    vertexica_storage::buffer_pool::memory_budget_from_env()
+}
+
 /// Default for [`VertexicaConfig::durable`]: **off**, unless the
 /// `VERTEXICA_DURABLE` environment variable enables it (anything other than
 /// unset/`0`/`false`/`off`, case-insensitive) — the hook the durability CI
@@ -181,6 +201,7 @@ impl Default for VertexicaConfig {
             streaming_scan: streaming_scan_default(),
             vectorized_expr: vectorized_expr_default(),
             durable: durable_default(),
+            memory_budget_bytes: memory_budget_default(),
             max_supersteps: 10_000,
             checkpoint_every: None,
             checkpoint_dir: None,
@@ -246,6 +267,11 @@ impl VertexicaConfig {
 
     pub fn with_durable(mut self, on: bool) -> Self {
         self.durable = on;
+        self
+    }
+
+    pub fn with_memory_budget(mut self, bytes: Option<usize>) -> Self {
+        self.memory_budget_bytes = bytes;
         self
     }
 

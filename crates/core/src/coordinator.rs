@@ -121,6 +121,19 @@ pub struct SuperstepStats {
     /// — the grouped apply commit writes each swapped table's full physical
     /// image (zero on a non-durable database).
     pub flush_bytes: u64,
+    /// Peak bytes of ROS segments resident in the storage buffer pool during
+    /// this superstep. With a [`memory
+    /// budget`](crate::VertexicaConfig::memory_budget_bytes) configured this
+    /// stays at or below the budget (modulo the unevictable pinned/dirty
+    /// working set); unbounded runs simply report the high-water mark.
+    pub resident_bytes: u64,
+    /// Cold ROS segments evicted from the buffer pool to disk twins during
+    /// this superstep (zero without a memory budget).
+    pub evictions: u64,
+    /// Evicted ROS segments reloaded from their `.vxtb` spill images because
+    /// a scan pinned them during this superstep (zero without a memory
+    /// budget).
+    pub reloads: u64,
 }
 
 /// Whole-run observability.
@@ -195,6 +208,12 @@ pub fn run_program<P: VertexProgram + 'static>(
     // identical.
     vertexica_sql::expr::set_vectorized_expr(config.vectorized_expr);
     session.db().runtime().resize(config.num_workers);
+    // Apply the out-of-core budget before the first checkpoint: the
+    // checkpoint gives every cold segment a `.vxtb` spill twin, after which
+    // the pool can evict down to the budget.
+    if let Some(budget) = config.memory_budget_bytes {
+        session.db().catalog().buffer_pool().set_budget(Some(budget));
+    }
     let num_vertices = initialize_vertices(session, program.as_ref())?;
     if config.durable {
         // Flush the freshly initialized vertex/message tables so recovery
@@ -226,6 +245,9 @@ pub fn resume_program<P: VertexProgram + 'static>(
     let total = Stopwatch::start();
     vertexica_sql::expr::set_vectorized_expr(config.vectorized_expr);
     session.db().runtime().resize(config.num_workers);
+    if let Some(budget) = config.memory_budget_bytes {
+        session.db().catalog().buffer_pool().set_budget(Some(budget));
+    }
     let state = crate::checkpoint::restore(session, dir)?;
     let num_vertices = session.num_vertices()?;
     let mut stats = superstep_loop(
@@ -385,6 +407,9 @@ fn superstep_loop<P: VertexProgram + 'static>(
         // writes happen once at the end.
         let pool_before = session.db().runtime().metrics();
         let dur_before = session.db().durability_stats();
+        let buffer_pool = session.db().catalog().buffer_pool().clone();
+        buffer_pool.reset_peak();
+        let bp_before = buffer_pool.stats();
         let worker: Arc<dyn TransformUdf> = Arc::new(VertexWorker {
             program: program.clone(),
             superstep,
@@ -456,6 +481,7 @@ fn superstep_loop<P: VertexProgram + 'static>(
                 ),
                 _ => (0, 0, 0),
             };
+        let bp_after = buffer_pool.stats();
 
         prev_aggregates = outcome.aggregates.clone();
         stats.per_superstep.push(SuperstepStats {
@@ -478,6 +504,9 @@ fn superstep_loop<P: VertexProgram + 'static>(
             wal_records,
             wal_bytes,
             flush_bytes,
+            resident_bytes: buffer_pool.peak_resident_bytes(),
+            evictions: bp_after.evictions - bp_before.evictions,
+            reloads: bp_after.reloads - bp_before.reloads,
         });
         stats.total_messages += outcome.messages as u64;
         stats.supersteps = superstep + 1 - start_superstep;

@@ -2123,7 +2123,7 @@ mod tests {
         let handle = db.catalog().get("t").unwrap();
         {
             let guard = handle.read();
-            let seg = &guard.segments()[0];
+            let seg = guard.segments()[0].read().unwrap();
             assert_eq!(seg.num_blocks(), 3);
             for b in 0..seg.num_blocks() {
                 let (start, len) = seg.block_range(b);

@@ -11,6 +11,7 @@ use std::sync::Arc;
 use parking_lot::RwLock;
 use vertexica_common::FxHashMap;
 
+use crate::buffer_pool::BufferPool;
 use crate::error::{StorageError, StorageResult};
 use crate::persist;
 use crate::table::{Table, TableOptions};
@@ -30,6 +31,11 @@ pub type TableRef = Arc<RwLock<Table>>;
 pub struct Catalog {
     tables: RwLock<FxHashMap<String, TableRef>>,
     wal: RwLock<Option<Arc<WalSink>>>,
+    /// The segment buffer pool every table's ROS segments register with.
+    /// Its budget defaults from `VERTEXICA_MEMORY_BUDGET` (unbounded when
+    /// unset); eviction only bites on durable catalogs, where checkpointed
+    /// segments have spill images to reload from.
+    pool: Arc<BufferPool>,
 }
 
 fn normalize(name: &str) -> String {
@@ -52,10 +58,19 @@ impl Catalog {
         self.wal.read().is_some()
     }
 
+    /// The segment buffer pool shared by all of this catalog's tables.
+    pub fn buffer_pool(&self) -> &Arc<BufferPool> {
+        &self.pool
+    }
+
     /// Attaches the durability sink to the catalog and to every table it
     /// currently holds. Called once by [`crate::wal::open_durable`], after
     /// recovery replay (so replay itself is not re-logged).
     pub(crate) fn attach_wal(&self, wal: Arc<WalSink>) {
+        // Wire the sink and pool together: GC keeps spill-referenced files,
+        // and evicted segments reload out of the sink's directory.
+        wal.attach_pool(self.pool.clone());
+        self.pool.set_dir(wal.dir());
         let tables = self.tables.write();
         for (name, t) in tables.iter() {
             wal.ensure_meta(name);
@@ -82,6 +97,7 @@ impl Catalog {
         }
         let mut table = Table::new(key.clone(), schema, options);
         table.set_wal(wal);
+        table.set_pool(Some(self.pool.clone()));
         let table = Arc::new(RwLock::new(table));
         tables.insert(key, table.clone());
         Ok(table)
@@ -101,6 +117,7 @@ impl Catalog {
             w.log_register_table(&key, &persist::table_to_bytes_physical(&table)?)?;
         }
         table.set_wal(wal);
+        table.set_pool(Some(self.pool.clone()));
         let table = Arc::new(RwLock::new(table));
         tables.insert(key, table.clone());
         Ok(table)
@@ -219,13 +236,18 @@ impl Catalog {
     /// writer can slip a record against the doomed old contents in between.
     pub fn replace_contents_many(&self, tables: Vec<(String, Table)>) -> StorageResult<()> {
         let wal = self.wal.read().clone();
-        // Normalize names, set them on the fresh tables, serialize images.
-        let mut prepared: Vec<(String, Table, Option<Vec<u8>>)> = Vec::with_capacity(tables.len());
+        // Normalize names, set them on the fresh tables, serialize images
+        // (keeping each segment's byte span for spill addressing).
+        type Prep = (String, Table, Option<(Vec<u8>, Vec<persist::SegmentSpan>)>);
+        let mut prepared: Vec<Prep> = Vec::with_capacity(tables.len());
         for (name, mut table) in tables {
             let key = normalize(&name);
             table.set_name(key.clone());
-            let bytes =
-                if wal.is_some() { Some(persist::table_to_bytes_physical(&table)?) } else { None };
+            let bytes = if wal.is_some() {
+                Some(persist::table_to_bytes_physical_indexed(&table)?)
+            } else {
+                None
+            };
             prepared.push((key, table, bytes));
         }
         prepared.sort_by(|a, b| a.0.cmp(&b.0));
@@ -240,23 +262,44 @@ impl Catalog {
         let refs: Vec<TableRef> =
             prepared.iter().map(|(name, _, _)| self.get(name)).collect::<StorageResult<_>>()?;
         let mut guards: Vec<_> = refs.iter().map(|r| r.write()).collect();
-        if let Some(w) = &wal {
+        let mut spans: Vec<Vec<persist::SegmentSpan>> = Vec::new();
+        let files: Option<Vec<(String, String)>> = if let Some(w) = &wal {
             let entries: Vec<(String, Vec<u8>)> = prepared
                 .iter_mut()
-                .map(|(name, _, bytes)| (name.clone(), bytes.take().expect("serialized above")))
+                .map(|(name, _, bytes)| {
+                    let (bytes, sp) = bytes.take().expect("serialized above");
+                    spans.push(sp);
+                    (name.clone(), bytes)
+                })
                 .collect();
-            w.commit_replace(&entries)?;
-        }
-        for (guard, (_, mut table, _)) in guards.iter_mut().zip(prepared) {
+            Some(w.commit_replace(&entries)?)
+        } else {
+            None
+        };
+        for (i, (guard, (_, mut table, _))) in guards.iter_mut().zip(prepared).enumerate() {
             table.set_wal(wal.clone());
+            table.set_pool(Some(self.pool.clone()));
+            // The commit wrote this table's image; its segments now have
+            // disk twins at the recorded spans and are evictable.
+            if let Some(files) = &files {
+                table.assign_spill_addrs(&files[i].1, &spans[i])?;
+            }
             **guard = table;
         }
+        drop(guards);
+        // The old contents just dropped and new ones landed: re-enforce the
+        // budget now that residency moved.
+        self.pool.enforce();
         Ok(())
     }
 
-    /// Flushes every table's physical image to segment files, publishes a
-    /// fresh manifest, and — since nothing is left unflushed — rotates
-    /// (truncates) the WAL. No-op without an attached sink.
+    /// Flushes every **dirty** table's physical image to a segment file,
+    /// publishes a fresh manifest, and — once nothing is left unflushed —
+    /// rotates (truncates) the WAL. Clean tables keep their existing image
+    /// files, watermarks, and segment spill addresses. Each flushed image
+    /// becomes the spill twin of that table's segments, making them
+    /// evictable; the budget is re-enforced before returning. No-op without
+    /// an attached sink.
     pub fn checkpoint(&self) -> StorageResult<()> {
         let Some(wal) = self.wal_sink() else { return Ok(()) };
         // Holding the map write lock blocks DDL (not data writes, which go
@@ -266,14 +309,21 @@ impl Catalog {
         let mut names: Vec<&String> = tables.keys().collect();
         names.sort();
         for name in names {
+            if !wal.needs_flush(name) {
+                continue;
+            }
             // Hold the table's read lock across the flush: writers log under
             // the write lock, so nothing can slip a record between the image
             // serialization and the watermark sample inside `flush_table`.
             let guard = tables[name].read();
-            let bytes = persist::table_to_bytes_physical(&guard)?;
-            wal.flush_table(name, &bytes)?;
+            let (bytes, spans) = persist::table_to_bytes_physical_indexed(&guard)?;
+            let file = wal.flush_table(name, &bytes)?;
+            guard.assign_spill_addrs(&file, &spans)?;
         }
-        wal.finish_checkpoint()
+        wal.finish_checkpoint()?;
+        drop(tables);
+        self.pool.enforce();
+        Ok(())
     }
 
     /// Sorted list of table names.

@@ -21,10 +21,14 @@
 //! * [`wal`] — the durability layer: an append-only, checksummed write-ahead
 //!   log, segment flushing, a manifest-anchored checkpoint/truncate cycle,
 //!   and crash recovery ([`wal::open_durable`]) with byte-budget crash
-//!   injection for testing.
+//!   injection for testing;
+//! * [`buffer_pool`] — out-of-core scans: a byte-budgeted clock pool over
+//!   cold ROS segments, evicting checkpointed segments under memory
+//!   pressure and reloading them from their `.vxtb` spill images on demand.
 
 pub mod batch;
 pub mod bitmap;
+pub mod buffer_pool;
 pub mod catalog;
 pub mod column;
 pub mod encoding;
@@ -37,6 +41,7 @@ pub mod wal;
 
 pub use batch::RecordBatch;
 pub use bitmap::Bitmap;
+pub use buffer_pool::{BufferPool, PinnedSegment, PoolStats, SegmentHandle, SpillAddr};
 pub use catalog::Catalog;
 pub use column::{Column, ColumnBuilder, ColumnData};
 pub use error::{StorageError, StorageResult};

@@ -498,6 +498,31 @@ pub(crate) fn check_magic_and_crc<'a>(buf: &'a [u8], magic: &[u8; 6]) -> Storage
 /// byte-identical under re-serialization — the durability layer's bitwise
 /// recovery invariant rests on this.
 pub fn table_to_bytes_physical(table: &Table) -> StorageResult<Vec<u8>> {
+    Ok(table_to_bytes_physical_indexed(table)?.0)
+}
+
+/// The byte span of one serialized segment inside a
+/// [`table_to_bytes_physical`] image, plus the CRC of those bytes — enough
+/// to re-read a single segment out of a checkpoint file without parsing the
+/// rest (see [`read_segment_at`]). The buffer pool stores these as segment
+/// spill addresses.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct SegmentSpan {
+    /// Byte offset from the start of the image file.
+    pub offset: u64,
+    /// Serialized length in bytes.
+    pub len: u64,
+    /// CRC-32 of the span bytes.
+    pub crc: u32,
+}
+
+/// [`table_to_bytes_physical`] plus the byte span of every segment within
+/// the returned image (in segment order). The image bytes are identical to
+/// the unindexed form. Segments are pinned one at a time, so serializing a
+/// partially evicted table keeps at most one reloaded segment resident.
+pub fn table_to_bytes_physical_indexed(
+    table: &Table,
+) -> StorageResult<(Vec<u8>, Vec<SegmentSpan>)> {
     let mut buf = Vec::new();
     buf.extend_from_slice(MAGIC_PHYSICAL);
     put_str(&mut buf, table.name());
@@ -510,23 +535,65 @@ pub fn table_to_bytes_physical(table: &Table) -> StorageResult<Vec<u8>> {
     }
     let segments = table.segments();
     buf.put_u32_le(segments.len() as u32);
-    for seg in segments {
-        put_segment(&mut buf, seg);
+    let mut spans = Vec::with_capacity(segments.len());
+    for handle in segments {
+        let seg = handle.read()?;
+        let offset = buf.len() as u64;
+        put_segment(&mut buf, &seg);
+        let len = buf.len() as u64 - offset;
+        spans.push(SegmentSpan { offset, len, crc: crc32(&buf[offset as usize..]) });
     }
     for dv in table.delete_vectors() {
         put_bitmap(&mut buf, dv);
     }
     let crc = crc32(&buf);
     buf.put_u32_le(crc);
-    Ok(buf)
+    Ok((buf, spans))
+}
+
+/// Re-reads a single segment out of a checkpoint image file by its
+/// [`SegmentSpan`], validating the span CRC and that the span parses fully.
+/// This is the buffer pool's reload-on-miss path: it touches `len` bytes of
+/// the file instead of deserializing the whole table.
+pub fn read_segment_at(
+    path: impl AsRef<Path>,
+    offset: u64,
+    len: u64,
+    crc: u32,
+) -> StorageResult<Segment> {
+    use std::io::{Read, Seek, SeekFrom};
+    let mut f = std::fs::File::open(path)?;
+    f.seek(SeekFrom::Start(offset))?;
+    let mut bytes = vec![0u8; len as usize];
+    f.read_exact(&mut bytes)?;
+    if crc32(&bytes) != crc {
+        return Err(StorageError::Corrupt("segment spill checksum mismatch".into()));
+    }
+    let mut p = bytes.as_slice();
+    let seg = get_segment(&mut p)?;
+    if !p.is_empty() {
+        return Err(StorageError::Corrupt("trailing bytes after segment span".into()));
+    }
+    Ok(seg)
 }
 
 /// Reconstructs a table from [`table_to_bytes_physical`] bytes, validating
 /// shapes via `Table::from_parts`. Any truncation, bit flip, or tag
 /// corruption yields [`StorageError::Corrupt`].
 pub fn table_from_bytes_physical(buf: &[u8]) -> StorageResult<Table> {
-    let mut buf = check_magic_and_crc(buf, MAGIC_PHYSICAL)?;
+    Ok(table_from_bytes_physical_indexed(buf)?.0)
+}
+
+/// [`table_from_bytes_physical`] plus the byte span of every segment within
+/// `buf` (in segment order), so a caller that just wrote or read `buf` as a
+/// checkpoint file can hand the spans to the buffer pool as spill
+/// addresses.
+pub fn table_from_bytes_physical_indexed(full: &[u8]) -> StorageResult<(Table, Vec<SegmentSpan>)> {
+    let mut buf = check_magic_and_crc(full, MAGIC_PHYSICAL)?;
     let buf = &mut buf;
+    // `buf` is a subslice of `full` ending at the CRC trailer, so the file
+    // offset of the parse position is recoverable from its remaining length.
+    let offset_of = |rest: &[u8]| (full.len() - 4 - rest.len()) as u64;
     let name = get_str(buf)?;
     let schema = get_schema(buf)?;
     let options = get_options(buf)?;
@@ -543,14 +610,21 @@ pub fn table_from_bytes_physical(buf: &[u8]) -> StorageResult<Table> {
     }
     let nsegs = buf.get_u32_le() as usize;
     let mut segments = Vec::with_capacity(nsegs.min(1 << 22));
+    let mut spans = Vec::with_capacity(nsegs.min(1 << 22));
     for _ in 0..nsegs {
+        let offset = offset_of(buf);
         segments.push(get_segment(buf)?);
+        let end = offset_of(buf);
+        let len = end - offset;
+        let crc = crc32(&full[offset as usize..end as usize]);
+        spans.push(SegmentSpan { offset, len, crc });
     }
     let mut delete_vectors = Vec::with_capacity(nsegs.min(1 << 22));
     for _ in 0..nsegs {
         delete_vectors.push(get_bitmap(buf)?);
     }
-    Table::from_parts(name, schema, options, wos, segments, delete_vectors)
+    let table = Table::from_parts(name, schema, options, wos, segments, delete_vectors)?;
+    Ok((table, spans))
 }
 
 /// Writes a table to a file.
@@ -636,7 +710,7 @@ mod tests {
         write_table(&t, &path).unwrap();
         let back = read_table(&path).unwrap();
         assert_eq!(back.num_rows(), t.num_rows());
-        std::fs::remove_file(&path).ok();
+        std::fs::remove_file(&path).unwrap();
     }
 
     #[test]

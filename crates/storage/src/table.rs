@@ -12,6 +12,7 @@ use std::sync::Arc;
 
 use crate::batch::RecordBatch;
 use crate::bitmap::Bitmap;
+use crate::buffer_pool::{BufferPool, SegmentHandle, SpillAddr};
 use crate::column::{Column, ColumnBuilder};
 use crate::encoding::EncodedColumn;
 use crate::error::{StorageError, StorageResult};
@@ -298,6 +299,12 @@ impl Segment {
         Ok(Segment { num_rows, columns, zone_maps, block_zone_maps })
     }
 
+    /// Estimated encoded size in bytes — the unit of buffer-pool byte
+    /// accounting (column payloads only; zone-map overhead is negligible).
+    pub fn estimated_bytes(&self) -> usize {
+        self.columns.iter().map(|c| c.size_estimate()).sum()
+    }
+
     fn decode_column(&self, col: usize) -> StorageResult<Column> {
         self.columns[col].decode()
     }
@@ -328,7 +335,7 @@ pub struct Table {
     schema: Arc<Schema>,
     options: TableOptions,
     wos: Vec<Row>,
-    segments: Vec<Arc<Segment>>,
+    segments: Vec<SegmentHandle>,
     delete_vectors: Vec<Bitmap>,
     /// Monotonic count of segments skipped by zone-map pruning across all
     /// scans of this table handle — observability for "did the pruning
@@ -353,6 +360,10 @@ pub struct Table {
     /// `_unlogged` method variants are the apply halves, shared with WAL
     /// replay so recovery reproduces the original mutations deterministically.
     wal: Option<Arc<WalSink>>,
+    /// Segment buffer pool, when this table belongs to a catalog. Every ROS
+    /// segment handle is registered here so cold segments can be evicted
+    /// under a memory budget and reloaded from their checkpoint images.
+    pool: Option<Arc<BufferPool>>,
 }
 
 impl Table {
@@ -368,6 +379,7 @@ impl Table {
             blocks_pruned: Arc::new(std::sync::atomic::AtomicU64::new(0)),
             bytes_decoded: Arc::new(std::sync::atomic::AtomicU64::new(0)),
             wal: None,
+            pool: None,
         }
     }
 
@@ -408,7 +420,7 @@ impl Table {
         }
         let mut t = Table::new(name, schema, options);
         t.wos = wos;
-        t.segments = segments.into_iter().map(Arc::new).collect();
+        t.segments = segments.into_iter().map(|s| SegmentHandle::new(Arc::new(s))).collect();
         t.delete_vectors = delete_vectors;
         Ok(t)
     }
@@ -417,6 +429,44 @@ impl Table {
     /// mutation is WAL-logged before it is applied.
     pub(crate) fn set_wal(&mut self, wal: Option<Arc<WalSink>>) {
         self.wal = wal;
+    }
+
+    /// Attaches the segment buffer pool, registering all existing ROS
+    /// segments with its clock. New segments register as they are adopted.
+    pub(crate) fn set_pool(&mut self, pool: Option<Arc<BufferPool>>) {
+        if let Some(p) = &pool {
+            for handle in &self.segments {
+                p.register(handle);
+            }
+        }
+        self.pool = pool;
+    }
+
+    /// Records the spill addresses of this table's segments inside a freshly
+    /// written checkpoint image (`file`, with one span per segment in
+    /// order), making them evictable. Called strictly after the image is
+    /// durably on disk.
+    pub(crate) fn assign_spill_addrs(
+        &self,
+        file: &str,
+        spans: &[crate::persist::SegmentSpan],
+    ) -> StorageResult<()> {
+        if spans.len() != self.segments.len() {
+            return Err(StorageError::Internal(format!(
+                "checkpoint image has {} segment spans, table has {} segments",
+                spans.len(),
+                self.segments.len()
+            )));
+        }
+        for (handle, span) in self.segments.iter().zip(spans) {
+            handle.set_addr(SpillAddr {
+                file: file.to_string(),
+                offset: span.offset,
+                len: span.len,
+                crc: span.crc,
+            });
+        }
+        Ok(())
     }
 
     /// Whether mutations on this table are WAL-logged.
@@ -581,8 +631,20 @@ impl Table {
     /// Apply half of [`Table::adopt_segment`]: pushes an already-validated,
     /// non-empty segment. Shared with replay.
     pub(crate) fn adopt_segment_unlogged(&mut self, seg: Segment) {
+        self.push_ros_segment(seg);
+    }
+
+    /// Appends a freshly built ROS segment, registering its handle with the
+    /// buffer pool when one is attached. The new segment has no spill
+    /// address yet, so it is unevictable until the next checkpoint writes
+    /// its disk twin.
+    fn push_ros_segment(&mut self, seg: Segment) {
         self.delete_vectors.push(Bitmap::zeros(seg.num_rows()));
-        self.segments.push(Arc::new(seg));
+        let handle = SegmentHandle::new(Arc::new(seg));
+        if let Some(pool) = &self.pool {
+            pool.register(&handle);
+        }
+        self.segments.push(handle);
     }
 
     /// Flushes the WOS into a new sorted, encoded ROS segment.
@@ -630,8 +692,7 @@ impl Table {
         }
         let columns: Vec<Column> = builders.into_iter().map(|b| b.finish()).collect();
         let seg = Segment::from_columns(columns, self.options.compress);
-        self.delete_vectors.push(Bitmap::zeros(seg.num_rows()));
-        self.segments.push(Arc::new(seg));
+        self.push_ros_segment(seg);
         Ok(())
     }
 
@@ -852,8 +913,10 @@ impl Table {
         self.delete_vectors.clear();
     }
 
-    /// ROS segments (for stats, benches and persistence).
-    pub fn segments(&self) -> &[Arc<Segment>] {
+    /// ROS segment handles (for stats, benches and persistence). Call
+    /// [`SegmentHandle::read`] to pin a handle and reach the full
+    /// [`Segment`] API (reloading it from its spill image if evicted).
+    pub fn segments(&self) -> &[SegmentHandle] {
         &self.segments
     }
 
@@ -885,8 +948,12 @@ pub struct ScanCursor {
     out_schema: Arc<Schema>,
     proj: Vec<usize>,
     predicates: Vec<ColumnPredicate>,
-    /// `(segment index, segment, delete-vector snapshot)` per ROS segment.
-    segments: Vec<(u32, Arc<Segment>, Bitmap)>,
+    /// `(segment index, segment handle, delete-vector snapshot)` per ROS
+    /// segment. Holding the handles keeps the underlying pool entries — and
+    /// their reloadability — alive for the cursor's lifetime; each pull
+    /// pins its segment only for the duration of the decode, so a paused
+    /// cursor's segments stay evictable.
+    segments: Vec<(u32, SegmentHandle, Bitmap)>,
     pos: usize,
     /// The filtered WOS batch (pulled last), if any rows survived.
     wos: Option<(RecordBatch, Vec<u64>)>,
@@ -930,13 +997,17 @@ impl ScanCursor {
     pub fn next_with_rowids(&mut self) -> StorageResult<Option<(RecordBatch, Vec<u64>)>> {
         use std::sync::atomic::Ordering::Relaxed;
         while self.pos < self.segments.len() {
-            let (si, seg, dels) = &self.segments[self.pos];
+            let (si, handle, dels) = &self.segments[self.pos];
             self.pos += 1;
             // Zone-map pruning: skip the segment without decoding anything.
-            if self.predicates.iter().any(|p| !p.maybe_in(seg.zone_map(p.column))) {
+            // The handle caches the per-segment maps, so pruning an evicted
+            // segment never reloads it from disk.
+            if self.predicates.iter().any(|p| !p.maybe_in(handle.zone_map(p.column))) {
                 self.pruned.fetch_add(1, Relaxed);
                 continue;
             }
+            // Pin the segment (reloading it if evicted) for this pull only.
+            let seg = handle.read()?;
             if self.predicates.is_empty() {
                 // No predicate to localize: decode columns whole (a plain
                 // column is an Arc clone) and only filter deleted rows.
@@ -1408,7 +1479,7 @@ mod tests {
     #[test]
     fn bulk_load_carries_per_block_zone_maps() {
         let t = int_table_segment(BLOCK_ROWS * 3 + 17);
-        let seg = &t.segments()[0];
+        let seg = t.segments()[0].read().unwrap();
         assert_eq!(seg.num_blocks(), 4);
         for b in 0..seg.num_blocks() {
             let (start, len) = seg.block_range(b);
@@ -1421,7 +1492,7 @@ mod tests {
         assert_eq!(seg.block_range(3), (BLOCK_ROWS * 3, 17));
         // Single-block segments answer block queries from the segment map.
         let small = int_table_segment(10);
-        let seg = &small.segments()[0];
+        let seg = small.segments()[0].read().unwrap();
         assert_eq!(seg.num_blocks(), 1);
         assert_eq!(seg.block_zone_map(0, 0).max, Value::Int(9));
     }

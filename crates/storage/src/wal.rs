@@ -459,6 +459,10 @@ struct WalState {
     crashed: bool,
     sync: bool,
     stats: DurabilityStats,
+    /// The catalog's segment buffer pool, when attached. GC consults it so
+    /// checkpoint files still referenced by evicted-segment spill addresses
+    /// (e.g. held by an open cursor over a since-replaced table) survive.
+    pool: Option<Arc<crate::buffer_pool::BufferPool>>,
 }
 
 fn crash_err() -> StorageError {
@@ -513,6 +517,10 @@ impl WalState {
         }
         if self.sync {
             f.sync_data()?;
+            // Also sync the directory entry: without this, a crash after the
+            // checkpoint could lose the file itself even though its contents
+            // were synced (the MANIFEST rename already does the same).
+            File::open(&self.dir)?.sync_all()?;
         }
         self.stats.flush_bytes += bytes.len() as u64;
         Ok(())
@@ -607,30 +615,46 @@ impl WalState {
         }
         self.create_wal_file(new_wal)?;
         self.stats.rotations += 1;
-        self.gc();
+        self.gc()?;
         Ok(())
     }
 
-    /// Removes durability files referenced by neither the manifest tables
-    /// nor the current WAL. Only safe right after rotation (no live record
-    /// can reference a flushed file). Best-effort: IO errors are ignored.
-    fn gc(&self) {
+    /// Removes durability files referenced by neither the manifest tables,
+    /// nor the current WAL, nor any live buffer-pool spill address. Only
+    /// safe right after rotation (no live record can reference a flushed
+    /// file). I/O errors surface to the caller (a silently failed removal
+    /// would resurrect stale tables if a later crash lost the manifest);
+    /// the directory is fsynced after removals in sync mode so a crash
+    /// cannot resurrect the removed files either.
+    fn gc(&self) -> StorageResult<()> {
+        let pool_keep = self.pool.as_ref().map(|p| p.referenced_files()).unwrap_or_default();
         let keep: std::collections::HashSet<&str> = self
             .metas
             .values()
             .filter_map(|m| m.file.as_deref())
             .chain([self.wal_name.as_str()])
+            .chain(pool_keep.iter().map(String::as_str))
             .collect();
-        let Ok(entries) = std::fs::read_dir(&self.dir) else { return };
-        for entry in entries.flatten() {
+        let mut removed = false;
+        for entry in std::fs::read_dir(&self.dir)? {
+            let entry = entry?;
             let name = entry.file_name();
             let Some(name) = name.to_str() else { continue };
             let ours = (name.starts_with('t') && name.ends_with(".vxtb"))
                 || (name.starts_with("wal-") && name.ends_with(".log"));
             if ours && !keep.contains(name) {
-                let _ = std::fs::remove_file(entry.path());
+                match std::fs::remove_file(entry.path()) {
+                    Ok(()) => removed = true,
+                    // Already gone (e.g. a prior partial GC): not an error.
+                    Err(e) if e.kind() == std::io::ErrorKind::NotFound => {}
+                    Err(e) => return Err(e.into()),
+                }
             }
         }
+        if removed && self.sync {
+            File::open(&self.dir)?.sync_all()?;
+        }
+        Ok(())
     }
 }
 
@@ -743,7 +767,12 @@ impl WalSink {
     /// Callers must hold every target table's write lock across this call
     /// *and* the in-memory install that follows, so no writer can log against
     /// doomed contents after the marker.
-    pub(crate) fn commit_replace(&self, entries: &[(String, Vec<u8>)]) -> StorageResult<()> {
+    /// Returns the `(table, file)` pairs written, so the caller can record
+    /// per-segment spill addresses against the new image files.
+    pub(crate) fn commit_replace(
+        &self,
+        entries: &[(String, Vec<u8>)],
+    ) -> StorageResult<Vec<(String, String)>> {
         let mut st = self.state.lock();
         let mut pairs = Vec::with_capacity(entries.len());
         for (name, bytes) in entries {
@@ -753,31 +782,56 @@ impl WalSink {
             pairs.push((name.clone(), file));
         }
         let seq = st.append_record(&payload_commit(&pairs))?;
-        for (name, file) in pairs {
+        for (name, file) in &pairs {
             st.metas.insert(
-                name,
+                name.clone(),
                 // The flushed image includes the commit itself, so the next
                 // uncovered record is seq + 1 and the marker is not "live"
                 // for rotation purposes once a manifest references the file.
-                TableMeta { file: Some(file), watermark: seq + 1, dirty: false },
+                TableMeta { file: Some(file.clone()), watermark: seq + 1, dirty: false },
             );
         }
         st.stats.commits += 1;
-        st.publish_and_maybe_rotate()
+        st.publish_and_maybe_rotate()?;
+        Ok(pairs)
     }
 
     /// Flushes one table's physical image to a fresh segment file and moves
     /// its watermark to the current sequence head. The caller must hold the
     /// table's (read or write) lock so no mutation can interleave between
     /// serialization and the watermark sample.
-    pub(crate) fn flush_table(&self, name: &str, physical: &[u8]) -> StorageResult<()> {
+    /// Returns the new image file's name, so the caller can record
+    /// per-segment spill addresses against it.
+    pub(crate) fn flush_table(&self, name: &str, physical: &[u8]) -> StorageResult<String> {
         let mut st = self.state.lock();
         let file = st.alloc_file("t", ".vxtb");
         st.write_new_file(&file, physical)?;
         st.stats.tables_flushed += 1;
         let watermark = st.next_seq;
-        st.metas.insert(name.to_string(), TableMeta { file: Some(file), watermark, dirty: false });
-        Ok(())
+        st.metas.insert(
+            name.to_string(),
+            TableMeta { file: Some(file.clone()), watermark, dirty: false },
+        );
+        Ok(file)
+    }
+
+    /// Whether a checkpoint must re-flush `table`: true when the current WAL
+    /// file holds a live record for it or it has no flushed image at all. A
+    /// clean table's existing image (and the spill addresses pointing into
+    /// it) stays valid across the checkpoint.
+    pub(crate) fn needs_flush(&self, table: &str) -> bool {
+        let st = self.state.lock();
+        st.metas.get(table).is_none_or(|m| m.dirty || m.file.is_none())
+    }
+
+    /// Attaches the catalog's buffer pool so GC keeps spill-referenced files.
+    pub(crate) fn attach_pool(&self, pool: Arc<crate::buffer_pool::BufferPool>) {
+        self.state.lock().pool = Some(pool);
+    }
+
+    /// The durability directory this sink writes into.
+    pub(crate) fn dir(&self) -> PathBuf {
+        self.state.lock().dir.clone()
     }
 
     /// Ends a checkpoint: publishes the manifest and rotates the WAL if no
@@ -866,8 +920,17 @@ fn read_wal_records(path: &Path) -> StorageResult<Vec<(u64, WalRecord)>> {
     };
     if bytes.len() < WAL_MAGIC.len() + 8 {
         // A header torn mid-write: the log holds nothing. Remove the stump so
-        // the sink recreates a clean header.
-        let _ = std::fs::remove_file(path);
+        // the sink recreates a clean header — and surface removal failures,
+        // since a lingering stump would shadow the recreated log.
+        match std::fs::remove_file(path) {
+            Ok(()) => {
+                if let Some(parent) = path.parent() {
+                    File::open(parent)?.sync_all()?;
+                }
+            }
+            Err(e) if e.kind() == std::io::ErrorKind::NotFound => {}
+            Err(e) => return Err(e.into()),
+        }
         return Ok(Vec::new());
     }
     if &bytes[..WAL_MAGIC.len()] != WAL_MAGIC {
@@ -904,6 +967,9 @@ pub fn open_durable(dir: impl AsRef<Path>, sync: bool) -> StorageResult<Arc<Cata
     let dir = dir.as_ref().to_path_buf();
     std::fs::create_dir_all(&dir)?;
     let catalog = Arc::new(Catalog::new());
+    // Point the buffer pool at the durable directory up front so segments
+    // loaded below are evictable as soon as their spill addresses land.
+    catalog.buffer_pool().set_dir(dir.clone());
 
     let manifest = match std::fs::read(dir.join(MANIFEST_NAME)) {
         Ok(bytes) => Some(parse_manifest(&bytes)?),
@@ -918,9 +984,12 @@ pub fn open_durable(dir: impl AsRef<Path>, sync: bool) -> StorageResult<Arc<Cata
             floor = m.next_seq;
             for (name, file, watermark) in &m.tables {
                 let bytes = std::fs::read(dir.join(file))?;
-                let mut table = persist::table_from_bytes_physical(&bytes)?;
+                let (mut table, spans) = persist::table_from_bytes_physical_indexed(&bytes)?;
                 table.set_name(name.clone());
                 catalog.register(table)?;
+                // The image we just parsed IS the spill file: its segments
+                // are evictable immediately.
+                catalog.get(name)?.read().assign_spill_addrs(file, &spans)?;
                 metas.insert(
                     name.clone(),
                     TableMeta { file: Some(file.clone()), watermark: *watermark, dirty: false },
@@ -1024,14 +1093,15 @@ pub fn open_durable(dir: impl AsRef<Path>, sync: bool) -> StorageResult<Arc<Cata
                 for (table, file) in tables {
                     if seq >= watermark_of(&metas, &table) {
                         let bytes = std::fs::read(dir.join(&file))?;
-                        let fresh = persist::table_from_bytes_physical(&bytes)?;
+                        let (mut fresh, spans) =
+                            persist::table_from_bytes_physical_indexed(&bytes)?;
                         if catalog.contains(&table) {
                             catalog.replace_contents(&table, fresh)?;
                         } else {
-                            let mut fresh = fresh;
                             fresh.set_name(table.clone());
                             catalog.register(fresh)?;
                         }
+                        catalog.get(&table)?.read().assign_spill_addrs(&file, &spans)?;
                         metas.insert(
                             table,
                             TableMeta { file: Some(file), watermark: seq + 1, dirty: false },
@@ -1075,6 +1145,7 @@ pub fn open_durable(dir: impl AsRef<Path>, sync: bool) -> StorageResult<Arc<Cata
             crashed: false,
             sync,
             stats: DurabilityStats::default(),
+            pool: None,
         }),
     });
 

@@ -209,8 +209,9 @@ fn segmented_replace_produces_correct_zone_maps_and_prunable_segments() {
     assert!(guard.num_segments() >= 2, "need bucket segments for pruning to matter");
 
     // (a) Every segment's id zone map actually bounds its ids.
-    for (si, seg) in guard.segments().iter().enumerate() {
-        let zm = seg.zone_map(0);
+    for (si, handle) in guard.segments().iter().enumerate() {
+        let zm = handle.zone_map(0);
+        let seg = handle.read().unwrap();
         let ids = seg.encoded_column(0).decode().unwrap();
         let min = zm.min.as_int().expect("int zone-map min");
         let max = zm.max.as_int().expect("int zone-map max");
