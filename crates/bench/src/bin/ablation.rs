@@ -2,7 +2,7 @@
 //!
 //! ```text
 //! cargo run -p vertexica-bench --release --bin ablation -- \
-//!     [--exp union-vs-join|worker-scaling|batching|update-vs-replace|pool-size|pipeline|expr|wal|evict|all]
+//!     [--exp union-vs-join|worker-scaling|batching|update-vs-replace|pool-size|pipeline|expr|wal|evict|shard|all]
 //! ```
 
 use std::sync::Arc;
@@ -190,6 +190,10 @@ fn main() {
 
     if exp == "evict" || exp == "all" {
         evict_ablation(&graph, &cfg);
+    }
+
+    if exp == "shard" || exp == "all" {
+        shard_ablation(&graph, &cfg);
     }
 
     if exp == "update-vs-replace" || exp == "all" {
@@ -407,6 +411,80 @@ fn evict_ablation(graph: &vertexica_common::graph::EdgeList, cfg: &HarnessConfig
     );
     std::fs::write("BENCH_pr8.json", &json).expect("write BENCH_pr8.json");
     println!("wrote BENCH_pr8.json");
+    println!();
+}
+
+/// Sharded-execution ablation: the same PageRank run on 1, 2 and 4 engine
+/// shards — isolating what graph partitioning, outbox routing and
+/// prescan-sealed cross-shard dataflow cost (and what they move: remote
+/// rows, routed bytes, load skew, early partition seals). On few-core hosts
+/// the routing counters — not wall clock — are the experiment; the JSON
+/// discloses the core count for exactly that reason. Writes
+/// `BENCH_pr9.json` into the current directory.
+fn shard_ablation(graph: &vertexica_common::graph::EdgeList, cfg: &HarnessConfig) {
+    use vertexica::shard::{run_sharded, ShardedDatabase, ShardedGraphSession};
+
+    println!("## Sharded execution: shard-count sweep (PageRank, in-memory)");
+    println!("# Ownership is the engine-wide key hash over vertex id, so vertex");
+    println!("# rows, outbound edges and inbound messages are shard-local by");
+    println!("# construction — only produced messages route, through lock-free");
+    println!("# per-(src,dst) outboxes while both sides still stream. remote-rows /");
+    println!("# routed-bytes count that traffic; skew is the max/mean worker-input");
+    println!("# ratio across shards; early-dispatches are partitions sealed by the");
+    println!("# summed prescan counts before end-of-stream. shards=1 is the plain");
+    println!("# single-database engine, byte for byte.");
+    // The combiner is pinned off on every variant (the sharded coordinator
+    // coerces it off; the 1-shard baseline must run the same fold), so ranks
+    // are bitwise-comparable across the sweep.
+    let config = VertexicaConfig::default()
+        .with_workers(4)
+        .with_partitions(16)
+        .with_combiner(false)
+        .with_replace_threshold(0.0);
+    let mut lines = Vec::new();
+    let mut reference: Option<Vec<(vertexica_common::VertexId, f64)>> = None;
+    for shards in [1usize, 2, 4] {
+        let db = ShardedDatabase::new(shards);
+        let ss = ShardedGraphSession::create(db, "bench").expect("create sharded session");
+        ss.load_edges(graph).expect("load edges");
+        let sw = Stopwatch::start();
+        let stats = run_sharded(&ss, Arc::new(PageRank::new(5, 0.85)), &config).unwrap();
+        let secs = sw.elapsed_secs();
+        let remote: u64 = stats.per_superstep.iter().map(|s| s.remote_messages).sum();
+        let routed: u64 = stats.per_superstep.iter().map(|s| s.routed_bytes).sum();
+        let early: usize = stats.per_superstep.iter().map(|s| s.early_dispatches).sum();
+        let skew = stats.per_superstep.iter().map(|s| s.shard_skew).fold(1.0f64, f64::max);
+        let ranks: Vec<(vertexica_common::VertexId, f64)> =
+            ss.vertex_values().expect("readable ranks");
+        match &reference {
+            None => reference = Some(ranks),
+            Some(expected) => {
+                assert_eq!(&ranks, expected, "shards={shards}: ranks diverged from 1-shard")
+            }
+        }
+        println!(
+            "shards={shards:<2} {secs:.3}s  remote-rows={remote} routed-bytes={routed}B \
+             skew={skew:.3} early-dispatches={early} supersteps={}",
+            stats.supersteps
+        );
+        lines.push(format!(
+            "    {{\"shards\": {shards}, \"secs\": {secs:.6}, \"remote_messages\": {remote}, \
+             \"routed_bytes\": {routed}, \"shard_skew\": {skew:.4}, \
+             \"early_dispatches\": {early}, \"supersteps\": {}}}",
+            stats.supersteps
+        ));
+    }
+    let cores = std::thread::available_parallelism().map(|p| p.get()).unwrap_or(1);
+    let json = format!(
+        "{{\n  \"experiment\": \"shard\",\n  \"cores\": {cores},\n  \"scale\": {},\n  \
+         \"workload\": \"pagerank x5 on twitter profile, in-memory, combiner off\",\n  \
+         \"note\": \"routing counters are the experiment on few-core hosts; \
+         wall-clock deltas are not meaningful at cores={cores}\",\n  \"variants\": [\n{}\n  ]\n}}\n",
+        cfg.scale,
+        lines.join(",\n")
+    );
+    std::fs::write("BENCH_pr9.json", &json).expect("write BENCH_pr9.json");
+    println!("wrote BENCH_pr9.json");
     println!();
 }
 

@@ -656,6 +656,143 @@ pub fn default_parallelism() -> usize {
     std::thread::available_parallelism().map(|n| n.get()).unwrap_or(4)
 }
 
+/// A lock-free single-consumer mailbox: the cross-shard message channel of
+/// the sharded engine. One `Outbox` exists per (source shard, destination
+/// shard) pair; the source's assemble loop pushes remote-owned row batches
+/// as it scatters chunks, and the destination drains between its own chunks
+/// — so inter-shard rows flow *while both sides are still streaming*, with
+/// no barrier on the data path.
+///
+/// The data path is lock-free: `push` is a Treiber-stack CAS, `try_drain`
+/// a single `swap`. Batches come back in reverse push order (LIFO), which
+/// is fine for every use in this codebase — the vertex worker canonically
+/// sorts its whole input, so arrival order never reaches the output.
+/// Consumer registration uses a `OnceLock` set once before the stream
+/// starts; producers `unpark` the registered consumer after each push so a
+/// parked `drain_wait` wakes promptly (and a `park_timeout` backstop covers
+/// the unregistered window).
+pub struct Outbox<T> {
+    head: std::sync::atomic::AtomicPtr<OutboxNode<T>>,
+    closed: AtomicBool,
+    consumer: std::sync::OnceLock<std::thread::Thread>,
+    // `Mutex<T>` phantom: `Sync` exactly when `T: Send` (the consumer takes
+    // ownership of items; nothing is ever shared by reference).
+    _marker: std::marker::PhantomData<Mutex<T>>,
+}
+
+struct OutboxNode<T> {
+    item: T,
+    next: *mut OutboxNode<T>,
+}
+
+impl<T> Default for Outbox<T> {
+    fn default() -> Self {
+        Self::new()
+    }
+}
+
+impl<T> Outbox<T> {
+    /// An empty, open outbox with no registered consumer.
+    pub fn new() -> Self {
+        Self {
+            head: std::sync::atomic::AtomicPtr::new(std::ptr::null_mut()),
+            closed: AtomicBool::new(false),
+            consumer: std::sync::OnceLock::new(),
+            _marker: std::marker::PhantomData,
+        }
+    }
+
+    /// Registers the calling thread as the consumer; subsequent pushes and
+    /// the close will `unpark` it. First registration wins (single-consumer).
+    pub fn register_consumer(&self) {
+        let _ = self.consumer.set(std::thread::current());
+        // A push may have raced ahead of registration and skipped the wake;
+        // self-unpark so the first `drain_wait` never waits a full timeout
+        // on an already-populated mailbox.
+        std::thread::current().unpark();
+    }
+
+    fn wake_consumer(&self) {
+        if let Some(t) = self.consumer.get() {
+            t.unpark();
+        }
+    }
+
+    /// Pushes one item (lock-free). Callers must not push after [`close`](Self::close)
+    /// (checked in debug builds).
+    pub fn push(&self, item: T) {
+        debug_assert!(!self.closed.load(Ordering::Acquire), "push into a closed Outbox");
+        let node = Box::into_raw(Box::new(OutboxNode { item, next: std::ptr::null_mut() }));
+        let mut head = self.head.load(Ordering::Acquire);
+        loop {
+            // SAFETY: `node` is exclusively ours until the CAS publishes it.
+            unsafe { (*node).next = head };
+            match self.head.compare_exchange_weak(head, node, Ordering::AcqRel, Ordering::Acquire) {
+                Ok(_) => break,
+                Err(current) => head = current,
+            }
+        }
+        self.wake_consumer();
+    }
+
+    /// Marks the stream complete: after every pushed item is drained,
+    /// `drain_wait` returns `None`.
+    pub fn close(&self) {
+        self.closed.store(true, Ordering::Release);
+        self.wake_consumer();
+    }
+
+    /// Whether the producer has marked the stream complete. Read this
+    /// *before* a final [`try_drain`](Self::try_drain): close happens-after
+    /// the last push, so `closed` + one more drain observes every item.
+    pub fn is_closed(&self) -> bool {
+        self.closed.load(Ordering::Acquire)
+    }
+
+    /// Takes everything currently queued without blocking (possibly empty).
+    /// Items arrive in reverse push order.
+    pub fn try_drain(&self) -> Vec<T> {
+        let mut node = self.head.swap(std::ptr::null_mut(), Ordering::AcqRel);
+        let mut out = Vec::new();
+        while !node.is_null() {
+            // SAFETY: the swap took exclusive ownership of the whole chain.
+            let boxed = unsafe { Box::from_raw(node) };
+            node = boxed.next;
+            out.push(boxed.item);
+        }
+        out
+    }
+
+    /// Blocks until at least one item is available (returning the whole
+    /// current batch) or the outbox is closed *and* empty (returning
+    /// `None`). Producers push-then-close, so observing `closed` and then
+    /// draining empty means the stream is truly finished.
+    pub fn drain_wait(&self) -> Option<Vec<T>> {
+        loop {
+            let items = self.try_drain();
+            if !items.is_empty() {
+                return Some(items);
+            }
+            if self.closed.load(Ordering::Acquire) {
+                // Re-drain after observing the close: a final push
+                // happens-before the close in the producer.
+                let items = self.try_drain();
+                return if items.is_empty() { None } else { Some(items) };
+            }
+            std::thread::park_timeout(Duration::from_millis(1));
+        }
+    }
+}
+
+impl<T> Drop for Outbox<T> {
+    fn drop(&mut self) {
+        // Free anything never drained.
+        for item in self.try_drain() {
+            drop(item);
+        }
+    }
+}
+
 #[cfg(test)]
 mod tests {
     use super::*;
@@ -1097,5 +1234,70 @@ mod tests {
         let delta = pool.metrics().delta_since(&before);
         assert_eq!(delta.tasks_executed, 6);
         assert!(delta.queue_wait_secs > 0.0, "queued tasks should have waited: {delta:?}");
+    }
+
+    #[test]
+    fn outbox_delivers_everything_once() {
+        let outbox = Outbox::new();
+        for i in 0..5 {
+            outbox.push(i);
+        }
+        let mut got = outbox.try_drain();
+        got.sort_unstable();
+        assert_eq!(got, vec![0, 1, 2, 3, 4]);
+        assert!(outbox.try_drain().is_empty());
+    }
+
+    #[test]
+    fn outbox_drain_wait_sees_stream_end() {
+        let outbox = Arc::new(Outbox::new());
+        let producer = {
+            let outbox = outbox.clone();
+            std::thread::spawn(move || {
+                for i in 0..1000u64 {
+                    outbox.push(i);
+                    if i % 97 == 0 {
+                        std::thread::yield_now();
+                    }
+                }
+                outbox.close();
+            })
+        };
+        outbox.register_consumer();
+        let mut got = Vec::new();
+        while let Some(batch) = outbox.drain_wait() {
+            got.extend(batch);
+        }
+        producer.join().unwrap();
+        got.sort_unstable();
+        assert_eq!(got.len(), 1000);
+        assert_eq!(got, (0..1000).collect::<Vec<_>>());
+        assert!(outbox.is_closed());
+        // After end-of-stream, further waits return immediately.
+        assert!(outbox.drain_wait().is_none());
+    }
+
+    #[test]
+    fn outbox_close_wakes_blocked_consumer() {
+        let outbox = Arc::new(Outbox::<u64>::new());
+        let consumer = {
+            let outbox = outbox.clone();
+            std::thread::spawn(move || {
+                outbox.register_consumer();
+                outbox.drain_wait()
+            })
+        };
+        std::thread::sleep(std::time::Duration::from_millis(10));
+        outbox.close();
+        assert_eq!(consumer.join().unwrap(), None);
+    }
+
+    #[test]
+    fn outbox_drop_frees_undrained_items() {
+        // Mostly a miri/asan courtesy: leak-free teardown of a non-empty box.
+        let outbox = Outbox::new();
+        outbox.push(String::from("left behind"));
+        outbox.push(String::from("also left"));
+        drop(outbox);
     }
 }

@@ -52,6 +52,11 @@ pub struct SuperstepOutcome {
     pub all_halted: bool,
     /// Merged aggregator values for the next superstep.
     pub aggregates: FxHashMap<String, f64>,
+    /// Per-vertex aggregator partials `(name, vid, value)`, sorted by
+    /// (name, vid). The sharded coordinator folds the merge of every shard's
+    /// partials in this order — per-shard folded f64 sums are not bitwise
+    /// recombinable, the global fold must see the raw per-vertex terms.
+    pub agg_partials: Vec<(String, i64, f64)>,
     /// Width of the apply fan-out: the number of segment buckets built in
     /// parallel on the pool (1 for the serial one-shot SQL path).
     pub apply_parallelism: usize,
@@ -72,8 +77,8 @@ pub struct OutputAccumulator {
     updates: Vec<(i64, Vec<u8>, bool)>,
     /// Parsed message rows: (recipient, sender, payload).
     messages: Vec<(u64, u64, Vec<u8>)>,
-    /// Per-partition aggregator partials: (partition, name, value).
-    agg_partials: Vec<(usize, String, f64)>,
+    /// Per-vertex aggregator partials: (name, vid, value).
+    agg_partials: Vec<(String, i64, f64)>,
     agg_specs: FxHashMap<String, AggKind>,
 }
 
@@ -105,9 +110,12 @@ impl OutputAccumulator {
     }
 
     /// Parses one partition's worker output batches into the accumulator.
-    /// `partition` tags aggregator partials so their final fold order is
-    /// deterministic regardless of completion order.
+    /// Aggregator partials arrive tagged with their vertex id, so their
+    /// final fold order — (name, vid) — is deterministic regardless of
+    /// completion order, partitioning, or sharding. (`partition` is kept for
+    /// signature symmetry with [`ParallelApply::absorb`].)
     pub fn absorb(&mut self, partition: usize, batches: &[RecordBatch]) -> VertexicaResult<()> {
+        let _ = partition;
         for batch in batches {
             for i in 0..batch.num_rows() {
                 let row = batch.row(i);
@@ -141,13 +149,16 @@ impl OutputAccumulator {
                                 "aggregate row without name".into(),
                             ));
                         };
+                        let vid = row[1].as_int().ok_or_else(|| {
+                            VertexicaError::Runtime("aggregate row without vid".into())
+                        })?;
                         let v = row[6].as_float().unwrap_or(0.0);
                         if !self.agg_specs.contains_key(&name) {
                             return Err(VertexicaError::Runtime(format!(
                                 "unknown aggregator {name}"
                             )));
                         }
-                        self.agg_partials.push((partition, name, v));
+                        self.agg_partials.push((name, vid, v));
                     }
                     other => {
                         return Err(VertexicaError::Runtime(format!("bad output kind {other}")));
@@ -238,13 +249,13 @@ pub fn apply_accumulated<P: VertexProgram>(
     // contents feeding the next superstep) deterministic.
     updates.sort();
     messages.sort();
-    agg_partials.sort_by(|a, b| (a.0, &a.1).cmp(&(b.0, &b.1)));
+    agg_partials.sort_by(|a, b| (&a.0, a.1).cmp(&(&b.0, b.1)));
 
     let mut agg: FxHashMap<String, (AggKind, f64)> = FxHashMap::default();
-    for (_, name, v) in agg_partials {
-        let kind = agg_specs[&name];
-        let entry = agg.entry(name).or_insert((kind, kind.identity()));
-        entry.1 = kind.combine(entry.1, v);
+    for (name, _, v) in &agg_partials {
+        let kind = agg_specs[name];
+        let entry = agg.entry(name.clone()).or_insert((kind, kind.identity()));
+        entry.1 = kind.combine(entry.1, *v);
     }
 
     // Cross-partition combine: workers pre-combined within partitions; fold
@@ -280,6 +291,7 @@ pub fn apply_accumulated<P: VertexProgram>(
         replaced,
         all_halted: remaining == 0,
         aggregates: agg.into_iter().map(|(k, (_, v))| (k, v)).collect(),
+        agg_partials,
         apply_parallelism: 1,
     })
 }
@@ -298,7 +310,7 @@ struct PartitionDelta {
     updates: Vec<UpdateRows>,
     /// Messages scattered by recipient hash: `messages[bucket]`.
     messages: Vec<MessageRows>,
-    agg_partials: Vec<(usize, String, f64)>,
+    agg_partials: Vec<(String, i64, f64)>,
     num_updates: usize,
 }
 
@@ -412,20 +424,37 @@ pub fn apply_parallel<P: VertexProgram>(
     apply: ParallelApply,
     total_vertices: u64,
 ) -> VertexicaResult<SuperstepOutcome> {
+    apply_parallel_with_extra(session, program, config, apply, total_vertices, Vec::new())
+}
+
+/// [`apply_parallel`] with additional pre-encoded table groups riding the
+/// same grouped commit. The sharded coordinator uses this to swap each
+/// shard's meta-stamp table (and, on the durable path, the retained
+/// previous-superstep message table) **atomically with** the superstep's
+/// vertex/message replacement, so crash recovery always observes a shard at
+/// exactly one superstep boundary.
+pub fn apply_parallel_with_extra<P: VertexProgram>(
+    session: &GraphSession,
+    program: &P,
+    config: &VertexicaConfig,
+    apply: ParallelApply,
+    total_vertices: u64,
+    extra_commit: Vec<(String, Vec<vertexica_storage::Segment>)>,
+) -> VertexicaResult<SuperstepOutcome> {
     let ParallelApply { agg_specs, buckets, deltas } = apply;
     let mut deltas = deltas.into_inner().unwrap();
     deltas.sort_by_key(|d| d.partition);
     let pool = session.db().runtime().clone();
 
     // ---- aggregators: identical fold order to the serial path ----
-    let mut agg_partials: Vec<(usize, String, f64)> =
+    let mut agg_partials: Vec<(String, i64, f64)> =
         deltas.iter_mut().flat_map(|d| std::mem::take(&mut d.agg_partials)).collect();
-    agg_partials.sort_by(|a, b| (a.0, &a.1).cmp(&(b.0, &b.1)));
+    agg_partials.sort_by(|a, b| (&a.0, a.1).cmp(&(&b.0, b.1)));
     let mut agg: FxHashMap<String, (AggKind, f64)> = FxHashMap::default();
-    for (_, name, v) in agg_partials {
-        let kind = agg_specs[&name];
-        let entry = agg.entry(name).or_insert((kind, kind.identity()));
-        entry.1 = kind.combine(entry.1, v);
+    for (name, _, v) in &agg_partials {
+        let kind = agg_specs[name];
+        let entry = agg.entry(name.clone()).or_insert((kind, kind.identity()));
+        entry.1 = kind.combine(entry.1, *v);
     }
 
     // ---- update-vs-replace decision (needs the global delta size) ----
@@ -582,6 +611,7 @@ pub fn apply_parallel<P: VertexProgram>(
     if let Some(segments) = vertex_segments {
         commit_group.push((session.vertex_table(), segments));
     }
+    commit_group.extend(extra_commit);
     session.db().commit_tables_segmented(commit_group)?;
     if !vertex_replaced && vertex_changes > 0 {
         // The *update* arm mutates the vertex table directly (delete +
@@ -612,6 +642,7 @@ pub fn apply_parallel<P: VertexProgram>(
         replaced,
         all_halted: remaining == 0,
         aggregates: agg.into_iter().map(|(k, (_, v))| (k, v)).collect(),
+        agg_partials,
         apply_parallelism: buckets,
     })
 }

@@ -134,6 +134,17 @@ pub struct SuperstepStats {
     /// a scan pinned them during this superstep (zero without a memory
     /// budget).
     pub reloads: u64,
+    /// Messages routed to a *different* shard through a cross-shard outbox
+    /// this superstep. Always zero on a single-database run; on a
+    /// [`crate::shard::ShardedDatabase`] run the sharded coordinator sums
+    /// every shard's outbound count.
+    pub remote_messages: u64,
+    /// Estimated bytes of cross-shard rows pushed through outboxes this
+    /// superstep (zero on a single-database run).
+    pub routed_bytes: u64,
+    /// Shard load skew: max/mean worker-input rows across shards (1.0 for a
+    /// single-database run or a perfectly balanced shard set).
+    pub shard_skew: f64,
 }
 
 /// Whole-run observability.
@@ -157,8 +168,31 @@ pub fn initialize_vertices<P: VertexProgram>(
     session: &GraphSession,
     program: &P,
 ) -> VertexicaResult<u64> {
+    let n = session.num_vertices()?;
+    initialize_vertices_with_total(session, program, n, Vec::new())?;
+    Ok(n)
+}
+
+/// [`initialize_vertices`] with the *global* vertex count supplied by the
+/// caller. A shard of a [`crate::shard::ShardedDatabase`] holds only its own
+/// vertices, but `InitContext::num_vertices` (e.g. PageRank's `1/N` seed)
+/// must reflect the whole graph — so the sharded coordinator passes the
+/// cross-shard total while each shard initializes just its local rows.
+/// Out-degrees are computed locally, which is exact because every vertex's
+/// outbound edges are colocated with it by the ownership hash.
+///
+/// `extra` rides the same grouped catalog commit as the vertex/message
+/// initialization — the sharded coordinator passes its freshly stamped
+/// shard-meta table here so a crash can never separate an initialized graph
+/// from its superstep stamp.
+pub(crate) fn initialize_vertices_with_total<P: VertexProgram>(
+    session: &GraphSession,
+    program: &P,
+    num_vertices: u64,
+    extra: Vec<(String, vertexica_storage::Table)>,
+) -> VertexicaResult<()> {
     let degrees = session.out_degrees()?;
-    let n = degrees.len() as u64;
+    let n = num_vertices;
     let mut ids = ColumnBuilder::with_capacity(DataType::Int, degrees.len());
     let mut values = ColumnBuilder::with_capacity(DataType::Blob, degrees.len());
     let mut halted = ColumnBuilder::with_capacity(DataType::Bool, degrees.len());
@@ -191,8 +225,9 @@ pub fn initialize_vertices<P: VertexProgram>(
         }
         replacements.push((name, fresh));
     }
+    replacements.extend(extra);
     catalog.replace_contents_many(replacements)?;
-    Ok(n)
+    Ok(())
 }
 
 /// Runs a vertex program to completion on a graph session.
@@ -507,6 +542,9 @@ fn superstep_loop<P: VertexProgram + 'static>(
             resident_bytes: buffer_pool.peak_resident_bytes(),
             evictions: bp_after.evictions - bp_before.evictions,
             reloads: bp_after.reloads - bp_before.reloads,
+            remote_messages: 0,
+            routed_bytes: 0,
+            shard_skew: 1.0,
         });
         stats.total_messages += outcome.messages as u64;
         stats.supersteps = superstep + 1 - start_superstep;

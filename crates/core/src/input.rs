@@ -48,6 +48,13 @@ pub fn union_schema() -> Arc<Schema> {
     ])
 }
 
+/// Reshapes a raw message-table batch to the union wire schema — how the
+/// sharded exchange (`crate::shard`) re-injects a peer's retained message
+/// rows during crash repair.
+pub(crate) fn message_union_batch(batch: &RecordBatch) -> VertexicaResult<RecordBatch> {
+    SourceKind::Message.reshape(batch, &union_schema())
+}
+
 /// Assembles worker input in the configured mode, fully materialized.
 ///
 /// This is the original (pre-streaming) form, kept for the materialized

@@ -27,12 +27,16 @@ pub mod input;
 pub mod mutation;
 pub mod pipeline;
 pub mod session;
+pub mod shard;
 pub mod worker;
 
 pub use config::{InputMode, VertexicaConfig};
 pub use coordinator::{run_program, RunStats, SuperstepStats};
 pub use error::{VertexicaError, VertexicaResult};
 pub use session::GraphSession;
+pub use shard::{
+    repair_if_needed, resume_sharded, run_sharded, ShardedDatabase, ShardedGraphSession,
+};
 
 // Re-export the layers underneath so downstream users need one dependency.
 pub use vertexica_common as common;

@@ -88,16 +88,45 @@ impl GraphSession {
     /// machinery — zone-map pruning, and the pull-based scan cursor whose
     /// in-flight unit is one segment batch — stays bounded on huge graphs.
     pub fn load_edges(&self, graph: &EdgeList) -> VertexicaResult<()> {
+        self.load_edges_shard(graph, 0, 1)
+    }
+
+    /// Sharded bulk load: keeps only the rows this engine shard **owns**
+    /// under the engine-wide ownership hash
+    /// ([`vertexica_storage::partition::int_key_partition`] over vid) —
+    /// vertex rows where `owner(id) == shard` and edge rows where
+    /// `owner(src) == shard`, so every vertex is colocated with its outbound
+    /// edges. `load_edges` is exactly shard 0 of 1 (the hash maps everything
+    /// to 0), so the single-database layout is unchanged byte for byte.
+    ///
+    /// Chunk boundaries follow the *global* id space, so each global
+    /// [`crate::input::STREAM_CHUNK_ROWS`]-row window yields at most one
+    /// (smaller) local segment per shard and segment-granular machinery
+    /// stays bounded regardless of shard count.
+    pub fn load_edges_shard(
+        &self,
+        graph: &EdgeList,
+        shard: usize,
+        num_shards: usize,
+    ) -> VertexicaResult<()> {
+        assert!(shard < num_shards.max(1), "shard {shard} out of range for {num_shards} shards");
+        let owner = |id: i64| vertexica_storage::partition::int_key_partition(id, num_shards);
         let seg_rows = crate::input::STREAM_CHUNK_ROWS;
         // Vertices.
         let n = graph.num_vertices as usize;
         let mut start = 0usize;
         while start < n {
             let end = (start + seg_rows).min(n);
-            let mut ids = ColumnBuilder::with_capacity(DataType::Int, end - start);
-            let mut values = ColumnBuilder::with_capacity(DataType::Blob, end - start);
-            let mut halted = ColumnBuilder::with_capacity(DataType::Bool, end - start);
-            for id in start..end {
+            let local: Vec<usize> =
+                (start..end).filter(|id| num_shards == 1 || owner(*id as i64) == shard).collect();
+            start = end;
+            if local.is_empty() {
+                continue;
+            }
+            let mut ids = ColumnBuilder::with_capacity(DataType::Int, local.len());
+            let mut values = ColumnBuilder::with_capacity(DataType::Blob, local.len());
+            let mut halted = ColumnBuilder::with_capacity(DataType::Bool, local.len());
+            for id in local {
                 ids.push_int(id as i64);
                 values.push_null();
                 halted.push(Value::Bool(false)).map_err(VertexicaError::from)?;
@@ -108,17 +137,21 @@ impl GraphSession {
             )
             .map_err(VertexicaError::from)?;
             self.db.append_batches(&self.vertex_table(), &[vbatch])?;
-            start = end;
         }
 
         // Edges (created = 0, etype NULL for plain loads).
         for chunk in graph.edges.chunks(seg_rows.max(1)) {
-            let mut src = ColumnBuilder::with_capacity(DataType::Int, chunk.len());
-            let mut dst = ColumnBuilder::with_capacity(DataType::Int, chunk.len());
-            let mut weight = ColumnBuilder::with_capacity(DataType::Float, chunk.len());
-            let mut created = ColumnBuilder::with_capacity(DataType::Int, chunk.len());
-            let mut etype = ColumnBuilder::with_capacity(DataType::Str, chunk.len());
-            for e in chunk {
+            let local: Vec<&Edge> =
+                chunk.iter().filter(|e| num_shards == 1 || owner(e.src as i64) == shard).collect();
+            if local.is_empty() {
+                continue;
+            }
+            let mut src = ColumnBuilder::with_capacity(DataType::Int, local.len());
+            let mut dst = ColumnBuilder::with_capacity(DataType::Int, local.len());
+            let mut weight = ColumnBuilder::with_capacity(DataType::Float, local.len());
+            let mut created = ColumnBuilder::with_capacity(DataType::Int, local.len());
+            let mut etype = ColumnBuilder::with_capacity(DataType::Str, local.len());
+            for e in local {
                 src.push_int(e.src as i64);
                 dst.push_int(e.dst as i64);
                 weight.push_float(e.weight);

@@ -34,7 +34,9 @@ pub const OUT_AGGREGATE: i64 = 2;
 /// Worker output schema:
 /// * state rows: `(0, vid, NULL, payload=new value, halted, NULL, NULL)`
 /// * message rows: `(1, recipient, sender, payload, NULL, NULL, NULL)`
-/// * aggregate rows: `(2, NULL, NULL, NULL, NULL, name, value)`
+/// * aggregate rows: `(2, vid, NULL, NULL, NULL, name, value)` — one partial
+///   per contributing vertex, so the apply-side fold order (by name, then
+///   vid) is independent of partitioning and sharding
 pub fn worker_output_schema() -> Arc<Schema> {
     Schema::new(vec![
         Field::not_null("kind", DataType::Int),
@@ -241,7 +243,7 @@ impl<P: VertexProgram> TransformUdf for VertexWorker<P> {
         let mut state_rows: Vec<(VertexId, Vec<u8>, bool)> = Vec::new();
         let mut messages: Vec<(VertexId, VertexId, Vec<u8>)> = Vec::new();
         let mut combined: FxHashMap<VertexId, (VertexId, P::Message)> = FxHashMap::default();
-        let mut agg_partials: FxHashMap<String, (AggKind, f64)> = FxHashMap::default();
+        let mut agg_partials: Vec<(VertexId, String, f64)> = Vec::new();
         let agg_specs: FxHashMap<String, AggKind> =
             self.program.aggregators().into_iter().map(|s| (s.name.to_string(), s.kind)).collect();
 
@@ -340,13 +342,24 @@ impl<P: VertexProgram> TransformUdf for VertexWorker<P> {
                 }
             }
 
-            // Aggregator contributions fold within the partition.
+            // Aggregator contributions fold **per vertex** (multiple calls by
+            // the same vertex fold in call order) and emit one partial row per
+            // (vertex, name). Per-vertex granularity is what keeps f64
+            // aggregates invariant to partition and shard membership: the
+            // apply stage folds all partials in (name, vid) order, which is
+            // the same total order however the vertices were scattered.
+            let mut per_vertex: Vec<(String, f64)> = Vec::new();
             for (name, v) in ctx.agg_out {
                 let Some(kind) = agg_specs.get(&name).copied() else {
                     return Err(SqlError::Udf(format!("unknown aggregator {name}")));
                 };
-                let entry = agg_partials.entry(name).or_insert((kind, kind.identity()));
-                entry.1 = kind.combine(entry.1, v);
+                match per_vertex.iter_mut().find(|(n, _)| *n == name) {
+                    Some(entry) => entry.1 = kind.combine(entry.1, v),
+                    None => per_vertex.push((name, kind.combine(kind.identity(), v))),
+                }
+            }
+            for (name, v) in per_vertex {
+                agg_partials.push((vid, name, v));
             }
         }
         for (to, (sender, m)) in combined {
@@ -382,9 +395,9 @@ impl<P: VertexProgram> TransformUdf for VertexWorker<P> {
             name_b.push_null();
             value_b.push_null();
         }
-        for (name, (_, v)) in agg_partials {
+        for (vid, name, v) in agg_partials {
             kind_b.push_int(OUT_AGGREGATE);
-            vid_b.push_null();
+            vid_b.push_int(vid as i64);
             other_b.push_null();
             payload_b.push_null();
             halted_b.push_null();
@@ -516,10 +529,14 @@ mod tests {
         assert_eq!(rows_of_kind(&out, OUT_STATE).len(), 3);
         // Vertices 0 and 1 send to their neighbour; 2 has no edges.
         assert_eq!(rows_of_kind(&out, OUT_MESSAGE).len(), 2);
-        // One aggregate partial row.
-        let aggs = rows_of_kind(&out, OUT_AGGREGATE);
-        assert_eq!(aggs.len(), 1);
-        assert_eq!(aggs[0][6], Value::Float(3.0));
+        // One aggregate partial row per contributing vertex.
+        let mut aggs = rows_of_kind(&out, OUT_AGGREGATE);
+        aggs.sort_by_key(|r| r[1].as_int());
+        assert_eq!(aggs.len(), 3);
+        for (i, row) in aggs.iter().enumerate() {
+            assert_eq!(row[1], Value::Int(i as i64), "partials are tagged with their vertex");
+            assert_eq!(row[6], Value::Float(1.0));
+        }
     }
 
     #[test]

@@ -821,3 +821,437 @@ fn pool_metrics_grow_monotonically_across_supersteps() {
     assert!(summed_wait <= after.queue_wait_secs - before.queue_wait_secs + 1e-9);
     assert!(summed_steals <= after.tasks_stolen - before.tasks_stolen);
 }
+
+// ---------------------------------------------------------------------------
+// Sharded execution: {1 shard} vs {2, 4 shards} must be bitwise-identical.
+// ---------------------------------------------------------------------------
+
+use vertexica::shard::{
+    repair_if_needed, resume_sharded, run_sharded, ShardedDatabase, ShardedGraphSession,
+};
+
+/// A sharded session over `graph`; durable (one WAL directory per shard)
+/// when the durability CI mode is active, in-memory otherwise — mirroring
+/// [`session_for`].
+fn sharded_session_for(graph: &EdgeList, shards: usize) -> ShardedGraphSession {
+    let db = if vertexica::config::durable_default() {
+        ShardedDatabase::create(unique_durable_dir("shard"), shards).expect("create durable shards")
+    } else {
+        ShardedDatabase::new(shards)
+    };
+    let ss = ShardedGraphSession::create(db, "g").expect("create");
+    ss.load_edges(graph).expect("load");
+    ss
+}
+
+/// The merged vertex table across every shard, bit for bit, canonicalized —
+/// comparable 1:1 against a single-database [`vertex_table_bits`].
+fn sharded_vertex_bits(ss: &ShardedGraphSession) -> Vec<(i64, Option<Vec<u8>>, Option<bool>)> {
+    let mut rows = Vec::new();
+    for sess in ss.shard_sessions() {
+        rows.extend(vertex_table_bits(sess));
+    }
+    rows.sort();
+    rows
+}
+
+/// The merged message table across every shard (each shard stores the
+/// messages its vertices *produced*), canonicalized.
+fn sharded_message_bits(ss: &ShardedGraphSession) -> Vec<(i64, Option<i64>, Option<Vec<u8>>)> {
+    let mut rows = Vec::new();
+    for sess in ss.shard_sessions() {
+        rows.extend(message_table_bits(sess));
+    }
+    rows.sort();
+    rows
+}
+
+/// Cell config for the shard matrix. The combiner is off on *both* sides
+/// (the sharded coordinator coerces it off — it groups f64 folds by
+/// producing shard) and the replace threshold is pinned to the value the
+/// durable sharded coercion uses, so the 1-shard reference runs the exact
+/// same apply arm. Small stream chunks give the exchange real scatter
+/// granularity, so cross-shard sealing (early dispatch) is observable.
+fn shard_cell_config(cap: u64) -> VertexicaConfig {
+    VertexicaConfig::default()
+        .with_workers(4)
+        .with_partitions(16)
+        .with_combiner(false)
+        .with_replace_threshold(0.0)
+        .with_stream_chunk_rows(128)
+        .with_max_supersteps(cap)
+}
+
+fn run_shard_cell<P, F>(
+    graph: &EdgeList,
+    make_program: F,
+    shards: usize,
+    cap: u64,
+) -> (CellResult, vertexica::RunStats)
+where
+    P: vertexica_common::VertexProgram + 'static,
+    F: Fn() -> P,
+{
+    let ss = sharded_session_for(graph, shards);
+    let stats = run_sharded(&ss, Arc::new(make_program()), &shard_cell_config(cap)).unwrap();
+    let cell = CellResult {
+        vertex_bits: sharded_vertex_bits(&ss),
+        message_bits: sharded_message_bits(&ss),
+        total_messages: stats.total_messages,
+        per_superstep: stats
+            .per_superstep
+            .iter()
+            .map(|s| (s.messages, s.vertex_changes, s.replaced))
+            .collect(),
+    };
+    (cell, stats)
+}
+
+/// The sharded equivalence matrix: every vertex-centric algorithm —
+/// including the mid-flight (superstep-capped) cells whose message tables
+/// are non-empty — run on 1, 2 and 4 shards must produce bitwise-identical
+/// merged vertex tables, merged message tables, message counts and
+/// per-superstep outcomes. The N ≥ 2 cells must also show genuine
+/// cross-shard traffic (`remote_messages`, `routed_bytes`) and cross-shard
+/// sealing (`early_dispatches`: partitions dispatched before end-of-stream
+/// because the summed prescan counts said their last row had landed).
+#[test]
+fn sharded_execution_is_bitwise_identical_for_every_algorithm() {
+    use vertexica_algorithms::vc::{LabelPropagation, RandomWalkWithRestart};
+    let graph =
+        rmat_graph(&RmatConfig { scale: 6, num_edges: 400, seed: 23, ..Default::default() });
+    let undirected = graph.undirected();
+
+    type ShardCell = Box<dyn Fn(usize) -> (CellResult, vertexica::RunStats)>;
+    let algorithms: Vec<(&str, ShardCell)> = vec![
+        ("pagerank", {
+            let g = graph.clone();
+            Box::new(move |n| run_shard_cell(&g, || PageRank::new(6, 0.85), n, 10_000))
+        }),
+        ("pagerank-midflight", {
+            let g = graph.clone();
+            Box::new(move |n| run_shard_cell(&g, || PageRank::new(6, 0.85), n, 3))
+        }),
+        ("sssp", {
+            let g = graph.clone();
+            Box::new(move |n| run_shard_cell(&g, || Sssp::new(0), n, 10_000))
+        }),
+        ("connected-components", {
+            let g = undirected.clone();
+            Box::new(move |n| run_shard_cell(&g, || ConnectedComponents, n, 10_000))
+        }),
+        ("cc-midflight", {
+            let g = undirected.clone();
+            Box::new(move |n| run_shard_cell(&g, || ConnectedComponents, n, 2))
+        }),
+        ("random-walk-with-restart", {
+            let g = graph.clone();
+            Box::new(move |n| run_shard_cell(&g, || RandomWalkWithRestart::new(0, 8), n, 10_000))
+        }),
+        ("label-propagation", {
+            let g = undirected.clone();
+            Box::new(move |n| run_shard_cell(&g, || LabelPropagation::new(6), n, 10_000))
+        }),
+    ];
+
+    // The VERTEXICA_SHARDS CI mode widens the matrix to its default count.
+    let mut shard_counts = vec![2usize, 4];
+    let env_default = vertexica::config::shards_default();
+    if env_default > 1 && !shard_counts.contains(&env_default) {
+        shard_counts.push(env_default);
+    }
+
+    for (name, cell) in &algorithms {
+        let (reference, ref_stats) = cell(1);
+        assert!(!reference.vertex_bits.is_empty(), "{name}: empty vertex table");
+        // A 1-shard run never routes.
+        assert!(
+            ref_stats.per_superstep.iter().all(|s| s.remote_messages == 0 && s.routed_bytes == 0),
+            "{name}: the 1-shard cell must not report cross-shard traffic"
+        );
+        for &n in &shard_counts {
+            let (other, stats) = cell(n);
+            assert_eq!(
+                reference, other,
+                "{name}: {n}-shard run diverged from the 1-shard reference"
+            );
+            let remote: u64 = stats.per_superstep.iter().map(|s| s.remote_messages).sum();
+            let routed: u64 = stats.per_superstep.iter().map(|s| s.routed_bytes).sum();
+            assert!(remote > 0, "{name}: {n} shards exchanged no rows — not actually sharded");
+            assert!(routed > 0, "{name}: {n} shards routed rows but tracked no bytes");
+            assert!(
+                stats.per_superstep.iter().all(|s| s.shard_skew >= 1.0),
+                "{name}: shard skew is a max/mean ratio and can never be below 1"
+            );
+            if *name == "pagerank" {
+                let early: usize = stats.per_superstep.iter().map(|s| s.early_dispatches).sum();
+                assert!(
+                    early > 0,
+                    "{name}: {n} shards: no partition sealed from the summed prescan counts \
+                     before end-of-stream"
+                );
+            }
+        }
+    }
+}
+
+/// Mid-flight resume across shards: a 2-shard run checkpointed every
+/// superstep and capped at 3 supersteps, resumed from the per-shard
+/// checkpoints to completion, must land bitwise-identical to the
+/// uninterrupted 1-shard reference.
+#[test]
+fn sharded_checkpoint_resume_is_bitwise_identical() {
+    let graph =
+        rmat_graph(&RmatConfig { scale: 6, num_edges: 400, seed: 29, ..Default::default() });
+    let (reference, _) = run_shard_cell(&graph, || PageRank::new(6, 0.85), 1, 10_000);
+
+    let ckpt = unique_durable_dir("shard_ckpt");
+    let ss = sharded_session_for(&graph, 2);
+    run_sharded(
+        &ss,
+        Arc::new(PageRank::new(6, 0.85)),
+        &shard_cell_config(3).with_checkpointing(1, &ckpt),
+    )
+    .unwrap();
+    let resumed = resume_sharded(
+        &ss,
+        Arc::new(PageRank::new(6, 0.85)),
+        &shard_cell_config(10_000).with_checkpointing(1, &ckpt),
+    )
+    .unwrap();
+    assert!(resumed.supersteps > 0, "the capped run must have left supersteps to resume");
+    assert_eq!(
+        sharded_vertex_bits(&ss),
+        reference.vertex_bits,
+        "resumed sharded vertex table diverged from the 1-shard reference"
+    );
+    assert_eq!(
+        sharded_message_bits(&ss),
+        reference.message_bits,
+        "resumed sharded message table diverged from the 1-shard reference"
+    );
+    std::fs::remove_dir_all(&ckpt).ok();
+}
+
+/// Loads `graph` into a sharded session with the edge table split across
+/// many small ROS segments per shard (the per-shard analogue of
+/// [`load_edges_finely_segmented`]), respecting the ownership hash.
+fn load_edges_finely_segmented_sharded(ss: &ShardedGraphSession, graph: &EdgeList) {
+    use vertexica::session::edge_schema;
+    use vertexica::storage::partition::int_key_partition;
+    use vertexica::storage::{ColumnBuilder, DataType, RecordBatch};
+    let n = ss.num_shards();
+    let base = EdgeList::new(graph.num_vertices, vec![]);
+    ss.load_edges(&base).expect("load vertices");
+    for chunk in graph.edges.chunks(400) {
+        for (k, sess) in ss.shard_sessions().iter().enumerate() {
+            let mut src = ColumnBuilder::new(DataType::Int);
+            let mut dst = ColumnBuilder::new(DataType::Int);
+            let mut weight = ColumnBuilder::new(DataType::Float);
+            let mut created = ColumnBuilder::new(DataType::Int);
+            let mut etype = ColumnBuilder::new(DataType::Str);
+            let mut rows = 0;
+            for e in chunk.iter().filter(|e| int_key_partition(e.src as i64, n) == k) {
+                src.push_int(e.src as i64);
+                dst.push_int(e.dst as i64);
+                weight.push_float(e.weight);
+                created.push_int(0);
+                etype.push_null();
+                rows += 1;
+            }
+            if rows == 0 {
+                continue;
+            }
+            let batch = RecordBatch::new(
+                edge_schema(),
+                vec![src.finish(), dst.finish(), weight.finish(), created.finish(), etype.finish()],
+            )
+            .unwrap();
+            sess.db().append_batches(&sess.edge_table(), &[batch]).unwrap();
+        }
+    }
+}
+
+/// The divided-budget regression: a global `memory_budget_bytes` set below
+/// the sharded graph's checkpointed footprint is split across the shards,
+/// and the **sum** of per-shard peak residency must stay within the global
+/// budget every superstep — N shards must not multiply the paper's memory
+/// envelope by N.
+#[test]
+fn sharded_memory_budget_bounds_summed_residency() {
+    let graph = erdos_renyi(400, 3200, 9);
+    let dir = unique_durable_dir("shard_budget");
+    let db = ShardedDatabase::create(&dir, 2).expect("create durable shards");
+    // Pin the pools while measuring (the VERTEXICA_MEMORY_BUDGET CI mode
+    // would otherwise shrink the measured footprint).
+    for d in db.shards() {
+        d.catalog().buffer_pool().set_budget(None);
+    }
+    let ss = ShardedGraphSession::create(db.clone(), "g").expect("create");
+    load_edges_finely_segmented_sharded(&ss, &graph);
+    ss.checkpoint().unwrap();
+    let total: u64 =
+        db.shards().iter().map(|d| d.catalog().buffer_pool().stats().resident_bytes).sum();
+    assert!(total > 0, "sharded load must leave resident ROS segments");
+    // 3/4 of the checkpointed footprint: each shard's slice (3/8) sits well
+    // below its ~1/2 share, forcing evictions, while the global bound keeps
+    // headroom for the superstep's freshly committed (not yet spillable,
+    // hence not yet evictable) message segments — the same slack the
+    // single-database out-of-core cell gets from its undivided budget.
+    let budget = (total as usize) * 3 / 4;
+
+    let config = shard_cell_config(10_000).with_memory_budget(Some(budget));
+    let stats = run_sharded(&ss, Arc::new(PageRank::new(6, 0.85)), &config).unwrap();
+    let evictions: u64 = stats.per_superstep.iter().map(|s| s.evictions).sum();
+    assert!(evictions > 0, "a below-footprint global budget must force evictions");
+    for s in &stats.per_superstep {
+        assert!(
+            s.resident_bytes <= budget as u64,
+            "superstep {}: summed per-shard peak residency {} exceeds the global \
+             {budget}-byte budget",
+            s.superstep,
+            s.resident_bytes
+        );
+    }
+    drop(ss);
+    drop(db);
+    std::fs::remove_dir_all(&dir).ok();
+}
+
+/// Never halts; every superstep stamps itself into every vertex — the crash
+/// workload (same as the kill -9 harness: the superstep number is the
+/// recovery oracle).
+struct SuperstepStamp;
+
+impl vertexica_common::VertexProgram for SuperstepStamp {
+    type Value = u64;
+    type Message = u64;
+
+    fn initial_value(&self, _id: VertexId, _init: &vertexica_common::pregel::InitContext) -> u64 {
+        0
+    }
+
+    fn compute(
+        &self,
+        ctx: &mut dyn vertexica_common::pregel::VertexContext<u64, u64>,
+        _messages: &[u64],
+    ) {
+        use vertexica_common::pregel::VertexContextExt;
+        let step = ctx.superstep();
+        ctx.set_value(step);
+        ctx.send_to_all_neighbors(step);
+    }
+
+    fn name(&self) -> &'static str {
+        "superstep_stamp"
+    }
+}
+
+fn stamp_ring() -> EdgeList {
+    EdgeList::from_pairs((0..24u64).map(|v| (v, (v + 1) % 24)))
+}
+
+/// Deterministic crash injection across the shard boundary: shard 1's WAL
+/// sink is armed with a byte budget that exhausts during a mid-run apply
+/// commit, so shard 0 commits superstep `s` while shard 1 dies inside its
+/// own commit of `s` — the exact torn boundary the per-shard stamps exist
+/// for. Reopening recovers shard 1 to `s − 1` (stamp spread exactly 1), and
+/// [`repair_if_needed`] re-runs the missing superstep on shard 1 from shard
+/// 0's retained message input, landing **bitwise-identical** to an
+/// uninterrupted run capped at the same boundary. Repair is idempotent.
+#[test]
+fn sharded_crash_injection_repairs_to_the_common_boundary() {
+    let graph = stamp_ring();
+    let cap = 12u64;
+    let config =
+        VertexicaConfig::default().with_workers(2).with_partitions(8).with_max_supersteps(cap);
+
+    // Measurement run: how many durable bytes does shard 1 write in total,
+    // and how many before the superstep loop starts? (Byte streams are
+    // deterministic — same graph, same program, same config.)
+    let dir_a = unique_durable_dir("shard_crash_ref");
+    let pre_bytes;
+    let total_bytes;
+    {
+        let db = ShardedDatabase::create(&dir_a, 2).expect("create");
+        let ss = ShardedGraphSession::create(db.clone(), "g").expect("create");
+        ss.load_edges(&graph).expect("load");
+        let d = db.shard(1).durability_stats().unwrap();
+        pre_bytes = d.wal_bytes + d.flush_bytes;
+        run_sharded(&ss, Arc::new(SuperstepStamp), &config).unwrap();
+        let d = db.shard(1).durability_stats().unwrap();
+        total_bytes = d.wal_bytes + d.flush_bytes;
+    }
+    std::fs::remove_dir_all(&dir_a).ok();
+    assert!(total_bytes > pre_bytes, "the stamp run must write durable bytes");
+
+    // Crash run: same prefix of durable writes, but shard 1's budget
+    // exhausts roughly halfway through the superstep commits.
+    let dir = unique_durable_dir("shard_crash");
+    {
+        let db = ShardedDatabase::create(&dir, 2).expect("create");
+        let ss = ShardedGraphSession::create(db.clone(), "g").expect("create");
+        ss.load_edges(&graph).expect("load");
+        let d = db.shard(1).durability_stats().unwrap();
+        assert_eq!(d.wal_bytes + d.flush_bytes, pre_bytes, "durable prefix must be deterministic");
+        db.shard(1)
+            .catalog()
+            .wal_sink()
+            .expect("durable shard has a WAL sink")
+            .set_crash_budget(Some((total_bytes - pre_bytes) / 2));
+        let err = run_sharded(&ss, Arc::new(SuperstepStamp), &config);
+        assert!(err.is_err(), "an injected WAL crash must fail the sharded run");
+    }
+
+    // Recovery: every shard replays its own WAL; the stamps must sit on
+    // adjacent boundaries with shard 0 ahead (it committed the superstep
+    // shard 1 died inside).
+    let db = ShardedDatabase::open(&dir).expect("recovery must succeed");
+    let ss = ShardedGraphSession::open(db.clone(), "g").expect("stamp spread must be within 1");
+    let stamps = ss.stamps().unwrap();
+    let s0 = stamps[0].expect("shard 0 is stamped");
+    let s1 = stamps[1].expect("shard 1 is stamped");
+    assert_eq!(s0, s1 + 1, "shard 1 died mid-commit while shard 0 committed: stamps {stamps:?}");
+
+    let repaired = repair_if_needed(&ss, Arc::new(SuperstepStamp), &config).unwrap();
+    assert_eq!(repaired, Some(s0 as u64), "repair must replay the torn superstep");
+    let stamps = ss.stamps().unwrap();
+    assert!(
+        stamps.iter().all(|s| *s == Some(s0)),
+        "all shards must land on the common boundary: {stamps:?}"
+    );
+    assert_eq!(
+        repair_if_needed(&ss, Arc::new(SuperstepStamp), &config).unwrap(),
+        None,
+        "repair must be idempotent"
+    );
+
+    // Bitwise: the repaired database equals an uninterrupted run capped at
+    // the same boundary.
+    let dir_c = unique_durable_dir("shard_crash_cap");
+    let db_c = ShardedDatabase::create(&dir_c, 2).expect("create");
+    let ss_c = ShardedGraphSession::create(db_c.clone(), "g").expect("create");
+    ss_c.load_edges(&graph).expect("load");
+    run_sharded(
+        &ss_c,
+        Arc::new(SuperstepStamp),
+        &config.clone().with_max_supersteps(s0 as u64 + 1),
+    )
+    .unwrap();
+    assert_eq!(
+        sharded_vertex_bits(&ss),
+        sharded_vertex_bits(&ss_c),
+        "repaired vertex tables diverged from the uninterrupted capped run"
+    );
+    assert_eq!(
+        sharded_message_bits(&ss),
+        sharded_message_bits(&ss_c),
+        "repaired message tables diverged from the uninterrupted capped run"
+    );
+    drop(ss);
+    drop(db);
+    drop(ss_c);
+    drop(db_c);
+    std::fs::remove_dir_all(&dir).ok();
+    std::fs::remove_dir_all(&dir_c).ok();
+}

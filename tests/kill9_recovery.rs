@@ -180,3 +180,116 @@ fn kill9_mid_superstep_recovers_to_a_committed_superstep() {
     drop(db2);
     std::fs::remove_dir_all(&dir).ok();
 }
+
+// ---------------------------------------------------------------------------
+// The sharded variant: kill -9 against a 2-shard database.
+// ---------------------------------------------------------------------------
+
+use vertexica::shard::{repair_if_needed, run_sharded, ShardedDatabase, ShardedGraphSession};
+
+/// The sharded child body: 2 engine shards, the same never-halting stamp
+/// program, killed by the parent at an arbitrary instant — possibly between
+/// the two shards' apply commits of the same superstep.
+#[test]
+fn sharded_crash_child_worker() {
+    let Ok(dir) = std::env::var("VERTEXICA_SHARD_CRASH_CHILD_DIR") else { return };
+    let db = ShardedDatabase::create(&dir, 2).expect("child: create durable shards");
+    let ss = ShardedGraphSession::create(db.clone(), GRAPH_NAME).expect("child: create session");
+    ss.load_edges(&ring()).expect("child: load edges");
+    db.checkpoint().expect("child: baseline checkpoint");
+    std::fs::write(Path::new(&dir).join("READY"), b"ready").expect("child: ready marker");
+    let config =
+        VertexicaConfig::default().with_workers(2).with_partitions(4).with_max_supersteps(u64::MAX);
+    // Never returns (the program never halts); the parent kills us.
+    run_sharded(&ss, Arc::new(SuperstepStamp), &config).expect("child: run");
+    unreachable!("SuperstepStamp never halts");
+}
+
+/// kill -9 with shards = 2: recovery must reopen **every** shard, the
+/// per-shard superstep stamps must sit within one superstep of each other
+/// (the halting-vote bound), recovery must be deterministic (double reopen
+/// agrees bitwise), and [`repair_if_needed`] must land all shards on the
+/// same boundary with every vertex carrying that boundary's stamp.
+#[test]
+fn kill9_mid_superstep_sharded_recovers_and_repairs() {
+    let dir = std::env::temp_dir().join(format!(
+        "vx_kill9_shard_{}_{:x}",
+        std::process::id(),
+        std::time::SystemTime::now().duration_since(std::time::UNIX_EPOCH).unwrap().as_nanos()
+            as u64
+    ));
+    std::fs::create_dir_all(&dir).unwrap();
+
+    let exe = std::env::current_exe().unwrap();
+    let mut child = std::process::Command::new(&exe)
+        .args(["--exact", "sharded_crash_child_worker", "--nocapture", "--test-threads=1"])
+        .env("VERTEXICA_SHARD_CRASH_CHILD_DIR", &dir)
+        .stdout(std::process::Stdio::null())
+        .stderr(std::process::Stdio::null())
+        .spawn()
+        .expect("spawn child");
+
+    let deadline = Instant::now() + Duration::from_secs(60);
+    let ready = dir.join("READY");
+    while !ready.exists() {
+        assert!(Instant::now() < deadline, "child never became ready");
+        assert!(child.try_wait().unwrap().is_none(), "child exited prematurely");
+        std::thread::sleep(Duration::from_millis(10));
+    }
+    // Both shards must provably commit supersteps before the kill.
+    let base0 = max_file_id(&dir.join("shard0"));
+    let base1 = max_file_id(&dir.join("shard1"));
+    while max_file_id(&dir.join("shard0")) < base0 + 8
+        || max_file_id(&dir.join("shard1")) < base1 + 8
+    {
+        assert!(Instant::now() < deadline, "child never committed sharded supersteps");
+        assert!(child.try_wait().unwrap().is_none(), "child exited prematurely");
+        std::thread::sleep(Duration::from_millis(5));
+    }
+    std::thread::sleep(Duration::from_millis(150));
+    child.kill().expect("kill -9 child");
+    child.wait().expect("reap child");
+
+    // ---- recovery ----
+    let db = ShardedDatabase::open(&dir).expect("sharded recovery must succeed at any kill point");
+    let ss = ShardedGraphSession::open(db.clone(), GRAPH_NAME)
+        .expect("stamp spread must be within the vote-barrier bound");
+    let images: Vec<_> = db.shards().iter().map(|d| catalog_image(d.catalog())).collect();
+    drop(ss);
+    drop(db);
+
+    // Recovery is deterministic: a second open agrees bitwise, per shard.
+    let db = ShardedDatabase::open(&dir).expect("second sharded reopen");
+    let images2: Vec<_> = db.shards().iter().map(|d| catalog_image(d.catalog())).collect();
+    assert_eq!(images, images2, "sharded reopen must be bitwise-identical");
+
+    // Repair lands every shard on the same superstep boundary.
+    let ss = ShardedGraphSession::open(db.clone(), GRAPH_NAME).expect("reopen session");
+    let config = VertexicaConfig::default().with_workers(2).with_partitions(4);
+    repair_if_needed(&ss, Arc::new(SuperstepStamp), &config).expect("repair must succeed");
+    let stamps = ss.stamps().expect("readable stamps");
+    let boundary = stamps[0].expect("stamped after repair");
+    assert!(
+        stamps.iter().all(|s| *s == Some(boundary)),
+        "all shards must land on one superstep boundary: {stamps:?}"
+    );
+    assert_eq!(
+        repair_if_needed(&ss, Arc::new(SuperstepStamp), &config).expect("idempotent repair"),
+        None,
+        "a repaired database needs no further repair"
+    );
+
+    // And the merged graph is a uniformly-stamped generation at exactly
+    // that boundary.
+    let values: Vec<(VertexId, u64)> = ss.vertex_values::<u64>().expect("readable vertices");
+    assert_eq!(values.len(), NUM_VERTICES as usize, "vertex membership must be exact");
+    let distinct: std::collections::BTreeSet<u64> = values.iter().map(|(_, v)| *v).collect();
+    assert_eq!(
+        distinct,
+        std::collections::BTreeSet::from([boundary as u64]),
+        "every vertex must carry the repaired boundary's stamp"
+    );
+    drop(ss);
+    drop(db);
+    std::fs::remove_dir_all(&dir).ok();
+}
