@@ -11,7 +11,10 @@
 //! * value codecs ([`VertexData`]) used to store vertex/message values in
 //!   relational `VARBINARY` columns and in serialized BSP message buffers,
 //! * small utilities: an FxHash-style fast hasher for integer-keyed maps and a
-//!   deterministic `splitmix64` generator.
+//!   deterministic `splitmix64` generator,
+//! * the [`sync`] seam — the single point every crate goes through for locks,
+//!   condvars, atomics and fences — and the bounded-interleaving [`model`]
+//!   checker that instruments it under `--cfg vertexica_model`.
 
 #![warn(missing_docs)]
 
@@ -20,6 +23,7 @@ pub mod graph;
 pub mod hash;
 pub mod pregel;
 pub mod runtime;
+pub mod sync;
 pub mod timer;
 
 pub use codec::VertexData;
@@ -27,3 +31,4 @@ pub use graph::{Adjacency, Edge, EdgeList, VertexId};
 pub use hash::{FxHashMap, FxHashSet};
 pub use pregel::{AggKind, AggregatorSpec, InitContext, VertexContext, VertexProgram};
 pub use runtime::WorkerPool;
+pub use sync::model;

@@ -53,11 +53,11 @@
 //!   even on a pool of one. Nested-scope entries are counted in
 //!   [`PoolMetrics::nested_scopes`].
 
+use crate::sync::{AtomicBool, AtomicU64, AtomicUsize, Condvar, Mutex, Ordering, RwLock};
 use std::cell::Cell;
 use std::collections::VecDeque;
 use std::panic::{catch_unwind, resume_unwind, AssertUnwindSafe};
-use std::sync::atomic::{AtomicBool, AtomicU64, AtomicUsize, Ordering};
-use std::sync::{Arc, Condvar, Mutex, RwLock};
+use std::sync::Arc;
 use std::thread::JoinHandle;
 use std::time::{Duration, Instant};
 
@@ -126,7 +126,7 @@ impl WorkerSlot {
     /// Deposits a wake token and signals the slot's worker. Tokens are
     /// idempotent: a spurious token just makes the worker rescan once.
     fn wake(&self) {
-        let mut token = self.park.lock().unwrap();
+        let mut token = self.park.lock();
         *token = true;
         self.unpark.notify_one();
     }
@@ -196,10 +196,10 @@ impl PoolShared {
     fn submit(&self, job: Job) {
         let timed = TimedJob { job, enqueued: Instant::now() };
         let target = {
-            let slots = self.slots.read().unwrap();
+            let slots = self.slots.read();
             let live = self.target.load(Ordering::SeqCst).clamp(1, slots.len());
             let i = self.next.fetch_add(1, Ordering::Relaxed) % live;
-            let mut deque = slots[i].deque.lock().unwrap();
+            let mut deque = slots[i].deque.lock();
             deque.push_back(timed);
             slots[i].len.store(deque.len(), Ordering::SeqCst);
             // Incremented inside the deque lock: a worker popping this job
@@ -229,14 +229,14 @@ impl PoolShared {
     /// committed sleeper is safe: any worker parking after this submission's
     /// `queued` increment re-checks the queue under its lock and bails out.
     fn wake_one(&self, preferred: usize) {
-        let slots = self.slots.read().unwrap();
+        let slots = self.slots.read();
         let n = slots.len();
         for off in 0..n {
             let slot = &slots[(preferred + off) % n];
             if !slot.sleeping.load(Ordering::SeqCst) {
                 continue;
             }
-            let mut token = slot.park.lock().unwrap();
+            let mut token = slot.park.lock();
             if !slot.sleeping.load(Ordering::SeqCst) {
                 continue; // unparked or exited between the peek and the lock
             }
@@ -248,7 +248,7 @@ impl PoolShared {
 
     /// Tokens every slot (resize, shutdown).
     fn wake_all(&self) {
-        let slots = self.slots.read().unwrap();
+        let slots = self.slots.read();
         for slot in slots.iter() {
             slot.wake();
         }
@@ -260,7 +260,7 @@ impl PoolShared {
         if slot.len.load(Ordering::SeqCst) == 0 {
             return None;
         }
-        let mut deque = slot.deque.lock().unwrap();
+        let mut deque = slot.deque.lock();
         let tj = deque.pop_front();
         if tj.is_some() {
             slot.len.store(deque.len(), Ordering::SeqCst);
@@ -272,14 +272,14 @@ impl PoolShared {
     /// Attempts to steal a job from any slot other than `me`, scanning from
     /// the back of each sibling deque (empty slots are skipped lock-free).
     fn try_steal(&self, me: usize) -> Option<TimedJob> {
-        let slots = self.slots.read().unwrap();
+        let slots = self.slots.read();
         let n = slots.len();
         for off in 1..n {
             let j = (me + off) % n;
             if slots[j].len.load(Ordering::SeqCst) == 0 {
                 continue;
             }
-            let mut deque = slots[j].deque.lock().unwrap();
+            let mut deque = slots[j].deque.lock();
             if let Some(tj) = deque.pop_back() {
                 slots[j].len.store(deque.len(), Ordering::SeqCst);
                 self.queued.fetch_sub(1, Ordering::SeqCst);
@@ -302,7 +302,7 @@ impl PoolShared {
 }
 
 fn worker_loop(shared: Arc<PoolShared>, me: usize) {
-    let my_slot = shared.slots.read().unwrap()[me].clone();
+    let my_slot = shared.slots.read()[me].clone();
     // Identify this thread as pool worker `me` so scopes entered from
     // inside a task switch to the helping wait (see `ScopeState::wait_all`).
     WORKER_CONTEXT.with(|ctx| ctx.set(Some((Arc::as_ptr(&shared) as usize, me))));
@@ -320,7 +320,7 @@ fn worker_loop(shared: Arc<PoolShared>, me: usize) {
         }
         // 3. Nothing runnable: exit if shrunk away, otherwise park on this
         // worker's own condvar (no shared lock on the sleep/wake path).
-        let mut token = my_slot.park.lock().unwrap();
+        let mut token = my_slot.park.lock();
         // Register as a sleeper *before* re-checking `queued`: a submitter
         // that misses these stores is ordered before them, so the re-check
         // below observes its queued job (no lost wakeups); a submitter that
@@ -332,7 +332,10 @@ fn worker_loop(shared: Arc<PoolShared>, me: usize) {
             my_slot.sleeping.store(false, Ordering::SeqCst);
             shared.sleepers.fetch_sub(1, Ordering::SeqCst);
         };
-        if shared.queued.load(Ordering::SeqCst) > 0 || *token {
+        // This re-check is the lost-wakeup guard; the model checker proves
+        // it load-bearing by seeding `runtime.skip_park_recheck`.
+        let rescan = shared.queued.load(Ordering::SeqCst) > 0 || *token;
+        if rescan && !crate::sync::model::mutation_enabled("runtime.skip_park_recheck") {
             // Work arrived between the scan and the park commit, or a stale
             // token was left behind: consume it and rescan.
             unregister(&mut token);
@@ -343,7 +346,7 @@ fn worker_loop(shared: Arc<PoolShared>, me: usize) {
             drop(token);
             // The exit decision is re-taken under the idle lock, mirroring
             // `resize`'s spawn decision — the two can never disagree.
-            let _guard = shared.idle.lock().unwrap();
+            let _guard = shared.idle.lock();
             if shared.target.load(Ordering::SeqCst) <= me {
                 my_slot.occupied.store(false, Ordering::SeqCst);
                 return;
@@ -351,7 +354,7 @@ fn worker_loop(shared: Arc<PoolShared>, me: usize) {
             continue; // a concurrent grow kept this worker alive
         }
         while !*token {
-            token = my_slot.unpark.wait(token).unwrap();
+            token = my_slot.unpark.wait(token);
         }
         unregister(&mut token);
     }
@@ -419,17 +422,17 @@ impl WorkerPool {
     pub fn resize(&self, size: usize) {
         let size = size.max(1);
         // The idle lock serializes this against worker exit decisions.
-        let idle_guard = self.shared.idle.lock().unwrap();
-        let mut handles = self.handles.lock().unwrap();
+        let idle_guard = self.shared.idle.lock();
+        let mut handles = self.handles.lock();
         handles.retain(|h| !h.is_finished());
         self.shared.target.store(size, Ordering::SeqCst);
         {
-            let mut slots = self.shared.slots.write().unwrap();
+            let mut slots = self.shared.slots.write();
             while slots.len() < size {
                 slots.push(Arc::new(WorkerSlot::new()));
             }
         }
-        let slots = self.shared.slots.read().unwrap();
+        let slots = self.shared.slots.read();
         for (i, slot) in slots.iter().enumerate().take(size) {
             if !slot.occupied.swap(true, Ordering::SeqCst) {
                 let shared = self.shared.clone();
@@ -488,7 +491,7 @@ impl WorkerPool {
         match result {
             Err(payload) => resume_unwind(payload),
             Ok(value) => {
-                if let Some(payload) = state.panic.lock().unwrap().take() {
+                if let Some(payload) = state.panic.lock().take() {
                     resume_unwind(payload);
                 }
                 value
@@ -515,25 +518,22 @@ impl WorkerPool {
                 let f = &f;
                 let slots = &slots;
                 scope.spawn(move || {
-                    *slots[i].lock().unwrap() = Some(f(i, item));
+                    *slots[i].lock() = Some(f(i, item));
                 });
             }
         });
-        slots
-            .into_iter()
-            .map(|slot| slot.into_inner().unwrap().expect("pool task completed"))
-            .collect()
+        slots.into_iter().map(|slot| slot.into_inner().expect("pool task completed")).collect()
     }
 }
 
 impl Drop for WorkerPool {
     fn drop(&mut self) {
         {
-            let _guard = self.shared.idle.lock().unwrap();
+            let _guard = self.shared.idle.lock();
             self.shared.target.store(0, Ordering::SeqCst);
         }
         self.shared.wake_all();
-        let mut handles = self.handles.lock().unwrap();
+        let mut handles = self.handles.lock();
         for handle in handles.drain(..) {
             let _ = handle.join();
         }
@@ -548,11 +548,11 @@ struct ScopeState {
 
 impl ScopeState {
     fn task_started(&self) {
-        *self.pending.lock().unwrap() += 1;
+        *self.pending.lock() += 1;
     }
 
     fn task_finished(&self) {
-        let mut pending = self.pending.lock().unwrap();
+        let mut pending = self.pending.lock();
         *pending -= 1;
         if *pending == 0 {
             self.all_done.notify_all();
@@ -560,9 +560,9 @@ impl ScopeState {
     }
 
     fn wait_all(&self) {
-        let mut pending = self.pending.lock().unwrap();
+        let mut pending = self.pending.lock();
         while *pending > 0 {
-            pending = self.all_done.wait(pending).unwrap();
+            pending = self.all_done.wait(pending);
         }
     }
 
@@ -576,9 +576,9 @@ impl ScopeState {
     /// spawned by those in-flight tasks (a completion signal wakes it
     /// immediately).
     fn wait_all_helping(&self, shared: &PoolShared, me: usize) {
-        let my_slot = shared.slots.read().unwrap().get(me).cloned();
+        let my_slot = shared.slots.read().get(me).cloned();
         loop {
-            if *self.pending.lock().unwrap() == 0 {
+            if *self.pending.lock() == 0 {
                 return;
             }
             if let Some(slot) = my_slot.as_deref() {
@@ -591,13 +591,13 @@ impl ScopeState {
                 shared.run(tj, true);
                 continue;
             }
-            let pending = self.pending.lock().unwrap();
+            let pending = self.pending.lock();
             if *pending == 0 {
                 return;
             }
             // Outstanding tasks are running elsewhere; nap until one
             // finishes or the timeout says "rescan the deques".
-            let _ = self.all_done.wait_timeout(pending, Duration::from_micros(200)).unwrap();
+            let _ = self.all_done.wait_timeout(pending, Duration::from_micros(200));
         }
     }
 }
@@ -631,7 +631,7 @@ impl<'scope, 'env> Scope<'scope, 'env> {
         let job: Box<dyn FnOnce() + Send + 'scope> = Box::new(move || {
             let result = catch_unwind(AssertUnwindSafe(task));
             if let Err(payload) = result {
-                let mut slot = state.panic.lock().unwrap();
+                let mut slot = state.panic.lock();
                 if slot.is_none() {
                     *slot = Some(payload);
                 }
@@ -672,7 +672,7 @@ pub fn default_parallelism() -> usize {
 /// parked `drain_wait` wakes promptly (and a `park_timeout` backstop covers
 /// the unregistered window).
 pub struct Outbox<T> {
-    head: std::sync::atomic::AtomicPtr<OutboxNode<T>>,
+    head: crate::sync::AtomicPtr<OutboxNode<T>>,
     closed: AtomicBool,
     consumer: std::sync::OnceLock<std::thread::Thread>,
     // `Mutex<T>` phantom: `Sync` exactly when `T: Send` (the consumer takes
@@ -695,7 +695,7 @@ impl<T> Outbox<T> {
     /// An empty, open outbox with no registered consumer.
     pub fn new() -> Self {
         Self {
-            head: std::sync::atomic::AtomicPtr::new(std::ptr::null_mut()),
+            head: crate::sync::AtomicPtr::new(std::ptr::null_mut()),
             closed: AtomicBool::new(false),
             consumer: std::sync::OnceLock::new(),
             _marker: std::marker::PhantomData,
@@ -775,12 +775,30 @@ impl<T> Outbox<T> {
             }
             if self.closed.load(Ordering::Acquire) {
                 // Re-drain after observing the close: a final push
-                // happens-before the close in the producer.
+                // happens-before the close in the producer. Skipping this
+                // re-drain tears the seal (a push racing the close is lost);
+                // the model checker proves that by seeding
+                // `runtime.outbox_skip_final_drain`.
+                if crate::sync::model::mutation_enabled("runtime.outbox_skip_final_drain") {
+                    return None;
+                }
                 let items = self.try_drain();
                 return if items.is_empty() { None } else { Some(items) };
             }
-            std::thread::park_timeout(Duration::from_millis(1));
+            outbox_backstop();
         }
+    }
+}
+
+/// The consumer's no-progress backstop in [`Outbox::drain_wait`]: a short
+/// real-time park in production (producers `unpark` on every push), but a
+/// model schedule point under the checker, so logical consumer threads
+/// hand control to producers instead of sleeping wall-clock time.
+fn outbox_backstop() {
+    if crate::sync::model::in_model() {
+        crate::sync::model::yield_now();
+    } else {
+        std::thread::park_timeout(Duration::from_millis(1));
     }
 }
 
@@ -822,11 +840,11 @@ mod tests {
             for (i, slot) in sums.iter().enumerate() {
                 let data = &data;
                 s.spawn(move || {
-                    *slot.lock().unwrap() = data[i] * 10;
+                    *slot.lock() = data[i] * 10;
                 });
             }
         });
-        let total: u64 = sums.iter().map(|m| *m.lock().unwrap()).sum();
+        let total: u64 = sums.iter().map(|m| *m.lock()).sum();
         assert_eq!(total, 100);
     }
 
@@ -841,13 +859,13 @@ mod tests {
                 for _ in 0..32 {
                     let ids = &ids;
                     s.spawn(move || {
-                        ids.lock().unwrap().insert(std::thread::current().id());
+                        ids.lock().insert(std::thread::current().id());
                         // Brief yield so multiple workers participate.
                         std::thread::yield_now();
                     });
                 }
             });
-            ids.into_inner().unwrap()
+            ids.into_inner()
         };
         let first = observe(&pool);
         let second = observe(&pool);
@@ -1299,5 +1317,207 @@ mod tests {
         outbox.push(String::from("left behind"));
         outbox.push(String::from("also left"));
         drop(outbox);
+    }
+}
+
+/// Bounded model checks of the runtime's two concurrency protocols — the
+/// [`Outbox`] produce/drain/seal handshake and the [`WorkerPool`]
+/// park/wake/steal/exit protocol — plus mutation proofs that the
+/// load-bearing re-checks are actually load-bearing. Compiled only under
+/// `RUSTFLAGS='--cfg vertexica_model'`; run with
+/// `cargo test -p vertexica-common model_`.
+#[cfg(all(test, vertexica_model))]
+mod model_tests {
+    use super::*;
+    use crate::sync::model::{self, Config, ViolationKind};
+
+    // ---- Outbox produce / drain / seal ----
+
+    /// One producer pushes two batches then seals; the consumer drains to
+    /// end-of-stream. Every interleaving must deliver both items: close
+    /// happens-after the last push, so `closed` + one final drain observes
+    /// everything.
+    fn outbox_scenario() {
+        let ob = Arc::new(Outbox::<u32>::new());
+        let producer = {
+            let ob = ob.clone();
+            model::spawn(move || {
+                ob.push(1);
+                ob.push(2);
+                ob.close();
+            })
+        };
+        let mut got = Vec::new();
+        while let Some(batch) = ob.drain_wait() {
+            got.extend(batch);
+        }
+        producer.join();
+        got.sort_unstable();
+        assert_eq!(got, vec![1, 2], "torn seal: pushed items lost at close");
+    }
+
+    #[test]
+    fn model_outbox_produce_drain_seal_clean() {
+        let cfg = Config { max_preemptions: 2, ..Config::default() };
+        let stats = model::check(&cfg, outbox_scenario)
+            .unwrap_or_else(|v| panic!("outbox protocol violated:\n{v}"));
+        assert!(stats.exhausted, "bounded schedule space not exhausted: {stats:?}");
+        assert!(stats.ops.contains("atomic.cas"), "push CAS never explored: {:?}", stats.ops);
+        eprintln!("[model] outbox clean: {stats:?}");
+    }
+
+    /// Seeding `runtime.outbox_skip_final_drain` (skip the re-drain after
+    /// observing `closed`) must fail deterministically: same seed, same
+    /// minimal schedule, same exploration count.
+    #[test]
+    fn model_outbox_torn_seal_mutation_detected() {
+        let cfg = Config {
+            max_preemptions: 2,
+            mutation: Some("runtime.outbox_skip_final_drain"),
+            ..Config::default()
+        };
+        let v1 =
+            model::check(&cfg, outbox_scenario).expect_err("seeded torn-seal bug must be detected");
+        assert_eq!(v1.kind, ViolationKind::Panic, "unexpected violation:\n{v1}");
+        assert!(v1.message.contains("torn seal"), "unexpected failure: {}", v1.message);
+        let v2 = model::check(&cfg, outbox_scenario).expect_err("second run must also fail");
+        assert_eq!(v1.schedule, v2.schedule, "minimal schedule not deterministic");
+        assert_eq!(v1.schedules_explored, v2.schedules_explored);
+        eprintln!("[model] outbox mutation:\n{v1}");
+    }
+
+    // ---- WorkerPool park / wake / steal / exit ----
+
+    fn pool_shared(n: usize) -> Arc<PoolShared> {
+        Arc::new(PoolShared {
+            slots: RwLock::new((0..n).map(|_| Arc::new(WorkerSlot::new())).collect()),
+            target: AtomicUsize::new(n),
+            queued: AtomicUsize::new(0),
+            sleepers: AtomicUsize::new(0),
+            next: AtomicUsize::new(0),
+            idle: Mutex::new(()),
+            executed: AtomicU64::new(0),
+            steals: AtomicU64::new(0),
+            queue_wait_nanos: AtomicU64::new(0),
+            nested_scopes: AtomicU64::new(0),
+        })
+    }
+
+    fn fresh_scope() -> Arc<ScopeState> {
+        Arc::new(ScopeState {
+            pending: Mutex::new(0),
+            all_done: Condvar::new(),
+            panic: Mutex::new(None),
+        })
+    }
+
+    /// The production shutdown protocol (`WorkerPool::drop` / `resize`):
+    /// retarget under the idle lock, then token every slot.
+    fn shutdown(shared: &Arc<PoolShared>) {
+        {
+            let _guard = shared.idle.lock();
+            shared.target.store(0, Ordering::SeqCst);
+        }
+        shared.wake_all();
+    }
+
+    /// One logical worker and one submitter race a single job through the
+    /// sleeper-registration / queued-re-check handshake, then shut the pool
+    /// down. The barrier is the untimed condvar wait production
+    /// `WorkerPool::scope` uses, so a lost wakeup surfaces as a deadlock.
+    fn pool_scenario() {
+        let shared = pool_shared(1);
+        let worker = {
+            let shared = shared.clone();
+            model::spawn(move || worker_loop(shared, 0))
+        };
+        let state = fresh_scope();
+        let ran = Arc::new(AtomicBool::new(false));
+        state.task_started();
+        {
+            let state = state.clone();
+            let ran = ran.clone();
+            shared.submit(Box::new(move || {
+                ran.store(true, Ordering::SeqCst);
+                state.task_finished();
+            }));
+        }
+        state.wait_all();
+        assert!(ran.load(Ordering::SeqCst), "scope barrier released before the task ran");
+        shutdown(&shared);
+        worker.join();
+        assert_eq!(shared.executed.load(Ordering::Relaxed), 1);
+        assert_eq!(shared.queued.load(Ordering::SeqCst), 0);
+        assert_eq!(shared.sleepers.load(Ordering::SeqCst), 0);
+    }
+
+    #[test]
+    fn model_pool_park_wake_clean() {
+        let cfg = Config { max_preemptions: 2, ..Config::default() };
+        let stats = model::check(&cfg, pool_scenario)
+            .unwrap_or_else(|v| panic!("worker-pool protocol violated:\n{v}"));
+        assert!(stats.exhausted, "bounded schedule space not exhausted: {stats:?}");
+        assert!(stats.ops.contains("cond.wait"), "park never explored: {:?}", stats.ops);
+        eprintln!("[model] pool park/wake clean: {stats:?}");
+    }
+
+    /// Seeding `runtime.skip_park_recheck` (park without re-checking
+    /// `queued` after registering as a sleeper) is the classic lost-wakeup
+    /// bug: the submitter reads `sleepers == 0`, skips the wake, and both
+    /// sides block forever. The checker must report it as a deadlock,
+    /// deterministically.
+    #[test]
+    fn model_pool_lost_wakeup_mutation_detected() {
+        let cfg = Config {
+            max_preemptions: 2,
+            mutation: Some("runtime.skip_park_recheck"),
+            ..Config::default()
+        };
+        let v1 =
+            model::check(&cfg, pool_scenario).expect_err("seeded lost-wakeup bug must be detected");
+        assert_eq!(v1.kind, ViolationKind::Deadlock, "unexpected violation:\n{v1}");
+        let v2 = model::check(&cfg, pool_scenario).expect_err("second run must also fail");
+        assert_eq!(v1.schedule, v2.schedule, "minimal schedule not deterministic");
+        assert_eq!(v1.schedules_explored, v2.schedules_explored);
+        eprintln!("[model] pool mutation:\n{v1}");
+    }
+
+    /// Two deques, one live worker: both jobs are queued round-robin before
+    /// the worker starts, so completing the barrier requires stealing the
+    /// ownerless sibling deque's job. Also exercises the shrink/exit
+    /// decision under the idle lock.
+    fn steal_scenario() {
+        let shared = pool_shared(2);
+        let state = fresh_scope();
+        let done = Arc::new(AtomicUsize::new(0));
+        for _ in 0..2 {
+            state.task_started();
+            let state = state.clone();
+            let done = done.clone();
+            shared.submit(Box::new(move || {
+                done.fetch_add(1, Ordering::SeqCst);
+                state.task_finished();
+            }));
+        }
+        let worker = {
+            let shared = shared.clone();
+            model::spawn(move || worker_loop(shared, 1))
+        };
+        state.wait_all();
+        assert_eq!(done.load(Ordering::SeqCst), 2, "a queued job was lost");
+        shutdown(&shared);
+        worker.join();
+        assert_eq!(shared.executed.load(Ordering::Relaxed), 2);
+        assert_eq!(shared.steals.load(Ordering::Relaxed), 1, "sibling deque was not stolen from");
+        assert_eq!(shared.queued.load(Ordering::SeqCst), 0);
+    }
+
+    #[test]
+    fn model_pool_steal_and_exit_clean() {
+        let cfg = Config { max_preemptions: 2, ..Config::default() };
+        let stats = model::check(&cfg, steal_scenario)
+            .unwrap_or_else(|v| panic!("steal/exit protocol violated:\n{v}"));
+        assert!(stats.exhausted, "bounded schedule space not exhausted: {stats:?}");
+        eprintln!("[model] pool steal/exit clean: {stats:?}");
     }
 }

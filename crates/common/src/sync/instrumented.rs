@@ -1,0 +1,604 @@
+//! Model-instrumented sync primitives.
+//!
+//! These types wrap the `std::sync` primitives and report every operation to
+//! the [`super::model`] scheduler as a schedule point. Outside an active model
+//! execution (i.e. on threads that are not logical threads of a
+//! [`super::model::check`] run) every hook is a no-op and the types behave
+//! exactly like their `std` counterparts, so a `--cfg vertexica_model` build
+//! still runs the ordinary test suite correctly — just with a cheap
+//! thread-local check per operation.
+//!
+//! Ordering invariant that keeps real and model state consistent: the *real*
+//! primitive is only acquired after the model grants ownership, and released
+//! before the model releases ownership. A logical thread therefore never
+//! blocks on a real primitive (which would stall the cooperative scheduler) —
+//! all blocking happens inside the model.
+//!
+//! Mixing model and non-model threads on the *same* primitive instance is
+//! unsupported; model scenarios must confine the structures they build to
+//! their own logical threads.
+
+use std::sync::atomic::Ordering;
+use std::sync::{
+    Condvar as StdCondvar, Mutex as StdMutex, MutexGuard as StdMutexGuard, RwLock as StdRwLock,
+    RwLockReadGuard as StdRwLockReadGuard, RwLockWriteGuard as StdRwLockWriteGuard,
+};
+
+use super::model;
+
+fn id_of<T: ?Sized>(x: &T) -> usize {
+    x as *const T as *const () as usize
+}
+
+fn unpoison<G>(r: Result<G, std::sync::PoisonError<G>>) -> G {
+    r.unwrap_or_else(|e| e.into_inner())
+}
+
+// ---------------------------------------------------------------------------
+// Mutex
+// ---------------------------------------------------------------------------
+
+/// A mutex whose acquire/release are schedule points under the model checker.
+#[derive(Default)]
+pub struct Mutex<T: ?Sized> {
+    inner: StdMutex<T>,
+}
+
+impl<T> Mutex<T> {
+    /// Creates a new mutex holding `value`.
+    pub const fn new(value: T) -> Self {
+        Mutex { inner: StdMutex::new(value) }
+    }
+
+    /// Consumes the mutex and returns the protected value.
+    pub fn into_inner(self) -> T {
+        unpoison(self.inner.into_inner())
+    }
+}
+
+impl<T: ?Sized> Mutex<T> {
+    /// Acquires the mutex, blocking (cooperatively, under the model) until it
+    /// is available. Never poisons.
+    pub fn lock(&self) -> MutexGuard<'_, T> {
+        let intercepted = model::in_model();
+        if intercepted {
+            model::on_mutex_lock(id_of(self));
+        }
+        MutexGuard { lock: self, inner: Some(unpoison(self.inner.lock())), model: intercepted }
+    }
+
+    /// Attempts to acquire the mutex without blocking.
+    pub fn try_lock(&self) -> Option<MutexGuard<'_, T>> {
+        match model::on_mutex_try_lock(id_of(self)) {
+            Some(false) => None,
+            Some(true) => Some(MutexGuard {
+                lock: self,
+                // The model granted ownership, so the real lock is free.
+                inner: Some(unpoison(self.inner.lock())),
+                model: true,
+            }),
+            None => match self.inner.try_lock() {
+                Ok(g) => Some(MutexGuard { lock: self, inner: Some(g), model: false }),
+                Err(std::sync::TryLockError::Poisoned(e)) => {
+                    Some(MutexGuard { lock: self, inner: Some(e.into_inner()), model: false })
+                }
+                Err(std::sync::TryLockError::WouldBlock) => None,
+            },
+        }
+    }
+
+    /// Mutable access without locking (requires exclusive borrow).
+    pub fn get_mut(&mut self) -> &mut T {
+        unpoison(self.inner.get_mut())
+    }
+}
+
+impl<T: ?Sized> std::fmt::Debug for Mutex<T> {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        f.debug_struct("Mutex").finish_non_exhaustive()
+    }
+}
+
+/// RAII guard for [`Mutex`]; releases the model-level lock on drop.
+pub struct MutexGuard<'a, T: ?Sized> {
+    lock: &'a Mutex<T>,
+    inner: Option<StdMutexGuard<'a, T>>,
+    model: bool,
+}
+
+impl<T: ?Sized> std::ops::Deref for MutexGuard<'_, T> {
+    type Target = T;
+    fn deref(&self) -> &T {
+        self.inner.as_ref().expect("guard still holds the lock")
+    }
+}
+
+impl<T: ?Sized> std::ops::DerefMut for MutexGuard<'_, T> {
+    fn deref_mut(&mut self) -> &mut T {
+        self.inner.as_mut().expect("guard still holds the lock")
+    }
+}
+
+impl<T: ?Sized> Drop for MutexGuard<'_, T> {
+    fn drop(&mut self) {
+        // Release the real lock first so the next model-granted owner finds
+        // it free, then release model-level ownership (waking waiters).
+        self.inner = None;
+        if self.model {
+            model::on_mutex_unlock(id_of(self.lock));
+        }
+    }
+}
+
+// ---------------------------------------------------------------------------
+// RwLock
+// ---------------------------------------------------------------------------
+
+/// A reader-writer lock whose operations are schedule points under the model.
+#[derive(Default)]
+pub struct RwLock<T: ?Sized> {
+    inner: StdRwLock<T>,
+}
+
+impl<T> RwLock<T> {
+    /// Creates a new reader-writer lock holding `value`.
+    pub const fn new(value: T) -> Self {
+        RwLock { inner: StdRwLock::new(value) }
+    }
+
+    /// Consumes the lock and returns the protected value.
+    pub fn into_inner(self) -> T {
+        unpoison(self.inner.into_inner())
+    }
+}
+
+impl<T: ?Sized> RwLock<T> {
+    /// Acquires shared (read) access. Never poisons.
+    pub fn read(&self) -> RwLockReadGuard<'_, T> {
+        let intercepted = model::in_model();
+        if intercepted {
+            model::on_rw_read(id_of(self));
+        }
+        RwLockReadGuard { lock: self, inner: Some(unpoison(self.inner.read())), model: intercepted }
+    }
+
+    /// Acquires exclusive (write) access. Never poisons.
+    pub fn write(&self) -> RwLockWriteGuard<'_, T> {
+        let intercepted = model::in_model();
+        if intercepted {
+            model::on_rw_write(id_of(self));
+        }
+        RwLockWriteGuard {
+            lock: self,
+            inner: Some(unpoison(self.inner.write())),
+            model: intercepted,
+        }
+    }
+
+    /// Mutable access without locking (requires exclusive borrow).
+    pub fn get_mut(&mut self) -> &mut T {
+        unpoison(self.inner.get_mut())
+    }
+}
+
+impl<T: ?Sized> std::fmt::Debug for RwLock<T> {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        f.debug_struct("RwLock").finish_non_exhaustive()
+    }
+}
+
+/// RAII shared guard for [`RwLock`].
+pub struct RwLockReadGuard<'a, T: ?Sized> {
+    lock: &'a RwLock<T>,
+    inner: Option<StdRwLockReadGuard<'a, T>>,
+    model: bool,
+}
+
+impl<T: ?Sized> std::ops::Deref for RwLockReadGuard<'_, T> {
+    type Target = T;
+    fn deref(&self) -> &T {
+        self.inner.as_ref().expect("guard still holds the lock")
+    }
+}
+
+impl<T: ?Sized> Drop for RwLockReadGuard<'_, T> {
+    fn drop(&mut self) {
+        self.inner = None;
+        if self.model {
+            model::on_rw_unlock_read(id_of(self.lock));
+        }
+    }
+}
+
+/// RAII exclusive guard for [`RwLock`].
+pub struct RwLockWriteGuard<'a, T: ?Sized> {
+    lock: &'a RwLock<T>,
+    inner: Option<StdRwLockWriteGuard<'a, T>>,
+    model: bool,
+}
+
+impl<T: ?Sized> std::ops::Deref for RwLockWriteGuard<'_, T> {
+    type Target = T;
+    fn deref(&self) -> &T {
+        self.inner.as_ref().expect("guard still holds the lock")
+    }
+}
+
+impl<T: ?Sized> std::ops::DerefMut for RwLockWriteGuard<'_, T> {
+    fn deref_mut(&mut self) -> &mut T {
+        self.inner.as_mut().expect("guard still holds the lock")
+    }
+}
+
+impl<T: ?Sized> Drop for RwLockWriteGuard<'_, T> {
+    fn drop(&mut self) {
+        self.inner = None;
+        if self.model {
+            model::on_rw_unlock_write(id_of(self.lock));
+        }
+    }
+}
+
+// ---------------------------------------------------------------------------
+// Condvar
+// ---------------------------------------------------------------------------
+
+/// A condition variable with a consume-style guard API, intercepted by the
+/// model checker so waits and notifies become schedule points.
+#[derive(Default)]
+pub struct Condvar {
+    std: StdCondvar,
+}
+
+impl Condvar {
+    /// Creates a new condition variable.
+    pub const fn new() -> Self {
+        Condvar { std: StdCondvar::new() }
+    }
+
+    /// Atomically releases `guard`'s mutex and waits for a notification,
+    /// reacquiring the mutex before returning.
+    pub fn wait<'a, T>(&self, guard: MutexGuard<'a, T>) -> MutexGuard<'a, T> {
+        let (lock, inner, model) = decompose(guard);
+        if model {
+            drop(inner);
+            let _ = model::on_cond_wait(id_of(self), id_of(lock), false);
+            // The model reacquired ownership for us; take the real lock.
+            MutexGuard { lock, inner: Some(unpoison(lock.inner.lock())), model: true }
+        } else {
+            let inner = inner.expect("guard still holds the lock");
+            let inner = unpoison(self.std.wait(inner));
+            MutexGuard { lock, inner: Some(inner), model: false }
+        }
+    }
+
+    /// Like [`Condvar::wait`] with a timeout; the boolean is `true` if the
+    /// wait timed out. Under the model, timeouts fire only at quiescence
+    /// (see the module docs of [`super::model`]).
+    pub fn wait_timeout<'a, T>(
+        &self,
+        guard: MutexGuard<'a, T>,
+        timeout: std::time::Duration,
+    ) -> (MutexGuard<'a, T>, bool) {
+        let (lock, inner, model) = decompose(guard);
+        if model {
+            drop(inner);
+            let timed_out = model::on_cond_wait(id_of(self), id_of(lock), true).unwrap_or(false);
+            (MutexGuard { lock, inner: Some(unpoison(lock.inner.lock())), model: true }, timed_out)
+        } else {
+            let inner = inner.expect("guard still holds the lock");
+            let (inner, res) = unpoison(self.std.wait_timeout(inner, timeout));
+            (MutexGuard { lock, inner: Some(inner), model: false }, res.timed_out())
+        }
+    }
+
+    /// Wakes one waiter.
+    pub fn notify_one(&self) {
+        if model::in_model() {
+            model::on_cond_notify(id_of(self), false);
+        }
+        self.std.notify_one();
+    }
+
+    /// Wakes all waiters.
+    pub fn notify_all(&self) {
+        if model::in_model() {
+            model::on_cond_notify(id_of(self), true);
+        }
+        self.std.notify_all();
+    }
+}
+
+impl std::fmt::Debug for Condvar {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        f.debug_struct("Condvar").finish_non_exhaustive()
+    }
+}
+
+/// Takes a guard apart without running its `Drop` (so the caller controls
+/// when the real and model releases happen).
+fn decompose<T: ?Sized>(
+    guard: MutexGuard<'_, T>,
+) -> (&Mutex<T>, Option<StdMutexGuard<'_, T>>, bool) {
+    let mut guard = guard;
+    let lock = guard.lock;
+    let inner = guard.inner.take();
+    let model = guard.model;
+    guard.model = false; // drop of `guard` is now a no-op
+    (lock, inner, model)
+}
+
+// ---------------------------------------------------------------------------
+// Atomics
+// ---------------------------------------------------------------------------
+
+macro_rules! int_atomic {
+    ($(#[$doc:meta])* $name:ident, $std:path, $prim:ty) => {
+        $(#[$doc])*
+        #[derive(Default)]
+        pub struct $name {
+            inner: $std,
+        }
+
+        impl $name {
+            /// Creates a new atomic with the given initial value.
+            pub const fn new(v: $prim) -> Self {
+                Self { inner: <$std>::new(v) }
+            }
+
+            /// Consumes the atomic and returns the value.
+            pub fn into_inner(self) -> $prim {
+                self.inner.into_inner()
+            }
+
+            /// Mutable access without synchronization.
+            pub fn get_mut(&mut self) -> &mut $prim {
+                self.inner.get_mut()
+            }
+
+            /// Atomic load (a schedule point under the model).
+            pub fn load(&self, order: Ordering) -> $prim {
+                model::on_op("atomic.load");
+                self.inner.load(order)
+            }
+
+            /// Atomic store (a schedule point under the model).
+            pub fn store(&self, v: $prim, order: Ordering) {
+                model::on_op("atomic.store");
+                self.inner.store(v, order)
+            }
+
+            /// Atomic swap (a schedule point under the model).
+            pub fn swap(&self, v: $prim, order: Ordering) -> $prim {
+                model::on_op("atomic.rmw");
+                self.inner.swap(v, order)
+            }
+
+            /// Atomic compare-and-exchange (a schedule point under the model).
+            pub fn compare_exchange(
+                &self,
+                current: $prim,
+                new: $prim,
+                success: Ordering,
+                failure: Ordering,
+            ) -> Result<$prim, $prim> {
+                model::on_op("atomic.cas");
+                self.inner.compare_exchange(current, new, success, failure)
+            }
+
+            /// Weak compare-and-exchange (a schedule point under the model).
+            pub fn compare_exchange_weak(
+                &self,
+                current: $prim,
+                new: $prim,
+                success: Ordering,
+                failure: Ordering,
+            ) -> Result<$prim, $prim> {
+                model::on_op("atomic.cas");
+                self.inner.compare_exchange_weak(current, new, success, failure)
+            }
+
+            /// Atomic add, returning the previous value.
+            pub fn fetch_add(&self, v: $prim, order: Ordering) -> $prim {
+                model::on_op("atomic.rmw");
+                self.inner.fetch_add(v, order)
+            }
+
+            /// Atomic subtract, returning the previous value.
+            pub fn fetch_sub(&self, v: $prim, order: Ordering) -> $prim {
+                model::on_op("atomic.rmw");
+                self.inner.fetch_sub(v, order)
+            }
+
+            /// Atomic maximum, returning the previous value.
+            pub fn fetch_max(&self, v: $prim, order: Ordering) -> $prim {
+                model::on_op("atomic.rmw");
+                self.inner.fetch_max(v, order)
+            }
+
+            /// Atomic minimum, returning the previous value.
+            pub fn fetch_min(&self, v: $prim, order: Ordering) -> $prim {
+                model::on_op("atomic.rmw");
+                self.inner.fetch_min(v, order)
+            }
+        }
+
+        impl std::fmt::Debug for $name {
+            fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+                f.debug_tuple(stringify!($name)).field(&self.inner).finish()
+            }
+        }
+    };
+}
+
+int_atomic!(
+    /// An instrumented `AtomicU8`.
+    AtomicU8,
+    std::sync::atomic::AtomicU8,
+    u8
+);
+int_atomic!(
+    /// An instrumented `AtomicU64`.
+    AtomicU64,
+    std::sync::atomic::AtomicU64,
+    u64
+);
+int_atomic!(
+    /// An instrumented `AtomicUsize`.
+    AtomicUsize,
+    std::sync::atomic::AtomicUsize,
+    usize
+);
+
+/// An instrumented `AtomicBool`.
+#[derive(Default)]
+pub struct AtomicBool {
+    inner: std::sync::atomic::AtomicBool,
+}
+
+impl AtomicBool {
+    /// Creates a new atomic boolean.
+    pub const fn new(v: bool) -> Self {
+        AtomicBool { inner: std::sync::atomic::AtomicBool::new(v) }
+    }
+
+    /// Consumes the atomic and returns the value.
+    pub fn into_inner(self) -> bool {
+        self.inner.into_inner()
+    }
+
+    /// Mutable access without synchronization.
+    pub fn get_mut(&mut self) -> &mut bool {
+        self.inner.get_mut()
+    }
+
+    /// Atomic load (a schedule point under the model).
+    pub fn load(&self, order: Ordering) -> bool {
+        model::on_op("atomic.load");
+        self.inner.load(order)
+    }
+
+    /// Atomic store (a schedule point under the model).
+    pub fn store(&self, v: bool, order: Ordering) {
+        model::on_op("atomic.store");
+        self.inner.store(v, order)
+    }
+
+    /// Atomic swap (a schedule point under the model).
+    pub fn swap(&self, v: bool, order: Ordering) -> bool {
+        model::on_op("atomic.rmw");
+        self.inner.swap(v, order)
+    }
+
+    /// Atomic compare-and-exchange (a schedule point under the model).
+    pub fn compare_exchange(
+        &self,
+        current: bool,
+        new: bool,
+        success: Ordering,
+        failure: Ordering,
+    ) -> Result<bool, bool> {
+        model::on_op("atomic.cas");
+        self.inner.compare_exchange(current, new, success, failure)
+    }
+
+    /// Atomic OR, returning the previous value.
+    pub fn fetch_or(&self, v: bool, order: Ordering) -> bool {
+        model::on_op("atomic.rmw");
+        self.inner.fetch_or(v, order)
+    }
+
+    /// Atomic AND, returning the previous value.
+    pub fn fetch_and(&self, v: bool, order: Ordering) -> bool {
+        model::on_op("atomic.rmw");
+        self.inner.fetch_and(v, order)
+    }
+}
+
+impl std::fmt::Debug for AtomicBool {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        f.debug_tuple("AtomicBool").field(&self.inner).finish()
+    }
+}
+
+/// An instrumented `AtomicPtr`.
+pub struct AtomicPtr<T> {
+    inner: std::sync::atomic::AtomicPtr<T>,
+}
+
+impl<T> AtomicPtr<T> {
+    /// Creates a new atomic pointer.
+    pub const fn new(p: *mut T) -> Self {
+        AtomicPtr { inner: std::sync::atomic::AtomicPtr::new(p) }
+    }
+
+    /// Consumes the atomic and returns the pointer.
+    pub fn into_inner(self) -> *mut T {
+        self.inner.into_inner()
+    }
+
+    /// Mutable access without synchronization.
+    pub fn get_mut(&mut self) -> &mut *mut T {
+        self.inner.get_mut()
+    }
+
+    /// Atomic load (a schedule point under the model).
+    pub fn load(&self, order: Ordering) -> *mut T {
+        model::on_op("atomic.load");
+        self.inner.load(order)
+    }
+
+    /// Atomic store (a schedule point under the model).
+    pub fn store(&self, p: *mut T, order: Ordering) {
+        model::on_op("atomic.store");
+        self.inner.store(p, order)
+    }
+
+    /// Atomic swap (a schedule point under the model).
+    pub fn swap(&self, p: *mut T, order: Ordering) -> *mut T {
+        model::on_op("atomic.rmw");
+        self.inner.swap(p, order)
+    }
+
+    /// Atomic compare-and-exchange (a schedule point under the model).
+    pub fn compare_exchange(
+        &self,
+        current: *mut T,
+        new: *mut T,
+        success: Ordering,
+        failure: Ordering,
+    ) -> Result<*mut T, *mut T> {
+        model::on_op("atomic.cas");
+        self.inner.compare_exchange(current, new, success, failure)
+    }
+
+    /// Weak compare-and-exchange (a schedule point under the model).
+    pub fn compare_exchange_weak(
+        &self,
+        current: *mut T,
+        new: *mut T,
+        success: Ordering,
+        failure: Ordering,
+    ) -> Result<*mut T, *mut T> {
+        model::on_op("atomic.cas");
+        self.inner.compare_exchange_weak(current, new, success, failure)
+    }
+}
+
+impl<T> Default for AtomicPtr<T> {
+    fn default() -> Self {
+        AtomicPtr::new(std::ptr::null_mut())
+    }
+}
+
+impl<T> std::fmt::Debug for AtomicPtr<T> {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        f.debug_tuple("AtomicPtr").field(&self.inner).finish()
+    }
+}
+
+/// An atomic memory fence (a schedule point under the model).
+pub fn fence(order: Ordering) {
+    model::on_op("fence");
+    std::sync::atomic::fence(order);
+}

@@ -1,0 +1,193 @@
+//! The workspace's single synchronization seam.
+//!
+//! Every crate outside `crates/shims/` uses locks, condvars, atomics, and
+//! fences exclusively through this module (enforced by `tools/vxlint` rule
+//! `sync-seam`). That gives the workspace exactly one instrumentation point:
+//!
+//! * In **normal builds** (`cfg(not(vertexica_model))`) the façade is pure
+//!   re-export — [`Mutex`]/[`RwLock`] are the `parking_lot` shim types,
+//!   guards and atomics are the `std::sync` types, and [`Condvar`] is a
+//!   `#[repr(transparent)]`-thin wrapper adding the consume-style guard API.
+//!   There is no wrapper state and no branch on any hot path.
+//! * Under **`--cfg vertexica_model`** the same names resolve to the
+//!   [`instrumented`] types, which report every operation to the [`model`]
+//!   checker as a schedule point (and pass straight through to the real
+//!   primitives on threads outside a model execution).
+//!
+//! The [`model`] and [`instrumented`] submodules themselves are always
+//! compiled (so the checker's own tests run in tier-1); only which types the
+//! façade names is switched by the cfg.
+
+pub mod instrumented;
+pub mod model;
+
+#[cfg(not(vertexica_model))]
+mod facade {
+    pub use parking_lot::{Mutex, RwLock};
+    pub use std::sync::atomic::{fence, AtomicBool, AtomicU64, AtomicU8, AtomicUsize};
+    pub use std::sync::{MutexGuard, RwLockReadGuard, RwLockWriteGuard};
+
+    /// An instrumented-API-compatible condition variable.
+    ///
+    /// Thin wrapper over `std::sync::Condvar` with a consume-style guard API
+    /// (`wait(guard) -> guard`) that ignores lock poisoning, matching the
+    /// panic-free guarantees of the `parking_lot` shim locks. The model-mode
+    /// type in [`super::instrumented`] has the same surface.
+    #[derive(Debug, Default)]
+    pub struct Condvar(std::sync::Condvar);
+
+    impl Condvar {
+        /// Creates a new condition variable.
+        pub const fn new() -> Self {
+            Condvar(std::sync::Condvar::new())
+        }
+
+        /// Atomically releases `guard`'s mutex and waits for a notification,
+        /// reacquiring the mutex before returning.
+        pub fn wait<'a, T>(&self, guard: MutexGuard<'a, T>) -> MutexGuard<'a, T> {
+            self.0.wait(guard).unwrap_or_else(|e| e.into_inner())
+        }
+
+        /// Like [`Condvar::wait`] with a timeout; the boolean is `true` if
+        /// the wait timed out.
+        pub fn wait_timeout<'a, T>(
+            &self,
+            guard: MutexGuard<'a, T>,
+            timeout: std::time::Duration,
+        ) -> (MutexGuard<'a, T>, bool) {
+            let (g, res) = self.0.wait_timeout(guard, timeout).unwrap_or_else(|e| e.into_inner());
+            (g, res.timed_out())
+        }
+
+        /// Wakes one waiter.
+        pub fn notify_one(&self) {
+            self.0.notify_one();
+        }
+
+        /// Wakes all waiters.
+        pub fn notify_all(&self) {
+            self.0.notify_all();
+        }
+    }
+}
+
+#[cfg(vertexica_model)]
+mod facade {
+    pub use super::instrumented::{
+        fence, AtomicBool, AtomicU64, AtomicU8, AtomicUsize, Condvar, Mutex, MutexGuard, RwLock,
+        RwLockReadGuard, RwLockWriteGuard,
+    };
+}
+
+pub use facade::*;
+
+/// Memory-ordering constraints for atomic operations (re-exported from
+/// `std::sync::atomic`; orderings are not reinterpreted by the model, which
+/// explores sequentially-consistent interleavings).
+pub use std::sync::atomic::Ordering;
+
+/// An atomic pointer, routed through the seam.
+///
+/// Normal builds alias `std::sync::atomic::AtomicPtr`; model builds use the
+/// instrumented type.
+#[cfg(not(vertexica_model))]
+pub type AtomicPtr<T> = std::sync::atomic::AtomicPtr<T>;
+
+/// An atomic pointer, routed through the seam (model-instrumented).
+#[cfg(vertexica_model)]
+pub type AtomicPtr<T> = instrumented::AtomicPtr<T>;
+
+#[cfg(test)]
+mod tests {
+    //! Seam-shape tests: the façade must be zero-cost delegation in normal
+    //! builds (literally the shim/std types) and the instrumented surface
+    //! must be call-compatible in both modes.
+
+    use super::*;
+    use std::time::Duration;
+
+    /// In normal builds the façade types ARE the shim/std types: these
+    /// identity functions only compile if the aliases are exact re-exports
+    /// (no wrapper, no cost).
+    #[cfg(not(vertexica_model))]
+    #[test]
+    fn facade_is_zero_cost_reexport() {
+        fn mutex_is_shim(m: Mutex<u8>) -> parking_lot::Mutex<u8> {
+            m
+        }
+        fn rwlock_is_shim(l: RwLock<u8>) -> parking_lot::RwLock<u8> {
+            l
+        }
+        fn atomic_is_std(a: AtomicU64) -> std::sync::atomic::AtomicU64 {
+            a
+        }
+        fn ordering_is_std(o: Ordering) -> std::sync::atomic::Ordering {
+            o
+        }
+        fn guard_is_std<'a>(g: MutexGuard<'a, u8>) -> std::sync::MutexGuard<'a, u8> {
+            g
+        }
+        assert_eq!(*mutex_is_shim(Mutex::new(7)).lock(), 7);
+        assert_eq!(rwlock_is_shim(RwLock::new(7)).into_inner(), 7);
+        assert_eq!(atomic_is_std(AtomicU64::new(7)).into_inner(), 7);
+        assert_eq!(ordering_is_std(Ordering::SeqCst), std::sync::atomic::Ordering::SeqCst);
+        let m = Mutex::new(9u8);
+        assert_eq!(*guard_is_std(m.lock()), 9);
+        // The Condvar wrapper adds no state over std's.
+        assert_eq!(std::mem::size_of::<Condvar>(), std::mem::size_of::<std::sync::Condvar>());
+    }
+
+    /// The façade surface behaves identically in both cfg modes (outside a
+    /// model execution the instrumented types pass straight through).
+    #[test]
+    fn facade_smoke_both_modes() {
+        let m = Mutex::new(0u64);
+        *m.lock() += 1;
+        assert!(m.try_lock().is_some());
+        assert_eq!(*m.lock(), 1);
+
+        let l = RwLock::new(5u64);
+        assert_eq!(*l.read(), 5);
+        *l.write() = 6;
+        assert_eq!(*l.read(), 6);
+
+        let a = AtomicU64::new(0);
+        a.store(3, Ordering::SeqCst);
+        assert_eq!(a.fetch_add(1, Ordering::SeqCst), 3);
+        assert_eq!(a.load(Ordering::SeqCst), 4);
+        let b = AtomicBool::new(false);
+        assert!(!b.swap(true, Ordering::SeqCst));
+        let u = AtomicUsize::new(1);
+        assert_eq!(u.fetch_sub(1, Ordering::SeqCst), 1);
+        let v = AtomicU8::new(1);
+        assert_eq!(v.load(Ordering::Relaxed), 1);
+        fence(Ordering::SeqCst);
+
+        // Condvar wait_timeout: no notifier, must time out and hand the
+        // (still-consistent) guard back.
+        let cv = Condvar::new();
+        let g = m.lock();
+        let (g, timed_out) = cv.wait_timeout(g, Duration::from_millis(1));
+        assert!(timed_out);
+        assert_eq!(*g, 1);
+        drop(g);
+
+        // Condvar notify path: a waiter observes the flag flip.
+        use std::sync::Arc;
+        let pair = Arc::new((Mutex::new(false), Condvar::new()));
+        let pair2 = Arc::clone(&pair);
+        let t = std::thread::spawn(move || {
+            let (lk, cv) = &*pair2;
+            let mut done = lk.lock();
+            while !*done {
+                done = cv.wait(done);
+            }
+        });
+        {
+            let (lk, cv) = &*pair;
+            *lk.lock() = true;
+            cv.notify_all();
+        }
+        t.join().expect("waiter thread");
+    }
+}

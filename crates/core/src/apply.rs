@@ -26,7 +26,7 @@
 //!   which `tests/cross_engine_equivalence.rs`'s config-matrix harness
 //!   proves on every vertex-centric algorithm.
 
-use std::sync::Mutex;
+use vertexica_common::sync::Mutex;
 
 use vertexica_common::hash::FxHashMap;
 use vertexica_common::pregel::{AggKind, VertexProgram};
@@ -360,7 +360,7 @@ impl ParallelApply {
         for m in messages {
             msg_buckets[int_key_partition(m.0 as i64, self.buckets)].push(m);
         }
-        self.deltas.lock().unwrap().push(PartitionDelta {
+        self.deltas.lock().push(PartitionDelta {
             partition,
             updates: upd_buckets,
             messages: msg_buckets,
@@ -442,7 +442,7 @@ pub fn apply_parallel_with_extra<P: VertexProgram>(
     extra_commit: Vec<(String, Vec<vertexica_storage::Segment>)>,
 ) -> VertexicaResult<SuperstepOutcome> {
     let ParallelApply { agg_specs, buckets, deltas } = apply;
-    let mut deltas = deltas.into_inner().unwrap();
+    let mut deltas = deltas.into_inner();
     deltas.sort_by_key(|d| d.partition);
     let pool = session.db().runtime().clone();
 

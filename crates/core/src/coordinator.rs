@@ -36,7 +36,8 @@
 //! materialize-everything pipeline (both kept for ablations and equivalence
 //! tests).
 
-use std::sync::{Arc, Mutex};
+use std::sync::Arc;
+use vertexica_common::sync::Mutex;
 
 use vertexica_common::hash::FxHashMap;
 use vertexica_common::pregel::{InitContext, VertexProgram};
@@ -473,11 +474,11 @@ fn superstep_loop<P: VertexProgram + 'static>(
                 // only the cheap vector merge is serialized.
                 let mut local = template.fork();
                 local.absorb(idx, &out).map_err(|e| vertexica_sql::SqlError::Udf(e.to_string()))?;
-                acc.lock().unwrap().merge(local);
+                acc.lock().merge(local);
                 Ok(())
             })?;
             let sw = Stopwatch::start();
-            let acc = acc.into_inner().unwrap();
+            let acc = acc.into_inner();
             let outcome = apply_accumulated(session, program.as_ref(), config, acc, num_vertices)?;
             (outcome, profile, sw.elapsed_secs())
         } else {

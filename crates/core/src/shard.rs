@@ -65,9 +65,9 @@
 
 use std::panic::AssertUnwindSafe;
 use std::path::{Path, PathBuf};
-use std::sync::atomic::{AtomicBool, AtomicU64, Ordering};
-use std::sync::{Arc, Condvar, Mutex};
+use std::sync::Arc;
 use std::time::Duration;
+use vertexica_common::sync::{AtomicBool, AtomicU64, Condvar, Mutex, Ordering};
 
 use vertexica_common::graph::EdgeList;
 use vertexica_common::hash::FxHashMap;
@@ -555,7 +555,7 @@ impl CountsBoard {
         counts: Vec<Vec<u64>>,
         abort: &AtomicBool,
     ) -> VertexicaResult<Vec<Vec<Vec<u64>>>> {
-        let mut guard = self.slots.lock().unwrap();
+        let mut guard = self.slots.lock();
         debug_assert!(guard.slots[shard].is_none(), "shard {shard} deposited counts twice");
         guard.slots[shard] = Some(counts);
         guard.filled += 1;
@@ -563,12 +563,17 @@ impl CountsBoard {
             self.ready.notify_all();
         }
         while guard.filled < guard.slots.len() {
-            if abort.load(Ordering::Acquire) {
+            // Polling the abort flag is what lets one failed shard unstick
+            // its peers; the model checker proves the poll load-bearing by
+            // seeding `shard.skip_abort_recheck`.
+            if abort.load(Ordering::Acquire)
+                && !vertexica_common::sync::model::mutation_enabled("shard.skip_abort_recheck")
+            {
                 return Err(VertexicaError::Runtime(
                     "sharded superstep aborted during counts exchange".into(),
                 ));
             }
-            let (g, _) = self.ready.wait_timeout(guard, Duration::from_millis(50)).unwrap();
+            let (g, _) = self.ready.wait_timeout(guard, Duration::from_millis(50));
             guard = g;
         }
         Ok(guard.slots.iter().map(|s| s.clone().expect("all slots filled")).collect())
@@ -1515,5 +1520,88 @@ mod tests {
         let abort = AtomicBool::new(true);
         let err = board.exchange(0, vec![vec![0]], &abort);
         assert!(err.is_err(), "an aborted exchange must not wait for the missing shard");
+    }
+}
+
+/// Bounded model checks of the counts rendezvous: every interleaving of two
+/// depositing shards must hand both the complete matrix, and a shard that
+/// fails before depositing must unstick its waiting peer via the abort
+/// flag. Compiled only under `RUSTFLAGS='--cfg vertexica_model'`.
+#[cfg(all(test, vertexica_model))]
+mod model_tests {
+    use super::*;
+    use vertexica_common::sync::model::{self, Config, ViolationKind};
+
+    /// Both shards deposit and rendezvous: each must observe the full,
+    /// identical matrix, whichever order deposits and waits interleave in.
+    fn rendezvous_scenario() {
+        let board = Arc::new(CountsBoard::new(2));
+        let abort = Arc::new(AtomicBool::new(false));
+        let peer = {
+            let board = board.clone();
+            let abort = abort.clone();
+            model::spawn(move || {
+                board.exchange(1, vec![vec![10], vec![11]], &abort).expect("peer exchange")
+            })
+        };
+        let mine = board.exchange(0, vec![vec![0], vec![1]], &abort).expect("exchange");
+        let theirs = peer.join();
+        assert_eq!(mine, theirs, "shards observed different count matrices");
+        assert_eq!(mine[0], vec![vec![0], vec![1]]);
+        assert_eq!(mine[1], vec![vec![10], vec![11]]);
+    }
+
+    /// Shard 1 fails before depositing: shard 0's timed wait must notice
+    /// the abort flag and error out instead of waiting for a deposit that
+    /// will never come.
+    fn abort_scenario() {
+        let board = Arc::new(CountsBoard::new(2));
+        let abort = Arc::new(AtomicBool::new(false));
+        let failer = {
+            let abort = abort.clone();
+            model::spawn(move || abort.store(true, Ordering::Release))
+        };
+        let res = board.exchange(0, vec![vec![1]], &abort);
+        failer.join();
+        assert!(res.is_err(), "abort must unstick the counts rendezvous");
+    }
+
+    #[test]
+    fn model_shard_rendezvous_clean() {
+        let cfg = Config { max_preemptions: 2, ..Config::default() };
+        let stats = model::check(&cfg, rendezvous_scenario)
+            .unwrap_or_else(|v| panic!("counts rendezvous violated:\n{v}"));
+        assert!(stats.exhausted, "bounded schedule space not exhausted: {stats:?}");
+        eprintln!("[model] shard rendezvous clean: {stats:?}");
+    }
+
+    #[test]
+    fn model_shard_abort_unsticks_waiter_clean() {
+        let cfg = Config { max_preemptions: 2, ..Config::default() };
+        let stats = model::check(&cfg, abort_scenario)
+            .unwrap_or_else(|v| panic!("abort-aware wait violated:\n{v}"));
+        assert!(stats.exhausted, "bounded schedule space not exhausted: {stats:?}");
+        assert!(stats.ops.contains("cond.wait"), "timed wait never explored: {:?}", stats.ops);
+        eprintln!("[model] shard abort clean: {stats:?}");
+    }
+
+    /// Seeding `shard.skip_abort_recheck` (drop the abort poll from the
+    /// wait loop) strands the waiter on a rendezvous that can never fill;
+    /// once its timeout-wake budget is spent the checker must report the
+    /// stuck state as a deadlock, deterministically.
+    #[test]
+    fn model_shard_skip_abort_recheck_mutation_detected() {
+        let cfg = Config {
+            max_preemptions: 2,
+            mutation: Some("shard.skip_abort_recheck"),
+            ..Config::default()
+        };
+        let v1 = model::check(&cfg, abort_scenario)
+            .expect_err("seeded missing-abort-poll bug must be detected");
+        assert_eq!(v1.kind, ViolationKind::Deadlock, "unexpected violation:\n{v1}");
+        let v2 = model::check(&cfg, abort_scenario).expect_err("second run must also fail");
+        assert_eq!(v1.schedule, v2.schedule, "minimal schedule not deterministic");
+        assert_eq!(v1.schedules_explored, v2.schedules_explored);
+        eprintln!("[model] shard mutation:\n{v1}");
     }
 }

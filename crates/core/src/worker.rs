@@ -625,17 +625,17 @@ mod tests {
         pooled_worker.pool = Some(pool.clone());
         let before = pool.metrics();
         // Run the worker the way the engine does: as a pool task.
-        let result: std::sync::Mutex<Option<SqlResult<Vec<RecordBatch>>>> =
-            std::sync::Mutex::new(None);
+        let result: vertexica_common::sync::Mutex<Option<SqlResult<Vec<RecordBatch>>>> =
+            vertexica_common::sync::Mutex::new(None);
         pool.scope(|s| {
             let result = &result;
             let pooled_worker = &pooled_worker;
             let input = input.clone();
             s.spawn(move || {
-                *result.lock().unwrap() = Some(pooled_worker.execute(vec![input]));
+                *result.lock() = Some(pooled_worker.execute(vec![input]));
             });
         });
-        let pooled = result.into_inner().unwrap().unwrap().unwrap();
+        let pooled = result.into_inner().unwrap().unwrap();
         let delta = pool.metrics().delta_since(&before);
         assert!(delta.nested_scopes >= 1, "pooled sort from a worker must nest: {delta:?}");
 

@@ -3,8 +3,8 @@
 use std::path::PathBuf;
 
 use bytes::{Buf, BufMut};
-use parking_lot::{Mutex, RwLock};
 use vertexica_common::graph::EdgeList;
+use vertexica_common::sync::{Mutex, RwLock};
 
 use crate::wal::{Wal, WalOp};
 

@@ -1,11 +1,10 @@
 //! The `Database` façade: catalog + SQL execution + UDx + stored procedures.
 
 use std::collections::HashMap;
-use std::sync::atomic::{AtomicBool, AtomicUsize, Ordering};
-use std::sync::{Arc, Condvar, Mutex};
+use std::sync::Arc;
 use std::time::Instant;
+use vertexica_common::sync::{AtomicBool, AtomicUsize, Condvar, Mutex, Ordering, RwLock};
 
-use parking_lot::RwLock;
 use vertexica_common::runtime::{Scope, WorkerPool};
 use vertexica_storage::{
     partition::{hash_partition, split_batch, StreamingPartitioner},
@@ -541,17 +540,17 @@ impl Database {
             for (idx, p) in work {
                 let failure = &failure;
                 scope.spawn(move || {
-                    if failure.lock().unwrap().is_some() {
+                    if failure.lock().is_some() {
                         return; // an earlier partition already failed: skip the work
                     }
                     let result = udf.execute(p).and_then(|out| {
-                        if failure.lock().unwrap().is_some() {
+                        if failure.lock().is_some() {
                             return Ok(()); // a failure landed while we computed
                         }
                         sink(idx, out)
                     });
                     if let Err(e) = result {
-                        let mut slot = failure.lock().unwrap();
+                        let mut slot = failure.lock();
                         if slot.is_none() {
                             *slot = Some(e);
                         }
@@ -559,7 +558,7 @@ impl Database {
                 });
             }
         });
-        match failure.into_inner().unwrap() {
+        match failure.into_inner() {
             Some(e) => Err(e),
             None => Ok(()),
         }
@@ -576,10 +575,10 @@ impl Database {
     ) -> SqlResult<Vec<RecordBatch>> {
         let collected: Mutex<Vec<(usize, Vec<RecordBatch>)>> = Mutex::new(Vec::new());
         self.run_transform_streamed(udf, partitions, &|idx, out| {
-            collected.lock().unwrap().push((idx, out));
+            collected.lock().push((idx, out));
             Ok(())
         })?;
-        let mut collected = collected.into_inner().unwrap();
+        let mut collected = collected.into_inner();
         collected.sort_by_key(|(idx, _)| *idx);
         Ok(collected.into_iter().flat_map(|(_, out)| out).collect())
     }
@@ -710,7 +709,7 @@ impl Database {
         self.runtime.scope(|scope| {
             let shared = &shared;
             let result = produce(&mut |chunk| {
-                if let Some(e) = shared.failure.lock().unwrap().as_ref() {
+                if let Some(e) = shared.failure.lock().as_ref() {
                     // Fail fast: no point streaming further chunks.
                     return Err(SqlError::Execution(format!("pipelined run failed: {e}")));
                 }
@@ -725,26 +724,21 @@ impl Database {
                     // every spawned scatter task eventually runs and frees
                     // its slot (even when an earlier failure short-circuits
                     // its work).
-                    let mut inflight = shared.inflight.lock().unwrap();
+                    let mut inflight = shared.inflight.lock();
                     while *inflight >= shared.inflight_cap {
-                        inflight = shared.inflight_freed.wait(inflight).unwrap();
+                        inflight = shared.inflight_freed.wait(inflight);
                     }
                     *inflight += 1;
                     peak_inflight_chunks = peak_inflight_chunks.max(*inflight);
                 }
                 shared.scatter_pending.fetch_add(1, Ordering::SeqCst);
                 scope.spawn(move || {
-                    if shared.failure.lock().unwrap().is_none() {
+                    if shared.failure.lock().is_none() {
                         let sealed =
                             split_batch(&chunk, &shared.key_columns, shared.num_partitions)
                                 .map_err(SqlError::from)
                                 .and_then(|pieces| {
-                                    shared
-                                        .partitioner
-                                        .lock()
-                                        .unwrap()
-                                        .absorb(pieces)
-                                        .map_err(Into::into)
+                                    shared.partitioner.lock().absorb(pieces).map_err(Into::into)
                                 });
                         match sealed {
                             Ok(sealed) => pipe_dispatch(shared, scope, sealed, true),
@@ -752,7 +746,7 @@ impl Database {
                         }
                     }
                     {
-                        let mut inflight = shared.inflight.lock().unwrap();
+                        let mut inflight = shared.inflight.lock();
                         *inflight -= 1;
                         shared.inflight_freed.notify_one();
                     }
@@ -776,12 +770,12 @@ impl Database {
             }
         });
 
-        if let Some(e) = shared.failure.into_inner().unwrap() {
+        if let Some(e) = shared.failure.into_inner() {
             return Err(e);
         }
         let scope_end = Instant::now();
-        let assemble_end = shared.assemble_end.into_inner().unwrap().unwrap_or(scope_end);
-        let windows = shared.windows.into_inner().unwrap();
+        let assemble_end = shared.assemble_end.into_inner().unwrap_or(scope_end);
+        let windows = shared.windows.into_inner();
         let overlap_secs: f64 = windows
             .iter()
             .map(|(s, e)| e.min(&assemble_end).saturating_duration_since(*s).as_secs_f64())
@@ -1108,7 +1102,7 @@ fn plan_underdelivery_error() -> SqlError {
 
 impl PipeShared<'_> {
     fn fail(&self, e: SqlError) {
-        let mut slot = self.failure.lock().unwrap();
+        let mut slot = self.failure.lock();
         if slot.is_none() {
             *slot = Some(e);
         }
@@ -1129,18 +1123,18 @@ fn pipe_dispatch<'scope, 'env>(
             shared.early_dispatches.fetch_add(1, Ordering::Relaxed);
         }
         scope.spawn(move || {
-            if shared.failure.lock().unwrap().is_some() {
+            if shared.failure.lock().is_some() {
                 return; // an earlier stage failed: skip the work
             }
             let start = Instant::now();
             let result = shared.udf.execute(batches).and_then(|out| {
-                if shared.failure.lock().unwrap().is_some() {
+                if shared.failure.lock().is_some() {
                     return Ok(()); // a failure landed while we computed
                 }
                 (shared.sink)(idx, out)
             });
             let end = Instant::now();
-            shared.windows.lock().unwrap().push((start, end));
+            shared.windows.lock().push((start, end));
             if let Err(e) = result {
                 shared.fail(e);
             }
@@ -1160,12 +1154,12 @@ fn pipe_finish_assemble<'scope, 'env>(
     scope: &'scope Scope<'scope, 'env>,
 ) {
     let drained = {
-        let mut end = shared.assemble_end.lock().unwrap();
+        let mut end = shared.assemble_end.lock();
         if end.is_some() {
             return; // both sides raced here; first one already drained
         }
         *end = Some(Instant::now());
-        let mut partitioner = shared.partitioner.lock().unwrap();
+        let mut partitioner = shared.partitioner.lock();
         if shared.planned && !partitioner.fully_sealed() {
             // `fail` keeps the first error, so a stream that stopped early
             // because something already failed is not re-flagged.
@@ -1549,14 +1543,14 @@ mod tests {
     /// Identity transform that tags each output batch with the partition's
     /// first value and records which thread executed it.
     struct Tagger {
-        threads: std::sync::Mutex<std::collections::HashSet<std::thread::ThreadId>>,
+        threads: Mutex<std::collections::HashSet<std::thread::ThreadId>>,
         delay: std::time::Duration,
     }
 
     impl Tagger {
         fn new(delay_ms: u64) -> Arc<Self> {
             Arc::new(Tagger {
-                threads: std::sync::Mutex::new(std::collections::HashSet::new()),
+                threads: Mutex::new(std::collections::HashSet::new()),
                 delay: std::time::Duration::from_millis(delay_ms),
             })
         }
@@ -1575,7 +1569,7 @@ mod tests {
         }
 
         fn execute(&self, partition: Vec<RecordBatch>) -> SqlResult<Vec<RecordBatch>> {
-            self.threads.lock().unwrap().insert(std::thread::current().id());
+            self.threads.lock().insert(std::thread::current().id());
             if !self.delay.is_zero() {
                 std::thread::sleep(self.delay);
             }
@@ -1625,7 +1619,7 @@ mod tests {
         let seq: Arc<dyn TransformUdf> = seq_udf.clone();
         let out_seq = db.run_transform_partitions(&seq, partitions.clone()).unwrap();
         // Sequential fallback runs inline on the calling thread.
-        let seq_threads = seq_udf.threads.lock().unwrap().clone();
+        let seq_threads = seq_udf.threads.lock().clone();
         assert_eq!(seq_threads.len(), 1);
         assert!(seq_threads.contains(&std::thread::current().id()));
 
@@ -1649,7 +1643,7 @@ mod tests {
                 (0..9).map(|i| int_partition(&[i as i64])).collect();
             db.run_transform_partitions(&udf, partitions).unwrap();
         }
-        let distinct = udf_impl.threads.lock().unwrap().len();
+        let distinct = udf_impl.threads.lock().len();
         assert!(
             distinct <= 3,
             "5 invocations × 9 partitions ran on {distinct} distinct threads; \
@@ -1666,11 +1660,11 @@ mod tests {
         let udf: Arc<dyn TransformUdf> = Tagger::new(1);
         let seen = Mutex::new(Vec::new());
         db.run_transform_streamed(&udf, partitions, &|idx, out| {
-            seen.lock().unwrap().push((idx, first_values(&out)));
+            seen.lock().push((idx, first_values(&out)));
             Ok(())
         })
         .unwrap();
-        let mut seen = seen.into_inner().unwrap();
+        let mut seen = seen.into_inner();
         seen.sort();
         let expected: Vec<(usize, Vec<i64>)> = (0..10).map(|i| (i, vec![i as i64])).collect();
         assert_eq!(seen, expected);
@@ -1733,11 +1727,11 @@ mod tests {
                 let mut vals: Vec<i64> =
                     out.iter().flat_map(|b| b.column(0).as_int().unwrap().to_vec()).collect();
                 vals.sort_unstable();
-                seen.lock().unwrap().push((idx, vals));
+                seen.lock().push((idx, vals));
                 Ok(())
             },
         )?;
-        let mut seen = seen.into_inner().unwrap();
+        let mut seen = seen.into_inner();
         seen.sort();
         Ok((report, seen))
     }
@@ -1817,12 +1811,12 @@ mod tests {
                     Ok(0)
                 },
                 &|_, _| {
-                    *seen.lock().unwrap() += 1;
+                    *seen.lock() += 1;
                     Ok(())
                 },
             )
             .unwrap();
-        assert_eq!(*seen.lock().unwrap(), parts);
+        assert_eq!(*seen.lock(), parts);
         assert!(
             report.early_dispatches >= parts - 1,
             "single-partition chunks must seal on arrival: {report:?}"

@@ -12,8 +12,8 @@
 //! baseline via [`set_vectorized_expr`] / `VERTEXICA_VECTOR_EXPR=0`. Both
 //! paths are bitwise identical (property-tested in `tests/proptest_sql.rs`).
 
-use std::sync::atomic::{AtomicU8, Ordering};
 use std::sync::Arc;
+use vertexica_common::sync::{AtomicU8, Ordering};
 
 use vertexica_storage::{
     Bitmap, Column, ColumnBuilder, ColumnData, DataType, RecordBatch, Schema, Value,

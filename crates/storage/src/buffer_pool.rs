@@ -36,10 +36,8 @@
 
 use std::collections::HashSet;
 use std::path::PathBuf;
-use std::sync::atomic::{AtomicBool, AtomicU64, AtomicUsize, Ordering};
 use std::sync::{Arc, Weak};
-
-use parking_lot::Mutex;
+use vertexica_common::sync::{AtomicBool, AtomicU64, AtomicUsize, Mutex, Ordering};
 
 use crate::error::{StorageError, StorageResult};
 use crate::persist;
@@ -398,7 +396,11 @@ impl BufferPool {
             let Some(mut state) = entry.state.try_lock() else { continue };
             // A pinner bumps pins before blocking on the state lock we now
             // hold; re-check so we never evict under a committed reader.
-            if entry.pins.load(Ordering::SeqCst) > 0 {
+            // The model checker proves this re-check load-bearing by
+            // seeding `buffer_pool.drop_pin_recheck`.
+            if entry.pins.load(Ordering::SeqCst) > 0
+                && !vertexica_common::sync::model::mutation_enabled("buffer_pool.drop_pin_recheck")
+            {
                 continue;
             }
             if matches!(*state, SlotState::Resident(_)) {
@@ -514,7 +516,7 @@ mod tests {
     use crate::batch::RecordBatch;
     use crate::value::{DataType, Field, Schema, Value};
 
-    fn int_segment(vals: &[i64]) -> Segment {
+    pub(super) fn int_segment(vals: &[i64]) -> Segment {
         let schema = Schema::new(vec![Field::new("v", DataType::Int)]);
         let rows: Vec<Vec<Value>> = vals.iter().map(|v| vec![Value::Int(*v)]).collect();
         let batch = RecordBatch::from_rows(schema.clone(), &rows).unwrap();
@@ -522,7 +524,7 @@ mod tests {
     }
 
     /// Spills `seg` to a standalone file and wires a handle + pool at it.
-    fn spilled_handle(
+    pub(super) fn spilled_handle(
         dir: &std::path::Path,
         pool: &Arc<BufferPool>,
         seg: Segment,
@@ -538,7 +540,7 @@ mod tests {
         handle
     }
 
-    fn temp_dir(tag: &str) -> PathBuf {
+    pub(super) fn temp_dir(tag: &str) -> PathBuf {
         let dir = std::env::temp_dir().join(format!(
             "vx-pool-{tag}-{}-{:?}",
             std::process::id(),
@@ -673,6 +675,84 @@ mod tests {
         assert!(pool.referenced_files().contains(&file));
         drop(handle);
         assert!(pool.referenced_files().is_empty());
+        let _ = std::fs::remove_dir_all(&dir);
+    }
+}
+
+/// Bounded model check of the pin-vs-evict protocol: a reader committing a
+/// pin races the clock hand's eviction sweep, and the pins re-check under
+/// the state `try_lock` must keep the segment resident for the pin's whole
+/// lifetime on every interleaving. Compiled only under
+/// `RUSTFLAGS='--cfg vertexica_model'`.
+#[cfg(all(test, vertexica_model))]
+mod model_tests {
+    use super::tests::{int_segment, spilled_handle, temp_dir};
+    use super::*;
+    use vertexica_common::sync::model::{self, Config, ViolationKind};
+
+    /// One registered, spilled segment with its second chance already spent;
+    /// a reader pins it while the evictor sweeps for space. The reader's
+    /// residency assertion holds only if the evictor's pins re-check (after
+    /// winning the state try_lock) notices the committed pin.
+    fn pin_vs_evict(dir: &std::path::Path) {
+        let pool = Arc::new(BufferPool::with_budget(Some(1)));
+        pool.set_dir(dir.to_path_buf());
+        let handle = spilled_handle(dir, &pool, int_segment(&[1, 2, 3]));
+        // Spend the clock's second chance up front so the interleaving under
+        // test is the pin race, not the referenced bit.
+        handle.entry.referenced.store(false, Ordering::SeqCst);
+        let reader = {
+            let handle = handle.clone();
+            model::spawn(move || {
+                let pin = handle.read().expect("pin segment");
+                model::yield_now();
+                assert!(handle.is_resident(), "segment evicted under a committed pin");
+                assert_eq!(pin.num_rows(), 3);
+                drop(pin);
+                // With the pin released the entry is fair game again.
+                assert_eq!(handle.entry.pins.load(Ordering::SeqCst), 0);
+            })
+        };
+        pool.ensure_capacity(64);
+        reader.join();
+    }
+
+    #[test]
+    fn model_buffer_pool_pin_vs_evict_clean() {
+        let dir = temp_dir("model-pin-evict");
+        let cfg = Config { max_preemptions: 2, ..Config::default() };
+        let stats = model::check(&cfg, || pin_vs_evict(&dir))
+            .unwrap_or_else(|v| panic!("pin-vs-evict protocol violated:\n{v}"));
+        assert!(stats.exhausted, "bounded schedule space not exhausted: {stats:?}");
+        assert!(stats.ops.contains("mutex.try_lock"), "evictor try_lock never explored");
+        eprintln!("[model] buffer-pool pin-vs-evict clean: {stats:?}");
+        let _ = std::fs::remove_dir_all(&dir);
+    }
+
+    /// Seeding `buffer_pool.drop_pin_recheck` (trust the lock-free pins
+    /// sample, skip the re-check under the state lock) lets the evictor
+    /// reclaim a segment a reader has already committed to: the reader's
+    /// residency assertion must fail, deterministically.
+    #[test]
+    fn model_buffer_pool_drop_pin_recheck_mutation_detected() {
+        let dir = temp_dir("model-pin-evict-mut");
+        let cfg = Config {
+            max_preemptions: 2,
+            mutation: Some("buffer_pool.drop_pin_recheck"),
+            ..Config::default()
+        };
+        let v1 = model::check(&cfg, || pin_vs_evict(&dir))
+            .expect_err("seeded evict-under-pin bug must be detected");
+        assert_eq!(v1.kind, ViolationKind::Panic, "unexpected violation:\n{v1}");
+        assert!(
+            v1.message.contains("evicted under a committed pin"),
+            "unexpected failure: {}",
+            v1.message
+        );
+        let v2 = model::check(&cfg, || pin_vs_evict(&dir)).expect_err("second run must also fail");
+        assert_eq!(v1.schedule, v2.schedule, "minimal schedule not deterministic");
+        assert_eq!(v1.schedules_explored, v2.schedules_explored);
+        eprintln!("[model] buffer-pool mutation:\n{v1}");
         let _ = std::fs::remove_dir_all(&dir);
     }
 }

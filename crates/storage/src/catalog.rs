@@ -1,6 +1,6 @@
 //! The named-table catalog.
 //!
-//! Thread-safe: the catalog map and each table are behind `parking_lot`
+//! Thread-safe: the catalog map and each table are behind seam (`vertexica_common::sync`)
 //! RwLocks, so the coordinator can swap tables while workers are reading
 //! others. The atomic [`Catalog::swap`] is the primitive behind Vertexica's
 //! *replace* strategy (§2.3): build `vertex_new` via a left join, then swap it
@@ -8,7 +8,7 @@
 
 use std::sync::Arc;
 
-use parking_lot::RwLock;
+use vertexica_common::sync::RwLock;
 use vertexica_common::FxHashMap;
 
 use crate::buffer_pool::BufferPool;
@@ -178,6 +178,7 @@ impl Catalog {
         if let Some(w) = self.wal.read().as_ref() {
             w.log_rename(&from_key, &to_key)?;
         }
+        // vxlint: allow(no-unwrap-recovery) -- infallible: contains_key(from_key) verified above under the same write lock
         let t = tables.remove(&from_key).expect("checked above");
         t.write().set_name(to_key.clone());
         tables.insert(to_key, t);
@@ -199,7 +200,9 @@ impl Catalog {
         if let Some(w) = self.wal.read().as_ref() {
             w.log_swap(&a_key, &b_key)?;
         }
+        // vxlint: allow(no-unwrap-recovery) -- infallible: contains_key(a_key) verified above under the same write lock
         let ta = tables.remove(&a_key).unwrap();
+        // vxlint: allow(no-unwrap-recovery) -- infallible: contains_key(b_key) verified above under the same write lock
         let tb = tables.remove(&b_key).unwrap();
         ta.write().set_name(b_key.clone());
         tb.write().set_name(a_key.clone());
@@ -267,6 +270,7 @@ impl Catalog {
             let entries: Vec<(String, Vec<u8>)> = prepared
                 .iter_mut()
                 .map(|(name, _, bytes)| {
+                    // vxlint: allow(no-unwrap-recovery) -- infallible: every `prepared` entry was filled by the serialize pass above and taken exactly once
                     let (bytes, sp) = bytes.take().expect("serialized above");
                     spans.push(sp);
                     (name.clone(), bytes)

@@ -482,6 +482,7 @@ pub(crate) fn check_magic_and_crc<'a>(buf: &'a [u8], magic: &[u8; 6]) -> Storage
         return Err(StorageError::Corrupt("truncated checksum trailer".into()));
     }
     let body_end = buf.len() - 4;
+    // vxlint: allow(no-unwrap-recovery) -- infallible: the truncated-trailer guard above leaves exactly 4 bytes after body_end
     let stored = u32::from_le_bytes(buf[body_end..].try_into().expect("4 bytes"));
     let actual = crc32(&buf[..body_end]);
     if stored != actual {

@@ -344,17 +344,17 @@ pub struct Table {
     /// Shared (`Arc`) with every [`ScanCursor`] snapshotted from this table,
     /// so pruning observed by a cursor *after* the catalog lock was dropped
     /// still lands on the same counter the eager scan bumps.
-    segments_pruned: Arc<std::sync::atomic::AtomicU64>,
+    segments_pruned: Arc<vertexica_common::sync::AtomicU64>,
     /// Like `segments_pruned`, but counting [`BLOCK_ROWS`]-row blocks skipped
     /// by per-block zone maps inside segments that survived segment-level
     /// pruning (blocks of pruned segments are *not* counted — they were never
     /// considered).
-    blocks_pruned: Arc<std::sync::atomic::AtomicU64>,
+    blocks_pruned: Arc<vertexica_common::sync::AtomicU64>,
     /// Estimated bytes of column data decoded by scans of this table handle
     /// (full-segment and partial block decodes alike) — the gauge that shows
     /// block-granular decode paying off: with a selective pushed-down
     /// predicate it stays proportional to surviving blocks, not segments.
-    bytes_decoded: Arc<std::sync::atomic::AtomicU64>,
+    bytes_decoded: Arc<vertexica_common::sync::AtomicU64>,
     /// Durability sink, when this table belongs to a durable database. Every
     /// mutation is logged here *before* it is applied and acknowledged; the
     /// `_unlogged` method variants are the apply halves, shared with WAL
@@ -375,9 +375,9 @@ impl Table {
             wos: Vec::new(),
             segments: Vec::new(),
             delete_vectors: Vec::new(),
-            segments_pruned: Arc::new(std::sync::atomic::AtomicU64::new(0)),
-            blocks_pruned: Arc::new(std::sync::atomic::AtomicU64::new(0)),
-            bytes_decoded: Arc::new(std::sync::atomic::AtomicU64::new(0)),
+            segments_pruned: Arc::new(vertexica_common::sync::AtomicU64::new(0)),
+            blocks_pruned: Arc::new(vertexica_common::sync::AtomicU64::new(0)),
+            bytes_decoded: Arc::new(vertexica_common::sync::AtomicU64::new(0)),
             wal: None,
             pool: None,
         }
@@ -477,18 +477,18 @@ impl Table {
     /// Total segments zone-map-pruned (never decoded) over this table
     /// handle's lifetime of scans.
     pub fn segments_pruned(&self) -> u64 {
-        self.segments_pruned.load(std::sync::atomic::Ordering::Relaxed)
+        self.segments_pruned.load(vertexica_common::sync::Ordering::Relaxed)
     }
 
     /// Total blocks skipped by per-block zone maps within surviving segments.
     pub fn blocks_pruned(&self) -> u64 {
-        self.blocks_pruned.load(std::sync::atomic::Ordering::Relaxed)
+        self.blocks_pruned.load(vertexica_common::sync::Ordering::Relaxed)
     }
 
     /// Estimated bytes of column data decoded by scans over this handle's
     /// lifetime (shared with outstanding cursors, like the prune counters).
     pub fn bytes_decoded(&self) -> u64 {
-        self.bytes_decoded.load(std::sync::atomic::Ordering::Relaxed)
+        self.bytes_decoded.load(vertexica_common::sync::Ordering::Relaxed)
     }
 
     pub fn name(&self) -> &str {
@@ -959,11 +959,11 @@ pub struct ScanCursor {
     wos: Option<(RecordBatch, Vec<u64>)>,
     /// The owning table handle's pruning counter (shared so cursor-observed
     /// prunes and eager-scan prunes land on the same gauge).
-    pruned: Arc<std::sync::atomic::AtomicU64>,
+    pruned: Arc<vertexica_common::sync::AtomicU64>,
     /// Shared per-block pruning counter (see [`Table::blocks_pruned`]).
-    blocks_pruned: Arc<std::sync::atomic::AtomicU64>,
+    blocks_pruned: Arc<vertexica_common::sync::AtomicU64>,
     /// Shared decoded-bytes gauge (see [`Table::bytes_decoded`]).
-    bytes_decoded: Arc<std::sync::atomic::AtomicU64>,
+    bytes_decoded: Arc<vertexica_common::sync::AtomicU64>,
 }
 
 impl ScanCursor {
@@ -995,7 +995,7 @@ impl ScanCursor {
     /// a selective point predicate's decode cost is proportional to matching
     /// blocks, not segments.
     pub fn next_with_rowids(&mut self) -> StorageResult<Option<(RecordBatch, Vec<u64>)>> {
-        use std::sync::atomic::Ordering::Relaxed;
+        use vertexica_common::sync::Ordering::Relaxed;
         while self.pos < self.segments.len() {
             let (si, handle, dels) = &self.segments[self.pos];
             self.pos += 1;

@@ -46,7 +46,7 @@ use std::path::{Path, PathBuf};
 use std::sync::Arc;
 
 use bytes::{Buf, BufMut};
-use parking_lot::Mutex;
+use vertexica_common::sync::Mutex;
 
 use crate::catalog::Catalog;
 use crate::error::{StorageError, StorageResult};
@@ -93,7 +93,9 @@ pub fn decode_frames(mut bytes: &[u8]) -> StorageResult<(Vec<&[u8]>, bool)> {
         if bytes.len() < 8 {
             return Ok((frames, true));
         }
+        // vxlint: allow(no-unwrap-recovery) -- infallible: the len >= 8 guard above makes both 4-byte slices exact
         let len = u32::from_le_bytes(bytes[..4].try_into().expect("4 bytes")) as usize;
+        // vxlint: allow(no-unwrap-recovery) -- infallible: same len >= 8 guard covers bytes[4..8]
         let stored_crc = u32::from_le_bytes(bytes[4..8].try_into().expect("4 bytes"));
         if bytes.len() - 8 < len {
             return Ok((frames, true));
@@ -1163,7 +1165,7 @@ mod tests {
     use crate::value::{DataType, Field, Schema, Value};
 
     fn temp_dir(tag: &str) -> PathBuf {
-        use std::sync::atomic::{AtomicU64, Ordering};
+        use vertexica_common::sync::{AtomicU64, Ordering};
         static N: AtomicU64 = AtomicU64::new(0);
         let d = std::env::temp_dir().join(format!(
             "vxwal-{}-{}-{}",

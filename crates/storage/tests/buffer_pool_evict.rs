@@ -18,8 +18,8 @@
 //!    bitwise-identical to the pre-eviction image.
 
 use std::path::PathBuf;
-use std::sync::atomic::{AtomicU64, Ordering};
 use std::sync::Arc;
+use vertexica_common::sync::{AtomicU64, Ordering};
 
 use vertexica_storage::persist;
 use vertexica_storage::{

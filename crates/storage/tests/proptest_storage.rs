@@ -262,7 +262,7 @@ proptest! {
         moveout in 4usize..48,
         compress in any::<bool>(),
     ) {
-        use std::sync::atomic::{AtomicU64, Ordering};
+        use vertexica_common::sync::{AtomicU64, Ordering};
         static SEQ: AtomicU64 = AtomicU64::new(0);
         let dir = std::env::temp_dir().join(format!(
             "vx_evict_prop_{}_{}",

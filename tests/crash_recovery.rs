@@ -22,8 +22,8 @@
 //!    multi-table commit atomically.
 
 use std::path::PathBuf;
-use std::sync::atomic::{AtomicU64, Ordering};
 use std::sync::Arc;
+use vertexica_common::sync::{AtomicU64, Ordering};
 
 use proptest::prelude::*;
 use vertexica_storage::persist;

@@ -33,7 +33,7 @@ fn session_for(graph: &EdgeList) -> GraphSession {
 }
 
 fn unique_durable_dir(tag: &str) -> std::path::PathBuf {
-    use std::sync::atomic::{AtomicU64, Ordering};
+    use vertexica_common::sync::{AtomicU64, Ordering};
     static SEQ: AtomicU64 = AtomicU64::new(0);
     std::env::temp_dir().join(format!(
         "vx_xeq_{tag}_{}_{}",
